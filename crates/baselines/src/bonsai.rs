@@ -1,0 +1,194 @@
+//! Bonsai-style control-plane compression (Beckett et al., SIGCOMM 2018).
+//!
+//! Bonsai collapses devices with equivalent configuration-and-neighborhood
+//! roles into abstract nodes, producing a smaller network whose verification
+//! results transfer back to the original (for policies and environments the
+//! abstraction preserves — notably *not* link failures). Plankton both
+//! integrates with Bonsai as a preprocessor (Figure 7(f)) and borrows its
+//! device-equivalence idea for failure-choice pruning (§4.3, implemented in
+//! `plankton-core::failures`).
+//!
+//! This implementation targets the OSPF networks used in the paper's Bonsai
+//! experiments (symmetric fat trees): devices are grouped with the same
+//! iterative refinement used for failure pruning, and a quotient network is
+//! built with one representative device per class.
+
+use plankton_config::{DeviceConfig, Network, OspfConfig};
+use plankton_core::DeviceEquivalence;
+use plankton_net::topology::{NodeId, TopologyBuilder};
+use std::collections::BTreeMap;
+
+/// A compressed (quotient) network plus the mapping back to the original.
+#[derive(Clone, Debug)]
+pub struct CompressedNetwork {
+    /// The quotient network (one device per equivalence class).
+    pub network: Network,
+    /// `class_of[n]` = the quotient node representing original device `n`.
+    pub class_of: Vec<NodeId>,
+    /// The original representative of each quotient node.
+    pub representative: Vec<NodeId>,
+}
+
+impl CompressedNetwork {
+    /// Compression ratio (original devices per abstract device).
+    pub fn ratio(&self) -> f64 {
+        self.class_of.len() as f64 / self.representative.len() as f64
+    }
+
+    /// The quotient node standing for an original device.
+    pub fn abstract_node(&self, original: NodeId) -> NodeId {
+        self.class_of[original.index()]
+    }
+}
+
+/// Compress an OSPF network. `interesting` devices (policy sources,
+/// waypoints, origins of the checked prefixes) are kept in singleton classes
+/// so that the policy can be restated on the quotient network.
+pub fn compress(network: &Network, interesting: &[NodeId]) -> CompressedNetwork {
+    let eq = DeviceEquivalence::compute(network, interesting);
+    let topo = &network.topology;
+
+    // One quotient node per class, using the lowest-id member as its
+    // representative.
+    let mut members: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+    for n in topo.node_ids() {
+        members.entry(eq.class_of(n)).or_default().push(n);
+    }
+    let mut builder = TopologyBuilder::new();
+    let mut quotient_of_class: BTreeMap<usize, NodeId> = BTreeMap::new();
+    let mut representative = Vec::new();
+    for (class, nodes) in &members {
+        let rep = nodes[0];
+        let q = builder.add_router(&format!("class{class}-{}", topo.node(rep).name));
+        if let Some(lb) = topo.node(rep).loopback {
+            builder.set_loopback(q, lb);
+        }
+        quotient_of_class.insert(*class, q);
+        representative.push(rep);
+    }
+    let class_of: Vec<NodeId> = topo
+        .node_ids()
+        .map(|n| quotient_of_class[&eq.class_of(n)])
+        .collect();
+
+    // One quotient link per unordered pair of adjacent classes, weighted by
+    // the representative's cost on an original member link.
+    let mut link_cost: BTreeMap<(NodeId, NodeId), (u32, u32)> = BTreeMap::new();
+    for link in topo.links() {
+        let (a, b) = link.endpoints();
+        let (qa, qb) = (class_of[a.index()], class_of[b.index()]);
+        if qa == qb {
+            continue;
+        }
+        let key = (qa.min(qb), qa.max(qb));
+        let cost_a = network
+            .device(a)
+            .ospf
+            .as_ref()
+            .and_then(|o| o.cost(link.id))
+            .unwrap_or(10);
+        let cost_b = network
+            .device(b)
+            .ospf
+            .as_ref()
+            .and_then(|o| o.cost(link.id))
+            .unwrap_or(10);
+        let ordered = if qa <= qb { (cost_a, cost_b) } else { (cost_b, cost_a) };
+        link_cost.entry(key).or_insert(ordered);
+    }
+    let mut quotient_links = Vec::new();
+    for (&(qa, qb), &(ca, cb)) in &link_cost {
+        let l = builder.add_link(qa, qb);
+        quotient_links.push((l, qa, qb, ca, cb));
+    }
+    let quotient_topo = builder.build();
+
+    // Quotient configuration: the representative's OSPF process with costs
+    // remapped to the quotient links, and its originated prefixes.
+    let mut quotient = Network::unconfigured(quotient_topo);
+    for (class, nodes) in &members {
+        let rep = nodes[0];
+        let q = quotient_of_class[class];
+        if let Some(orig_ospf) = &network.device(rep).ospf {
+            let mut ospf = OspfConfig::originating(orig_ospf.networks.clone());
+            for &(l, qa, qb, ca, cb) in &quotient_links {
+                if qa == q {
+                    ospf = ospf.with_cost(l, ca);
+                } else if qb == q {
+                    ospf = ospf.with_cost(l, cb);
+                }
+            }
+            *quotient.device_mut(q) = DeviceConfig::empty().with_ospf(ospf);
+        }
+    }
+
+    CompressedNetwork {
+        network: quotient,
+        class_of,
+        representative,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_config::scenarios::{fat_tree_ospf, CoreStaticRoutes};
+    use plankton_core::{Plankton, PlanktonOptions};
+    use plankton_net::failure::FailureScenario;
+    use plankton_policy::Reachability;
+
+    #[test]
+    fn fat_tree_compresses_substantially() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let origin = s.fat_tree.edge[0][0];
+        let compressed = compress(&s.network, &[origin]);
+        assert!(compressed.network.node_count() < s.network.node_count());
+        assert!(compressed.ratio() > 1.5);
+        assert!(compressed.network.validate().is_empty());
+        assert!(compressed.network.topology.is_connected());
+    }
+
+    #[test]
+    fn reachability_is_preserved_on_the_quotient() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let origin = s.fat_tree.edge[0][0];
+        let prefix = s.fat_tree.prefix_of_edge(origin).unwrap();
+        // Keep the origin and one far-away edge switch concrete.
+        let probe = s.fat_tree.edge[3][1];
+        let compressed = compress(&s.network, &[origin, probe]);
+
+        // Verify reachability of the prefix from the probe on the quotient.
+        let plankton = Plankton::new(compressed.network.clone());
+        let report = plankton.verify(
+            &Reachability::new(vec![compressed.abstract_node(probe)]),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::default().restricted_to(vec![prefix]),
+        );
+        assert!(report.holds(), "{report}");
+
+        // And it agrees with the original network.
+        let original = Plankton::new(s.network.clone());
+        let report = original.verify(
+            &Reachability::new(vec![probe]),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::default().restricted_to(vec![prefix]),
+        );
+        assert!(report.holds(), "{report}");
+    }
+
+    #[test]
+    fn interesting_nodes_stay_singleton_in_quotient() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let origin = s.fat_tree.edge[0][0];
+        let compressed = compress(&s.network, &[origin]);
+        let q = compressed.abstract_node(origin);
+        // No other original device maps to the origin's quotient node.
+        let mapped: Vec<_> = s
+            .network
+            .topology
+            .node_ids()
+            .filter(|n| compressed.abstract_node(*n) == q)
+            .collect();
+        assert_eq!(mapped, vec![origin]);
+    }
+}

@@ -1,0 +1,260 @@
+//! A small finite-domain constraint solver.
+//!
+//! This is the stand-in for the general-purpose SMT solving Minesweeper
+//! delegates to Z3: variables with integer domains, arbitrary constraints
+//! over them, and chronological backtracking search with forward checking of
+//! fully-assigned constraints. It intentionally has none of the
+//! domain-specific knowledge Plankton exploits — that contrast (general
+//! search vs. executing the routing algorithm) is exactly what Figure 2 and
+//! the Minesweeper comparisons in Figure 7 measure.
+
+/// A variable handle.
+pub type Var = usize;
+
+/// A constraint: the variables it mentions and a predicate over their values
+/// (invoked once all of them are assigned).
+struct Constraint {
+    vars: Vec<Var>,
+    predicate: Box<dyn Fn(&[u64]) -> bool + Send + Sync>,
+}
+
+/// A constraint-satisfaction problem.
+#[derive(Default)]
+pub struct CspProblem {
+    domains: Vec<Vec<u64>>,
+    constraints: Vec<Constraint>,
+    /// constraints_of[v] = indices of constraints mentioning v.
+    constraints_of: Vec<Vec<usize>>,
+}
+
+/// A satisfying assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CspSolution {
+    /// Values indexed by variable.
+    pub values: Vec<u64>,
+}
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CspStats {
+    /// Variable assignments tried.
+    pub assignments: u64,
+    /// Constraint evaluations.
+    pub checks: u64,
+    /// Backtracks taken.
+    pub backtracks: u64,
+}
+
+impl CspProblem {
+    /// An empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with an explicit domain.
+    pub fn add_var(&mut self, domain: Vec<u64>) -> Var {
+        self.domains.push(domain);
+        self.constraints_of.push(Vec::new());
+        self.domains.len() - 1
+    }
+
+    /// Add a variable with domain `0..=max`.
+    pub fn add_range_var(&mut self, max: u64) -> Var {
+        self.add_var((0..=max).collect())
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Add a constraint over `vars`; `predicate` receives their values in the
+    /// same order.
+    pub fn add_constraint<F>(&mut self, vars: Vec<Var>, predicate: F)
+    where
+        F: Fn(&[u64]) -> bool + Send + Sync + 'static,
+    {
+        let idx = self.constraints.len();
+        for &v in &vars {
+            self.constraints_of[v].push(idx);
+        }
+        self.constraints.push(Constraint {
+            vars,
+            predicate: Box::new(predicate),
+        });
+    }
+
+    /// Pin a variable to a single value.
+    pub fn assign(&mut self, var: Var, value: u64) {
+        self.domains[var] = vec![value];
+    }
+
+    /// Solve by chronological backtracking. Returns the first solution found
+    /// (if any) and the search statistics. `max_checks` bounds the work so
+    /// that the benchmark harness can time out gracefully.
+    pub fn solve(&self, max_checks: u64) -> (Option<CspSolution>, CspStats) {
+        let n = self.var_count();
+        let mut assignment: Vec<Option<u64>> = vec![None; n];
+        let mut stats = CspStats::default();
+        let ok = self.backtrack(0, &mut assignment, &mut stats, max_checks);
+        let solution = ok.then(|| CspSolution {
+            values: assignment.iter().map(|v| v.expect("complete")).collect(),
+        });
+        (solution, stats)
+    }
+
+    fn consistent(
+        &self,
+        var: Var,
+        assignment: &[Option<u64>],
+        stats: &mut CspStats,
+    ) -> bool {
+        for &ci in &self.constraints_of[var] {
+            let c = &self.constraints[ci];
+            let mut values = Vec::with_capacity(c.vars.len());
+            let mut complete = true;
+            for &v in &c.vars {
+                match assignment[v] {
+                    Some(x) => values.push(x),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                stats.checks += 1;
+                if !(c.predicate)(&values) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn backtrack(
+        &self,
+        var: Var,
+        assignment: &mut Vec<Option<u64>>,
+        stats: &mut CspStats,
+        max_checks: u64,
+    ) -> bool {
+        if stats.checks > max_checks {
+            return false;
+        }
+        if var == self.var_count() {
+            return true;
+        }
+        for &value in &self.domains[var] {
+            stats.assignments += 1;
+            assignment[var] = Some(value);
+            if self.consistent(var, assignment, stats)
+                && self.backtrack(var + 1, assignment, stats, max_checks)
+            {
+                return true;
+            }
+            assignment[var] = None;
+            stats.backtracks += 1;
+        }
+        false
+    }
+}
+
+/// Encode single-source shortest paths as a CSP (the Figure 2 "SMT"
+/// formulation): one distance variable per node, constrained so that the
+/// origin is at 0, no node is closer than any neighbor allows, and every
+/// non-origin node is supported by some neighbor.
+pub fn shortest_path_csp(
+    node_count: usize,
+    edges: &[(usize, usize, u64)],
+    origin: usize,
+    max_dist: u64,
+) -> CspProblem {
+    let mut csp = CspProblem::new();
+    let vars: Vec<Var> = (0..node_count).map(|_| csp.add_range_var(max_dist)).collect();
+    csp.assign(vars[origin], 0);
+    // Adjacency list.
+    let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); node_count];
+    for &(a, b, w) in edges {
+        adj[a].push((b, w));
+        adj[b].push((a, w));
+    }
+    for n in 0..node_count {
+        for &(m, w) in &adj[n] {
+            // dist[n] <= dist[m] + w
+            csp.add_constraint(vec![vars[n], vars[m]], move |v| v[0] <= v[1] + w);
+        }
+        if n != origin {
+            // dist[n] is witnessed by some neighbor.
+            let mut cvars = vec![vars[n]];
+            let weights: Vec<u64> = adj[n].iter().map(|&(_, w)| w).collect();
+            cvars.extend(adj[n].iter().map(|&(m, _)| vars[m]));
+            csp.add_constraint(cvars, move |v| {
+                weights
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &w)| v[0] == v[i + 1].saturating_add(w))
+            });
+        }
+    }
+    csp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let mut csp = CspProblem::new();
+        let x = csp.add_range_var(3);
+        let y = csp.add_range_var(3);
+        csp.add_constraint(vec![x, y], |v| v[0] + v[1] == 5);
+        let (sol, stats) = csp.solve(10_000);
+        let sol = sol.expect("satisfiable");
+        assert_eq!(sol.values[x] + sol.values[y], 5);
+        assert!(stats.assignments > 0);
+
+        let mut unsat = CspProblem::new();
+        let a = unsat.add_range_var(1);
+        unsat.add_constraint(vec![a], |v| v[0] > 5);
+        let (sol, _) = unsat.solve(10_000);
+        assert!(sol.is_none());
+    }
+
+    #[test]
+    fn shortest_path_encoding_matches_dijkstra_on_a_square() {
+        // 0-1-3, 0-2-3 square with unit weights: dist 3 = 2.
+        let edges = vec![(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1)];
+        let csp = shortest_path_csp(4, &edges, 0, 8);
+        let (sol, _) = csp.solve(1_000_000);
+        let sol = sol.expect("satisfiable");
+        assert_eq!(sol.values, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn shortest_path_weighted() {
+        let edges = vec![(0, 1, 10), (0, 2, 1), (2, 1, 2)];
+        let csp = shortest_path_csp(3, &edges, 0, 16);
+        let (sol, _) = csp.solve(1_000_000);
+        let sol = sol.expect("satisfiable");
+        assert_eq!(sol.values[1], 3);
+        assert_eq!(sol.values[2], 1);
+    }
+
+    #[test]
+    fn check_budget_cuts_off_search() {
+        let mut csp = CspProblem::new();
+        for _ in 0..12 {
+            csp.add_range_var(9);
+        }
+        // Unsatisfiable constraint touching the last variable keeps the
+        // search busy.
+        csp.add_constraint((0..12).collect(), |v| v.iter().sum::<u64>() > 200);
+        let (sol, stats) = csp.solve(5_000);
+        assert!(sol.is_none());
+        // The budget is checked once per backtracking call, so the overshoot
+        // is bounded by the work of the frames already on the stack.
+        assert!(stats.checks < 6_000, "checks = {}", stats.checks);
+    }
+}

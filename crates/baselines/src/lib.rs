@@ -1,0 +1,29 @@
+//! # plankton-baselines
+//!
+//! The comparison systems used by the paper's evaluation, reimplemented so
+//! that every figure can be regenerated without proprietary tooling:
+//!
+//! * [`csp`] — a small finite-domain constraint solver, standing in for the
+//!   general-purpose SMT solving that Minesweeper delegates to Z3. Used both
+//!   for the Figure 2 shortest-path micro-comparison and as the engine of the
+//!   Minesweeper-style baseline.
+//! * [`minesweeper`] — a Minesweeper-style monolithic configuration verifier:
+//!   the converged state of *every* destination prefix (plus, for iBGP, the
+//!   loopback prefixes — the paper's "n+1 copies of the network") is encoded
+//!   as one constraint problem and solved by general-purpose search.
+//! * [`arc`] — an ARC-style graph baseline: all-to-all reachability under at
+//!   most `k` link failures for shortest-path routing, answered per
+//!   source/destination pair with edge-disjoint-path (max-flow) computations.
+//! * [`bonsai`] — Bonsai-style control-plane compression: device equivalence
+//!   classes collapse a symmetric network into a smaller quotient network
+//!   that any configuration verifier can then analyze.
+
+pub mod arc;
+pub mod bonsai;
+pub mod csp;
+pub mod minesweeper;
+
+pub use arc::ArcBaseline;
+pub use bonsai::{compress, CompressedNetwork};
+pub use csp::{CspProblem, CspSolution, CspStats};
+pub use minesweeper::MinesweeperStyle;

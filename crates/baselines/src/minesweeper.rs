@@ -1,0 +1,231 @@
+//! A Minesweeper-style baseline verifier.
+//!
+//! Minesweeper encodes the *converged state* of the whole network — every
+//! destination prefix at once, plus one extra copy of the problem per router
+//! when iBGP makes prefixes depend on loopback reachability — as a monolithic
+//! constraint problem handed to a general-purpose solver. This baseline
+//! reproduces that architecture on top of the [`crate::csp`] solver for
+//! shortest-path (OSPF) networks: one distance variable per (prefix, node),
+//! stability constraints tying each node to its neighbors, and a single
+//! search over the whole encoding. It has none of Plankton's equivalence
+//! partitioning, scheduling or partial-order reduction, which is exactly why
+//! its cost grows so much faster with network size (Figures 7(a), 7(e),
+//! 7(f)).
+
+use crate::csp::{CspProblem, CspStats};
+use plankton_config::Network;
+use plankton_net::ip::Prefix;
+use plankton_net::topology::NodeId;
+
+/// A destination to encode: the prefix and the routers originating it.
+#[derive(Clone, Debug)]
+pub struct Destination {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// The routers originating it into the IGP.
+    pub origins: Vec<NodeId>,
+}
+
+/// The result of a baseline verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinesweeperReport {
+    /// Did the property hold (and the encoding was solved)?
+    pub holds: bool,
+    /// Did the solver give up before finishing (time/step budget)?
+    pub timed_out: bool,
+    /// Pairs `(prefix index, node)` that cannot reach their destination.
+    pub unreachable: Vec<(usize, NodeId)>,
+    /// Solver statistics.
+    pub stats: CspStats,
+    /// Number of variables in the monolithic encoding.
+    pub variables: usize,
+}
+
+/// The Minesweeper-style verifier.
+pub struct MinesweeperStyle<'a> {
+    network: &'a Network,
+    /// Sentinel distance meaning "unreachable".
+    unreachable: u64,
+}
+
+impl<'a> MinesweeperStyle<'a> {
+    /// A baseline verifier over a shortest-path-routed network.
+    pub fn new(network: &'a Network) -> Self {
+        // Distances are bounded by (max cost) * (node count).
+        let unreachable = 64 * network.node_count() as u64 + 1;
+        MinesweeperStyle {
+            network,
+            unreachable,
+        }
+    }
+
+    /// Build the monolithic encoding for all `destinations` at once. The
+    /// iBGP experiments pass the loopback prefixes as additional
+    /// destinations, reproducing Minesweeper's n+1-copies blowup.
+    pub fn encode(&self, destinations: &[Destination]) -> (CspProblem, Vec<Vec<usize>>) {
+        let topo = &self.network.topology;
+        let n = topo.node_count();
+        let mut csp = CspProblem::new();
+        let mut vars = Vec::with_capacity(destinations.len());
+        for dest in destinations {
+            let dist_vars: Vec<usize> = (0..n)
+                .map(|_| csp.add_var((0..=self.unreachable).collect()))
+                .collect();
+            for node in topo.node_ids() {
+                let Some(ospf) = &self.network.device(node).ospf else {
+                    csp.assign(dist_vars[node.index()], self.unreachable);
+                    continue;
+                };
+                if dest.origins.contains(&node) {
+                    csp.assign(dist_vars[node.index()], 0);
+                    continue;
+                }
+                let neighbors: Vec<(NodeId, u64)> = topo
+                    .neighbors(node)
+                    .iter()
+                    .filter_map(|&(m, link)| {
+                        if !self.network.device(m).runs_ospf() {
+                            return None;
+                        }
+                        ospf.cost(link).map(|c| (m, c as u64))
+                    })
+                    .collect();
+                let unreachable = self.unreachable;
+                // Upper bounds: never worse than any neighbor allows.
+                for &(m, w) in &neighbors {
+                    csp.add_constraint(
+                        vec![dist_vars[node.index()], dist_vars[m.index()]],
+                        move |v| v[0] <= v[1].saturating_add(w).min(unreachable),
+                    );
+                }
+                // Support: the chosen distance is witnessed by a neighbor, or
+                // the node is unreachable.
+                let weights: Vec<u64> = neighbors.iter().map(|&(_, w)| w).collect();
+                let mut cvars = vec![dist_vars[node.index()]];
+                cvars.extend(neighbors.iter().map(|&(m, _)| dist_vars[m.index()]));
+                csp.add_constraint(cvars, move |v| {
+                    v[0] == unreachable
+                        || weights
+                            .iter()
+                            .enumerate()
+                            .any(|(i, &w)| v[0] == v[i + 1].saturating_add(w))
+                });
+            }
+            vars.push(dist_vars);
+        }
+        (csp, vars)
+    }
+
+    /// Verify that every node in `sources` can reach every destination, by
+    /// solving the monolithic encoding. `max_checks` bounds the solver work.
+    pub fn verify_reachability(
+        &self,
+        destinations: &[Destination],
+        sources: &[NodeId],
+        max_checks: u64,
+    ) -> MinesweeperReport {
+        let (csp, vars) = self.encode(destinations);
+        let variables = csp.var_count();
+        let (solution, stats) = csp.solve(max_checks);
+        match solution {
+            None => MinesweeperReport {
+                holds: false,
+                timed_out: true,
+                unreachable: Vec::new(),
+                stats,
+                variables,
+            },
+            Some(sol) => {
+                let mut unreachable = Vec::new();
+                for (d, dist_vars) in vars.iter().enumerate() {
+                    for &src in sources {
+                        if sol.values[dist_vars[src.index()]] >= self.unreachable {
+                            unreachable.push((d, src));
+                        }
+                    }
+                }
+                MinesweeperReport {
+                    holds: unreachable.is_empty(),
+                    timed_out: false,
+                    unreachable,
+                    stats,
+                    variables,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_config::scenarios::{fat_tree_ospf, ring_ospf, CoreStaticRoutes};
+
+    #[test]
+    fn ring_reachability_holds() {
+        let s = ring_ospf(5);
+        let ms = MinesweeperStyle::new(&s.network);
+        let dest = Destination {
+            prefix: s.destination,
+            origins: vec![s.origin],
+        };
+        let report = ms.verify_reachability(&[dest], &s.ring.routers, 10_000_000);
+        assert!(report.holds, "{report:?}");
+        assert!(!report.timed_out);
+        assert_eq!(report.variables, 5);
+    }
+
+    #[test]
+    fn disconnected_node_is_reported() {
+        use plankton_config::{DeviceConfig, Network, OspfConfig};
+        use plankton_net::topology::TopologyBuilder;
+        let mut tb = TopologyBuilder::new();
+        let a = tb.add_router("a");
+        let b = tb.add_router("b");
+        let c = tb.add_router("c"); // isolated
+        tb.add_link(a, b);
+        let mut net = Network::unconfigured(tb.build());
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        *net.device_mut(a) = DeviceConfig::empty().with_ospf(OspfConfig::originating(vec![p]));
+        *net.device_mut(b) = DeviceConfig::empty().with_ospf(OspfConfig::enabled());
+        *net.device_mut(c) = DeviceConfig::empty().with_ospf(OspfConfig::enabled());
+        let ms = MinesweeperStyle::new(&net);
+        let report = ms.verify_reachability(
+            &[Destination { prefix: p, origins: vec![a] }],
+            &[b, c],
+            10_000_000,
+        );
+        assert!(!report.holds);
+        assert_eq!(report.unreachable, vec![(0, c)]);
+    }
+
+    #[test]
+    fn encoding_grows_with_destination_count() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let ms = MinesweeperStyle::new(&s.network);
+        let one: Vec<Destination> = s.destinations[..1]
+            .iter()
+            .map(|&p| Destination { prefix: p, origins: s.network.origins_of(&p) })
+            .collect();
+        let all: Vec<Destination> = s.destinations
+            .iter()
+            .map(|&p| Destination { prefix: p, origins: s.network.origins_of(&p) })
+            .collect();
+        let (csp_one, _) = ms.encode(&one);
+        let (csp_all, _) = ms.encode(&all);
+        assert_eq!(csp_all.var_count(), csp_one.var_count() * s.destinations.len());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_timeout() {
+        let s = ring_ospf(8);
+        let ms = MinesweeperStyle::new(&s.network);
+        let dest = Destination {
+            prefix: s.destination,
+            origins: vec![s.origin],
+        };
+        let report = ms.verify_reachability(&[dest], &s.ring.routers, 10);
+        assert!(report.timed_out);
+        assert!(!report.holds);
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion benchmark for Figure 2: shortest paths computed by executing
+//! the routing algorithm (the model-checking approach) vs. solving a
+//! constraint encoding (the SMT-style approach), on a k=4 fat tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plankton_baselines::csp::shortest_path_csp;
+use plankton_config::scenarios::{fat_tree_ospf, CoreStaticRoutes};
+use plankton_net::failure::FailureSet;
+use plankton_net::graph::dijkstra;
+
+fn fig2_benchmark(c: &mut Criterion) {
+    let ft = fat_tree_ospf(4, CoreStaticRoutes::None);
+    let origin = ft.fat_tree.edge[0][0];
+    let n = ft.network.node_count();
+    let edges: Vec<(usize, usize, u64)> = ft
+        .network
+        .topology
+        .links()
+        .iter()
+        .map(|l| (l.a.node.index(), l.b.node.index(), 10u64))
+        .collect();
+
+    let mut group = c.benchmark_group("fig2_shortest_paths_n20");
+    group.sample_size(10);
+    group.bench_function("model_checker_style", |b| {
+        b.iter(|| {
+            dijkstra(&ft.network.topology, origin, &FailureSet::none(), |_, _| {
+                Some(10)
+            })
+        })
+    });
+    group.bench_function("smt_style_csp", |b| {
+        b.iter(|| {
+            let csp = shortest_path_csp(n, &edges, origin.index(), 10 * n as u64);
+            csp.solve(50_000_000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2_benchmark);
+criterion_main!(benches);

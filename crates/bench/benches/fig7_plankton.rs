@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the Figure 7 verification workloads (scaled to
+//! keep `cargo bench` runs short): the OSPF fat-tree loop check (7a/7b), the
+//! BGP data-center waypoint check (7c) and the ring fault-tolerance check
+//! that underlies the Figure 8 ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plankton_config::scenarios::{fat_tree_bgp_rfc7938, fat_tree_ospf, ring_ospf, CoreStaticRoutes};
+use plankton_core::{Plankton, PlanktonOptions};
+use plankton_net::failure::FailureScenario;
+use plankton_policy::{LoopFreedom, Reachability, Waypoint};
+
+fn fat_tree_loop_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_fat_tree_loop");
+    group.sample_size(10);
+    for (mode, label) in [
+        (CoreStaticRoutes::MatchingOspf, "pass"),
+        (CoreStaticRoutes::Looping, "fail"),
+    ] {
+        let s = fat_tree_ospf(4, mode);
+        let plankton = Plankton::new(s.network.clone());
+        group.bench_function(format!("k4_{label}"), |b| {
+            b.iter(|| {
+                plankton.verify(
+                    &LoopFreedom::everywhere(),
+                    &FailureScenario::no_failures(),
+                    &PlanktonOptions::with_cores(1),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bgp_waypoint_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7c_bgp_waypoint");
+    group.sample_size(10);
+    let s = fat_tree_bgp_rfc7938(4, 1);
+    let (src, dst) = s.monitored_edges;
+    let prefix = s.fat_tree.prefix_of_edge(dst).expect("edge prefix");
+    let plankton = Plankton::new(s.network.clone());
+    let policy = Waypoint::new(vec![src], s.waypoints.clone());
+    group.bench_function("k4_waypoint", |b| {
+        b.iter(|| {
+            plankton.verify(
+                &policy,
+                &FailureScenario::no_failures(),
+                &PlanktonOptions::with_cores(1).restricted_to(vec![prefix]),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ring_fault_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_ring_fault_tolerance");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let s = ring_ospf(n);
+        let sources: Vec<_> = s.ring.routers[1..].to_vec();
+        let plankton = Plankton::new(s.network.clone());
+        group.bench_function(format!("ring{n}_1failure_all_opts"), |b| {
+            b.iter(|| {
+                plankton.verify(
+                    &Reachability::new(sources.clone()),
+                    &FailureScenario::up_to(1),
+                    &PlanktonOptions::default().restricted_to(vec![s.destination]),
+                )
+            })
+        });
+        if n <= 8 {
+            group.bench_function(format!("ring{n}_1failure_no_opts"), |b| {
+                b.iter(|| {
+                    plankton.verify(
+                        &Reachability::new(sources.clone()),
+                        &FailureScenario::up_to(1),
+                        &PlanktonOptions::no_optimizations().restricted_to(vec![s.destination]),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fat_tree_loop_check, bgp_waypoint_check, ring_fault_tolerance);
+criterion_main!(benches);

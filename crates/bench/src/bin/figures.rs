@@ -1,0 +1,41 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p plankton-bench --bin figures -- --all --quick
+//! cargo run --release -p plankton-bench --bin figures -- --fig 7a
+//! ```
+//!
+//! `--quick` scales every experiment down (small fat trees, a subset of the
+//! AS topologies) so the whole sweep finishes in minutes; without it the
+//! harness uses the larger parameters documented in EXPERIMENTS.md.
+
+use plankton_bench::{all_figures, run_figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut requested: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--fig" {
+            if let Some(f) = iter.next() {
+                requested.push(f.clone());
+            }
+        }
+    }
+    if requested.is_empty() || args.iter().any(|a| a == "--all") {
+        requested = all_figures().into_iter().map(String::from).collect();
+    }
+
+    for id in &requested {
+        match run_figure(id, quick) {
+            Some(result) => {
+                println!("{}", result.render());
+            }
+            None => {
+                eprintln!("unknown figure id {id}; known: {:?}", all_figures());
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! The depth-first explorer: Plankton's replacement for SPIN.
+//!
+//! One [`ModelChecker`] run explores every RPVP execution of one protocol
+//! instance (one PEC × one prefix × one failure scenario) and hands every
+//! converged state it finds — together with the execution trail that produced
+//! it — to a caller-supplied callback. The callback decides whether to keep
+//! searching (look for more converged states / more violations) or stop.
+
+use crate::interner::RouteInterner;
+use crate::options::SearchOptions;
+use crate::por::{decision_independent, PorDecision, PorHeuristic};
+use crate::stats::SearchStats;
+use crate::trail::Trail;
+use crate::visited::VisitedSet;
+use plankton_net::failure::FailureSet;
+use plankton_net::topology::NodeId;
+use plankton_protocols::rpvp::{ConvergedState, EnabledChoice, Rpvp, RpvpState};
+use plankton_protocols::ProtocolModel;
+
+/// What the policy callback wants the explorer to do after seeing a
+/// converged state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Keep exploring for further converged states.
+    Continue,
+    /// Stop the search (e.g. a violation was found and one counterexample is
+    /// enough).
+    Stop,
+}
+
+/// The explicit-state model checker for one protocol instance.
+pub struct ModelChecker<'m> {
+    rpvp: Rpvp<'m>,
+    por: Box<dyn PorHeuristic + 'm>,
+    options: SearchOptions,
+    interner: RouteInterner,
+    visited: VisitedSet,
+    stats: SearchStats,
+    trail: Trail,
+    /// Influence pruning: nodes allowed to execute (None = everyone).
+    allowed: Option<Vec<bool>>,
+    sources: Option<Vec<NodeId>>,
+    stop: bool,
+}
+
+impl<'m> ModelChecker<'m> {
+    /// Build a checker for `model` under `failures` (already applied when the
+    /// model was constructed; recorded here only for the trail).
+    pub fn new(
+        model: &'m dyn ProtocolModel,
+        por: Box<dyn PorHeuristic + 'm>,
+        options: SearchOptions,
+        failures: FailureSet,
+    ) -> Self {
+        let visited = match options.bitstate_bits {
+            Some(bits) => VisitedSet::bitstate(bits),
+            None => VisitedSet::exact(),
+        };
+        let sources = options.source_nodes.clone();
+        let allowed = if options.influence_pruning {
+            sources.as_ref().map(|s| influence_set(model, s))
+        } else {
+            None
+        };
+        ModelChecker {
+            rpvp: Rpvp::new(model),
+            por,
+            options,
+            interner: RouteInterner::new(),
+            visited,
+            stats: SearchStats::default(),
+            trail: Trail::new(failures),
+            allowed,
+            sources,
+            stop: false,
+        }
+    }
+
+    /// Run the exhaustive search, invoking `callback` on every converged
+    /// state. Returns the search statistics.
+    pub fn run<F>(mut self, callback: &mut F) -> SearchStats
+    where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        let mut state = self.rpvp.initial_state();
+        let mut decided = vec![false; self.rpvp.model().node_count()];
+        for &o in self.rpvp.model().origins() {
+            decided[o.index()] = true;
+        }
+        self.dfs(&mut state, &mut decided, 0, callback);
+        self.stats.interned_routes = self.interner.len() as u64;
+        self.stats.visited_states = self.visited.len() as u64;
+        self.stats.approx_memory_bytes =
+            (self.interner.approx_bytes() + self.visited.approx_bytes()) as u64;
+        self.stats
+    }
+
+    /// The enabled set, restricted to nodes allowed by influence pruning.
+    fn enabled(&self, state: &RpvpState) -> Vec<EnabledChoice> {
+        let all = self.rpvp.enabled(state);
+        match &self.allowed {
+            None => all,
+            Some(allowed) => all
+                .into_iter()
+                .filter(|c| allowed[c.node.index()])
+                .collect(),
+        }
+    }
+
+    fn all_sources_decided(&self, state: &RpvpState) -> bool {
+        match &self.sources {
+            None => false,
+            Some(sources) => !sources.is_empty()
+                && sources.iter().all(|s| {
+                    state.best(*s).is_some() || self.rpvp.is_origin(*s)
+                }),
+        }
+    }
+
+    fn emit<F>(&mut self, state: &RpvpState, callback: &mut F)
+    where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        self.stats.converged_states += 1;
+        let converged = ConvergedState {
+            best: state.best.clone(),
+        };
+        if callback(&converged, &self.trail) == Verdict::Stop {
+            self.stop = true;
+        }
+        if let Some(max) = self.options.max_converged_states {
+            if self.stats.converged_states >= max as u64 {
+                self.stop = true;
+            }
+        }
+    }
+
+    fn apply(
+        &mut self,
+        state: &mut RpvpState,
+        decided: &mut [bool],
+        node: NodeId,
+        peer: Option<NodeId>,
+        deterministic: bool,
+    ) {
+        self.rpvp.step(state, node, peer);
+        if peer.is_some() {
+            decided[node.index()] = true;
+        }
+        self.trail.push(node, peer, deterministic);
+        self.stats.steps += 1;
+        if deterministic {
+            self.stats.deterministic_steps += 1;
+        }
+    }
+
+    fn dfs<F>(
+        &mut self,
+        state: &mut RpvpState,
+        decided: &mut Vec<bool>,
+        depth: u64,
+        callback: &mut F,
+    ) where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        let mut depth = depth;
+        loop {
+            if self.stop {
+                return;
+            }
+            if self.stats.steps >= self.options.max_steps {
+                self.stats.truncated = true;
+                self.stop = true;
+                return;
+            }
+            self.stats.max_depth = self.stats.max_depth.max(depth);
+
+            let enabled = self.enabled(state);
+
+            // Consistent-execution pruning (§4.1.1): a node that has already
+            // selected a path but is enabled again would have to change it —
+            // evidence that this execution is not consistent with any
+            // converged state, so abandon it.
+            if self.options.consistent_executions {
+                let inconsistent = enabled
+                    .iter()
+                    .any(|c| c.invalid || state.best(c.node).is_some());
+                if inconsistent {
+                    self.stats.pruned_inconsistent += 1;
+                    return;
+                }
+            }
+
+            // Policy-based pruning (§4.2): once every source node has made
+            // its decision the rest of the execution cannot change the
+            // policy's verdict.
+            if self.options.policy_pruning && self.all_sources_decided(state) {
+                self.stats.pruned_by_policy += 1;
+                self.emit(state, callback);
+                return;
+            }
+
+            if enabled.is_empty() {
+                self.emit(state, callback);
+                return;
+            }
+
+            // Partial order reduction.
+            let decision = if self.options.decision_independence {
+                decision_independent(self.rpvp.model(), &enabled, decided)
+            } else {
+                None
+            }
+            .unwrap_or_else(|| {
+                if self.options.deterministic_nodes {
+                    self.por.pick(state, &enabled, decided)
+                } else {
+                    PorDecision::BranchAll
+                }
+            });
+
+            match decision {
+                PorDecision::Deterministic { choice, update } => {
+                    let c = &enabled[choice];
+                    let node = c.node;
+                    let peer = c.best_updates.get(update).map(|(p, _)| *p);
+                    self.apply(state, decided, node, peer, true);
+                    depth += 1;
+                    continue;
+                }
+                PorDecision::BranchUpdates { choice } => {
+                    let c = enabled[choice].clone();
+                    self.branch(state, decided, depth, callback, &[c], false);
+                    return;
+                }
+                PorDecision::BranchAll => {
+                    self.branch(state, decided, depth, callback, &enabled, true);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Branch over the given enabled choices: for each choice, one branch per
+    /// best update (plus a clear-only branch for invalid paths when
+    /// `include_clears` and the node has no usable update).
+    fn branch<F>(
+        &mut self,
+        state: &RpvpState,
+        decided: &[bool],
+        depth: u64,
+        callback: &mut F,
+        choices: &[EnabledChoice],
+        include_clears: bool,
+    ) where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        self.stats.branch_points += 1;
+        for choice in choices {
+            let mut alternatives: Vec<Option<NodeId>> = choice
+                .best_updates
+                .iter()
+                .map(|(p, _)| Some(*p))
+                .collect();
+            if alternatives.is_empty() && include_clears && choice.invalid {
+                alternatives.push(None);
+            }
+            for peer in alternatives {
+                if self.stop {
+                    return;
+                }
+                self.stats.branches += 1;
+                let mut child = state.clone();
+                let mut child_decided = decided.to_vec();
+                self.apply(&mut child, &mut child_decided, choice.node, peer, false);
+                // Visited-state detection at branch points only.
+                let compressed = self.interner.compress_state(&child.best);
+                if !self.visited.insert(&compressed) {
+                    self.stats.pruned_visited += 1;
+                    self.trail.pop();
+                    continue;
+                }
+                self.dfs(&mut child, &mut child_decided, depth + 1, callback);
+                self.trail.pop();
+            }
+        }
+    }
+}
+
+/// The set of nodes that can influence any of the `sources` through chains of
+/// advertisements (§4.2): reverse reachability over the peer graph. Nodes
+/// outside this set are not allowed to execute.
+fn influence_set(model: &dyn ProtocolModel, sources: &[NodeId]) -> Vec<bool> {
+    let n = model.node_count();
+    let mut allowed = vec![false; n];
+    let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+    for &s in sources {
+        if s.index() < n && !allowed[s.index()] {
+            allowed[s.index()] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &p in model.peers(u) {
+            if !allowed[p.index()] {
+                allowed[p.index()] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    allowed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::por::{BgpPor, NoPor, OspfPor};
+    use plankton_config::scenarios::{disagree_gadget, ring_ospf};
+    use plankton_protocols::bgp::{BgpModel, UniformUnderlay};
+    use plankton_protocols::ospf::OspfModel;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn collect_converged(
+        model: &dyn ProtocolModel,
+        por: Box<dyn PorHeuristic + '_>,
+        options: SearchOptions,
+    ) -> (Vec<ConvergedState>, SearchStats) {
+        let checker = ModelChecker::new(model, por, options, FailureSet::none());
+        let mut states = Vec::new();
+        let stats = checker.run(&mut |s, _| {
+            states.push(s.clone());
+            Verdict::Continue
+        });
+        (states, stats)
+    }
+
+    #[test]
+    fn ospf_ring_has_single_converged_state() {
+        let s = ring_ospf(6);
+        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let (states, stats) = collect_converged(
+            &model,
+            Box::new(OspfPor),
+            SearchOptions::all_optimizations(),
+        );
+        assert_eq!(states.len(), 1);
+        assert!(stats.deterministic_steps > 0);
+        assert_eq!(stats.branch_points, 0);
+        // Every node reaches the origin.
+        for n in s.network.topology.node_ids() {
+            if n != s.origin {
+                assert!(states[0].best(n).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn unoptimized_search_finds_the_same_ospf_state() {
+        let s = ring_ospf(4);
+        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let (optimized, _) = collect_converged(
+            &model,
+            Box::new(OspfPor),
+            SearchOptions::all_optimizations(),
+        );
+        let (naive, naive_stats) = collect_converged(
+            &model,
+            Box::new(NoPor),
+            SearchOptions::no_optimizations(),
+        );
+        // The naive search revisits the converged state through many
+        // executions; the set of distinct converged forwarding states must
+        // still be exactly the optimized one.
+        let canon = |s: &ConvergedState| {
+            (0..4u32)
+                .map(|n| s.next_hop(NodeId(n)))
+                .collect::<Vec<_>>()
+        };
+        let naive_set: HashSet<_> = naive.iter().map(canon).collect();
+        let opt_set: HashSet<_> = optimized.iter().map(canon).collect();
+        assert_eq!(naive_set, opt_set);
+        assert!(naive_stats.steps > 0);
+    }
+
+    #[test]
+    fn disagree_gadget_yields_both_converged_states() {
+        let g = disagree_gadget();
+        let model = BgpModel::new(
+            &g.network,
+            g.destination,
+            vec![g.origin],
+            &FailureSet::none(),
+            Arc::new(UniformUnderlay),
+        );
+        let por = BgpPor::from_model(&model);
+        let (states, stats) = collect_converged(
+            &model,
+            Box::new(por),
+            SearchOptions::all_optimizations(),
+        );
+        let a = g.actors[0];
+        let b = g.actors[1];
+        let outcomes: HashSet<(Option<NodeId>, Option<NodeId>)> = states
+            .iter()
+            .map(|s| (s.next_hop(a), s.next_hop(b)))
+            .collect();
+        assert!(outcomes.contains(&(Some(b), Some(g.origin))), "{outcomes:?}");
+        assert!(outcomes.contains(&(Some(g.origin), Some(a))), "{outcomes:?}");
+        assert!(stats.branch_points > 0, "the gadget requires branching");
+    }
+
+    #[test]
+    fn consistent_execution_pruning_reduces_search() {
+        // A 6-router OSPF ring explored with *no* partial order reduction:
+        // some execution orders make a far-side router adopt the long way
+        // round before the short route exists, which consistent-execution
+        // pruning then abandons.
+        let s = ring_ospf(6);
+        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let (with, with_stats) = collect_converged(
+            &model,
+            Box::new(NoPor),
+            SearchOptions {
+                consistent_executions: true,
+                deterministic_nodes: false,
+                decision_independence: false,
+                policy_pruning: false,
+                influence_pruning: false,
+                ..SearchOptions::all_optimizations()
+            },
+        );
+        let (without, without_stats) = collect_converged(
+            &model,
+            Box::new(NoPor),
+            SearchOptions::no_optimizations(),
+        );
+        // Same distinct converged forwarding states, fewer or equal steps.
+        let canon = |s: &ConvergedState| {
+            (0..6u32)
+                .map(|n| s.next_hop(NodeId(n)))
+                .collect::<Vec<_>>()
+        };
+        let a: HashSet<_> = with.iter().map(canon).collect();
+        let b: HashSet<_> = without.iter().map(canon).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1, "OSPF has a single converged forwarding state");
+        assert!(with_stats.steps <= without_stats.steps);
+        assert!(with_stats.pruned_inconsistent > 0);
+    }
+
+    #[test]
+    fn stop_verdict_halts_the_search() {
+        let g = disagree_gadget();
+        let model = BgpModel::new(
+            &g.network,
+            g.destination,
+            vec![g.origin],
+            &FailureSet::none(),
+            Arc::new(UniformUnderlay),
+        );
+        let por = BgpPor::from_model(&model);
+        let checker = ModelChecker::new(
+            &model,
+            Box::new(por),
+            SearchOptions::all_optimizations(),
+            FailureSet::none(),
+        );
+        let mut seen = 0;
+        let stats = checker.run(&mut |_, _| {
+            seen += 1;
+            Verdict::Stop
+        });
+        assert_eq!(seen, 1);
+        assert_eq!(stats.converged_states, 1);
+    }
+
+    #[test]
+    fn policy_pruning_finishes_early_with_sources() {
+        let s = ring_ospf(8);
+        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        // Source = the origin's immediate neighbor: its decision comes after
+        // a single step, so the pruned run is much shorter.
+        let source = s.ring.routers[1];
+        let (states, stats) = collect_converged(
+            &model,
+            Box::new(OspfPor),
+            SearchOptions::all_optimizations().with_sources(vec![source]),
+        );
+        assert_eq!(states.len(), 1);
+        assert!(stats.pruned_by_policy > 0);
+        assert!(
+            stats.steps < 7,
+            "policy pruning should finish after the source decides (took {} steps)",
+            stats.steps
+        );
+        assert!(states[0].best(source).is_some());
+    }
+
+    #[test]
+    fn trail_records_nondeterministic_choices() {
+        let g = disagree_gadget();
+        let model = BgpModel::new(
+            &g.network,
+            g.destination,
+            vec![g.origin],
+            &FailureSet::none(),
+            Arc::new(UniformUnderlay),
+        );
+        let por = BgpPor::from_model(&model);
+        let checker = ModelChecker::new(
+            &model,
+            Box::new(por),
+            SearchOptions::all_optimizations(),
+            FailureSet::none(),
+        );
+        let mut trails = Vec::new();
+        checker.run(&mut |_, trail| {
+            trails.push(trail.clone());
+            Verdict::Continue
+        });
+        assert!(!trails.is_empty());
+        // Each trail replays to its converged state's length.
+        for t in &trails {
+            assert!(!t.is_empty());
+            assert!(t.nondeterministic_steps() > 0);
+        }
+    }
+
+    #[test]
+    fn influence_set_limits_execution() {
+        let s = ring_ospf(6);
+        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let allowed = influence_set(&model, &[s.ring.routers[2]]);
+        // The ring is connected, so everything can influence the source.
+        assert!(allowed.iter().all(|&a| a));
+    }
+}

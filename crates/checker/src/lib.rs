@@ -1,0 +1,38 @@
+//! # plankton-checker
+//!
+//! The explicit-state model checker that plays SPIN's role in the paper
+//! (§3.3, §4): a depth-first search over the non-deterministic executions of
+//! RPVP, emitting every converged state it finds to a caller-supplied
+//! callback, with the paper's full optimization suite:
+//!
+//! * **consistent-execution pruning** (§4.1.1) — abandon any execution in
+//!   which a node would have to change an already-selected best path;
+//! * **deterministic-node partial order reduction** (§4.1.2) — when an
+//!   enabled node's pending update provably equals its converged selection,
+//!   process it without branching over the other enabled nodes;
+//! * **decision independence** (§4.1.3) — when every pending update comes
+//!   from peers that have already made their final decision, the execution
+//!   order is irrelevant and a single arbitrary order is explored;
+//! * **policy-based pruning** (§4.2) — finish an execution as soon as every
+//!   policy source node has decided, and never execute nodes that cannot
+//!   influence a source;
+//! * **state hashing** (§4.4) — routes are interned once and states are
+//!   vectors of 64-bit handles; visited-state detection works on those
+//!   handles, optionally through a Bloom filter (SPIN's bitstate hashing,
+//!   Figure 9).
+
+pub mod explorer;
+pub mod interner;
+pub mod options;
+pub mod por;
+pub mod stats;
+pub mod trail;
+pub mod visited;
+
+pub use explorer::{ModelChecker, Verdict};
+pub use interner::RouteInterner;
+pub use options::SearchOptions;
+pub use por::{BgpPor, NoPor, OspfPor, PorDecision, PorHeuristic};
+pub use stats::SearchStats;
+pub use trail::{Trail, TrailEvent};
+pub use visited::VisitedSet;

@@ -1,0 +1,142 @@
+//! Violating-event-sequence trails.
+//!
+//! When a policy callback reports a violation, Plankton writes out the
+//! execution path that produced the offending converged state — the analogue
+//! of SPIN's `.trail` file. A trail lists the failure scenario applied before
+//! protocol execution and every RPVP step taken.
+
+use plankton_net::failure::FailureSet;
+use plankton_net::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One RPVP step in a trail.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrailEvent {
+    /// The node that executed.
+    pub node: NodeId,
+    /// The peer whose advertisement it adopted (`None` when the step only
+    /// cleared an invalid path).
+    pub from_peer: Option<NodeId>,
+    /// Whether the step was forced by the deterministic-node heuristic
+    /// (no branching) or was a genuine non-deterministic choice.
+    pub deterministic: bool,
+}
+
+/// A complete execution trail leading to a converged state.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trail {
+    /// The links failed before the protocol started executing (§4.1.4:
+    /// failures are applied up front, in a fixed order).
+    pub failures: FailureSet,
+    /// The RPVP steps, in execution order.
+    pub events: Vec<TrailEvent>,
+}
+
+impl Trail {
+    /// An empty trail under a failure scenario.
+    pub fn new(failures: FailureSet) -> Self {
+        Trail {
+            failures,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record one step.
+    pub fn push(&mut self, node: NodeId, from_peer: Option<NodeId>, deterministic: bool) {
+        self.events.push(TrailEvent {
+            node,
+            from_peer,
+            deterministic,
+        });
+    }
+
+    /// Remove the most recent step (used when the DFS backtracks).
+    pub fn pop(&mut self) {
+        self.events.pop();
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the trail empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The number of steps that were genuine non-deterministic choices.
+    pub fn nondeterministic_steps(&self) -> usize {
+        self.events.iter().filter(|e| !e.deterministic).count()
+    }
+
+    /// Serialize the trail to JSON (the on-disk trail-file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("Trail is always serializable")
+    }
+
+    /// Parse a trail from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl fmt::Display for Trail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "failures: {}", self.failures)?;
+        for (i, e) in self.events.iter().enumerate() {
+            match e.from_peer {
+                Some(p) => writeln!(
+                    f,
+                    "{:4}. {} adopts advertisement from {}{}",
+                    i + 1,
+                    e.node,
+                    p,
+                    if e.deterministic { "" } else { "  (non-deterministic choice)" }
+                )?,
+                None => writeln!(f, "{:4}. {} clears its invalid path", i + 1, e.node)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_net::topology::LinkId;
+
+    #[test]
+    fn push_pop_and_counts() {
+        let mut t = Trail::new(FailureSet::single(LinkId(3)));
+        assert!(t.is_empty());
+        t.push(NodeId(1), Some(NodeId(0)), true);
+        t.push(NodeId(2), Some(NodeId(1)), false);
+        t.push(NodeId(3), None, true);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.nondeterministic_steps(), 1);
+        t.pop();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Trail::new(FailureSet::none());
+        t.push(NodeId(5), Some(NodeId(4)), false);
+        let json = t.to_json();
+        let back = Trail::from_json(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut t = Trail::new(FailureSet::single(LinkId(0)));
+        t.push(NodeId(1), Some(NodeId(0)), true);
+        t.push(NodeId(2), None, true);
+        let text = t.to_string();
+        assert!(text.contains("adopts advertisement"));
+        assert!(text.contains("clears its invalid path"));
+        assert!(text.contains("l0"));
+    }
+}

@@ -1,0 +1,190 @@
+//! BGP configuration for a single device.
+
+use crate::route_map::RouteMap;
+use plankton_net::ip::Prefix;
+use plankton_net::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Whether a BGP session is external (between different ASes, usually over a
+/// directly connected link) or internal (within an AS, usually between
+/// loopbacks and therefore dependent on the IGP for reachability — this is
+/// what creates cross-PEC dependencies, §3.2 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BgpSessionKind {
+    /// External BGP.
+    Ebgp,
+    /// Internal BGP.
+    Ibgp,
+}
+
+/// Configuration of a single BGP neighbor (session).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpNeighborConfig {
+    /// The peer device.
+    pub peer: NodeId,
+    /// The peer's AS number as configured (`remote-as`).
+    pub remote_as: u32,
+    /// eBGP or iBGP.
+    pub kind: BgpSessionKind,
+    /// Import policy applied to advertisements received from this peer.
+    pub import: RouteMap,
+    /// Export policy applied to advertisements sent to this peer.
+    pub export: RouteMap,
+    /// Whether this router rewrites the next hop to itself when propagating
+    /// routes to this (iBGP) peer.
+    pub next_hop_self: bool,
+}
+
+impl BgpNeighborConfig {
+    /// An eBGP session with no policy.
+    pub fn ebgp(peer: NodeId, remote_as: u32) -> Self {
+        BgpNeighborConfig {
+            peer,
+            remote_as,
+            kind: BgpSessionKind::Ebgp,
+            import: RouteMap::permit_all(),
+            export: RouteMap::permit_all(),
+            next_hop_self: false,
+        }
+    }
+
+    /// An iBGP session with no policy.
+    pub fn ibgp(peer: NodeId, local_as: u32) -> Self {
+        BgpNeighborConfig {
+            peer,
+            remote_as: local_as,
+            kind: BgpSessionKind::Ibgp,
+            import: RouteMap::permit_all(),
+            export: RouteMap::permit_all(),
+            next_hop_self: false,
+        }
+    }
+
+    /// Replace the import policy, builder-style.
+    pub fn with_import(mut self, import: RouteMap) -> Self {
+        self.import = import;
+        self
+    }
+
+    /// Replace the export policy, builder-style.
+    pub fn with_export(mut self, export: RouteMap) -> Self {
+        self.export = export;
+        self
+    }
+
+    /// Enable next-hop-self, builder-style.
+    pub fn with_next_hop_self(mut self) -> Self {
+        self.next_hop_self = true;
+        self
+    }
+}
+
+/// BGP configuration of one router.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpConfig {
+    /// This router's AS number.
+    pub asn: u32,
+    /// Router id, used as the final deterministic tie-breaker in the BGP
+    /// decision process.
+    pub router_id: u32,
+    /// Configured neighbors.
+    pub neighbors: Vec<BgpNeighborConfig>,
+    /// Prefixes this router originates into BGP (`network` statements).
+    pub networks: Vec<Prefix>,
+    /// Whether BGP multipath is configured. Plankton's prototype does not
+    /// support BGP multipath (§6 of the paper); the flag is carried so that
+    /// the verifier can reject such configurations explicitly rather than
+    /// silently mis-verify them.
+    pub multipath: bool,
+}
+
+impl BgpConfig {
+    /// A BGP process in `asn` with the given router id and no neighbors.
+    pub fn new(asn: u32, router_id: u32) -> Self {
+        BgpConfig {
+            asn,
+            router_id,
+            neighbors: Vec::new(),
+            networks: Vec::new(),
+            multipath: false,
+        }
+    }
+
+    /// Add a neighbor, builder-style.
+    pub fn with_neighbor(mut self, n: BgpNeighborConfig) -> Self {
+        self.neighbors.push(n);
+        self
+    }
+
+    /// Add an originated prefix, builder-style.
+    pub fn with_network(mut self, prefix: Prefix) -> Self {
+        self.networks.push(prefix);
+        self
+    }
+
+    /// The session configuration for `peer`, if one exists.
+    pub fn neighbor(&self, peer: NodeId) -> Option<&BgpNeighborConfig> {
+        self.neighbors.iter().find(|n| n.peer == peer)
+    }
+
+    /// Does this router originate `prefix` into BGP?
+    pub fn originates(&self, prefix: &Prefix) -> bool {
+        self.networks.contains(prefix)
+    }
+
+    /// All iBGP neighbors.
+    pub fn ibgp_neighbors(&self) -> impl Iterator<Item = &BgpNeighborConfig> {
+        self.neighbors
+            .iter()
+            .filter(|n| n.kind == BgpSessionKind::Ibgp)
+    }
+
+    /// All eBGP neighbors.
+    pub fn ebgp_neighbors(&self) -> impl Iterator<Item = &BgpNeighborConfig> {
+        self.neighbors
+            .iter()
+            .filter(|n| n.kind == BgpSessionKind::Ebgp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route_map::{MatchCondition, SetAction};
+
+    #[test]
+    fn builder_and_lookup() {
+        let cfg = BgpConfig::new(65001, 1)
+            .with_neighbor(BgpNeighborConfig::ebgp(NodeId(2), 65002))
+            .with_neighbor(BgpNeighborConfig::ibgp(NodeId(3), 65001).with_next_hop_self())
+            .with_network("10.0.0.0/24".parse().unwrap());
+        assert_eq!(cfg.neighbors.len(), 2);
+        assert_eq!(cfg.neighbor(NodeId(2)).unwrap().remote_as, 65002);
+        assert!(cfg.neighbor(NodeId(9)).is_none());
+        assert!(cfg.originates(&"10.0.0.0/24".parse().unwrap()));
+        assert!(!cfg.originates(&"10.0.1.0/24".parse().unwrap()));
+        assert_eq!(cfg.ibgp_neighbors().count(), 1);
+        assert_eq!(cfg.ebgp_neighbors().count(), 1);
+        assert!(cfg.neighbor(NodeId(3)).unwrap().next_hop_self);
+    }
+
+    #[test]
+    fn session_kinds() {
+        let e = BgpNeighborConfig::ebgp(NodeId(1), 65002);
+        assert_eq!(e.kind, BgpSessionKind::Ebgp);
+        let i = BgpNeighborConfig::ibgp(NodeId(1), 65001);
+        assert_eq!(i.kind, BgpSessionKind::Ibgp);
+        assert_eq!(i.remote_as, 65001);
+    }
+
+    #[test]
+    fn neighbor_policies_attach() {
+        let import = RouteMap::permit_with(
+            vec![MatchCondition::Community(65000)],
+            vec![SetAction::LocalPref(300)],
+        );
+        let n = BgpNeighborConfig::ebgp(NodeId(1), 65002).with_import(import.clone());
+        assert_eq!(n.import, import);
+        assert!(n.export.is_permit_all());
+    }
+}

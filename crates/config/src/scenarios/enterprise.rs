@@ -1,0 +1,178 @@
+//! Enterprise/campus scenarios standing in for the paper's real-world
+//! configurations (Figures 7(h), 7(i)).
+//!
+//! The paper notes that "all except one of these networks use some form of
+//! recursive routing, such as indirect static routes or iBGP". The scenario
+//! built here mirrors that: OSPF as the IGP, access subnets originated into
+//! OSPF, a *recursive* default route on every access router pointing at an
+//! exit router's loopback address, and an iBGP session pair between the exit
+//! routers carrying an external prefix.
+
+use crate::bgp::{BgpConfig, BgpNeighborConfig};
+use crate::device::DeviceConfig;
+use crate::network::Network;
+use crate::ospf::OspfConfig;
+use crate::static_routes::StaticRoute;
+use plankton_net::generators::enterprise::{enterprise_network, EnterpriseNetwork, EnterpriseSpec};
+use plankton_net::ip::{Ipv4Addr, Prefix};
+use plankton_net::topology::NodeId;
+
+/// The configured enterprise scenario.
+#[derive(Clone, Debug)]
+pub struct EnterpriseScenario {
+    /// The configured network.
+    pub network: Network,
+    /// The underlying generated campus topology.
+    pub enterprise: EnterpriseNetwork,
+    /// Internal destination prefixes (access subnets).
+    pub internal_destinations: Vec<Prefix>,
+    /// The external prefix reachable via the exit routers (through the
+    /// recursive default route and iBGP).
+    pub external_destination: Prefix,
+    /// The exit routers.
+    pub exits: Vec<NodeId>,
+    /// The loopback host prefixes of the exit routers (targets of the
+    /// recursive static routes).
+    pub exit_loopbacks: Vec<Prefix>,
+}
+
+/// Build the enterprise scenario from a generator spec.
+pub fn enterprise_scenario(spec: &EnterpriseSpec) -> EnterpriseScenario {
+    let ent = enterprise_network(spec);
+    let topo = ent.topology.clone();
+    let mut network = Network::unconfigured(topo.clone());
+
+    // OSPF everywhere with generated weights; every router originates its
+    // loopback so recursive routes and iBGP sessions can resolve.
+    for n in topo.node_ids() {
+        let mut ospf = OspfConfig::enabled();
+        for &(_, link) in topo.neighbors(n) {
+            ospf = ospf.with_cost(link, ent.link_weights[link.index()]);
+        }
+        if let Some(lb) = topo.node(n).loopback {
+            ospf = ospf.with_network(Prefix::host(lb));
+        }
+        *network.device_mut(n) = DeviceConfig::empty().with_ospf(ospf);
+    }
+    // Access subnets into OSPF.
+    for (i, &a) in ent.access.iter().enumerate() {
+        network
+            .device_mut(a)
+            .ospf
+            .as_mut()
+            .expect("access router runs OSPF")
+            .networks
+            .push(ent.access_prefixes[i]);
+    }
+
+    let external_destination = Prefix::new(Ipv4Addr::new(100, 64, 0, 0), 16);
+    let exits = ent.exits.clone();
+    let exit_loopbacks: Vec<Prefix> = exits
+        .iter()
+        .map(|&e| Prefix::host(topo.node(e).loopback.expect("exit routers have loopbacks")))
+        .collect();
+
+    // Recursive default route on access routers, alternating between exits.
+    for (i, &a) in ent.access.iter().enumerate() {
+        let exit = exits[i % exits.len()];
+        let exit_lb = topo.node(exit).loopback.unwrap();
+        network
+            .device_mut(a)
+            .static_routes
+            .push(StaticRoute::to_ip(external_destination, exit_lb));
+    }
+
+    // iBGP between exit routers carrying the external prefix (only when
+    // there is more than one exit; tiny networks just originate it).
+    if exits.len() >= 2 {
+        let local_as = 65100;
+        for (i, &e) in exits.iter().enumerate() {
+            let mut bgp = BgpConfig::new(local_as, i as u32 + 1);
+            for &peer in &exits {
+                if peer != e {
+                    bgp = bgp.with_neighbor(BgpNeighborConfig::ibgp(peer, local_as));
+                }
+            }
+            if i == 0 {
+                bgp = bgp.with_network(external_destination);
+            }
+            network.device_mut(e).bgp = Some(bgp);
+        }
+    } else {
+        network
+            .device_mut(exits[0])
+            .ospf
+            .as_mut()
+            .expect("exit runs OSPF")
+            .networks
+            .push(external_destination);
+    }
+
+    EnterpriseScenario {
+        internal_destinations: ent.access_prefixes.clone(),
+        external_destination,
+        exits,
+        exit_loopbacks,
+        network,
+        enterprise: ent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_builds_and_validates() {
+        for spec in EnterpriseSpec::paper_set() {
+            let s = enterprise_scenario(&spec);
+            assert!(s.network.validate().is_empty(), "{}", spec.name);
+            assert_eq!(s.internal_destinations.len(), s.enterprise.access.len());
+        }
+    }
+
+    #[test]
+    fn access_routers_have_recursive_default() {
+        let s = enterprise_scenario(&EnterpriseSpec {
+            name: "II".into(),
+            routers: 63,
+            seed: 7001,
+        });
+        for &a in &s.enterprise.access {
+            let routes = &s.network.device(a).static_routes;
+            assert_eq!(routes.len(), 1);
+            assert!(routes[0].is_recursive());
+            assert_eq!(routes[0].prefix, s.external_destination);
+        }
+    }
+
+    #[test]
+    fn exits_run_ibgp_when_paired() {
+        let s = enterprise_scenario(&EnterpriseSpec {
+            name: "III".into(),
+            routers: 71,
+            seed: 7002,
+        });
+        assert!(s.exits.len() >= 2);
+        for &e in &s.exits {
+            assert!(s.network.device(e).runs_bgp());
+        }
+    }
+
+    #[test]
+    fn tiny_network_originates_external_into_ospf() {
+        let s = enterprise_scenario(&EnterpriseSpec {
+            name: "VI".into(),
+            routers: 2,
+            seed: 7005,
+        });
+        assert_eq!(s.exits.len(), 1);
+        assert!(s
+            .network
+            .device(s.exits[0])
+            .ospf
+            .as_ref()
+            .unwrap()
+            .originates(&s.external_destination));
+    }
+}

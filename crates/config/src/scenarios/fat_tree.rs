@@ -1,0 +1,258 @@
+//! Fat-tree data-center scenarios: OSPF with static routes at the core
+//! (Figures 7(a), 7(b)) and eBGP per RFC 7938 with a waypoint
+//! misconfiguration (Figure 7(c)).
+
+use crate::bgp::{BgpConfig, BgpNeighborConfig};
+use crate::device::DeviceConfig;
+use crate::network::Network;
+use crate::ospf::OspfConfig;
+use crate::static_routes::StaticRoute;
+use plankton_net::generators::fat_tree::{fat_tree, FatTree};
+use plankton_net::ip::Prefix;
+use plankton_net::topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// What static routes to install at the core switches of the OSPF fat tree.
+///
+/// The paper's Figure 7(a)/(b) experiments install static routes at the core
+/// that either *match* the routes OSPF would compute (loop check passes) or
+/// deliberately send some traffic the wrong way so that it falls into a
+/// routing loop (loop check fails).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreStaticRoutes {
+    /// No static routes: plain OSPF.
+    None,
+    /// Static routes at every core switch that agree with OSPF (pass case).
+    MatchingOspf,
+    /// Static routes at every core switch for a subset of prefixes that point
+    /// into the *wrong* pod, creating forwarding loops (fail case).
+    Looping,
+}
+
+/// The OSPF fat-tree scenario.
+#[derive(Clone, Debug)]
+pub struct FatTreeOspfScenario {
+    /// The configured network.
+    pub network: Network,
+    /// The underlying fat tree (roles of every switch).
+    pub fat_tree: FatTree,
+    /// The rack prefixes originated by the edge switches.
+    pub destinations: Vec<Prefix>,
+    /// Which static-route mode was used.
+    pub static_mode: CoreStaticRoutes,
+}
+
+/// Build the OSPF fat tree of arity `k`. Every switch runs OSPF with
+/// identical link weights; each edge switch originates its rack prefix; the
+/// core switches optionally carry static routes per `static_mode`.
+pub fn fat_tree_ospf(k: usize, static_mode: CoreStaticRoutes) -> FatTreeOspfScenario {
+    let ft = fat_tree(k);
+    let topo = ft.topology.clone();
+    let mut network = Network::unconfigured(topo.clone());
+    let half = k / 2;
+
+    // OSPF everywhere with identical weights.
+    for n in topo.node_ids() {
+        *network.device_mut(n) = DeviceConfig::empty().with_ospf(OspfConfig::enabled());
+    }
+    // Edge switches originate their rack prefix.
+    let edges = ft.edges_flat();
+    for (i, &e) in edges.iter().enumerate() {
+        let ospf = network.device_mut(e).ospf.as_mut().expect("edge runs OSPF");
+        ospf.networks.push(ft.edge_prefixes[i]);
+    }
+
+    // Static routes at the core. Core switch `c` sits in "column" group
+    // g = c_index / (k/2)... in our generator, aggregation switch i of every
+    // pod connects to cores [i*half, (i+1)*half), so core index `ci` is
+    // reachable from aggregation index `ci / half` of each pod.
+    match static_mode {
+        CoreStaticRoutes::None => {}
+        CoreStaticRoutes::MatchingOspf | CoreStaticRoutes::Looping => {
+            for (ci, &core) in ft.core.iter().enumerate() {
+                let agg_index = ci / half;
+                for (ei, &prefix) in ft.edge_prefixes.iter().enumerate() {
+                    let dest_pod = ei / half;
+                    // The aggregation switch in the destination pod that this
+                    // core connects to: OSPF would forward there.
+                    let correct_agg = ft.aggregation[dest_pod][agg_index];
+                    let via: NodeId = match static_mode {
+                        CoreStaticRoutes::MatchingOspf => correct_agg,
+                        CoreStaticRoutes::Looping => {
+                            // Send a subset of prefixes into the wrong pod:
+                            // traffic bounces between that pod's aggregation
+                            // switch (which routes back up via OSPF) and the
+                            // core layer.
+                            if ei % 2 == 0 {
+                                let wrong_pod = (dest_pod + 1) % k;
+                                ft.aggregation[wrong_pod][agg_index]
+                            } else {
+                                correct_agg
+                            }
+                        }
+                        CoreStaticRoutes::None => unreachable!(),
+                    };
+                    network
+                        .device_mut(core)
+                        .static_routes
+                        .push(StaticRoute::to_interface(prefix, via));
+                }
+            }
+        }
+    }
+
+    FatTreeOspfScenario {
+        destinations: ft.edge_prefixes.clone(),
+        network,
+        fat_tree: ft,
+        static_mode,
+    }
+}
+
+/// The RFC 7938 BGP fat-tree scenario of Figure 7(c).
+#[derive(Clone, Debug)]
+pub struct FatTreeBgpScenario {
+    /// The configured network.
+    pub network: Network,
+    /// The underlying fat tree.
+    pub fat_tree: FatTree,
+    /// The rack prefixes originated by the edge switches.
+    pub destinations: Vec<Prefix>,
+    /// The aggregation switches chosen as acceptable waypoints.
+    pub waypoints: Vec<NodeId>,
+    /// The source / destination edge switches whose traffic the waypoint
+    /// policy constrains.
+    pub monitored_edges: (NodeId, NodeId),
+}
+
+/// Build the BGP data center of Figure 7(c): every switch is its own AS with
+/// eBGP sessions on every link (RFC 7938), each edge switch originates its
+/// rack prefix, and a random subset of aggregation switches are designated
+/// waypoints. The "misconfiguration" is that nothing steers routes through
+/// the waypoints, so whether the selected path crosses one depends on
+/// age-based tie-breaking — i.e. on non-deterministic protocol convergence.
+pub fn fat_tree_bgp_rfc7938(k: usize, seed: u64) -> FatTreeBgpScenario {
+    let ft = fat_tree(k);
+    let topo = ft.topology.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut network = Network::unconfigured(topo.clone());
+
+    // Private AS numbers per RFC 7938: one per switch.
+    let asn_of = |n: NodeId| 64512 + n.0;
+
+    for n in topo.node_ids() {
+        let mut bgp = BgpConfig::new(asn_of(n), n.0 + 1);
+        for &(peer, _) in topo.neighbors(n) {
+            bgp = bgp.with_neighbor(BgpNeighborConfig::ebgp(peer, asn_of(peer)));
+        }
+        *network.device_mut(n) = DeviceConfig::empty().with_bgp(bgp);
+    }
+    let edges = ft.edges_flat();
+    for (i, &e) in edges.iter().enumerate() {
+        network
+            .device_mut(e)
+            .bgp
+            .as_mut()
+            .expect("edge runs BGP")
+            .networks
+            .push(ft.edge_prefixes[i]);
+    }
+
+    // Waypoints: a random non-empty subset of the aggregation switches.
+    let aggs = ft.aggregations_flat();
+    let count = rng.gen_range(1..=aggs.len().max(1).min(1 + aggs.len() / 2));
+    let mut waypoints: Vec<NodeId> = aggs
+        .choose_multiple(&mut rng, count)
+        .copied()
+        .collect();
+    waypoints.sort();
+
+    // Monitor traffic between two edge switches in different pods.
+    let src = ft.edge[0][0];
+    let dst = ft.edge[k - 1][0];
+
+    FatTreeBgpScenario {
+        destinations: ft.edge_prefixes.clone(),
+        waypoints,
+        monitored_edges: (src, dst),
+        network,
+        fat_tree: ft,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ospf_fat_tree_valid() {
+        for mode in [
+            CoreStaticRoutes::None,
+            CoreStaticRoutes::MatchingOspf,
+            CoreStaticRoutes::Looping,
+        ] {
+            let s = fat_tree_ospf(4, mode);
+            assert!(s.network.validate().is_empty(), "{mode:?}");
+            assert_eq!(s.destinations.len(), 8);
+            assert_eq!(s.network.ospf_speakers().len(), 20);
+        }
+    }
+
+    #[test]
+    fn static_routes_only_at_core() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        for &core in &s.fat_tree.core {
+            assert_eq!(
+                s.network.device(core).static_routes.len(),
+                s.destinations.len()
+            );
+        }
+        for &e in &s.fat_tree.edges_flat() {
+            assert!(s.network.device(e).static_routes.is_empty());
+        }
+    }
+
+    #[test]
+    fn looping_mode_diverges_from_matching() {
+        let looping = fat_tree_ospf(4, CoreStaticRoutes::Looping);
+        let matching = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let c0 = looping.fat_tree.core[0];
+        assert_ne!(
+            looping.network.device(c0).static_routes,
+            matching.network.device(c0).static_routes
+        );
+    }
+
+    #[test]
+    fn bgp_fat_tree_valid_and_deterministic() {
+        let a = fat_tree_bgp_rfc7938(4, 42);
+        let b = fat_tree_bgp_rfc7938(4, 42);
+        assert!(a.network.validate().is_empty());
+        assert_eq!(a.waypoints, b.waypoints);
+        assert!(!a.waypoints.is_empty());
+        assert_eq!(a.network.bgp_speakers().len(), 20);
+        // Distinct private ASN per switch.
+        let asns: std::collections::HashSet<u32> = a
+            .network
+            .bgp_speakers()
+            .iter()
+            .map(|&n| a.network.device(n).bgp.as_ref().unwrap().asn)
+            .collect();
+        assert_eq!(asns.len(), 20);
+    }
+
+    #[test]
+    fn bgp_fat_tree_monitored_edges_in_different_pods() {
+        let s = fat_tree_bgp_rfc7938(4, 7);
+        let (src, dst) = s.monitored_edges;
+        assert_ne!(s.fat_tree.pod_of(src), s.fat_tree.pod_of(dst));
+    }
+
+    #[test]
+    fn waypoints_are_aggregation_switches() {
+        let s = fat_tree_bgp_rfc7938(6, 3);
+        let aggs = s.fat_tree.aggregations_flat();
+        assert!(s.waypoints.iter().all(|w| aggs.contains(w)));
+    }
+}

@@ -1,0 +1,356 @@
+//! Small hand-crafted gadget networks used for correctness testing (§5,
+//! "simple hand-created topologies incorporating protocol characteristics
+//! such as shortest path routing, non-deterministic protocol convergence,
+//! redistribution, recursive routing"): the DISAGREE gadget from the stable
+//! paths problem literature, a BGP wedgie, and recursive static-route
+//! dependency gadgets.
+
+use crate::bgp::{BgpConfig, BgpNeighborConfig};
+use crate::network::Network;
+use crate::route_map::{MatchCondition, RouteMap, RouteMapClause, RouteMapAction, SetAction};
+use crate::static_routes::StaticRoute;
+use plankton_net::ip::{Ipv4Addr, Prefix};
+use plankton_net::topology::{NodeId, TopologyBuilder};
+
+/// A gadget network with the handles tests need.
+#[derive(Clone, Debug)]
+pub struct GadgetScenario {
+    /// A short human-readable name.
+    pub name: &'static str,
+    /// The configured network.
+    pub network: Network,
+    /// The destination prefix the gadget is about.
+    pub destination: Prefix,
+    /// The node originating `destination`.
+    pub origin: NodeId,
+    /// Other nodes of interest, in gadget-specific order.
+    pub actors: Vec<NodeId>,
+}
+
+/// The DISAGREE gadget: origin `o` plus two nodes `a` and `b`, each of which
+/// prefers the path through the other over its direct path to `o`. The
+/// network has exactly two converged states — (`a` direct, `b` via `a`) and
+/// (`b` direct, `a` via `b`) — and which one is reached depends on the
+/// non-deterministic order of protocol events.
+pub fn disagree_gadget() -> GadgetScenario {
+    let mut tb = TopologyBuilder::new();
+    let o = tb.add_router("origin");
+    let a = tb.add_router("a");
+    let b = tb.add_router("b");
+    tb.set_loopback(o, Ipv4Addr::new(1, 0, 0, 1));
+    tb.set_loopback(a, Ipv4Addr::new(1, 0, 0, 2));
+    tb.set_loopback(b, Ipv4Addr::new(1, 0, 0, 3));
+    tb.add_link(o, a);
+    tb.add_link(o, b);
+    tb.add_link(a, b);
+    let topo = tb.build();
+
+    let destination: Prefix = "50.0.0.0/16".parse().unwrap();
+    let asn = |n: NodeId| 65000 + n.0;
+    let prefer_peer = |peer: NodeId| {
+        RouteMap {
+            clauses: vec![
+                RouteMapClause {
+                    action: RouteMapAction::Permit,
+                    matches: vec![MatchCondition::Neighbor(peer)],
+                    sets: vec![SetAction::LocalPref(200)],
+                },
+                RouteMapClause::permit_any(),
+            ],
+        }
+    };
+
+    let mut network = Network::unconfigured(topo);
+    network.device_mut(o).bgp = Some(
+        BgpConfig::new(asn(o), 1)
+            .with_network(destination)
+            .with_neighbor(BgpNeighborConfig::ebgp(a, asn(a)))
+            .with_neighbor(BgpNeighborConfig::ebgp(b, asn(b))),
+    );
+    network.device_mut(a).bgp = Some(
+        BgpConfig::new(asn(a), 2)
+            .with_neighbor(BgpNeighborConfig::ebgp(o, asn(o)))
+            .with_neighbor(BgpNeighborConfig::ebgp(b, asn(b)).with_import(prefer_peer(b))),
+    );
+    network.device_mut(b).bgp = Some(
+        BgpConfig::new(asn(b), 3)
+            .with_neighbor(BgpNeighborConfig::ebgp(o, asn(o)))
+            .with_neighbor(BgpNeighborConfig::ebgp(a, asn(a)).with_import(prefer_peer(a))),
+    );
+
+    GadgetScenario {
+        name: "disagree",
+        network,
+        destination,
+        origin: o,
+        actors: vec![a, b],
+    }
+}
+
+/// Community used to tag the backup link in the wedgie gadget.
+pub const BACKUP_COMMUNITY: u32 = 666;
+/// Community used to tag customer-learned routes in the wedgie gadget.
+const CUSTOMER_COMMUNITY: u32 = 100;
+
+/// The classic BGP wedgie (RFC 4264): customer AS1 is dual-homed to a backup
+/// provider AS2 and a primary provider AS4; AS2 buys transit from AS3, which
+/// peers with AS4. The route advertised over the backup link carries
+/// [`BACKUP_COMMUNITY`], which AS2 maps to a very low local preference.
+///
+/// * Intended converged state: all traffic to AS1 flows through the primary
+///   link (AS2 reaches AS1 via AS3 → AS4).
+/// * Wedged converged state: AS2 and AS3 forward through the backup link.
+///
+/// Which state the network reaches depends on message ordering, so only a
+/// verifier that explores non-deterministic convergence (Plankton,
+/// Minesweeper) can find the violation of "the backup link carries no
+/// traffic unless the primary has failed".
+pub fn bgp_wedgie() -> GadgetScenario {
+    let mut tb = TopologyBuilder::new();
+    let a1 = tb.add_router("as1"); // customer / origin
+    let a2 = tb.add_router("as2"); // backup provider
+    let a3 = tb.add_router("as3"); // AS2's transit provider
+    let a4 = tb.add_router("as4"); // primary provider
+    for (i, n) in [a1, a2, a3, a4].iter().enumerate() {
+        tb.set_loopback(*n, Ipv4Addr::new(2, 0, 0, (i + 1) as u8));
+    }
+    tb.add_link(a1, a2); // backup link
+    tb.add_link(a1, a4); // primary link
+    tb.add_link(a2, a3);
+    tb.add_link(a3, a4);
+    let topo = tb.build();
+
+    let destination: Prefix = "60.0.0.0/16".parse().unwrap();
+    let asn = |n: NodeId| 65001 + n.0;
+
+    // Import policy helpers. Routes learned from customers are tagged with
+    // CUSTOMER_COMMUNITY and given the highest preference; peer routes keep
+    // the default; provider routes get a low preference; backup-tagged routes
+    // get the lowest.
+    let import_customer = RouteMap {
+        clauses: vec![RouteMapClause {
+            action: RouteMapAction::Permit,
+            matches: vec![],
+            sets: vec![SetAction::LocalPref(200), SetAction::AddCommunity(CUSTOMER_COMMUNITY)],
+        }],
+    };
+    let import_customer_backup = RouteMap {
+        clauses: vec![
+            RouteMapClause {
+                action: RouteMapAction::Permit,
+                matches: vec![MatchCondition::Community(BACKUP_COMMUNITY)],
+                sets: vec![SetAction::LocalPref(10), SetAction::AddCommunity(CUSTOMER_COMMUNITY)],
+            },
+            RouteMapClause {
+                action: RouteMapAction::Permit,
+                matches: vec![],
+                sets: vec![SetAction::LocalPref(200), SetAction::AddCommunity(CUSTOMER_COMMUNITY)],
+            },
+        ],
+    };
+    let import_peer = RouteMap {
+        clauses: vec![RouteMapClause {
+            action: RouteMapAction::Permit,
+            matches: vec![],
+            sets: vec![SetAction::LocalPref(100), SetAction::RemoveCommunity(CUSTOMER_COMMUNITY)],
+        }],
+    };
+    let import_provider = RouteMap {
+        clauses: vec![RouteMapClause {
+            action: RouteMapAction::Permit,
+            matches: vec![],
+            sets: vec![SetAction::LocalPref(50), SetAction::RemoveCommunity(CUSTOMER_COMMUNITY)],
+        }],
+    };
+    // Export towards peers and providers: only customer-learned routes.
+    let export_customers_only = RouteMap {
+        clauses: vec![
+            RouteMapClause {
+                action: RouteMapAction::Permit,
+                matches: vec![MatchCondition::Community(CUSTOMER_COMMUNITY)],
+                sets: vec![],
+            },
+            RouteMapClause::deny_any(),
+        ],
+    };
+    // AS1's export over the backup link tags the route.
+    let export_backup_tag = RouteMap {
+        clauses: vec![RouteMapClause {
+            action: RouteMapAction::Permit,
+            matches: vec![],
+            sets: vec![SetAction::AddCommunity(BACKUP_COMMUNITY)],
+        }],
+    };
+
+    let mut network = Network::unconfigured(topo);
+    // AS1: originates the prefix; backup export tags it.
+    network.device_mut(a1).bgp = Some(
+        BgpConfig::new(asn(a1), 1)
+            .with_network(destination)
+            .with_neighbor(
+                BgpNeighborConfig::ebgp(a2, asn(a2)).with_export(export_backup_tag.clone()),
+            )
+            .with_neighbor(BgpNeighborConfig::ebgp(a4, asn(a4))),
+    );
+    // AS2: customer AS1 (backup-aware import), provider AS3.
+    network.device_mut(a2).bgp = Some(
+        BgpConfig::new(asn(a2), 2)
+            .with_neighbor(
+                BgpNeighborConfig::ebgp(a1, asn(a1)).with_import(import_customer_backup),
+            )
+            .with_neighbor(
+                BgpNeighborConfig::ebgp(a3, asn(a3))
+                    .with_import(import_provider.clone())
+                    .with_export(export_customers_only.clone()),
+            ),
+    );
+    // AS3: customer AS2, peer AS4.
+    network.device_mut(a3).bgp = Some(
+        BgpConfig::new(asn(a3), 3)
+            .with_neighbor(BgpNeighborConfig::ebgp(a2, asn(a2)).with_import(import_customer.clone()))
+            .with_neighbor(
+                BgpNeighborConfig::ebgp(a4, asn(a4))
+                    .with_import(import_peer.clone())
+                    .with_export(export_customers_only.clone()),
+            ),
+    );
+    // AS4: customer AS1, peer AS3.
+    network.device_mut(a4).bgp = Some(
+        BgpConfig::new(asn(a4), 4)
+            .with_neighbor(BgpNeighborConfig::ebgp(a1, asn(a1)).with_import(import_customer))
+            .with_neighbor(
+                BgpNeighborConfig::ebgp(a3, asn(a3))
+                    .with_import(import_peer)
+                    .with_export(export_customers_only),
+            ),
+    );
+
+    GadgetScenario {
+        name: "bgp-wedgie",
+        network,
+        destination,
+        origin: a1,
+        actors: vec![a2, a3, a4],
+    }
+}
+
+/// A two-router gadget with *mutually recursive* static routes: `r0` reaches
+/// prefix A via an address inside prefix B, and `r1` reaches prefix B via an
+/// address inside prefix A. The PEC dependency graph has a strongly connected
+/// component of size two — the contrived case mentioned in §3.2 of the paper.
+pub fn static_route_mutual_recursion() -> GadgetScenario {
+    let mut tb = TopologyBuilder::new();
+    let r0 = tb.add_router("r0");
+    let r1 = tb.add_router("r1");
+    tb.set_loopback(r0, Ipv4Addr::new(3, 0, 0, 1));
+    tb.set_loopback(r1, Ipv4Addr::new(3, 0, 0, 2));
+    tb.add_link(r0, r1);
+    let topo = tb.build();
+
+    let prefix_a: Prefix = "70.0.0.0/24".parse().unwrap();
+    let prefix_b: Prefix = "71.0.0.0/24".parse().unwrap();
+    let addr_in_a = Ipv4Addr::new(70, 0, 0, 1);
+    let addr_in_b = Ipv4Addr::new(71, 0, 0, 1);
+
+    let mut network = Network::unconfigured(topo);
+    network
+        .device_mut(r0)
+        .static_routes
+        .push(StaticRoute::to_ip(prefix_a, addr_in_b));
+    network
+        .device_mut(r1)
+        .static_routes
+        .push(StaticRoute::to_ip(prefix_b, addr_in_a));
+
+    GadgetScenario {
+        name: "static-mutual-recursion",
+        network,
+        destination: prefix_a,
+        origin: r0,
+        actors: vec![r1],
+    }
+}
+
+/// A one-router gadget whose static route's next hop lies *inside the prefix
+/// being matched* — the self-loop in the PEC dependency graph that the paper
+/// observed in real-world configurations (§5).
+pub fn static_route_self_loop() -> GadgetScenario {
+    let mut tb = TopologyBuilder::new();
+    let r0 = tb.add_router("r0");
+    let r1 = tb.add_router("r1");
+    tb.set_loopback(r0, Ipv4Addr::new(4, 0, 0, 1));
+    tb.set_loopback(r1, Ipv4Addr::new(80, 0, 0, 1));
+    tb.add_link(r0, r1);
+    let topo = tb.build();
+
+    let prefix: Prefix = "80.0.0.0/24".parse().unwrap();
+    let next_hop_inside = Ipv4Addr::new(80, 0, 0, 1);
+
+    let mut network = Network::unconfigured(topo);
+    network
+        .device_mut(r0)
+        .static_routes
+        .push(StaticRoute::to_ip(prefix, next_hop_inside));
+
+    GadgetScenario {
+        name: "static-self-loop",
+        network,
+        destination: prefix,
+        origin: r1,
+        actors: vec![r0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disagree_gadget_shape() {
+        let g = disagree_gadget();
+        assert!(g.network.validate().is_empty());
+        assert_eq!(g.network.bgp_speakers().len(), 3);
+        assert_eq!(g.network.origins_of(&g.destination), vec![g.origin]);
+        // Both actors prefer each other: their import maps from each other
+        // set local pref 200.
+        for (i, &actor) in g.actors.iter().enumerate() {
+            let other = g.actors[1 - i];
+            let bgp = g.network.device(actor).bgp.as_ref().unwrap();
+            let nbr = bgp.neighbor(other).unwrap();
+            assert!(!nbr.import.is_permit_all());
+        }
+    }
+
+    #[test]
+    fn wedgie_gadget_shape() {
+        let g = bgp_wedgie();
+        assert!(g.network.validate().is_empty());
+        assert_eq!(g.network.bgp_speakers().len(), 4);
+        // The export over the backup link tags the backup community.
+        let a1 = g.origin;
+        let a2 = g.actors[0];
+        let bgp1 = g.network.device(a1).bgp.as_ref().unwrap();
+        let export = &bgp1.neighbor(a2).unwrap().export;
+        let attrs = crate::route_map::RouteAttrs::originated(g.destination);
+        let out = export.apply(&attrs, a2).unwrap();
+        assert!(out.has_community(BACKUP_COMMUNITY));
+    }
+
+    #[test]
+    fn mutual_recursion_routes_are_recursive() {
+        let g = static_route_mutual_recursion();
+        assert!(g.network.validate().is_empty());
+        assert!(g.network.device(NodeId(0)).static_routes[0].is_recursive());
+        assert!(g.network.device(NodeId(1)).static_routes[0].is_recursive());
+    }
+
+    #[test]
+    fn self_loop_next_hop_inside_prefix() {
+        let g = static_route_self_loop();
+        let sr = &g.network.device(NodeId(0)).static_routes[0];
+        match sr.next_hop {
+            crate::static_routes::StaticNextHop::Ip(ip) => assert!(sr.prefix.contains(ip)),
+            _ => panic!("expected recursive next hop"),
+        }
+    }
+}

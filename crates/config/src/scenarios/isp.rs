@@ -1,0 +1,196 @@
+//! ISP scenarios over the synthetic AS topologies: plain OSPF with link
+//! weights (Figures 7(d), 7(g)) and iBGP over OSPF (Figure 7(e), Figure 8).
+
+use crate::bgp::{BgpConfig, BgpNeighborConfig};
+use crate::device::DeviceConfig;
+use crate::network::Network;
+use crate::ospf::OspfConfig;
+use plankton_net::generators::as_topo::{as_topology, AsTopology, AsTopologySpec};
+use plankton_net::ip::{Ipv4Addr, Prefix};
+use plankton_net::topology::NodeId;
+
+/// The OSPF-only ISP scenario.
+#[derive(Clone, Debug)]
+pub struct IspOspfScenario {
+    /// The configured network.
+    pub network: Network,
+    /// The underlying AS topology (backbone/access split, link weights).
+    pub as_topology: AsTopology,
+    /// All customer prefixes originated by access routers.
+    pub destinations: Vec<Prefix>,
+    /// The ingress router used by the Figure 7(d) reachability check.
+    pub ingress: NodeId,
+}
+
+/// Build the ISP OSPF scenario: every router runs OSPF with the generated
+/// link weights, each access router originates its customer prefix, and every
+/// router additionally originates its loopback /32 (needed later for iBGP).
+pub fn isp_ospf(spec: &AsTopologySpec) -> IspOspfScenario {
+    let ast = as_topology(spec);
+    let topo = ast.topology.clone();
+    let mut network = Network::unconfigured(topo.clone());
+
+    for n in topo.node_ids() {
+        let mut ospf = OspfConfig::enabled();
+        for &(_, link) in topo.neighbors(n) {
+            ospf = ospf.with_cost(link, ast.link_weights[link.index()]);
+        }
+        if let Some(lb) = topo.node(n).loopback {
+            ospf = ospf.with_network(Prefix::host(lb));
+        }
+        *network.device_mut(n) = DeviceConfig::empty().with_ospf(ospf);
+    }
+    for (i, &ar) in ast.access.iter().enumerate() {
+        network
+            .device_mut(ar)
+            .ospf
+            .as_mut()
+            .expect("access router runs OSPF")
+            .networks
+            .push(ast.access_prefixes[i]);
+    }
+
+    IspOspfScenario {
+        destinations: ast.access_prefixes.clone(),
+        ingress: ast.multi_homed_ingress(),
+        network,
+        as_topology: ast,
+    }
+}
+
+/// The iBGP-over-OSPF ISP scenario of Figure 7(e).
+#[derive(Clone, Debug)]
+pub struct IspIbgpScenario {
+    /// The configured network.
+    pub network: Network,
+    /// The underlying AS topology.
+    pub as_topology: AsTopology,
+    /// The externally learned prefixes announced into iBGP by the border
+    /// routers. Reaching these requires resolving the iBGP next hop through
+    /// OSPF — the cross-PEC dependency the experiment exercises.
+    pub bgp_destinations: Vec<Prefix>,
+    /// The border routers originating `bgp_destinations` (one prefix each).
+    pub borders: Vec<NodeId>,
+    /// The loopback host prefixes that the OSPF underlay must provide
+    /// (one per iBGP speaker).
+    pub loopback_prefixes: Vec<Prefix>,
+}
+
+/// Build the iBGP-over-OSPF scenario: OSPF carries every router's loopback,
+/// the backbone routers form a full iBGP mesh peering between loopbacks, and
+/// two border routers (backbone 0 and 1) each originate one external prefix
+/// into BGP. Packets to those prefixes are delivered only if the iBGP next
+/// hop is reachable via the OSPF underlay.
+pub fn isp_ibgp_over_ospf(spec: &AsTopologySpec) -> IspIbgpScenario {
+    let base = isp_ospf(spec);
+    let ast = base.as_topology;
+    let mut network = base.network;
+    let topo = ast.topology.clone();
+
+    // Keep transit between iBGP speakers on the backbone: access routers do
+    // not speak BGP, so IGP paths between backbone routers must not traverse
+    // them (the standard "BGP-free edge, not BGP-free core" design). Raising
+    // the access-link costs ensures backbone-to-backbone shortest paths stay
+    // on backbone links.
+    for &ar in &ast.access {
+        for &(peer, link) in topo.neighbors(ar) {
+            if let Some(ospf) = network.device_mut(ar).ospf.as_mut() {
+                ospf.interface_costs.insert(link, 1000);
+            }
+            if let Some(ospf) = network.device_mut(peer).ospf.as_mut() {
+                ospf.interface_costs.insert(link, 1000);
+            }
+        }
+    }
+
+    let local_as = 65000u32;
+    let mesh: Vec<NodeId> = ast.backbone.clone();
+    let borders = vec![mesh[0], mesh[1 % mesh.len()]];
+    let bgp_destinations: Vec<Prefix> = vec![
+        Prefix::new(Ipv4Addr::new(8, 8, 0, 0), 16),
+        Prefix::new(Ipv4Addr::new(9, 9, 0, 0), 16),
+    ];
+
+    for (idx, &n) in mesh.iter().enumerate() {
+        let mut bgp = BgpConfig::new(local_as, idx as u32 + 1);
+        for &peer in &mesh {
+            if peer != n {
+                bgp = bgp.with_neighbor(BgpNeighborConfig::ibgp(peer, local_as));
+            }
+        }
+        if let Some(pos) = borders.iter().position(|&b| b == n) {
+            bgp = bgp.with_network(bgp_destinations[pos.min(bgp_destinations.len() - 1)]);
+        }
+        network.device_mut(n).bgp = Some(bgp);
+    }
+
+    let loopback_prefixes = mesh
+        .iter()
+        .map(|&n| Prefix::host(topo.node(n).loopback.expect("backbone routers have loopbacks")))
+        .collect();
+
+    IspIbgpScenario {
+        network,
+        as_topology: ast,
+        bgp_destinations,
+        borders,
+        loopback_prefixes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isp_ospf_valid() {
+        let s = isp_ospf(&AsTopologySpec::paper_as(1755));
+        assert!(s.network.validate().is_empty());
+        assert_eq!(s.destinations.len(), s.as_topology.access.len());
+        // Every router originates its loopback.
+        for n in s.network.topology.node_ids() {
+            let lb = s.network.topology.node(n).loopback.unwrap();
+            assert!(s.network.device(n).ospf.as_ref().unwrap().originates(&Prefix::host(lb)));
+        }
+    }
+
+    #[test]
+    fn isp_ospf_costs_match_generated_weights() {
+        let s = isp_ospf(&AsTopologySpec::paper_as(3967));
+        let n = s.as_topology.backbone[0];
+        let (_, link) = s.network.topology.neighbors(n)[0];
+        assert_eq!(
+            s.network.device(n).ospf.as_ref().unwrap().cost(link),
+            Some(s.as_topology.link_weights[link.index()])
+        );
+    }
+
+    #[test]
+    fn ibgp_scenario_valid_and_meshed() {
+        let s = isp_ibgp_over_ospf(&AsTopologySpec::paper_as(1221));
+        assert!(s.network.validate().is_empty());
+        let mesh_size = s.as_topology.backbone.len();
+        for &n in &s.as_topology.backbone {
+            let bgp = s.network.device(n).bgp.as_ref().unwrap();
+            assert_eq!(bgp.neighbors.len(), mesh_size - 1);
+            assert!(bgp.neighbors.iter().all(|x| x.kind == crate::bgp::BgpSessionKind::Ibgp));
+        }
+        assert_eq!(s.borders.len(), 2);
+        assert_eq!(s.bgp_destinations.len(), 2);
+        // Borders originate the external prefixes.
+        for (i, &b) in s.borders.iter().enumerate() {
+            if s.borders[0] != s.borders[1] || i == 0 {
+                assert!(!s.network.device(b).bgp.as_ref().unwrap().networks.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn access_routers_do_not_run_bgp() {
+        let s = isp_ibgp_over_ospf(&AsTopologySpec::paper_as(3967));
+        for &ar in &s.as_topology.access {
+            assert!(!s.network.device(ar).runs_bgp());
+            assert!(s.network.device(ar).runs_ospf());
+        }
+    }
+}

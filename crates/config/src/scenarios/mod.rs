@@ -1,0 +1,33 @@
+//! Ready-made configuration scenarios.
+//!
+//! Each function builds a complete [`Network`](crate::Network) (topology +
+//! per-device configuration) for one of the workloads used in the paper's
+//! evaluation, together with the metadata the corresponding experiment needs
+//! (destination prefixes, waypoint sets, intended sources, etc.).
+//!
+//! | Scenario | Paper experiment |
+//! |---|---|
+//! | [`ring_ospf`] | Figure 8 (optimization micro-benchmarks) |
+//! | [`fat_tree_ospf`] | Figures 7(a), 7(b), 7(f), 7(g), 8 |
+//! | [`fat_tree_bgp_rfc7938`] | Figure 7(c), Figure 9 |
+//! | [`isp_ospf`] | Figures 7(d), 7(g) |
+//! | [`isp_ibgp_over_ospf`] | Figure 7(e), Figure 8 |
+//! | [`enterprise_scenario`] | Figures 7(h), 7(i) |
+//! | [`gadgets`] | §5 "basic correctness": DISAGREE, BGP wedgies |
+
+pub mod enterprise;
+pub mod fat_tree;
+pub mod gadgets;
+pub mod isp;
+pub mod ring;
+
+pub use enterprise::{enterprise_scenario, EnterpriseScenario};
+pub use fat_tree::{
+    fat_tree_bgp_rfc7938, fat_tree_ospf, CoreStaticRoutes, FatTreeBgpScenario, FatTreeOspfScenario,
+};
+pub use gadgets::{
+    bgp_wedgie, disagree_gadget, static_route_mutual_recursion, static_route_self_loop,
+    GadgetScenario, BACKUP_COMMUNITY,
+};
+pub use isp::{isp_ibgp_over_ospf, isp_ospf, IspIbgpScenario, IspOspfScenario};
+pub use ring::{ring_ospf, RingOspfScenario};

@@ -1,0 +1,67 @@
+//! Ring-of-routers OSPF scenario (Figure 8 micro-benchmarks).
+
+use crate::device::DeviceConfig;
+use crate::network::Network;
+use crate::ospf::OspfConfig;
+use plankton_net::generators::ring::{ring, RingNetwork};
+use plankton_net::ip::Prefix;
+use plankton_net::topology::NodeId;
+
+/// A ring of `n` OSPF routers where router 0 originates one destination
+/// prefix; everyone else should reach it either way around the ring.
+#[derive(Clone, Debug)]
+pub struct RingOspfScenario {
+    /// The configured network.
+    pub network: Network,
+    /// The underlying generated ring (routers in ring order, link list).
+    pub ring: RingNetwork,
+    /// The destination prefix originated by router 0.
+    pub destination: Prefix,
+    /// The originating router (router 0).
+    pub origin: NodeId,
+}
+
+/// Build the ring scenario: OSPF with unit weights on every link, router 0
+/// originating [`RingNetwork::destination_prefix`].
+pub fn ring_ospf(n: usize) -> RingOspfScenario {
+    let r = ring(n);
+    let mut network = Network::unconfigured(r.topology.clone());
+    for (i, &node) in r.routers.iter().enumerate() {
+        let mut ospf = OspfConfig::enabled();
+        // Unit weights make both directions around the ring comparable, so a
+        // failure anywhere still leaves a route.
+        for &(_, link) in r.topology.neighbors(node) {
+            ospf = ospf.with_cost(link, 1);
+        }
+        if i == 0 {
+            ospf = ospf.with_network(r.destination_prefix);
+        }
+        *network.device_mut(node) = DeviceConfig::empty().with_ospf(ospf);
+    }
+    RingOspfScenario {
+        destination: r.destination_prefix,
+        origin: r.routers[0],
+        network,
+        ring: r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_scenario_is_valid() {
+        let s = ring_ospf(8);
+        assert!(s.network.validate().is_empty());
+        assert_eq!(s.network.ospf_speakers().len(), 8);
+        assert_eq!(s.network.origins_of(&s.destination), vec![s.origin]);
+    }
+
+    #[test]
+    fn only_router_zero_originates() {
+        let s = ring_ospf(4);
+        let origins = s.network.origins_of(&s.destination);
+        assert_eq!(origins.len(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Static route configuration.
+
+use plankton_net::ip::{Ipv4Addr, Prefix};
+use plankton_net::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Where a static route sends matching traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StaticNextHop {
+    /// A next-hop IP address. If the address is not directly connected the
+    /// route is *recursive*: the forwarding decision depends on how the
+    /// network routes towards that address, which creates a PEC dependency
+    /// (§3.2 of the paper, including the self-loop case observed on the
+    /// real-world configurations).
+    Ip(Ipv4Addr),
+    /// Send directly to an adjacent device (an interface route).
+    Interface(NodeId),
+    /// Discard matching traffic (a null route).
+    Null,
+}
+
+/// A single static route on a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StaticRoute {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Next hop.
+    pub next_hop: StaticNextHop,
+    /// Administrative distance (default 1; a "floating" static route uses a
+    /// higher value so that a dynamic protocol wins while it has a route).
+    pub admin_distance: u8,
+}
+
+impl StaticRoute {
+    /// A static route to an adjacent device with the default distance.
+    pub fn to_interface(prefix: Prefix, neighbor: NodeId) -> Self {
+        StaticRoute {
+            prefix,
+            next_hop: StaticNextHop::Interface(neighbor),
+            admin_distance: crate::admin_distance::STATIC,
+        }
+    }
+
+    /// A (possibly recursive) static route to a next-hop address.
+    pub fn to_ip(prefix: Prefix, next_hop: Ipv4Addr) -> Self {
+        StaticRoute {
+            prefix,
+            next_hop: StaticNextHop::Ip(next_hop),
+            admin_distance: crate::admin_distance::STATIC,
+        }
+    }
+
+    /// A null route.
+    pub fn null(prefix: Prefix) -> Self {
+        StaticRoute {
+            prefix,
+            next_hop: StaticNextHop::Null,
+            admin_distance: crate::admin_distance::STATIC,
+        }
+    }
+
+    /// Override the administrative distance, builder-style.
+    pub fn with_distance(mut self, distance: u8) -> Self {
+        self.admin_distance = distance;
+        self
+    }
+
+    /// Is this a recursive route (next hop given as an IP address)?
+    pub fn is_recursive(&self) -> bool {
+        matches!(self.next_hop, StaticNextHop::Ip(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        let a = StaticRoute::to_interface(p, NodeId(3));
+        assert_eq!(a.admin_distance, 1);
+        assert!(!a.is_recursive());
+        let b = StaticRoute::to_ip(p, Ipv4Addr::new(192, 168, 0, 1));
+        assert!(b.is_recursive());
+        let c = StaticRoute::null(p).with_distance(250);
+        assert_eq!(c.admin_distance, 250);
+        assert_eq!(c.next_hop, StaticNextHop::Null);
+    }
+}

@@ -1,0 +1,281 @@
+//! Failure-choice pruning via device and link equivalence classes (§4.3).
+//!
+//! Plankton reduces the number of explored link failures by grouping devices
+//! into equivalence classes (in the spirit of Bonsai's control-plane
+//! compression), defining a Link Equivalence Class (LEC) as the set of links
+//! joining two device classes, and failing only one representative link per
+//! LEC. Interesting nodes named by the policy are kept in singleton classes
+//! so that their links are never merged away. The verification itself still
+//! runs on the original network — only the *choice* of failed links is
+//! pruned.
+
+use plankton_config::Network;
+use plankton_net::failure::{FailureScenario, FailureSet};
+use plankton_net::topology::{LinkId, NodeId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+/// Device equivalence classes computed by iterative refinement over
+/// configuration roles and neighborhoods.
+#[derive(Clone, Debug)]
+pub struct DeviceEquivalence {
+    /// `class[n]` = the equivalence class of device `n`.
+    pub class: Vec<usize>,
+    /// Number of distinct classes.
+    pub class_count: usize,
+}
+
+impl DeviceEquivalence {
+    /// Compute device classes. `interesting` devices are forced into
+    /// singleton classes.
+    pub fn compute(network: &Network, interesting: &[NodeId]) -> Self {
+        let topo = &network.topology;
+        let n = topo.node_count();
+
+        // Initial classes: a signature of the device's configuration role.
+        let mut signature: Vec<u64> = (0..n)
+            .map(|i| {
+                let node = NodeId(i as u32);
+                let d = network.device(node);
+                let mut h = DefaultHasher::new();
+                d.runs_ospf().hash(&mut h);
+                d.runs_bgp().hash(&mut h);
+                d.static_routes.len().hash(&mut h);
+                d.bgp.as_ref().map(|b| b.neighbors.len()).hash(&mut h);
+                topo.degree(node).hash(&mut h);
+                // Origination pattern matters: a device that originates
+                // prefixes behaves differently from one that does not.
+                d.ospf.as_ref().map(|o| o.networks.len()).hash(&mut h);
+                d.bgp.as_ref().map(|b| b.networks.len()).hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        // Interesting nodes get unique signatures.
+        for (i, node) in interesting.iter().enumerate() {
+            signature[node.index()] = u64::MAX - i as u64;
+        }
+
+        let mut class = Self::canonicalize(&signature);
+        // Iterative refinement on neighbor multisets (with OSPF costs so that
+        // asymmetric weights break symmetry).
+        for _ in 0..n {
+            let mut refined: Vec<u64> = Vec::with_capacity(n);
+            for i in 0..n {
+                let node = NodeId(i as u32);
+                let mut neighbor_classes: Vec<(usize, u32)> = topo
+                    .neighbors(node)
+                    .iter()
+                    .map(|&(m, link)| {
+                        let cost = network
+                            .device(node)
+                            .ospf
+                            .as_ref()
+                            .and_then(|o| o.cost(link))
+                            .unwrap_or(0);
+                        (class[m.index()], cost)
+                    })
+                    .collect();
+                neighbor_classes.sort_unstable();
+                let mut h = DefaultHasher::new();
+                class[i].hash(&mut h);
+                neighbor_classes.hash(&mut h);
+                refined.push(h.finish());
+            }
+            let new_class = Self::canonicalize(&refined);
+            let new_count = Self::count(&new_class);
+            if new_count == Self::count(&class) {
+                class = new_class;
+                break;
+            }
+            class = new_class;
+        }
+
+        let class_count = Self::count(&class);
+        DeviceEquivalence { class, class_count }
+    }
+
+    fn canonicalize(signature: &[u64]) -> Vec<usize> {
+        let mut map: HashMap<u64, usize> = HashMap::new();
+        signature
+            .iter()
+            .map(|s| {
+                let next = map.len();
+                *map.entry(*s).or_insert(next)
+            })
+            .collect()
+    }
+
+    fn count(class: &[usize]) -> usize {
+        class.iter().copied().collect::<std::collections::HashSet<_>>().len()
+    }
+
+    /// The class of a device.
+    pub fn class_of(&self, n: NodeId) -> usize {
+        self.class[n.index()]
+    }
+}
+
+/// Link equivalence classes over a device equivalence.
+#[derive(Clone, Debug)]
+pub struct LinkEquivalenceClasses {
+    /// One representative link per class, in canonical order.
+    pub representatives: Vec<LinkId>,
+    /// `class_of[link]` = index into the class list.
+    pub class_of: Vec<usize>,
+    /// Number of classes.
+    pub class_count: usize,
+}
+
+impl LinkEquivalenceClasses {
+    /// Group the candidate links of a scenario by the (unordered) pair of
+    /// device classes they join.
+    pub fn compute(
+        network: &Network,
+        devices: &DeviceEquivalence,
+        candidates: &[LinkId],
+    ) -> Self {
+        let mut by_pair: BTreeMap<(usize, usize), Vec<LinkId>> = BTreeMap::new();
+        for &link in candidates {
+            let l = network.topology.link(link);
+            let (a, b) = l.endpoints();
+            let (ca, cb) = (devices.class_of(a), devices.class_of(b));
+            let key = (ca.min(cb), ca.max(cb));
+            by_pair.entry(key).or_default().push(link);
+        }
+        let mut representatives = Vec::new();
+        let mut class_of = vec![usize::MAX; network.topology.link_count()];
+        for (class_idx, (_, links)) in by_pair.iter().enumerate() {
+            let rep = *links.iter().min().expect("classes are never empty");
+            representatives.push(rep);
+            for &l in links {
+                class_of[l.index()] = class_idx;
+            }
+        }
+        LinkEquivalenceClasses {
+            class_count: representatives.len(),
+            representatives,
+            class_of,
+        }
+    }
+}
+
+/// Enumerate the failure sets to explore for a scenario: the plain
+/// combination enumeration, or — when `lec_pruning` is set — combinations of
+/// LEC representative links only, refining the representative choice after
+/// each selection by excluding already-failed links (§4.3).
+pub fn failure_sets_to_explore(
+    network: &Network,
+    scenario: &FailureScenario,
+    interesting: &[NodeId],
+    lec_pruning: bool,
+) -> Vec<FailureSet> {
+    if !lec_pruning || scenario.max_failures == 0 {
+        return scenario.enumerate_failure_sets(&network.topology);
+    }
+    let devices = DeviceEquivalence::compute(network, interesting);
+    let candidates = scenario.candidate_links(&network.topology);
+
+    let mut out: Vec<FailureSet> = vec![FailureSet::none()];
+    let mut frontier: Vec<FailureSet> = vec![FailureSet::none()];
+    for _ in 0..scenario.max_failures {
+        let mut next_frontier = Vec::new();
+        for base in &frontier {
+            // Recompute the LECs over the remaining candidate links (the
+            // refinement step: already-failed links are excluded).
+            let remaining: Vec<LinkId> = candidates
+                .iter()
+                .copied()
+                .filter(|l| !base.contains(*l))
+                .collect();
+            let lecs = LinkEquivalenceClasses::compute(network, &devices, &remaining);
+            for rep in lecs.representatives {
+                let set = base.with(rep);
+                if set.len() == base.len() {
+                    continue;
+                }
+                if !out.contains(&set) {
+                    out.push(set.clone());
+                    next_frontier.push(set);
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+    out.sort_by(|a, b| (a.len(), a.links()).cmp(&(b.len(), b.links())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_config::scenarios::{fat_tree_ospf, isp_ospf, CoreStaticRoutes};
+    use plankton_net::generators::as_topo::AsTopologySpec;
+
+    #[test]
+    fn fat_tree_devices_collapse_into_few_classes() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let eq = DeviceEquivalence::compute(&s.network, &[]);
+        // A symmetric fat tree has 3 roles but edge switches differ in what
+        // they originate; the class count must be far below the device count.
+        assert!(eq.class_count < s.network.node_count() / 2,
+            "expected strong compression, got {} classes for {} devices",
+            eq.class_count,
+            s.network.node_count());
+    }
+
+    #[test]
+    fn interesting_nodes_are_singletons() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let waypoint = s.fat_tree.aggregation[0][0];
+        let eq = DeviceEquivalence::compute(&s.network, &[waypoint]);
+        let class = eq.class_of(waypoint);
+        let members = s
+            .network
+            .topology
+            .node_ids()
+            .filter(|n| eq.class_of(*n) == class)
+            .count();
+        assert_eq!(members, 1);
+    }
+
+    #[test]
+    fn lec_pruning_reduces_single_failure_choices() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let scenario = FailureScenario::up_to(1);
+        let unpruned = failure_sets_to_explore(&s.network, &scenario, &[], false);
+        let pruned = failure_sets_to_explore(&s.network, &scenario, &[], true);
+        assert!(pruned.len() < unpruned.len(),
+            "LEC pruning had no effect: {} vs {}", pruned.len(), unpruned.len());
+        // The empty failure set is always explored.
+        assert!(pruned.contains(&FailureSet::none()));
+    }
+
+    #[test]
+    fn asymmetric_network_gets_less_compression() {
+        let s = isp_ospf(&AsTopologySpec::paper_as(3967));
+        let eq = DeviceEquivalence::compute(&s.network, &[]);
+        // Random weights leave little symmetry: classes stay numerous.
+        assert!(eq.class_count > s.network.node_count() / 4);
+    }
+
+    #[test]
+    fn zero_failures_returns_single_empty_set() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let sets =
+            failure_sets_to_explore(&s.network, &FailureScenario::no_failures(), &[], true);
+        assert_eq!(sets, vec![FailureSet::none()]);
+    }
+
+    #[test]
+    fn pruned_sets_are_subset_of_unpruned() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let scenario = FailureScenario::up_to(2);
+        let unpruned = failure_sets_to_explore(&s.network, &scenario, &[], false);
+        let pruned = failure_sets_to_explore(&s.network, &scenario, &[], true);
+        for set in &pruned {
+            assert!(unpruned.contains(set));
+        }
+        assert!(pruned.len() <= unpruned.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Verifier-level options: parallelism, failure-pruning and the optimization
+//! toggles forwarded to the model checker.
+
+use plankton_checker::SearchOptions;
+use plankton_net::ip::Prefix;
+
+/// Options controlling a whole verification (all PECs, all failure sets).
+#[derive(Clone, Debug)]
+pub struct PlanktonOptions {
+    /// Number of PEC verifications run concurrently (the paper's "cores").
+    pub parallelism: usize,
+    /// §4.3 — prune the choice of failed links using link equivalence
+    /// classes (only applied when there are no cross-PEC dependencies).
+    pub lec_failure_pruning: bool,
+    /// Stop the whole verification at the first policy violation (the common
+    /// mode: one counterexample is enough).
+    pub stop_at_first_violation: bool,
+    /// Restrict verification to the PECs overlapping these prefixes (plus
+    /// their dependencies). `None` verifies every active PEC.
+    pub restrict_to_prefixes: Option<Vec<Prefix>>,
+    /// §3.5 — suppress policy checks on converged states that are equivalent
+    /// from the policy's point of view (same source path lengths, same
+    /// interesting-node positions).
+    pub equivalence_suppression: bool,
+    /// Upper bound on the number of combined data planes built per PEC and
+    /// failure scenario (cross product of per-prefix converged states).
+    pub max_data_planes_per_pec: usize,
+    /// Optimization toggles forwarded to every model-checking run.
+    pub search: SearchOptions,
+}
+
+impl Default for PlanktonOptions {
+    fn default() -> Self {
+        PlanktonOptions {
+            parallelism: 1,
+            lec_failure_pruning: true,
+            stop_at_first_violation: true,
+            restrict_to_prefixes: None,
+            equivalence_suppression: true,
+            max_data_planes_per_pec: 512,
+            search: SearchOptions::all_optimizations(),
+        }
+    }
+}
+
+impl PlanktonOptions {
+    /// Default options with the given degree of parallelism.
+    pub fn with_cores(cores: usize) -> Self {
+        PlanktonOptions {
+            parallelism: cores.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Every optimization disabled (Figure 8's "None" configuration).
+    pub fn no_optimizations() -> Self {
+        PlanktonOptions {
+            parallelism: 1,
+            lec_failure_pruning: false,
+            stop_at_first_violation: true,
+            restrict_to_prefixes: None,
+            equivalence_suppression: false,
+            max_data_planes_per_pec: 512,
+            search: SearchOptions::no_optimizations(),
+        }
+    }
+
+    /// Restrict verification to the given destination prefixes, builder-style.
+    pub fn restricted_to(mut self, prefixes: Vec<Prefix>) -> Self {
+        self.restrict_to_prefixes = Some(prefixes);
+        self
+    }
+
+    /// Keep exploring after violations (collect all of them), builder-style.
+    pub fn collect_all_violations(mut self) -> Self {
+        self.stop_at_first_violation = false;
+        self
+    }
+
+    /// Disable link-equivalence failure pruning, builder-style.
+    pub fn without_lec_pruning(mut self) -> Self {
+        self.lec_failure_pruning = false;
+        self
+    }
+
+    /// Replace the search options, builder-style.
+    pub fn with_search(mut self, search: SearchOptions) -> Self {
+        self.search = search;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = PlanktonOptions::default();
+        assert_eq!(o.parallelism, 1);
+        assert!(o.lec_failure_pruning);
+        assert!(o.stop_at_first_violation);
+        assert!(o.search.deterministic_nodes);
+    }
+
+    #[test]
+    fn builders() {
+        let o = PlanktonOptions::with_cores(8)
+            .restricted_to(vec!["10.0.0.0/24".parse().unwrap()])
+            .collect_all_violations()
+            .without_lec_pruning();
+        assert_eq!(o.parallelism, 8);
+        assert!(!o.stop_at_first_violation);
+        assert!(!o.lec_failure_pruning);
+        assert_eq!(o.restrict_to_prefixes.as_ref().unwrap().len(), 1);
+        let n = PlanktonOptions::no_optimizations();
+        assert!(!n.search.consistent_executions);
+        assert!(!n.equivalence_suppression);
+    }
+}

@@ -1,0 +1,127 @@
+//! Verification results and counterexamples.
+
+use plankton_checker::{SearchStats, Trail};
+use plankton_net::failure::FailureSet;
+use plankton_net::ip::Prefix;
+use plankton_pec::PecId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// One policy violation: the PEC and prefix it was found on, the failure
+/// scenario, the offending execution trail and the policy's reason.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Violation {
+    /// The PEC whose converged data plane violated the policy.
+    pub pec: PecId,
+    /// The most specific prefix of that PEC.
+    pub prefix: Option<Prefix>,
+    /// The links that were failed before protocol execution.
+    pub failures: FailureSet,
+    /// The execution trail that produced the violating converged state.
+    pub trail: Trail,
+    /// The policy's explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "violation on {}{} under {}: {}",
+            self.pec,
+            self.prefix
+                .map(|p| format!(" ({p})"))
+                .unwrap_or_default(),
+            self.failures,
+            self.reason
+        )
+    }
+}
+
+/// The result of a whole verification.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// The policy name that was checked.
+    pub policy: String,
+    /// Violations found (empty = the policy holds under the environment).
+    pub violations: Vec<Violation>,
+    /// Aggregated model-checking statistics across every run.
+    pub stats: SearchStats,
+    /// Number of PECs that were verified.
+    pub pecs_verified: usize,
+    /// Number of failure scenarios explored per PEC (after pruning).
+    pub failure_sets_explored: usize,
+    /// Number of combined converged data planes on which the policy was
+    /// evaluated.
+    pub data_planes_checked: u64,
+    /// Wall-clock time of the verification.
+    #[serde(skip)]
+    pub elapsed: Duration,
+    /// Size of the largest strongly connected component of the PEC
+    /// dependency graph.
+    pub largest_scc: usize,
+}
+
+impl VerificationReport {
+    /// Did the policy hold everywhere?
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first violation, if any.
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+
+    /// A one-line summary suitable for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} ({} PECs, {} failure sets, {} data planes, {} states, {:.3}s, ~{:.1} MiB)",
+            self.policy,
+            if self.holds() { "HOLDS" } else { "VIOLATED" },
+            self.pecs_verified,
+            self.failure_sets_explored,
+            self.data_planes_checked,
+            self.stats.states_explored(),
+            self.elapsed.as_secs_f64(),
+            self.stats.approx_memory_mib(),
+        )
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_summary_and_holds() {
+        let mut r = VerificationReport {
+            policy: "reachability".into(),
+            ..Default::default()
+        };
+        assert!(r.holds());
+        assert!(r.summary().contains("HOLDS"));
+        r.violations.push(Violation {
+            pec: PecId(1),
+            prefix: Some("10.0.0.0/24".parse().unwrap()),
+            failures: FailureSet::none(),
+            trail: Trail::default(),
+            reason: "unreachable".into(),
+        });
+        assert!(!r.holds());
+        assert!(r.summary().contains("VIOLATED"));
+        assert!(r.first_violation().unwrap().to_string().contains("unreachable"));
+        assert!(r.to_string().contains("pec1"));
+    }
+}

@@ -1,0 +1,560 @@
+//! Verification of a single PEC under a single failure scenario.
+//!
+//! Plankton executes the control plane separately for each prefix
+//! contributing to the PEC (§3.3): OSPF and BGP instances are model-checked
+//! exhaustively, static routes and connected prefixes are resolved directly,
+//! and the FIB model combines one converged alternative per prefix into a
+//! complete data plane for the PEC, which is what policies see.
+
+use crate::options::PlanktonOptions;
+use crate::outcome::ConvergedRecord;
+use crate::underlay::DependencyUnderlay;
+use plankton_checker::{
+    BgpPor, ModelChecker, NoPor, OspfPor, PorHeuristic, SearchOptions, SearchStats, Trail, Verdict,
+};
+use plankton_config::{Network, StaticNextHop};
+use plankton_dataplane::{FibEntry, ForwardingGraph, NetworkFib, RouteSource};
+use plankton_net::failure::FailureSet;
+use plankton_net::topology::NodeId;
+use plankton_pec::{OriginProtocol, Pec, PrefixConfig};
+use plankton_protocols::{BgpModel, OspfModel, ProtocolModel, Route, SessionType};
+use std::sync::Arc;
+
+/// One converged alternative of one prefix's control plane: the FIB entries
+/// it contributes per device, the converged control routes, and the
+/// execution trail that produced it.
+#[derive(Clone, Debug)]
+pub struct PrefixAlternative {
+    /// Per-device FIB entries contributed by this alternative.
+    pub entries: Vec<Vec<FibEntry>>,
+    /// The converged control-plane route per device.
+    pub control_routes: Vec<Option<Route>>,
+    /// The execution trail (non-deterministic choices) behind it.
+    pub trail: Trail,
+}
+
+/// The control-plane results for one prefix of the PEC: entries common to
+/// every alternative (static routes, connected routes) plus the alternatives
+/// produced by model checking the routing protocols.
+#[derive(Clone, Debug)]
+pub struct PrefixRun {
+    /// The prefix these results are for.
+    pub prefix: plankton_net::ip::Prefix,
+    /// Entries present regardless of protocol convergence.
+    pub base_entries: Vec<Vec<FibEntry>>,
+    /// Converged protocol alternatives (at least one, possibly empty of
+    /// routes).
+    pub alternatives: Vec<PrefixAlternative>,
+    /// Aggregated model-checking statistics for this prefix.
+    pub stats: SearchStats,
+}
+
+/// A complete data plane for the PEC (one alternative chosen per prefix).
+#[derive(Clone, Debug)]
+pub struct DataPlane {
+    /// The combined forwarding graph.
+    pub forwarding: ForwardingGraph,
+    /// Control-plane routes of the most specific prefix with any.
+    pub control_routes: Vec<Option<Route>>,
+    /// The trail of the alternative that contributed the most specific
+    /// prefix's routes.
+    pub trail: Trail,
+}
+
+/// Inputs describing how one PEC should be verified under one failure set.
+pub struct PecSession<'a> {
+    /// The network under verification.
+    pub network: &'a Network,
+    /// The PEC being verified.
+    pub pec: &'a Pec,
+    /// The failure scenario (links failed before protocol execution).
+    pub failures: &'a FailureSet,
+    /// Converged dependency information (loopback costs, recursive
+    /// next hops).
+    pub underlay: Arc<DependencyUnderlay>,
+    /// Verifier options.
+    pub options: &'a PlanktonOptions,
+    /// Source nodes declared by the policy, if any.
+    pub policy_sources: Option<Vec<NodeId>>,
+    /// Does any other PEC depend on this one? (Disables policy-based and
+    /// influence pruning, which are unsound in that case — §4.2.)
+    pub has_dependents: bool,
+    /// Does this PEC depend on other PECs (iBGP, recursive routes)? Early
+    /// policy-based finishing is disabled then: the forwarding path of a
+    /// source may traverse IGP transit nodes that have not yet selected
+    /// their route in the partial state.
+    pub has_dependencies: bool,
+}
+
+impl<'a> PecSession<'a> {
+    fn search_options(&self, single_prefix: bool) -> SearchOptions {
+        let mut search = self.options.search.clone();
+        if self.has_dependents || self.has_dependencies {
+            search.policy_pruning = false;
+            search.influence_pruning = false;
+            search.source_nodes = None;
+        } else {
+            search.source_nodes = self.policy_sources.clone();
+            if !single_prefix {
+                // Influence pruning is only sound for single-prefix PECs.
+                search.influence_pruning = false;
+            }
+        }
+        search
+    }
+
+    /// Run the control plane for one contributing prefix.
+    fn run_prefix(&self, cfg: &PrefixConfig, single_prefix: bool) -> PrefixRun {
+        let n = self.network.node_count();
+        let mut base_entries: Vec<Vec<FibEntry>> = vec![Vec::new(); n];
+        let mut stats = SearchStats::default();
+
+        // Connected prefixes (loopbacks): delivered locally at their owner.
+        for (owner, proto) in &cfg.origins {
+            if *proto == OriginProtocol::Connected {
+                base_entries[owner.index()]
+                    .push(FibEntry::local(cfg.prefix, RouteSource::Connected));
+            }
+        }
+
+        // Static routes.
+        for (device, sr) in &cfg.static_routes {
+            let entry = match sr.next_hop {
+                StaticNextHop::Null => FibEntry::null(cfg.prefix),
+                StaticNextHop::Interface(nbr) => {
+                    // Only usable if some live link joins the two devices.
+                    let alive = self
+                        .network
+                        .topology
+                        .links_between(*device, nbr)
+                        .into_iter()
+                        .any(|l| !self.failures.contains(l));
+                    if alive {
+                        FibEntry::via(cfg.prefix, vec![nbr], RouteSource::Static)
+                            .with_distance(sr.admin_distance)
+                    } else {
+                        continue;
+                    }
+                }
+                StaticNextHop::Ip(addr) => {
+                    match self.underlay.resolve_next_hops(*device, addr) {
+                        // Recursive resolution through the dependency PEC.
+                        Some(hops) if !hops.is_empty() => {
+                            FibEntry::via(cfg.prefix, hops, RouteSource::Static)
+                                .with_distance(sr.admin_distance)
+                        }
+                        // The device owns the next-hop address itself.
+                        Some(_) => FibEntry::local(cfg.prefix, RouteSource::Static),
+                        // Unresolvable next hop: the route is not installed.
+                        None => continue,
+                    }
+                }
+            };
+            base_entries[device.index()].push(entry);
+        }
+
+        // Protocol runs.
+        let ospf_origins: Vec<NodeId> = cfg
+            .origins
+            .iter()
+            .filter(|(_, p)| *p == OriginProtocol::Ospf)
+            .map(|(n, _)| *n)
+            .collect();
+        let bgp_origins: Vec<NodeId> = cfg
+            .origins
+            .iter()
+            .filter(|(_, p)| *p == OriginProtocol::Bgp)
+            .map(|(n, _)| *n)
+            .collect();
+
+        let mut ospf_alts: Vec<PrefixAlternative> = Vec::new();
+        if !ospf_origins.is_empty() {
+            let model = OspfModel::new(self.network, cfg.prefix, ospf_origins, self.failures);
+            let (alts, s) = self.explore(
+                &model,
+                Box::new(OspfPor),
+                single_prefix,
+                |converged, node| {
+                    let ecmp = model.ecmp_next_hops(&converged.best, node);
+                    if !ecmp.is_empty() {
+                        return ecmp;
+                    }
+                    converged.next_hop(node).map(|h| vec![h]).unwrap_or_default()
+                },
+                |_| RouteSource::Ospf,
+            );
+            stats += s;
+            ospf_alts = alts;
+        }
+
+        let mut bgp_alts: Vec<PrefixAlternative> = Vec::new();
+        if !bgp_origins.is_empty() {
+            let model = BgpModel::new(
+                self.network,
+                cfg.prefix,
+                bgp_origins,
+                self.failures,
+                self.underlay.clone(),
+            );
+            let underlay = self.underlay.clone();
+            let por: Box<dyn PorHeuristic> = if self.options.search.deterministic_nodes {
+                Box::new(BgpPor::from_model(&model))
+            } else {
+                Box::new(NoPor)
+            };
+            let (alts, s) = self.explore(
+                &model,
+                por,
+                single_prefix,
+                |converged, node| {
+                    let Some(route) = converged.best(node) else {
+                        return Vec::new();
+                    };
+                    let Some(bgp_next_hop) = route.next_hop() else {
+                        return Vec::new(); // the origin delivers locally
+                    };
+                    match route.learned_via {
+                        // eBGP peers are directly connected: forward to them.
+                        SessionType::Ebgp | SessionType::Igp | SessionType::Originated => {
+                            vec![bgp_next_hop]
+                        }
+                        // iBGP: forward along the IGP towards the peer.
+                        SessionType::Ibgp => underlay
+                            .igp_next_hops(node, bgp_next_hop)
+                            .unwrap_or_default(),
+                    }
+                },
+                |route| match route.learned_via {
+                    SessionType::Ibgp => RouteSource::Ibgp,
+                    _ => RouteSource::Ebgp,
+                },
+            );
+            stats += s;
+            bgp_alts = alts;
+        }
+
+        // Combine the per-protocol alternatives (cross product; usually one
+        // side is empty or both have a single element).
+        let alternatives = match (ospf_alts.is_empty(), bgp_alts.is_empty()) {
+            (true, true) => vec![PrefixAlternative {
+                entries: vec![Vec::new(); n],
+                control_routes: vec![None; n],
+                trail: Trail::new(self.failures.clone()),
+            }],
+            (false, true) => ospf_alts,
+            (true, false) => bgp_alts,
+            (false, false) => {
+                let mut combined = Vec::new();
+                for o in &ospf_alts {
+                    for b in &bgp_alts {
+                        let mut entries = o.entries.clone();
+                        for (node, extra) in b.entries.iter().enumerate() {
+                            entries[node].extend(extra.iter().cloned());
+                        }
+                        // Control-plane view: prefer the BGP route where both
+                        // exist (admin distance does the same in the FIB).
+                        let control_routes = o
+                            .control_routes
+                            .iter()
+                            .zip(&b.control_routes)
+                            .map(|(ospf, bgp)| bgp.clone().or_else(|| ospf.clone()))
+                            .collect();
+                        combined.push(PrefixAlternative {
+                            entries,
+                            control_routes,
+                            trail: b.trail.clone(),
+                        });
+                    }
+                }
+                combined
+            }
+        };
+
+        PrefixRun {
+            prefix: cfg.prefix,
+            base_entries,
+            alternatives,
+            stats,
+        }
+    }
+
+    /// Exhaustively model check one protocol instance, converting each
+    /// converged state into a [`PrefixAlternative`].
+    fn explore<F, G>(
+        &self,
+        model: &dyn ProtocolModel,
+        por: Box<dyn PorHeuristic + '_>,
+        single_prefix: bool,
+        next_hops_of: F,
+        source_of: G,
+    ) -> (Vec<PrefixAlternative>, SearchStats)
+    where
+        F: Fn(&plankton_protocols::ConvergedState, NodeId) -> Vec<NodeId>,
+        G: Fn(&Route) -> RouteSource,
+    {
+        let n = self.network.node_count();
+        let prefix = {
+            // The model's origin route carries the prefix.
+            model
+                .origins()
+                .first()
+                .map(|&o| model.origin_route(o).attrs.prefix)
+                .unwrap_or(plankton_net::ip::Prefix::DEFAULT)
+        };
+        let checker = ModelChecker::new(
+            model,
+            por,
+            self.search_options(single_prefix),
+            self.failures.clone(),
+        );
+        let mut alternatives = Vec::new();
+        let stats = checker.run(&mut |converged, trail| {
+            let mut entries = vec![Vec::new(); n];
+            let mut control_routes = vec![None; n];
+            for i in 0..n {
+                let node = NodeId(i as u32);
+                let Some(route) = converged.best(node) else {
+                    continue;
+                };
+                control_routes[i] = Some(route.clone());
+                if route.is_origin() {
+                    entries[i].push(FibEntry::local(prefix, source_of(route)));
+                    continue;
+                }
+                let hops = next_hops_of(converged, node);
+                if !hops.is_empty() {
+                    entries[i].push(FibEntry::via(prefix, hops, source_of(route)));
+                }
+            }
+            alternatives.push(PrefixAlternative {
+                entries,
+                control_routes,
+                trail: trail.clone(),
+            });
+            Verdict::Continue
+        });
+        (alternatives, stats)
+    }
+
+    /// Verify the PEC under this session's failure set: run every prefix,
+    /// build every combined data plane (bounded by
+    /// [`PlanktonOptions::max_data_planes_per_pec`]).
+    pub fn data_planes(&self) -> (Vec<DataPlane>, SearchStats) {
+        let n = self.network.node_count();
+        let single_prefix = self.pec.prefixes.len() <= 1;
+        let mut runs: Vec<PrefixRun> = Vec::new();
+        let mut stats = SearchStats::default();
+        for cfg in &self.pec.prefixes {
+            let run = self.run_prefix(cfg, single_prefix);
+            stats += run.stats;
+            runs.push(run);
+        }
+        if runs.is_empty() {
+            // A PEC with no configuration: a single all-blackhole data plane.
+            return (
+                vec![DataPlane {
+                    forwarding: ForwardingGraph::new(n),
+                    control_routes: vec![None; n],
+                    trail: Trail::new(self.failures.clone()),
+                }],
+                stats,
+            );
+        }
+
+        // Cross product of per-prefix alternatives.
+        let mut planes = Vec::new();
+        let mut selection = vec![0usize; runs.len()];
+        loop {
+            if planes.len() >= self.options.max_data_planes_per_pec {
+                break;
+            }
+            let mut fib = NetworkFib::new(n);
+            let mut control_routes: Vec<Option<Route>> = vec![None; n];
+            let mut trail = Trail::new(self.failures.clone());
+            // Prefixes are ordered most specific first; take the control view
+            // and trail from the most specific prefix that produced routes.
+            for (run, &alt_idx) in runs.iter().zip(selection.iter()) {
+                let alt = &run.alternatives[alt_idx];
+                for node in 0..n {
+                    for e in &run.base_entries[node] {
+                        fib.fib_mut(NodeId(node as u32)).add(e.clone());
+                    }
+                    for e in &alt.entries[node] {
+                        fib.fib_mut(NodeId(node as u32)).add(e.clone());
+                    }
+                }
+                if control_routes.iter().all(|r| r.is_none())
+                    && alt.control_routes.iter().any(|r| r.is_some())
+                {
+                    control_routes = alt.control_routes.clone();
+                    trail = alt.trail.clone();
+                }
+            }
+            let forwarding = ForwardingGraph::from_fib(&fib, self.pec.representative());
+            planes.push(DataPlane {
+                forwarding,
+                control_routes,
+                trail,
+            });
+
+            // Advance the selection (odometer).
+            let mut pos = 0;
+            loop {
+                if pos == runs.len() {
+                    return (planes, stats);
+                }
+                selection[pos] += 1;
+                if selection[pos] < runs[pos].alternatives.len() {
+                    break;
+                }
+                selection[pos] = 0;
+                pos += 1;
+            }
+        }
+        (planes, stats)
+    }
+
+    /// Turn a data plane into the record stored for dependent PECs.
+    pub fn record_of(&self, plane: &DataPlane) -> ConvergedRecord {
+        ConvergedRecord {
+            failures: self.failures.clone(),
+            owners: plane.forwarding.delivery_points(),
+            forwarding: plane.forwarding.clone(),
+            control_routes: plane.control_routes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::PlanktonOptions;
+    use plankton_config::scenarios::{disagree_gadget, fat_tree_ospf, ring_ospf, CoreStaticRoutes};
+    use plankton_pec::compute_pecs;
+
+    fn session_for<'a>(
+        network: &'a Network,
+        pec: &'a Pec,
+        failures: &'a FailureSet,
+        options: &'a PlanktonOptions,
+    ) -> PecSession<'a> {
+        PecSession {
+            network,
+            pec,
+            failures,
+            underlay: Arc::new(DependencyUnderlay::new()),
+            options,
+            policy_sources: None,
+            has_dependents: false,
+            has_dependencies: false,
+        }
+    }
+
+    #[test]
+    fn ring_pec_produces_single_data_plane_with_full_reachability() {
+        let s = ring_ospf(6);
+        let pecs = compute_pecs(&s.network);
+        let pec = pecs.pecs_overlapping(&s.destination)[0];
+        let options = PlanktonOptions::default();
+        let failures = FailureSet::none();
+        let session = session_for(&s.network, pec, &failures, &options);
+        let (planes, stats) = session.data_planes();
+        assert_eq!(planes.len(), 1);
+        assert!(stats.steps > 0);
+        for n in s.network.topology.node_ids() {
+            assert!(
+                planes[0].forwarding.walk(n).is_delivered(),
+                "{n} cannot reach the destination"
+            );
+        }
+        let record = session.record_of(&planes[0]);
+        assert_eq!(record.owners, vec![s.origin]);
+    }
+
+    #[test]
+    fn static_loops_show_up_in_the_data_plane() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::Looping);
+        let pecs = compute_pecs(&s.network);
+        // Prefix 0 is one of the "wrong pod" prefixes (even index).
+        let pec = pecs.pecs_overlapping(&s.destinations[0])[0];
+        let options = PlanktonOptions::default();
+        let failures = FailureSet::none();
+        let session = session_for(&s.network, pec, &failures, &options);
+        let (planes, _) = session.data_planes();
+        assert_eq!(planes.len(), 1);
+        assert!(
+            planes[0].forwarding.has_loop(None).is_some(),
+            "expected a forwarding loop from the misconfigured static routes"
+        );
+    }
+
+    #[test]
+    fn matching_static_routes_keep_the_fat_tree_loop_free() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let pecs = compute_pecs(&s.network);
+        let options = PlanktonOptions::default();
+        let failures = FailureSet::none();
+        for prefix in &s.destinations {
+            let pec = pecs.pecs_overlapping(prefix)[0];
+            let session = session_for(&s.network, pec, &failures, &options);
+            let (planes, _) = session.data_planes();
+            for plane in &planes {
+                assert!(plane.forwarding.has_loop(None).is_none(), "{prefix}");
+            }
+        }
+    }
+
+    #[test]
+    fn disagree_pec_produces_two_data_planes() {
+        let g = disagree_gadget();
+        let pecs = compute_pecs(&g.network);
+        let pec = pecs.pecs_overlapping(&g.destination)[0];
+        let options = PlanktonOptions::default();
+        let failures = FailureSet::none();
+        let session = session_for(&g.network, pec, &failures, &options);
+        let (planes, _) = session.data_planes();
+        assert_eq!(planes.len(), 2);
+        // The two planes differ in the next hop of at least one actor.
+        let nh = |p: &DataPlane, n: NodeId| p.forwarding.next_hops[n.index()].clone();
+        assert_ne!(
+            (nh(&planes[0], g.actors[0]), nh(&planes[0], g.actors[1])),
+            (nh(&planes[1], g.actors[0]), nh(&planes[1], g.actors[1]))
+        );
+    }
+
+    #[test]
+    fn failed_link_changes_the_forwarding_graph() {
+        let s = ring_ospf(6);
+        let pecs = compute_pecs(&s.network);
+        let pec = pecs.pecs_overlapping(&s.destination)[0];
+        let options = PlanktonOptions::default();
+        let failures = FailureSet::single(s.ring.links[0]);
+        let session = session_for(&s.network, pec, &failures, &options);
+        let (planes, _) = session.data_planes();
+        assert_eq!(planes.len(), 1);
+        let r1 = s.ring.routers[1];
+        // Router 1 lost its direct link to the origin and must go the long
+        // way: 5 hops.
+        let outcome = planes[0].forwarding.walk(r1);
+        assert!(outcome.is_delivered());
+        assert_eq!(outcome.hop_count(), 5);
+    }
+
+    #[test]
+    fn inert_pec_yields_blackhole_plane() {
+        let s = ring_ospf(4);
+        let pecs = compute_pecs(&s.network);
+        // The PEC below the destination prefix carries no configuration.
+        let inert = pecs
+            .iter()
+            .find(|p| p.is_inert())
+            .expect("ring network has inert PECs");
+        let options = PlanktonOptions::default();
+        let failures = FailureSet::none();
+        let session = session_for(&s.network, inert, &failures, &options);
+        let (planes, stats) = session.data_planes();
+        assert_eq!(planes.len(), 1);
+        assert_eq!(stats.steps, 0);
+        assert!(planes[0].forwarding.delivery_points().is_empty());
+    }
+}

@@ -1,0 +1,414 @@
+//! The top-level Plankton verifier (Figure 3 of the paper).
+
+use crate::failures::failure_sets_to_explore;
+use crate::options::PlanktonOptions;
+use crate::outcome::PecOutcome;
+use crate::report::{VerificationReport, Violation};
+use crate::session::{DataPlane, PecSession};
+use crate::underlay::DependencyUnderlay;
+use parking_lot::Mutex;
+use plankton_checker::SearchStats;
+use plankton_config::Network;
+use plankton_net::failure::{FailureScenario, FailureSet};
+use plankton_net::topology::NodeId;
+use plankton_pec::{compute_pecs, DependencyStore, Pec, PecDependencies, PecId, PecSet, Scheduler};
+use plankton_policy::{ConvergedView, Policy};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The Plankton configuration verifier.
+///
+/// ```
+/// use plankton_core::{Plankton, PlanktonOptions};
+/// use plankton_policy::Reachability;
+/// use plankton_net::failure::FailureScenario;
+/// use plankton_config::scenarios::ring_ospf;
+///
+/// let scenario = ring_ospf(4);
+/// let sources: Vec<_> = scenario.ring.routers[1..].to_vec();
+/// let plankton = Plankton::new(scenario.network.clone());
+/// let report = plankton.verify(
+///     &Reachability::new(sources),
+///     &FailureScenario::no_failures(),
+///     &PlanktonOptions::default().restricted_to(vec![scenario.destination]),
+/// );
+/// assert!(report.holds());
+/// ```
+pub struct Plankton {
+    network: Network,
+    pecs: PecSet,
+    deps: PecDependencies,
+}
+
+impl Plankton {
+    /// Build the verifier: computes the PECs and the dependency graph.
+    pub fn new(network: Network) -> Self {
+        let pecs = compute_pecs(&network);
+        let deps = PecDependencies::compute(&network, &pecs);
+        Plankton {
+            network,
+            pecs,
+            deps,
+        }
+    }
+
+    /// The network under verification.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The computed Packet Equivalence Classes.
+    pub fn pecs(&self) -> &PecSet {
+        &self.pecs
+    }
+
+    /// The PEC dependency analysis.
+    pub fn dependencies(&self) -> &PecDependencies {
+        &self.deps
+    }
+
+    /// The PECs that must be verified to decide the policy, honoring
+    /// `restrict_to_prefixes`: the restricted (or all active) PECs plus every
+    /// PEC they transitively depend on.
+    fn needed_pecs(&self, options: &PlanktonOptions) -> BTreeSet<PecId> {
+        let primary: Vec<&Pec> = match &options.restrict_to_prefixes {
+            Some(prefixes) => prefixes
+                .iter()
+                .flat_map(|p| self.pecs.pecs_overlapping(p))
+                .collect(),
+            None => self.pecs.active_pecs(),
+        };
+        let mut needed: BTreeSet<PecId> = primary.iter().map(|p| p.id).collect();
+        for pec in primary {
+            let comp = self.deps.component_of(pec.id);
+            for dep in self.deps.transitive_dependencies(comp) {
+                needed.insert(dep);
+            }
+        }
+        needed
+    }
+
+    /// The PECs whose policy verdict matters (the needed set minus
+    /// dependency-only PECs when a restriction is in place).
+    fn checked_pecs(&self, options: &PlanktonOptions) -> BTreeSet<PecId> {
+        match &options.restrict_to_prefixes {
+            Some(prefixes) => prefixes
+                .iter()
+                .flat_map(|p| self.pecs.pecs_overlapping(p))
+                .map(|p| p.id)
+                .collect(),
+            None => self.pecs.active_pecs().iter().map(|p| p.id).collect(),
+        }
+    }
+
+    /// Verify `policy` under the failure environment `scenario`.
+    pub fn verify(
+        &self,
+        policy: &dyn Policy,
+        scenario: &FailureScenario,
+        options: &PlanktonOptions,
+    ) -> VerificationReport {
+        let start = Instant::now();
+        let interesting = policy.interesting_nodes().unwrap_or_default();
+        let has_cross_pec_deps = self.deps.graph.edge_count() > 0;
+        // §4.3: link-equivalence failure pruning is only applied when there
+        // are no cross-PEC dependencies.
+        let lec = options.lec_failure_pruning && !has_cross_pec_deps;
+        let failure_sets =
+            failure_sets_to_explore(&self.network, scenario, &interesting, lec);
+
+        let needed = self.needed_pecs(options);
+        let checked = self.checked_pecs(options);
+        // A PEC has dependents when some other needed PEC depends on its
+        // component.
+        let mut has_dependents: BTreeSet<usize> = BTreeSet::new();
+        for &pec in &needed {
+            let comp = self.deps.component_of(pec);
+            for &dep in &self.deps.component_deps[comp] {
+                has_dependents.insert(dep);
+            }
+        }
+
+        let violations: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+        let total_stats: Mutex<SearchStats> = Mutex::new(SearchStats::default());
+        let data_planes_checked = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+
+        let scheduler = Scheduler::new(options.parallelism);
+        let verify_component = |component: &[PecId], store: &DependencyStore<PecOutcome>| {
+            let mut outcomes: BTreeMap<PecId, PecOutcome> = BTreeMap::new();
+            let needs_work = component.iter().any(|p| needed.contains(p));
+            if !needs_work {
+                return outcomes;
+            }
+            for &pec_id in component {
+                let mut outcome = PecOutcome::new(pec_id);
+                if stop.load(Ordering::Relaxed) {
+                    outcomes.insert(pec_id, outcome);
+                    continue;
+                }
+                let pec = self.pecs.pec(pec_id);
+                let comp_idx = self.deps.component_of(pec_id);
+                let component_has_dependents = has_dependents.contains(&comp_idx);
+                let component_has_dependencies =
+                    !self.deps.component_deps[comp_idx].is_empty();
+                let should_check = checked.contains(&pec_id);
+
+                for failures in &failure_sets {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let underlay =
+                        Arc::new(self.build_underlay(pec, failures, store));
+                    let session = PecSession {
+                        network: &self.network,
+                        pec,
+                        failures,
+                        underlay,
+                        options,
+                        policy_sources: policy.sources(),
+                        has_dependents: component_has_dependents,
+                        has_dependencies: component_has_dependencies,
+                    };
+                    let (planes, stats) = session.data_planes();
+                    *total_stats.lock() += stats;
+
+                    let mut seen_signatures: BTreeSet<Vec<(usize, bool, Vec<usize>)>> =
+                        BTreeSet::new();
+                    for plane in &planes {
+                        if component_has_dependents {
+                            outcome.records.push(session.record_of(plane));
+                        }
+                        if !should_check {
+                            continue;
+                        }
+                        if options.equivalence_suppression {
+                            let signature = equivalence_signature(
+                                plane,
+                                policy.sources().as_deref(),
+                                &interesting,
+                            );
+                            if !seen_signatures.insert(signature) {
+                                continue;
+                            }
+                        }
+                        data_planes_checked.fetch_add(1, Ordering::Relaxed);
+                        let view = ConvergedView {
+                            pec,
+                            forwarding: &plane.forwarding,
+                            control_routes: &plane.control_routes,
+                        };
+                        if let plankton_policy::PolicyResult::Violated(reason) =
+                            policy.check(&view)
+                        {
+                            let mut v = violations.lock();
+                            v.push(Violation {
+                                pec: pec_id,
+                                prefix: pec.most_specific().map(|c| c.prefix),
+                                failures: failures.clone(),
+                                trail: plane.trail.clone(),
+                                reason,
+                            });
+                            if options.stop_at_first_violation {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                outcomes.insert(pec_id, outcome);
+            }
+            outcomes
+        };
+
+        let (_, sched_report) = scheduler.run(&self.deps, verify_component);
+
+        VerificationReport {
+            policy: policy.name().to_string(),
+            violations: violations.into_inner(),
+            stats: total_stats.into_inner(),
+            pecs_verified: checked.len(),
+            failure_sets_explored: failure_sets.len(),
+            data_planes_checked: data_planes_checked.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            largest_scc: sched_report.largest_component,
+        }
+    }
+
+    /// Assemble the dependency underlay for one PEC under one failure set
+    /// from the converged records of the PECs it depends on.
+    fn build_underlay(
+        &self,
+        pec: &Pec,
+        failures: &FailureSet,
+        store: &DependencyStore<PecOutcome>,
+    ) -> DependencyUnderlay {
+        let mut underlay = DependencyUnderlay::new();
+        let comp = self.deps.component_of(pec.id);
+        let dependency_pecs = self.deps.transitive_dependencies(comp);
+        if dependency_pecs.is_empty() {
+            return underlay;
+        }
+        // Loopback records: every node whose loopback falls into a dependency
+        // PEC contributes IGP reachability information.
+        for node in self.network.topology.nodes() {
+            let Some(lb) = node.loopback else { continue };
+            let Some(lb_pec) = self.pecs.pec_containing(lb) else { continue };
+            if !dependency_pecs.contains(&lb_pec.id) {
+                continue;
+            }
+            let Some(outcome) = store.get(lb_pec.id) else { continue };
+            // Cross-PEC dependencies in practice involve a single converged
+            // state per dependency (§6); topology changes are matched by
+            // consuming only records computed under the same failure set.
+            if let Some(record) = outcome.under_failures(failures).first() {
+                underlay.add_loopback_record(node.id, record);
+            }
+        }
+        // Recursive static-route targets.
+        for addr in pec.recursive_next_hops() {
+            let Some(target_pec) = self.pecs.pec_containing(addr) else { continue };
+            let Some(outcome) = store.get(target_pec.id) else { continue };
+            if let Some(record) = outcome.under_failures(failures).first() {
+                underlay.add_address_record(addr, record);
+            }
+        }
+        underlay
+    }
+}
+
+/// The policy-level equivalence signature of a data plane (§3.5): for every
+/// source, the length of its forwarding path, whether it is delivered, and
+/// the positions of the interesting nodes along it. Data planes with equal
+/// signatures are indistinguishable to the policy, so only one of them is
+/// checked.
+fn equivalence_signature(
+    plane: &DataPlane,
+    sources: Option<&[NodeId]>,
+    interesting: &[NodeId],
+) -> Vec<(usize, bool, Vec<usize>)> {
+    let sources: Vec<NodeId> = match sources {
+        Some(s) => s.to_vec(),
+        None => (0..plane.forwarding.node_count() as u32).map(NodeId).collect(),
+    };
+    sources
+        .iter()
+        .map(|&s| {
+            let outcome = plane.forwarding.walk(s);
+            let path = outcome.path();
+            let positions = interesting
+                .iter()
+                .filter_map(|w| path.iter().position(|n| n == w))
+                .collect();
+            (path.len(), outcome.is_delivered(), positions)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_config::scenarios::{
+        disagree_gadget, fat_tree_ospf, ring_ospf, CoreStaticRoutes,
+    };
+    use plankton_policy::{LoopFreedom, Reachability};
+
+    #[test]
+    fn ring_reachability_holds_under_single_failures() {
+        let s = ring_ospf(6);
+        let plankton = Plankton::new(s.network.clone());
+        let sources: Vec<NodeId> = s.ring.routers[1..].to_vec();
+        let report = plankton.verify(
+            &Reachability::new(sources),
+            &FailureScenario::up_to(1),
+            &PlanktonOptions::default().restricted_to(vec![s.destination]),
+        );
+        assert!(report.holds(), "{report}");
+        assert!(report.failure_sets_explored > 1);
+        assert_eq!(report.pecs_verified, 1);
+    }
+
+    #[test]
+    fn ring_reachability_fails_under_double_failures() {
+        let s = ring_ospf(6);
+        let plankton = Plankton::new(s.network.clone());
+        let sources: Vec<NodeId> = s.ring.routers[1..].to_vec();
+        let report = plankton.verify(
+            &Reachability::new(sources),
+            &FailureScenario::up_to(2),
+            &PlanktonOptions::default()
+                .restricted_to(vec![s.destination])
+                .without_lec_pruning(),
+        );
+        assert!(!report.holds());
+        let violation = report.first_violation().unwrap();
+        assert_eq!(violation.failures.len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_loop_policy_pass_and_fail() {
+        let pass = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let plankton = Plankton::new(pass.network.clone());
+        let report = plankton.verify(
+            &LoopFreedom::everywhere(),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::default(),
+        );
+        assert!(report.holds(), "{report}");
+
+        let fail = fat_tree_ospf(4, CoreStaticRoutes::Looping);
+        let plankton = Plankton::new(fail.network.clone());
+        let report = plankton.verify(
+            &LoopFreedom::everywhere(),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::default(),
+        );
+        assert!(!report.holds());
+        assert!(report.first_violation().unwrap().reason.contains("loop"));
+    }
+
+    #[test]
+    fn disagree_gadget_violation_found_only_in_one_convergence() {
+        // Reachability holds in both converged states, but a waypoint through
+        // actor a only holds in the state where b routes via a.
+        use plankton_policy::Waypoint;
+        let g = disagree_gadget();
+        let plankton = Plankton::new(g.network.clone());
+        let policy = Waypoint::new(vec![g.actors[1]], vec![g.actors[0]]);
+        let report = plankton.verify(
+            &policy,
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::default().restricted_to(vec![g.destination]),
+        );
+        assert!(!report.holds(), "the wedged convergence must be found");
+        // The trail of the counterexample contains non-deterministic choices.
+        assert!(report.first_violation().unwrap().trail.nondeterministic_steps() > 0);
+
+        // Reachability, in contrast, holds in every converged state.
+        let report = plankton.verify(
+            &Reachability::new(vec![g.actors[0], g.actors[1]]),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::default().restricted_to(vec![g.destination]),
+        );
+        assert!(report.holds(), "{report}");
+    }
+
+    #[test]
+    fn parallel_and_serial_verification_agree() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::Looping);
+        let plankton = Plankton::new(s.network.clone());
+        let serial = plankton.verify(
+            &LoopFreedom::everywhere(),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::with_cores(1).collect_all_violations(),
+        );
+        let parallel = plankton.verify(
+            &LoopFreedom::everywhere(),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::with_cores(4).collect_all_violations(),
+        );
+        assert_eq!(serial.holds(), parallel.holds());
+        assert_eq!(serial.violations.len(), parallel.violations.len());
+    }
+}

@@ -1,0 +1,280 @@
+//! Link-failure environments.
+//!
+//! A configuration verifier checks correctness over *all* data planes the
+//! configuration can produce, including those caused by link failures up to a
+//! bound supplied in the environment specification. Plankton applies all
+//! topology changes before protocol execution starts (§3.4.2) and explores
+//! failure choices in a canonical order (§4.1.4), so a failure scenario is
+//! simply a set of failed links chosen before the model-checking run.
+
+use crate::topology::{LinkId, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of failed links, kept sorted and deduplicated so that equal sets
+/// compare equal and hash identically (needed for visited-state hashing and
+/// for matching topology changes across dependent PECs).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct FailureSet {
+    links: Vec<LinkId>,
+}
+
+impl FailureSet {
+    /// The empty failure set (no failures).
+    pub fn none() -> Self {
+        FailureSet { links: Vec::new() }
+    }
+
+    /// Build a failure set from an arbitrary list of links.
+    pub fn from_links(mut links: Vec<LinkId>) -> Self {
+        links.sort();
+        links.dedup();
+        FailureSet { links }
+    }
+
+    /// A failure set with a single failed link.
+    pub fn single(link: LinkId) -> Self {
+        FailureSet { links: vec![link] }
+    }
+
+    /// Number of failed links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Is `link` failed?
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.links.binary_search(&link).is_ok()
+    }
+
+    /// The failed links in canonical (ascending) order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// A new set with `link` additionally failed.
+    pub fn with(&self, link: LinkId) -> Self {
+        let mut links = self.links.clone();
+        match links.binary_search(&link) {
+            Ok(_) => {}
+            Err(pos) => links.insert(pos, link),
+        }
+        FailureSet { links }
+    }
+
+    /// Union of two failure sets.
+    pub fn union(&self, other: &FailureSet) -> Self {
+        let mut links = self.links.clone();
+        links.extend_from_slice(&other.links);
+        FailureSet::from_links(links)
+    }
+}
+
+impl fmt::Debug for FailureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FailureSet{:?}", self.links)
+    }
+}
+
+impl fmt::Display for FailureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.links.is_empty() {
+            write!(f, "(no failures)")
+        } else {
+            let names: Vec<String> = self.links.iter().map(|l| l.to_string()).collect();
+            write!(f, "{{{}}}", names.join(", "))
+        }
+    }
+}
+
+impl FromIterator<LinkId> for FailureSet {
+    fn from_iter<I: IntoIterator<Item = LinkId>>(iter: I) -> Self {
+        FailureSet::from_links(iter.into_iter().collect())
+    }
+}
+
+/// The failure environment to verify under: "at most `max_failures` links
+/// may fail, chosen from `candidates`" (all links if `candidates` is `None`).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FailureScenario {
+    /// Maximum number of simultaneous link failures.
+    pub max_failures: usize,
+    /// Restrict the candidate failed links (e.g. only core links). `None`
+    /// means every link is a candidate.
+    pub candidates: Option<Vec<LinkId>>,
+}
+
+impl FailureScenario {
+    /// No failures at all: verify only the failure-free convergence.
+    pub fn no_failures() -> Self {
+        FailureScenario {
+            max_failures: 0,
+            candidates: None,
+        }
+    }
+
+    /// Up to `k` arbitrary link failures.
+    pub fn up_to(k: usize) -> Self {
+        FailureScenario {
+            max_failures: k,
+            candidates: None,
+        }
+    }
+
+    /// Up to `k` failures restricted to `links`.
+    pub fn up_to_among(k: usize, links: Vec<LinkId>) -> Self {
+        FailureScenario {
+            max_failures: k,
+            candidates: Some(links),
+        }
+    }
+
+    /// The candidate links for this scenario within `topo`, in canonical order.
+    pub fn candidate_links(&self, topo: &Topology) -> Vec<LinkId> {
+        match &self.candidates {
+            Some(ls) => {
+                let mut ls = ls.clone();
+                ls.sort();
+                ls.dedup();
+                ls
+            }
+            None => topo.link_ids().collect(),
+        }
+    }
+
+    /// Enumerate every failure set with at most `max_failures` links drawn
+    /// from the candidates, in canonical order (empty set first, then by
+    /// size, then lexicographically). This is the *unpruned* enumeration;
+    /// `plankton-core` layers link-equivalence-class pruning on top (§4.3).
+    pub fn enumerate_failure_sets(&self, topo: &Topology) -> Vec<FailureSet> {
+        let candidates = self.candidate_links(topo);
+        let mut out = Vec::new();
+        let mut current = Vec::new();
+        // Failure ordering (§4.1.4): combinations are generated with strictly
+        // increasing link ids, so each set is explored exactly once.
+        fn rec(
+            candidates: &[LinkId],
+            start: usize,
+            remaining: usize,
+            current: &mut Vec<LinkId>,
+            out: &mut Vec<FailureSet>,
+        ) {
+            out.push(FailureSet::from_links(current.clone()));
+            if remaining == 0 {
+                return;
+            }
+            for i in start..candidates.len() {
+                current.push(candidates[i]);
+                rec(candidates, i + 1, remaining - 1, current, out);
+                current.pop();
+            }
+        }
+        rec(&candidates, 0, self.max_failures, &mut current, &mut out);
+        // `rec` pushes the empty prefix of every branch; dedup while keeping
+        // canonical order.
+        out.sort_by(|a, b| (a.len(), a.links()).cmp(&(b.len(), b.links())));
+        out.dedup();
+        out
+    }
+
+    /// Number of failure sets the unpruned enumeration would produce.
+    pub fn failure_set_count(&self, topo: &Topology) -> u64 {
+        let n = self.candidate_links(topo).len() as u64;
+        let mut total = 0u64;
+        let mut choose = 1u64; // C(n, 0)
+        for k in 0..=self.max_failures as u64 {
+            total += choose;
+            choose = choose.saturating_mul(n.saturating_sub(k)) / (k + 1);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn square() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.add_router(&format!("r{i}"))).collect();
+        b.add_link(n[0], n[1]);
+        b.add_link(n[1], n[2]);
+        b.add_link(n[2], n[3]);
+        b.add_link(n[3], n[0]);
+        b.build()
+    }
+
+    #[test]
+    fn failure_set_canonical_form() {
+        let a = FailureSet::from_links(vec![LinkId(3), LinkId(1), LinkId(3)]);
+        let b = FailureSet::from_links(vec![LinkId(1), LinkId(3)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(LinkId(1)));
+        assert!(!a.contains(LinkId(2)));
+    }
+
+    #[test]
+    fn failure_set_with_and_union() {
+        let a = FailureSet::single(LinkId(2));
+        let b = a.with(LinkId(0)).with(LinkId(2));
+        assert_eq!(b.links(), &[LinkId(0), LinkId(2)]);
+        let c = b.union(&FailureSet::single(LinkId(5)));
+        assert_eq!(c.links(), &[LinkId(0), LinkId(2), LinkId(5)]);
+    }
+
+    #[test]
+    fn enumerate_zero_failures() {
+        let t = square();
+        let sets = FailureScenario::no_failures().enumerate_failure_sets(&t);
+        assert_eq!(sets, vec![FailureSet::none()]);
+    }
+
+    #[test]
+    fn enumerate_single_failures() {
+        let t = square();
+        let sets = FailureScenario::up_to(1).enumerate_failure_sets(&t);
+        // empty set + one per link
+        assert_eq!(sets.len(), 1 + t.link_count());
+        assert_eq!(sets[0], FailureSet::none());
+        assert!(sets[1..].iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn enumerate_double_failures_counts() {
+        let t = square();
+        let scenario = FailureScenario::up_to(2);
+        let sets = scenario.enumerate_failure_sets(&t);
+        // C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6 = 11
+        assert_eq!(sets.len(), 11);
+        assert_eq!(scenario.failure_set_count(&t), 11);
+        // Canonical order: sizes are non-decreasing.
+        let sizes: Vec<_> = sets.iter().map(|s| s.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort();
+        assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn enumerate_restricted_candidates() {
+        let t = square();
+        let scenario = FailureScenario::up_to_among(1, vec![LinkId(0), LinkId(2)]);
+        let sets = scenario.enumerate_failure_sets(&t);
+        assert_eq!(sets.len(), 3);
+        assert!(sets.iter().all(|s| s.links().iter().all(|l| *l == LinkId(0) || *l == LinkId(2))));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: FailureSet = vec![LinkId(2), LinkId(0)].into_iter().collect();
+        assert_eq!(s.links(), &[LinkId(0), LinkId(2)]);
+        assert_eq!(format!("{s}"), "{l0, l2}");
+        assert_eq!(format!("{}", FailureSet::none()), "(no failures)");
+    }
+}

@@ -1,0 +1,236 @@
+//! Synthetic enterprise/campus network generator.
+//!
+//! Figures 7(h) and 7(i) of the paper verify ten real-world configurations
+//! from three organizations (plus the Stanford backbone dataset). Those
+//! configurations are not publicly redistributable, so this generator
+//! produces campus-style networks at the same device counts: a small core,
+//! a distribution tier, and access routers, with one or more exit routers.
+//! The higher-level scenario builders then layer the features the paper
+//! highlights (recursive static routes, iBGP over OSPF) on top of these
+//! topologies.
+
+use crate::ip::{Ipv4Addr, Prefix};
+use crate::topology::{NodeId, Topology, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the enterprise generator.
+#[derive(Clone, Debug)]
+pub struct EnterpriseSpec {
+    /// A label for reporting ("I", "II", ..., "Stanford").
+    pub name: String,
+    /// Total number of routers (≥ 2).
+    pub routers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EnterpriseSpec {
+    /// The ten networks of Figure 7(h), with the device counts from the
+    /// paper: I(52), II(63), III(71), IV(63), V(36), VI(2), VII(30),
+    /// VIII(30), IX(3) and a Stanford-backbone-sized network (16 routers).
+    pub fn paper_set() -> Vec<EnterpriseSpec> {
+        let sizes: [(&str, usize); 10] = [
+            ("I", 52),
+            ("II", 63),
+            ("III", 71),
+            ("IV", 63),
+            ("V", 36),
+            ("VI", 2),
+            ("VII", 30),
+            ("VIII", 30),
+            ("IX", 3),
+            ("Stanford", 16),
+        ];
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, (name, n))| EnterpriseSpec {
+                name: name.to_string(),
+                routers: *n,
+                seed: 7000 + i as u64,
+            })
+            .collect()
+    }
+}
+
+/// A generated enterprise network.
+#[derive(Clone, Debug)]
+pub struct EnterpriseNetwork {
+    /// Label from the spec.
+    pub name: String,
+    /// Router-level topology.
+    pub topology: Topology,
+    /// Core routers (2 for networks with ≥ 6 routers, otherwise 1).
+    pub core: Vec<NodeId>,
+    /// Distribution routers.
+    pub distribution: Vec<NodeId>,
+    /// Access routers.
+    pub access: Vec<NodeId>,
+    /// OSPF link weights, indexed by link id.
+    pub link_weights: Vec<u32>,
+    /// Subnet prefix originated by each access router (parallel to `access`).
+    pub access_prefixes: Vec<Prefix>,
+    /// The exit/border routers (subset of `core`) that default routes and
+    /// iBGP sessions hang off.
+    pub exits: Vec<NodeId>,
+}
+
+/// Generate an enterprise network from a spec.
+pub fn enterprise_network(spec: &EnterpriseSpec) -> EnterpriseNetwork {
+    assert!(spec.routers >= 2, "enterprise networks need at least 2 routers");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = TopologyBuilder::new();
+    let mut link_weights: Vec<u32> = Vec::new();
+
+    let n = spec.routers;
+    // Tiny networks (the paper has 2- and 3-router ones) are just a chain.
+    if n <= 4 {
+        let routers: Vec<NodeId> = (0..n)
+            .map(|i| b.add_router(&format!("{}-r{i}", spec.name)))
+            .collect();
+        for (i, &r) in routers.iter().enumerate() {
+            b.set_loopback(r, Ipv4Addr::new(172, 31, 0, (i + 1) as u8));
+        }
+        for w in routers.windows(2) {
+            b.add_link(w[0], w[1]);
+            link_weights.push(1);
+        }
+        let access_prefixes: Vec<Prefix> = routers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Prefix::new(Ipv4Addr::new(10, 200, i as u8, 0), 24))
+            .collect();
+        let topology = b.build();
+        return EnterpriseNetwork {
+            name: spec.name.clone(),
+            core: vec![routers[0]],
+            exits: vec![routers[0]],
+            distribution: Vec::new(),
+            access: routers.clone(),
+            access_prefixes,
+            link_weights,
+            topology,
+        };
+    }
+
+    let core_count = 2usize;
+    let dist_count = ((n - core_count) / 4).max(1);
+    let access_count = n - core_count - dist_count;
+
+    let core: Vec<NodeId> = (0..core_count)
+        .map(|i| b.add_router(&format!("{}-core{i}", spec.name)))
+        .collect();
+    let distribution: Vec<NodeId> = (0..dist_count)
+        .map(|i| b.add_router(&format!("{}-dist{i}", spec.name)))
+        .collect();
+    let access: Vec<NodeId> = (0..access_count)
+        .map(|i| b.add_router(&format!("{}-acc{i}", spec.name)))
+        .collect();
+    for (i, &r) in core.iter().chain(distribution.iter()).chain(access.iter()).enumerate() {
+        b.set_loopback(
+            r,
+            Ipv4Addr::new(172, 31, (i / 250) as u8, (i % 250 + 1) as u8),
+        );
+    }
+
+    // Core pair interconnect.
+    b.add_link(core[0], core[1]);
+    link_weights.push(1);
+
+    // Every distribution router dual-homed to both cores.
+    for &d in &distribution {
+        for &c in &core {
+            b.add_link(d, c);
+            link_weights.push(rng.gen_range(1..=5));
+        }
+    }
+
+    // Access routers attach to one or two distribution routers.
+    let mut access_prefixes = Vec::with_capacity(access_count);
+    for (idx, &a) in access.iter().enumerate() {
+        let primary = distribution[idx % dist_count];
+        b.add_link(a, primary);
+        link_weights.push(rng.gen_range(1..=10));
+        if rng.gen_bool(0.5) && dist_count > 1 {
+            let secondary = distribution[(idx + 1) % dist_count];
+            b.add_link(a, secondary);
+            link_weights.push(rng.gen_range(1..=10));
+        }
+        access_prefixes.push(Prefix::new(
+            Ipv4Addr::new(10, 200, (idx % 250) as u8, 0),
+            24,
+        ));
+    }
+
+    let topology = b.build();
+    debug_assert_eq!(link_weights.len(), topology.link_count());
+
+    EnterpriseNetwork {
+        name: spec.name.clone(),
+        exits: core.clone(),
+        core,
+        distribution,
+        access,
+        link_weights,
+        access_prefixes,
+        topology,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_sizes() {
+        let specs = EnterpriseSpec::paper_set();
+        assert_eq!(specs.len(), 10);
+        for spec in &specs {
+            let net = enterprise_network(spec);
+            assert_eq!(net.topology.node_count(), spec.routers, "{}", spec.name);
+            assert!(net.topology.is_connected(), "{} disconnected", spec.name);
+            assert_eq!(net.link_weights.len(), net.topology.link_count());
+        }
+    }
+
+    #[test]
+    fn tiny_networks_are_chains() {
+        let net = enterprise_network(&EnterpriseSpec {
+            name: "VI".into(),
+            routers: 2,
+            seed: 1,
+        });
+        assert_eq!(net.topology.node_count(), 2);
+        assert_eq!(net.topology.link_count(), 1);
+        assert_eq!(net.access.len(), 2);
+    }
+
+    #[test]
+    fn tiers_partition_the_routers() {
+        let net = enterprise_network(&EnterpriseSpec {
+            name: "II".into(),
+            routers: 63,
+            seed: 2,
+        });
+        assert_eq!(
+            net.core.len() + net.distribution.len() + net.access.len(),
+            63
+        );
+        assert_eq!(net.access_prefixes.len(), net.access.len());
+        assert!(!net.exits.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let spec = EnterpriseSpec {
+            name: "X".into(),
+            routers: 40,
+            seed: 99,
+        };
+        let a = enterprise_network(&spec);
+        let b = enterprise_network(&spec);
+        assert_eq!(a.topology.link_count(), b.topology.link_count());
+        assert_eq!(a.link_weights, b.link_weights);
+    }
+}

@@ -1,0 +1,253 @@
+//! k-ary fat-tree generator.
+//!
+//! A k-ary fat tree (Al-Fares et al.) has `k` pods, each with `k/2` edge and
+//! `k/2` aggregation switches, plus `(k/2)^2` core switches — `5k^2/4`
+//! switches in total. The paper's fat-tree sizes map to `k` as follows:
+//! N=20 → k=4, N=45 → k=6, N=80 → k=8, N=125 → k=10, N=180 → k=12,
+//! N=245 → k=14, N=320 → k=16, N=500 → k=20, N=720 → k=24, N=980 → k=28,
+//! N=1280 → k=32, N=1620 → k=36, N=2205 → k=42.
+
+use crate::ip::{Ipv4Addr, Prefix};
+use crate::topology::{NodeId, Topology, TopologyBuilder};
+
+/// A generated fat tree: the topology plus the role of every switch.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    /// The switch-level topology.
+    pub topology: Topology,
+    /// Fat-tree arity (`k`). Must be even.
+    pub k: usize,
+    /// Core switches, `(k/2)^2` of them.
+    pub core: Vec<NodeId>,
+    /// Aggregation switches grouped by pod: `aggregation[pod][i]`.
+    pub aggregation: Vec<Vec<NodeId>>,
+    /// Edge switches grouped by pod: `edge[pod][i]`.
+    pub edge: Vec<Vec<NodeId>>,
+    /// The prefix originated by each edge switch (rack prefix), indexed in
+    /// the same order as [`FatTree::edges_flat`].
+    pub edge_prefixes: Vec<Prefix>,
+}
+
+impl FatTree {
+    /// Total number of switches (`5k^2/4`).
+    pub fn switch_count(&self) -> usize {
+        self.topology.node_count()
+    }
+
+    /// All aggregation switches in a flat list (pod order).
+    pub fn aggregations_flat(&self) -> Vec<NodeId> {
+        self.aggregation.iter().flatten().copied().collect()
+    }
+
+    /// All edge switches in a flat list (pod order).
+    pub fn edges_flat(&self) -> Vec<NodeId> {
+        self.edge.iter().flatten().copied().collect()
+    }
+
+    /// The rack prefix originated by edge switch `e`, if `e` is an edge switch.
+    pub fn prefix_of_edge(&self, e: NodeId) -> Option<Prefix> {
+        self.edges_flat()
+            .iter()
+            .position(|&x| x == e)
+            .map(|i| self.edge_prefixes[i])
+    }
+
+    /// The pod number of a switch, or `None` for core switches.
+    pub fn pod_of(&self, n: NodeId) -> Option<usize> {
+        for (pod, (aggs, edges)) in self.aggregation.iter().zip(self.edge.iter()).enumerate() {
+            if aggs.contains(&n) || edges.contains(&n) {
+                return Some(pod);
+            }
+        }
+        None
+    }
+
+    /// The number of switches a fat tree of arity `k` has.
+    pub fn size_for_k(k: usize) -> usize {
+        5 * k * k / 4
+    }
+
+    /// The smallest even `k` whose fat tree has at least `n` switches.
+    pub fn k_for_size(n: usize) -> usize {
+        let mut k = 2;
+        while Self::size_for_k(k) < n {
+            k += 2;
+        }
+        k
+    }
+}
+
+/// Generate a k-ary fat tree. `k` must be even and at least 2.
+///
+/// Edge switch `e` (the i-th edge switch overall) originates the rack prefix
+/// `10.p.e.0/24` where `p` is its pod; every switch also gets a loopback
+/// `172.16.x.y/32` style address so that iBGP / recursive-routing scenarios
+/// can be layered on top.
+pub fn fat_tree(k: usize) -> FatTree {
+    assert!(k >= 2 && k % 2 == 0, "fat tree arity must be even and >= 2, got {k}");
+    let half = k / 2;
+    let mut b = TopologyBuilder::new();
+
+    // Core switches.
+    let mut core = Vec::with_capacity(half * half);
+    for i in 0..half * half {
+        let id = b.add_router(&format!("core{i}"));
+        b.set_loopback(
+            id,
+            Ipv4Addr::new(172, 16, (i / 250) as u8, (i % 250 + 1) as u8),
+        );
+        core.push(id);
+    }
+    // Per-pod aggregation and edge switches.
+    let mut aggregation = Vec::with_capacity(k);
+    let mut edge = Vec::with_capacity(k);
+    let mut edge_prefixes = Vec::new();
+    for pod in 0..k {
+        let mut aggs = Vec::with_capacity(half);
+        let mut edges = Vec::with_capacity(half);
+        for i in 0..half {
+            let id = b.add_router(&format!("agg{pod}_{i}"));
+            b.set_loopback(
+                id,
+                Ipv4Addr::new(172, 17, pod as u8, (i + 1) as u8),
+            );
+            aggs.push(id);
+        }
+        for i in 0..half {
+            let id = b.add_router(&format!("edge{pod}_{i}"));
+            b.set_loopback(
+                id,
+                Ipv4Addr::new(172, 18, pod as u8, (i + 1) as u8),
+            );
+            edges.push(id);
+            edge_prefixes.push(Prefix::new(
+                Ipv4Addr::new(10, (pod % 250) as u8, (i % 250) as u8, 0),
+                24,
+            ));
+        }
+        // Edge <-> aggregation full bipartite within the pod.
+        for &e in &edges {
+            for &a in &aggs {
+                b.add_link(e, a);
+            }
+        }
+        aggregation.push(aggs);
+        edge.push(edges);
+    }
+    // Aggregation <-> core: aggregation switch i of each pod connects to core
+    // switches [i*half, (i+1)*half).
+    for pod in 0..k {
+        for (i, &agg) in aggregation[pod].iter().enumerate() {
+            for j in 0..half {
+                let c = core[i * half + j];
+                b.add_link(agg, c);
+            }
+        }
+    }
+
+    // Disambiguate prefixes: with many pods the modular arithmetic above can
+    // collide; re-assign sequentially to guarantee uniqueness.
+    for (idx, p) in edge_prefixes.iter_mut().enumerate() {
+        let hi = (idx / 250) as u8;
+        let lo = (idx % 250) as u8;
+        *p = Prefix::new(Ipv4Addr::new(10, hi, lo, 0), 24);
+    }
+
+    FatTree {
+        topology: b.build(),
+        k,
+        core,
+        aggregation,
+        edge,
+        edge_prefixes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn k4_sizes() {
+        let ft = fat_tree(4);
+        assert_eq!(ft.switch_count(), 20);
+        assert_eq!(ft.core.len(), 4);
+        assert_eq!(ft.aggregation.len(), 4);
+        assert_eq!(ft.edge.len(), 4);
+        assert_eq!(ft.edges_flat().len(), 8);
+        // Each edge switch: k/2 uplinks. Each agg: k/2 down + k/2 up.
+        for &e in &ft.edges_flat() {
+            assert_eq!(ft.topology.degree(e), 2);
+        }
+        for &a in &ft.aggregations_flat() {
+            assert_eq!(ft.topology.degree(a), 4);
+        }
+        // Core: one link per pod.
+        for &c in &ft.core {
+            assert_eq!(ft.topology.degree(c), 4);
+        }
+        assert!(ft.topology.is_connected());
+    }
+
+    #[test]
+    fn paper_size_mapping() {
+        assert_eq!(FatTree::size_for_k(4), 20);
+        assert_eq!(FatTree::size_for_k(6), 45);
+        assert_eq!(FatTree::size_for_k(8), 80);
+        assert_eq!(FatTree::size_for_k(10), 125);
+        assert_eq!(FatTree::size_for_k(12), 180);
+        assert_eq!(FatTree::size_for_k(14), 245);
+        assert_eq!(FatTree::size_for_k(16), 320);
+        assert_eq!(FatTree::k_for_size(245), 14);
+        assert_eq!(FatTree::k_for_size(20), 4);
+    }
+
+    #[test]
+    fn k6_link_count() {
+        let ft = fat_tree(6);
+        assert_eq!(ft.switch_count(), 45);
+        // Links: k pods * (k/2 edge * k/2 agg) + k pods * (k/2 agg * k/2 core links)
+        // = k^3/4 + k^3/4 = k^3/2 = 108
+        assert_eq!(ft.topology.link_count(), 108);
+        assert!(ft.topology.is_connected());
+    }
+
+    #[test]
+    fn edge_prefixes_unique() {
+        let ft = fat_tree(8);
+        let set: HashSet<_> = ft.edge_prefixes.iter().collect();
+        assert_eq!(set.len(), ft.edge_prefixes.len());
+        assert_eq!(ft.edge_prefixes.len(), ft.edges_flat().len());
+    }
+
+    #[test]
+    fn prefix_of_edge_lookup() {
+        let ft = fat_tree(4);
+        let e0 = ft.edge[0][0];
+        assert_eq!(ft.prefix_of_edge(e0), Some(ft.edge_prefixes[0]));
+        assert_eq!(ft.prefix_of_edge(ft.core[0]), None);
+    }
+
+    #[test]
+    fn pod_membership() {
+        let ft = fat_tree(4);
+        assert_eq!(ft.pod_of(ft.edge[2][1]), Some(2));
+        assert_eq!(ft.pod_of(ft.aggregation[3][0]), Some(3));
+        assert_eq!(ft.pod_of(ft.core[0]), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_k_rejected() {
+        fat_tree(5);
+    }
+
+    #[test]
+    fn loopbacks_assigned() {
+        let ft = fat_tree(4);
+        for n in ft.topology.nodes() {
+            assert!(n.loopback.is_some(), "{} has no loopback", n.name);
+        }
+    }
+}

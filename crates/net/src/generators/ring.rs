@@ -1,0 +1,74 @@
+//! Ring topology generator, used by the optimization micro-benchmarks
+//! (Figure 8: "Ring, OSPF, 4/8/16 nodes, 1 failure").
+
+use crate::ip::{Ipv4Addr, Prefix};
+use crate::topology::{LinkId, NodeId, Topology, TopologyBuilder};
+
+/// A generated ring: `n` routers connected in a cycle.
+#[derive(Clone, Debug)]
+pub struct RingNetwork {
+    /// The topology.
+    pub topology: Topology,
+    /// The routers in ring order.
+    pub routers: Vec<NodeId>,
+    /// The ring links: `links[i]` joins `routers[i]` and `routers[(i+1) % n]`.
+    pub links: Vec<LinkId>,
+    /// The prefix originated by router 0 (the destination checked in the
+    /// Figure 8 experiments).
+    pub destination_prefix: Prefix,
+}
+
+/// Generate a ring of `n >= 3` routers. Router 0 originates `10.99.0.0/24`.
+pub fn ring(n: usize) -> RingNetwork {
+    assert!(n >= 3, "a ring needs at least 3 routers, got {n}");
+    let mut b = TopologyBuilder::new();
+    let routers: Vec<NodeId> = (0..n).map(|i| b.add_router(&format!("r{i}"))).collect();
+    for (i, &r) in routers.iter().enumerate() {
+        b.set_loopback(r, Ipv4Addr::new(172, 20, (i / 250) as u8, (i % 250 + 1) as u8));
+    }
+    let mut links = Vec::with_capacity(n);
+    for i in 0..n {
+        links.push(b.add_link(routers[i], routers[(i + 1) % n]));
+    }
+    RingNetwork {
+        topology: b.build(),
+        routers,
+        links,
+        destination_prefix: Prefix::new(Ipv4Addr::new(10, 99, 0, 0), 24),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let r = ring(8);
+        assert_eq!(r.topology.node_count(), 8);
+        assert_eq!(r.topology.link_count(), 8);
+        for &n in &r.routers {
+            assert_eq!(r.topology.degree(n), 2);
+        }
+        assert!(r.topology.is_connected());
+    }
+
+    #[test]
+    fn ring_survives_one_failure() {
+        let r = ring(4);
+        assert!(r.topology.is_connected_without(&[r.links[0]]));
+        assert!(!r.topology.is_connected_without(&[r.links[0], r.links[2]]));
+    }
+
+    #[test]
+    fn smallest_ring() {
+        let r = ring(3);
+        assert_eq!(r.topology.link_count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_rejected() {
+        ring(2);
+    }
+}

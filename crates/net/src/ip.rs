@@ -1,0 +1,468 @@
+//! IPv4 addresses, prefixes and contiguous header ranges.
+//!
+//! Plankton partitions the destination-address header space into Packet
+//! Equivalence Classes (PECs). The partition is computed over *prefixes*
+//! collected from the configuration and is represented as disjoint
+//! [`IpRange`]s. This module provides the small amount of address arithmetic
+//! that the trie-based PEC computation needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address stored as a host-order `u32`.
+///
+/// A thin wrapper (rather than `std::net::Ipv4Addr`) so that the ordered
+/// integer arithmetic used by the PEC trie is explicit and cheap.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// The all-zeros address `0.0.0.0`.
+    pub const ZERO: Ipv4Addr = Ipv4Addr(0);
+    /// The all-ones address `255.255.255.255`.
+    pub const MAX: Ipv4Addr = Ipv4Addr(u32::MAX);
+
+    /// Build an address from its four dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | (d as u32))
+    }
+
+    /// The raw host-order integer value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The four dotted-quad octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Bit `i` of the address counting from the most significant bit
+    /// (`i = 0` is the top bit). Used by the PEC trie descent.
+    pub const fn bit(self, i: u8) -> bool {
+        debug_assert!(i < 32);
+        (self.0 >> (31 - i)) & 1 == 1
+    }
+
+    /// Saturating successor, used when walking adjacent ranges.
+    pub const fn saturating_next(self) -> Ipv4Addr {
+        Ipv4Addr(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl From<u32> for Ipv4Addr {
+    fn from(v: u32) -> Self {
+        Ipv4Addr(v)
+    }
+}
+
+impl FromStr for Ipv4Addr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut octets = [0u8; 4];
+        for o in octets.iter_mut() {
+            let p = parts.next().ok_or(AddrParseError::TooFewOctets)?;
+            *o = p.parse().map_err(|_| AddrParseError::BadOctet)?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError::TooManyOctets);
+        }
+        Ok(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// Error parsing an address or prefix from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrParseError {
+    /// Fewer than four dotted-quad octets.
+    TooFewOctets,
+    /// More than four dotted-quad octets.
+    TooManyOctets,
+    /// An octet was not a number in `0..=255`.
+    BadOctet,
+    /// Prefix length missing or malformed (`a.b.c.d/len`).
+    BadPrefixLength,
+}
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrParseError::TooFewOctets => write!(f, "too few octets"),
+            AddrParseError::TooManyOctets => write!(f, "too many octets"),
+            AddrParseError::BadOctet => write!(f, "octet out of range"),
+            AddrParseError::BadPrefixLength => write!(f, "bad prefix length"),
+        }
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+/// An IPv4 destination prefix `addr/len`.
+///
+/// The address is always stored in canonical (masked) form: bits below the
+/// prefix length are zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+impl Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix {
+        addr: Ipv4Addr(0),
+        len: 0,
+    };
+
+    /// Construct a prefix, masking the address down to `len` bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix {
+            addr: Ipv4Addr(addr.0 & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// A host route (`/32`) for a single address.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Prefix::new(addr, 32)
+    }
+
+    /// Network mask for a prefix length.
+    pub const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The canonical (masked) network address.
+    pub const fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` only for the default route.
+    pub const fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First address covered by the prefix.
+    pub const fn first(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Last address covered by the prefix.
+    pub const fn last(&self) -> Ipv4Addr {
+        Ipv4Addr(self.addr.0 | !Self::mask(self.len))
+    }
+
+    /// The contiguous address range covered by the prefix.
+    pub const fn range(&self) -> IpRange {
+        IpRange {
+            lo: self.first(),
+            hi: self.last(),
+        }
+    }
+
+    /// Does the prefix cover `addr`?
+    pub const fn contains(&self, addr: Ipv4Addr) -> bool {
+        (addr.0 & Self::mask(self.len)) == self.addr.0
+    }
+
+    /// Does `self` cover every address of `other`? (I.e. `self` is equal or
+    /// less specific and on the same branch of the trie.)
+    pub fn covers(&self, other: &Prefix) -> bool {
+        self.len <= other.len && self.contains(other.addr)
+    }
+
+    /// Do the two prefixes share any address?
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// Bit `i` of the prefix (only meaningful for `i < len`).
+    pub const fn bit(&self, i: u8) -> bool {
+        self.addr.bit(i)
+    }
+
+    /// The two halves of this prefix (one bit longer). `None` for a `/32`.
+    pub fn children(&self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let left = Prefix {
+            addr: self.addr,
+            len: self.len + 1,
+        };
+        let right = Prefix {
+            addr: Ipv4Addr(self.addr.0 | (1 << (31 - self.len))),
+            len: self.len + 1,
+        };
+        Some((left, right))
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((a, l)) => {
+                let addr: Ipv4Addr = a.parse()?;
+                let len: u8 = l.parse().map_err(|_| AddrParseError::BadPrefixLength)?;
+                if len > 32 {
+                    return Err(AddrParseError::BadPrefixLength);
+                }
+                Ok(Prefix::new(addr, len))
+            }
+            None => {
+                let addr: Ipv4Addr = s.parse()?;
+                Ok(Prefix::host(addr))
+            }
+        }
+    }
+}
+
+/// A closed, contiguous range of IPv4 addresses `[lo, hi]`.
+///
+/// Packet Equivalence Classes are represented as ranges because the prefix
+/// boundaries collected in the trie slice the 32-bit space into contiguous
+/// pieces that are not necessarily aligned prefixes themselves
+/// (see Figure 4 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IpRange {
+    /// Lowest address in the range (inclusive).
+    pub lo: Ipv4Addr,
+    /// Highest address in the range (inclusive).
+    pub hi: Ipv4Addr,
+}
+
+impl IpRange {
+    /// The full 32-bit address space.
+    pub const FULL: IpRange = IpRange {
+        lo: Ipv4Addr::ZERO,
+        hi: Ipv4Addr::MAX,
+    };
+
+    /// Construct a range; `lo` must not exceed `hi`.
+    pub fn new(lo: Ipv4Addr, hi: Ipv4Addr) -> Self {
+        assert!(lo <= hi, "empty IpRange {lo}..{hi}");
+        IpRange { lo, hi }
+    }
+
+    /// Number of addresses in the range (as `u64`, since the full space does
+    /// not fit a `u32`).
+    pub fn size(&self) -> u64 {
+        (self.hi.0 as u64) - (self.lo.0 as u64) + 1
+    }
+
+    /// Does the range contain `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.lo <= addr && addr <= self.hi
+    }
+
+    /// Does the range contain the entire `prefix`?
+    pub fn contains_prefix(&self, prefix: &Prefix) -> bool {
+        self.lo <= prefix.first() && prefix.last() <= self.hi
+    }
+
+    /// Do the two ranges share any address?
+    pub fn overlaps(&self, other: &IpRange) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection of two ranges, if non-empty.
+    pub fn intersect(&self, other: &IpRange) -> Option<IpRange> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(IpRange { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// A representative address from the range (its lowest address).
+    pub fn representative(&self) -> Ipv4Addr {
+        self.lo
+    }
+}
+
+impl fmt::Debug for IpRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} - {}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for IpRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} - {}]", self.lo, self.hi)
+    }
+}
+
+impl From<Prefix> for IpRange {
+    fn from(p: Prefix) -> Self {
+        p.range()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip() {
+        let a = Ipv4Addr::new(10, 1, 2, 3);
+        assert_eq!(a.octets(), [10, 1, 2, 3]);
+        assert_eq!(a.to_string(), "10.1.2.3");
+        assert_eq!("10.1.2.3".parse::<Ipv4Addr>().unwrap(), a);
+    }
+
+    #[test]
+    fn addr_parse_errors() {
+        assert_eq!("10.1.2".parse::<Ipv4Addr>(), Err(AddrParseError::TooFewOctets));
+        assert_eq!(
+            "10.1.2.3.4".parse::<Ipv4Addr>(),
+            Err(AddrParseError::TooManyOctets)
+        );
+        assert_eq!("10.1.2.256".parse::<Ipv4Addr>(), Err(AddrParseError::BadOctet));
+    }
+
+    #[test]
+    fn addr_bits() {
+        let a = Ipv4Addr::new(128, 0, 0, 1);
+        assert!(a.bit(0));
+        assert!(!a.bit(1));
+        assert!(a.bit(31));
+    }
+
+    #[test]
+    fn prefix_masking_is_canonical() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(p.addr(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn prefix_parse() {
+        let p: Prefix = "192.0.0.0/2".parse().unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.first(), Ipv4Addr::new(192, 0, 0, 0));
+        assert_eq!(p.last(), Ipv4Addr::new(255, 255, 255, 255));
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        // Bare address parses as a host route.
+        let h: Prefix = "10.0.0.1".parse().unwrap();
+        assert_eq!(h.len(), 32);
+    }
+
+    #[test]
+    fn prefix_contains_and_covers() {
+        let p: Prefix = "128.0.0.0/1".parse().unwrap();
+        let q: Prefix = "192.0.0.0/2".parse().unwrap();
+        assert!(p.covers(&q));
+        assert!(!q.covers(&p));
+        assert!(p.overlaps(&q));
+        assert!(p.contains(Ipv4Addr::new(200, 0, 0, 1)));
+        assert!(!p.contains(Ipv4Addr::new(100, 0, 0, 1)));
+    }
+
+    #[test]
+    fn prefix_children_split_the_range() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let (l, r) = p.children().unwrap();
+        assert_eq!(l.first(), p.first());
+        assert_eq!(r.last(), p.last());
+        assert_eq!(l.last().saturating_next(), r.first());
+        assert!(Prefix::host(Ipv4Addr::MAX).children().is_none());
+    }
+
+    #[test]
+    fn default_prefix_covers_everything() {
+        assert!(Prefix::DEFAULT.contains(Ipv4Addr::ZERO));
+        assert!(Prefix::DEFAULT.contains(Ipv4Addr::MAX));
+        assert_eq!(Prefix::DEFAULT.range(), IpRange::FULL);
+    }
+
+    #[test]
+    fn range_intersection() {
+        let a = IpRange::new(Ipv4Addr(0), Ipv4Addr(100));
+        let b = IpRange::new(Ipv4Addr(50), Ipv4Addr(200));
+        assert_eq!(a.intersect(&b), Some(IpRange::new(Ipv4Addr(50), Ipv4Addr(100))));
+        let c = IpRange::new(Ipv4Addr(150), Ipv4Addr(200));
+        assert_eq!(a.intersect(&c), None);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn range_size_handles_full_space() {
+        assert_eq!(IpRange::FULL.size(), 1u64 << 32);
+        assert_eq!(IpRange::new(Ipv4Addr(5), Ipv4Addr(5)).size(), 1);
+    }
+
+    #[test]
+    fn range_contains_prefix() {
+        let r = IpRange::new(Ipv4Addr::new(128, 0, 0, 0), Ipv4Addr::new(191, 255, 255, 255));
+        assert!(r.contains_prefix(&"128.0.0.0/2".parse().unwrap()));
+        assert!(!r.contains_prefix(&"128.0.0.0/1".parse().unwrap()));
+    }
+
+    #[test]
+    fn paper_figure4_ranges() {
+        // The example in Figure 4: prefixes 128.0.0.0/1 and 192.0.0.0/2
+        // split the space into three PEC ranges.
+        let p1: Prefix = "128.0.0.0/1".parse().unwrap();
+        let p2: Prefix = "192.0.0.0/2".parse().unwrap();
+        assert_eq!(
+            p1.range(),
+            IpRange::new(Ipv4Addr::new(128, 0, 0, 0), Ipv4Addr::MAX)
+        );
+        assert_eq!(
+            p2.range(),
+            IpRange::new(Ipv4Addr::new(192, 0, 0, 0), Ipv4Addr::MAX)
+        );
+        assert!(p1.covers(&p2));
+    }
+}

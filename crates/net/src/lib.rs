@@ -1,0 +1,22 @@
+//! # plankton-net
+//!
+//! Network substrate for the Plankton configuration verifier: IPv4 addressing,
+//! prefixes and header ranges, the device/link topology model, link-failure
+//! environments, and the topology generators used by the paper's evaluation
+//! (fat trees, rings, RocketFuel-scale AS topologies and synthetic
+//! "real-world" enterprise networks).
+//!
+//! Everything in this crate is purely structural: it knows nothing about
+//! routing protocols or policies. Higher layers (`plankton-config`,
+//! `plankton-protocols`, `plankton-core`) attach configuration and behaviour
+//! to the identifiers defined here.
+
+pub mod failure;
+pub mod generators;
+pub mod graph;
+pub mod ip;
+pub mod topology;
+
+pub use failure::{FailureScenario, FailureSet};
+pub use ip::{IpRange, Ipv4Addr, Prefix};
+pub use topology::{InterfaceAddr, LinkId, NodeId, Topology, TopologyBuilder};

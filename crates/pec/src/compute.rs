@@ -1,0 +1,216 @@
+//! Computing Packet Equivalence Classes from a network configuration
+//! (phase 1 of Plankton, §3.1 of the paper).
+
+use crate::pec::{OriginProtocol, Pec, PecId, PecSet, PrefixConfig};
+use crate::trie::PrefixTrie;
+use plankton_config::Network;
+use plankton_net::ip::Prefix;
+use std::collections::BTreeMap;
+
+/// Compute the PECs of a network.
+///
+/// The trie is seeded with every prefix obtained from the configuration:
+/// prefixes advertised into OSPF or BGP, static-route destinations, prefixes
+/// matched by route maps, and loopback host routes. Each prefix carries a
+/// [`PrefixConfig`] describing the configuration specific to it. The trie
+/// traversal then partitions the header space; each resulting PEC keeps the
+/// config objects of every prefix covering it, most specific first.
+pub fn compute_pecs(network: &Network) -> PecSet {
+    // One PrefixConfig per distinct prefix.
+    let mut configs: BTreeMap<Prefix, PrefixConfig> = BTreeMap::new();
+    fn config_for(configs: &mut BTreeMap<Prefix, PrefixConfig>, prefix: Prefix) -> &mut PrefixConfig {
+        configs
+            .entry(prefix)
+            .or_insert_with(|| PrefixConfig::empty(prefix))
+    }
+
+    for n in network.topology.node_ids() {
+        let device = network.device(n);
+        if let Some(ospf) = &device.ospf {
+            for p in &ospf.networks {
+                config_for(&mut configs, *p)
+                    .origins
+                    .push((n, OriginProtocol::Ospf));
+            }
+        }
+        if let Some(bgp) = &device.bgp {
+            for p in &bgp.networks {
+                config_for(&mut configs, *p)
+                    .origins
+                    .push((n, OriginProtocol::Bgp));
+            }
+            // Prefixes referenced by route maps become partition boundaries
+            // but carry no origin of their own.
+            for nbr in &bgp.neighbors {
+                for p in nbr
+                    .import
+                    .referenced_prefixes()
+                    .into_iter()
+                    .chain(nbr.export.referenced_prefixes())
+                {
+                    config_for(&mut configs, p);
+                }
+            }
+        }
+        for sr in &device.static_routes {
+            config_for(&mut configs, sr.prefix)
+                .static_routes
+                .push((n, *sr));
+        }
+    }
+    // Loopbacks: connected host routes owned by their router.
+    for node in network.topology.nodes() {
+        if let Some(lb) = node.loopback {
+            config_for(&mut configs, Prefix::host(lb))
+                .origins
+                .push((node.id, OriginProtocol::Connected));
+        }
+    }
+
+    // Build the trie and partition.
+    let mut trie: PrefixTrie<PrefixConfig> = PrefixTrie::new();
+    for (prefix, cfg) in configs {
+        trie.insert(prefix, cfg);
+    }
+    let partition = trie.partition();
+
+    let mut pecs = Vec::with_capacity(partition.len());
+    for (idx, (range, covering)) in partition.into_iter().enumerate() {
+        // `covering` is least-specific first; the PEC wants most-specific
+        // first so that longest-prefix match is a simple scan.
+        let mut prefixes: Vec<PrefixConfig> = covering
+            .iter()
+            .rev()
+            .flat_map(|p| {
+                trie.covering(p)
+                    .into_iter()
+                    .filter(move |(cp, _)| cp == p)
+                    .map(|(_, cfg)| cfg.clone())
+            })
+            .collect();
+        // Deduplicate (covering() returns the config once per covering level,
+        // but identical prefixes could appear if re-inserted).
+        prefixes.dedup_by(|a, b| a.prefix == b.prefix);
+        pecs.push(Pec {
+            id: PecId(idx as u32),
+            range,
+            prefixes,
+        });
+    }
+
+    PecSet { pecs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_config::scenarios::{fat_tree_ospf, isp_ibgp_over_ospf, ring_ospf, CoreStaticRoutes};
+    use plankton_config::{DeviceConfig, Network, OspfConfig};
+    use plankton_net::generators::as_topo::AsTopologySpec;
+    use plankton_net::ip::{IpRange, Ipv4Addr};
+    use plankton_net::topology::TopologyBuilder;
+
+    #[test]
+    fn paper_figure4_example() {
+        // Three routers, R0 advertises 128.0.0.0/1 and R2 advertises
+        // 192.0.0.0/2 over OSPF: three PECs.
+        let mut tb = TopologyBuilder::new();
+        let r0 = tb.add_router("R0");
+        let r1 = tb.add_router("R1");
+        let r2 = tb.add_router("R2");
+        tb.add_link(r0, r1);
+        tb.add_link(r1, r2);
+        tb.add_link(r2, r0);
+        let mut net = Network::unconfigured(tb.build());
+        *net.device_mut(r0) = DeviceConfig::empty()
+            .with_ospf(OspfConfig::originating(vec!["128.0.0.0/1".parse().unwrap()]));
+        *net.device_mut(r1) = DeviceConfig::empty().with_ospf(OspfConfig::enabled());
+        *net.device_mut(r2) = DeviceConfig::empty()
+            .with_ospf(OspfConfig::originating(vec!["192.0.0.0/2".parse().unwrap()]));
+
+        let pecs = compute_pecs(&net);
+        assert_eq!(pecs.len(), 3);
+        assert_eq!(
+            pecs.pecs[0].range,
+            IpRange::new(Ipv4Addr::ZERO, Ipv4Addr::new(127, 255, 255, 255))
+        );
+        assert!(pecs.pecs[0].is_inert());
+        // Middle PEC: only R0's /1.
+        assert_eq!(pecs.pecs[1].prefixes.len(), 1);
+        assert_eq!(pecs.pecs[1].prefixes[0].origin_nodes(), vec![r0]);
+        // Top PEC: both prefixes, most specific (the /2) first.
+        assert_eq!(pecs.pecs[2].prefixes.len(), 2);
+        assert_eq!(pecs.pecs[2].prefixes[0].prefix.len(), 2);
+        assert_eq!(pecs.pecs[2].prefixes[0].origin_nodes(), vec![r2]);
+        assert_eq!(pecs.pecs[2].prefixes[1].origin_nodes(), vec![r0]);
+    }
+
+    #[test]
+    fn pecs_partition_the_space() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let pecs = compute_pecs(&s.network);
+        assert_eq!(pecs.pecs.first().unwrap().range.lo, Ipv4Addr::ZERO);
+        assert_eq!(pecs.pecs.last().unwrap().range.hi, Ipv4Addr::MAX);
+        for w in pecs.pecs.windows(2) {
+            assert_eq!(w[0].range.hi.saturating_next(), w[1].range.lo);
+        }
+    }
+
+    #[test]
+    fn ring_has_one_active_destination_pec() {
+        let s = ring_ospf(8);
+        let pecs = compute_pecs(&s.network);
+        let active: Vec<_> = pecs
+            .active_pecs()
+            .into_iter()
+            .filter(|p| p.range.contains_prefix(&s.destination) || s.destination.range().overlaps(&p.range))
+            .collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].prefixes[0].origin_nodes(), vec![s.origin]);
+    }
+
+    #[test]
+    fn fat_tree_destination_pecs_match_edge_count() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let pecs = compute_pecs(&s.network);
+        for prefix in &s.destinations {
+            let overlapping = pecs.pecs_overlapping(prefix);
+            // Each /24 rack prefix maps onto exactly one PEC whose range is
+            // that /24 (no other config touches it).
+            assert_eq!(overlapping.len(), 1, "{prefix}");
+            assert_eq!(overlapping[0].range, prefix.range());
+            assert!(!overlapping[0].is_inert());
+        }
+    }
+
+    #[test]
+    fn static_routes_attach_to_their_prefix_pec() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let pecs = compute_pecs(&s.network);
+        let p0 = s.destinations[0];
+        let pec = pecs.pecs_overlapping(&p0)[0];
+        let cfg = pec
+            .prefixes
+            .iter()
+            .find(|c| c.prefix == p0)
+            .expect("prefix config present");
+        assert_eq!(cfg.static_routes.len(), s.fat_tree.core.len());
+    }
+
+    #[test]
+    fn ibgp_scenario_has_loopback_and_bgp_pecs() {
+        let s = isp_ibgp_over_ospf(&AsTopologySpec::paper_as(3967));
+        let pecs = compute_pecs(&s.network);
+        // Every BGP destination lives in a PEC that involves BGP.
+        for p in &s.bgp_destinations {
+            let pec = pecs.pecs_overlapping(p)[0];
+            assert!(pec.involves_bgp());
+        }
+        // Every backbone loopback has its own (connected) PEC.
+        for p in &s.loopback_prefixes {
+            let pec = pecs.pecs_overlapping(p)[0];
+            assert!(!pec.is_inert());
+            assert!(!pec.involves_bgp());
+        }
+    }
+}

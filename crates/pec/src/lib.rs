@@ -1,0 +1,29 @@
+//! # plankton-pec
+//!
+//! Packet Equivalence Class (PEC) computation and scheduling — the first
+//! phase of Plankton's analysis (§3.1, §3.2 of the paper).
+//!
+//! * [`trie`] — the binary prefix trie that collects every prefix referenced
+//!   by the configuration and partitions the destination header space into
+//!   contiguous ranges with identical covering-prefix sets (Figure 4).
+//! * [`pec`] — the [`Pec`](pec::Pec) type: an address range plus the
+//!   per-prefix configuration objects that contribute to it.
+//! * [`compute`] — building PECs from a [`Network`](plankton_config::Network).
+//! * [`dependency`] — the PEC dependency graph (recursive static routes,
+//!   iBGP over an IGP), Tarjan SCCs and the condensation DAG (Figure 5).
+//! * [`scheduler`] — the dependency-aware scheduler: strongly connected
+//!   components are verified together, dependencies first, independent
+//!   components in parallel, with converged outcomes of earlier runs stored
+//!   for their dependents (§3.2).
+
+pub mod compute;
+pub mod dependency;
+pub mod pec;
+pub mod scheduler;
+pub mod trie;
+
+pub use compute::compute_pecs;
+pub use dependency::{DependencyGraph, PecDependencies};
+pub use pec::{OriginProtocol, Pec, PecId, PecSet, PrefixConfig};
+pub use scheduler::{DependencyStore, Scheduler, SchedulerReport};
+pub use trie::PrefixTrie;

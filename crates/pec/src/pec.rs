@@ -1,0 +1,297 @@
+//! The Packet Equivalence Class type.
+
+use plankton_net::ip::{IpRange, Ipv4Addr, Prefix};
+use plankton_net::topology::NodeId;
+use plankton_config::static_routes::StaticRoute;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a PEC within a [`PecSet`]. Dense indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PecId(pub u32);
+
+impl PecId {
+    /// The index of this PEC, for indexing per-PEC vectors.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pec{}", self.0)
+    }
+}
+
+impl fmt::Display for PecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pec{}", self.0)
+    }
+}
+
+/// Which protocol a prefix is originated into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OriginProtocol {
+    /// Originated into OSPF (a `network` statement / redistributed connected).
+    Ospf,
+    /// Originated into BGP (a `network` statement).
+    Bgp,
+    /// A loopback or connected host prefix (implicitly originated by its
+    /// owner; reachable once the IGP carries it).
+    Connected,
+}
+
+/// The configuration information specific to one prefix contributing to a
+/// PEC: who originates it and into which protocol, and which static routes
+/// exist for exactly this prefix. This is the paper's "config object"
+/// attached to each prefix in the trie (§3.1); the lengths of these prefixes
+/// still matter inside the PEC, so they are preserved.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrefixConfig {
+    /// The prefix itself (not the PEC range).
+    pub prefix: Prefix,
+    /// Devices originating the prefix, with the protocol they originate it
+    /// into.
+    pub origins: Vec<(NodeId, OriginProtocol)>,
+    /// Static routes configured for exactly this prefix, with the device they
+    /// are configured on.
+    pub static_routes: Vec<(NodeId, StaticRoute)>,
+}
+
+impl PrefixConfig {
+    /// A prefix with no origins and no static routes.
+    pub fn empty(prefix: Prefix) -> Self {
+        PrefixConfig {
+            prefix,
+            origins: Vec::new(),
+            static_routes: Vec::new(),
+        }
+    }
+
+    /// The devices that originate this prefix into any protocol.
+    pub fn origin_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.origins.iter().map(|(n, _)| *n).collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Does any device originate this prefix into `protocol`?
+    pub fn originated_into(&self, protocol: OriginProtocol) -> bool {
+        self.origins.iter().any(|(_, p)| *p == protocol)
+    }
+
+    /// Is this prefix empty of configuration (no origins, no static routes)?
+    pub fn is_inert(&self) -> bool {
+        self.origins.is_empty() && self.static_routes.is_empty()
+    }
+}
+
+/// A Packet Equivalence Class: a contiguous destination-address range plus
+/// the configuration of every prefix that covers it. All packets whose
+/// destination falls in `range` are forwarded identically throughout
+/// Plankton's exploration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pec {
+    /// Identifier within the owning [`PecSet`].
+    pub id: PecId,
+    /// The destination address range.
+    pub range: IpRange,
+    /// The contributing prefixes, ordered from most specific (longest) to
+    /// least specific. The FIB model resolves forwarding within the PEC by
+    /// longest-prefix match over exactly these.
+    pub prefixes: Vec<PrefixConfig>,
+}
+
+impl Pec {
+    /// A representative destination address for this PEC.
+    pub fn representative(&self) -> Ipv4Addr {
+        self.range.representative()
+    }
+
+    /// Is this PEC devoid of any routing configuration? Such PECs have no
+    /// routes anywhere (every packet is dropped) and are usually skipped.
+    pub fn is_inert(&self) -> bool {
+        self.prefixes.iter().all(|p| p.is_inert())
+    }
+
+    /// The most specific contributing prefix.
+    pub fn most_specific(&self) -> Option<&PrefixConfig> {
+        self.prefixes.first()
+    }
+
+    /// Does any contributing prefix involve BGP?
+    pub fn involves_bgp(&self) -> bool {
+        self.prefixes
+            .iter()
+            .any(|p| p.originated_into(OriginProtocol::Bgp))
+    }
+
+    /// All devices originating any contributing prefix.
+    pub fn origin_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .prefixes
+            .iter()
+            .flat_map(|p| p.origin_nodes())
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    /// All recursive static-route next-hop addresses referenced by this PEC's
+    /// prefixes. The dependency graph adds an edge for each of them.
+    pub fn recursive_next_hops(&self) -> Vec<Ipv4Addr> {
+        let mut out = Vec::new();
+        for p in &self.prefixes {
+            for (_, sr) in &p.static_routes {
+                if let plankton_config::static_routes::StaticNextHop::Ip(ip) = sr.next_hop {
+                    out.push(ip);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// The complete set of PECs computed for a network, in ascending address
+/// order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PecSet {
+    /// The PECs, indexed by [`PecId`].
+    pub pecs: Vec<Pec>,
+}
+
+impl PecSet {
+    /// Number of PECs.
+    pub fn len(&self) -> usize {
+        self.pecs.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.pecs.is_empty()
+    }
+
+    /// The PEC with the given id.
+    pub fn pec(&self, id: PecId) -> &Pec {
+        &self.pecs[id.index()]
+    }
+
+    /// Iterate over all PECs.
+    pub fn iter(&self) -> impl Iterator<Item = &Pec> {
+        self.pecs.iter()
+    }
+
+    /// The PEC containing `addr`.
+    pub fn pec_containing(&self, addr: Ipv4Addr) -> Option<&Pec> {
+        // Ranges are sorted and disjoint: binary search by lower bound.
+        let idx = self
+            .pecs
+            .partition_point(|p| p.range.hi < addr);
+        self.pecs.get(idx).filter(|p| p.range.contains(addr))
+    }
+
+    /// The PECs that overlap `prefix` (a destination of interest, e.g. the
+    /// prefix named by a reachability policy).
+    pub fn pecs_overlapping(&self, prefix: &Prefix) -> Vec<&Pec> {
+        let range = prefix.range();
+        self.pecs
+            .iter()
+            .filter(|p| p.range.overlaps(&range))
+            .collect()
+    }
+
+    /// The PECs that carry any configuration at all.
+    pub fn active_pecs(&self) -> Vec<&Pec> {
+        self.pecs.iter().filter(|p| !p.is_inert()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_config::static_routes::StaticRoute;
+
+    fn pec(id: u32, lo: u32, hi: u32, prefixes: Vec<PrefixConfig>) -> Pec {
+        Pec {
+            id: PecId(id),
+            range: IpRange::new(Ipv4Addr(lo), Ipv4Addr(hi)),
+            prefixes,
+        }
+    }
+
+    #[test]
+    fn inert_detection() {
+        let p = PrefixConfig::empty("10.0.0.0/8".parse().unwrap());
+        assert!(p.is_inert());
+        let pec = pec(0, 0, 100, vec![p]);
+        assert!(pec.is_inert());
+        assert!(!pec.involves_bgp());
+    }
+
+    #[test]
+    fn origin_nodes_deduplicated() {
+        let mut p = PrefixConfig::empty("10.0.0.0/8".parse().unwrap());
+        p.origins = vec![
+            (NodeId(2), OriginProtocol::Ospf),
+            (NodeId(1), OriginProtocol::Bgp),
+            (NodeId(2), OriginProtocol::Bgp),
+        ];
+        assert_eq!(p.origin_nodes(), vec![NodeId(1), NodeId(2)]);
+        assert!(p.originated_into(OriginProtocol::Bgp));
+        assert!(!p.originated_into(OriginProtocol::Connected));
+        let pec = pec(0, 0, 100, vec![p]);
+        assert!(pec.involves_bgp());
+        assert_eq!(pec.origin_nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn recursive_next_hops_collected() {
+        let mut p = PrefixConfig::empty("10.0.0.0/8".parse().unwrap());
+        p.static_routes = vec![
+            (
+                NodeId(0),
+                StaticRoute::to_ip("10.0.0.0/8".parse().unwrap(), Ipv4Addr::new(1, 1, 1, 1)),
+            ),
+            (
+                NodeId(1),
+                StaticRoute::to_interface("10.0.0.0/8".parse().unwrap(), NodeId(0)),
+            ),
+        ];
+        let pec = pec(0, 0, 100, vec![p]);
+        assert_eq!(pec.recursive_next_hops(), vec![Ipv4Addr::new(1, 1, 1, 1)]);
+    }
+
+    #[test]
+    fn pec_set_lookup() {
+        let set = PecSet {
+            pecs: vec![
+                pec(0, 0, 99, vec![]),
+                pec(1, 100, 199, vec![]),
+                pec(2, 200, u32::MAX, vec![]),
+            ],
+        };
+        assert_eq!(set.pec_containing(Ipv4Addr(50)).unwrap().id, PecId(0));
+        assert_eq!(set.pec_containing(Ipv4Addr(100)).unwrap().id, PecId(1));
+        assert_eq!(set.pec_containing(Ipv4Addr(u32::MAX)).unwrap().id, PecId(2));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn pecs_overlapping_prefix() {
+        let set = PecSet {
+            pecs: vec![
+                pec(0, 0, 0x7FFF_FFFF, vec![]),
+                pec(1, 0x8000_0000, u32::MAX, vec![]),
+            ],
+        };
+        let found = set.pecs_overlapping(&"128.0.0.0/1".parse().unwrap());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, PecId(1));
+        let all = set.pecs_overlapping(&Prefix::DEFAULT);
+        assert_eq!(all.len(), 2);
+    }
+}

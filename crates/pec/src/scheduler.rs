@@ -1,0 +1,276 @@
+//! The dependency-aware scheduler (§3.2 of the paper).
+//!
+//! Each strongly connected component of the PEC dependency graph is verified
+//! by a single verification run; a component can only be scheduled after
+//! every component it depends on has finished, and its runs receive the
+//! converged outcomes of those dependencies. Components with no ordering
+//! constraint between them are run in parallel. The paper's prototype runs
+//! each verification as a separate process writing its outcomes to an
+//! in-memory filesystem; this implementation uses scoped threads and an
+//! in-memory [`DependencyStore`], which plays the same role.
+
+use crate::dependency::PecDependencies;
+use crate::pec::PecId;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
+
+/// The shared store of per-PEC outcomes, readable by verification runs of
+/// dependent components. `T` is whatever the verifier records per PEC
+/// (Plankton stores every converged data plane together with the
+/// non-deterministic choices that produced it).
+#[derive(Debug)]
+pub struct DependencyStore<T> {
+    outcomes: RwLock<HashMap<PecId, Arc<T>>>,
+}
+
+impl<T> Default for DependencyStore<T> {
+    fn default() -> Self {
+        DependencyStore {
+            outcomes: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T> DependencyStore<T> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded outcome for a PEC, if its component has already been
+    /// verified.
+    pub fn get(&self, pec: PecId) -> Option<Arc<T>> {
+        self.outcomes
+            .read()
+            .expect("dependency store lock poisoned")
+            .get(&pec)
+            .cloned()
+    }
+
+    /// Record the outcome for a PEC.
+    pub fn insert(&self, pec: PecId, outcome: T) {
+        self.outcomes
+            .write()
+            .expect("dependency store lock poisoned")
+            .insert(pec, Arc::new(outcome));
+    }
+
+    /// Number of PECs with recorded outcomes.
+    pub fn len(&self) -> usize {
+        self.outcomes
+            .read()
+            .expect("dependency store lock poisoned")
+            .len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Statistics about a scheduler run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerReport {
+    /// Number of strongly connected components scheduled.
+    pub components: usize,
+    /// Number of sequential waves.
+    pub waves: usize,
+    /// The largest number of components that ran concurrently in any wave
+    /// (bounded by the configured parallelism).
+    pub max_concurrency: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+}
+
+/// The dependency-aware scheduler.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    /// Maximum number of component verifications run concurrently
+    /// (the paper's "number of cores").
+    pub parallelism: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler { parallelism: 1 }
+    }
+}
+
+impl Scheduler {
+    /// A scheduler running at most `parallelism` component verifications at
+    /// once.
+    pub fn new(parallelism: usize) -> Self {
+        Scheduler {
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// Run `verify` once per strongly connected component, in dependency
+    /// order, parallelising within each wave. `verify` receives the PECs of
+    /// the component (sorted) and the store of already-computed outcomes, and
+    /// returns the outcome for each of its PECs; those are inserted into the
+    /// store before the next wave starts.
+    ///
+    /// Returns the outcomes of every PEC and a [`SchedulerReport`].
+    pub fn run<T, F>(
+        &self,
+        deps: &PecDependencies,
+        verify: F,
+    ) -> (BTreeMap<PecId, Arc<T>>, SchedulerReport)
+    where
+        T: Send + Sync,
+        F: Fn(&[PecId], &DependencyStore<T>) -> BTreeMap<PecId, T> + Sync,
+    {
+        let store: DependencyStore<T> = DependencyStore::new();
+        let waves = deps.waves();
+        let mut report = SchedulerReport {
+            components: deps.component_count(),
+            waves: waves.len(),
+            max_concurrency: 0,
+            largest_component: deps.largest_component(),
+        };
+
+        for wave in &waves {
+            // Process this wave's components in chunks of at most
+            // `parallelism` concurrent verifications.
+            for chunk in wave.chunks(self.parallelism) {
+                report.max_concurrency = report.max_concurrency.max(chunk.len());
+                if chunk.len() == 1 {
+                    let comp = &deps.components[chunk[0]];
+                    let outcomes = verify(comp, &store);
+                    for (pec, outcome) in outcomes {
+                        store.insert(pec, outcome);
+                    }
+                } else {
+                    let results: Vec<BTreeMap<PecId, T>> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = chunk
+                            .iter()
+                            .map(|&ci| {
+                                let comp = &deps.components[ci];
+                                let store_ref = &store;
+                                let verify_ref = &verify;
+                                scope.spawn(move || verify_ref(comp, store_ref))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("verification thread panicked"))
+                            .collect()
+                    });
+                    for outcomes in results {
+                        for (pec, outcome) in outcomes {
+                            store.insert(pec, outcome);
+                        }
+                    }
+                }
+            }
+        }
+
+        let final_map = store
+            .outcomes
+            .into_inner()
+            .expect("dependency store lock poisoned")
+            .into_iter()
+            .collect();
+        (final_map, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependency::DependencyGraph;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn graph_from_edges(n: usize, edges: &[(u32, u32)]) -> PecDependencies {
+        let mut depends_on = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            depends_on[a as usize].push(PecId(b));
+        }
+        DependencyGraph { depends_on }.analyze()
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let store: DependencyStore<u32> = DependencyStore::new();
+        assert!(store.is_empty());
+        store.insert(PecId(3), 42);
+        assert_eq!(store.get(PecId(3)).as_deref(), Some(&42));
+        assert_eq!(store.get(PecId(4)), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn dependencies_are_available_when_dependents_run() {
+        // 0 -> 1 -> 2: when 1 runs, 2's outcome must be in the store, etc.
+        let deps = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let scheduler = Scheduler::new(4);
+        let (outcomes, report) = scheduler.run(&deps, |pecs, store| {
+            let pec = pecs[0];
+            let value = match pec.0 {
+                2 => 1u64,
+                1 => 1 + *store.get(PecId(2)).expect("dependency 2 computed first"),
+                0 => 1 + *store.get(PecId(1)).expect("dependency 1 computed first"),
+                _ => unreachable!(),
+            };
+            BTreeMap::from([(pec, value)])
+        });
+        assert_eq!(*outcomes[&PecId(0)], 3);
+        assert_eq!(report.components, 3);
+        assert_eq!(report.waves, 3);
+        assert_eq!(report.largest_component, 1);
+    }
+
+    #[test]
+    fn independent_pecs_run_in_parallel_waves() {
+        let deps = graph_from_edges(8, &[]);
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let scheduler = Scheduler::new(4);
+        let (outcomes, report) = scheduler.run(&deps, |pecs, _| {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            running.fetch_sub(1, Ordering::SeqCst);
+            BTreeMap::from([(pecs[0], pecs[0].0)])
+        });
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(report.waves, 1);
+        assert_eq!(report.max_concurrency, 4);
+        assert!(peak.load(Ordering::SeqCst) >= 2, "no parallelism observed");
+    }
+
+    #[test]
+    fn scc_members_are_verified_together() {
+        let deps = graph_from_edges(3, &[(0, 1), (1, 0), (2, 0)]);
+        let scheduler = Scheduler::new(1);
+        let (outcomes, report) = scheduler.run(&deps, |pecs, store| {
+            // The 0/1 component arrives as a single two-PEC call; PEC 2 sees
+            // both outcomes in the store.
+            if pecs.len() == 2 {
+                assert_eq!(pecs, &[PecId(0), PecId(1)]);
+                pecs.iter().map(|&p| (p, 10u32)).collect()
+            } else {
+                assert!(store.get(PecId(0)).is_some());
+                assert!(store.get(PecId(1)).is_some());
+                BTreeMap::from([(pecs[0], 20u32)])
+            }
+        });
+        assert_eq!(*outcomes[&PecId(2)], 20);
+        assert_eq!(report.components, 2);
+        assert_eq!(report.largest_component, 2);
+    }
+
+    #[test]
+    fn single_threaded_scheduler_still_completes() {
+        let deps = graph_from_edges(5, &[(4, 3), (3, 2), (2, 1), (1, 0)]);
+        let scheduler = Scheduler::default();
+        let (outcomes, report) = scheduler.run(&deps, |pecs, _| {
+            pecs.iter().map(|&p| (p, ())).collect()
+        });
+        assert_eq!(outcomes.len(), 5);
+        assert_eq!(report.max_concurrency, 1);
+        assert_eq!(report.waves, 5);
+    }
+}

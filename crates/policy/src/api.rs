@@ -1,0 +1,97 @@
+//! The policy trait and the converged-state view handed to policies.
+
+use plankton_dataplane::ForwardingGraph;
+use plankton_net::topology::NodeId;
+use plankton_pec::Pec;
+use plankton_protocols::Route;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The verdict of a policy on one converged data plane.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyResult {
+    /// The policy holds for this converged state.
+    Holds,
+    /// The policy is violated; the string is a human-readable reason included
+    /// in the verification report next to the execution trail.
+    Violated(String),
+}
+
+impl PolicyResult {
+    /// Did the policy hold?
+    pub fn holds(&self) -> bool {
+        matches!(self, PolicyResult::Holds)
+    }
+
+    /// Construct a violation with a formatted reason.
+    pub fn violated(reason: impl Into<String>) -> Self {
+        PolicyResult::Violated(reason.into())
+    }
+}
+
+impl fmt::Display for PolicyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyResult::Holds => write!(f, "holds"),
+            PolicyResult::Violated(reason) => write!(f, "violated: {reason}"),
+        }
+    }
+}
+
+/// Everything a policy callback can inspect about one converged state of one
+/// PEC: the forwarding graph (data plane), the PEC's definition, and the
+/// converged control-plane routes (needed by control-plane policies such as
+/// Path Consistency).
+pub struct ConvergedView<'a> {
+    /// The PEC being checked.
+    pub pec: &'a Pec,
+    /// The combined data plane for the PEC.
+    pub forwarding: &'a ForwardingGraph,
+    /// The converged control-plane route selected by each device for the
+    /// PEC's most specific prefix (`None` for devices with no route).
+    pub control_routes: &'a [Option<Route>],
+}
+
+impl<'a> ConvergedView<'a> {
+    /// All devices in the network.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        (0..self.forwarding.node_count() as u32).map(NodeId).collect()
+    }
+}
+
+/// A verification policy.
+pub trait Policy: Sync {
+    /// A short name for reports ("reachability", "loop-freedom", ...).
+    fn name(&self) -> &str;
+
+    /// The source nodes this policy cares about. `None` means every node is a
+    /// potential source, which disables policy-based pruning (§4.2) — e.g.
+    /// loop freedom must consider all sources.
+    fn sources(&self) -> Option<Vec<NodeId>> {
+        None
+    }
+
+    /// Nodes whose position on the path matters to the policy (§3.5), e.g.
+    /// the firewalls of a waypoint policy. Used by the failure-equivalence
+    /// optimization to keep them in dedicated device equivalence classes.
+    fn interesting_nodes(&self) -> Option<Vec<NodeId>> {
+        None
+    }
+
+    /// Check the policy against one converged data plane.
+    fn check(&self, view: &ConvergedView<'_>) -> PolicyResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_result_helpers() {
+        assert!(PolicyResult::Holds.holds());
+        let v = PolicyResult::violated("path missed the firewall");
+        assert!(!v.holds());
+        assert!(v.to_string().contains("firewall"));
+        assert_eq!(PolicyResult::Holds.to_string(), "holds");
+    }
+}

@@ -1,0 +1,24 @@
+//! # plankton-policy
+//!
+//! The policy API (§3.5 of the paper) and the built-in policies.
+//!
+//! A policy is "an arbitrary function computed over a data plane state and
+//! returning a Boolean value": the verifier invokes [`Policy::check`] on
+//! every converged data plane it generates for a PEC, passing a
+//! [`ConvergedView`] with the forwarding graph, the PEC being checked and the
+//! converged control-plane routes. Policies may additionally declare *source
+//! nodes* and *interesting nodes*, which the verifier uses for policy-based
+//! pruning and converged-state equivalence suppression (§4.2, §4.3).
+//!
+//! Built-in policies (the set listed in the paper): [`Reachability`],
+//! [`Waypoint`], [`LoopFreedom`], [`BlackholeFreedom`], [`BoundedPathLength`],
+//! [`MultipathConsistency`] and [`PathConsistency`].
+
+pub mod api;
+pub mod policies;
+
+pub use api::{ConvergedView, Policy, PolicyResult};
+pub use policies::{
+    BlackholeFreedom, BoundedPathLength, LoopFreedom, MultipathConsistency, PathConsistency,
+    Reachability, Waypoint,
+};

@@ -1,0 +1,440 @@
+//! The built-in policies listed in §3.5 of the paper.
+
+use crate::api::{ConvergedView, Policy, PolicyResult};
+use plankton_net::topology::NodeId;
+
+/// Maximum number of multipath branches a policy enumerates per source.
+const MULTIPATH_LIMIT: usize = 256;
+
+/// Reachability: traffic injected at every source must be delivered.
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    /// The sources that must be able to reach the destination PEC.
+    pub sources: Vec<NodeId>,
+}
+
+impl Reachability {
+    /// Reachability from the given sources.
+    pub fn new(sources: Vec<NodeId>) -> Self {
+        Reachability { sources }
+    }
+}
+
+impl Policy for Reachability {
+    fn name(&self) -> &str {
+        "reachability"
+    }
+
+    fn sources(&self) -> Option<Vec<NodeId>> {
+        Some(self.sources.clone())
+    }
+
+    fn check(&self, view: &ConvergedView<'_>) -> PolicyResult {
+        for &src in &self.sources {
+            let outcome = view.forwarding.walk(src);
+            if !outcome.is_delivered() {
+                return PolicyResult::violated(format!(
+                    "traffic from {src} for {} is not delivered (path {:?})",
+                    view.pec.range,
+                    outcome.path()
+                ));
+            }
+        }
+        PolicyResult::Holds
+    }
+}
+
+/// Waypointing: traffic from the sources must pass through one of the
+/// waypoints before being delivered.
+#[derive(Clone, Debug)]
+pub struct Waypoint {
+    /// The sources whose traffic is constrained.
+    pub sources: Vec<NodeId>,
+    /// The acceptable waypoints (e.g. firewalls).
+    pub waypoints: Vec<NodeId>,
+}
+
+impl Waypoint {
+    /// A waypoint policy.
+    pub fn new(sources: Vec<NodeId>, waypoints: Vec<NodeId>) -> Self {
+        Waypoint { sources, waypoints }
+    }
+}
+
+impl Policy for Waypoint {
+    fn name(&self) -> &str {
+        "waypoint"
+    }
+
+    fn sources(&self) -> Option<Vec<NodeId>> {
+        Some(self.sources.clone())
+    }
+
+    fn interesting_nodes(&self) -> Option<Vec<NodeId>> {
+        Some(self.waypoints.clone())
+    }
+
+    fn check(&self, view: &ConvergedView<'_>) -> PolicyResult {
+        for &src in &self.sources {
+            for outcome in view.forwarding.all_paths(src, MULTIPATH_LIMIT) {
+                if !outcome.is_delivered() {
+                    // Undelivered traffic is not this policy's concern.
+                    continue;
+                }
+                let transit = &outcome.path()[..outcome.path().len()];
+                if !transit.iter().any(|n| self.waypoints.contains(n)) {
+                    return PolicyResult::violated(format!(
+                        "path {:?} from {src} bypasses every waypoint",
+                        outcome.path()
+                    ));
+                }
+            }
+        }
+        PolicyResult::Holds
+    }
+}
+
+/// Loop freedom: no forwarding loop may be reachable from any source
+/// (from anywhere, if no sources are given — the paper notes this policy
+/// cannot prune aggressively because it must consider all sources).
+#[derive(Clone, Debug, Default)]
+pub struct LoopFreedom {
+    /// Optional restriction of the traffic entry points.
+    pub sources: Option<Vec<NodeId>>,
+}
+
+impl LoopFreedom {
+    /// Loop freedom over the whole network.
+    pub fn everywhere() -> Self {
+        LoopFreedom { sources: None }
+    }
+}
+
+impl Policy for LoopFreedom {
+    fn name(&self) -> &str {
+        "loop-freedom"
+    }
+
+    fn sources(&self) -> Option<Vec<NodeId>> {
+        self.sources.clone()
+    }
+
+    fn check(&self, view: &ConvergedView<'_>) -> PolicyResult {
+        match view.forwarding.has_loop(self.sources.as_deref()) {
+            None => PolicyResult::Holds,
+            Some(cycle) => PolicyResult::violated(format!(
+                "forwarding loop {:?} for {}",
+                cycle, view.pec.range
+            )),
+        }
+    }
+}
+
+/// Black-hole freedom: traffic from the sources must never be silently
+/// dropped (it must either be delivered or explicitly rejected by a null
+/// route — the strict variant also forbids null routes).
+#[derive(Clone, Debug, Default)]
+pub struct BlackholeFreedom {
+    /// Optional restriction of the traffic entry points (`None` = every
+    /// device that has a route for the PEC).
+    pub sources: Option<Vec<NodeId>>,
+}
+
+impl Policy for BlackholeFreedom {
+    fn name(&self) -> &str {
+        "blackhole-freedom"
+    }
+
+    fn sources(&self) -> Option<Vec<NodeId>> {
+        self.sources.clone()
+    }
+
+    fn check(&self, view: &ConvergedView<'_>) -> PolicyResult {
+        let sources: Vec<NodeId> = match &self.sources {
+            Some(s) => s.clone(),
+            None => view
+                .all_nodes()
+                .into_iter()
+                .filter(|n| {
+                    // Only nodes that participate in this PEC at all.
+                    !view.forwarding.next_hops[n.index()].is_empty()
+                        || view.forwarding.delivers[n.index()]
+                })
+                .collect(),
+        };
+        for src in sources {
+            let outcome = view.forwarding.walk(src);
+            if let plankton_dataplane::PathOutcome::Blackhole { path } = &outcome {
+                return PolicyResult::violated(format!(
+                    "traffic from {src} is blackholed at {:?}",
+                    path.last().expect("paths are never empty")
+                ));
+            }
+        }
+        PolicyResult::Holds
+    }
+}
+
+/// Bounded path length: delivered traffic from the sources must take at most
+/// `max_hops` hops.
+#[derive(Clone, Debug)]
+pub struct BoundedPathLength {
+    /// The sources whose paths are measured.
+    pub sources: Vec<NodeId>,
+    /// Maximum allowed number of hops.
+    pub max_hops: usize,
+}
+
+impl BoundedPathLength {
+    /// A bounded-path-length policy.
+    pub fn new(sources: Vec<NodeId>, max_hops: usize) -> Self {
+        BoundedPathLength { sources, max_hops }
+    }
+}
+
+impl Policy for BoundedPathLength {
+    fn name(&self) -> &str {
+        "bounded-path-length"
+    }
+
+    fn sources(&self) -> Option<Vec<NodeId>> {
+        Some(self.sources.clone())
+    }
+
+    fn check(&self, view: &ConvergedView<'_>) -> PolicyResult {
+        for &src in &self.sources {
+            for outcome in view.forwarding.all_paths(src, MULTIPATH_LIMIT) {
+                if outcome.is_delivered() && outcome.hop_count() > self.max_hops {
+                    return PolicyResult::violated(format!(
+                        "path {:?} from {src} has {} hops (> {})",
+                        outcome.path(),
+                        outcome.hop_count(),
+                        self.max_hops
+                    ));
+                }
+            }
+        }
+        PolicyResult::Holds
+    }
+}
+
+/// Multipath consistency: for every source, either all its equal-cost paths
+/// deliver the traffic or none does (no partial delivery depending on the
+/// hash bucket) — the definition used by Minesweeper and adopted in the
+/// paper's evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct MultipathConsistency {
+    /// Optional restriction of the traffic entry points.
+    pub sources: Option<Vec<NodeId>>,
+}
+
+impl Policy for MultipathConsistency {
+    fn name(&self) -> &str {
+        "multipath-consistency"
+    }
+
+    fn sources(&self) -> Option<Vec<NodeId>> {
+        self.sources.clone()
+    }
+
+    fn check(&self, view: &ConvergedView<'_>) -> PolicyResult {
+        let sources = match &self.sources {
+            Some(s) => s.clone(),
+            None => view.all_nodes(),
+        };
+        for src in sources {
+            let outcomes = view.forwarding.all_paths(src, MULTIPATH_LIMIT);
+            if outcomes.is_empty() {
+                continue;
+            }
+            let delivered = outcomes.iter().filter(|o| o.is_delivered()).count();
+            if delivered != 0 && delivered != outcomes.len() {
+                return PolicyResult::violated(format!(
+                    "{src} delivers on {delivered}/{} of its equal-cost paths",
+                    outcomes.len()
+                ));
+            }
+        }
+        PolicyResult::Holds
+    }
+}
+
+/// Path consistency: a set of devices must have identical behavior in the
+/// converged state — the same control-plane selection (hop count towards the
+/// destination) and data-plane paths of the same length with the same
+/// outcome. This is the control-plane policy the paper implements as a
+/// representative of class (i) in §3.5 (similar to Minesweeper's Local
+/// Equivalence).
+#[derive(Clone, Debug)]
+pub struct PathConsistency {
+    /// The devices whose behavior must be identical.
+    pub devices: Vec<NodeId>,
+}
+
+impl PathConsistency {
+    /// A path-consistency policy over the given devices.
+    pub fn new(devices: Vec<NodeId>) -> Self {
+        PathConsistency { devices }
+    }
+}
+
+impl Policy for PathConsistency {
+    fn name(&self) -> &str {
+        "path-consistency"
+    }
+
+    fn sources(&self) -> Option<Vec<NodeId>> {
+        Some(self.devices.clone())
+    }
+
+    fn check(&self, view: &ConvergedView<'_>) -> PolicyResult {
+        let mut reference: Option<(bool, usize, Option<usize>)> = None;
+        for &d in &self.devices {
+            let outcome = view.forwarding.walk(d);
+            let control_hops = view.control_routes[d.index()].as_ref().map(|r| r.hop_count());
+            let signature = (outcome.is_delivered(), outcome.hop_count(), control_hops);
+            match &reference {
+                None => reference = Some(signature),
+                Some(r) if *r != signature => {
+                    return PolicyResult::violated(format!(
+                        "{d} behaves differently from {}: {:?} vs {:?}",
+                        self.devices[0], signature, r
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        PolicyResult::Holds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_dataplane::ForwardingGraph;
+    use plankton_net::ip::{IpRange, Ipv4Addr};
+    use plankton_pec::{Pec, PecId};
+    use plankton_protocols::Route;
+
+    fn pec() -> Pec {
+        Pec {
+            id: PecId(0),
+            range: IpRange::new(Ipv4Addr::new(10, 0, 0, 0), Ipv4Addr::new(10, 0, 0, 255)),
+            prefixes: vec![],
+        }
+    }
+
+    /// 0 -> 1 -> 2 (delivers); 3 -> 4 (blackhole); 5 <-> 6 loop;
+    /// 7 has ECMP to {1, 4}.
+    fn graph() -> ForwardingGraph {
+        let mut g = ForwardingGraph::new(8);
+        g.next_hops[0] = vec![NodeId(1)];
+        g.next_hops[1] = vec![NodeId(2)];
+        g.delivers[2] = true;
+        g.next_hops[3] = vec![NodeId(4)];
+        g.next_hops[5] = vec![NodeId(6)];
+        g.next_hops[6] = vec![NodeId(5)];
+        g.next_hops[7] = vec![NodeId(1), NodeId(4)];
+        g
+    }
+
+    fn routes() -> Vec<Option<Route>> {
+        let p = "10.0.0.0/24".parse().unwrap();
+        let origin = Route::originated(p);
+        let r1 = origin.extended_through(NodeId(2));
+        let r0 = r1.extended_through(NodeId(1));
+        vec![Some(r0), Some(r1), Some(origin), None, None, None, None, None]
+    }
+
+    fn view<'a>(
+        pec: &'a Pec,
+        g: &'a ForwardingGraph,
+        routes: &'a [Option<Route>],
+    ) -> ConvergedView<'a> {
+        ConvergedView {
+            pec,
+            forwarding: g,
+            control_routes: routes,
+        }
+    }
+
+    #[test]
+    fn reachability_policy() {
+        let (p, g, r) = (pec(), graph(), routes());
+        let v = view(&p, &g, &r);
+        assert!(Reachability::new(vec![NodeId(0), NodeId(1)]).check(&v).holds());
+        assert!(!Reachability::new(vec![NodeId(3)]).check(&v).holds());
+        assert!(!Reachability::new(vec![NodeId(5)]).check(&v).holds());
+        assert_eq!(
+            Reachability::new(vec![NodeId(0)]).sources(),
+            Some(vec![NodeId(0)])
+        );
+    }
+
+    #[test]
+    fn waypoint_policy() {
+        let (p, g, r) = (pec(), graph(), routes());
+        let v = view(&p, &g, &r);
+        // Path 0 -> 1 -> 2 passes through 1.
+        assert!(Waypoint::new(vec![NodeId(0)], vec![NodeId(1)]).check(&v).holds());
+        // But not through 6.
+        assert!(!Waypoint::new(vec![NodeId(0)], vec![NodeId(6)]).check(&v).holds());
+        // Undelivered traffic doesn't trigger the waypoint policy.
+        assert!(Waypoint::new(vec![NodeId(3)], vec![NodeId(6)]).check(&v).holds());
+        assert!(Waypoint::new(vec![NodeId(0)], vec![NodeId(1)])
+            .interesting_nodes()
+            .is_some());
+    }
+
+    #[test]
+    fn loop_freedom_policy() {
+        let (p, g, r) = (pec(), graph(), routes());
+        let v = view(&p, &g, &r);
+        assert!(!LoopFreedom::everywhere().check(&v).holds());
+        assert!(LoopFreedom { sources: Some(vec![NodeId(0)]) }.check(&v).holds());
+        assert!(!LoopFreedom { sources: Some(vec![NodeId(5)]) }.check(&v).holds());
+        assert!(LoopFreedom::everywhere().sources().is_none());
+    }
+
+    #[test]
+    fn blackhole_policy() {
+        let (p, g, r) = (pec(), graph(), routes());
+        let v = view(&p, &g, &r);
+        assert!(!BlackholeFreedom::default().check(&v).holds());
+        assert!(BlackholeFreedom { sources: Some(vec![NodeId(0)]) }.check(&v).holds());
+        assert!(!BlackholeFreedom { sources: Some(vec![NodeId(3)]) }.check(&v).holds());
+    }
+
+    #[test]
+    fn bounded_path_length_policy() {
+        let (p, g, r) = (pec(), graph(), routes());
+        let v = view(&p, &g, &r);
+        assert!(BoundedPathLength::new(vec![NodeId(0)], 2).check(&v).holds());
+        assert!(!BoundedPathLength::new(vec![NodeId(0)], 1).check(&v).holds());
+        // Blackholed traffic is not measured.
+        assert!(BoundedPathLength::new(vec![NodeId(3)], 0).check(&v).holds());
+    }
+
+    #[test]
+    fn multipath_consistency_policy() {
+        let (p, g, r) = (pec(), graph(), routes());
+        let v = view(&p, &g, &r);
+        // Node 7 delivers on one branch and blackholes on the other.
+        assert!(!MultipathConsistency::default().check(&v).holds());
+        assert!(MultipathConsistency { sources: Some(vec![NodeId(0)]) }.check(&v).holds());
+        assert!(!MultipathConsistency { sources: Some(vec![NodeId(7)]) }.check(&v).holds());
+    }
+
+    #[test]
+    fn path_consistency_policy() {
+        let (p, g, r) = (pec(), graph(), routes());
+        let v = view(&p, &g, &r);
+        // 0 and 1 both deliver but at different distances: inconsistent.
+        assert!(!PathConsistency::new(vec![NodeId(0), NodeId(1)]).check(&v).holds());
+        // A device is always consistent with itself.
+        assert!(PathConsistency::new(vec![NodeId(0), NodeId(0)]).check(&v).holds());
+        // 3 and 5 both fail to deliver with hop counts 1 — but control-plane
+        // state is also None for both, so they are considered equivalent.
+        assert!(PathConsistency::new(vec![NodeId(5), NodeId(6)]).check(&v).holds());
+    }
+}

@@ -1,0 +1,400 @@
+//! The Reduced Path Vector Protocol (RPVP, §3.4.2, Algorithm 1).
+//!
+//! RPVP replaces SPVP's message passing with a shared-memory model: the
+//! network state is just `best-path(n)` for every node. At each step the set
+//! of *enabled* nodes is computed (nodes whose best path is invalid, or for
+//! which some peer could advertise something strictly better); one enabled
+//! node and one of its best-update peers are chosen non-deterministically and
+//! the node adopts that advertisement. When no node is enabled the state is
+//! converged. Theorem 1 of the paper shows that the converged states
+//! reachable this way are exactly the converged states of extended SPVP, so
+//! model checking RPVP is sound and complete for converged-state policies.
+
+use crate::model::{Preference, ProtocolModel};
+use crate::route::Route;
+use plankton_net::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The RPVP network state: the best route of every node (`None` is the
+/// paper's `⊥`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RpvpState {
+    /// `best[n]` = the best route currently selected by node `n`.
+    pub best: Vec<Option<Route>>,
+}
+
+impl RpvpState {
+    /// The initial state for a protocol model: origins hold `ε`, everyone
+    /// else holds `⊥`.
+    pub fn initial(model: &dyn ProtocolModel) -> Self {
+        let mut best = vec![None; model.node_count()];
+        for &o in model.origins() {
+            best[o.index()] = Some(model.origin_route(o));
+        }
+        RpvpState { best }
+    }
+
+    /// The best route of node `n`.
+    pub fn best(&self, n: NodeId) -> Option<&Route> {
+        self.best[n.index()].as_ref()
+    }
+
+    /// Nodes that currently hold some route.
+    pub fn nodes_with_routes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.best
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+    }
+}
+
+/// One entry of the enabled set: a node that must still act, why it is
+/// enabled, and the peers whose advertisements are maximal for it (the
+/// paper's set `U`; more than one peer means a non-deterministic choice).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnabledChoice {
+    /// The enabled node.
+    pub node: NodeId,
+    /// Is the node's current best path invalid (its next hop no longer
+    /// carries the matching path)?
+    pub invalid: bool,
+    /// The peers producing the highest-ranked usable advertisements, together
+    /// with those advertisements. Empty iff the node is enabled only because
+    /// its path is invalid.
+    pub best_updates: Vec<(NodeId, Route)>,
+}
+
+/// A converged RPVP state together with the protocol that produced it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvergedState {
+    /// The best route of every node in the converged state.
+    pub best: Vec<Option<Route>>,
+}
+
+impl ConvergedState {
+    /// The best route of node `n`.
+    pub fn best(&self, n: NodeId) -> Option<&Route> {
+        self.best[n.index()].as_ref()
+    }
+
+    /// The forwarding next hop of node `n`, if it has a route and is not the
+    /// origin itself.
+    pub fn next_hop(&self, n: NodeId) -> Option<NodeId> {
+        self.best(n).and_then(|r| r.next_hop())
+    }
+
+    /// Follow next hops from `start` until an origin, a node without a
+    /// route, or a repeated node is reached. Returns the nodes visited in
+    /// order (including `start`).
+    pub fn walk_from(&self, start: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![start];
+        let mut cur = start;
+        loop {
+            match self.next_hop(cur) {
+                Some(next) => {
+                    if seen.contains(&next) {
+                        seen.push(next);
+                        return seen;
+                    }
+                    seen.push(next);
+                    cur = next;
+                }
+                None => return seen,
+            }
+        }
+    }
+
+    /// Nodes holding a route in this converged state.
+    pub fn routed_nodes(&self) -> Vec<NodeId> {
+        self.best
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// The RPVP step machinery over a protocol model.
+pub struct Rpvp<'m> {
+    model: &'m dyn ProtocolModel,
+}
+
+impl<'m> Rpvp<'m> {
+    /// Wrap a protocol model.
+    pub fn new(model: &'m dyn ProtocolModel) -> Self {
+        Rpvp { model }
+    }
+
+    /// The underlying protocol model.
+    pub fn model(&self) -> &dyn ProtocolModel {
+        self.model
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> RpvpState {
+        RpvpState::initial(self.model)
+    }
+
+    /// Is node `n` an origin?
+    pub fn is_origin(&self, n: NodeId) -> bool {
+        self.model.origins().contains(&n)
+    }
+
+    /// The advertisement `from` would currently offer `to`
+    /// (`import_{to,from}(export_{from,to}(best(from)))`), if any.
+    pub fn advertisement(&self, state: &RpvpState, from: NodeId, to: NodeId) -> Option<Route> {
+        let best_from = state.best(from)?;
+        self.model.advertise(from, to, best_from)
+    }
+
+    /// Is `n`'s current best path invalid: its next hop's best path is not
+    /// the continuation of `n`'s path (`best-path(best-path(n).head) ≠
+    /// best-path(n).rest`)?
+    pub fn invalid(&self, state: &RpvpState, n: NodeId) -> bool {
+        let Some(route) = state.best(n) else {
+            return false;
+        };
+        let Some(head) = route.next_hop() else {
+            // The origin's own route never becomes invalid.
+            return false;
+        };
+        match state.best(head) {
+            None => true,
+            Some(head_route) => head_route.path != route.rest(),
+        }
+    }
+
+    /// Can `peer` produce an advertisement that `n` strictly prefers over its
+    /// current best route? Returns that advertisement if so.
+    pub fn update_from(&self, state: &RpvpState, n: NodeId, peer: NodeId) -> Option<Route> {
+        let adv = self.advertisement(state, peer, n)?;
+        match state.best(n) {
+            None => Some(adv),
+            Some(current) => {
+                if self.model.prefer(n, &adv, current) == Preference::Better {
+                    Some(adv)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The enabled set of a state (the paper's `E`, line 5 of Algorithm 1),
+    /// with each node's best-update peers (`U`, line 13) precomputed.
+    /// Origins are never enabled.
+    pub fn enabled(&self, state: &RpvpState) -> Vec<EnabledChoice> {
+        let mut out = Vec::new();
+        for i in 0..self.model.node_count() {
+            let n = NodeId(i as u32);
+            if self.is_origin(n) {
+                continue;
+            }
+            if let Some(choice) = self.enabled_at(state, n) {
+                out.push(choice);
+            }
+        }
+        out
+    }
+
+    /// The enabled-choice entry for a single node, if it is enabled.
+    pub fn enabled_at(&self, state: &RpvpState, n: NodeId) -> Option<EnabledChoice> {
+        if self.is_origin(n) {
+            return None;
+        }
+        let invalid = self.invalid(state, n);
+        let mut updates: Vec<(NodeId, Route)> = Vec::new();
+        for &peer in self.model.peers(n) {
+            if let Some(adv) = self.update_from(state, n, peer) {
+                updates.push((peer, adv));
+            }
+        }
+        if updates.is_empty() && !invalid {
+            return None;
+        }
+        // Keep only the maximal advertisements (the paper's
+        // `best({n' | can-update(n')})`).
+        let routes: Vec<Route> = updates.iter().map(|(_, r)| r.clone()).collect();
+        let best = self.model.best_indices(n, &routes);
+        let best_updates = best.into_iter().map(|i| updates[i].clone()).collect();
+        Some(EnabledChoice {
+            node: n,
+            invalid,
+            best_updates,
+        })
+    }
+
+    /// Perform one RPVP step: node `n` (which must be enabled) clears an
+    /// invalid path and, if `from` is given, adopts that peer's
+    /// advertisement. `from` must be one of the node's best-update peers.
+    pub fn step(&self, state: &mut RpvpState, n: NodeId, from: Option<NodeId>) {
+        if self.invalid(state, n) {
+            state.best[n.index()] = None;
+        }
+        if let Some(peer) = from {
+            let adv = self
+                .advertisement(state, peer, n)
+                .expect("step() called with a peer that offers no advertisement");
+            state.best[n.index()] = Some(adv);
+        }
+    }
+
+    /// Is the state converged (no node enabled)?
+    pub fn converged(&self, state: &RpvpState) -> bool {
+        (0..self.model.node_count() as u32)
+            .map(NodeId)
+            .all(|n| self.enabled_at(state, n).is_none())
+    }
+
+    /// Snapshot a converged state.
+    pub fn converged_state(&self, state: &RpvpState) -> ConvergedState {
+        debug_assert!(self.converged(state), "state is not converged");
+        ConvergedState {
+            best: state.best.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Preference;
+    use plankton_net::ip::Prefix;
+
+    /// A 4-node line 0-1-2-3 where node 0 originates; ranking prefers fewer
+    /// hops, ties broken deterministically by lower next-hop id (total
+    /// order), so RPVP has a single converged state.
+    struct Line4;
+
+    impl ProtocolModel for Line4 {
+        fn node_count(&self) -> usize {
+            4
+        }
+        fn origins(&self) -> &[NodeId] {
+            const O: [NodeId; 1] = [NodeId(0)];
+            &O
+        }
+        fn peers(&self, n: NodeId) -> &[NodeId] {
+            const P0: [NodeId; 1] = [NodeId(1)];
+            const P1: [NodeId; 2] = [NodeId(0), NodeId(2)];
+            const P2: [NodeId; 2] = [NodeId(1), NodeId(3)];
+            const P3: [NodeId; 1] = [NodeId(2)];
+            match n.0 {
+                0 => &P0,
+                1 => &P1,
+                2 => &P2,
+                _ => &P3,
+            }
+        }
+        fn advertise(&self, from: NodeId, to: NodeId, r: &Route) -> Option<Route> {
+            if r.traverses(to) {
+                return None;
+            }
+            Some(r.extended_through(from))
+        }
+        fn origin_route(&self, _o: NodeId) -> Route {
+            Route::originated(Prefix::DEFAULT)
+        }
+        fn prefer(&self, _n: NodeId, a: &Route, b: &Route) -> Preference {
+            match a
+                .hop_count()
+                .cmp(&b.hop_count())
+                .then_with(|| a.next_hop().map(|x| x.0).cmp(&b.next_hop().map(|x| x.0)))
+            {
+                std::cmp::Ordering::Less => Preference::Better,
+                std::cmp::Ordering::Greater => Preference::Worse,
+                std::cmp::Ordering::Equal => Preference::Tied,
+            }
+        }
+        fn name(&self) -> &'static str {
+            "line4"
+        }
+    }
+
+    #[test]
+    fn initial_state_has_origin_epsilon() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let s = rpvp.initial_state();
+        assert!(s.best(NodeId(0)).unwrap().is_origin());
+        assert!(s.best(NodeId(1)).is_none());
+        assert_eq!(s.nodes_with_routes().count(), 1);
+    }
+
+    #[test]
+    fn enabled_set_grows_as_routes_propagate() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut s = rpvp.initial_state();
+        // Initially only node 1 (adjacent to the origin) is enabled.
+        let enabled = rpvp.enabled(&s);
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0].node, NodeId(1));
+        assert!(!enabled[0].invalid);
+        assert_eq!(enabled[0].best_updates.len(), 1);
+        // After node 1 acts, node 2 becomes enabled.
+        rpvp.step(&mut s, NodeId(1), Some(NodeId(0)));
+        let enabled = rpvp.enabled(&s);
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0].node, NodeId(2));
+    }
+
+    #[test]
+    fn full_execution_converges_to_shortest_paths() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut s = rpvp.initial_state();
+        let mut steps = 0;
+        while let Some(choice) = rpvp.enabled(&s).into_iter().next() {
+            let peer = choice.best_updates.first().map(|(p, _)| *p);
+            rpvp.step(&mut s, choice.node, peer);
+            steps += 1;
+            assert!(steps <= 10, "execution did not converge");
+        }
+        assert!(rpvp.converged(&s));
+        let c = rpvp.converged_state(&s);
+        assert_eq!(c.next_hop(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(c.next_hop(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(c.next_hop(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(c.walk_from(NodeId(3)), vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(c.routed_nodes().len(), 4);
+    }
+
+    #[test]
+    fn invalid_detection_when_upstream_withdraws() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut s = rpvp.initial_state();
+        rpvp.step(&mut s, NodeId(1), Some(NodeId(0)));
+        rpvp.step(&mut s, NodeId(2), Some(NodeId(1)));
+        // Manually clear node 1's path: node 2's path is now invalid.
+        s.best[1] = None;
+        assert!(rpvp.invalid(&s, NodeId(2)));
+        assert!(!rpvp.invalid(&s, NodeId(3)));
+        let choice = rpvp.enabled_at(&s, NodeId(2)).unwrap();
+        assert!(choice.invalid);
+        // Stepping with no peer clears the invalid path.
+        rpvp.step(&mut s, NodeId(2), None);
+        assert!(s.best(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn origins_are_never_enabled() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let s = rpvp.initial_state();
+        assert!(rpvp.enabled_at(&s, NodeId(0)).is_none());
+        assert!(rpvp.is_origin(NodeId(0)));
+        assert!(!rpvp.is_origin(NodeId(1)));
+    }
+
+    #[test]
+    fn converged_detection() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let s = rpvp.initial_state();
+        assert!(!rpvp.converged(&s));
+    }
+}

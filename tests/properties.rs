@@ -1,0 +1,202 @@
+//! Property-based integration tests over randomly generated inputs:
+//! the PEC partition really is a partition, OSPF model checking agrees with
+//! Dijkstra, the optimized and unoptimized searches find the same converged
+//! forwarding states, and SPVP executions only ever stop in RPVP-stable
+//! states.
+
+use plankton::checker::{ModelChecker, NoPor, OspfPor, SearchOptions, Verdict};
+use plankton::config::scenarios::ring_ospf;
+use plankton::config::{DeviceConfig, OspfConfig};
+use plankton::net::failure::FailureSet;
+use plankton::net::graph::dijkstra;
+use plankton::pec::{compute_pecs, PrefixTrie};
+use plankton::prelude::*;
+use plankton::protocols::OspfModel;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a list of arbitrary prefixes (random address + length).
+fn prefixes() -> impl Strategy<Value = Vec<Prefix>> {
+    prop::collection::vec((any::<u32>(), 0u8..=32), 1..12)
+        .prop_map(|v| v.into_iter().map(|(a, l)| Prefix::new(Ipv4Addr(a), l)).collect())
+}
+
+/// Strategy: a random connected graph on `n` nodes given by extra edges over
+/// a spanning path, with OSPF costs.
+fn random_topology() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
+    (3usize..9).prop_flat_map(|n| {
+        let extra = prop::collection::vec((0..n, 0..n, 1u32..8), 0..n);
+        extra.prop_map(move |extras| {
+            let mut edges: Vec<(usize, usize, u32)> =
+                (1..n).map(|i| (i - 1, i, 1 + (i as u32 % 5))).collect();
+            for (a, b, w) in extras {
+                if a != b {
+                    edges.push((a.min(b), a.max(b), w));
+                }
+            }
+            (n, edges)
+        })
+    })
+}
+
+fn build_ospf_network(n: usize, edges: &[(usize, usize, u32)], destination: Prefix) -> (Network, Vec<NodeId>) {
+    let mut builder = TopologyBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| builder.add_router(&format!("r{i}"))).collect();
+    let mut links = Vec::new();
+    for &(a, b, _) in edges {
+        links.push(builder.add_link(nodes[a], nodes[b]));
+    }
+    let mut network = Network::unconfigured(builder.build());
+    for (i, &node) in nodes.iter().enumerate() {
+        let mut ospf = OspfConfig::enabled();
+        for (link, &(a, b, w)) in links.iter().zip(edges) {
+            if a == i || b == i {
+                ospf = ospf.with_cost(*link, w);
+            }
+        }
+        if i == 0 {
+            ospf = ospf.with_network(destination);
+        }
+        *network.device_mut(node) = DeviceConfig::empty().with_ospf(ospf);
+    }
+    (network, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The trie partition is a disjoint cover of the whole address space and
+    /// is coarsest (adjacent ranges differ in their covering sets).
+    #[test]
+    fn trie_partition_is_a_partition(prefixes in prefixes()) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        let parts = trie.partition();
+        prop_assert_eq!(parts.first().unwrap().0.lo, Ipv4Addr::ZERO);
+        prop_assert_eq!(parts.last().unwrap().0.hi, Ipv4Addr::MAX);
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].0.hi.saturating_next(), w[1].0.lo);
+            prop_assert_ne!(&w[0].1, &w[1].1);
+        }
+        // Every range's covering set is exactly the inserted prefixes that
+        // contain its representative address.
+        for (range, covering) in &parts {
+            let expected: HashSet<Prefix> = prefixes
+                .iter()
+                .copied()
+                .filter(|p| p.contains(range.lo))
+                .collect();
+            let actual: HashSet<Prefix> = covering.iter().copied().collect();
+            prop_assert_eq!(expected, actual);
+        }
+    }
+
+    /// Model-checked OSPF converges to Dijkstra's shortest-path costs on
+    /// random weighted graphs.
+    #[test]
+    fn ospf_model_checking_matches_dijkstra((n, edges) in random_topology()) {
+        let destination: Prefix = "198.51.100.0/24".parse().unwrap();
+        let (network, nodes) = build_ospf_network(n, &edges, destination);
+        let origin = nodes[0];
+
+        let model = OspfModel::new(&network, destination, vec![origin], &FailureSet::none());
+        let checker = ModelChecker::new(
+            &model,
+            Box::new(OspfPor),
+            SearchOptions::all_optimizations(),
+            FailureSet::none(),
+        );
+        let mut costs = vec![None; n];
+        checker.run(&mut |converged, _| {
+            for (i, cost) in costs.iter_mut().enumerate() {
+                *cost = converged.best(NodeId(i as u32)).map(|r| r.igp_cost);
+            }
+            Verdict::Stop
+        });
+
+        let device_cost = |node: NodeId, link: LinkId| {
+            network.device(node).ospf.as_ref().and_then(|o| o.cost(link)).map(u64::from)
+        };
+        let sp = dijkstra(&network.topology, origin, &FailureSet::none(), |node, link| {
+            // Dijkstra explores from the origin outwards, so the relevant
+            // cost is the one configured at the *receiving* end of the link.
+            let other = network.topology.link(link).other(node);
+            device_cost(other, link)
+        });
+        for (i, &node) in nodes.iter().enumerate() {
+            prop_assert_eq!(costs[i], sp.cost(node), "node {}", i);
+        }
+    }
+
+    /// The full optimization suite and the naive search find exactly the same
+    /// set of converged forwarding states.
+    #[test]
+    fn optimizations_preserve_converged_states(n in 3usize..7) {
+        let scenario = ring_ospf(n);
+        let model = OspfModel::new(
+            &scenario.network,
+            scenario.destination,
+            vec![scenario.origin],
+            &FailureSet::none(),
+        );
+        let collect = |options: SearchOptions, naive: bool| {
+            let checker: ModelChecker = if naive {
+                ModelChecker::new(&model, Box::new(NoPor), options, FailureSet::none())
+            } else {
+                ModelChecker::new(&model, Box::new(OspfPor), options, FailureSet::none())
+            };
+            let mut states: HashSet<Vec<Option<NodeId>>> = HashSet::new();
+            checker.run(&mut |converged, _| {
+                states.insert(
+                    (0..n as u32).map(|i| converged.next_hop(NodeId(i))).collect(),
+                );
+                Verdict::Continue
+            });
+            states
+        };
+        let optimized = collect(SearchOptions::all_optimizations(), false);
+        let naive = collect(SearchOptions::no_optimizations(), true);
+        prop_assert_eq!(optimized, naive);
+    }
+
+    /// Every SPVP execution that converges stops in a state with an empty
+    /// RPVP enabled set (the soundness direction of Theorem 1).
+    #[test]
+    fn spvp_convergence_is_rpvp_stable(n in 3usize..7, seed in 0u64..64) {
+        use plankton::protocols::rpvp::{Rpvp, RpvpState};
+        use plankton::protocols::spvp::Spvp;
+        let scenario = ring_ospf(n);
+        let model = OspfModel::new(
+            &scenario.network,
+            scenario.destination,
+            vec![scenario.origin],
+            &FailureSet::none(),
+        );
+        if let Some(converged) = Spvp::new(&model).run(seed, 100_000) {
+            let rpvp = Rpvp::new(&model);
+            let state = RpvpState { best: converged.best };
+            prop_assert!(rpvp.converged(&state));
+        }
+    }
+
+    /// PEC computation on random OSPF networks keeps every destination
+    /// prefix in exactly one PEC, and the verifier finds it reachable from
+    /// every router (the graphs are connected by construction).
+    #[test]
+    fn random_ospf_network_is_verified_reachable((n, edges) in random_topology()) {
+        let destination: Prefix = "198.51.100.0/24".parse().unwrap();
+        let (network, nodes) = build_ospf_network(n, &edges, destination);
+        let pecs = compute_pecs(&network);
+        prop_assert_eq!(pecs.pecs_overlapping(&destination).len(), 1);
+
+        let verifier = Plankton::new(network.clone());
+        let report = verifier.verify(
+            &Reachability::new(nodes[1..].to_vec()),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::default().restricted_to(vec![destination]),
+        );
+        prop_assert!(report.holds(), "{}", report);
+    }
+}
