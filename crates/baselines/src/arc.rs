@@ -48,12 +48,7 @@ impl<'a> ArcBaseline<'a> {
     /// Is `dst` reachable from `src` under *every* combination of at most
     /// `max_failures` link failures? By Menger's theorem this holds exactly
     /// when there are strictly more than `max_failures` edge-disjoint paths.
-    pub fn reachable_under_failures(
-        &self,
-        src: NodeId,
-        dst: NodeId,
-        max_failures: usize,
-    ) -> bool {
+    pub fn reachable_under_failures(&self, src: NodeId, dst: NodeId, max_failures: usize) -> bool {
         if src == dst {
             return true;
         }

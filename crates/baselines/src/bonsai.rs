@@ -93,7 +93,11 @@ pub fn compress(network: &Network, interesting: &[NodeId]) -> CompressedNetwork 
             .as_ref()
             .and_then(|o| o.cost(link.id))
             .unwrap_or(10);
-        let ordered = if qa <= qb { (cost_a, cost_b) } else { (cost_b, cost_a) };
+        let ordered = if qa <= qb {
+            (cost_a, cost_b)
+        } else {
+            (cost_b, cost_a)
+        };
         link_cost.entry(key).or_insert(ordered);
     }
     let mut quotient_links = Vec::new();

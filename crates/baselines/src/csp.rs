@@ -13,9 +13,12 @@ pub type Var = usize;
 
 /// A constraint: the variables it mentions and a predicate over their values
 /// (invoked once all of them are assigned).
+/// A predicate over a full assignment of a constraint's variables.
+type Predicate = Box<dyn Fn(&[u64]) -> bool + Send + Sync>;
+
 struct Constraint {
     vars: Vec<Var>,
-    predicate: Box<dyn Fn(&[u64]) -> bool + Send + Sync>,
+    predicate: Predicate,
 }
 
 /// A constraint-satisfaction problem.
@@ -103,12 +106,7 @@ impl CspProblem {
         (solution, stats)
     }
 
-    fn consistent(
-        &self,
-        var: Var,
-        assignment: &[Option<u64>],
-        stats: &mut CspStats,
-    ) -> bool {
+    fn consistent(&self, var: Var, assignment: &[Option<u64>], stats: &mut CspStats) -> bool {
         for &ci in &self.constraints_of[var] {
             let c = &self.constraints[ci];
             let mut values = Vec::with_capacity(c.vars.len());
@@ -171,7 +169,9 @@ pub fn shortest_path_csp(
     max_dist: u64,
 ) -> CspProblem {
     let mut csp = CspProblem::new();
-    let vars: Vec<Var> = (0..node_count).map(|_| csp.add_range_var(max_dist)).collect();
+    let vars: Vec<Var> = (0..node_count)
+        .map(|_| csp.add_range_var(max_dist))
+        .collect();
     csp.assign(vars[origin], 0);
     // Adjacency list.
     let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); node_count];

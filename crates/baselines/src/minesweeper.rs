@@ -191,7 +191,10 @@ mod tests {
         *net.device_mut(c) = DeviceConfig::empty().with_ospf(OspfConfig::enabled());
         let ms = MinesweeperStyle::new(&net);
         let report = ms.verify_reachability(
-            &[Destination { prefix: p, origins: vec![a] }],
+            &[Destination {
+                prefix: p,
+                origins: vec![a],
+            }],
             &[b, c],
             10_000_000,
         );
@@ -205,15 +208,25 @@ mod tests {
         let ms = MinesweeperStyle::new(&s.network);
         let one: Vec<Destination> = s.destinations[..1]
             .iter()
-            .map(|&p| Destination { prefix: p, origins: s.network.origins_of(&p) })
+            .map(|&p| Destination {
+                prefix: p,
+                origins: s.network.origins_of(&p),
+            })
             .collect();
-        let all: Vec<Destination> = s.destinations
+        let all: Vec<Destination> = s
+            .destinations
             .iter()
-            .map(|&p| Destination { prefix: p, origins: s.network.origins_of(&p) })
+            .map(|&p| Destination {
+                prefix: p,
+                origins: s.network.origins_of(&p),
+            })
             .collect();
         let (csp_one, _) = ms.encode(&one);
         let (csp_all, _) = ms.encode(&all);
-        assert_eq!(csp_all.var_count(), csp_one.var_count() * s.destinations.len());
+        assert_eq!(
+            csp_all.var_count(),
+            csp_one.var_count() * s.destinations.len()
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! that underlies the Figure 8 ablation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use plankton_config::scenarios::{fat_tree_bgp_rfc7938, fat_tree_ospf, ring_ospf, CoreStaticRoutes};
+use plankton_config::scenarios::{
+    fat_tree_bgp_rfc7938, fat_tree_ospf, ring_ospf, CoreStaticRoutes,
+};
 use plankton_core::{Plankton, PlanktonOptions};
 use plankton_net::failure::FailureScenario;
 use plankton_policy::{LoopFreedom, Reachability, Waypoint};
@@ -82,5 +84,10 @@ fn ring_fault_tolerance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fat_tree_loop_check, bgp_waypoint_check, ring_fault_tolerance);
+criterion_group!(
+    benches,
+    fat_tree_loop_check,
+    bgp_waypoint_check,
+    ring_fault_tolerance
+);
 criterion_main!(benches);

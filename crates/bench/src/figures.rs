@@ -11,11 +11,11 @@ use plankton_config::scenarios::{
 };
 use plankton_core::{Plankton, PlanktonOptions};
 use plankton_net::failure::FailureScenario;
+use plankton_net::failure::FailureSet;
 use plankton_net::generators::as_topo::AsTopologySpec;
 use plankton_net::generators::enterprise::EnterpriseSpec;
 use plankton_net::generators::fat_tree::FatTree;
 use plankton_net::graph::dijkstra;
-use plankton_net::failure::FailureSet;
 use plankton_net::topology::NodeId;
 use plankton_policy::{
     BoundedPathLength, LoopFreedom, MultipathConsistency, PathConsistency, Reachability, Waypoint,
@@ -101,12 +101,9 @@ pub fn fig2(quick: bool) -> FigureResult {
 
         // Model-checker side: execute the shortest-path computation.
         let (_, mc_time) = time(|| {
-            dijkstra(
-                &ft.network.topology,
-                origin,
-                &FailureSet::none(),
-                |_, _| Some(10),
-            )
+            dijkstra(&ft.network.topology, origin, &FailureSet::none(), |_, _| {
+                Some(10)
+            })
         });
 
         // Constraint side: encode and solve.
@@ -126,7 +123,14 @@ pub fn fig2(quick: bool) -> FigureResult {
         rows.push(
             Row::new(format!("N={n} (fat tree k={k})"))
                 .col("model_checker", secs(mc_time))
-                .col("smt_style", if solved { secs(csp_time) } else { format!(">{} (timeout)", secs(csp_time)) })
+                .col(
+                    "smt_style",
+                    if solved {
+                        secs(csp_time)
+                    } else {
+                        format!(">{} (timeout)", secs(csp_time))
+                    },
+                )
                 .col("smt_checks", stats.checks),
         );
     }
@@ -164,9 +168,10 @@ pub fn fig7a(quick: bool) -> FigureResult {
                         &PlanktonOptions::with_cores(c),
                     )
                 });
-                row = row
-                    .col(&format!("plankton_{c}core"), secs(elapsed))
-                    .col(&format!("mem_{c}core_MiB"), format!("{:.1}", report.stats.approx_memory_mib()));
+                row = row.col(&format!("plankton_{c}core"), secs(elapsed)).col(
+                    &format!("mem_{c}core_MiB"),
+                    format!("{:.1}", report.stats.approx_memory_mib()),
+                );
                 assert_eq!(report.holds(), mode == CoreStaticRoutes::MatchingOspf);
             }
             // Minesweeper-style baseline: monolithic converged-state search
@@ -223,7 +228,10 @@ pub fn fig7b(quick: bool) -> FigureResult {
             rows.push(
                 Row::new(format!("N={} {label}", s.network.node_count()))
                     .col("time", secs(elapsed))
-                    .col("memory_MiB", format!("{:.1}", report.stats.approx_memory_mib()))
+                    .col(
+                        "memory_MiB",
+                        format!("{:.1}", report.stats.approx_memory_mib()),
+                    )
                     .col("result", if report.holds() { "pass" } else { "fail" }),
             );
         }
@@ -240,10 +248,16 @@ pub fn fig7b(quick: bool) -> FigureResult {
             )
         });
         rows.push(
-            Row::new(format!("N={} Single IP Reachability", s.network.node_count()))
-                .col("time", secs(elapsed))
-                .col("memory_MiB", format!("{:.1}", report.stats.approx_memory_mib()))
-                .col("result", if report.holds() { "pass" } else { "fail" }),
+            Row::new(format!(
+                "N={} Single IP Reachability",
+                s.network.node_count()
+            ))
+            .col("time", secs(elapsed))
+            .col(
+                "memory_MiB",
+                format!("{:.1}", report.stats.approx_memory_mib()),
+            )
+            .col("result", if report.holds() { "pass" } else { "fail" }),
         );
     }
     FigureResult {
@@ -289,7 +303,10 @@ pub fn fig7c(quick: bool) -> FigureResult {
             Row::new(format!("N={} (k={k})", FatTree::size_for_k(k)))
                 .col("max_time", secs(max_t))
                 .col("avg_time", secs(avg_t))
-                .col("max_memory_MiB", format!("{:.1}", mems.iter().cloned().fold(0.0, f64::max)))
+                .col(
+                    "max_memory_MiB",
+                    format!("{:.1}", mems.iter().cloned().fold(0.0, f64::max)),
+                )
                 .col("violations_found", format!("{violations}/{trials}")),
         );
     }
@@ -303,12 +320,20 @@ pub fn fig7c(quick: bool) -> FigureResult {
 /// Figure 7(d): synthetic RocketFuel-scale AS topologies, OSPF, reachability
 /// of every customer prefix from a multihomed ingress under ≤1 link failure.
 pub fn fig7d(quick: bool) -> FigureResult {
-    let asns: &[u32] = if quick { &[3967] } else { &[1221, 1755, 3967, 6461] };
+    let asns: &[u32] = if quick {
+        &[3967]
+    } else {
+        &[1221, 1755, 3967, 6461]
+    };
     let cores: &[usize] = if quick { &[4] } else { &[1, 8] };
     let mut rows = Vec::new();
     for &asn in asns {
         let s = isp_ospf(&AsTopologySpec::paper_as(asn));
-        let mut row = Row::new(format!("{} ({} nodes)", s.as_topology.name, s.network.node_count()));
+        let mut row = Row::new(format!(
+            "{} ({} nodes)",
+            s.as_topology.name,
+            s.network.node_count()
+        ));
         // Restrict to a sample of customer prefixes so the quick mode stays
         // quick; full mode checks them all.
         let prefixes: Vec<_> = if quick {
@@ -400,31 +425,40 @@ pub fn fig7e(quick: bool) -> FigureResult {
                 origins: s.borders.clone(),
             })
             .collect();
-        destinations.extend(s.loopback_prefixes.iter().map(|&p| Destination {
-            prefix: p,
-            origins: s
-                .network
-                .topology
-                .node_ids()
-                .filter(|n| s.network.topology.node(*n).loopback == Some(p.addr()))
-                .collect(),
+        destinations.extend(s.loopback_prefixes.iter().map(|&p| {
+            Destination {
+                prefix: p,
+                origins: s
+                    .network
+                    .topology
+                    .node_ids()
+                    .filter(|n| s.network.topology.node(*n).loopback == Some(p.addr()))
+                    .collect(),
+            }
         }));
         let (ms_report, ms_time) =
             time(|| ms.verify_reachability(&destinations, &sources, BASELINE_BUDGET));
 
         rows.push(
-            Row::new(format!("{} ({} nodes)", s.as_topology.name, s.network.node_count()))
-                .col("plankton", secs(elapsed))
-                .col("plankton_result", if report.holds() { "holds" } else { "violated" })
-                .col("largest_scc", report.largest_scc)
-                .col(
-                    "minesweeper_style",
-                    if ms_report.timed_out {
-                        format!(">{} (timeout, {} vars)", secs(ms_time), ms_report.variables)
-                    } else {
-                        format!("{} ({} vars)", secs(ms_time), ms_report.variables)
-                    },
-                ),
+            Row::new(format!(
+                "{} ({} nodes)",
+                s.as_topology.name,
+                s.network.node_count()
+            ))
+            .col("plankton", secs(elapsed))
+            .col(
+                "plankton_result",
+                if report.holds() { "holds" } else { "violated" },
+            )
+            .col("largest_scc", report.largest_scc)
+            .col(
+                "minesweeper_style",
+                if ms_report.timed_out {
+                    format!(">{} (timeout, {} vars)", secs(ms_time), ms_report.variables)
+                } else {
+                    format!("{} ({} vars)", secs(ms_time), ms_report.variables)
+                },
+            ),
         );
     }
     FigureResult {
@@ -503,7 +537,12 @@ pub fn fig7f(quick: bool) -> FigureResult {
 /// topologies.
 pub fn fig7g(quick: bool) -> FigureResult {
     let mut rows = Vec::new();
-    let mut workloads: Vec<(String, plankton_config::Network, Vec<NodeId>, Vec<plankton_net::ip::Prefix>)> = Vec::new();
+    let mut workloads: Vec<(
+        String,
+        plankton_config::Network,
+        Vec<NodeId>,
+        Vec<plankton_net::ip::Prefix>,
+    )> = Vec::new();
     {
         let s = fat_tree_ospf(4, CoreStaticRoutes::None);
         workloads.push((
@@ -538,9 +577,23 @@ pub fn fig7g(quick: bool) -> FigureResult {
             rows.push(
                 Row::new(format!("{label}, ≤{k} failures"))
                     .col("arc", secs(arc_time))
-                    .col("arc_result", if arc_report.holds() { "holds" } else { "violated" })
+                    .col(
+                        "arc_result",
+                        if arc_report.holds() {
+                            "holds"
+                        } else {
+                            "violated"
+                        },
+                    )
                     .col("plankton", secs(p_time))
-                    .col("plankton_result", if p_report.holds() { "holds" } else { "violated" }),
+                    .col(
+                        "plankton_result",
+                        if p_report.holds() {
+                            "holds"
+                        } else {
+                            "violated"
+                        },
+                    ),
             );
         }
     }
@@ -570,7 +623,10 @@ pub fn fig7h(quick: bool) -> FigureResult {
         }
         let dest = s.external_destination;
         let mut row = Row::new(format!("{} ({} devices)", spec.name, spec.routers));
-        for (label, failures) in [("", FailureScenario::no_failures()), ("_1fail", FailureScenario::up_to(1))] {
+        for (label, failures) in [
+            ("", FailureScenario::no_failures()),
+            ("_1fail", FailureScenario::up_to(1)),
+        ] {
             let (reach, t1) = time(|| {
                 plankton.verify(
                     &Reachability::new(sources.clone()),
@@ -596,7 +652,10 @@ pub fn fig7h(quick: bool) -> FigureResult {
                 .col(&format!("reach{label}"), secs(t1))
                 .col(&format!("bpl{label}"), secs(t2))
                 .col(&format!("waypoint{label}"), secs(t3))
-                .col(&format!("reach{label}_result"), if reach.holds() { "holds" } else { "violated" });
+                .col(
+                    &format!("reach{label}_result"),
+                    if reach.holds() { "holds" } else { "violated" },
+                );
         }
         rows.push(row);
     }
@@ -615,7 +674,11 @@ pub fn fig7i(quick: bool) -> FigureResult {
         .into_iter()
         .filter(|s| names.contains(&s.name.as_str()))
         .collect();
-    let specs: Vec<_> = if quick { specs.into_iter().take(1).collect() } else { specs };
+    let specs: Vec<_> = if quick {
+        specs.into_iter().take(1).collect()
+    } else {
+        specs
+    };
     let mut rows = Vec::new();
     for spec in &specs {
         let s = enterprise_scenario(spec);
@@ -634,12 +697,15 @@ pub fn fig7i(quick: bool) -> FigureResult {
             } else {
                 FailureScenario::up_to(failures)
             };
-            let options = PlanktonOptions::with_cores(4).restricted_to(vec![s.external_destination]);
+            let options =
+                PlanktonOptions::with_cores(4).restricted_to(vec![s.external_destination]);
             let (report, elapsed) = match policy_name {
                 "Loop" => time(|| plankton.verify(&LoopFreedom::everywhere(), &scenario, &options)),
                 "MultipathConsistency" => time(|| {
                     plankton.verify(
-                        &MultipathConsistency { sources: Some(probes.clone()) },
+                        &MultipathConsistency {
+                            sources: Some(probes.clone()),
+                        },
                         &scenario,
                         &options,
                     )
@@ -651,7 +717,10 @@ pub fn fig7i(quick: bool) -> FigureResult {
             rows.push(
                 Row::new(format!("{} {policy_name} ≤{failures} failures", spec.name))
                     .col("time", secs(elapsed))
-                    .col("memory_MiB", format!("{:.1}", report.stats.approx_memory_mib()))
+                    .col(
+                        "memory_MiB",
+                        format!("{:.1}", report.stats.approx_memory_mib()),
+                    )
                     .col("result", if report.holds() { "holds" } else { "violated" }),
             );
         }
@@ -723,7 +792,10 @@ pub fn fig8(quick: bool) -> FigureResult {
             .col("all_opts", secs(all_time))
             .col("all_states", all_report.stats.states_explored())
             .col("no_opts", format!("{marker}{}", secs(none_time)))
-            .col("no_opts_states", format!("{marker}{}", none_report.stats.states_explored())),
+            .col(
+                "no_opts_states",
+                format!("{marker}{}", none_report.stats.states_explored()),
+            ),
     );
 
     // BGP fat tree waypoint: all vs no-deterministic-node vs
@@ -821,13 +893,16 @@ pub fn fig9(quick: bool) -> FigureResult {
         let bitstate = run(SearchOptions::all_optimizations().with_bitstate(1 << 22));
         rows.push(
             Row::new(format!("{} node BGP DC waypoint", s.network.node_count()))
-                .col("no_bitstate_MiB", format!("{:.2}", exact.stats.approx_memory_mib()))
-                .col("bitstate_MiB", format!("{:.2}", bitstate.stats.approx_memory_mib()))
-                .col("states", exact.stats.states_explored())
                 .col(
-                    "agreement",
-                    exact.holds() == bitstate.holds(),
-                ),
+                    "no_bitstate_MiB",
+                    format!("{:.2}", exact.stats.approx_memory_mib()),
+                )
+                .col(
+                    "bitstate_MiB",
+                    format!("{:.2}", bitstate.stats.approx_memory_mib()),
+                )
+                .col("states", exact.stats.states_explored())
+                .col("agreement", exact.holds() == bitstate.holds()),
         );
     }
     // AS fault tolerance with and without bitstate hashing.
@@ -848,8 +923,14 @@ pub fn fig9(quick: bool) -> FigureResult {
     let bitstate = run(SearchOptions::all_optimizations().with_bitstate(1 << 22));
     rows.push(
         Row::new(format!("{} fault tolerance", s.as_topology.name))
-            .col("no_bitstate_MiB", format!("{:.2}", exact.stats.approx_memory_mib()))
-            .col("bitstate_MiB", format!("{:.2}", bitstate.stats.approx_memory_mib()))
+            .col(
+                "no_bitstate_MiB",
+                format!("{:.2}", exact.stats.approx_memory_mib()),
+            )
+            .col(
+                "bitstate_MiB",
+                format!("{:.2}", bitstate.stats.approx_memory_mib()),
+            )
             .col("agreement", exact.holds() == bitstate.holds()),
     );
     FigureResult {
@@ -859,7 +940,89 @@ pub fn fig9(quick: bool) -> FigureResult {
     }
 }
 
-/// Run one figure by id ("2", "7a".."7i", "8", "9").
+/// One measured point of the cores-scaling sweep, serialized as JSON so
+/// future changes can track parallel speedup across commits.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct CoresScalingPoint {
+    /// Engine workers used.
+    pub workers: usize,
+    /// Wall-clock seconds for the verification.
+    pub seconds: f64,
+    /// Speedup relative to the 1-worker run of the same sweep.
+    pub speedup: f64,
+    /// Tasks in the engine's (component × failure-scenario) graph.
+    pub tasks_total: usize,
+    /// Tasks that migrated between workers by stealing.
+    pub tasks_stolen: u64,
+    /// States explored by the model checker (identical across worker counts
+    /// — a sanity check that parallelism does not change the search).
+    pub states_explored: u64,
+}
+
+/// Cores-scaling sweep: the fat-tree loop workload on a growing engine
+/// worker pool. The last row carries the raw sweep as JSON.
+///
+/// Scaling note: the shape of the curve depends on the machine — on a
+/// single-core container every worker count measures the same serialized
+/// work (speedup ≈ 1.0 plus scheduling overhead), while multi-core machines
+/// should approach linear speedup, since the fat-tree workload is dozens of
+/// independent (PEC × failure-scenario) tasks.
+pub fn cores_scaling(quick: bool) -> FigureResult {
+    let cores: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+    let scenario = if quick {
+        FailureScenario::no_failures()
+    } else {
+        FailureScenario::up_to(1)
+    };
+    let plankton = Plankton::new(s.network.clone());
+    let mut rows = Vec::new();
+    let mut points: Vec<CoresScalingPoint> = Vec::new();
+    let mut base_seconds = None;
+    for &c in cores {
+        let (report, elapsed) = time(|| {
+            plankton.verify(
+                &LoopFreedom::everywhere(),
+                &scenario,
+                &PlanktonOptions::with_cores(c).collect_all_violations(),
+            )
+        });
+        assert!(
+            report.holds(),
+            "the matching-static-routes fat tree is loop-free"
+        );
+        let seconds = elapsed.as_secs_f64();
+        let base = *base_seconds.get_or_insert(seconds);
+        let speedup = base / seconds.max(1e-9);
+        let engine = report.engine.clone().expect("engine stats recorded");
+        rows.push(
+            Row::new(format!("{c} workers"))
+                .col("time", secs(elapsed))
+                .col("speedup", format!("{speedup:.2}x"))
+                .col("tasks", engine.tasks_total)
+                .col("stolen", engine.tasks_stolen),
+        );
+        points.push(CoresScalingPoint {
+            workers: c,
+            seconds,
+            speedup,
+            tasks_total: engine.tasks_total,
+            tasks_stolen: engine.tasks_stolen,
+            states_explored: report.stats.states_explored(),
+        });
+    }
+    rows.push(Row::new("json").col(
+        "data",
+        serde_json::to_string(&points).expect("sweep points serialize"),
+    ));
+    FigureResult {
+        id: "cores".into(),
+        caption: "Engine cores-scaling sweep on the K=4 fat tree".into(),
+        rows,
+    }
+}
+
+/// Run one figure by id ("2", "7a".."7i", "8", "9", "cores").
 pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
     let result = match id {
         "2" => fig2(quick),
@@ -874,14 +1037,17 @@ pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
         "7i" => fig7i(quick),
         "8" => fig8(quick),
         "9" => fig9(quick),
+        "cores" => cores_scaling(quick),
         _ => return None,
     };
     Some(result)
 }
 
-/// Every figure id, in paper order.
+/// Every figure id, in paper order (plus the engine scaling sweep).
 pub fn all_figures() -> Vec<&'static str> {
-    vec!["2", "7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "8", "9"]
+    vec![
+        "2", "7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "8", "9", "cores",
+    ]
 }
 
 #[cfg(test)]
@@ -930,5 +1096,25 @@ mod tests {
             }
         }
         assert!(run_figure("nope", true).is_none());
+    }
+
+    #[test]
+    fn quick_cores_scaling_emits_json() {
+        let f = cores_scaling(true);
+        assert_eq!(f.id, "cores");
+        // 3 worker counts plus the JSON row.
+        assert_eq!(f.rows.len(), 4);
+        let json_row = f.rows.last().unwrap();
+        assert_eq!(json_row.label, "json");
+        let data = &json_row.values[0].1;
+        let points: Vec<CoresScalingPoint> =
+            serde_json::from_str(data).expect("sweep JSON parses back");
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].workers, 1);
+        assert!((points[0].speedup - 1.0).abs() < 1e-9);
+        // Parallelism must not change the search itself.
+        assert!(points.windows(2).all(|w| {
+            w[0].states_explored == w[1].states_explored && w[0].tasks_total == w[1].tasks_total
+        }));
     }
 }

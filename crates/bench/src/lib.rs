@@ -14,4 +14,4 @@
 
 pub mod figures;
 
-pub use figures::{all_figures, run_figure, FigureResult, Row};
+pub use figures::{all_figures, cores_scaling, run_figure, CoresScalingPoint, FigureResult, Row};

@@ -56,6 +56,20 @@ impl<'m> ModelChecker<'m> {
             Some(bits) => VisitedSet::bitstate(bits),
             None => VisitedSet::exact(),
         };
+        Self::new_with_visited(model, por, options, failures, visited)
+    }
+
+    /// Like [`ModelChecker::new`], but uses `visited` (cleared first)
+    /// instead of allocating a fresh visited set — the zero-allocation path
+    /// for [`SearchScratch`](crate::SearchScratch) reuse.
+    pub fn new_with_visited(
+        model: &'m dyn ProtocolModel,
+        por: Box<dyn PorHeuristic + 'm>,
+        options: SearchOptions,
+        failures: FailureSet,
+        mut visited: VisitedSet,
+    ) -> Self {
+        visited.clear();
         let sources = options.source_nodes.clone();
         let allowed = if options.influence_pruning {
             sources.as_ref().map(|s| influence_set(model, s))
@@ -78,7 +92,17 @@ impl<'m> ModelChecker<'m> {
 
     /// Run the exhaustive search, invoking `callback` on every converged
     /// state. Returns the search statistics.
-    pub fn run<F>(mut self, callback: &mut F) -> SearchStats
+    pub fn run<F>(self, callback: &mut F) -> SearchStats
+    where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        self.run_returning(callback).0
+    }
+
+    /// Like [`ModelChecker::run`], but also hands back the visited set so the
+    /// caller can return it to a [`SearchScratch`](crate::SearchScratch) for
+    /// the next run.
+    pub fn run_returning<F>(mut self, callback: &mut F) -> (SearchStats, VisitedSet)
     where
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
@@ -92,7 +116,7 @@ impl<'m> ModelChecker<'m> {
         self.stats.visited_states = self.visited.len() as u64;
         self.stats.approx_memory_bytes =
             (self.interner.approx_bytes() + self.visited.approx_bytes()) as u64;
-        self.stats
+        (self.stats, self.visited)
     }
 
     /// The enabled set, restricted to nodes allowed by influence pruning.
@@ -110,10 +134,12 @@ impl<'m> ModelChecker<'m> {
     fn all_sources_decided(&self, state: &RpvpState) -> bool {
         match &self.sources {
             None => false,
-            Some(sources) => !sources.is_empty()
-                && sources.iter().all(|s| {
-                    state.best(*s).is_some() || self.rpvp.is_origin(*s)
-                }),
+            Some(sources) => {
+                !sources.is_empty()
+                    && sources
+                        .iter()
+                        .all(|s| state.best(*s).is_some() || self.rpvp.is_origin(*s))
+            }
         }
     }
 
@@ -154,13 +180,8 @@ impl<'m> ModelChecker<'m> {
         }
     }
 
-    fn dfs<F>(
-        &mut self,
-        state: &mut RpvpState,
-        decided: &mut Vec<bool>,
-        depth: u64,
-        callback: &mut F,
-    ) where
+    fn dfs<F>(&mut self, state: &mut RpvpState, decided: &mut [bool], depth: u64, callback: &mut F)
+    where
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
         let mut depth = depth;
@@ -257,11 +278,8 @@ impl<'m> ModelChecker<'m> {
     {
         self.stats.branch_points += 1;
         for choice in choices {
-            let mut alternatives: Vec<Option<NodeId>> = choice
-                .best_updates
-                .iter()
-                .map(|(p, _)| Some(*p))
-                .collect();
+            let mut alternatives: Vec<Option<NodeId>> =
+                choice.best_updates.iter().map(|(p, _)| Some(*p)).collect();
             if alternatives.is_empty() && include_clears && choice.invalid {
                 alternatives.push(None);
             }
@@ -338,7 +356,12 @@ mod tests {
     #[test]
     fn ospf_ring_has_single_converged_state() {
         let s = ring_ospf(6);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let (states, stats) = collect_converged(
             &model,
             Box::new(OspfPor),
@@ -358,25 +381,24 @@ mod tests {
     #[test]
     fn unoptimized_search_finds_the_same_ospf_state() {
         let s = ring_ospf(4);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let (optimized, _) = collect_converged(
             &model,
             Box::new(OspfPor),
             SearchOptions::all_optimizations(),
         );
-        let (naive, naive_stats) = collect_converged(
-            &model,
-            Box::new(NoPor),
-            SearchOptions::no_optimizations(),
-        );
+        let (naive, naive_stats) =
+            collect_converged(&model, Box::new(NoPor), SearchOptions::no_optimizations());
         // The naive search revisits the converged state through many
         // executions; the set of distinct converged forwarding states must
         // still be exactly the optimized one.
-        let canon = |s: &ConvergedState| {
-            (0..4u32)
-                .map(|n| s.next_hop(NodeId(n)))
-                .collect::<Vec<_>>()
-        };
+        let canon =
+            |s: &ConvergedState| (0..4u32).map(|n| s.next_hop(NodeId(n))).collect::<Vec<_>>();
         let naive_set: HashSet<_> = naive.iter().map(canon).collect();
         let opt_set: HashSet<_> = optimized.iter().map(canon).collect();
         assert_eq!(naive_set, opt_set);
@@ -394,19 +416,22 @@ mod tests {
             Arc::new(UniformUnderlay),
         );
         let por = BgpPor::from_model(&model);
-        let (states, stats) = collect_converged(
-            &model,
-            Box::new(por),
-            SearchOptions::all_optimizations(),
-        );
+        let (states, stats) =
+            collect_converged(&model, Box::new(por), SearchOptions::all_optimizations());
         let a = g.actors[0];
         let b = g.actors[1];
         let outcomes: HashSet<(Option<NodeId>, Option<NodeId>)> = states
             .iter()
             .map(|s| (s.next_hop(a), s.next_hop(b)))
             .collect();
-        assert!(outcomes.contains(&(Some(b), Some(g.origin))), "{outcomes:?}");
-        assert!(outcomes.contains(&(Some(g.origin), Some(a))), "{outcomes:?}");
+        assert!(
+            outcomes.contains(&(Some(b), Some(g.origin))),
+            "{outcomes:?}"
+        );
+        assert!(
+            outcomes.contains(&(Some(g.origin), Some(a))),
+            "{outcomes:?}"
+        );
         assert!(stats.branch_points > 0, "the gadget requires branching");
     }
 
@@ -417,7 +442,12 @@ mod tests {
         // round before the short route exists, which consistent-execution
         // pruning then abandons.
         let s = ring_ospf(6);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let (with, with_stats) = collect_converged(
             &model,
             Box::new(NoPor),
@@ -430,17 +460,11 @@ mod tests {
                 ..SearchOptions::all_optimizations()
             },
         );
-        let (without, without_stats) = collect_converged(
-            &model,
-            Box::new(NoPor),
-            SearchOptions::no_optimizations(),
-        );
+        let (without, without_stats) =
+            collect_converged(&model, Box::new(NoPor), SearchOptions::no_optimizations());
         // Same distinct converged forwarding states, fewer or equal steps.
-        let canon = |s: &ConvergedState| {
-            (0..6u32)
-                .map(|n| s.next_hop(NodeId(n)))
-                .collect::<Vec<_>>()
-        };
+        let canon =
+            |s: &ConvergedState| (0..6u32).map(|n| s.next_hop(NodeId(n))).collect::<Vec<_>>();
         let a: HashSet<_> = with.iter().map(canon).collect();
         let b: HashSet<_> = without.iter().map(canon).collect();
         assert_eq!(a, b);
@@ -478,7 +502,12 @@ mod tests {
     #[test]
     fn policy_pruning_finishes_early_with_sources() {
         let s = ring_ospf(8);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         // Source = the origin's immediate neighbor: its decision comes after
         // a single step, so the pruned run is much shorter.
         let source = s.ring.routers[1];
@@ -530,7 +559,12 @@ mod tests {
     #[test]
     fn influence_set_limits_execution() {
         let s = ring_ospf(6);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let allowed = influence_set(&model, &[s.ring.routers[2]]);
         // The ring is connected, so everything can influence the source.
         assert!(allowed.iter().all(|&a| a));

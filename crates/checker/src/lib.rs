@@ -25,6 +25,7 @@ pub mod explorer;
 pub mod interner;
 pub mod options;
 pub mod por;
+pub mod scratch;
 pub mod stats;
 pub mod trail;
 pub mod visited;
@@ -33,6 +34,7 @@ pub use explorer::{ModelChecker, Verdict};
 pub use interner::RouteInterner;
 pub use options::SearchOptions;
 pub use por::{BgpPor, NoPor, OspfPor, PorDecision, PorHeuristic};
+pub use scratch::SearchScratch;
 pub use stats::SearchStats;
 pub use trail::{Trail, TrailEvent};
 pub use visited::VisitedSet;

@@ -56,7 +56,12 @@ pub trait PorHeuristic: Sync {
 pub struct NoPor;
 
 impl PorHeuristic for NoPor {
-    fn pick(&self, _state: &RpvpState, _enabled: &[EnabledChoice], _decided: &[bool]) -> PorDecision {
+    fn pick(
+        &self,
+        _state: &RpvpState,
+        _enabled: &[EnabledChoice],
+        _decided: &[bool],
+    ) -> PorDecision {
         PorDecision::BranchAll
     }
 }
@@ -69,7 +74,12 @@ impl PorHeuristic for NoPor {
 pub struct OspfPor;
 
 impl PorHeuristic for OspfPor {
-    fn pick(&self, _state: &RpvpState, enabled: &[EnabledChoice], _decided: &[bool]) -> PorDecision {
+    fn pick(
+        &self,
+        _state: &RpvpState,
+        enabled: &[EnabledChoice],
+        _decided: &[bool],
+    ) -> PorDecision {
         let mut best: Option<(usize, usize, u64)> = None;
         for (ci, choice) in enabled.iter().enumerate() {
             for (ui, (_, route)) in choice.best_updates.iter().enumerate() {
@@ -82,7 +92,10 @@ impl PorHeuristic for OspfPor {
             Some((choice, update, _)) => PorDecision::Deterministic { choice, update },
             // Only invalid-path clears are pending: processing any of them is
             // order-independent.
-            None if !enabled.is_empty() => PorDecision::Deterministic { choice: 0, update: 0 },
+            None if !enabled.is_empty() => PorDecision::Deterministic {
+                choice: 0,
+                update: 0,
+            },
             None => PorDecision::BranchAll,
         }
     }
@@ -250,11 +263,12 @@ impl PorHeuristic for BgpPor {
                 .map(|(peer, route)| self.dominance(state, decided, choice.node, *peer, route))
                 .collect();
             if choice.best_updates.len() == 1 && dominances[0] == Dominance::StrictWinner {
-                return PorDecision::Deterministic { choice: ci, update: 0 };
+                return PorDecision::Deterministic {
+                    choice: ci,
+                    update: 0,
+                };
             }
-            if tied_candidate.is_none()
-                && dominances.iter().all(|d| *d != Dominance::Unknown)
-            {
+            if tied_candidate.is_none() && dominances.iter().all(|d| *d != Dominance::Unknown) {
                 tied_candidate = Some(ci);
             }
         }
@@ -266,7 +280,10 @@ impl PorHeuristic for BgpPor {
                 // arrive later; branching over just this node is the paper's
                 // behavior (the alternative converged state, if any, is still
                 // reachable through the later node's own choice point).
-                return PorDecision::Deterministic { choice: ci, update: 0 };
+                return PorDecision::Deterministic {
+                    choice: ci,
+                    update: 0,
+                };
             }
             return PorDecision::BranchUpdates { choice: ci };
         }
@@ -335,7 +352,10 @@ pub fn decision_independent(
     if enabled[0].best_updates.len() > 1 {
         Some(PorDecision::BranchUpdates { choice: 0 })
     } else {
-        Some(PorDecision::Deterministic { choice: 0, update: 0 })
+        Some(PorDecision::Deterministic {
+            choice: 0,
+            update: 0,
+        })
     }
 }
 
@@ -352,7 +372,12 @@ mod tests {
     #[test]
     fn ospf_por_picks_cheapest_pending_update() {
         let s = ring_ospf(6);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let rpvp = Rpvp::new(&model);
         let state = rpvp.initial_state();
         let enabled = rpvp.enabled(&state);
@@ -371,11 +396,19 @@ mod tests {
     #[test]
     fn no_por_always_branches() {
         let s = ring_ospf(4);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let rpvp = Rpvp::new(&model);
         let state = rpvp.initial_state();
         let enabled = rpvp.enabled(&state);
-        assert_eq!(NoPor.pick(&state, &enabled, &[false; 4]), PorDecision::BranchAll);
+        assert_eq!(
+            NoPor.pick(&state, &enabled, &[false; 4]),
+            PorDecision::BranchAll
+        );
     }
 
     #[test]
@@ -439,7 +472,12 @@ mod tests {
     #[test]
     fn decision_independence_requires_separated_components() {
         let s = ring_ospf(4);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let rpvp = Rpvp::new(&model);
         let state = rpvp.initial_state();
         let enabled = rpvp.enabled(&state);

@@ -1,0 +1,98 @@
+//! Reusable per-worker search state.
+//!
+//! Every [`ModelChecker`](crate::ModelChecker) run needs a visited-state set;
+//! allocating a fresh one per run is wasted work when a verification engine
+//! executes thousands of runs per worker. A [`SearchScratch`] keeps the
+//! visited set of the previous run and hands it back — cleared, but with its
+//! hash table or Bloom bit array still allocated — to the next run on the
+//! same worker.
+//!
+//! The visited set must *never* be shared across concurrent runs or carried
+//! over without clearing: states are vectors of run-local route handles, so
+//! stale entries from another run could alias fresh states and unsoundly
+//! suppress exploration. The scratch API enforces the clear on every reuse.
+
+use crate::options::SearchOptions;
+use crate::visited::VisitedSet;
+
+/// Reusable allocations for one worker's sequence of model-checking runs.
+#[derive(Default)]
+pub struct SearchScratch {
+    visited: Option<VisitedSet>,
+    /// Runs that reused a previous allocation (for engine statistics).
+    reuses: u64,
+}
+
+impl SearchScratch {
+    /// An empty scratch: the first run allocates fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A visited set matching `options`: the stored one (cleared) when its
+    /// variant matches, otherwise a newly allocated one.
+    pub fn take_visited(&mut self, options: &SearchOptions) -> VisitedSet {
+        let stored = self.visited.take();
+        match (options.bitstate_bits, stored) {
+            (None, Some(mut v @ VisitedSet::Exact(_))) => {
+                v.clear();
+                self.reuses += 1;
+                v
+            }
+            (Some(bits), Some(mut v))
+                if v.bitstate_bits() == Some(crate::visited::BloomFilter::rounded_bits(bits)) =>
+            {
+                v.clear();
+                self.reuses += 1;
+                v
+            }
+            (None, _) => VisitedSet::exact(),
+            (Some(bits), _) => VisitedSet::bitstate(bits),
+        }
+    }
+
+    /// Store a run's visited set for reuse by the next run.
+    pub fn put_visited(&mut self, visited: VisitedSet) {
+        self.visited = Some(visited);
+    }
+
+    /// How many runs reused a previous allocation.
+    pub fn reuse_count(&self) -> u64 {
+        self.reuses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::RouteHandle;
+
+    #[test]
+    fn exact_set_is_reused_and_cleared() {
+        let mut scratch = SearchScratch::new();
+        let options = SearchOptions::all_optimizations();
+        let mut v = scratch.take_visited(&options);
+        assert!(v.insert(&[RouteHandle(1), RouteHandle(2)]));
+        scratch.put_visited(v);
+
+        let v2 = scratch.take_visited(&options);
+        assert!(v2.is_empty(), "reused set must be cleared");
+        assert_eq!(scratch.reuse_count(), 1);
+    }
+
+    #[test]
+    fn variant_mismatch_allocates_fresh() {
+        let mut scratch = SearchScratch::new();
+        let exact = SearchOptions::all_optimizations();
+        let bitstate = SearchOptions::all_optimizations().with_bitstate(1 << 14);
+
+        let v = scratch.take_visited(&exact);
+        scratch.put_visited(v);
+        let v = scratch.take_visited(&bitstate);
+        assert!(v.bitstate_bits().is_some());
+        scratch.put_visited(v);
+        let v = scratch.take_visited(&bitstate);
+        assert_eq!(v.bitstate_bits(), Some(1 << 14));
+        assert_eq!(scratch.reuse_count(), 1);
+    }
+}

@@ -93,7 +93,11 @@ impl fmt::Display for Trail {
                     i + 1,
                     e.node,
                     p,
-                    if e.deterministic { "" } else { "  (non-deterministic choice)" }
+                    if e.deterministic {
+                        ""
+                    } else {
+                        "  (non-deterministic choice)"
+                    }
                 )?,
                 None => writeln!(f, "{:4}. {} clears its invalid path", i + 1, e.node)?,
             }

@@ -19,9 +19,17 @@ pub struct BloomFilter {
 }
 
 impl BloomFilter {
-    /// A filter with at least `bits` bits (rounded up to a power of two).
+    /// The actual bit-array size allocated for a requested size: rounded up
+    /// to a power of two, with a 1024-bit floor. Shared with
+    /// [`SearchScratch`](crate::SearchScratch) so its reuse check can never
+    /// drift from the allocation policy.
+    pub fn rounded_bits(bits: usize) -> usize {
+        bits.next_power_of_two().max(1024)
+    }
+
+    /// A filter with at least `bits` bits (see [`BloomFilter::rounded_bits`]).
     pub fn with_bits(bits: usize) -> Self {
-        let bits = bits.next_power_of_two().max(1024);
+        let bits = Self::rounded_bits(bits);
         BloomFilter {
             bits: vec![0; bits / 64],
             mask: bits as u64 - 1,
@@ -53,6 +61,16 @@ impl BloomFilter {
             self.inserted += 1;
         }
         new
+    }
+
+    /// Reset the filter to empty, keeping the allocated bit array. Free when
+    /// nothing was ever inserted (the bits are already zero).
+    pub fn clear(&mut self) {
+        if self.inserted == 0 {
+            return;
+        }
+        self.bits.fill(0);
+        self.inserted = 0;
     }
 
     /// Has the fingerprint (probably) been inserted?
@@ -97,6 +115,24 @@ impl VisitedSet {
         let mut h = DefaultHasher::new();
         state.hash(&mut h);
         h.finish()
+    }
+
+    /// Reset to empty while keeping the underlying allocations (the hash
+    /// set's table or the Bloom filter's bit array), so a worker can reuse
+    /// one visited set across many verification runs without reallocating.
+    pub fn clear(&mut self) {
+        match self {
+            VisitedSet::Exact(set) => set.clear(),
+            VisitedSet::Bitstate(bloom) => bloom.clear(),
+        }
+    }
+
+    /// The number of Bloom-filter bits, if this is a bitstate set.
+    pub fn bitstate_bits(&self) -> Option<usize> {
+        match self {
+            VisitedSet::Exact(_) => None,
+            VisitedSet::Bitstate(bloom) => Some(bloom.bytes() * 8),
+        }
     }
 
     /// Record a state. Returns `true` if the state had not been seen before

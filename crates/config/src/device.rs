@@ -113,7 +113,9 @@ mod tests {
     #[test]
     fn referenced_prefixes_cover_all_sources() {
         let d = DeviceConfig::empty()
-            .with_ospf(OspfConfig::originating(vec!["10.0.0.0/24".parse().unwrap()]))
+            .with_ospf(OspfConfig::originating(vec!["10.0.0.0/24"
+                .parse()
+                .unwrap()]))
             .with_bgp(
                 BgpConfig::new(65001, 1)
                     .with_network("20.0.0.0/16".parse().unwrap())
@@ -133,7 +135,10 @@ mod tests {
         let d = DeviceConfig::empty()
             .with_static_route(StaticRoute::null("10.0.0.0/8".parse().unwrap()))
             .with_static_route(StaticRoute::null("20.0.0.0/8".parse().unwrap()));
-        assert_eq!(d.static_routes_for(&"10.1.0.0/16".parse().unwrap()).len(), 1);
+        assert_eq!(
+            d.static_routes_for(&"10.1.0.0/16".parse().unwrap()).len(),
+            1
+        );
         assert_eq!(d.static_routes_for(&"0.0.0.0/0".parse().unwrap()).len(), 2);
         assert_eq!(d.static_routes_for(&"30.0.0.0/8".parse().unwrap()).len(), 0);
     }

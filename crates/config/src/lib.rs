@@ -24,7 +24,9 @@ pub use bgp::{BgpConfig, BgpNeighborConfig, BgpSessionKind};
 pub use device::DeviceConfig;
 pub use network::Network;
 pub use ospf::OspfConfig;
-pub use route_map::{MatchCondition, RouteAttrs, RouteMap, RouteMapAction, RouteMapClause, SetAction};
+pub use route_map::{
+    MatchCondition, RouteAttrs, RouteMap, RouteMapAction, RouteMapClause, SetAction,
+};
 pub use static_routes::{StaticNextHop, StaticRoute};
 
 /// Administrative distances used when combining protocols into a FIB,

@@ -79,13 +79,19 @@ impl fmt::Display for ConfigError {
                 write!(f, "{device} has an eBGP session with non-adjacent {peer}")
             }
             ConfigError::IbgpPeerWithoutLoopback { device, peer } => {
-                write!(f, "{device} peers over iBGP with {peer} which has no loopback")
+                write!(
+                    f,
+                    "{device} peers over iBGP with {peer} which has no loopback"
+                )
             }
             ConfigError::StaticNextHopNotAdjacent { device, next_hop } => {
                 write!(f, "{device} has a static route via non-adjacent {next_hop}")
             }
             ConfigError::BgpMultipathUnsupported { device } => {
-                write!(f, "{device} enables BGP multipath, which Plankton does not support")
+                write!(
+                    f,
+                    "{device} enables BGP multipath, which Plankton does not support"
+                )
             }
         }
     }
@@ -161,8 +167,14 @@ impl Network {
             .node_ids()
             .filter(|n| {
                 let d = self.device(*n);
-                d.ospf.as_ref().map(|o| o.originates(prefix)).unwrap_or(false)
-                    || d.bgp.as_ref().map(|b| b.originates(prefix)).unwrap_or(false)
+                d.ospf
+                    .as_ref()
+                    .map(|o| o.originates(prefix))
+                    .unwrap_or(false)
+                    || d.bgp
+                        .as_ref()
+                        .map(|b| b.originates(prefix))
+                        .unwrap_or(false)
             })
             .collect()
     }
@@ -268,7 +280,9 @@ mod tests {
     fn referenced_prefixes_include_loopbacks() {
         let (t, a, _) = two_routers();
         let mut net = Network::unconfigured(t);
-        net.device_mut(a).ospf = Some(OspfConfig::originating(vec!["10.0.0.0/24".parse().unwrap()]));
+        net.device_mut(a).ospf = Some(OspfConfig::originating(vec!["10.0.0.0/24"
+            .parse()
+            .unwrap()]));
         let ps = net.referenced_prefixes();
         assert!(ps.contains(&"10.0.0.0/24".parse().unwrap()));
         assert!(ps.contains(&Prefix::host(Ipv4Addr::new(1, 1, 1, 1))));
@@ -314,7 +328,10 @@ mod tests {
         net.device_mut(a).bgp =
             Some(BgpConfig::new(65001, 1).with_neighbor(BgpNeighborConfig::ibgp(c, 65001)));
         let errs = net.validate();
-        assert!(matches!(errs[0], ConfigError::IbgpPeerWithoutLoopback { .. }));
+        assert!(matches!(
+            errs[0],
+            ConfigError::IbgpPeerWithoutLoopback { .. }
+        ));
     }
 
     #[test]
@@ -326,7 +343,10 @@ mod tests {
         net.device_mut(a).bgp = Some(bgp);
         net.device_mut(a)
             .static_routes
-            .push(StaticRoute::to_interface("10.0.0.0/8".parse().unwrap(), NodeId(99)));
+            .push(StaticRoute::to_interface(
+                "10.0.0.0/8".parse().unwrap(),
+                NodeId(99),
+            ));
         let errs = net.validate();
         assert_eq!(errs.len(), 2);
     }
@@ -335,7 +355,9 @@ mod tests {
     fn json_roundtrip() {
         let (t, a, _) = two_routers();
         let mut net = Network::unconfigured(t);
-        net.device_mut(a).ospf = Some(OspfConfig::originating(vec!["10.0.0.0/24".parse().unwrap()]));
+        net.device_mut(a).ospf = Some(OspfConfig::originating(vec!["10.0.0.0/24"
+            .parse()
+            .unwrap()]));
         let json = net.to_json();
         let back = Network::from_json(&json).unwrap();
         assert_eq!(back.node_count(), 2);

@@ -196,7 +196,9 @@ pub struct RouteMap {
 impl RouteMap {
     /// The unconfigured map: permits everything unchanged.
     pub fn permit_all() -> Self {
-        RouteMap { clauses: Vec::new() }
+        RouteMap {
+            clauses: Vec::new(),
+        }
     }
 
     /// A map that denies everything.
@@ -329,7 +331,9 @@ mod tests {
     #[test]
     fn set_local_pref_and_community() {
         let m = RouteMap::permit_with(
-            vec![MatchCondition::PrefixIn(vec!["10.0.0.0/8".parse().unwrap()])],
+            vec![MatchCondition::PrefixIn(vec!["10.0.0.0/8"
+                .parse()
+                .unwrap()])],
             vec![SetAction::LocalPref(200), SetAction::AddCommunity(65010)],
         );
         let out = m.apply(&route("10.1.0.0/16"), PEER).unwrap();
@@ -358,7 +362,11 @@ mod tests {
     fn prepend_and_community_removal() {
         let mut r = route("10.0.0.0/24");
         r.communities = vec![1, 2];
-        SetAction::PrependAsPath { asn: 65000, count: 2 }.apply(&mut r);
+        SetAction::PrependAsPath {
+            asn: 65000,
+            count: 2,
+        }
+        .apply(&mut r);
         assert_eq!(r.as_path, vec![65000, 65000]);
         SetAction::RemoveCommunity(1).apply(&mut r);
         assert_eq!(r.communities, vec![2]);
@@ -391,7 +399,9 @@ mod tests {
             ],
             sets: vec![],
         };
-        let m = RouteMap { clauses: vec![clause] };
+        let m = RouteMap {
+            clauses: vec![clause],
+        };
         let mut r = route("10.0.0.0/24");
         assert_eq!(m.apply(&r, PEER), None);
         r.communities.push(9);

@@ -162,10 +162,7 @@ pub fn fat_tree_bgp_rfc7938(k: usize, seed: u64) -> FatTreeBgpScenario {
     // Waypoints: a random non-empty subset of the aggregation switches.
     let aggs = ft.aggregations_flat();
     let count = rng.gen_range(1..=aggs.len().max(1).min(1 + aggs.len() / 2));
-    let mut waypoints: Vec<NodeId> = aggs
-        .choose_multiple(&mut rng, count)
-        .copied()
-        .collect();
+    let mut waypoints: Vec<NodeId> = aggs.choose_multiple(&mut rng, count).copied().collect();
     waypoints.sort();
 
     // Monitor traffic between two edge switches in different pods.

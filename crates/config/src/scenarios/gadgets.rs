@@ -7,7 +7,7 @@
 
 use crate::bgp::{BgpConfig, BgpNeighborConfig};
 use crate::network::Network;
-use crate::route_map::{MatchCondition, RouteMap, RouteMapClause, RouteMapAction, SetAction};
+use crate::route_map::{MatchCondition, RouteMap, RouteMapAction, RouteMapClause, SetAction};
 use crate::static_routes::StaticRoute;
 use plankton_net::ip::{Ipv4Addr, Prefix};
 use plankton_net::topology::{NodeId, TopologyBuilder};
@@ -47,17 +47,15 @@ pub fn disagree_gadget() -> GadgetScenario {
 
     let destination: Prefix = "50.0.0.0/16".parse().unwrap();
     let asn = |n: NodeId| 65000 + n.0;
-    let prefer_peer = |peer: NodeId| {
-        RouteMap {
-            clauses: vec![
-                RouteMapClause {
-                    action: RouteMapAction::Permit,
-                    matches: vec![MatchCondition::Neighbor(peer)],
-                    sets: vec![SetAction::LocalPref(200)],
-                },
-                RouteMapClause::permit_any(),
-            ],
-        }
+    let prefer_peer = |peer: NodeId| RouteMap {
+        clauses: vec![
+            RouteMapClause {
+                action: RouteMapAction::Permit,
+                matches: vec![MatchCondition::Neighbor(peer)],
+                sets: vec![SetAction::LocalPref(200)],
+            },
+            RouteMapClause::permit_any(),
+        ],
     };
 
     let mut network = Network::unconfigured(topo);
@@ -131,7 +129,10 @@ pub fn bgp_wedgie() -> GadgetScenario {
         clauses: vec![RouteMapClause {
             action: RouteMapAction::Permit,
             matches: vec![],
-            sets: vec![SetAction::LocalPref(200), SetAction::AddCommunity(CUSTOMER_COMMUNITY)],
+            sets: vec![
+                SetAction::LocalPref(200),
+                SetAction::AddCommunity(CUSTOMER_COMMUNITY),
+            ],
         }],
     };
     let import_customer_backup = RouteMap {
@@ -139,12 +140,18 @@ pub fn bgp_wedgie() -> GadgetScenario {
             RouteMapClause {
                 action: RouteMapAction::Permit,
                 matches: vec![MatchCondition::Community(BACKUP_COMMUNITY)],
-                sets: vec![SetAction::LocalPref(10), SetAction::AddCommunity(CUSTOMER_COMMUNITY)],
+                sets: vec![
+                    SetAction::LocalPref(10),
+                    SetAction::AddCommunity(CUSTOMER_COMMUNITY),
+                ],
             },
             RouteMapClause {
                 action: RouteMapAction::Permit,
                 matches: vec![],
-                sets: vec![SetAction::LocalPref(200), SetAction::AddCommunity(CUSTOMER_COMMUNITY)],
+                sets: vec![
+                    SetAction::LocalPref(200),
+                    SetAction::AddCommunity(CUSTOMER_COMMUNITY),
+                ],
             },
         ],
     };
@@ -152,14 +159,20 @@ pub fn bgp_wedgie() -> GadgetScenario {
         clauses: vec![RouteMapClause {
             action: RouteMapAction::Permit,
             matches: vec![],
-            sets: vec![SetAction::LocalPref(100), SetAction::RemoveCommunity(CUSTOMER_COMMUNITY)],
+            sets: vec![
+                SetAction::LocalPref(100),
+                SetAction::RemoveCommunity(CUSTOMER_COMMUNITY),
+            ],
         }],
     };
     let import_provider = RouteMap {
         clauses: vec![RouteMapClause {
             action: RouteMapAction::Permit,
             matches: vec![],
-            sets: vec![SetAction::LocalPref(50), SetAction::RemoveCommunity(CUSTOMER_COMMUNITY)],
+            sets: vec![
+                SetAction::LocalPref(50),
+                SetAction::RemoveCommunity(CUSTOMER_COMMUNITY),
+            ],
         }],
     };
     // Export towards peers and providers: only customer-learned routes.
@@ -195,9 +208,7 @@ pub fn bgp_wedgie() -> GadgetScenario {
     // AS2: customer AS1 (backup-aware import), provider AS3.
     network.device_mut(a2).bgp = Some(
         BgpConfig::new(asn(a2), 2)
-            .with_neighbor(
-                BgpNeighborConfig::ebgp(a1, asn(a1)).with_import(import_customer_backup),
-            )
+            .with_neighbor(BgpNeighborConfig::ebgp(a1, asn(a1)).with_import(import_customer_backup))
             .with_neighbor(
                 BgpNeighborConfig::ebgp(a3, asn(a3))
                     .with_import(import_provider.clone())
@@ -207,7 +218,9 @@ pub fn bgp_wedgie() -> GadgetScenario {
     // AS3: customer AS2, peer AS4.
     network.device_mut(a3).bgp = Some(
         BgpConfig::new(asn(a3), 3)
-            .with_neighbor(BgpNeighborConfig::ebgp(a2, asn(a2)).with_import(import_customer.clone()))
+            .with_neighbor(
+                BgpNeighborConfig::ebgp(a2, asn(a2)).with_import(import_customer.clone()),
+            )
             .with_neighbor(
                 BgpNeighborConfig::ebgp(a4, asn(a4))
                     .with_import(import_peer.clone())

@@ -126,7 +126,13 @@ pub fn isp_ibgp_over_ospf(spec: &AsTopologySpec) -> IspIbgpScenario {
 
     let loopback_prefixes = mesh
         .iter()
-        .map(|&n| Prefix::host(topo.node(n).loopback.expect("backbone routers have loopbacks")))
+        .map(|&n| {
+            Prefix::host(
+                topo.node(n)
+                    .loopback
+                    .expect("backbone routers have loopbacks"),
+            )
+        })
         .collect();
 
     IspIbgpScenario {
@@ -150,7 +156,13 @@ mod tests {
         // Every router originates its loopback.
         for n in s.network.topology.node_ids() {
             let lb = s.network.topology.node(n).loopback.unwrap();
-            assert!(s.network.device(n).ospf.as_ref().unwrap().originates(&Prefix::host(lb)));
+            assert!(s
+                .network
+                .device(n)
+                .ospf
+                .as_ref()
+                .unwrap()
+                .originates(&Prefix::host(lb)));
         }
     }
 
@@ -173,14 +185,24 @@ mod tests {
         for &n in &s.as_topology.backbone {
             let bgp = s.network.device(n).bgp.as_ref().unwrap();
             assert_eq!(bgp.neighbors.len(), mesh_size - 1);
-            assert!(bgp.neighbors.iter().all(|x| x.kind == crate::bgp::BgpSessionKind::Ibgp));
+            assert!(bgp
+                .neighbors
+                .iter()
+                .all(|x| x.kind == crate::bgp::BgpSessionKind::Ibgp));
         }
         assert_eq!(s.borders.len(), 2);
         assert_eq!(s.bgp_destinations.len(), 2);
         // Borders originate the external prefixes.
         for (i, &b) in s.borders.iter().enumerate() {
             if s.borders[0] != s.borders[1] || i == 0 {
-                assert!(!s.network.device(b).bgp.as_ref().unwrap().networks.is_empty());
+                assert!(!s
+                    .network
+                    .device(b)
+                    .bgp
+                    .as_ref()
+                    .unwrap()
+                    .networks
+                    .is_empty());
             }
         }
     }

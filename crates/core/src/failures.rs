@@ -107,7 +107,11 @@ impl DeviceEquivalence {
     }
 
     fn count(class: &[usize]) -> usize {
-        class.iter().copied().collect::<std::collections::HashSet<_>>().len()
+        class
+            .iter()
+            .copied()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
     }
 
     /// The class of a device.
@@ -130,11 +134,7 @@ pub struct LinkEquivalenceClasses {
 impl LinkEquivalenceClasses {
     /// Group the candidate links of a scenario by the (unordered) pair of
     /// device classes they join.
-    pub fn compute(
-        network: &Network,
-        devices: &DeviceEquivalence,
-        candidates: &[LinkId],
-    ) -> Self {
+    pub fn compute(network: &Network, devices: &DeviceEquivalence, candidates: &[LinkId]) -> Self {
         let mut by_pair: BTreeMap<(usize, usize), Vec<LinkId>> = BTreeMap::new();
         for &link in candidates {
             let l = network.topology.link(link);
@@ -218,10 +218,12 @@ mod tests {
         let eq = DeviceEquivalence::compute(&s.network, &[]);
         // A symmetric fat tree has 3 roles but edge switches differ in what
         // they originate; the class count must be far below the device count.
-        assert!(eq.class_count < s.network.node_count() / 2,
+        assert!(
+            eq.class_count < s.network.node_count() / 2,
             "expected strong compression, got {} classes for {} devices",
             eq.class_count,
-            s.network.node_count());
+            s.network.node_count()
+        );
     }
 
     #[test]
@@ -245,8 +247,12 @@ mod tests {
         let scenario = FailureScenario::up_to(1);
         let unpruned = failure_sets_to_explore(&s.network, &scenario, &[], false);
         let pruned = failure_sets_to_explore(&s.network, &scenario, &[], true);
-        assert!(pruned.len() < unpruned.len(),
-            "LEC pruning had no effect: {} vs {}", pruned.len(), unpruned.len());
+        assert!(
+            pruned.len() < unpruned.len(),
+            "LEC pruning had no effect: {} vs {}",
+            pruned.len(),
+            unpruned.len()
+        );
         // The empty failure set is always explored.
         assert!(pruned.contains(&FailureSet::none()));
     }
@@ -262,8 +268,7 @@ mod tests {
     #[test]
     fn zero_failures_returns_single_empty_set() {
         let s = fat_tree_ospf(4, CoreStaticRoutes::None);
-        let sets =
-            failure_sets_to_explore(&s.network, &FailureScenario::no_failures(), &[], true);
+        let sets = failure_sets_to_explore(&s.network, &FailureScenario::no_failures(), &[], true);
         assert_eq!(sets, vec![FailureSet::none()]);
     }
 

@@ -9,6 +9,10 @@ use plankton_net::ip::Prefix;
 pub struct PlanktonOptions {
     /// Number of PEC verifications run concurrently (the paper's "cores").
     pub parallelism: usize,
+    /// Use the legacy level-barrier scheduler instead of the work-stealing
+    /// engine. Kept for differential testing: the engine and the sequential
+    /// path must produce identical reports.
+    pub sequential: bool,
     /// §4.3 — prune the choice of failed links using link equivalence
     /// classes (only applied when there are no cross-PEC dependencies).
     pub lec_failure_pruning: bool,
@@ -33,6 +37,7 @@ impl Default for PlanktonOptions {
     fn default() -> Self {
         PlanktonOptions {
             parallelism: 1,
+            sequential: false,
             lec_failure_pruning: true,
             stop_at_first_violation: true,
             restrict_to_prefixes: None,
@@ -56,6 +61,7 @@ impl PlanktonOptions {
     pub fn no_optimizations() -> Self {
         PlanktonOptions {
             parallelism: 1,
+            sequential: false,
             lec_failure_pruning: false,
             stop_at_first_violation: true,
             restrict_to_prefixes: None,
@@ -63,6 +69,13 @@ impl PlanktonOptions {
             max_data_planes_per_pec: 512,
             search: SearchOptions::no_optimizations(),
         }
+    }
+
+    /// Use the legacy level-barrier scheduler, builder-style (differential
+    /// testing against the work-stealing engine).
+    pub fn sequential(mut self) -> Self {
+        self.sequential = true;
+        self
     }
 
     /// Restrict verification to the given destination prefixes, builder-style.

@@ -8,6 +8,7 @@ use plankton_net::topology::NodeId;
 use plankton_pec::PecId;
 use plankton_protocols::Route;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One converged data plane of a PEC under one failure scenario, together
 /// with the control-plane information dependents need.
@@ -19,8 +20,10 @@ pub struct ConvergedRecord {
     pub forwarding: ForwardingGraph,
     /// The converged control-plane route per device for the PEC's most
     /// specific prefix (used for control-plane policies and for IGP cost
-    /// lookups by dependent PECs).
-    pub control_routes: Vec<Option<Route>>,
+    /// lookups by dependent PECs). Routes are hash-consed through the
+    /// engine's shared interner, so records across failure scenarios and
+    /// converged alternatives share one allocation per distinct route.
+    pub control_routes: Vec<Option<Arc<Route>>>,
     /// The devices at which the PEC's traffic is delivered (owners of the
     /// matched prefixes).
     pub owners: Vec<NodeId>,
@@ -48,7 +51,9 @@ pub struct PecOutcome {
     /// The PEC these outcomes belong to.
     pub pec: PecId,
     /// All converged records, grouped implicitly by their failure set.
-    pub records: Vec<ConvergedRecord>,
+    /// Records are shared (`Arc`) so dependency lookups and the engine's
+    /// per-failure outcome slots can hand them out without deep copies.
+    pub records: Vec<Arc<ConvergedRecord>>,
 }
 
 impl PecOutcome {
@@ -63,11 +68,22 @@ impl PecOutcome {
     /// The records computed under a specific failure set. Dependent PECs must
     /// match topology changes across explorations (§3.2), so they only
     /// consume records with exactly their own failure set.
-    pub fn under_failures(&self, failures: &FailureSet) -> Vec<&ConvergedRecord> {
+    pub fn under_failures(&self, failures: &FailureSet) -> Vec<Arc<ConvergedRecord>> {
         self.records
             .iter()
             .filter(|r| &r.failures == failures)
+            .cloned()
             .collect()
+    }
+
+    /// The first record computed under a specific failure set, without the
+    /// per-record Arc traffic and allocation of [`PecOutcome::under_failures`]
+    /// (the hot path: dependency lookups only consume the first match, §6).
+    pub fn first_under_failures(&self, failures: &FailureSet) -> Option<Arc<ConvergedRecord>> {
+        self.records
+            .iter()
+            .find(|r| &r.failures == failures)
+            .cloned()
     }
 
     /// Total number of converged records.
@@ -99,7 +115,11 @@ mod tests {
         ConvergedRecord {
             failures,
             forwarding,
-            control_routes: vec![Some(r0), Some(r1), Some(origin)],
+            control_routes: vec![
+                Some(Arc::new(r0)),
+                Some(Arc::new(r1)),
+                Some(Arc::new(origin)),
+            ],
             owners: vec![NodeId(2)],
         }
     }
@@ -115,12 +135,20 @@ mod tests {
     #[test]
     fn records_filtered_by_failure_set() {
         let mut outcome = PecOutcome::new(PecId(3));
-        outcome.records.push(record(FailureSet::none()));
-        outcome.records.push(record(FailureSet::single(LinkId(1))));
-        outcome.records.push(record(FailureSet::none()));
+        outcome.records.push(Arc::new(record(FailureSet::none())));
+        outcome
+            .records
+            .push(Arc::new(record(FailureSet::single(LinkId(1)))));
+        outcome.records.push(Arc::new(record(FailureSet::none())));
         assert_eq!(outcome.under_failures(&FailureSet::none()).len(), 2);
-        assert_eq!(outcome.under_failures(&FailureSet::single(LinkId(1))).len(), 1);
-        assert_eq!(outcome.under_failures(&FailureSet::single(LinkId(9))).len(), 0);
+        assert_eq!(
+            outcome.under_failures(&FailureSet::single(LinkId(1))).len(),
+            1
+        );
+        assert_eq!(
+            outcome.under_failures(&FailureSet::single(LinkId(9))).len(),
+            0
+        );
         assert_eq!(outcome.len(), 3);
         assert!(!outcome.is_empty());
     }

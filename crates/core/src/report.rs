@@ -1,6 +1,7 @@
 //! Verification results and counterexamples.
 
 use plankton_checker::{SearchStats, Trail};
+use plankton_engine::EngineStats;
 use plankton_net::failure::FailureSet;
 use plankton_net::ip::Prefix;
 use plankton_pec::PecId;
@@ -30,9 +31,7 @@ impl fmt::Display for Violation {
             f,
             "violation on {}{} under {}: {}",
             self.pec,
-            self.prefix
-                .map(|p| format!(" ({p})"))
-                .unwrap_or_default(),
+            self.prefix.map(|p| format!(" ({p})")).unwrap_or_default(),
             self.failures,
             self.reason
         )
@@ -61,6 +60,9 @@ pub struct VerificationReport {
     /// Size of the largest strongly connected component of the PEC
     /// dependency graph.
     pub largest_scc: usize,
+    /// What the parallel engine's worker pool did (`None` when the legacy
+    /// sequential scheduler ran).
+    pub engine: Option<EngineStats>,
 }
 
 impl VerificationReport {
@@ -93,6 +95,9 @@ impl VerificationReport {
 impl fmt::Display for VerificationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.summary())?;
+        if let Some(engine) = &self.engine {
+            writeln!(f, "  engine: {engine}")?;
+        }
         for v in &self.violations {
             writeln!(f, "  {v}")?;
         }
@@ -121,7 +126,11 @@ mod tests {
         });
         assert!(!r.holds());
         assert!(r.summary().contains("VIOLATED"));
-        assert!(r.first_violation().unwrap().to_string().contains("unreachable"));
+        assert!(r
+            .first_violation()
+            .unwrap()
+            .to_string()
+            .contains("unreachable"));
         assert!(r.to_string().contains("pec1"));
     }
 }

@@ -10,14 +10,17 @@ use crate::options::PlanktonOptions;
 use crate::outcome::ConvergedRecord;
 use crate::underlay::DependencyUnderlay;
 use plankton_checker::{
-    BgpPor, ModelChecker, NoPor, OspfPor, PorHeuristic, SearchOptions, SearchStats, Trail, Verdict,
+    BgpPor, ModelChecker, NoPor, OspfPor, PorHeuristic, SearchOptions, SearchScratch, SearchStats,
+    Trail, Verdict,
 };
 use plankton_config::{Network, StaticNextHop};
 use plankton_dataplane::{FibEntry, ForwardingGraph, NetworkFib, RouteSource};
+use plankton_engine::SharedRouteInterner;
 use plankton_net::failure::FailureSet;
 use plankton_net::topology::NodeId;
 use plankton_pec::{OriginProtocol, Pec, PrefixConfig};
 use plankton_protocols::{BgpModel, OspfModel, ProtocolModel, Route, SessionType};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// One converged alternative of one prefix's control plane: the FIB entries
@@ -84,6 +87,10 @@ pub struct PecSession<'a> {
     /// source may traverse IGP transit nodes that have not yet selected
     /// their route in the partial state.
     pub has_dependencies: bool,
+    /// Reusable per-worker search state (visited-set allocations), when the
+    /// session runs inside the parallel engine. `None` allocates fresh state
+    /// per model-checking run.
+    pub scratch: Option<&'a RefCell<SearchScratch>>,
 }
 
 impl<'a> PecSession<'a> {
@@ -179,7 +186,10 @@ impl<'a> PecSession<'a> {
                     if !ecmp.is_empty() {
                         return ecmp;
                     }
-                    converged.next_hop(node).map(|h| vec![h]).unwrap_or_default()
+                    converged
+                        .next_hop(node)
+                        .map(|h| vec![h])
+                        .unwrap_or_default()
                 },
                 |_| RouteSource::Ospf,
             );
@@ -301,14 +311,22 @@ impl<'a> PecSession<'a> {
                 .map(|&o| model.origin_route(o).attrs.prefix)
                 .unwrap_or(plankton_net::ip::Prefix::DEFAULT)
         };
-        let checker = ModelChecker::new(
-            model,
-            por,
-            self.search_options(single_prefix),
-            self.failures.clone(),
-        );
+        let search_options = self.search_options(single_prefix);
+        let checker = match self.scratch {
+            Some(scratch) => {
+                let visited = scratch.borrow_mut().take_visited(&search_options);
+                ModelChecker::new_with_visited(
+                    model,
+                    por,
+                    search_options,
+                    self.failures.clone(),
+                    visited,
+                )
+            }
+            None => ModelChecker::new(model, por, search_options, self.failures.clone()),
+        };
         let mut alternatives = Vec::new();
-        let stats = checker.run(&mut |converged, trail| {
+        let (stats, visited) = checker.run_returning(&mut |converged, trail| {
             let mut entries = vec![Vec::new(); n];
             let mut control_routes = vec![None; n];
             for i in 0..n {
@@ -333,6 +351,9 @@ impl<'a> PecSession<'a> {
             });
             Verdict::Continue
         });
+        if let Some(scratch) = self.scratch {
+            scratch.borrow_mut().put_visited(visited);
+        }
         (alternatives, stats)
     }
 
@@ -414,13 +435,18 @@ impl<'a> PecSession<'a> {
         (planes, stats)
     }
 
-    /// Turn a data plane into the record stored for dependent PECs.
-    pub fn record_of(&self, plane: &DataPlane) -> ConvergedRecord {
+    /// Turn a data plane into the record stored for dependent PECs, sharing
+    /// route allocations through the engine's interner.
+    pub fn record_of(&self, plane: &DataPlane, interner: &SharedRouteInterner) -> ConvergedRecord {
         ConvergedRecord {
             failures: self.failures.clone(),
             owners: plane.forwarding.delivery_points(),
             forwarding: plane.forwarding.clone(),
-            control_routes: plane.control_routes.clone(),
+            control_routes: plane
+                .control_routes
+                .iter()
+                .map(|r| interner.intern_opt(r.as_ref()))
+                .collect(),
         }
     }
 }
@@ -447,6 +473,7 @@ mod tests {
             policy_sources: None,
             has_dependents: false,
             has_dependencies: false,
+            scratch: None,
         }
     }
 
@@ -467,7 +494,7 @@ mod tests {
                 "{n} cannot reach the destination"
             );
         }
-        let record = session.record_of(&planes[0]);
+        let record = session.record_of(&planes[0], &SharedRouteInterner::new());
         assert_eq!(record.owners, vec![s.origin]);
     }
 

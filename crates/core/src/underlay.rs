@@ -27,6 +27,10 @@ pub struct DependencyUnderlay {
     /// For each address that recursive static routes point at, the forwarding
     /// next hops per source device in the chosen converged state.
     next_hops_to: HashMap<Ipv4Addr, Vec<Vec<NodeId>>>,
+    /// For each recorded address, the devices that own it (deliver locally).
+    /// Kept separately because "empty next hops" is ambiguous on its own: it
+    /// also describes a device the converged state left unreachable.
+    address_owners: HashMap<Ipv4Addr, Vec<NodeId>>,
 }
 
 impl DependencyUnderlay {
@@ -78,6 +82,7 @@ impl DependencyUnderlay {
             })
             .collect();
         self.next_hops_to.insert(addr, hops);
+        self.address_owners.insert(addr, record.owners.clone());
     }
 
     /// The forwarding next hops `from` uses to reach `addr`, if the
@@ -95,20 +100,10 @@ impl DependencyUnderlay {
     }
 
     fn owns(&self, from: NodeId, addr: Ipv4Addr) -> bool {
-        self.cost_to
-            .get(&from)
-            .map(|_| false)
+        self.address_owners
+            .get(&addr)
+            .map(|owners| owners.contains(&from))
             .unwrap_or(false)
-            || self
-                .next_hops_to
-                .get(&addr)
-                .map(|per_node| {
-                    per_node
-                        .get(from.index())
-                        .map(|h| h.is_empty())
-                        .unwrap_or(false)
-                })
-                .unwrap_or(false)
     }
 
     /// Number of loopback owners recorded.
@@ -122,9 +117,9 @@ impl IgpUnderlay for DependencyUnderlay {
         if from == to {
             return Some(0);
         }
-        self.cost_to.get(&to).and_then(|costs| {
-            costs.get(from.index()).copied().flatten()
-        })
+        self.cost_to
+            .get(&to)
+            .and_then(|costs| costs.get(from.index()).copied().flatten())
     }
 }
 
@@ -150,7 +145,11 @@ mod tests {
         ConvergedRecord {
             failures: FailureSet::none(),
             forwarding,
-            control_routes: vec![Some(r0), Some(r1), Some(origin)],
+            control_routes: vec![
+                Some(std::sync::Arc::new(r0)),
+                Some(std::sync::Arc::new(r1)),
+                Some(std::sync::Arc::new(origin)),
+            ],
             owners: vec![NodeId(2)],
         }
     }
@@ -177,6 +176,32 @@ mod tests {
         // The owner resolves to "delivered locally".
         assert_eq!(u.resolve_next_hops(NodeId(2), addr), Some(vec![]));
         // Unknown address: unresolved.
-        assert_eq!(u.resolve_next_hops(NodeId(0), Ipv4Addr::new(8, 8, 8, 8)), None);
+        assert_eq!(
+            u.resolve_next_hops(NodeId(0), Ipv4Addr::new(8, 8, 8, 8)),
+            None
+        );
+    }
+
+    #[test]
+    fn unreachable_node_does_not_resolve_the_address() {
+        // Node 3 exists but the converged state gives it no route towards the
+        // address and it is not an owner: the recursive next hop must be
+        // unresolvable there, not silently "delivered locally".
+        let mut forwarding = ForwardingGraph::new(4);
+        forwarding.next_hops[0] = vec![NodeId(1)];
+        forwarding.next_hops[1] = vec![NodeId(2)];
+        forwarding.delivers[2] = true;
+        let rec = ConvergedRecord {
+            failures: FailureSet::none(),
+            forwarding,
+            control_routes: vec![None; 4],
+            owners: vec![NodeId(2)],
+        };
+        let mut u = DependencyUnderlay::new();
+        let addr = Ipv4Addr::new(9, 9, 9, 9);
+        u.add_address_record(addr, &rec);
+        assert_eq!(u.resolve_next_hops(NodeId(0), addr), Some(vec![NodeId(1)]));
+        assert_eq!(u.resolve_next_hops(NodeId(2), addr), Some(vec![]));
+        assert_eq!(u.resolve_next_hops(NodeId(3), addr), None);
     }
 }

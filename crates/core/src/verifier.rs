@@ -1,21 +1,41 @@
 //! The top-level Plankton verifier (Figure 3 of the paper).
+//!
+//! Two execution paths share one per-(component × failure-scenario) work
+//! routine:
+//!
+//! * the **work-stealing engine** (default): the cross product of PEC
+//!   dependency components and failure scenarios becomes a task graph driven
+//!   by `plankton_engine` — a component's tasks are released the moment its
+//!   dependencies' outcomes land, independent components never wait on each
+//!   other, and the whole pool drains early on the first violation;
+//! * the **legacy level-barrier scheduler**
+//!   ([`PlanktonOptions::sequential`]): kept for differential testing.
+//!
+//! Violations are sorted before the report is assembled, so with
+//! [`PlanktonOptions::collect_all_violations`] both paths produce identical
+//! reports regardless of worker interleaving. Under the default
+//! stop-at-first-violation semantics only `holds()` is deterministic: which
+//! violation lands first — and how much work the fleet did before the stop
+//! broadcast reached it — depends on scheduling.
 
 use crate::failures::failure_sets_to_explore;
 use crate::options::PlanktonOptions;
-use crate::outcome::PecOutcome;
+use crate::outcome::{ConvergedRecord, PecOutcome};
 use crate::report::{VerificationReport, Violation};
 use crate::session::{DataPlane, PecSession};
 use crate::underlay::DependencyUnderlay;
 use parking_lot::Mutex;
-use plankton_checker::SearchStats;
+use plankton_checker::{SearchScratch, SearchStats};
 use plankton_config::Network;
+use plankton_engine::{pec_task_graph_for, Engine, SharedRouteInterner};
 use plankton_net::failure::{FailureScenario, FailureSet};
 use plankton_net::topology::NodeId;
 use plankton_pec::{compute_pecs, DependencyStore, Pec, PecDependencies, PecId, PecSet, Scheduler};
 use plankton_policy::{ConvergedView, Policy};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// The Plankton configuration verifier.
@@ -40,6 +60,25 @@ pub struct Plankton {
     network: Network,
     pecs: PecSet,
     deps: PecDependencies,
+}
+
+/// Shared state of one verification run, visible to every worker.
+struct RunCtx<'a> {
+    policy: &'a dyn Policy,
+    options: &'a PlanktonOptions,
+    interesting: Vec<NodeId>,
+    failure_sets: Vec<FailureSet>,
+    /// PECs that must be verified (restricted set plus transitive deps).
+    needed: BTreeSet<PecId>,
+    /// PECs whose policy verdict matters.
+    checked: BTreeSet<PecId>,
+    /// Component indices some needed PEC depends on.
+    has_dependents: BTreeSet<usize>,
+    violations: Mutex<Vec<Violation>>,
+    total_stats: Mutex<SearchStats>,
+    data_planes_checked: AtomicU64,
+    stop: AtomicBool,
+    interner: SharedRouteInterner,
 }
 
 impl Plankton {
@@ -116,8 +155,7 @@ impl Plankton {
         // §4.3: link-equivalence failure pruning is only applied when there
         // are no cross-PEC dependencies.
         let lec = options.lec_failure_pruning && !has_cross_pec_deps;
-        let failure_sets =
-            failure_sets_to_explore(&self.network, scenario, &interesting, lec);
+        let failure_sets = failure_sets_to_explore(&self.network, scenario, &interesting, lec);
 
         let needed = self.needed_pecs(options);
         let checked = self.checked_pecs(options);
@@ -131,118 +169,240 @@ impl Plankton {
             }
         }
 
-        let violations: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
-        let total_stats: Mutex<SearchStats> = Mutex::new(SearchStats::default());
-        let data_planes_checked = AtomicU64::new(0);
-        let stop = AtomicBool::new(false);
+        let ctx = RunCtx {
+            policy,
+            options,
+            interesting,
+            failure_sets,
+            needed,
+            checked,
+            has_dependents,
+            violations: Mutex::new(Vec::new()),
+            total_stats: Mutex::new(SearchStats::default()),
+            data_planes_checked: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            interner: SharedRouteInterner::new(),
+        };
 
-        let scheduler = Scheduler::new(options.parallelism);
+        let (largest_scc, engine_stats) = if options.sequential {
+            (self.run_sequential(&ctx), None)
+        } else {
+            let stats = self.run_engine(&ctx);
+            (self.deps.largest_component(), Some(stats))
+        };
+
+        // Deterministic report regardless of worker interleaving.
+        let mut violations = ctx.violations.into_inner();
+        violations
+            .sort_by(|a, b| (a.pec, &a.failures, &a.reason).cmp(&(b.pec, &b.failures, &b.reason)));
+
+        VerificationReport {
+            policy: policy.name().to_string(),
+            violations,
+            stats: ctx.total_stats.into_inner(),
+            pecs_verified: ctx.checked.len(),
+            failure_sets_explored: ctx.failure_sets.len(),
+            data_planes_checked: ctx.data_planes_checked.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            largest_scc,
+            engine: engine_stats,
+        }
+    }
+
+    /// The work-stealing engine path: one task per (needed component ×
+    /// failure scenario), outcomes in per-task slots, early stop broadcast
+    /// to the pool.
+    fn run_engine(&self, ctx: &RunCtx<'_>) -> plankton_engine::EngineStats {
+        let nf = ctx.failure_sets.len();
+        // Only components containing a needed PEC become tasks — with
+        // `restrict_to_prefixes` on a large network that is a tiny fraction
+        // of the cross product. The active set is closed under dependencies
+        // (`needed` includes every transitive dependency), so remapped edges
+        // never dangle.
+        let active: Vec<usize> = (0..self.deps.component_count())
+            .filter(|&c| {
+                self.deps.components[c]
+                    .iter()
+                    .any(|p| ctx.needed.contains(p))
+            })
+            .collect();
+        let (graph, map) = pec_task_graph_for(&self.deps, nf, &active);
+
+        // One outcome slot per (needed PEC, failure set); set exactly once,
+        // by the task that verified the PEC's component under that failure
+        // set, strictly before the engine releases any dependent task.
+        let slot_row: BTreeMap<PecId, usize> = ctx
+            .needed
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        let slots: Vec<OnceLock<Vec<Arc<ConvergedRecord>>>> =
+            (0..slot_row.len() * nf).map(|_| OnceLock::new()).collect();
+        let slot = |pec: PecId, f: usize| slot_row.get(&pec).map(|row| &slots[row * nf + f]);
+
+        let engine = Engine::new(ctx.options.parallelism);
+        let mut stats = engine.run(&graph, |task, worker| {
+            let (active_idx, f) = map.decode(task);
+            let component = &self.deps.components[active[active_idx]];
+            let failures = &ctx.failure_sets[f];
+            let lookup = |p: PecId| -> Option<Arc<ConvergedRecord>> {
+                slot(p, f)?
+                    .get()
+                    .and_then(|records| records.first().cloned())
+            };
+            let records = self.run_component_under_failures(
+                ctx,
+                component,
+                failures,
+                &lookup,
+                Some(worker.scratch_cell()),
+            );
+            for (pec, recs) in records {
+                if let Some(cell) = slot(pec, f) {
+                    let _ = cell.set(recs);
+                }
+            }
+            if ctx.stop.load(Ordering::Relaxed) {
+                worker.request_stop();
+            }
+        });
+        stats.interned_routes = ctx.interner.len() as u64;
+        stats.states_explored = ctx.total_stats.lock().states_explored();
+        stats
+    }
+
+    /// The legacy level-barrier path, kept behind
+    /// [`PlanktonOptions::sequential`] for differential testing. Returns the
+    /// scheduler's largest-SCC figure.
+    fn run_sequential(&self, ctx: &RunCtx<'_>) -> usize {
+        let scheduler = Scheduler::new(ctx.options.parallelism);
         let verify_component = |component: &[PecId], store: &DependencyStore<PecOutcome>| {
             let mut outcomes: BTreeMap<PecId, PecOutcome> = BTreeMap::new();
-            let needs_work = component.iter().any(|p| needed.contains(p));
+            let needs_work = component.iter().any(|p| ctx.needed.contains(p));
             if !needs_work {
                 return outcomes;
             }
             for &pec_id in component {
-                let mut outcome = PecOutcome::new(pec_id);
-                if stop.load(Ordering::Relaxed) {
-                    outcomes.insert(pec_id, outcome);
-                    continue;
+                outcomes.insert(pec_id, PecOutcome::new(pec_id));
+            }
+            for failures in &ctx.failure_sets {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    break;
                 }
-                let pec = self.pecs.pec(pec_id);
-                let comp_idx = self.deps.component_of(pec_id);
-                let component_has_dependents = has_dependents.contains(&comp_idx);
-                let component_has_dependencies =
-                    !self.deps.component_deps[comp_idx].is_empty();
-                let should_check = checked.contains(&pec_id);
-
-                for failures in &failure_sets {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let underlay =
-                        Arc::new(self.build_underlay(pec, failures, store));
-                    let session = PecSession {
-                        network: &self.network,
-                        pec,
-                        failures,
-                        underlay,
-                        options,
-                        policy_sources: policy.sources(),
-                        has_dependents: component_has_dependents,
-                        has_dependencies: component_has_dependencies,
-                    };
-                    let (planes, stats) = session.data_planes();
-                    *total_stats.lock() += stats;
-
-                    let mut seen_signatures: BTreeSet<Vec<(usize, bool, Vec<usize>)>> =
-                        BTreeSet::new();
-                    for plane in &planes {
-                        if component_has_dependents {
-                            outcome.records.push(session.record_of(plane));
-                        }
-                        if !should_check {
-                            continue;
-                        }
-                        if options.equivalence_suppression {
-                            let signature = equivalence_signature(
-                                plane,
-                                policy.sources().as_deref(),
-                                &interesting,
-                            );
-                            if !seen_signatures.insert(signature) {
-                                continue;
-                            }
-                        }
-                        data_planes_checked.fetch_add(1, Ordering::Relaxed);
-                        let view = ConvergedView {
-                            pec,
-                            forwarding: &plane.forwarding,
-                            control_routes: &plane.control_routes,
-                        };
-                        if let plankton_policy::PolicyResult::Violated(reason) =
-                            policy.check(&view)
-                        {
-                            let mut v = violations.lock();
-                            v.push(Violation {
-                                pec: pec_id,
-                                prefix: pec.most_specific().map(|c| c.prefix),
-                                failures: failures.clone(),
-                                trail: plane.trail.clone(),
-                                reason,
-                            });
-                            if options.stop_at_first_violation {
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                        }
-                    }
+                let lookup = |p: PecId| -> Option<Arc<ConvergedRecord>> {
+                    store.get(p).and_then(|o| o.first_under_failures(failures))
+                };
+                let records =
+                    self.run_component_under_failures(ctx, component, failures, &lookup, None);
+                for (pec, recs) in records {
+                    outcomes
+                        .get_mut(&pec)
+                        .expect("component PEC pre-inserted")
+                        .records
+                        .extend(recs);
                 }
-                outcomes.insert(pec_id, outcome);
             }
             outcomes
         };
-
         let (_, sched_report) = scheduler.run(&self.deps, verify_component);
-
-        VerificationReport {
-            policy: policy.name().to_string(),
-            violations: violations.into_inner(),
-            stats: total_stats.into_inner(),
-            pecs_verified: checked.len(),
-            failure_sets_explored: failure_sets.len(),
-            data_planes_checked: data_planes_checked.load(Ordering::Relaxed),
-            elapsed: start.elapsed(),
-            largest_scc: sched_report.largest_component,
-        }
+        sched_report.largest_component
     }
 
-    /// Assemble the dependency underlay for one PEC under one failure set
-    /// from the converged records of the PECs it depends on.
-    fn build_underlay(
+    /// Verify every PEC of one component under one failure set: the shared
+    /// inner routine of both execution paths. Returns the converged records
+    /// per PEC (empty unless the component has dependents).
+    fn run_component_under_failures(
+        &self,
+        ctx: &RunCtx<'_>,
+        component: &[PecId],
+        failures: &FailureSet,
+        lookup: &dyn Fn(PecId) -> Option<Arc<ConvergedRecord>>,
+        scratch: Option<&RefCell<SearchScratch>>,
+    ) -> BTreeMap<PecId, Vec<Arc<ConvergedRecord>>> {
+        let mut out: BTreeMap<PecId, Vec<Arc<ConvergedRecord>>> = BTreeMap::new();
+        if !component.iter().any(|p| ctx.needed.contains(p)) {
+            return out;
+        }
+        for &pec_id in component {
+            let mut records: Vec<Arc<ConvergedRecord>> = Vec::new();
+            if ctx.stop.load(Ordering::Relaxed) {
+                out.insert(pec_id, records);
+                continue;
+            }
+            let pec = self.pecs.pec(pec_id);
+            let comp_idx = self.deps.component_of(pec_id);
+            let component_has_dependents = ctx.has_dependents.contains(&comp_idx);
+            let component_has_dependencies = !self.deps.component_deps[comp_idx].is_empty();
+            let should_check = ctx.checked.contains(&pec_id);
+
+            let underlay = Arc::new(self.build_underlay_with(pec, lookup));
+            let session = PecSession {
+                network: &self.network,
+                pec,
+                failures,
+                underlay,
+                options: ctx.options,
+                policy_sources: ctx.policy.sources(),
+                has_dependents: component_has_dependents,
+                has_dependencies: component_has_dependencies,
+                scratch,
+            };
+            let (planes, stats) = session.data_planes();
+            *ctx.total_stats.lock() += stats;
+
+            let mut seen_signatures: BTreeSet<Vec<(usize, bool, Vec<usize>)>> = BTreeSet::new();
+            for plane in &planes {
+                if component_has_dependents {
+                    records.push(Arc::new(session.record_of(plane, &ctx.interner)));
+                }
+                if !should_check {
+                    continue;
+                }
+                if ctx.options.equivalence_suppression {
+                    let signature = equivalence_signature(
+                        plane,
+                        ctx.policy.sources().as_deref(),
+                        &ctx.interesting,
+                    );
+                    if !seen_signatures.insert(signature) {
+                        continue;
+                    }
+                }
+                ctx.data_planes_checked.fetch_add(1, Ordering::Relaxed);
+                let view = ConvergedView {
+                    pec,
+                    forwarding: &plane.forwarding,
+                    control_routes: &plane.control_routes,
+                };
+                if let plankton_policy::PolicyResult::Violated(reason) = ctx.policy.check(&view) {
+                    let mut v = ctx.violations.lock();
+                    v.push(Violation {
+                        pec: pec_id,
+                        prefix: pec.most_specific().map(|c| c.prefix),
+                        failures: failures.clone(),
+                        trail: plane.trail.clone(),
+                        reason,
+                    });
+                    if ctx.options.stop_at_first_violation {
+                        ctx.stop.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            out.insert(pec_id, records);
+        }
+        out
+    }
+
+    /// Assemble the dependency underlay for one PEC from the converged
+    /// records of the PECs it depends on, resolved through `lookup` (which
+    /// encapsulates both the store and the failure-set matching — §3.2:
+    /// dependents only consume records computed under their own failure
+    /// set).
+    fn build_underlay_with(
         &self,
         pec: &Pec,
-        failures: &FailureSet,
-        store: &DependencyStore<PecOutcome>,
+        lookup: &dyn Fn(PecId) -> Option<Arc<ConvergedRecord>>,
     ) -> DependencyUnderlay {
         let mut underlay = DependencyUnderlay::new();
         let comp = self.deps.component_of(pec.id);
@@ -254,25 +414,28 @@ impl Plankton {
         // PEC contributes IGP reachability information.
         for node in self.network.topology.nodes() {
             let Some(lb) = node.loopback else { continue };
-            let Some(lb_pec) = self.pecs.pec_containing(lb) else { continue };
+            let Some(lb_pec) = self.pecs.pec_containing(lb) else {
+                continue;
+            };
             if !dependency_pecs.contains(&lb_pec.id) {
                 continue;
             }
-            let Some(outcome) = store.get(lb_pec.id) else { continue };
             // Cross-PEC dependencies in practice involve a single converged
-            // state per dependency (§6); topology changes are matched by
-            // consuming only records computed under the same failure set.
-            if let Some(record) = outcome.under_failures(failures).first() {
-                underlay.add_loopback_record(node.id, record);
-            }
+            // state per dependency (§6).
+            let Some(record) = lookup(lb_pec.id) else {
+                continue;
+            };
+            underlay.add_loopback_record(node.id, &record);
         }
         // Recursive static-route targets.
         for addr in pec.recursive_next_hops() {
-            let Some(target_pec) = self.pecs.pec_containing(addr) else { continue };
-            let Some(outcome) = store.get(target_pec.id) else { continue };
-            if let Some(record) = outcome.under_failures(failures).first() {
-                underlay.add_address_record(addr, record);
-            }
+            let Some(target_pec) = self.pecs.pec_containing(addr) else {
+                continue;
+            };
+            let Some(record) = lookup(target_pec.id) else {
+                continue;
+            };
+            underlay.add_address_record(addr, &record);
         }
         underlay
     }
@@ -290,7 +453,9 @@ fn equivalence_signature(
 ) -> Vec<(usize, bool, Vec<usize>)> {
     let sources: Vec<NodeId> = match sources {
         Some(s) => s.to_vec(),
-        None => (0..plane.forwarding.node_count() as u32).map(NodeId).collect(),
+        None => (0..plane.forwarding.node_count() as u32)
+            .map(NodeId)
+            .collect(),
     };
     sources
         .iter()
@@ -309,9 +474,7 @@ fn equivalence_signature(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plankton_config::scenarios::{
-        disagree_gadget, fat_tree_ospf, ring_ospf, CoreStaticRoutes,
-    };
+    use plankton_config::scenarios::{disagree_gadget, fat_tree_ospf, ring_ospf, CoreStaticRoutes};
     use plankton_policy::{LoopFreedom, Reachability};
 
     #[test]
@@ -327,6 +490,7 @@ mod tests {
         assert!(report.holds(), "{report}");
         assert!(report.failure_sets_explored > 1);
         assert_eq!(report.pecs_verified, 1);
+        assert!(report.engine.is_some(), "engine path is the default");
     }
 
     #[test]
@@ -383,7 +547,14 @@ mod tests {
         );
         assert!(!report.holds(), "the wedged convergence must be found");
         // The trail of the counterexample contains non-deterministic choices.
-        assert!(report.first_violation().unwrap().trail.nondeterministic_steps() > 0);
+        assert!(
+            report
+                .first_violation()
+                .unwrap()
+                .trail
+                .nondeterministic_steps()
+                > 0
+        );
 
         // Reachability, in contrast, holds in every converged state.
         let report = plankton.verify(
@@ -401,7 +572,9 @@ mod tests {
         let serial = plankton.verify(
             &LoopFreedom::everywhere(),
             &FailureScenario::no_failures(),
-            &PlanktonOptions::with_cores(1).collect_all_violations(),
+            &PlanktonOptions::with_cores(1)
+                .sequential()
+                .collect_all_violations(),
         );
         let parallel = plankton.verify(
             &LoopFreedom::everywhere(),
@@ -410,5 +583,13 @@ mod tests {
         );
         assert_eq!(serial.holds(), parallel.holds());
         assert_eq!(serial.violations.len(), parallel.violations.len());
+        assert!(serial.engine.is_none());
+        let engine = parallel.engine.expect("engine stats recorded");
+        assert_eq!(engine.workers, 4);
+        assert_eq!(engine.tasks_pending, 0);
+        assert_eq!(
+            engine.tasks_executed + engine.tasks_skipped,
+            engine.tasks_total as u64
+        );
     }
 }

@@ -238,7 +238,8 @@ mod tests {
     fn network_fib_indexing() {
         let mut nf = NetworkFib::new(3);
         let p: Prefix = "10.0.0.0/24".parse().unwrap();
-        nf.fib_mut(NodeId(1)).add(FibEntry::local(p, RouteSource::Connected));
+        nf.fib_mut(NodeId(1))
+            .add(FibEntry::local(p, RouteSource::Connected));
         assert!(nf.fib(NodeId(0)).is_empty());
         assert!(nf.lookup(NodeId(1), Ipv4Addr::new(10, 0, 0, 1)).is_some());
         assert!(nf.lookup(NodeId(2), Ipv4Addr::new(10, 0, 0, 1)).is_none());

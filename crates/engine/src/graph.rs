@@ -1,0 +1,240 @@
+//! The verification task graph.
+//!
+//! A task is one unit of schedulable work; edges point from a task to the
+//! tasks it depends on. For Plankton the tasks are the cross product of PEC
+//! dependency components and failure scenarios (see [`pec_task_graph`]): a
+//! component's verification under failure set *F* needs the converged
+//! outcomes of its dependency components under exactly *F* (§3.2 — topology
+//! changes are matched across explorations), and nothing else. Tasks of
+//! unrelated components — and tasks of the *same* component under different
+//! failure sets — are independent and free to run concurrently.
+
+use plankton_pec::PecDependencies;
+
+/// Identifier of a task in a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The task's index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A dependency DAG over tasks.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    /// `deps[t]` = tasks that must complete before `t` may run.
+    deps: Vec<Vec<TaskId>>,
+    /// `dependents[t]` = tasks waiting on `t` (reverse edges).
+    dependents: Vec<Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    /// A graph of `tasks` tasks and no edges.
+    pub fn new(tasks: usize) -> Self {
+        TaskGraph {
+            deps: vec![Vec::new(); tasks],
+            dependents: vec![Vec::new(); tasks],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Declare that `task` cannot run until `dep` has completed.
+    pub fn add_dependency(&mut self, task: TaskId, dep: TaskId) {
+        assert_ne!(task, dep, "a task cannot depend on itself");
+        self.deps[task.index()].push(dep);
+        self.dependents[dep.index()].push(task);
+    }
+
+    /// The tasks `task` depends on.
+    pub fn dependencies(&self, task: TaskId) -> &[TaskId] {
+        &self.deps[task.index()]
+    }
+
+    /// The tasks waiting on `task`.
+    pub fn dependents(&self, task: TaskId) -> &[TaskId] {
+        &self.dependents[task.index()]
+    }
+
+    /// Initial in-degrees (number of dependencies) per task.
+    pub fn dependency_counts(&self) -> Vec<usize> {
+        self.deps.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+
+    /// Verify the graph is acyclic (a cycle would deadlock the executor).
+    /// Returns `true` when every task is reachable through a topological
+    /// order.
+    pub fn is_acyclic(&self) -> bool {
+        let mut pending = self.dependency_counts();
+        let mut ready: Vec<usize> = (0..self.len()).filter(|&t| pending[t] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(t) = ready.pop() {
+            seen += 1;
+            for d in &self.dependents[t] {
+                pending[d.index()] -= 1;
+                if pending[d.index()] == 0 {
+                    ready.push(d.index());
+                }
+            }
+        }
+        seen == self.len()
+    }
+}
+
+/// The dense encoding of (component, failure-scenario) pairs as [`TaskId`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskMap {
+    /// Number of PEC dependency components.
+    pub components: usize,
+    /// Number of failure sets explored per component.
+    pub failure_sets: usize,
+}
+
+impl TaskMap {
+    /// Total number of tasks.
+    pub fn len(&self) -> usize {
+        self.components * self.failure_sets
+    }
+
+    /// Is the cross product empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The task for `component` under failure set `failure_idx`.
+    pub fn task(&self, component: usize, failure_idx: usize) -> TaskId {
+        debug_assert!(component < self.components && failure_idx < self.failure_sets);
+        TaskId(component * self.failure_sets + failure_idx)
+    }
+
+    /// The `(component, failure_idx)` pair of a task.
+    pub fn decode(&self, task: TaskId) -> (usize, usize) {
+        (
+            task.index() / self.failure_sets,
+            task.index() % self.failure_sets,
+        )
+    }
+}
+
+/// Build the (component × failure-scenario) task graph for a PEC dependency
+/// analysis: task *(c, F)* depends on *(d, F)* for every component *d* that
+/// *c* depends on. Failure scenarios never constrain each other.
+pub fn pec_task_graph(deps: &PecDependencies, failure_sets: usize) -> (TaskGraph, TaskMap) {
+    let all: Vec<usize> = (0..deps.component_count()).collect();
+    pec_task_graph_for(deps, failure_sets, &all)
+}
+
+/// Like [`pec_task_graph`], but over a subset of components (a restricted
+/// verification only schedules the components it needs). Task column *i*
+/// corresponds to `components[i]`; dependency edges pointing outside the
+/// subset are dropped, so the caller must pass a set closed under
+/// dependencies for the scheduling contract to hold.
+pub fn pec_task_graph_for(
+    deps: &PecDependencies,
+    failure_sets: usize,
+    components: &[usize],
+) -> (TaskGraph, TaskMap) {
+    let index: std::collections::BTreeMap<usize, usize> = components
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
+    let map = TaskMap {
+        components: components.len(),
+        failure_sets,
+    };
+    let mut graph = TaskGraph::new(map.len());
+    for (i, &c) in components.iter().enumerate() {
+        for d in &deps.component_deps[c] {
+            let Some(&j) = index.get(d) else { continue };
+            for f in 0..failure_sets {
+                graph.add_dependency(map.task(i, f), map.task(j, f));
+            }
+        }
+    }
+    debug_assert!(graph.is_acyclic(), "SCC condensation must be a DAG");
+    (graph, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_pec::{DependencyGraph, PecId};
+
+    fn deps_from_edges(n: usize, edges: &[(u32, u32)]) -> PecDependencies {
+        let mut depends_on = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            depends_on[a as usize].push(PecId(b));
+        }
+        DependencyGraph { depends_on }.analyze()
+    }
+
+    #[test]
+    fn edges_and_counts() {
+        let mut g = TaskGraph::new(3);
+        g.add_dependency(TaskId(2), TaskId(0));
+        g.add_dependency(TaskId(2), TaskId(1));
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.dependencies(TaskId(2)), &[TaskId(0), TaskId(1)]);
+        assert_eq!(g.dependents(TaskId(0)), &[TaskId(2)]);
+        assert_eq!(g.dependency_counts(), vec![0, 0, 2]);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut g = TaskGraph::new(2);
+        g.add_dependency(TaskId(0), TaskId(1));
+        g.add_dependency(TaskId(1), TaskId(0));
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn cross_product_replicates_edges_per_failure_set() {
+        // PEC 0 depends on PEC 1; 3 failure sets.
+        let deps = deps_from_edges(2, &[(0, 1)]);
+        let (graph, map) = pec_task_graph(&deps, 3);
+        assert_eq!(graph.len(), 6);
+        assert_eq!(graph.edge_count(), 3);
+        // Each dependent task points at its own failure set's producer.
+        let comp_of_pec0 = deps.component_of(PecId(0));
+        let comp_of_pec1 = deps.component_of(PecId(1));
+        for f in 0..3 {
+            let t = map.task(comp_of_pec0, f);
+            assert_eq!(graph.dependencies(t), &[map.task(comp_of_pec1, f)]);
+            assert_eq!(map.decode(t), (comp_of_pec0, f));
+        }
+        assert!(graph.is_acyclic());
+    }
+
+    #[test]
+    fn task_map_roundtrips() {
+        let map = TaskMap {
+            components: 4,
+            failure_sets: 5,
+        };
+        assert_eq!(map.len(), 20);
+        for c in 0..4 {
+            for f in 0..5 {
+                assert_eq!(map.decode(map.task(c, f)), (c, f));
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Concurrent sharded route interning.
+//!
+//! Converged records stored for dependent PECs carry one control-plane
+//! [`Route`] per device, and the same routes recur across failure scenarios,
+//! converged alternatives and PECs. Interning hash-conses them: every
+//! distinct route is allocated once and records share `Arc`s, which both
+//! shrinks the dependency store and makes record construction cheaper (an
+//! `Arc` clone instead of a deep route clone with its path vectors).
+//!
+//! The table is sharded by route hash so concurrent workers rarely contend
+//! on the same lock; this is the cross-task complement of the checker's
+//! per-run state hashing (§4.4 of the paper).
+
+use plankton_protocols::Route;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Number of shards; a power of two so the hash maps onto a shard by mask.
+const SHARDS: usize = 16;
+
+/// A concurrent hash-consing table for routes.
+#[derive(Debug)]
+pub struct SharedRouteInterner {
+    // `Arc<Route>: Borrow<Route>`, so lookups by `&Route` need no clone and
+    // each distinct route is stored exactly once.
+    shards: Vec<Mutex<HashSet<Arc<Route>>>>,
+}
+
+impl Default for SharedRouteInterner {
+    fn default() -> Self {
+        SharedRouteInterner {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+}
+
+impl SharedRouteInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, route: &Route) -> &Mutex<HashSet<Arc<Route>>> {
+        let mut h = DefaultHasher::new();
+        route.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// The shared allocation for `route`, interning it on first sight.
+    pub fn intern(&self, route: &Route) -> Arc<Route> {
+        let mut shard = self.shard(route).lock().expect("interner shard poisoned");
+        if let Some(existing) = shard.get(route) {
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(route.clone());
+        shard.insert(Arc::clone(&arc));
+        arc
+    }
+
+    /// Intern an optional route.
+    pub fn intern_opt(&self, route: Option<&Route>) -> Option<Arc<Route>> {
+        route.map(|r| self.intern(r))
+    }
+
+    /// Number of distinct routes interned.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("interner shard poisoned").len())
+            .sum()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_net::ip::Prefix;
+    use plankton_net::topology::NodeId;
+
+    fn route(hops: &[u32]) -> Route {
+        let mut r = Route::originated(Prefix::DEFAULT);
+        for &h in hops.iter().rev() {
+            r = r.extended_through(NodeId(h));
+        }
+        r
+    }
+
+    #[test]
+    fn interning_shares_allocations() {
+        let interner = SharedRouteInterner::new();
+        let a = interner.intern(&route(&[1, 2, 3]));
+        let b = interner.intern(&route(&[1, 2, 3]));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(interner.len(), 1);
+        let c = interner.intern(&route(&[4]));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_interning_converges_to_one_arc_per_route() {
+        let interner = SharedRouteInterner::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..100u32 {
+                        interner.intern(&route(&[i % 10]));
+                    }
+                });
+            }
+        });
+        assert_eq!(interner.len(), 10);
+    }
+
+    #[test]
+    fn optional_interning() {
+        let interner = SharedRouteInterner::new();
+        assert!(interner.intern_opt(None).is_none());
+        assert!(interner.intern_opt(Some(&route(&[1]))).is_some());
+        assert!(!interner.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-worker task deques with stealing.
+//!
+//! Each worker owns a deque: it pushes and pops at the back (LIFO — a task's
+//! just-released dependents run immediately, while their dependency records
+//! are still cache-hot), and thieves take from the front (FIFO — the oldest,
+//! typically largest-subtree work migrates, which is the classic
+//! work-stealing heuristic). The deques are simple mutex-protected
+//! `VecDeque`s rather than lock-free Chase–Lev deques: verification tasks
+//! are milliseconds to seconds of model checking, so queue operations are
+//! nowhere near the contention point.
+
+use crate::graph::TaskId;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The set of per-worker deques.
+#[derive(Debug)]
+pub struct TaskQueue {
+    queues: Vec<Mutex<VecDeque<TaskId>>>,
+}
+
+impl TaskQueue {
+    /// Queues for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        TaskQueue {
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Push a task onto `worker`'s deque (the hot end).
+    pub fn push(&self, worker: usize, task: TaskId) {
+        self.queues[worker]
+            .lock()
+            .expect("task queue poisoned")
+            .push_back(task);
+    }
+
+    /// Pop `worker`'s most recently pushed task (LIFO).
+    pub fn pop(&self, worker: usize) -> Option<TaskId> {
+        self.queues[worker]
+            .lock()
+            .expect("task queue poisoned")
+            .pop_back()
+    }
+
+    /// Steal the oldest task from any other worker's deque, scanning victims
+    /// round-robin from `worker + 1`.
+    pub fn steal(&self, worker: usize) -> Option<TaskId> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            let stolen = self.queues[victim]
+                .lock()
+                .expect("task queue poisoned")
+                .pop_front();
+            if stolen.is_some() {
+                return stolen;
+            }
+        }
+        None
+    }
+
+    /// Total queued tasks across all workers (a snapshot).
+    pub fn queued(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.lock().expect("task queue poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_pops_are_lifo() {
+        let q = TaskQueue::new(2);
+        q.push(0, TaskId(1));
+        q.push(0, TaskId(2));
+        assert_eq!(q.pop(0), Some(TaskId(2)));
+        assert_eq!(q.pop(0), Some(TaskId(1)));
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn steals_are_fifo_from_other_workers() {
+        let q = TaskQueue::new(3);
+        q.push(1, TaskId(1));
+        q.push(1, TaskId(2));
+        assert_eq!(q.steal(0), Some(TaskId(1)), "steal takes the oldest");
+        assert_eq!(q.pop(1), Some(TaskId(2)), "owner keeps the newest");
+        assert_eq!(q.steal(0), None);
+    }
+
+    #[test]
+    fn steal_scans_all_victims() {
+        let q = TaskQueue::new(4);
+        q.push(3, TaskId(9));
+        assert_eq!(q.queued(), 1);
+        assert_eq!(q.steal(0), Some(TaskId(9)));
+        assert_eq!(q.queued(), 0);
+    }
+
+    #[test]
+    fn single_worker_never_steals_from_itself() {
+        let q = TaskQueue::new(1);
+        q.push(0, TaskId(5));
+        assert_eq!(q.steal(0), None);
+        assert_eq!(q.pop(0), Some(TaskId(5)));
+    }
+}

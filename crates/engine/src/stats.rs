@@ -1,0 +1,90 @@
+//! Engine execution statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A snapshot of what the worker pool did during one engine run, surfaced in
+/// the verification report.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Number of workers in the pool.
+    pub workers: usize,
+    /// Total tasks in the graph (components × failure scenarios).
+    pub tasks_total: usize,
+    /// Tasks whose work actually ran.
+    pub tasks_executed: u64,
+    /// Tasks a worker took from another worker's deque.
+    pub tasks_stolen: u64,
+    /// Tasks drained without running because the early-stop broadcast fired
+    /// first.
+    pub tasks_skipped: u64,
+    /// Tasks not yet completed when the snapshot was taken (0 after a full
+    /// run).
+    pub tasks_pending: usize,
+    /// Model-checking runs that reused a previous run's visited-set
+    /// allocation through the per-worker scratch.
+    pub scratch_reuses: u64,
+    /// Distinct control-plane routes in the shared interner after the run.
+    pub interned_routes: u64,
+    /// Total states explored across every model-checking run (filled in by
+    /// the verifier, which owns the search statistics).
+    pub states_explored: u64,
+    /// Wall-clock time of the engine run, in microseconds.
+    pub wall_micros: u64,
+}
+
+impl EngineStats {
+    /// Wall-clock seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_micros as f64 / 1e6
+    }
+
+    /// Did the early-stop broadcast fire?
+    pub fn stopped_early(&self) -> bool {
+        self.tasks_skipped > 0
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} workers, {}/{} tasks run ({} stolen, {} skipped), \
+             {} scratch reuses, {} interned routes, {:.3}s",
+            self.workers,
+            self.tasks_executed,
+            self.tasks_total,
+            self.tasks_stolen,
+            self.tasks_skipped,
+            self.scratch_reuses,
+            self.interned_routes,
+            self.wall_seconds(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_helpers() {
+        let stats = EngineStats {
+            workers: 4,
+            tasks_total: 10,
+            tasks_executed: 7,
+            tasks_stolen: 2,
+            tasks_skipped: 3,
+            tasks_pending: 0,
+            scratch_reuses: 5,
+            interned_routes: 11,
+            states_explored: 100,
+            wall_micros: 2_500_000,
+        };
+        assert!(stats.stopped_early());
+        assert_eq!(stats.wall_seconds(), 2.5);
+        let s = stats.to_string();
+        assert!(s.contains("4 workers"));
+        assert!(s.contains("7/10 tasks"));
+    }
+}

@@ -267,7 +267,9 @@ mod tests {
         let scenario = FailureScenario::up_to_among(1, vec![LinkId(0), LinkId(2)]);
         let sets = scenario.enumerate_failure_sets(&t);
         assert_eq!(sets.len(), 3);
-        assert!(sets.iter().all(|s| s.links().iter().all(|l| *l == LinkId(0) || *l == LinkId(2))));
+        assert!(sets
+            .iter()
+            .all(|s| s.links().iter().all(|l| *l == LinkId(0) || *l == LinkId(2))));
     }
 
     #[test]

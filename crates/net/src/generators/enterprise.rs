@@ -78,7 +78,10 @@ pub struct EnterpriseNetwork {
 
 /// Generate an enterprise network from a spec.
 pub fn enterprise_network(spec: &EnterpriseSpec) -> EnterpriseNetwork {
-    assert!(spec.routers >= 2, "enterprise networks need at least 2 routers");
+    assert!(
+        spec.routers >= 2,
+        "enterprise networks need at least 2 routers"
+    );
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut b = TopologyBuilder::new();
     let mut link_weights: Vec<u32> = Vec::new();
@@ -127,7 +130,12 @@ pub fn enterprise_network(spec: &EnterpriseSpec) -> EnterpriseNetwork {
     let access: Vec<NodeId> = (0..access_count)
         .map(|i| b.add_router(&format!("{}-acc{i}", spec.name)))
         .collect();
-    for (i, &r) in core.iter().chain(distribution.iter()).chain(access.iter()).enumerate() {
+    for (i, &r) in core
+        .iter()
+        .chain(distribution.iter())
+        .chain(access.iter())
+        .enumerate()
+    {
         b.set_loopback(
             r,
             Ipv4Addr::new(172, 31, (i / 250) as u8, (i % 250 + 1) as u8),

@@ -84,7 +84,10 @@ impl FatTree {
 /// `172.16.x.y/32` style address so that iBGP / recursive-routing scenarios
 /// can be layered on top.
 pub fn fat_tree(k: usize) -> FatTree {
-    assert!(k >= 2 && k % 2 == 0, "fat tree arity must be even and >= 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat tree arity must be even and >= 2, got {k}"
+    );
     let half = k / 2;
     let mut b = TopologyBuilder::new();
 
@@ -107,18 +110,12 @@ pub fn fat_tree(k: usize) -> FatTree {
         let mut edges = Vec::with_capacity(half);
         for i in 0..half {
             let id = b.add_router(&format!("agg{pod}_{i}"));
-            b.set_loopback(
-                id,
-                Ipv4Addr::new(172, 17, pod as u8, (i + 1) as u8),
-            );
+            b.set_loopback(id, Ipv4Addr::new(172, 17, pod as u8, (i + 1) as u8));
             aggs.push(id);
         }
         for i in 0..half {
             let id = b.add_router(&format!("edge{pod}_{i}"));
-            b.set_loopback(
-                id,
-                Ipv4Addr::new(172, 18, pod as u8, (i + 1) as u8),
-            );
+            b.set_loopback(id, Ipv4Addr::new(172, 18, pod as u8, (i + 1) as u8));
             edges.push(id);
             edge_prefixes.push(Prefix::new(
                 Ipv4Addr::new(10, (pod % 250) as u8, (i % 250) as u8, 0),
@@ -136,8 +133,8 @@ pub fn fat_tree(k: usize) -> FatTree {
     }
     // Aggregation <-> core: aggregation switch i of each pod connects to core
     // switches [i*half, (i+1)*half).
-    for pod in 0..k {
-        for (i, &agg) in aggregation[pod].iter().enumerate() {
+    for aggs in &aggregation {
+        for (i, &agg) in aggs.iter().enumerate() {
             for j in 0..half {
                 let c = core[i * half + j];
                 b.add_link(agg, c);

@@ -24,7 +24,10 @@ pub fn ring(n: usize) -> RingNetwork {
     let mut b = TopologyBuilder::new();
     let routers: Vec<NodeId> = (0..n).map(|i| b.add_router(&format!("r{i}"))).collect();
     for (i, &r) in routers.iter().enumerate() {
-        b.set_loopback(r, Ipv4Addr::new(172, 20, (i / 250) as u8, (i % 250 + 1) as u8));
+        b.set_loopback(
+            r,
+            Ipv4Addr::new(172, 20, (i / 250) as u8, (i % 250 + 1) as u8),
+        );
     }
     let mut links = Vec::with_capacity(n);
     for i in 0..n {

@@ -104,7 +104,9 @@ where
                 dist[v.index()] = nd;
                 predecessors[v.index()] = vec![u];
                 heap.push(Reverse((nd, v.0)));
-            } else if nd == dist[v.index()] && nd != INFINITY && !predecessors[v.index()].contains(&u)
+            } else if nd == dist[v.index()]
+                && nd != INFINITY
+                && !predecessors[v.index()].contains(&u)
             {
                 predecessors[v.index()].push(u);
             }
@@ -297,11 +299,7 @@ mod tests {
         let (t, [n0, _, _, n3]) = diamond();
         let seen = reachable_from(&t, n0, &FailureSet::none());
         assert!(seen.iter().all(|&s| s));
-        let all_links: Vec<_> = t
-            .neighbors(n3)
-            .iter()
-            .map(|&(_, l)| l)
-            .collect();
+        let all_links: Vec<_> = t.neighbors(n3).iter().map(|&(_, l)| l).collect();
         let seen = reachable_from(&t, n0, &FailureSet::from_links(all_links));
         assert!(!seen[n3.index()]);
     }
@@ -328,6 +326,9 @@ mod tests {
         b.add_link(m, z);
         let t = b.build();
         assert_eq!(edge_disjoint_paths(&t, a, z, &FailureSet::none()), 1);
-        assert_eq!(edge_disjoint_paths(&t, a, a, &FailureSet::none()), usize::MAX);
+        assert_eq!(
+            edge_disjoint_paths(&t, a, a, &FailureSet::none()),
+            usize::MAX
+        );
     }
 }

@@ -166,7 +166,10 @@ impl Prefix {
         self.addr
     }
 
-    /// The prefix length in bits.
+    /// The prefix length in bits. (No `is_empty` counterpart: a zero-length
+    /// prefix is the default route, which covers everything — see
+    /// [`Prefix::is_default`].)
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         self.len
     }
@@ -362,12 +365,18 @@ mod tests {
 
     #[test]
     fn addr_parse_errors() {
-        assert_eq!("10.1.2".parse::<Ipv4Addr>(), Err(AddrParseError::TooFewOctets));
+        assert_eq!(
+            "10.1.2".parse::<Ipv4Addr>(),
+            Err(AddrParseError::TooFewOctets)
+        );
         assert_eq!(
             "10.1.2.3.4".parse::<Ipv4Addr>(),
             Err(AddrParseError::TooManyOctets)
         );
-        assert_eq!("10.1.2.256".parse::<Ipv4Addr>(), Err(AddrParseError::BadOctet));
+        assert_eq!(
+            "10.1.2.256".parse::<Ipv4Addr>(),
+            Err(AddrParseError::BadOctet)
+        );
     }
 
     #[test]
@@ -429,7 +438,10 @@ mod tests {
     fn range_intersection() {
         let a = IpRange::new(Ipv4Addr(0), Ipv4Addr(100));
         let b = IpRange::new(Ipv4Addr(50), Ipv4Addr(200));
-        assert_eq!(a.intersect(&b), Some(IpRange::new(Ipv4Addr(50), Ipv4Addr(100))));
+        assert_eq!(
+            a.intersect(&b),
+            Some(IpRange::new(Ipv4Addr(50), Ipv4Addr(100)))
+        );
         let c = IpRange::new(Ipv4Addr(150), Ipv4Addr(200));
         assert_eq!(a.intersect(&c), None);
         assert!(a.overlaps(&b));
@@ -444,7 +456,10 @@ mod tests {
 
     #[test]
     fn range_contains_prefix() {
-        let r = IpRange::new(Ipv4Addr::new(128, 0, 0, 0), Ipv4Addr::new(191, 255, 255, 255));
+        let r = IpRange::new(
+            Ipv4Addr::new(128, 0, 0, 0),
+            Ipv4Addr::new(191, 255, 255, 255),
+        );
         assert!(r.contains_prefix(&"128.0.0.0/2".parse().unwrap()));
         assert!(!r.contains_prefix(&"128.0.0.0/1".parse().unwrap()));
     }

@@ -397,8 +397,14 @@ impl TopologyBuilder {
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link {
             id,
-            a: Interface { node: a, addr: a_addr },
-            b: Interface { node: b, addr: b_addr },
+            a: Interface {
+                node: a,
+                addr: a_addr,
+            },
+            b: Interface {
+                node: b,
+                addr: b_addr,
+            },
         });
         id
     }

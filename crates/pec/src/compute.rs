@@ -18,7 +18,10 @@ use std::collections::BTreeMap;
 pub fn compute_pecs(network: &Network) -> PecSet {
     // One PrefixConfig per distinct prefix.
     let mut configs: BTreeMap<Prefix, PrefixConfig> = BTreeMap::new();
-    fn config_for(configs: &mut BTreeMap<Prefix, PrefixConfig>, prefix: Prefix) -> &mut PrefixConfig {
+    fn config_for(
+        configs: &mut BTreeMap<Prefix, PrefixConfig>,
+        prefix: Prefix,
+    ) -> &mut PrefixConfig {
         configs
             .entry(prefix)
             .or_insert_with(|| PrefixConfig::empty(prefix))
@@ -104,7 +107,9 @@ pub fn compute_pecs(network: &Network) -> PecSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plankton_config::scenarios::{fat_tree_ospf, isp_ibgp_over_ospf, ring_ospf, CoreStaticRoutes};
+    use plankton_config::scenarios::{
+        fat_tree_ospf, isp_ibgp_over_ospf, ring_ospf, CoreStaticRoutes,
+    };
     use plankton_config::{DeviceConfig, Network, OspfConfig};
     use plankton_net::generators::as_topo::AsTopologySpec;
     use plankton_net::ip::{IpRange, Ipv4Addr};
@@ -122,11 +127,15 @@ mod tests {
         tb.add_link(r1, r2);
         tb.add_link(r2, r0);
         let mut net = Network::unconfigured(tb.build());
-        *net.device_mut(r0) = DeviceConfig::empty()
-            .with_ospf(OspfConfig::originating(vec!["128.0.0.0/1".parse().unwrap()]));
+        *net.device_mut(r0) =
+            DeviceConfig::empty().with_ospf(OspfConfig::originating(vec!["128.0.0.0/1"
+                .parse()
+                .unwrap()]));
         *net.device_mut(r1) = DeviceConfig::empty().with_ospf(OspfConfig::enabled());
-        *net.device_mut(r2) = DeviceConfig::empty()
-            .with_ospf(OspfConfig::originating(vec!["192.0.0.0/2".parse().unwrap()]));
+        *net.device_mut(r2) =
+            DeviceConfig::empty().with_ospf(OspfConfig::originating(vec!["192.0.0.0/2"
+                .parse()
+                .unwrap()]));
 
         let pecs = compute_pecs(&net);
         assert_eq!(pecs.len(), 3);
@@ -163,7 +172,9 @@ mod tests {
         let active: Vec<_> = pecs
             .active_pecs()
             .into_iter()
-            .filter(|p| p.range.contains_prefix(&s.destination) || s.destination.range().overlaps(&p.range))
+            .filter(|p| {
+                p.range.contains_prefix(&s.destination) || s.destination.range().overlaps(&p.range)
+            })
             .collect();
         assert_eq!(active.len(), 1);
         assert_eq!(active[0].prefixes[0].origin_nodes(), vec![s.origin]);

@@ -1,8 +1,8 @@
 //! The Packet Equivalence Class type.
 
+use plankton_config::static_routes::StaticRoute;
 use plankton_net::ip::{IpRange, Ipv4Addr, Prefix};
 use plankton_net::topology::NodeId;
-use plankton_config::static_routes::StaticRoute;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -188,9 +188,7 @@ impl PecSet {
     /// The PEC containing `addr`.
     pub fn pec_containing(&self, addr: Ipv4Addr) -> Option<&Pec> {
         // Ranges are sorted and disjoint: binary search by lower bound.
-        let idx = self
-            .pecs
-            .partition_point(|p| p.range.hi < addr);
+        let idx = self.pecs.partition_point(|p| p.range.hi < addr);
         self.pecs.get(idx).filter(|p| p.range.contains(addr))
     }
 

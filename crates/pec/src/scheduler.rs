@@ -266,9 +266,8 @@ mod tests {
     fn single_threaded_scheduler_still_completes() {
         let deps = graph_from_edges(5, &[(4, 3), (3, 2), (2, 1), (1, 0)]);
         let scheduler = Scheduler::default();
-        let (outcomes, report) = scheduler.run(&deps, |pecs, _| {
-            pecs.iter().map(|&p| (p, ())).collect()
-        });
+        let (outcomes, report) =
+            scheduler.run(&deps, |pecs, _| pecs.iter().map(|&p| (p, ())).collect());
         assert_eq!(outcomes.len(), 5);
         assert_eq!(report.max_concurrency, 1);
         assert_eq!(report.waves, 5);

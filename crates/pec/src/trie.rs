@@ -221,7 +221,9 @@ impl<T> PrefixTrie<T> {
 /// A map-of-prefixes convenience: collect payloads per prefix before
 /// inserting into a trie (used by the PEC computation to build one config
 /// object per distinct prefix).
-pub fn group_by_prefix<T>(items: impl IntoIterator<Item = (Prefix, T)>) -> BTreeMap<Prefix, Vec<T>> {
+pub fn group_by_prefix<T>(
+    items: impl IntoIterator<Item = (Prefix, T)>,
+) -> BTreeMap<Prefix, Vec<T>> {
     let mut map: BTreeMap<Prefix, Vec<T>> = BTreeMap::new();
     for (p, t) in items {
         map.entry(p).or_default().push(t);
@@ -261,7 +263,10 @@ mod tests {
         assert!(parts[0].1.is_empty());
         assert_eq!(
             parts[1].0,
-            IpRange::new(Ipv4Addr::new(128, 0, 0, 0), Ipv4Addr::new(191, 255, 255, 255))
+            IpRange::new(
+                Ipv4Addr::new(128, 0, 0, 0),
+                Ipv4Addr::new(191, 255, 255, 255)
+            )
         );
         assert_eq!(parts[1].1, vec!["128.0.0.0/1".parse::<Prefix>().unwrap()]);
         assert_eq!(
@@ -274,7 +279,13 @@ mod tests {
     #[test]
     fn partition_covers_space_disjointly() {
         let mut trie = PrefixTrie::new();
-        for p in ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "192.168.0.0/16", "0.0.0.0/0"] {
+        for p in [
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "192.168.0.0/16",
+            "0.0.0.0/0",
+        ] {
             trie.insert(p.parse().unwrap(), p);
         }
         let parts = trie.partition();

@@ -55,7 +55,9 @@ pub struct ConvergedView<'a> {
 impl<'a> ConvergedView<'a> {
     /// All devices in the network.
     pub fn all_nodes(&self) -> Vec<NodeId> {
-        (0..self.forwarding.node_count() as u32).map(NodeId).collect()
+        (0..self.forwarding.node_count() as u32)
+            .map(NodeId)
+            .collect()
     }
 }
 

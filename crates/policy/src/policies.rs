@@ -291,7 +291,9 @@ impl Policy for PathConsistency {
         let mut reference: Option<(bool, usize, Option<usize>)> = None;
         for &d in &self.devices {
             let outcome = view.forwarding.walk(d);
-            let control_hops = view.control_routes[d.index()].as_ref().map(|r| r.hop_count());
+            let control_hops = view.control_routes[d.index()]
+                .as_ref()
+                .map(|r| r.hop_count());
             let signature = (outcome.is_delivered(), outcome.hop_count(), control_hops);
             match &reference {
                 None => reference = Some(signature),
@@ -343,7 +345,16 @@ mod tests {
         let origin = Route::originated(p);
         let r1 = origin.extended_through(NodeId(2));
         let r0 = r1.extended_through(NodeId(1));
-        vec![Some(r0), Some(r1), Some(origin), None, None, None, None, None]
+        vec![
+            Some(r0),
+            Some(r1),
+            Some(origin),
+            None,
+            None,
+            None,
+            None,
+            None,
+        ]
     }
 
     fn view<'a>(
@@ -362,7 +373,9 @@ mod tests {
     fn reachability_policy() {
         let (p, g, r) = (pec(), graph(), routes());
         let v = view(&p, &g, &r);
-        assert!(Reachability::new(vec![NodeId(0), NodeId(1)]).check(&v).holds());
+        assert!(Reachability::new(vec![NodeId(0), NodeId(1)])
+            .check(&v)
+            .holds());
         assert!(!Reachability::new(vec![NodeId(3)]).check(&v).holds());
         assert!(!Reachability::new(vec![NodeId(5)]).check(&v).holds());
         assert_eq!(
@@ -376,11 +389,17 @@ mod tests {
         let (p, g, r) = (pec(), graph(), routes());
         let v = view(&p, &g, &r);
         // Path 0 -> 1 -> 2 passes through 1.
-        assert!(Waypoint::new(vec![NodeId(0)], vec![NodeId(1)]).check(&v).holds());
+        assert!(Waypoint::new(vec![NodeId(0)], vec![NodeId(1)])
+            .check(&v)
+            .holds());
         // But not through 6.
-        assert!(!Waypoint::new(vec![NodeId(0)], vec![NodeId(6)]).check(&v).holds());
+        assert!(!Waypoint::new(vec![NodeId(0)], vec![NodeId(6)])
+            .check(&v)
+            .holds());
         // Undelivered traffic doesn't trigger the waypoint policy.
-        assert!(Waypoint::new(vec![NodeId(3)], vec![NodeId(6)]).check(&v).holds());
+        assert!(Waypoint::new(vec![NodeId(3)], vec![NodeId(6)])
+            .check(&v)
+            .holds());
         assert!(Waypoint::new(vec![NodeId(0)], vec![NodeId(1)])
             .interesting_nodes()
             .is_some());
@@ -391,8 +410,16 @@ mod tests {
         let (p, g, r) = (pec(), graph(), routes());
         let v = view(&p, &g, &r);
         assert!(!LoopFreedom::everywhere().check(&v).holds());
-        assert!(LoopFreedom { sources: Some(vec![NodeId(0)]) }.check(&v).holds());
-        assert!(!LoopFreedom { sources: Some(vec![NodeId(5)]) }.check(&v).holds());
+        assert!(LoopFreedom {
+            sources: Some(vec![NodeId(0)])
+        }
+        .check(&v)
+        .holds());
+        assert!(!LoopFreedom {
+            sources: Some(vec![NodeId(5)])
+        }
+        .check(&v)
+        .holds());
         assert!(LoopFreedom::everywhere().sources().is_none());
     }
 
@@ -401,8 +428,16 @@ mod tests {
         let (p, g, r) = (pec(), graph(), routes());
         let v = view(&p, &g, &r);
         assert!(!BlackholeFreedom::default().check(&v).holds());
-        assert!(BlackholeFreedom { sources: Some(vec![NodeId(0)]) }.check(&v).holds());
-        assert!(!BlackholeFreedom { sources: Some(vec![NodeId(3)]) }.check(&v).holds());
+        assert!(BlackholeFreedom {
+            sources: Some(vec![NodeId(0)])
+        }
+        .check(&v)
+        .holds());
+        assert!(!BlackholeFreedom {
+            sources: Some(vec![NodeId(3)])
+        }
+        .check(&v)
+        .holds());
     }
 
     #[test]
@@ -421,8 +456,16 @@ mod tests {
         let v = view(&p, &g, &r);
         // Node 7 delivers on one branch and blackholes on the other.
         assert!(!MultipathConsistency::default().check(&v).holds());
-        assert!(MultipathConsistency { sources: Some(vec![NodeId(0)]) }.check(&v).holds());
-        assert!(!MultipathConsistency { sources: Some(vec![NodeId(7)]) }.check(&v).holds());
+        assert!(MultipathConsistency {
+            sources: Some(vec![NodeId(0)])
+        }
+        .check(&v)
+        .holds());
+        assert!(!MultipathConsistency {
+            sources: Some(vec![NodeId(7)])
+        }
+        .check(&v)
+        .holds());
     }
 
     #[test]
@@ -430,11 +473,17 @@ mod tests {
         let (p, g, r) = (pec(), graph(), routes());
         let v = view(&p, &g, &r);
         // 0 and 1 both deliver but at different distances: inconsistent.
-        assert!(!PathConsistency::new(vec![NodeId(0), NodeId(1)]).check(&v).holds());
+        assert!(!PathConsistency::new(vec![NodeId(0), NodeId(1)])
+            .check(&v)
+            .holds());
         // A device is always consistent with itself.
-        assert!(PathConsistency::new(vec![NodeId(0), NodeId(0)]).check(&v).holds());
+        assert!(PathConsistency::new(vec![NodeId(0), NodeId(0)])
+            .check(&v)
+            .holds());
         // 3 and 5 both fail to deliver with hop counts 1 — but control-plane
         // state is also None for both, so they are considered equivalent.
-        assert!(PathConsistency::new(vec![NodeId(5), NodeId(6)]).check(&v).holds());
+        assert!(PathConsistency::new(vec![NodeId(5), NodeId(6)])
+            .check(&v)
+            .holds());
     }
 }

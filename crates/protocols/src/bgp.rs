@@ -436,7 +436,9 @@ mod tests {
         let mut r = model.origin_route(g.origin).extended_through(g.origin);
         r.attrs.as_path = vec![model.asn(g.origin)];
         let via_a = model.advertise(a, b, &r).unwrap();
-        assert!(model.advertise(b, a, &via_a).is_none() || !via_a.attrs.as_path.contains(&model.asn(a)));
+        assert!(
+            model.advertise(b, a, &via_a).is_none() || !via_a.attrs.as_path.contains(&model.asn(a))
+        );
         let mut looped = r.clone();
         looped.attrs.as_path.push(model.asn(b));
         assert!(model.advertise(a, b, &looped).is_none());
@@ -462,7 +464,10 @@ mod tests {
             .unwrap();
         let via_b = model.advertise(g.actors[1], g.actors[0], &b_route).unwrap();
         assert_eq!(via_b.attrs.local_pref, 200);
-        assert_eq!(model.prefer(g.actors[0], &via_b, &direct), Preference::Better);
+        assert_eq!(
+            model.prefer(g.actors[0], &via_b, &direct),
+            Preference::Better
+        );
     }
 
     #[test]
@@ -554,27 +559,47 @@ mod tests {
         };
         // Local pref dominates AS-path length.
         assert_eq!(
-            model.prefer(n, &mk(200, 5, SessionType::Ebgp, 0), &mk(100, 1, SessionType::Ebgp, 0)),
+            model.prefer(
+                n,
+                &mk(200, 5, SessionType::Ebgp, 0),
+                &mk(100, 1, SessionType::Ebgp, 0)
+            ),
             Preference::Better
         );
         // AS-path length dominates session type.
         assert_eq!(
-            model.prefer(n, &mk(100, 1, SessionType::Ibgp, 9), &mk(100, 2, SessionType::Ebgp, 0)),
+            model.prefer(
+                n,
+                &mk(100, 1, SessionType::Ibgp, 9),
+                &mk(100, 2, SessionType::Ebgp, 0)
+            ),
             Preference::Better
         );
         // eBGP beats iBGP at equal local pref and AS-path length.
         assert_eq!(
-            model.prefer(n, &mk(100, 2, SessionType::Ebgp, 0), &mk(100, 2, SessionType::Ibgp, 0)),
+            model.prefer(
+                n,
+                &mk(100, 2, SessionType::Ebgp, 0),
+                &mk(100, 2, SessionType::Ibgp, 0)
+            ),
             Preference::Better
         );
         // IGP cost breaks iBGP ties.
         assert_eq!(
-            model.prefer(n, &mk(100, 2, SessionType::Ibgp, 3), &mk(100, 2, SessionType::Ibgp, 8)),
+            model.prefer(
+                n,
+                &mk(100, 2, SessionType::Ibgp, 3),
+                &mk(100, 2, SessionType::Ibgp, 8)
+            ),
             Preference::Better
         );
         // Everything equal: a genuine (age-based) tie.
         assert_eq!(
-            model.prefer(n, &mk(100, 2, SessionType::Ebgp, 0), &mk(100, 2, SessionType::Ebgp, 0)),
+            model.prefer(
+                n,
+                &mk(100, 2, SessionType::Ebgp, 0),
+                &mk(100, 2, SessionType::Ebgp, 0)
+            ),
             Preference::Tied
         );
     }

@@ -158,7 +158,13 @@ impl ProtocolModel for OspfModel {
     fn prefer(&self, _n: NodeId, a: &Route, b: &Route) -> Preference {
         // Total order: lower cost wins, then fewer hops, then lower next-hop
         // id — OSPF convergence is deterministic.
-        let key = |r: &Route| (r.igp_cost, r.hop_count(), r.next_hop().map(|x| x.0).unwrap_or(0));
+        let key = |r: &Route| {
+            (
+                r.igp_cost,
+                r.hop_count(),
+                r.next_hop().map(|x| x.0).unwrap_or(0),
+            )
+        };
         match key(a).cmp(&key(b)) {
             std::cmp::Ordering::Less => Preference::Better,
             std::cmp::Ordering::Greater => Preference::Worse,
@@ -200,10 +206,20 @@ mod tests {
     #[test]
     fn ring_converges_to_shortest_paths() {
         let s = ring_ospf(8);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let converged = run_to_convergence(&model);
         // Compare against Dijkstra from the origin (symmetric unit weights).
-        let sp = dijkstra(&s.network.topology, s.origin, &FailureSet::none(), |_, _| Some(1));
+        let sp = dijkstra(
+            &s.network.topology,
+            s.origin,
+            &FailureSet::none(),
+            |_, _| Some(1),
+        );
         for n in s.network.topology.node_ids() {
             let cost = converged.best(n).map(|r| r.igp_cost);
             assert_eq!(cost, sp.cost(n), "cost mismatch at {n}");
@@ -229,8 +245,7 @@ mod tests {
         let s = fat_tree_ospf(4, CoreStaticRoutes::None);
         let dest_edge = s.fat_tree.edge[0][0];
         let prefix = s.fat_tree.prefix_of_edge(dest_edge).unwrap();
-        let model =
-            OspfModel::new(&s.network, prefix, vec![dest_edge], &FailureSet::none());
+        let model = OspfModel::new(&s.network, prefix, vec![dest_edge], &FailureSet::none());
         let converged = run_to_convergence(&model);
         let other_pod_edge = s.fat_tree.edge[2][1];
         let route = converged.best(other_pod_edge).unwrap();

@@ -358,7 +358,10 @@ mod tests {
         assert_eq!(c.next_hop(NodeId(1)), Some(NodeId(0)));
         assert_eq!(c.next_hop(NodeId(2)), Some(NodeId(1)));
         assert_eq!(c.next_hop(NodeId(3)), Some(NodeId(2)));
-        assert_eq!(c.walk_from(NodeId(3)), vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            c.walk_from(NodeId(3)),
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+        );
         assert_eq!(c.routed_nodes().len(), 4);
     }
 

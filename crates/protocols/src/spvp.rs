@@ -182,7 +182,12 @@ mod tests {
     #[test]
     fn spvp_converges_on_ospf_ring_to_same_state_for_any_seed() {
         let s = ring_ospf(6);
-        let model = OspfModel::new(&s.network, s.destination, vec![s.origin], &FailureSet::none());
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
         let baseline = Spvp::new(&model).run(1, 100_000).expect("must converge");
         for seed in 2..8u64 {
             let other = Spvp::new(&model).run(seed, 100_000).expect("must converge");
@@ -217,7 +222,10 @@ mod tests {
             }
         }
         // Both stable states must be observable across schedules.
-        assert!(outcomes.contains(&(Some(b), Some(g.origin))) || outcomes.contains(&(Some(g.origin), Some(a))));
+        assert!(
+            outcomes.contains(&(Some(b), Some(g.origin)))
+                || outcomes.contains(&(Some(g.origin), Some(a)))
+        );
         assert!(!outcomes.is_empty());
     }
 

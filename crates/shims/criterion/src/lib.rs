@@ -1,0 +1,133 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use —
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple measure-and-print harness: each benchmark runs a warm-up
+//! iteration plus `sample_size` timed iterations and reports the median.
+//! No statistics, plots or baselines; just honest wall-clock numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Register a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.default_sample_size;
+        run_one(&id.into(), n, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        durations: Vec::with_capacity(samples + 1),
+    };
+    // One warm-up plus the timed samples.
+    for _ in 0..=samples {
+        f(&mut bencher);
+    }
+    bencher.durations.remove(0);
+    bencher.durations.sort_unstable();
+    let median = bencher
+        .durations
+        .get(bencher.durations.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("  {id}: median {:?} over {} samples", median, samples);
+}
+
+/// Passed to each benchmark function; measures the closure under `iter`.
+pub struct Bencher {
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (criterion batches; this shim times single
+    /// runs, which is adequate for the coarse workloads measured here).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.durations.push(start.elapsed());
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

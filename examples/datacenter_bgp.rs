@@ -45,12 +45,7 @@ fn main() {
         Some(violation) => {
             println!("\nA convergence that bypasses every waypoint exists.");
             println!("Non-deterministic choices on the violating execution:");
-            for event in violation
-                .trail
-                .events
-                .iter()
-                .filter(|e| !e.deterministic)
-            {
+            for event in violation.trail.events.iter().filter(|e| !e.deterministic) {
                 println!(
                     "  {} adopted the advertisement from {:?}",
                     event.node, event.from_peer

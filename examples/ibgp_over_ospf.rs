@@ -56,5 +56,8 @@ fn main() {
         &FailureScenario::no_failures(),
         &PlanktonOptions::with_cores(4).restricted_to(scenario.loopback_prefixes.clone()),
     );
-    println!("backbone loopbacks (the dependency PECs): {}", report.summary());
+    println!(
+        "backbone loopbacks (the dependency PECs): {}",
+        report.summary()
+    );
 }

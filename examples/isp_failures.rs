@@ -44,7 +44,11 @@ fn main() {
     println!(
         "\nPlankton, ≤1 failure, {} prefixes: {} in {:.3}s",
         sample.len(),
-        if report.holds() { "all reachable" } else { "violations found" },
+        if report.holds() {
+            "all reachable"
+        } else {
+            "violations found"
+        },
         start.elapsed().as_secs_f64()
     );
     for violation in report.violations.iter().take(3) {
@@ -66,7 +70,11 @@ fn main() {
     println!(
         "ARC-style baseline, same question over {} pairs: {} in {:.3}s",
         arc_report.flow_computations,
-        if arc_report.holds() { "all reachable" } else { "vulnerable pairs exist" },
+        if arc_report.holds() {
+            "all reachable"
+        } else {
+            "vulnerable pairs exist"
+        },
         start.elapsed().as_secs_f64()
     );
     for (src, dst) in arc_report.vulnerable_pairs.iter().take(3) {

@@ -69,7 +69,10 @@ fn main() {
         &FailureScenario::up_to(1),
         &PlanktonOptions::default(),
     );
-    println!("loop freedom with the bad static route: {}", report.summary());
+    println!(
+        "loop freedom with the bad static route: {}",
+        report.summary()
+    );
     assert!(!report.holds());
     let violation = report.first_violation().expect("a violation was found");
     println!("counterexample:\n{}", violation.trail);

@@ -15,7 +15,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  plankton verify --config <file.json> --policy <reachability|loop|blackhole|waypoint|bounded-path-length> \\\n                  [--source <node-name>]... [--waypoint <node-name>]... [--prefix <a.b.c.d/len>]... \\\n                  [--max-failures <k>] [--max-hops <n>] [--cores <n>] [--all-violations]\n  plankton pecs   --config <file.json>"
+        "usage:\n  plankton verify --config <file.json> --policy <reachability|loop|blackhole|waypoint|bounded-path-length> \\\n                  [--source <node-name>]... [--waypoint <node-name>]... [--prefix <a.b.c.d/len>]... \\\n                  [--max-failures <k>] [--max-hops <n>] [--cores <n>] [--all-violations] [--sequential]\n  plankton pecs   --config <file.json>"
     );
     exit(2);
 }
@@ -31,6 +31,7 @@ struct Args {
     max_hops: usize,
     cores: usize,
     all_violations: bool,
+    sequential: bool,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +46,7 @@ fn parse_args() -> Args {
         max_hops: 16,
         cores: 1,
         all_violations: false,
+        sequential: false,
     };
     let mut iter = std::env::args().skip(1);
     match iter.next() {
@@ -69,6 +71,7 @@ fn parse_args() -> Args {
             "--max-hops" => args.max_hops = value().parse().unwrap_or_else(|_| usage()),
             "--cores" => args.cores = value().parse().unwrap_or_else(|_| usage()),
             "--all-violations" => args.all_violations = true,
+            "--sequential" => args.sequential = true,
             _ => usage(),
         }
     }
@@ -89,7 +92,9 @@ fn resolve_nodes(network: &Network, names: &[String]) -> Vec<NodeId> {
 
 fn main() {
     let args = parse_args();
-    let Some(config_path) = &args.config else { usage() };
+    let Some(config_path) = &args.config else {
+        usage()
+    };
     let text = std::fs::read_to_string(config_path).unwrap_or_else(|e| {
         eprintln!("cannot read {config_path}: {e}");
         exit(1);
@@ -115,7 +120,12 @@ fn main() {
         );
         for pec in verifier.pecs().active_pecs() {
             let prefixes: Vec<String> = pec.prefixes.iter().map(|p| p.prefix.to_string()).collect();
-            println!("  {} {} prefixes [{}]", pec.id, pec.range, prefixes.join(", "));
+            println!(
+                "  {} {} prefixes [{}]",
+                pec.id,
+                pec.range,
+                prefixes.join(", ")
+            );
         }
         return;
     }
@@ -139,6 +149,9 @@ fn main() {
     }
     if args.all_violations {
         options = options.collect_all_violations();
+    }
+    if args.sequential {
+        options = options.sequential();
     }
     let scenario = FailureScenario::up_to(args.max_failures);
 

@@ -17,6 +17,8 @@
 //! * [`protocols`] — SPVP, RPVP and the OSPF/BGP protocol models;
 //! * [`checker`] — the explicit-state model checker with partial order
 //!   reduction, policy-based pruning and state hashing;
+//! * [`engine`] — the work-stealing parallel verification engine driving
+//!   the (PEC × failure-scenario) task graph across a worker pool;
 //! * [`dataplane`] — FIBs and per-PEC forwarding graphs;
 //! * [`policy`] — the policy API and the built-in policies;
 //! * [`core`] — the [`prelude::Plankton`] verifier itself;
@@ -45,6 +47,7 @@ pub use plankton_checker as checker;
 pub use plankton_config as config;
 pub use plankton_core as core;
 pub use plankton_dataplane as dataplane;
+pub use plankton_engine as engine;
 pub use plankton_net as net;
 pub use plankton_pec as pec;
 pub use plankton_policy as policy;

@@ -4,8 +4,7 @@
 //! routing and BGP wedgies.
 
 use plankton::config::scenarios::{
-    bgp_wedgie, disagree_gadget, fat_tree_ospf, ring_ospf, static_route_self_loop,
-    CoreStaticRoutes,
+    bgp_wedgie, disagree_gadget, fat_tree_ospf, ring_ospf, static_route_self_loop, CoreStaticRoutes,
 };
 use plankton::prelude::*;
 
@@ -72,7 +71,14 @@ fn disagree_gadget_exposes_nondeterministic_convergence() {
         &PlanktonOptions::default().restricted_to(vec![gadget.destination]),
     );
     assert!(!report.holds());
-    assert!(report.first_violation().unwrap().trail.nondeterministic_steps() > 0);
+    assert!(
+        report
+            .first_violation()
+            .unwrap()
+            .trail
+            .nondeterministic_steps()
+            > 0
+    );
 }
 
 #[test]
@@ -87,7 +93,10 @@ fn bgp_wedgie_violation_is_found() {
     // carries no traffic ("AS2's path is longer than 1 hop") is therefore
     // violated only under some orderings — which the model checker finds.
     let report = verifier.verify(
-        &Waypoint::new(vec![backup_provider], vec![gadget.actors[1], gadget.actors[2]]),
+        &Waypoint::new(
+            vec![backup_provider],
+            vec![gadget.actors[1], gadget.actors[2]],
+        ),
         &FailureScenario::no_failures(),
         &PlanktonOptions::default().restricted_to(vec![gadget.destination]),
     );

@@ -3,6 +3,12 @@
 //! Dijkstra, the optimized and unoptimized searches find the same converged
 //! forwarding states, and SPVP executions only ever stop in RPVP-stable
 //! states.
+//!
+//! These originally ran under `proptest`; this build environment has no
+//! registry access, so the same properties are exercised with explicit
+//! seeded sampling (48 deterministic cases per property, like the original
+//! `ProptestConfig::with_cases(48)`), which also makes failures trivially
+//! reproducible from the reported seed.
 
 use plankton::checker::{ModelChecker, NoPor, OspfPor, SearchOptions, Verdict};
 use plankton::config::scenarios::ring_ospf;
@@ -12,36 +18,51 @@ use plankton::net::graph::dijkstra;
 use plankton::pec::{compute_pecs, PrefixTrie};
 use plankton::prelude::*;
 use plankton::protocols::OspfModel;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
-/// Strategy: a list of arbitrary prefixes (random address + length).
-fn prefixes() -> impl Strategy<Value = Vec<Prefix>> {
-    prop::collection::vec((any::<u32>(), 0u8..=32), 1..12)
-        .prop_map(|v| v.into_iter().map(|(a, l)| Prefix::new(Ipv4Addr(a), l)).collect())
-}
+const CASES: u64 = 48;
 
-/// Strategy: a random connected graph on `n` nodes given by extra edges over
-/// a spanning path, with OSPF costs.
-fn random_topology() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
-    (3usize..9).prop_flat_map(|n| {
-        let extra = prop::collection::vec((0..n, 0..n, 1u32..8), 0..n);
-        extra.prop_map(move |extras| {
-            let mut edges: Vec<(usize, usize, u32)> =
-                (1..n).map(|i| (i - 1, i, 1 + (i as u32 % 5))).collect();
-            for (a, b, w) in extras {
-                if a != b {
-                    edges.push((a.min(b), a.max(b), w));
-                }
-            }
-            (n, edges)
+/// Sample a list of arbitrary prefixes (random address + length).
+fn sample_prefixes(rng: &mut StdRng) -> Vec<Prefix> {
+    let count = rng.gen_range(1..12usize);
+    (0..count)
+        .map(|_| {
+            let addr: u32 = rng.gen_range(0..=u32::MAX);
+            let len: u8 = rng.gen_range(0..=32);
+            Prefix::new(Ipv4Addr(addr), len)
         })
-    })
+        .collect()
 }
 
-fn build_ospf_network(n: usize, edges: &[(usize, usize, u32)], destination: Prefix) -> (Network, Vec<NodeId>) {
+/// Sample a random connected graph on `n` nodes given by extra edges over a
+/// spanning path, with OSPF costs.
+fn sample_topology(rng: &mut StdRng) -> (usize, Vec<(usize, usize, u32)>) {
+    let n = rng.gen_range(3..9usize);
+    let mut edges: Vec<(usize, usize, u32)> =
+        (1..n).map(|i| (i - 1, i, 1 + (i as u32 % 5))).collect();
+    let extras = rng.gen_range(0..n);
+    for _ in 0..extras {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let w = rng.gen_range(1..8u32);
+        if a != b {
+            edges.push((a.min(b), a.max(b), w));
+        }
+    }
+    (n, edges)
+}
+
+fn build_ospf_network(
+    n: usize,
+    edges: &[(usize, usize, u32)],
+    destination: Prefix,
+) -> (Network, Vec<NodeId>) {
     let mut builder = TopologyBuilder::new();
-    let nodes: Vec<NodeId> = (0..n).map(|i| builder.add_router(&format!("r{i}"))).collect();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| builder.add_router(&format!("r{i}")))
+        .collect();
     let mut links = Vec::new();
     for &(a, b, _) in edges {
         links.push(builder.add_link(nodes[a], nodes[b]));
@@ -62,23 +83,23 @@ fn build_ospf_network(n: usize, edges: &[(usize, usize, u32)], destination: Pref
     (network, nodes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The trie partition is a disjoint cover of the whole address space and
-    /// is coarsest (adjacent ranges differ in their covering sets).
-    #[test]
-    fn trie_partition_is_a_partition(prefixes in prefixes()) {
+/// The trie partition is a disjoint cover of the whole address space and is
+/// coarsest (adjacent ranges differ in their covering sets).
+#[test]
+fn trie_partition_is_a_partition() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prefixes = sample_prefixes(&mut rng);
         let mut trie = PrefixTrie::new();
         for (i, p) in prefixes.iter().enumerate() {
             trie.insert(*p, i);
         }
         let parts = trie.partition();
-        prop_assert_eq!(parts.first().unwrap().0.lo, Ipv4Addr::ZERO);
-        prop_assert_eq!(parts.last().unwrap().0.hi, Ipv4Addr::MAX);
+        assert_eq!(parts.first().unwrap().0.lo, Ipv4Addr::ZERO, "seed {seed}");
+        assert_eq!(parts.last().unwrap().0.hi, Ipv4Addr::MAX, "seed {seed}");
         for w in parts.windows(2) {
-            prop_assert_eq!(w[0].0.hi.saturating_next(), w[1].0.lo);
-            prop_assert_ne!(&w[0].1, &w[1].1);
+            assert_eq!(w[0].0.hi.saturating_next(), w[1].0.lo, "seed {seed}");
+            assert_ne!(&w[0].1, &w[1].1, "seed {seed}");
         }
         // Every range's covering set is exactly the inserted prefixes that
         // contain its representative address.
@@ -89,14 +110,18 @@ proptest! {
                 .filter(|p| p.contains(range.lo))
                 .collect();
             let actual: HashSet<Prefix> = covering.iter().copied().collect();
-            prop_assert_eq!(expected, actual);
+            assert_eq!(expected, actual, "seed {seed}");
         }
     }
+}
 
-    /// Model-checked OSPF converges to Dijkstra's shortest-path costs on
-    /// random weighted graphs.
-    #[test]
-    fn ospf_model_checking_matches_dijkstra((n, edges) in random_topology()) {
+/// Model-checked OSPF converges to Dijkstra's shortest-path costs on random
+/// weighted graphs.
+#[test]
+fn ospf_model_checking_matches_dijkstra() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let (n, edges) = sample_topology(&mut rng);
         let destination: Prefix = "198.51.100.0/24".parse().unwrap();
         let (network, nodes) = build_ospf_network(n, &edges, destination);
         let origin = nodes[0];
@@ -117,23 +142,35 @@ proptest! {
         });
 
         let device_cost = |node: NodeId, link: LinkId| {
-            network.device(node).ospf.as_ref().and_then(|o| o.cost(link)).map(u64::from)
+            network
+                .device(node)
+                .ospf
+                .as_ref()
+                .and_then(|o| o.cost(link))
+                .map(u64::from)
         };
-        let sp = dijkstra(&network.topology, origin, &FailureSet::none(), |node, link| {
-            // Dijkstra explores from the origin outwards, so the relevant
-            // cost is the one configured at the *receiving* end of the link.
-            let other = network.topology.link(link).other(node);
-            device_cost(other, link)
-        });
+        let sp = dijkstra(
+            &network.topology,
+            origin,
+            &FailureSet::none(),
+            |node, link| {
+                // Dijkstra explores from the origin outwards, so the relevant
+                // cost is the one configured at the *receiving* end of the link.
+                let other = network.topology.link(link).other(node);
+                device_cost(other, link)
+            },
+        );
         for (i, &node) in nodes.iter().enumerate() {
-            prop_assert_eq!(costs[i], sp.cost(node), "node {}", i);
+            assert_eq!(costs[i], sp.cost(node), "seed {seed}, node {i}");
         }
     }
+}
 
-    /// The full optimization suite and the naive search find exactly the same
-    /// set of converged forwarding states.
-    #[test]
-    fn optimizations_preserve_converged_states(n in 3usize..7) {
+/// The full optimization suite and the naive search find exactly the same
+/// set of converged forwarding states.
+#[test]
+fn optimizations_preserve_converged_states() {
+    for n in 3usize..7 {
         let scenario = ring_ospf(n);
         let model = OspfModel::new(
             &scenario.network,
@@ -150,7 +187,9 @@ proptest! {
             let mut states: HashSet<Vec<Option<NodeId>>> = HashSet::new();
             checker.run(&mut |converged, _| {
                 states.insert(
-                    (0..n as u32).map(|i| converged.next_hop(NodeId(i))).collect(),
+                    (0..n as u32)
+                        .map(|i| converged.next_hop(NodeId(i)))
+                        .collect(),
                 );
                 Verdict::Continue
             });
@@ -158,15 +197,17 @@ proptest! {
         };
         let optimized = collect(SearchOptions::all_optimizations(), false);
         let naive = collect(SearchOptions::no_optimizations(), true);
-        prop_assert_eq!(optimized, naive);
+        assert_eq!(optimized, naive, "ring size {n}");
     }
+}
 
-    /// Every SPVP execution that converges stops in a state with an empty
-    /// RPVP enabled set (the soundness direction of Theorem 1).
-    #[test]
-    fn spvp_convergence_is_rpvp_stable(n in 3usize..7, seed in 0u64..64) {
-        use plankton::protocols::rpvp::{Rpvp, RpvpState};
-        use plankton::protocols::spvp::Spvp;
+/// Every SPVP execution that converges stops in a state with an empty RPVP
+/// enabled set (the soundness direction of Theorem 1).
+#[test]
+fn spvp_convergence_is_rpvp_stable() {
+    use plankton::protocols::rpvp::{Rpvp, RpvpState};
+    use plankton::protocols::spvp::Spvp;
+    for n in 3usize..7 {
         let scenario = ring_ospf(n);
         let model = OspfModel::new(
             &scenario.network,
@@ -174,22 +215,30 @@ proptest! {
             vec![scenario.origin],
             &FailureSet::none(),
         );
-        if let Some(converged) = Spvp::new(&model).run(seed, 100_000) {
-            let rpvp = Rpvp::new(&model);
-            let state = RpvpState { best: converged.best };
-            prop_assert!(rpvp.converged(&state));
+        for seed in 0..64u64 {
+            if let Some(converged) = Spvp::new(&model).run(seed, 100_000) {
+                let rpvp = Rpvp::new(&model);
+                let state = RpvpState {
+                    best: converged.best,
+                };
+                assert!(rpvp.converged(&state), "ring {n}, seed {seed}");
+            }
         }
     }
+}
 
-    /// PEC computation on random OSPF networks keeps every destination
-    /// prefix in exactly one PEC, and the verifier finds it reachable from
-    /// every router (the graphs are connected by construction).
-    #[test]
-    fn random_ospf_network_is_verified_reachable((n, edges) in random_topology()) {
+/// PEC computation on random OSPF networks keeps every destination prefix in
+/// exactly one PEC, and the verifier finds it reachable from every router
+/// (the graphs are connected by construction).
+#[test]
+fn random_ospf_network_is_verified_reachable() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let (n, edges) = sample_topology(&mut rng);
         let destination: Prefix = "198.51.100.0/24".parse().unwrap();
         let (network, nodes) = build_ospf_network(n, &edges, destination);
         let pecs = compute_pecs(&network);
-        prop_assert_eq!(pecs.pecs_overlapping(&destination).len(), 1);
+        assert_eq!(pecs.pecs_overlapping(&destination).len(), 1, "seed {seed}");
 
         let verifier = Plankton::new(network.clone());
         let report = verifier.verify(
@@ -197,6 +246,6 @@ proptest! {
             &FailureScenario::no_failures(),
             &PlanktonOptions::default().restricted_to(vec![destination]),
         );
-        prop_assert!(report.holds(), "{}", report);
+        assert!(report.holds(), "seed {seed}: {report}");
     }
 }
