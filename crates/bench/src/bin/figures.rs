@@ -3,24 +3,46 @@
 //! ```text
 //! cargo run --release -p plankton-bench --bin figures -- --all --quick
 //! cargo run --release -p plankton-bench --bin figures -- --fig 7a
+//! cargo run --release -p plankton-bench --bin figures -- --fig checker --out-dir .
 //! ```
 //!
 //! `--quick` scales every experiment down (small fat trees, a subset of the
 //! AS topologies) so the whole sweep finishes in minutes; without it the
 //! harness uses the larger parameters documented in EXPERIMENTS.md.
+//!
+//! `--out-dir DIR` additionally writes each figure's machine-readable data
+//! (the contents of its `json` row, where one exists) to
+//! `DIR/BENCH_<id>.json`, so CI can archive benchmark trajectories.
 
-use plankton_bench::{all_figures, run_figure};
+use plankton_bench::{all_figures, run_figure, FigureResult};
+use std::path::Path;
+
+fn write_json(out_dir: &Path, result: &FigureResult) {
+    let Some(row) = result.rows.iter().find(|r| r.label == "json") else {
+        return;
+    };
+    let Some((_, data)) = row.values.first() else {
+        return;
+    };
+    std::fs::create_dir_all(out_dir).expect("create --out-dir");
+    let path = out_dir.join(format!("BENCH_{}.json", result.id));
+    std::fs::write(&path, data).expect("write benchmark JSON");
+    eprintln!("wrote {}", path.display());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut requested: Vec<String> = Vec::new();
+    let mut out_dir: Option<String> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         if a == "--fig" {
             if let Some(f) = iter.next() {
                 requested.push(f.clone());
             }
+        } else if a == "--out-dir" {
+            out_dir = iter.next().cloned();
         }
     }
     if requested.is_empty() || args.iter().any(|a| a == "--all") {
@@ -31,6 +53,9 @@ fn main() {
         match run_figure(id, quick) {
             Some(result) => {
                 println!("{}", result.render());
+                if let Some(dir) = &out_dir {
+                    write_json(Path::new(dir), &result);
+                }
             }
             None => {
                 eprintln!("unknown figure id {id}; known: {:?}", all_figures());

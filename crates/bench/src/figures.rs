@@ -1022,7 +1022,154 @@ pub fn cores_scaling(quick: bool) -> FigureResult {
     }
 }
 
-/// Run one figure by id ("2", "7a".."7i", "8", "9", "cores").
+/// One measured point of the incremental-explorer benchmark, serialized as
+/// JSON (`BENCH_checker.json`) so the single-core steps/sec trajectory can
+/// be tracked across commits.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct CheckerBenchPoint {
+    /// Workload label.
+    pub scenario: String,
+    /// RPVP steps applied during the verification (identical across the two
+    /// explorers — a sanity check that they explore the same tree).
+    pub steps: u64,
+    /// Wall-clock seconds with the pre-incremental reference explorer.
+    pub reference_seconds: f64,
+    /// Wall-clock seconds with the incremental explorer.
+    pub incremental_seconds: f64,
+    /// Steps per second through the reference explorer.
+    pub reference_steps_per_sec: f64,
+    /// Steps per second through the incremental explorer.
+    pub incremental_steps_per_sec: f64,
+    /// `incremental_steps_per_sec / reference_steps_per_sec`.
+    pub speedup: f64,
+    /// Enabled-status recomputations the delta maintenance performed
+    /// (the reference recomputes every node at every step).
+    pub enabled_recomputed_nodes: u64,
+    /// Deepest apply/undo stack reached.
+    pub undo_depth_max: u64,
+}
+
+/// Checker inner-loop benchmark: single-core steps/sec of the incremental
+/// explorer vs the pre-incremental reference, on the fat-tree reachability
+/// scenario (the acceptance workload) plus a branching-heavy BGP waypoint
+/// workload. The last row carries the raw points as JSON.
+pub fn checker_bench(quick: bool) -> FigureResult {
+    let iterations = if quick { 1 } else { 3 };
+    let mut rows = Vec::new();
+    let mut points: Vec<CheckerBenchPoint> = Vec::new();
+
+    // Each measurement times a batch of `reps` identical verifications so
+    // the wall clock is well above timer noise even on small workloads.
+    let mut measure = |label: String,
+                       reps: usize,
+                       plankton: &Plankton,
+                       policy: &dyn plankton_policy::Policy,
+                       scenario: &FailureScenario,
+                       options: &PlanktonOptions| {
+        let timed_best = |options: &PlanktonOptions| {
+            let mut best: Option<(Duration, _)> = None;
+            for _ in 0..iterations {
+                let (report, elapsed) = time(|| {
+                    let mut last = None;
+                    for _ in 0..reps {
+                        last = Some(plankton.verify(policy, scenario, options));
+                    }
+                    last.expect("at least one rep")
+                });
+                if best.as_ref().map(|(t, _)| elapsed < *t).unwrap_or(true) {
+                    best = Some((elapsed, report));
+                }
+            }
+            best.expect("at least one iteration")
+        };
+        let (ref_time, ref_report) = timed_best(&options.clone().with_reference_explorer());
+        let (inc_time, inc_report) = timed_best(options);
+        assert_eq!(
+            inc_report.stats.without_incremental_counters(),
+            ref_report.stats,
+            "the two explorers must do identical search work on {label}"
+        );
+        let steps = inc_report.stats.steps * reps as u64;
+        let ref_sps = steps as f64 / ref_time.as_secs_f64().max(1e-9);
+        let inc_sps = steps as f64 / inc_time.as_secs_f64().max(1e-9);
+        let speedup = inc_sps / ref_sps.max(1e-9);
+        rows.push(
+            Row::new(label.clone())
+                .col("steps", steps)
+                .col("reference", secs(ref_time))
+                .col("incremental", secs(inc_time))
+                .col("steps_per_sec", format!("{inc_sps:.0}"))
+                .col("speedup", format!("{speedup:.2}x")),
+        );
+        points.push(CheckerBenchPoint {
+            scenario: label,
+            steps,
+            reference_seconds: ref_time.as_secs_f64(),
+            incremental_seconds: inc_time.as_secs_f64(),
+            reference_steps_per_sec: ref_sps,
+            incremental_steps_per_sec: inc_sps,
+            speedup,
+            enabled_recomputed_nodes: inc_report.stats.enabled_recomputed_nodes,
+            undo_depth_max: inc_report.stats.undo_depth_max,
+        });
+    };
+
+    // The acceptance workload: single-IP reachability on an OSPF fat tree
+    // under every single-link failure. LEC and policy-based pruning are
+    // disabled so every scenario runs the protocol to full convergence —
+    // the configuration that isolates the checker's inner loop (the pruning
+    // optimizations themselves are benchmarked by figure 8).
+    let full_search = SearchOptions::all_optimizations().without_policy_pruning();
+    let ks: &[usize] = if quick { &[4] } else { &[4, 6] };
+    for &k in ks {
+        let s = fat_tree_ospf(k, CoreStaticRoutes::None);
+        let dest = s.destinations[0];
+        let sources = edge_sources(&s.fat_tree);
+        let plankton = Plankton::new(s.network.clone());
+        measure(
+            format!("fat tree k={k} reachability, ≤1 failure, full convergence"),
+            if quick { 3 } else { 10 },
+            &plankton,
+            &Reachability::new(sources),
+            &FailureScenario::up_to(1),
+            &PlanktonOptions::with_cores(1)
+                .restricted_to(vec![dest])
+                .collect_all_violations()
+                .without_lec_pruning()
+                .with_search(full_search.clone()),
+        );
+    }
+
+    // A branching-heavy workload: BGP age-based tie-breaking exercises the
+    // apply/undo path at branch points and the visited-set handle mirror.
+    let s = fat_tree_bgp_rfc7938(4, 2);
+    let (src, dst) = s.monitored_edges;
+    let dst_prefix = s.fat_tree.prefix_of_edge(dst).expect("edge prefix");
+    let policy = Waypoint::new(vec![src], s.waypoints.clone());
+    let plankton = Plankton::new(s.network.clone());
+    measure(
+        "fat tree k=4 BGP waypoint".to_string(),
+        if quick { 5 } else { 20 },
+        &plankton,
+        &policy,
+        &FailureScenario::no_failures(),
+        &PlanktonOptions::with_cores(1)
+            .restricted_to(vec![dst_prefix])
+            .collect_all_violations(),
+    );
+
+    rows.push(Row::new("json").col(
+        "data",
+        serde_json::to_string(&points).expect("bench points serialize"),
+    ));
+    FigureResult {
+        id: "checker".into(),
+        caption: "Incremental vs reference explorer: single-core steps/sec".into(),
+        rows,
+    }
+}
+
+/// Run one figure by id ("2", "7a".."7i", "8", "9", "cores", "checker").
 pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
     let result = match id {
         "2" => fig2(quick),
@@ -1038,15 +1185,17 @@ pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
         "8" => fig8(quick),
         "9" => fig9(quick),
         "cores" => cores_scaling(quick),
+        "checker" => checker_bench(quick),
         _ => return None,
     };
     Some(result)
 }
 
-/// Every figure id, in paper order (plus the engine scaling sweep).
+/// Every figure id, in paper order (plus the engine scaling sweep and the
+/// checker inner-loop benchmark).
 pub fn all_figures() -> Vec<&'static str> {
     vec![
-        "2", "7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "8", "9", "cores",
+        "2", "7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "8", "9", "cores", "checker",
     ]
 }
 

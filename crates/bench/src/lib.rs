@@ -14,4 +14,7 @@
 
 pub mod figures;
 
-pub use figures::{all_figures, cores_scaling, run_figure, CoresScalingPoint, FigureResult, Row};
+pub use figures::{
+    all_figures, checker_bench, cores_scaling, run_figure, CheckerBenchPoint, CoresScalingPoint,
+    FigureResult, Row,
+};

@@ -5,17 +5,41 @@
 //! converged state it finds — together with the execution trail that produced
 //! it — to a caller-supplied callback. The callback decides whether to keep
 //! searching (look for more converged states / more violations) or stop.
+//!
+//! The inner loop is **incremental**: it explores the exact same tree, in
+//! the exact same order, as the clone-based reference search
+//! ([`ReferenceChecker`](crate::ReferenceChecker)), but pays per *step*
+//! instead of per *state*:
+//!
+//! * **Delta-maintained enabled sets** — a step at node `n` can only change
+//!   the enabled status of `n` and its reverse peers, so only that dirty
+//!   neighborhood is recomputed
+//!   ([`IncrementalEnabled`](plankton_protocols::IncrementalEnabled))
+//!   instead of calling `Rpvp::enabled()` from scratch every iteration.
+//! * **Apply/undo DFS** — steps are applied in place and reverted from a
+//!   compact undo stack ([`UndoStack`](crate::UndoStack)), eliminating the
+//!   full `RpvpState` clone plus `decided.to_vec()` per branch alternative.
+//! * **Handle-native states** — a per-node mirror of interned
+//!   [`RouteHandle`](crate::interner::RouteHandle)s is kept in sync lazily,
+//!   so a visited-set check re-interns only the nodes that changed since
+//!   the last branch point (in node order, which keeps handle numbering —
+//!   and therefore bitstate fingerprints — identical to the reference), and
+//!   `step` adopts the advertisement the enabled-set computation already
+//!   derived instead of recomputing it.
 
-use crate::interner::RouteInterner;
+use crate::interner::{RouteHandle, RouteInterner};
 use crate::options::SearchOptions;
 use crate::por::{decision_independent, PorDecision, PorHeuristic};
 use crate::stats::SearchStats;
 use crate::trail::Trail;
+use crate::undo::{UndoFrame, UndoStack};
 use crate::visited::VisitedSet;
 use plankton_net::failure::FailureSet;
 use plankton_net::topology::NodeId;
-use plankton_protocols::rpvp::{ConvergedState, EnabledChoice, Rpvp, RpvpState};
-use plankton_protocols::ProtocolModel;
+use plankton_protocols::rpvp::{
+    ConvergedState, EnabledChoice, IncrementalEnabled, Rpvp, RpvpState,
+};
+use plankton_protocols::{ProtocolModel, Route};
 
 /// What the policy callback wants the explorer to do after seeing a
 /// converged state.
@@ -37,10 +61,18 @@ pub struct ModelChecker<'m> {
     visited: VisitedSet,
     stats: SearchStats,
     trail: Trail,
-    /// Influence pruning: nodes allowed to execute (None = everyone).
-    allowed: Option<Vec<bool>>,
     sources: Option<Vec<NodeId>>,
     stop: bool,
+    /// Delta-maintained enabled set (already restricted to allowed
+    /// non-origin nodes, in node-id order).
+    enabled: IncrementalEnabled,
+    /// Per-node interned-handle mirror of the current state; `handles[n]` is
+    /// only meaningful while `handle_valid[n]`.
+    handles: Vec<RouteHandle>,
+    handle_valid: Vec<bool>,
+    /// The apply/undo stack (reusable across runs via
+    /// [`SearchScratch`](crate::SearchScratch)).
+    undo: UndoStack,
 }
 
 impl<'m> ModelChecker<'m> {
@@ -71,23 +103,45 @@ impl<'m> ModelChecker<'m> {
     ) -> Self {
         visited.clear();
         let sources = options.source_nodes.clone();
+        // Influence pruning (§4.2) folds into the enabled set's eligibility
+        // mask: disallowed nodes are never recomputed, never enabled.
         let allowed = if options.influence_pruning {
             sources.as_ref().map(|s| influence_set(model, s))
         } else {
             None
         };
+        let rpvp = Rpvp::new(model);
+        let n = model.node_count();
+        let mut eligible: Vec<bool> = (0..n).map(|i| !rpvp.is_origin(NodeId(i as u32))).collect();
+        if let Some(allowed) = &allowed {
+            for (e, &a) in eligible.iter_mut().zip(allowed) {
+                *e &= a;
+            }
+        }
+        let enabled = IncrementalEnabled::new(model.reverse_peers(), eligible);
         ModelChecker {
-            rpvp: Rpvp::new(model),
+            rpvp,
             por,
             options,
             interner: RouteInterner::new(),
             visited,
             stats: SearchStats::default(),
             trail: Trail::new(failures),
-            allowed,
             sources,
             stop: false,
+            enabled,
+            handles: vec![RouteHandle::NONE; n],
+            handle_valid: vec![false; n],
+            undo: UndoStack::new(),
         }
+    }
+
+    /// Reuse a previous run's undo-stack allocations (cleared first),
+    /// builder-style — the [`SearchScratch`](crate::SearchScratch) path.
+    pub fn with_undo(mut self, mut undo: UndoStack) -> Self {
+        undo.clear();
+        self.undo = undo;
+        self
     }
 
     /// Run the exhaustive search, invoking `callback` on every converged
@@ -99,10 +153,10 @@ impl<'m> ModelChecker<'m> {
         self.run_returning(callback).0
     }
 
-    /// Like [`ModelChecker::run`], but also hands back the visited set so the
-    /// caller can return it to a [`SearchScratch`](crate::SearchScratch) for
-    /// the next run.
-    pub fn run_returning<F>(mut self, callback: &mut F) -> (SearchStats, VisitedSet)
+    /// Like [`ModelChecker::run`], but also hands back the visited set and
+    /// the undo stack so the caller can return them to a
+    /// [`SearchScratch`](crate::SearchScratch) for the next run.
+    pub fn run_returning<F>(mut self, callback: &mut F) -> (SearchStats, VisitedSet, UndoStack)
     where
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
@@ -111,24 +165,18 @@ impl<'m> ModelChecker<'m> {
         for &o in self.rpvp.model().origins() {
             decided[o.index()] = true;
         }
+        {
+            // Disjoint-field reborrow: `enabled` is rebuilt from `rpvp`.
+            let (enabled, rpvp) = (&mut self.enabled, &self.rpvp);
+            enabled.rebuild(rpvp, &state);
+        }
         self.dfs(&mut state, &mut decided, 0, callback);
+        self.stats.enabled_recomputed_nodes = self.enabled.recompute_count();
         self.stats.interned_routes = self.interner.len() as u64;
         self.stats.visited_states = self.visited.len() as u64;
         self.stats.approx_memory_bytes =
             (self.interner.approx_bytes() + self.visited.approx_bytes()) as u64;
-        (self.stats, self.visited)
-    }
-
-    /// The enabled set, restricted to nodes allowed by influence pruning.
-    fn enabled(&self, state: &RpvpState) -> Vec<EnabledChoice> {
-        let all = self.rpvp.enabled(state);
-        match &self.allowed {
-            None => all,
-            Some(allowed) => all
-                .into_iter()
-                .filter(|c| allowed[c.node.index()])
-                .collect(),
-        }
+        (self.stats, self.visited, self.undo)
     }
 
     fn all_sources_decided(&self, state: &RpvpState) -> bool {
@@ -161,18 +209,39 @@ impl<'m> ModelChecker<'m> {
         }
     }
 
+    /// Apply one step in place, recording an undo frame: swap in the
+    /// already-computed advertisement, dirty the handle mirror, and refresh
+    /// the enabled set's dirty neighborhood.
     fn apply(
         &mut self,
         state: &mut RpvpState,
         decided: &mut [bool],
         node: NodeId,
         peer: Option<NodeId>,
+        adopt: Option<Route>,
         deterministic: bool,
     ) {
-        self.rpvp.step(state, node, peer);
+        let idx = node.index();
+        let prev_best = self.rpvp.step_adopting(state, node, adopt);
+        let prev_decided = decided[idx];
         if peer.is_some() {
-            decided[node.index()] = true;
+            decided[idx] = true;
         }
+        let prev_handle = self.handles[idx];
+        let prev_handle_valid = self.handle_valid[idx];
+        self.handle_valid[idx] = false;
+        let enabled_mark = self.undo.enabled_mark();
+        self.enabled
+            .refresh_after_step(&self.rpvp, state, node, &mut self.undo.enabled_prev);
+        self.undo.push_frame(UndoFrame {
+            node,
+            prev_best,
+            prev_handle,
+            prev_handle_valid,
+            prev_decided,
+            enabled_mark,
+        });
+        self.stats.undo_depth_max = self.stats.undo_depth_max.max(self.undo.depth() as u64);
         self.trail.push(node, peer, deterministic);
         self.stats.steps += 1;
         if deterministic {
@@ -180,35 +249,75 @@ impl<'m> ModelChecker<'m> {
         }
     }
 
+    /// Revert the most recent applied step (state, `decided`, handle mirror
+    /// and displaced enabled-set entries). The trail is *not* popped here:
+    /// trail pops happen exactly where the reference search performs them,
+    /// so recorded trails stay byte-identical — including a known seed
+    /// quirk where trails keep stale deterministic events from abandoned
+    /// sibling alternatives (see ROADMAP "Open items" for the planned fix
+    /// in both explorers at once).
+    fn undo_one(&mut self, state: &mut RpvpState, decided: &mut [bool]) {
+        let frame = self.undo.pop_frame();
+        while self.undo.enabled_prev.len() > frame.enabled_mark {
+            let (m, prev) = self.undo.enabled_prev.pop().expect("mark within stack");
+            self.enabled.set_entry(m, prev);
+        }
+        let idx = frame.node.index();
+        self.handles[idx] = frame.prev_handle;
+        self.handle_valid[idx] = frame.prev_handle_valid;
+        decided[idx] = frame.prev_decided;
+        self.rpvp.undo_step(state, frame.node, frame.prev_best);
+    }
+
+    fn unwind_to(&mut self, mark: usize, state: &mut RpvpState, decided: &mut [bool]) {
+        while self.undo.depth() > mark {
+            self.undo_one(state, decided);
+        }
+    }
+
+    /// Bring the handle mirror up to date (re-interning only nodes dirtied
+    /// since the last branch point, in node order) and record the state in
+    /// the visited set. Returns `true` if it was new.
+    fn insert_visited(&mut self, state: &RpvpState) -> bool {
+        for i in 0..self.handles.len() {
+            if !self.handle_valid[i] {
+                self.handles[i] = self.interner.intern_opt(state.best[i].as_ref());
+                self.handle_valid[i] = true;
+            }
+        }
+        self.visited.insert(&self.handles)
+    }
+
     fn dfs<F>(&mut self, state: &mut RpvpState, decided: &mut [bool], depth: u64, callback: &mut F)
     where
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
+        let undo_mark = self.undo.depth();
         let mut depth = depth;
         loop {
             if self.stop {
-                return;
+                break;
             }
             if self.stats.steps >= self.options.max_steps {
                 self.stats.truncated = true;
                 self.stop = true;
-                return;
+                break;
             }
             self.stats.max_depth = self.stats.max_depth.max(depth);
-
-            let enabled = self.enabled(state);
 
             // Consistent-execution pruning (§4.1.1): a node that has already
             // selected a path but is enabled again would have to change it —
             // evidence that this execution is not consistent with any
             // converged state, so abandon it.
             if self.options.consistent_executions {
-                let inconsistent = enabled
+                let inconsistent = self
+                    .enabled
+                    .list()
                     .iter()
                     .any(|c| c.invalid || state.best(c.node).is_some());
                 if inconsistent {
                     self.stats.pruned_inconsistent += 1;
-                    return;
+                    break;
                 }
             }
 
@@ -218,23 +327,23 @@ impl<'m> ModelChecker<'m> {
             if self.options.policy_pruning && self.all_sources_decided(state) {
                 self.stats.pruned_by_policy += 1;
                 self.emit(state, callback);
-                return;
+                break;
             }
 
-            if enabled.is_empty() {
+            if self.enabled.list().is_empty() {
                 self.emit(state, callback);
-                return;
+                break;
             }
 
             // Partial order reduction.
             let decision = if self.options.decision_independence {
-                decision_independent(self.rpvp.model(), &enabled, decided)
+                decision_independent(self.rpvp.model(), self.enabled.list(), decided)
             } else {
                 None
             }
             .unwrap_or_else(|| {
                 if self.options.deterministic_nodes {
-                    self.por.pick(state, &enabled, decided)
+                    self.por.pick(state, self.enabled.list(), decided)
                 } else {
                     PorDecision::BranchAll
                 }
@@ -242,33 +351,43 @@ impl<'m> ModelChecker<'m> {
 
             match decision {
                 PorDecision::Deterministic { choice, update } => {
-                    let c = &enabled[choice];
+                    let c = &self.enabled.list()[choice];
                     let node = c.node;
-                    let peer = c.best_updates.get(update).map(|(p, _)| *p);
-                    self.apply(state, decided, node, peer, true);
+                    let (peer, adopt) = match c.best_updates.get(update) {
+                        Some((p, r)) => (Some(*p), Some(r.clone())),
+                        None => (None, None),
+                    };
+                    self.apply(state, decided, node, peer, adopt, true);
                     depth += 1;
                     continue;
                 }
                 PorDecision::BranchUpdates { choice } => {
-                    let c = enabled[choice].clone();
-                    self.branch(state, decided, depth, callback, &[c], false);
-                    return;
+                    // The enabled set mutates during recursion, so branching
+                    // snapshots the choices it iterates (branch points only —
+                    // the deterministic fast path stays allocation-free).
+                    let snapshot = [self.enabled.list()[choice].clone()];
+                    self.branch(state, decided, depth, callback, &snapshot, false);
+                    break;
                 }
                 PorDecision::BranchAll => {
-                    self.branch(state, decided, depth, callback, &enabled, true);
-                    return;
+                    let snapshot = self.enabled.list().to_vec();
+                    self.branch(state, decided, depth, callback, &snapshot, true);
+                    break;
                 }
             }
         }
+        // Revert every deterministic step this frame applied.
+        self.unwind_to(undo_mark, state, decided);
     }
 
     /// Branch over the given enabled choices: for each choice, one branch per
     /// best update (plus a clear-only branch for invalid paths when
-    /// `include_clears` and the node has no usable update).
+    /// `include_clears` and the node has no usable update). Each alternative
+    /// is applied in place, explored, and undone.
     fn branch<F>(
         &mut self,
-        state: &RpvpState,
-        decided: &[bool],
+        state: &mut RpvpState,
+        decided: &mut [bool],
         depth: u64,
         callback: &mut F,
         choices: &[EnabledChoice],
@@ -278,28 +397,34 @@ impl<'m> ModelChecker<'m> {
     {
         self.stats.branch_points += 1;
         for choice in choices {
-            let mut alternatives: Vec<Option<NodeId>> =
-                choice.best_updates.iter().map(|(p, _)| Some(*p)).collect();
-            if alternatives.is_empty() && include_clears && choice.invalid {
-                alternatives.push(None);
-            }
-            for peer in alternatives {
+            let clear_only = choice.best_updates.is_empty() && include_clears && choice.invalid;
+            let alternatives = if clear_only {
+                1
+            } else {
+                choice.best_updates.len()
+            };
+            for alt in 0..alternatives {
                 if self.stop {
                     return;
                 }
                 self.stats.branches += 1;
-                let mut child = state.clone();
-                let mut child_decided = decided.to_vec();
-                self.apply(&mut child, &mut child_decided, choice.node, peer, false);
+                let (peer, adopt) = if clear_only {
+                    (None, None)
+                } else {
+                    let (p, r) = &choice.best_updates[alt];
+                    (Some(*p), Some(r.clone()))
+                };
+                self.apply(state, decided, choice.node, peer, adopt, false);
                 // Visited-state detection at branch points only.
-                let compressed = self.interner.compress_state(&child.best);
-                if !self.visited.insert(&compressed) {
+                if !self.insert_visited(state) {
                     self.stats.pruned_visited += 1;
                     self.trail.pop();
+                    self.undo_one(state, decided);
                     continue;
                 }
-                self.dfs(&mut child, &mut child_decided, depth + 1, callback);
+                self.dfs(state, decided, depth + 1, callback);
                 self.trail.pop();
+                self.undo_one(state, decided);
             }
         }
     }
@@ -308,7 +433,7 @@ impl<'m> ModelChecker<'m> {
 /// The set of nodes that can influence any of the `sources` through chains of
 /// advertisements (§4.2): reverse reachability over the peer graph. Nodes
 /// outside this set are not allowed to execute.
-fn influence_set(model: &dyn ProtocolModel, sources: &[NodeId]) -> Vec<bool> {
+pub(crate) fn influence_set(model: &dyn ProtocolModel, sources: &[NodeId]) -> Vec<bool> {
     let n = model.node_count();
     let mut allowed = vec![false; n];
     let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
@@ -370,6 +495,10 @@ mod tests {
         assert_eq!(states.len(), 1);
         assert!(stats.deterministic_steps > 0);
         assert_eq!(stats.branch_points, 0);
+        // The delta maintenance recomputes far fewer nodes than a full
+        // per-step recomputation would (steps × non-origin nodes).
+        assert!(stats.enabled_recomputed_nodes > 0);
+        assert!(stats.enabled_recomputed_nodes <= stats.steps.max(1) * 5 + 5);
         // Every node reaches the origin.
         for n in s.network.topology.node_ids() {
             if n != s.origin {
@@ -403,6 +532,7 @@ mod tests {
         let opt_set: HashSet<_> = optimized.iter().map(canon).collect();
         assert_eq!(naive_set, opt_set);
         assert!(naive_stats.steps > 0);
+        assert!(naive_stats.undo_depth_max > 0);
     }
 
     #[test]

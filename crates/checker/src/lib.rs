@@ -20,21 +20,33 @@
 //!   vectors of 64-bit handles; visited-state detection works on those
 //!   handles, optionally through a Bloom filter (SPIN's bitstate hashing,
 //!   Figure 9).
+//!
+//! The search itself is **incremental**: delta-maintained enabled sets (only
+//! the stepped node's reverse-peer neighborhood is recomputed per step), an
+//! apply/undo DFS (no state clones at branch points), and a lazily
+//! synchronized interned-handle mirror for visited-state checks — see
+//! [`explorer`]. The pre-incremental search is preserved verbatim as
+//! [`reference::ReferenceChecker`] and differentially tested against the
+//! incremental one.
 
 pub mod explorer;
 pub mod interner;
 pub mod options;
 pub mod por;
+pub mod reference;
 pub mod scratch;
 pub mod stats;
 pub mod trail;
+pub mod undo;
 pub mod visited;
 
 pub use explorer::{ModelChecker, Verdict};
 pub use interner::RouteInterner;
 pub use options::SearchOptions;
 pub use por::{BgpPor, NoPor, OspfPor, PorDecision, PorHeuristic};
+pub use reference::ReferenceChecker;
 pub use scratch::SearchScratch;
 pub use stats::SearchStats;
 pub use trail::{Trail, TrailEvent};
+pub use undo::UndoStack;
 pub use visited::VisitedSet;

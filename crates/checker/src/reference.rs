@@ -1,0 +1,296 @@
+//! The pre-incremental explorer, kept verbatim for differential testing.
+//!
+//! [`ReferenceChecker`] is the clone-based depth-first search the checker
+//! shipped with before the incremental rewrite: it recomputes the full
+//! enabled set from scratch at every step, clones the whole `RpvpState`
+//! (and the `decided` vector) at every branch alternative, and re-interns
+//! the entire state at every visited-set check. It is deliberately **not**
+//! optimized — its only job is to define the behavior the incremental
+//! [`ModelChecker`](crate::ModelChecker) must reproduce exactly: identical
+//! converged states, identical trails, and identical [`SearchStats`]
+//! (modulo the incremental-only observability counters, which stay 0 here;
+//! see [`SearchStats::without_incremental_counters`]).
+
+use crate::explorer::{influence_set, Verdict};
+use crate::interner::RouteInterner;
+use crate::options::SearchOptions;
+use crate::por::{decision_independent, PorDecision, PorHeuristic};
+use crate::stats::SearchStats;
+use crate::trail::Trail;
+use crate::visited::VisitedSet;
+use plankton_net::failure::FailureSet;
+use plankton_net::topology::NodeId;
+use plankton_protocols::rpvp::{ConvergedState, EnabledChoice, Rpvp, RpvpState};
+use plankton_protocols::ProtocolModel;
+
+/// The pre-change explicit-state model checker (see module docs).
+pub struct ReferenceChecker<'m> {
+    rpvp: Rpvp<'m>,
+    por: Box<dyn PorHeuristic + 'm>,
+    options: SearchOptions,
+    interner: RouteInterner,
+    visited: VisitedSet,
+    stats: SearchStats,
+    trail: Trail,
+    allowed: Option<Vec<bool>>,
+    sources: Option<Vec<NodeId>>,
+    stop: bool,
+}
+
+impl<'m> ReferenceChecker<'m> {
+    /// Build a reference checker for `model` under `failures`.
+    pub fn new(
+        model: &'m dyn ProtocolModel,
+        por: Box<dyn PorHeuristic + 'm>,
+        options: SearchOptions,
+        failures: FailureSet,
+    ) -> Self {
+        let visited = match options.bitstate_bits {
+            Some(bits) => VisitedSet::bitstate(bits),
+            None => VisitedSet::exact(),
+        };
+        let sources = options.source_nodes.clone();
+        let allowed = if options.influence_pruning {
+            sources.as_ref().map(|s| influence_set(model, s))
+        } else {
+            None
+        };
+        ReferenceChecker {
+            rpvp: Rpvp::new(model),
+            por,
+            options,
+            interner: RouteInterner::new(),
+            visited,
+            stats: SearchStats::default(),
+            trail: Trail::new(failures),
+            allowed,
+            sources,
+            stop: false,
+        }
+    }
+
+    /// Run the exhaustive search, invoking `callback` on every converged
+    /// state. Returns the search statistics.
+    pub fn run<F>(mut self, callback: &mut F) -> SearchStats
+    where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        let mut state = self.rpvp.initial_state();
+        let mut decided = vec![false; self.rpvp.model().node_count()];
+        for &o in self.rpvp.model().origins() {
+            decided[o.index()] = true;
+        }
+        self.dfs(&mut state, &mut decided, 0, callback);
+        self.stats.interned_routes = self.interner.len() as u64;
+        self.stats.visited_states = self.visited.len() as u64;
+        self.stats.approx_memory_bytes =
+            (self.interner.approx_bytes() + self.visited.approx_bytes()) as u64;
+        self.stats
+    }
+
+    fn enabled(&self, state: &RpvpState) -> Vec<EnabledChoice> {
+        let all = self.rpvp.enabled(state);
+        match &self.allowed {
+            None => all,
+            Some(allowed) => all
+                .into_iter()
+                .filter(|c| allowed[c.node.index()])
+                .collect(),
+        }
+    }
+
+    fn all_sources_decided(&self, state: &RpvpState) -> bool {
+        match &self.sources {
+            None => false,
+            Some(sources) => {
+                !sources.is_empty()
+                    && sources
+                        .iter()
+                        .all(|s| state.best(*s).is_some() || self.rpvp.is_origin(*s))
+            }
+        }
+    }
+
+    fn emit<F>(&mut self, state: &RpvpState, callback: &mut F)
+    where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        self.stats.converged_states += 1;
+        let converged = ConvergedState {
+            best: state.best.clone(),
+        };
+        if callback(&converged, &self.trail) == Verdict::Stop {
+            self.stop = true;
+        }
+        if let Some(max) = self.options.max_converged_states {
+            if self.stats.converged_states >= max as u64 {
+                self.stop = true;
+            }
+        }
+    }
+
+    fn apply(
+        &mut self,
+        state: &mut RpvpState,
+        decided: &mut [bool],
+        node: NodeId,
+        peer: Option<NodeId>,
+        deterministic: bool,
+    ) {
+        self.rpvp.step(state, node, peer);
+        if peer.is_some() {
+            decided[node.index()] = true;
+        }
+        self.trail.push(node, peer, deterministic);
+        self.stats.steps += 1;
+        if deterministic {
+            self.stats.deterministic_steps += 1;
+        }
+    }
+
+    fn dfs<F>(&mut self, state: &mut RpvpState, decided: &mut [bool], depth: u64, callback: &mut F)
+    where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        let mut depth = depth;
+        loop {
+            if self.stop {
+                return;
+            }
+            if self.stats.steps >= self.options.max_steps {
+                self.stats.truncated = true;
+                self.stop = true;
+                return;
+            }
+            self.stats.max_depth = self.stats.max_depth.max(depth);
+
+            let enabled = self.enabled(state);
+
+            if self.options.consistent_executions {
+                let inconsistent = enabled
+                    .iter()
+                    .any(|c| c.invalid || state.best(c.node).is_some());
+                if inconsistent {
+                    self.stats.pruned_inconsistent += 1;
+                    return;
+                }
+            }
+
+            if self.options.policy_pruning && self.all_sources_decided(state) {
+                self.stats.pruned_by_policy += 1;
+                self.emit(state, callback);
+                return;
+            }
+
+            if enabled.is_empty() {
+                self.emit(state, callback);
+                return;
+            }
+
+            let decision = if self.options.decision_independence {
+                decision_independent(self.rpvp.model(), &enabled, decided)
+            } else {
+                None
+            }
+            .unwrap_or_else(|| {
+                if self.options.deterministic_nodes {
+                    self.por.pick(state, &enabled, decided)
+                } else {
+                    PorDecision::BranchAll
+                }
+            });
+
+            match decision {
+                PorDecision::Deterministic { choice, update } => {
+                    let c = &enabled[choice];
+                    let node = c.node;
+                    let peer = c.best_updates.get(update).map(|(p, _)| *p);
+                    self.apply(state, decided, node, peer, true);
+                    depth += 1;
+                    continue;
+                }
+                PorDecision::BranchUpdates { choice } => {
+                    let c = enabled[choice].clone();
+                    self.branch(state, decided, depth, callback, &[c], false);
+                    return;
+                }
+                PorDecision::BranchAll => {
+                    self.branch(state, decided, depth, callback, &enabled, true);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn branch<F>(
+        &mut self,
+        state: &RpvpState,
+        decided: &[bool],
+        depth: u64,
+        callback: &mut F,
+        choices: &[EnabledChoice],
+        include_clears: bool,
+    ) where
+        F: FnMut(&ConvergedState, &Trail) -> Verdict,
+    {
+        self.stats.branch_points += 1;
+        for choice in choices {
+            let mut alternatives: Vec<Option<NodeId>> =
+                choice.best_updates.iter().map(|(p, _)| Some(*p)).collect();
+            if alternatives.is_empty() && include_clears && choice.invalid {
+                alternatives.push(None);
+            }
+            for peer in alternatives {
+                if self.stop {
+                    return;
+                }
+                self.stats.branches += 1;
+                let mut child = state.clone();
+                let mut child_decided = decided.to_vec();
+                self.apply(&mut child, &mut child_decided, choice.node, peer, false);
+                let compressed = self.interner.compress_state(&child.best);
+                if !self.visited.insert(&compressed) {
+                    self.stats.pruned_visited += 1;
+                    self.trail.pop();
+                    continue;
+                }
+                self.dfs(&mut child, &mut child_decided, depth + 1, callback);
+                self.trail.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::por::OspfPor;
+    use plankton_config::scenarios::ring_ospf;
+    use plankton_protocols::ospf::OspfModel;
+
+    #[test]
+    fn reference_checker_finds_the_ring_converged_state() {
+        let s = ring_ospf(6);
+        let model = OspfModel::new(
+            &s.network,
+            s.destination,
+            vec![s.origin],
+            &FailureSet::none(),
+        );
+        let checker = ReferenceChecker::new(
+            &model,
+            Box::new(OspfPor),
+            SearchOptions::all_optimizations(),
+            FailureSet::none(),
+        );
+        let mut states = Vec::new();
+        let stats = checker.run(&mut |c, _| {
+            states.push(c.clone());
+            Verdict::Continue
+        });
+        assert_eq!(states.len(), 1);
+        assert!(stats.deterministic_steps > 0);
+        assert_eq!(stats.enabled_recomputed_nodes, 0, "reference has no deltas");
+        assert_eq!(stats.undo_depth_max, 0, "reference has no undo stack");
+    }
+}

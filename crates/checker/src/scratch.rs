@@ -13,12 +13,16 @@
 //! suppress exploration. The scratch API enforces the clear on every reuse.
 
 use crate::options::SearchOptions;
+use crate::undo::UndoStack;
 use crate::visited::VisitedSet;
 
 /// Reusable allocations for one worker's sequence of model-checking runs.
 #[derive(Default)]
 pub struct SearchScratch {
     visited: Option<VisitedSet>,
+    /// The incremental explorer's apply/undo stack from the previous run
+    /// (frame and displaced-enabled-entry buffers), handed back cleared.
+    undo: Option<UndoStack>,
     /// Runs that reused a previous allocation (for engine statistics).
     reuses: u64,
 }
@@ -56,6 +60,23 @@ impl SearchScratch {
         self.visited = Some(visited);
     }
 
+    /// The stored undo stack (cleared), or a fresh one. Unlike the visited
+    /// set there is no variant to match: the stack is always reusable.
+    pub fn take_undo(&mut self) -> UndoStack {
+        match self.undo.take() {
+            Some(mut undo) => {
+                undo.clear();
+                undo
+            }
+            None => UndoStack::new(),
+        }
+    }
+
+    /// Store a run's undo stack for reuse by the next run.
+    pub fn put_undo(&mut self, undo: UndoStack) {
+        self.undo = Some(undo);
+    }
+
     /// How many runs reused a previous allocation.
     pub fn reuse_count(&self) -> u64 {
         self.reuses
@@ -78,6 +99,16 @@ mod tests {
         let v2 = scratch.take_visited(&options);
         assert!(v2.is_empty(), "reused set must be cleared");
         assert_eq!(scratch.reuse_count(), 1);
+    }
+
+    #[test]
+    fn undo_stack_round_trips() {
+        let mut scratch = SearchScratch::new();
+        let undo = scratch.take_undo();
+        assert_eq!(undo.depth(), 0);
+        scratch.put_undo(undo);
+        let undo = scratch.take_undo();
+        assert_eq!(undo.depth(), 0, "reused stack must come back cleared");
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub struct SearchStats {
     pub converged_states: u64,
     /// Steps taken through the deterministic-node fast path.
     pub deterministic_steps: u64,
+    /// Nodes whose enabled status was recomputed by the delta-maintained
+    /// enabled set (the pre-change explorer recomputed every node at every
+    /// step, so `steps × node_count` is the figure this improves on).
+    #[serde(default)]
+    pub enabled_recomputed_nodes: u64,
+    /// Deepest apply/undo stack reached by the in-place DFS (the number of
+    /// live step records replacing what used to be full state clones).
+    #[serde(default)]
+    pub undo_depth_max: u64,
     /// Maximum DFS depth reached.
     pub max_depth: u64,
     /// Distinct routes interned (state-hashing table size).
@@ -47,6 +56,15 @@ impl SearchStats {
     pub fn approx_memory_mib(&self) -> f64 {
         self.approx_memory_bytes as f64 / (1024.0 * 1024.0)
     }
+
+    /// The stats with the incremental-explorer observability counters
+    /// zeroed. The reference (pre-change) explorer has no delta maintenance
+    /// or undo stack, so differential tests compare through this view.
+    pub fn without_incremental_counters(mut self) -> Self {
+        self.enabled_recomputed_nodes = 0;
+        self.undo_depth_max = 0;
+        self
+    }
 }
 
 impl AddAssign for SearchStats {
@@ -59,6 +77,8 @@ impl AddAssign for SearchStats {
         self.pruned_visited += rhs.pruned_visited;
         self.converged_states += rhs.converged_states;
         self.deterministic_steps += rhs.deterministic_steps;
+        self.enabled_recomputed_nodes += rhs.enabled_recomputed_nodes;
+        self.undo_depth_max = self.undo_depth_max.max(rhs.undo_depth_max);
         self.max_depth = self.max_depth.max(rhs.max_depth);
         self.interned_routes += rhs.interned_routes;
         self.visited_states += rhs.visited_states;

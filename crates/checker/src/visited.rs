@@ -38,19 +38,31 @@ impl BloomFilter {
         }
     }
 
+    /// The probe bases for double hashing (Kirsch–Mitzenmacher): one SipHash
+    /// run yields `h1`, the second hash is derived from its upper bits and
+    /// forced odd so every stride is a unit modulo the power-of-two bit
+    /// count. Probe `i` lands at `h1 + i·h2` — no per-call allocation, no
+    /// extra hasher runs.
+    #[inline]
+    fn probe(fingerprint: u64) -> (u64, u64) {
+        let mut h = DefaultHasher::new();
+        fingerprint.hash(&mut h);
+        let h1 = h.finish();
+        let h2 = (h1 >> 32) | 1;
+        (h1, h2)
+    }
+
     fn positions(&self, fingerprint: u64) -> impl Iterator<Item = u64> + '_ {
-        (0..self.hashes).map(move |i| {
-            let mut h = DefaultHasher::new();
-            (fingerprint, i).hash(&mut h);
-            h.finish() & self.mask
-        })
+        let (h1, h2) = Self::probe(fingerprint);
+        (0..self.hashes as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) & self.mask)
     }
 
     /// Insert a fingerprint; returns `true` if it was (probably) new.
     pub fn insert(&mut self, fingerprint: u64) -> bool {
+        let (h1, h2) = Self::probe(fingerprint);
         let mut new = false;
-        let positions: Vec<u64> = self.positions(fingerprint).collect();
-        for pos in positions {
+        for i in 0..self.hashes as u64 {
+            let pos = h1.wrapping_add(i.wrapping_mul(h2)) & self.mask;
             let (word, bit) = ((pos / 64) as usize, pos % 64);
             if self.bits[word] & (1 << bit) == 0 {
                 new = true;
@@ -220,6 +232,21 @@ mod tests {
         b.insert(42);
         assert!(b.contains(42));
         assert_eq!(b.inserted(), 1);
+    }
+
+    #[test]
+    fn double_hashing_probes_three_distinct_positions() {
+        let b = BloomFilter::with_bits(1 << 14);
+        for fp in 0..1000u64 {
+            let positions: Vec<u64> = b.positions(fp).collect();
+            assert_eq!(positions.len(), 3);
+            // The stride is odd, so probes are pairwise distinct modulo the
+            // power-of-two bit count.
+            assert_ne!(positions[0], positions[1]);
+            assert_ne!(positions[1], positions[2]);
+            assert_ne!(positions[0], positions[2]);
+            assert!(positions.iter().all(|&p| p < (1 << 14)));
+        }
     }
 
     #[test]

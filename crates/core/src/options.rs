@@ -13,6 +13,11 @@ pub struct PlanktonOptions {
     /// engine. Kept for differential testing: the engine and the sequential
     /// path must produce identical reports.
     pub sequential: bool,
+    /// Use the pre-incremental clone-based explorer
+    /// ([`plankton_checker::ReferenceChecker`]) instead of the incremental
+    /// one. Kept for differential testing: both explorers must produce
+    /// identical reports (modulo the incremental-only stats counters).
+    pub reference_explorer: bool,
     /// §4.3 — prune the choice of failed links using link equivalence
     /// classes (only applied when there are no cross-PEC dependencies).
     pub lec_failure_pruning: bool,
@@ -38,6 +43,7 @@ impl Default for PlanktonOptions {
         PlanktonOptions {
             parallelism: 1,
             sequential: false,
+            reference_explorer: false,
             lec_failure_pruning: true,
             stop_at_first_violation: true,
             restrict_to_prefixes: None,
@@ -62,6 +68,7 @@ impl PlanktonOptions {
         PlanktonOptions {
             parallelism: 1,
             sequential: false,
+            reference_explorer: false,
             lec_failure_pruning: false,
             stop_at_first_violation: true,
             restrict_to_prefixes: None,
@@ -75,6 +82,13 @@ impl PlanktonOptions {
     /// testing against the work-stealing engine).
     pub fn sequential(mut self) -> Self {
         self.sequential = true;
+        self
+    }
+
+    /// Use the pre-incremental reference explorer, builder-style
+    /// (differential testing against the incremental explorer).
+    pub fn with_reference_explorer(mut self) -> Self {
+        self.reference_explorer = true;
         self
     }
 

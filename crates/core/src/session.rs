@@ -10,8 +10,8 @@ use crate::options::PlanktonOptions;
 use crate::outcome::ConvergedRecord;
 use crate::underlay::DependencyUnderlay;
 use plankton_checker::{
-    BgpPor, ModelChecker, NoPor, OspfPor, PorHeuristic, SearchOptions, SearchScratch, SearchStats,
-    Trail, Verdict,
+    BgpPor, ModelChecker, NoPor, OspfPor, PorHeuristic, ReferenceChecker, SearchOptions,
+    SearchScratch, SearchStats, Trail, Verdict,
 };
 use plankton_config::{Network, StaticNextHop};
 use plankton_dataplane::{FibEntry, ForwardingGraph, NetworkFib, RouteSource};
@@ -312,21 +312,8 @@ impl<'a> PecSession<'a> {
                 .unwrap_or(plankton_net::ip::Prefix::DEFAULT)
         };
         let search_options = self.search_options(single_prefix);
-        let checker = match self.scratch {
-            Some(scratch) => {
-                let visited = scratch.borrow_mut().take_visited(&search_options);
-                ModelChecker::new_with_visited(
-                    model,
-                    por,
-                    search_options,
-                    self.failures.clone(),
-                    visited,
-                )
-            }
-            None => ModelChecker::new(model, por, search_options, self.failures.clone()),
-        };
         let mut alternatives = Vec::new();
-        let (stats, visited) = checker.run_returning(&mut |converged, trail| {
+        let mut on_converged = |converged: &plankton_protocols::ConvergedState, trail: &Trail| {
             let mut entries = vec![Vec::new(); n];
             let mut control_routes = vec![None; n];
             for i in 0..n {
@@ -350,9 +337,36 @@ impl<'a> PecSession<'a> {
                 trail: trail.clone(),
             });
             Verdict::Continue
-        });
+        };
+        if self.options.reference_explorer {
+            // Differential-testing path: the pre-incremental clone-based
+            // search (allocates fresh state; ignores the worker scratch).
+            let checker = ReferenceChecker::new(model, por, search_options, self.failures.clone());
+            let stats = checker.run(&mut on_converged);
+            return (alternatives, stats);
+        }
+        let checker = match self.scratch {
+            Some(scratch) => {
+                let (visited, undo) = {
+                    let mut scratch = scratch.borrow_mut();
+                    (scratch.take_visited(&search_options), scratch.take_undo())
+                };
+                ModelChecker::new_with_visited(
+                    model,
+                    por,
+                    search_options,
+                    self.failures.clone(),
+                    visited,
+                )
+                .with_undo(undo)
+            }
+            None => ModelChecker::new(model, por, search_options, self.failures.clone()),
+        };
+        let (stats, visited, undo) = checker.run_returning(&mut on_converged);
         if let Some(scratch) = self.scratch {
-            scratch.borrow_mut().put_visited(visited);
+            let mut scratch = scratch.borrow_mut();
+            scratch.put_visited(visited);
+            scratch.put_undo(undo);
         }
         (alternatives, stats)
     }

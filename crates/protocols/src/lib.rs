@@ -33,4 +33,4 @@ pub use bgp::{BgpModel, IgpUnderlay, TableUnderlay, UniformUnderlay};
 pub use model::{Preference, ProtocolModel};
 pub use ospf::OspfModel;
 pub use route::{Route, SessionType};
-pub use rpvp::{ConvergedState, EnabledChoice, Rpvp, RpvpState};
+pub use rpvp::{ConvergedState, EnabledChoice, IncrementalEnabled, Rpvp, RpvpState};

@@ -68,6 +68,28 @@ pub trait ProtocolModel: Sync {
     /// A short protocol name for reporting ("ospf", "bgp").
     fn name(&self) -> &'static str;
 
+    /// The reverse-peer index: `reverse_peers()[n]` lists the nodes that
+    /// consider advertisements *from* `n` (every `m` with `n ∈ peers(m)`),
+    /// sorted and deduplicated. An RPVP step at `n` can only change the
+    /// enabled status of `n` itself and of these nodes, which is what makes
+    /// delta-maintained enabled sets sound. Built once per checker run
+    /// (O(edges)); models with precomputed adjacency may override.
+    fn reverse_peers(&self) -> Vec<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let m = NodeId(i as u32);
+            for &p in self.peers(m) {
+                rev[p.index()].push(m);
+            }
+        }
+        for list in &mut rev {
+            list.sort_unstable();
+            list.dedup();
+        }
+        rev
+    }
+
     /// Select the most-preferred routes among `candidates` according to `n`'s
     /// ranking function. Returns the indices of the maximal elements: more
     /// than one index means the choice among them is non-deterministic.
@@ -156,6 +178,27 @@ mod tests {
         assert_eq!(tied, vec![0, 1]);
         let empty: Vec<usize> = m.best_indices(NodeId(0), &[]);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn reverse_peers_inverts_the_peer_relation() {
+        let m = Line;
+        let rev = m.reverse_peers();
+        assert_eq!(rev.len(), 3);
+        for i in 0..3u32 {
+            let n = NodeId(i);
+            // m ∈ rev[n] ⟺ n ∈ peers(m).
+            for j in 0..3u32 {
+                let mm = NodeId(j);
+                assert_eq!(
+                    rev[n.index()].contains(&mm),
+                    m.peers(mm).contains(&n),
+                    "rev[{n}] vs peers({mm})"
+                );
+            }
+            // Sorted and deduplicated.
+            assert!(rev[n.index()].windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]

@@ -86,18 +86,21 @@ impl ConvergedState {
 
     /// Follow next hops from `start` until an origin, a node without a
     /// route, or a repeated node is reached. Returns the nodes visited in
-    /// order (including `start`).
+    /// order (including `start`). Repeats are detected with a visited bitvec
+    /// sized to the network, so the walk is O(path) rather than O(path²).
     pub fn walk_from(&self, start: NodeId) -> Vec<NodeId> {
+        let mut visited = vec![false; self.best.len()];
+        visited[start.index()] = true;
         let mut seen = vec![start];
         let mut cur = start;
         loop {
             match self.next_hop(cur) {
                 Some(next) => {
-                    if seen.contains(&next) {
-                        seen.push(next);
+                    seen.push(next);
+                    if visited[next.index()] {
                         return seen;
                     }
-                    seen.push(next);
+                    visited[next.index()] = true;
                     cur = next;
                 }
                 None => return seen,
@@ -119,12 +122,19 @@ impl ConvergedState {
 /// The RPVP step machinery over a protocol model.
 pub struct Rpvp<'m> {
     model: &'m dyn ProtocolModel,
+    /// `origin_mask[n]` ⟺ `n ∈ origins()`, so the per-node-per-step origin
+    /// check is a bit test instead of a linear scan of the origin list.
+    origin_mask: Vec<bool>,
 }
 
 impl<'m> Rpvp<'m> {
     /// Wrap a protocol model.
     pub fn new(model: &'m dyn ProtocolModel) -> Self {
-        Rpvp { model }
+        let mut origin_mask = vec![false; model.node_count()];
+        for &o in model.origins() {
+            origin_mask[o.index()] = true;
+        }
+        Rpvp { model, origin_mask }
     }
 
     /// The underlying protocol model.
@@ -139,7 +149,7 @@ impl<'m> Rpvp<'m> {
 
     /// Is node `n` an origin?
     pub fn is_origin(&self, n: NodeId) -> bool {
-        self.model.origins().contains(&n)
+        self.origin_mask.get(n.index()).copied().unwrap_or(false)
     }
 
     /// The advertisement `from` would currently offer `to`
@@ -230,15 +240,48 @@ impl<'m> Rpvp<'m> {
     /// invalid path and, if `from` is given, adopts that peer's
     /// advertisement. `from` must be one of the node's best-update peers.
     pub fn step(&self, state: &mut RpvpState, n: NodeId, from: Option<NodeId>) {
-        if self.invalid(state, n) {
-            state.best[n.index()] = None;
+        let adv = from.map(|peer| {
+            self.advertisement(state, peer, n)
+                .expect("step() called with a peer that offers no advertisement")
+        });
+        self.step_adopting(state, n, adv);
+    }
+
+    /// Perform one RPVP step in place, adopting an already-computed
+    /// advertisement instead of recomputing it, and return the node's
+    /// previous best route as an undo record for [`Rpvp::undo_step`].
+    ///
+    /// This is the incremental explorer's apply primitive: the enabled-set
+    /// computation already produced the exact route the node adopts
+    /// ([`EnabledChoice::best_updates`]), so re-deriving it through
+    /// `advertisement()` at step time is wasted work. `adopt == None` is the
+    /// clear-an-invalid-path step.
+    pub fn step_adopting(
+        &self,
+        state: &mut RpvpState,
+        n: NodeId,
+        adopt: Option<Route>,
+    ) -> Option<Route> {
+        match adopt {
+            // Clearing an invalid path before adopting is subsumed by the
+            // adoption itself; a single swap preserves `step()` semantics.
+            Some(route) => state.best[n.index()].replace(route),
+            None => {
+                if self.invalid(state, n) {
+                    state.best[n.index()].take()
+                } else {
+                    // A clear-only step on a valid path is a no-op (the
+                    // explorer never issues one); keep undo exact anyway.
+                    state.best[n.index()].clone()
+                }
+            }
         }
-        if let Some(peer) = from {
-            let adv = self
-                .advertisement(state, peer, n)
-                .expect("step() called with a peer that offers no advertisement");
-            state.best[n.index()] = Some(adv);
-        }
+    }
+
+    /// Revert a step applied by [`Rpvp::step_adopting`], restoring the
+    /// node's previous best route.
+    pub fn undo_step(&self, state: &mut RpvpState, n: NodeId, prev_best: Option<Route>) {
+        state.best[n.index()] = prev_best;
     }
 
     /// Is the state converged (no node enabled)?
@@ -253,6 +296,134 @@ impl<'m> Rpvp<'m> {
         debug_assert!(self.converged(state), "state is not converged");
         ConvergedState {
             best: state.best.clone(),
+        }
+    }
+}
+
+/// A delta-maintained RPVP enabled set.
+///
+/// The paper's Algorithm 1 recomputes the enabled set `E` from scratch at
+/// every step — O(nodes × peers) of route derivations per transition. But a
+/// step at node `n` only changes `best(n)`, and a node `m`'s enabled status
+/// depends solely on `best(m)` and `best(p)` for `p ∈ peers(m)`: the only
+/// nodes whose status can change are `n` itself and the reverse peers of `n`
+/// ([`ProtocolModel::reverse_peers`]). This structure caches one
+/// [`EnabledChoice`] per enabled node, sorted by node id (the same iteration
+/// order as [`Rpvp::enabled`]), and recomputes only that dirty neighborhood
+/// after each step. Displaced entries are handed back to the caller so an
+/// apply/undo search can restore them exactly when it backtracks.
+pub struct IncrementalEnabled {
+    /// Currently enabled nodes' choices, sorted by node id.
+    list: Vec<EnabledChoice>,
+    /// `rev_peers[n]` = nodes that consider advertisements from `n`.
+    rev_peers: Vec<Vec<NodeId>>,
+    /// Nodes that may ever be enabled (non-origins, and allowed by any
+    /// influence pruning the search applies). Ineligible nodes are skipped
+    /// entirely, never recomputed.
+    eligible: Vec<bool>,
+    /// Total `enabled_at` recomputations performed (observability: the
+    /// pre-change explorer recomputed every node at every step).
+    recomputed: u64,
+}
+
+impl IncrementalEnabled {
+    /// An enabled set over the given reverse-peer index and eligibility mask.
+    /// Call [`IncrementalEnabled::rebuild`] before use.
+    pub fn new(rev_peers: Vec<Vec<NodeId>>, eligible: Vec<bool>) -> Self {
+        IncrementalEnabled {
+            list: Vec::new(),
+            rev_peers,
+            eligible,
+            recomputed: 0,
+        }
+    }
+
+    /// Recompute the whole enabled set from scratch (initialization).
+    pub fn rebuild(&mut self, rpvp: &Rpvp, state: &RpvpState) {
+        self.list.clear();
+        for i in 0..self.eligible.len() {
+            if !self.eligible[i] {
+                continue;
+            }
+            self.recomputed += 1;
+            if let Some(choice) = rpvp.enabled_at(state, NodeId(i as u32)) {
+                self.list.push(choice);
+            }
+        }
+    }
+
+    /// The enabled choices, in node-id order — exactly the (eligible subset
+    /// of the) list [`Rpvp::enabled`] would return for the current state.
+    pub fn list(&self) -> &[EnabledChoice] {
+        &self.list
+    }
+
+    /// Number of `enabled_at` recomputations performed so far.
+    pub fn recompute_count(&self) -> u64 {
+        self.recomputed
+    }
+
+    fn position(&self, node: NodeId) -> Result<usize, usize> {
+        self.list.binary_search_by_key(&node.0, |c| c.node.0)
+    }
+
+    /// Install `entry` as node `node`'s cache slot (None = not enabled) and
+    /// return the displaced previous slot. Used both for delta maintenance
+    /// and for restoring displaced entries on undo.
+    pub fn set_entry(
+        &mut self,
+        node: NodeId,
+        entry: Option<EnabledChoice>,
+    ) -> Option<EnabledChoice> {
+        match (self.position(node), entry) {
+            (Ok(i), Some(e)) => Some(std::mem::replace(&mut self.list[i], e)),
+            (Ok(i), None) => Some(self.list.remove(i)),
+            (Err(i), Some(e)) => {
+                self.list.insert(i, e);
+                None
+            }
+            (Err(_), None) => None,
+        }
+    }
+
+    /// Recompute the dirty neighborhood of `node` after its best route
+    /// changed: `node` itself plus its reverse peers. Every displaced cache
+    /// slot is pushed onto `displaced` (in recompute order) so the caller
+    /// can undo the step by replaying them in reverse through
+    /// [`IncrementalEnabled::set_entry`].
+    pub fn refresh_after_step(
+        &mut self,
+        rpvp: &Rpvp,
+        state: &RpvpState,
+        node: NodeId,
+        displaced: &mut Vec<(NodeId, Option<EnabledChoice>)>,
+    ) {
+        self.refresh_node(rpvp, state, node, displaced);
+        for k in 0..self.rev_peers[node.index()].len() {
+            let m = self.rev_peers[node.index()][k];
+            if m != node {
+                self.refresh_node(rpvp, state, m, displaced);
+            }
+        }
+    }
+
+    fn refresh_node(
+        &mut self,
+        rpvp: &Rpvp,
+        state: &RpvpState,
+        m: NodeId,
+        displaced: &mut Vec<(NodeId, Option<EnabledChoice>)>,
+    ) {
+        if !self.eligible[m.index()] {
+            return;
+        }
+        self.recomputed += 1;
+        let entry = rpvp.enabled_at(state, m);
+        let had_new = entry.is_some();
+        let prev = self.set_entry(m, entry);
+        // (None → None) transitions need no undo record.
+        if had_new || prev.is_some() {
+            displaced.push((m, prev));
         }
     }
 }
@@ -399,5 +570,90 @@ mod tests {
         let rpvp = Rpvp::new(&m);
         let s = rpvp.initial_state();
         assert!(!rpvp.converged(&s));
+    }
+
+    #[test]
+    fn step_adopting_round_trips_through_undo() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut s = rpvp.initial_state();
+        let before = s.clone();
+        let choice = rpvp.enabled(&s).remove(0);
+        let (peer, route) = choice.best_updates[0].clone();
+        // Adoption matches the peer-recomputing step()...
+        let prev = rpvp.step_adopting(&mut s, choice.node, Some(route));
+        let mut via_step = before.clone();
+        rpvp.step(&mut via_step, choice.node, Some(peer));
+        assert_eq!(s, via_step);
+        // ...and undo restores the exact prior state.
+        rpvp.undo_step(&mut s, choice.node, prev);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn clear_step_round_trips_through_undo() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut s = rpvp.initial_state();
+        rpvp.step(&mut s, NodeId(1), Some(NodeId(0)));
+        rpvp.step(&mut s, NodeId(2), Some(NodeId(1)));
+        s.best[1] = None; // node 2's path is now invalid
+        let before = s.clone();
+        let prev = rpvp.step_adopting(&mut s, NodeId(2), None);
+        assert!(s.best(NodeId(2)).is_none());
+        assert!(prev.is_some());
+        rpvp.undo_step(&mut s, NodeId(2), prev);
+        assert_eq!(s, before);
+    }
+
+    fn eligible_for(m: &dyn ProtocolModel) -> Vec<bool> {
+        let rpvp = Rpvp::new(m);
+        (0..m.node_count())
+            .map(|i| !rpvp.is_origin(NodeId(i as u32)))
+            .collect()
+    }
+
+    #[test]
+    fn incremental_enabled_tracks_full_recompute() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut s = rpvp.initial_state();
+        let mut inc = IncrementalEnabled::new(m.reverse_peers(), eligible_for(&m));
+        inc.rebuild(&rpvp, &s);
+        let mut displaced = Vec::new();
+        let mut steps = 0;
+        while let Some(choice) = inc.list().first().cloned() {
+            let adopt = choice.best_updates.first().map(|(_, r)| r.clone());
+            rpvp.step_adopting(&mut s, choice.node, adopt);
+            inc.refresh_after_step(&rpvp, &s, choice.node, &mut displaced);
+            assert_eq!(inc.list(), rpvp.enabled(&s).as_slice());
+            steps += 1;
+            assert!(steps <= 10, "execution did not converge");
+        }
+        assert!(rpvp.converged(&s));
+        assert!(inc.recompute_count() > 0);
+    }
+
+    #[test]
+    fn incremental_enabled_undo_restores_displaced_entries() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut s = rpvp.initial_state();
+        let mut inc = IncrementalEnabled::new(m.reverse_peers(), eligible_for(&m));
+        inc.rebuild(&rpvp, &s);
+        let before = inc.list().to_vec();
+        let choice = inc.list()[0].clone();
+        let adopt = choice.best_updates.first().map(|(_, r)| r.clone());
+        let prev_best = rpvp.step_adopting(&mut s, choice.node, adopt);
+        let mut displaced = Vec::new();
+        inc.refresh_after_step(&rpvp, &s, choice.node, &mut displaced);
+        assert_ne!(inc.list(), before.as_slice());
+        // Undo: revert the state, then replay displaced entries in reverse.
+        rpvp.undo_step(&mut s, choice.node, prev_best);
+        for (node, entry) in displaced.into_iter().rev() {
+            inc.set_entry(node, entry);
+        }
+        assert_eq!(inc.list(), before.as_slice());
+        assert_eq!(inc.list(), rpvp.enabled(&s).as_slice());
     }
 }
