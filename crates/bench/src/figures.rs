@@ -1169,6 +1169,164 @@ pub fn checker_bench(quick: bool) -> FigureResult {
     }
 }
 
+/// One measured point of the incremental-service benchmark, serialized as
+/// JSON (`BENCH_service.json`): wall-clock and step counts for a delta
+/// re-verification against a from-scratch re-verification of the same
+/// post-delta network.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ServiceBenchPoint {
+    /// Workload label.
+    pub scenario: String,
+    /// The delta kind applied between the runs.
+    pub delta: String,
+    /// PECs whose verdict the request needs.
+    pub pecs_checked: usize,
+    /// PECs the incremental run re-explored.
+    pub pecs_reexplored: usize,
+    /// PECs served entirely from the cache.
+    pub pecs_cached: usize,
+    /// (component × failure-set) tasks resubmitted.
+    pub tasks_rerun: usize,
+    /// Tasks served from the cache.
+    pub tasks_cached: usize,
+    /// RPVP steps re-executed by the incremental run.
+    pub steps_reexplored: u64,
+    /// RPVP steps served from the cache.
+    pub steps_cached: u64,
+    /// Wall-clock seconds for a from-scratch re-verification (PEC
+    /// computation + full verify of the post-delta network).
+    pub full_seconds: f64,
+    /// Wall-clock seconds for the incremental path (delta application +
+    /// invalidation + partial resubmission + report merge).
+    pub incremental_seconds: f64,
+    /// `full_seconds / incremental_seconds`.
+    pub speedup: f64,
+    /// Did the two reports match exactly (modulo engine pool stats)?
+    pub identical: bool,
+}
+
+/// Incremental-service benchmark: apply a small config delta to a fat-tree
+/// workload and compare the service's delta re-verification against
+/// re-running Plankton from scratch on the post-delta network. The last row
+/// carries the raw points as JSON (`BENCH_service.json`).
+pub fn service_bench(quick: bool) -> FigureResult {
+    use plankton_config::static_routes::StaticRoute;
+    use plankton_config::ConfigDelta;
+    use plankton_core::IncrementalVerifier;
+
+    let k = if quick { 4 } else { 6 };
+    let iterations = if quick { 1 } else { 3 };
+    let s = fat_tree_ospf(k, CoreStaticRoutes::MatchingOspf);
+    let policy = LoopFreedom::everywhere();
+    let options = PlanktonOptions::default().collect_all_violations();
+
+    let mut rows = Vec::new();
+    let mut points: Vec<ServiceBenchPoint> = Vec::new();
+    let mut measure = |label: &str,
+                       delta: ConfigDelta,
+                       warm_scenario: &FailureScenario,
+                       reverify_scenario: &FailureScenario| {
+        // Warm the session cache with the pre-delta verification, then time
+        // the operator-visible latency: delta application + incremental
+        // re-verification.
+        let mut session = IncrementalVerifier::new(s.network.clone());
+        session.verify(&policy, 1, warm_scenario, &options);
+        let ((report, run), inc_time) = time(|| {
+            session.apply_delta(&delta).expect("delta applies");
+            session.verify(&policy, 1, reverify_scenario, &options)
+        });
+        // The from-scratch baseline pays what a non-incremental deployment
+        // pays per change: PEC computation plus a full verification.
+        let post_network = session.network().clone();
+        let mut full_best: Option<(Duration, _)> = None;
+        for _ in 0..iterations {
+            let (full_report, full_time) = time(|| {
+                let plankton = Plankton::new(post_network.clone());
+                plankton.verify(&policy, reverify_scenario, &options)
+            });
+            if full_best
+                .as_ref()
+                .map(|(t, _)| full_time < *t)
+                .unwrap_or(true)
+            {
+                full_best = Some((full_time, full_report));
+            }
+        }
+        let (full_time, full_report) = full_best.expect("at least one iteration");
+        let identical = report.normalized_json() == full_report.normalized_json();
+        assert!(identical, "incremental and from-scratch reports must match");
+        let speedup = full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9);
+        rows.push(
+            Row::new(format!("K={k} {label}"))
+                .col("full", secs(full_time))
+                .col("incremental", secs(inc_time))
+                .col("speedup", format!("{speedup:.1}x"))
+                .col(
+                    "pecs_rerun",
+                    format!("{}/{}", run.pecs_reexplored, run.pecs_checked),
+                )
+                .col("steps_cached", run.steps_cached),
+        );
+        points.push(ServiceBenchPoint {
+            scenario: format!("fat tree k={k} loop freedom"),
+            delta: label.to_string(),
+            pecs_checked: run.pecs_checked,
+            pecs_reexplored: run.pecs_reexplored,
+            pecs_cached: run.pecs_cached,
+            tasks_rerun: run.tasks_rerun,
+            tasks_cached: run.tasks_cached,
+            steps_reexplored: run.steps_reexplored,
+            steps_cached: run.steps_cached,
+            full_seconds: full_time.as_secs_f64(),
+            incremental_seconds: inc_time.as_secs_f64(),
+            speedup,
+            identical,
+        });
+    };
+
+    // A one-prefix config edit: only the overlapping PEC re-runs.
+    measure(
+        "static_route_add",
+        ConfigDelta::StaticRouteAdd {
+            device: s.fat_tree.aggregation[0][0],
+            route: StaticRoute::to_interface(s.destinations[0], s.fat_tree.edge[0][0]),
+        },
+        &FailureScenario::no_failures(),
+        &FailureScenario::no_failures(),
+    );
+    // An OSPF cost edit: every OSPF PEC re-runs, connected-only PECs don't.
+    measure(
+        "ospf_cost_change",
+        ConfigDelta::OspfCostChange {
+            device: s.fat_tree.aggregation[0][0],
+            link: s.network.topology.neighbors(s.fat_tree.aggregation[0][0])[0].1,
+            cost: 42,
+        },
+        &FailureScenario::no_failures(),
+        &FailureScenario::no_failures(),
+    );
+    // A link failure after a fault-tolerance run: the ≤1-failure exploration
+    // pre-paid for the delta's effective failure sets.
+    measure(
+        "link_down",
+        ConfigDelta::LinkDown {
+            link: s.network.topology.links()[0].id,
+        },
+        &FailureScenario::up_to(1),
+        &FailureScenario::no_failures(),
+    );
+
+    rows.push(Row::new("json").col(
+        "data",
+        serde_json::to_string(&points).expect("bench points serialize"),
+    ));
+    FigureResult {
+        id: "service".into(),
+        caption: "Incremental service: delta re-verify vs full re-verify".into(),
+        rows,
+    }
+}
+
 /// Run one figure by id ("2", "7a".."7i", "8", "9", "cores", "checker").
 pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
     let result = match id {
@@ -1186,16 +1344,18 @@ pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
         "9" => fig9(quick),
         "cores" => cores_scaling(quick),
         "checker" => checker_bench(quick),
+        "service" => service_bench(quick),
         _ => return None,
     };
     Some(result)
 }
 
-/// Every figure id, in paper order (plus the engine scaling sweep and the
-/// checker inner-loop benchmark).
+/// Every figure id, in paper order (plus the engine scaling sweep, the
+/// checker inner-loop benchmark and the incremental-service benchmark).
 pub fn all_figures() -> Vec<&'static str> {
     vec![
         "2", "7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "8", "9", "cores", "checker",
+        "service",
     ]
 }
 

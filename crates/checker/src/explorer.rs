@@ -249,14 +249,15 @@ impl<'m> ModelChecker<'m> {
         }
     }
 
-    /// Revert the most recent applied step (state, `decided`, handle mirror
-    /// and displaced enabled-set entries). The trail is *not* popped here:
-    /// trail pops happen exactly where the reference search performs them,
-    /// so recorded trails stay byte-identical — including a known seed
-    /// quirk where trails keep stale deterministic events from abandoned
-    /// sibling alternatives (see ROADMAP "Open items" for the planned fix
-    /// in both explorers at once).
+    /// Revert the most recent applied step: state, `decided`, handle mirror,
+    /// displaced enabled-set entries — and the step's trail event. Every
+    /// `apply` pushes exactly one trail event and exactly one undo frame, so
+    /// popping them together keeps the trail equal to the live DFS path at
+    /// all times (the seed shipped with a bug here: deterministic steps of
+    /// abandoned sibling branches leaked into emitted trails because frames
+    /// never popped them on exit).
     fn undo_one(&mut self, state: &mut RpvpState, decided: &mut [bool]) {
+        self.trail.pop();
         let frame = self.undo.pop_frame();
         while self.undo.enabled_prev.len() > frame.enabled_mark {
             let (m, prev) = self.undo.enabled_prev.pop().expect("mark within stack");
@@ -418,12 +419,10 @@ impl<'m> ModelChecker<'m> {
                 // Visited-state detection at branch points only.
                 if !self.insert_visited(state) {
                     self.stats.pruned_visited += 1;
-                    self.trail.pop();
                     self.undo_one(state, decided);
                     continue;
                 }
                 self.dfs(state, decided, depth + 1, callback);
-                self.trail.pop();
                 self.undo_one(state, decided);
             }
         }

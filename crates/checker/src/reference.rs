@@ -10,6 +10,13 @@
 //! converged states, identical trails, and identical [`SearchStats`]
 //! (modulo the incremental-only observability counters, which stay 0 here;
 //! see [`SearchStats::without_incremental_counters`]).
+//!
+//! One deliberate deviation from the seed: the seed leaked deterministic
+//! trail events of abandoned sibling branches into emitted trails (frames
+//! never popped them on exit). Both explorers now discard a frame's
+//! deterministic events when the frame exits, so trails are exactly the
+//! live DFS path — the fix is applied to both in lockstep, keeping the
+//! differential tests byte-identical.
 
 use crate::explorer::{influence_set, Verdict};
 use crate::interner::RouteInterner;
@@ -152,15 +159,21 @@ impl<'m> ReferenceChecker<'m> {
     where
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
+        // Deterministic steps applied inside this frame push trail events
+        // that belong to the frame; discard them when the frame exits so
+        // abandoned sibling branches never leak events into later trails
+        // (the fix mirrors the incremental explorer popping the trail in
+        // `undo_one`).
+        let trail_mark = self.trail.len();
         let mut depth = depth;
         loop {
             if self.stop {
-                return;
+                break;
             }
             if self.stats.steps >= self.options.max_steps {
                 self.stats.truncated = true;
                 self.stop = true;
-                return;
+                break;
             }
             self.stats.max_depth = self.stats.max_depth.max(depth);
 
@@ -172,19 +185,19 @@ impl<'m> ReferenceChecker<'m> {
                     .any(|c| c.invalid || state.best(c.node).is_some());
                 if inconsistent {
                     self.stats.pruned_inconsistent += 1;
-                    return;
+                    break;
                 }
             }
 
             if self.options.policy_pruning && self.all_sources_decided(state) {
                 self.stats.pruned_by_policy += 1;
                 self.emit(state, callback);
-                return;
+                break;
             }
 
             if enabled.is_empty() {
                 self.emit(state, callback);
-                return;
+                break;
             }
 
             let decision = if self.options.decision_independence {
@@ -212,14 +225,15 @@ impl<'m> ReferenceChecker<'m> {
                 PorDecision::BranchUpdates { choice } => {
                     let c = enabled[choice].clone();
                     self.branch(state, decided, depth, callback, &[c], false);
-                    return;
+                    break;
                 }
                 PorDecision::BranchAll => {
                     self.branch(state, decided, depth, callback, &enabled, true);
-                    return;
+                    break;
                 }
             }
         }
+        self.trail.truncate(trail_mark);
     }
 
     fn branch<F>(

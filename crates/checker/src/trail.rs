@@ -56,6 +56,12 @@ impl Trail {
         self.events.pop();
     }
 
+    /// Drop every step after the first `len` (used when the DFS abandons a
+    /// frame and must discard that frame's deterministic steps).
+    pub fn truncate(&mut self, len: usize) {
+        self.events.truncate(len);
+    }
+
     /// Number of steps.
     pub fn len(&self) -> usize {
         self.events.len()

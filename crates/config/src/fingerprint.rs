@@ -1,0 +1,343 @@
+//! Content fingerprinting of configuration state.
+//!
+//! The incremental verification service keys its result cache by *what a
+//! verification task actually reads*: the PEC's own configuration content
+//! plus a network "slice" per protocol (everything an `OspfModel` /
+//! `BgpModel` constructor consumes). Fingerprints are stable 64-bit FNV-1a
+//! hashes computed over the serde [`Value`](serde::Value) tree, so any type
+//! that serializes deterministically (the whole configuration model: derive
+//! order is declaration order, maps are `BTreeMap`s) can be hashed without
+//! bespoke per-type code.
+//!
+//! These are cache keys, not security hashes: a collision merely serves a
+//! stale verification result, and 64-bit FNV over structured input makes
+//! that astronomically unlikely for the config sizes involved.
+
+use crate::Network;
+use serde::{Serialize, Value};
+
+/// A 64-bit FNV-1a hasher with structure tagging.
+#[derive(Clone, Debug)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Fingerprinter { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb one byte (used as a structure/type tag).
+    pub fn write_u8(&mut self, b: u8) {
+        self.write_bytes(&[b]);
+    }
+
+    /// Absorb a u64 (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a string (length-prefixed).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorb a serde value tree, tagged by shape.
+    pub fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.write_u8(0),
+            Value::Bool(b) => {
+                self.write_u8(1);
+                self.write_u8(*b as u8);
+            }
+            Value::Int(n) => {
+                self.write_u8(2);
+                self.write_u64(*n as u64);
+            }
+            Value::UInt(n) => {
+                self.write_u8(3);
+                self.write_u64(*n);
+            }
+            Value::Float(f) => {
+                self.write_u8(4);
+                self.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                self.write_u8(5);
+                self.write_str(s);
+            }
+            Value::Array(items) => {
+                self.write_u8(6);
+                self.write_u64(items.len() as u64);
+                for item in items {
+                    self.write_value(item);
+                }
+            }
+            Value::Object(fields) => {
+                self.write_u8(7);
+                self.write_u64(fields.len() as u64);
+                for (k, val) in fields {
+                    self.write_str(k);
+                    self.write_value(val);
+                }
+            }
+        }
+    }
+
+    /// Absorb any serializable value.
+    pub fn write<T: Serialize + ?Sized>(&mut self, t: &T) {
+        self.write_value(&t.to_value());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Fingerprint one serializable value.
+pub fn fingerprint_of<T: Serialize + ?Sized>(t: &T) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.write(t);
+    fp.finish()
+}
+
+/// Combine already-computed fingerprints order-sensitively.
+pub fn combine(parts: &[u64]) -> u64 {
+    let mut fp = Fingerprinter::new();
+    for &p in parts {
+        fp.write_u64(p);
+    }
+    fp.finish()
+}
+
+impl Network {
+    /// A fingerprint of the entire network document (topology, every device
+    /// configuration, administratively-down links). Any observable
+    /// configuration change changes this value. Hashed from a canonical
+    /// traversal rather than the raw serde tree, because the topology's
+    /// serialized form includes a `HashMap` name index whose iteration
+    /// order is not deterministic.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u8(b'N');
+        fp.write_u64(self.node_count() as u64);
+        for node in self.topology.nodes() {
+            fp.write_str(&node.name);
+            fp.write_u8(matches!(node.kind, plankton_net::topology::NodeKind::Host) as u8);
+            match node.loopback {
+                Some(lb) => fp.write_u64(lb.0 as u64),
+                None => fp.write_u8(0xff),
+            }
+        }
+        fp.write_u64(self.topology.link_count() as u64);
+        for link in self.topology.links() {
+            fp.write_u64(link.a.node.0 as u64);
+            fp.write_u64(link.b.node.0 as u64);
+            for ifc in [&link.a, &link.b] {
+                match ifc.addr {
+                    Some(addr) => {
+                        fp.write_u64(addr.ip.0 as u64);
+                        fp.write_u64(addr.prefix_len as u64);
+                    }
+                    None => fp.write_u8(0xfe),
+                }
+            }
+        }
+        fp.write(&self.down_links);
+        fp.write(&self.devices);
+        fp.finish()
+    }
+
+    /// The OSPF slice: everything an OSPF protocol instance reads from the
+    /// network besides the per-prefix origin set and the failure set — each
+    /// OSPF speaker's process configuration (interface costs, disabled
+    /// links) and the links joining two OSPF speakers.
+    ///
+    /// Administratively-down links are deliberately **not** filtered out
+    /// here: down-ness reaches every verification task through its
+    /// *effective failure set* (scenario choice ∪ down links), which is part
+    /// of the task's cache key already. Keeping the slice down-agnostic
+    /// makes a `LinkDown` delta's tasks key-identical to the pre-delta tasks
+    /// that explored the same link as a chosen failure — so a fault-tolerance
+    /// verification pre-pays for the link-failure deltas that follow.
+    pub fn ospf_slice_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u8(b'O');
+        fp.write_u64(self.node_count() as u64);
+        for n in self.topology.node_ids() {
+            if let Some(ospf) = &self.device(n).ospf {
+                fp.write_u64(n.0 as u64);
+                fp.write(ospf);
+            }
+        }
+        for link in self.topology.links() {
+            let (a, b) = link.endpoints();
+            if self.device(a).runs_ospf() && self.device(b).runs_ospf() {
+                fp.write_u64(link.id.0 as u64);
+                fp.write_u64(a.0 as u64);
+                fp.write_u64(b.0 as u64);
+            }
+        }
+        fp.finish()
+    }
+
+    /// The BGP slice: every BGP speaker's configuration (sessions, route
+    /// maps, originated networks), the links that can carry an eBGP
+    /// session, and the loopback table iBGP sessions and recursive underlay
+    /// resolution consult. iBGP reachability itself flows through dependency
+    /// PECs, whose own cache keys are composed into dependents' keys. As
+    /// with the OSPF slice, down links are *not* filtered: they reach the
+    /// task key through the effective failure set.
+    pub fn bgp_slice_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u8(b'B');
+        fp.write_u64(self.node_count() as u64);
+        for n in self.topology.node_ids() {
+            if let Some(bgp) = &self.device(n).bgp {
+                fp.write_u64(n.0 as u64);
+                fp.write(bgp);
+            }
+        }
+        for link in self.topology.links() {
+            let (a, b) = link.endpoints();
+            let ebgp_pair = |x: plankton_net::topology::NodeId,
+                             y: plankton_net::topology::NodeId| {
+                self.device(x)
+                    .bgp
+                    .as_ref()
+                    .map(|cfg| cfg.ebgp_neighbors().any(|nbr| nbr.peer == y))
+                    .unwrap_or(false)
+            };
+            if ebgp_pair(a, b) || ebgp_pair(b, a) {
+                fp.write_u64(link.id.0 as u64);
+                fp.write_u64(a.0 as u64);
+                fp.write_u64(b.0 as u64);
+            }
+        }
+        for node in self.topology.nodes() {
+            if let Some(lb) = node.loopback {
+                fp.write_u64(node.id.0 as u64);
+                fp.write_u64(lb.0 as u64);
+            }
+        }
+        fp.finish()
+    }
+
+    /// The static-route liveness slice for one device/neighbor pair: the
+    /// links between them (an `Interface` static route is installed only
+    /// while some joining link is alive — aliveness is decided against the
+    /// effective failure set, which the task key carries separately).
+    pub fn interface_liveness_fingerprint(
+        &self,
+        device: plankton_net::topology::NodeId,
+        neighbor: plankton_net::topology::NodeId,
+    ) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u8(b'L');
+        fp.write_u64(device.0 as u64);
+        fp.write_u64(neighbor.0 as u64);
+        for l in self.topology.links_between(device, neighbor) {
+            fp.write_u64(l.0 as u64);
+        }
+        fp.finish()
+    }
+
+    /// The address-ownership slice consulted when resolving recursive
+    /// static-route next hops and dependency-PEC loopback records: the
+    /// loopback table plus every numbered interface.
+    pub fn address_ownership_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u8(b'A');
+        fp.write_u64(self.node_count() as u64);
+        for node in self.topology.nodes() {
+            if let Some(lb) = node.loopback {
+                fp.write_u64(node.id.0 as u64);
+                fp.write_u64(lb.0 as u64);
+            }
+        }
+        for link in self.topology.links() {
+            for ifc in [&link.a, &link.b] {
+                if let Some(addr) = ifc.addr {
+                    fp.write_u64(ifc.node.0 as u64);
+                    fp.write_u64(addr.ip.0 as u64);
+                    fp.write_u64(addr.prefix_len as u64);
+                }
+            }
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenarios::{fat_tree_ospf, ring_ospf, CoreStaticRoutes};
+    use crate::static_routes::StaticRoute;
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let a = ring_ospf(6).network;
+        let b = ring_ospf(6).network;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.ospf_slice_fingerprint(), b.ospf_slice_fingerprint());
+        assert_ne!(a.fingerprint(), ring_ospf(8).network.fingerprint());
+    }
+
+    #[test]
+    fn static_route_change_leaves_ospf_slice_alone() {
+        let mut net = fat_tree_ospf(4, CoreStaticRoutes::None).network;
+        let before_slice = net.ospf_slice_fingerprint();
+        let before_full = net.fingerprint();
+        net.device_mut(plankton_net::topology::NodeId(0))
+            .static_routes
+            .push(StaticRoute::null("10.9.9.0/24".parse().unwrap()));
+        assert_eq!(net.ospf_slice_fingerprint(), before_slice);
+        assert_ne!(net.fingerprint(), before_full);
+    }
+
+    #[test]
+    fn link_down_changes_the_document_but_not_the_slices() {
+        // Down-ness flows through the effective failure set (part of every
+        // task key), so the protocol slices stay stable — which is what lets
+        // a fault-tolerance run's cache entries serve link-down deltas.
+        let s = ring_ospf(6);
+        let mut net = s.network.clone();
+        let slice_before = net.ospf_slice_fingerprint();
+        let doc_before = net.fingerprint();
+        net.set_link_down(s.ring.links[0]);
+        assert_eq!(net.ospf_slice_fingerprint(), slice_before);
+        assert_ne!(net.fingerprint(), doc_before);
+        net.set_link_up(s.ring.links[0]);
+        assert_eq!(net.fingerprint(), doc_before);
+    }
+
+    #[test]
+    fn ospf_cost_changes_the_ospf_slice() {
+        let s = ring_ospf(6);
+        let mut net = s.network.clone();
+        let before = net.ospf_slice_fingerprint();
+        if let Some(ospf) = &mut net.device_mut(s.ring.routers[1]).ospf {
+            ospf.interface_costs.insert(s.ring.links[1], 99);
+        }
+        assert_ne!(net.ospf_slice_fingerprint(), before);
+    }
+}

@@ -13,7 +13,9 @@
 //! networks through these.
 
 pub mod bgp;
+pub mod delta;
 pub mod device;
+pub mod fingerprint;
 pub mod network;
 pub mod ospf;
 pub mod route_map;
@@ -21,7 +23,9 @@ pub mod scenarios;
 pub mod static_routes;
 
 pub use bgp::{BgpConfig, BgpNeighborConfig, BgpSessionKind};
+pub use delta::{ConfigDelta, DeltaError, DeltaTouch};
 pub use device::DeviceConfig;
+pub use fingerprint::{combine, fingerprint_of, Fingerprinter};
 pub use network::Network;
 pub use ospf::OspfConfig;
 pub use route_map::{

@@ -3,7 +3,7 @@
 
 use crate::device::DeviceConfig;
 use plankton_net::ip::Prefix;
-use plankton_net::topology::{NodeId, Topology};
+use plankton_net::topology::{LinkId, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -17,6 +17,13 @@ pub struct Network {
     pub topology: Topology,
     /// Per-device configuration, indexed by [`NodeId`].
     pub devices: Vec<DeviceConfig>,
+    /// Links that are administratively down (a link-down delta in the
+    /// incremental service, or a drained node's incident links). Downed
+    /// links keep their [`LinkId`] — the verifier treats them as failed in
+    /// every explored failure scenario, so protocol adjacency never forms
+    /// over them. Absent in older documents (defaults to empty).
+    #[serde(default)]
+    pub down_links: Vec<LinkId>,
 }
 
 /// A problem found by [`Network::validate`].
@@ -103,7 +110,31 @@ impl Network {
     /// A network over `topology` with every device unconfigured.
     pub fn unconfigured(topology: Topology) -> Self {
         let devices = vec![DeviceConfig::empty(); topology.node_count()];
-        Network { topology, devices }
+        Network {
+            topology,
+            devices,
+            down_links: Vec::new(),
+        }
+    }
+
+    /// Is `link` administratively down?
+    pub fn is_link_down(&self, link: LinkId) -> bool {
+        self.down_links.contains(&link)
+    }
+
+    /// Administratively take a link down (idempotent; keeps the canonical
+    /// sorted order).
+    pub fn set_link_down(&mut self, link: LinkId) {
+        if let Err(pos) = self.down_links.binary_search(&link) {
+            self.down_links.insert(pos, link);
+        }
+    }
+
+    /// Bring an administratively-down link back up (idempotent).
+    pub fn set_link_up(&mut self, link: LinkId) {
+        if let Ok(pos) = self.down_links.binary_search(&link) {
+            self.down_links.remove(pos);
+        }
     }
 
     /// The configuration of device `n`.

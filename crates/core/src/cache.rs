@@ -1,0 +1,204 @@
+//! The content-addressed verification result cache.
+//!
+//! One entry stores the complete outcome of verifying a single PEC under a
+//! single failure scenario for a given policy/options pair — keyed by the
+//! task content key computed in [`plankton_pec::invalidation`]: a hash over
+//! the PEC's configuration content, the network slices its protocol models
+//! read, the policy/options fingerprints, the failure set, and (composed
+//! recursively) the keys of every PEC it transitively depends on. Equal key
+//! ⟹ bit-identical inputs ⟹ the cached outcome *is* the outcome, so
+//! incremental re-verification serves clean tasks from here and re-executes
+//! only tasks whose key misses.
+
+use crate::outcome::ConvergedRecord;
+use crate::report::Violation;
+use parking_lot::Mutex;
+use plankton_checker::SearchStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The cached outcome of one (PEC × failure scenario) verification task.
+#[derive(Clone, Debug, Default)]
+pub struct PolicyOutcome {
+    /// Violations found on this PEC under this failure set. The `pec` field
+    /// of each entry holds the id at caching time; it is relabeled to the
+    /// current id when merged into a report (PEC ids shift when a delta
+    /// repartitions the header space, content does not).
+    pub violations: Vec<Violation>,
+    /// Model-checking statistics of the task.
+    pub stats: SearchStats,
+    /// Converged data planes on which the policy was evaluated.
+    pub data_planes_checked: u64,
+    /// Converged records for dependent PECs (empty when the PEC had no
+    /// dependents under this request).
+    pub records: Vec<Arc<ConvergedRecord>>,
+}
+
+/// A concurrent content-hash-keyed map of task outcomes.
+///
+/// Entries are immutable once inserted (`Arc`-shared). The cache is bounded:
+/// when an insert would exceed the capacity, an arbitrary half of the
+/// entries is dropped — content keys make stale entries merely dead weight,
+/// so eviction only costs re-verification, never correctness, and keeping
+/// half preserves most of a warm working set instead of inverting the
+/// incremental win into one giant from-scratch latency spike.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, Arc<PolicyOutcome>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResultCache {
+    /// Default bound on resident entries.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look a task outcome up, counting the hit/miss.
+    pub fn get(&self, key: u64) -> Option<Arc<PolicyOutcome>> {
+        let found = self.map.lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Look a task outcome up without touching the hit/miss counters (used
+    /// by the planning pass that classifies tasks before execution — a key
+    /// that hits but whose component re-runs anyway saved no work and must
+    /// not count as reuse).
+    pub fn peek(&self, key: u64) -> Option<Arc<PolicyOutcome>> {
+        self.map.lock().get(&key).cloned()
+    }
+
+    /// Record `n` tasks actually served from the cache (the planning pass
+    /// classifies with [`ResultCache::peek`] and reports reuse explicitly).
+    pub fn count_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` tasks that had to be recomputed.
+    pub fn count_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Insert a task outcome. First write wins (outcomes for equal keys are
+    /// equal by construction).
+    pub fn insert(&self, key: u64, outcome: Arc<PolicyOutcome>) {
+        let mut map = self.map.lock();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // Evict an arbitrary half (content keys carry no useful
+            // recency signal worth the bookkeeping; half keeps most of the
+            // warm set alive).
+            let keep = self.capacity / 2;
+            let drop_keys: Vec<u64> = map.keys().copied().skip(keep).collect();
+            for k in drop_keys {
+                map.remove(&k);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        map.entry(key).or_insert(outcome);
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// How many times the capacity bound wiped the map.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_and_counters() {
+        let cache = ResultCache::new();
+        assert!(cache.get(7).is_none());
+        cache.insert(7, Arc::new(PolicyOutcome::default()));
+        assert!(cache.get(7).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.peek(8).is_none());
+        assert_eq!(cache.misses(), 1, "peek does not count");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_partially() {
+        let cache = ResultCache::with_capacity(4);
+        for k in 0..4 {
+            cache.insert(k, Arc::new(PolicyOutcome::default()));
+        }
+        cache.insert(4, Arc::new(PolicyOutcome::default()));
+        assert_eq!(cache.evictions(), 1);
+        // Half the old entries survive, plus the new one.
+        assert_eq!(cache.len(), 3);
+        assert!(cache.peek(4).is_some());
+    }
+
+    #[test]
+    fn first_write_wins() {
+        let cache = ResultCache::new();
+        let a = Arc::new(PolicyOutcome {
+            data_planes_checked: 1,
+            ..Default::default()
+        });
+        let b = Arc::new(PolicyOutcome {
+            data_planes_checked: 2,
+            ..Default::default()
+        });
+        cache.insert(9, a);
+        cache.insert(9, b);
+        assert_eq!(cache.peek(9).unwrap().data_planes_checked, 1);
+    }
+}

@@ -164,14 +164,47 @@ impl LinkEquivalenceClasses {
 /// combination enumeration, or — when `lec_pruning` is set — combinations of
 /// LEC representative links only, refining the representative choice after
 /// each selection by excluding already-failed links (§4.3).
+///
+/// Administratively-down links ([`Network::down_links`], the incremental
+/// service's link-down deltas) are excluded from the candidate failure
+/// choices and instead unioned into *every* explored set, so protocol
+/// adjacency never forms over them in any scenario.
 pub fn failure_sets_to_explore(
     network: &Network,
     scenario: &FailureScenario,
     interesting: &[NodeId],
     lec_pruning: bool,
 ) -> Vec<FailureSet> {
+    let down: FailureSet = network.down_links.iter().copied().collect();
+    let with_down = |mut sets: Vec<FailureSet>| -> Vec<FailureSet> {
+        if down.is_empty() {
+            return sets;
+        }
+        for set in sets.iter_mut() {
+            *set = set.union(&down);
+        }
+        sets.sort_by(|a, b| (a.len(), a.links()).cmp(&(b.len(), b.links())));
+        sets.dedup();
+        sets
+    };
+    let scenario_up: FailureScenario;
+    let scenario = if down.is_empty() {
+        scenario
+    } else {
+        scenario_up = FailureScenario {
+            max_failures: scenario.max_failures,
+            candidates: Some(
+                scenario
+                    .candidate_links(&network.topology)
+                    .into_iter()
+                    .filter(|l| !down.contains(*l))
+                    .collect(),
+            ),
+        };
+        &scenario_up
+    };
     if !lec_pruning || scenario.max_failures == 0 {
-        return scenario.enumerate_failure_sets(&network.topology);
+        return with_down(scenario.enumerate_failure_sets(&network.topology));
     }
     let devices = DeviceEquivalence::compute(network, interesting);
     let candidates = scenario.candidate_links(&network.topology);
@@ -203,7 +236,7 @@ pub fn failure_sets_to_explore(
         frontier = next_frontier;
     }
     out.sort_by(|a, b| (a.len(), a.links()).cmp(&(b.len(), b.links())));
-    out
+    with_down(out)
 }
 
 #[cfg(test)]
@@ -270,6 +303,24 @@ mod tests {
         let s = fat_tree_ospf(4, CoreStaticRoutes::None);
         let sets = failure_sets_to_explore(&s.network, &FailureScenario::no_failures(), &[], true);
         assert_eq!(sets, vec![FailureSet::none()]);
+    }
+
+    #[test]
+    fn down_links_are_in_every_set_and_never_failure_candidates() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let mut net = s.network.clone();
+        let down = net.topology.links()[0].id;
+        net.set_link_down(down);
+        for lec in [false, true] {
+            let sets = failure_sets_to_explore(&net, &FailureScenario::up_to(1), &[], lec);
+            assert!(sets.iter().all(|f| f.contains(down)), "lec={lec}");
+            // The smallest set is just the down link; every other set adds
+            // exactly one more (distinct) link.
+            assert_eq!(sets[0].len(), 1);
+            assert!(sets[1..].iter().all(|f| f.len() == 2));
+            let unique: std::collections::BTreeSet<_> = sets.iter().collect();
+            assert_eq!(unique.len(), sets.len(), "no duplicate scenarios");
+        }
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Incremental re-verification: delta-aware invalidation over the result
+//! cache plus partial task-graph resubmission.
+//!
+//! The long-running service keeps one [`IncrementalVerifier`] per loaded
+//! network. A configuration delta rebuilds the cheap analysis layers (PEC
+//! trie, dependency graph) and leaves the expensive layer — per-task
+//! verification results — in the content-addressed [`ResultCache`]. The next
+//! `verify` computes every task's content key ([`plankton_pec::TaskKeys`]),
+//! serves clean tasks straight from the cache, and resubmits *only* the
+//! dirty subset of the (PEC-component × failure-scenario) cross product to
+//! the work-stealing engine (`pec_task_graph_sparse`), merging cached and
+//! fresh per-PEC outcomes into one [`VerificationReport`] that is identical
+//! to what a from-scratch verification of the post-delta network would
+//! produce (deterministically so under
+//! [`PlanktonOptions::collect_all_violations`]; under stop-at-first
+//! semantics only `holds()` is deterministic, exactly as in one-shot mode).
+
+use crate::cache::{PolicyOutcome, ResultCache};
+use crate::options::PlanktonOptions;
+use crate::outcome::ConvergedRecord;
+use crate::report::VerificationReport;
+use crate::verifier::Plankton;
+use plankton_config::{ConfigDelta, DeltaError, DeltaTouch, Network};
+use plankton_engine::{pec_task_graph_sparse, Engine};
+use plankton_net::failure::FailureScenario;
+use plankton_pec::{pecs_touched_by, PecId, TaskKeys};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// What an incremental verification did: how much was re-explored and how
+/// much came from the cache.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IncrementalRunStats {
+    /// PECs whose policy verdict the request needed.
+    pub pecs_checked: usize,
+    /// Distinct PECs that were actually re-explored (member of a dirty
+    /// component task).
+    pub pecs_reexplored: usize,
+    /// Distinct PECs fully served from the cache.
+    pub pecs_cached: usize,
+    /// (component × failure-set) tasks of the request.
+    pub tasks_total: usize,
+    /// Tasks resubmitted to the engine.
+    pub tasks_rerun: usize,
+    /// Tasks served entirely from the cache.
+    pub tasks_cached: usize,
+    /// Per-(PEC × failure-set) cache key hits during planning.
+    pub key_hits: u64,
+    /// Per-(PEC × failure-set) cache key misses during planning.
+    pub key_misses: u64,
+    /// RPVP steps actually re-executed by this run (fresh work).
+    pub steps_reexplored: u64,
+    /// RPVP steps whose results were served from the cache.
+    pub steps_cached: u64,
+}
+
+/// The result of applying one delta through an [`IncrementalVerifier`].
+#[derive(Clone, Debug)]
+pub struct AppliedDelta {
+    /// The delta's kind tag (for logs/statistics).
+    pub kind: &'static str,
+    /// What the config diff layer reports as touched.
+    pub touch: DeltaTouch,
+    /// The PECs (of the *post-delta* partition) the touch maps to, closed
+    /// under reverse dependencies — the advisory dirty set.
+    pub pecs_touched: BTreeSet<PecId>,
+    /// Number of PECs in the post-delta partition.
+    pub pecs_total: usize,
+}
+
+impl Plankton {
+    /// Like [`Plankton::verify`], but serves clean (PEC × failure-scenario)
+    /// tasks from `cache` and re-executes only tasks whose content key
+    /// misses, inserting every complete fresh result for the next call.
+    ///
+    /// `policy_fp` must fingerprint the policy *including every parameter*
+    /// that changes its verdict (built-in policy names alone do not — e.g.
+    /// two `BoundedPathLength` bounds share a name). The service layer
+    /// derives it from the wire-level policy spec.
+    pub fn verify_with_cache(
+        &self,
+        policy: &dyn plankton_policy::Policy,
+        policy_fp: u64,
+        scenario: &FailureScenario,
+        options: &PlanktonOptions,
+        cache: &ResultCache,
+    ) -> (VerificationReport, IncrementalRunStats) {
+        let start = Instant::now();
+        let deps = self.dependencies();
+        // The same environment planning as `Plankton::verify` — identical
+        // failure sets and needed/checked partitions are a precondition of
+        // report identity.
+        let ctx = self.prepare_run_ctx(policy, scenario, options);
+        let nf = ctx.failure_sets.len();
+
+        let options_fp = options.cache_fingerprint();
+        let keys = TaskKeys::compute(
+            self.network(),
+            self.pecs(),
+            deps,
+            &ctx.failure_sets,
+            policy_fp,
+            options_fp,
+            |p| {
+                let comp = deps.component_of(p);
+                (ctx.has_dependents.contains(&comp) as u8) | ((ctx.checked.contains(&p) as u8) << 1)
+            },
+        );
+
+        // Plan: a component task is clean only if *every* PEC it verifies
+        // hits the cache; otherwise the whole task re-runs (its PECs share
+        // one session pass).
+        let needed_components: Vec<usize> = (0..deps.component_count())
+            .filter(|&c| deps.components[c].iter().any(|p| ctx.needed.contains(p)))
+            .collect();
+        let mut stats = IncrementalRunStats {
+            pecs_checked: ctx.checked.len(),
+            ..Default::default()
+        };
+        let mut cached: HashMap<(PecId, usize), Arc<PolicyOutcome>> = HashMap::new();
+        let mut dirty_tasks: Vec<(usize, usize)> = Vec::new();
+        let mut reexplored_pecs: BTreeSet<PecId> = BTreeSet::new();
+        let mut cached_pecs: BTreeSet<PecId> = BTreeSet::new();
+        for &c in &needed_components {
+            for f in 0..nf {
+                let mut hits: Vec<(PecId, Arc<PolicyOutcome>)> = Vec::new();
+                let mut all_hit = true;
+                for &p in &deps.components[c] {
+                    match cache.peek(keys.key(p, f)) {
+                        Some(outcome) => hits.push((p, outcome)),
+                        None => all_hit = false,
+                    }
+                }
+                // A key that hits while a sibling misses saved no work (the
+                // whole component re-runs), so only fully-served tasks count
+                // as reuse — in the run stats and the cache counters alike.
+                let size = deps.components[c].len() as u64;
+                if all_hit {
+                    stats.key_hits += size;
+                    cache.count_hits(size);
+                    for (p, outcome) in hits {
+                        cached_pecs.insert(p);
+                        cached.insert((p, f), outcome);
+                    }
+                } else {
+                    stats.key_misses += size;
+                    cache.count_misses(size);
+                    dirty_tasks.push((c, f));
+                    for &p in &deps.components[c] {
+                        reexplored_pecs.insert(p);
+                    }
+                }
+            }
+        }
+        stats.tasks_total = needed_components.len() * nf;
+        stats.tasks_rerun = dirty_tasks.len();
+        stats.tasks_cached = stats.tasks_total - stats.tasks_rerun;
+        stats.pecs_reexplored = reexplored_pecs.len();
+        stats.pecs_cached = cached_pecs.difference(&reexplored_pecs).count();
+
+        // Fold the cached outcomes in first (and honor stop-at-first: a
+        // cached violation means a fresh run would have stopped too).
+        for ((pec, f), outcome) in &cached {
+            let mut relabeled = (**outcome).clone();
+            for v in &mut relabeled.violations {
+                v.pec = *pec;
+                // Failure-invariant PECs share one outcome across failure
+                // sets; re-annotate with this task's set (a no-op for
+                // failure-keyed outcomes, which were computed under it).
+                v.failures = ctx.failure_sets[*f].clone();
+                v.trail.failures = ctx.failure_sets[*f].clone();
+            }
+            ctx.absorb(&crate::verifier::PecTaskResult {
+                records: Vec::new(),
+                violations: relabeled.violations,
+                stats: outcome.stats,
+                data_planes_checked: outcome.data_planes_checked,
+                complete: true,
+            });
+            stats.steps_cached += outcome.stats.steps;
+        }
+        if options.stop_at_first_violation && !ctx.violations.lock().is_empty() {
+            ctx.stop.store(true, Ordering::Relaxed);
+        }
+
+        // Partial resubmission: only the dirty tasks, with scheduling edges
+        // among them (clean dependencies are served from the cache).
+        let (graph, map) = pec_task_graph_sparse(deps, &dirty_tasks);
+        let slot_row: BTreeMap<PecId, usize> = ctx
+            .needed
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        let slots: Vec<OnceLock<Vec<Arc<ConvergedRecord>>>> =
+            (0..slot_row.len() * nf).map(|_| OnceLock::new()).collect();
+        let slot = |pec: PecId, f: usize| slot_row.get(&pec).map(|row| &slots[row * nf + f]);
+
+        let fresh_steps = AtomicU64::new(0);
+        let engine = Engine::new(options.parallelism);
+        let mut engine_stats = engine.run(&graph, |task, worker| {
+            let (c, f) = map.decode(task);
+            let component = &deps.components[c];
+            let failures = &ctx.failure_sets[f];
+            let lookup = |p: PecId| -> Option<Arc<ConvergedRecord>> {
+                if let Some(records) = slot(p, f).and_then(|cell| cell.get()) {
+                    return records.first().cloned();
+                }
+                cached
+                    .get(&(p, f))
+                    .and_then(|outcome| outcome.records.first().cloned())
+            };
+            let results = self.run_component_under_failures(
+                &ctx,
+                component,
+                failures,
+                &lookup,
+                Some(worker.scratch_cell()),
+            );
+            for (pec, result) in results {
+                ctx.absorb(&result);
+                fresh_steps.fetch_add(result.stats.steps, Ordering::Relaxed);
+                if result.complete {
+                    cache.insert(
+                        keys.key(pec, f),
+                        Arc::new(PolicyOutcome {
+                            violations: result.violations.clone(),
+                            stats: result.stats,
+                            data_planes_checked: result.data_planes_checked,
+                            records: result.records.clone(),
+                        }),
+                    );
+                }
+                if let Some(cell) = slot(pec, f) {
+                    let _ = cell.set(result.records);
+                }
+            }
+            if ctx.stop.load(Ordering::Relaxed) {
+                worker.request_stop();
+            }
+        });
+        engine_stats.interned_routes = ctx.interner.len() as u64;
+        engine_stats.states_explored = ctx.total_stats.lock().states_explored();
+        stats.steps_reexplored = fresh_steps.load(Ordering::Relaxed);
+
+        let mut violations = ctx.violations.into_inner();
+        Plankton::sort_violations(&mut violations);
+        let report = VerificationReport {
+            policy: policy.name().to_string(),
+            violations,
+            stats: ctx.total_stats.into_inner(),
+            pecs_verified: ctx.checked.len(),
+            failure_sets_explored: nf,
+            data_planes_checked: ctx.data_planes_checked.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            largest_scc: deps.largest_component(),
+            engine: Some(engine_stats),
+        };
+        (report, stats)
+    }
+}
+
+/// A persistent verification session: a network, its analysis layers, and
+/// the result cache that survives configuration deltas.
+pub struct IncrementalVerifier {
+    plankton: Plankton,
+    cache: ResultCache,
+    deltas_applied: u64,
+}
+
+impl IncrementalVerifier {
+    /// Start a session for `network`.
+    pub fn new(network: Network) -> Self {
+        IncrementalVerifier {
+            plankton: Plankton::new(network),
+            cache: ResultCache::new(),
+            deltas_applied: 0,
+        }
+    }
+
+    /// The current network.
+    pub fn network(&self) -> &Network {
+        self.plankton.network()
+    }
+
+    /// The current analysis (PECs, dependencies).
+    pub fn plankton(&self) -> &Plankton {
+        &self.plankton
+    }
+
+    /// The result cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Deltas applied since the session started.
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied
+    }
+
+    /// Replace the whole network (a `load` request): drops the cache.
+    pub fn load(&mut self, network: Network) {
+        self.plankton = Plankton::new(network);
+        self.cache.clear();
+        self.deltas_applied = 0;
+    }
+
+    /// Apply one configuration delta: the network mutates, the PEC trie and
+    /// dependency graph are recomputed, and the advisory dirty set is
+    /// derived by mapping the delta's touch through the new partition. The
+    /// result cache is kept — content keys make stale entries unreachable.
+    pub fn apply_delta(&mut self, delta: &ConfigDelta) -> Result<AppliedDelta, DeltaError> {
+        let mut network = self.plankton.network().clone();
+        let touch = delta.apply(&mut network)?;
+        let plankton = Plankton::new(network);
+        let pecs_touched = pecs_touched_by(
+            plankton.network(),
+            plankton.pecs(),
+            plankton.dependencies(),
+            &touch,
+        );
+        let pecs_total = plankton.pecs().len();
+        self.plankton = plankton;
+        self.deltas_applied += 1;
+        Ok(AppliedDelta {
+            kind: delta.kind(),
+            touch,
+            pecs_touched,
+            pecs_total,
+        })
+    }
+
+    /// Verify through the session cache. See [`Plankton::verify_with_cache`]
+    /// for the `policy_fp` contract.
+    pub fn verify(
+        &self,
+        policy: &dyn plankton_policy::Policy,
+        policy_fp: u64,
+        scenario: &FailureScenario,
+        options: &PlanktonOptions,
+    ) -> (VerificationReport, IncrementalRunStats) {
+        self.plankton
+            .verify_with_cache(policy, policy_fp, scenario, options, &self.cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plankton_config::scenarios::{fat_tree_ospf, ring_ospf, CoreStaticRoutes};
+    use plankton_config::static_routes::StaticRoute;
+    use plankton_policy::{LoopFreedom, Reachability};
+
+    #[test]
+    fn warm_cache_second_run_is_all_hits() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let session = IncrementalVerifier::new(s.network.clone());
+        let options = PlanktonOptions::default().collect_all_violations();
+        let scenario = FailureScenario::no_failures();
+        let policy = LoopFreedom::everywhere();
+        let (first, s1) = session.verify(&policy, 42, &scenario, &options);
+        assert!(first.holds());
+        assert_eq!(s1.tasks_cached, 0);
+        assert!(s1.tasks_rerun > 0);
+        let (second, s2) = session.verify(&policy, 42, &scenario, &options);
+        assert_eq!(s2.tasks_rerun, 0, "{s2:?}");
+        assert_eq!(s2.tasks_cached, s1.tasks_rerun);
+        assert_eq!(first.normalized_json(), second.normalized_json());
+    }
+
+    #[test]
+    fn cached_run_report_matches_one_shot_verify() {
+        let s = ring_ospf(6);
+        let sources: Vec<_> = s.ring.routers[1..].to_vec();
+        let policy = Reachability::new(sources);
+        let scenario = FailureScenario::up_to(1);
+        let options = PlanktonOptions::default()
+            .restricted_to(vec![s.destination])
+            .collect_all_violations();
+        let session = IncrementalVerifier::new(s.network.clone());
+        let (incr, _) = session.verify(&policy, 7, &scenario, &options);
+        let oneshot = Plankton::new(s.network.clone()).verify(&policy, &scenario, &options);
+        assert_eq!(incr.normalized_json(), oneshot.normalized_json());
+    }
+
+    #[test]
+    fn static_route_delta_reexplores_one_pec() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let mut session = IncrementalVerifier::new(s.network.clone());
+        let policy = LoopFreedom::everywhere();
+        let scenario = FailureScenario::no_failures();
+        let options = PlanktonOptions::default().collect_all_violations();
+        session.verify(&policy, 1, &scenario, &options);
+
+        let applied = session
+            .apply_delta(&ConfigDelta::StaticRouteAdd {
+                device: s.fat_tree.core[0],
+                route: StaticRoute::null(s.destinations[0]),
+            })
+            .unwrap();
+        assert_eq!(applied.kind, "static_route_add");
+        assert!(!applied.pecs_touched.is_empty());
+
+        let (incr, run) = session.verify(&policy, 1, &scenario, &options);
+        assert!(run.pecs_reexplored < run.pecs_checked, "{run:?}");
+        assert!(run.tasks_cached > 0, "{run:?}");
+        let oneshot = Plankton::new(session.network().clone()).verify(&policy, &scenario, &options);
+        assert_eq!(incr.normalized_json(), oneshot.normalized_json());
+    }
+
+    #[test]
+    fn different_policy_fingerprints_do_not_share_outcomes() {
+        let s = ring_ospf(4);
+        let session = IncrementalVerifier::new(s.network.clone());
+        let sources: Vec<_> = s.ring.routers[1..].to_vec();
+        let policy = Reachability::new(sources);
+        let scenario = FailureScenario::no_failures();
+        let options = PlanktonOptions::default()
+            .restricted_to(vec![s.destination])
+            .collect_all_violations();
+        let (_, a) = session.verify(&policy, 1, &scenario, &options);
+        let (_, b) = session.verify(&policy, 2, &scenario, &options);
+        assert!(a.tasks_rerun > 0);
+        assert_eq!(b.tasks_cached, 0, "different fp must not hit");
+        assert!(b.tasks_rerun > 0);
+    }
+}

@@ -15,7 +15,9 @@
 //! [`Network`](plankton_config::Network), then call
 //! [`Plankton::verify`] with a policy, a failure scenario and options.
 
+pub mod cache;
 pub mod failures;
+pub mod incremental;
 pub mod options;
 pub mod outcome;
 pub mod report;
@@ -23,7 +25,9 @@ pub mod session;
 pub mod underlay;
 pub mod verifier;
 
+pub use cache::{PolicyOutcome, ResultCache};
 pub use failures::{DeviceEquivalence, LinkEquivalenceClasses};
+pub use incremental::{AppliedDelta, IncrementalRunStats, IncrementalVerifier};
 pub use options::PlanktonOptions;
 pub use outcome::{ConvergedRecord, PecOutcome};
 pub use report::{VerificationReport, Violation};

@@ -115,6 +115,38 @@ impl PlanktonOptions {
         self.search = search;
         self
     }
+
+    /// A fingerprint of every option that can change a verification task's
+    /// *outcome* (violations, stats, records) — part of the result-cache
+    /// key. Scheduling-only knobs (`parallelism`, `sequential`) are
+    /// excluded: they change who runs a task, never what the task computes.
+    pub fn cache_fingerprint(&self) -> u64 {
+        let mut fp = plankton_config::Fingerprinter::new();
+        fp.write_u8(b'o');
+        fp.write_u8(self.reference_explorer as u8);
+        fp.write_u8(self.lec_failure_pruning as u8);
+        fp.write_u8(self.stop_at_first_violation as u8);
+        fp.write_u8(self.equivalence_suppression as u8);
+        fp.write_u64(self.max_data_planes_per_pec as u64);
+        match &self.restrict_to_prefixes {
+            Some(prefixes) => fp.write(prefixes),
+            None => fp.write_u8(0xff),
+        }
+        let s = &self.search;
+        fp.write_u8(s.consistent_executions as u8);
+        fp.write_u8(s.deterministic_nodes as u8);
+        fp.write_u8(s.decision_independence as u8);
+        fp.write_u8(s.policy_pruning as u8);
+        fp.write_u8(s.influence_pruning as u8);
+        match &s.source_nodes {
+            Some(nodes) => fp.write(nodes),
+            None => fp.write_u8(0xfe),
+        }
+        fp.write_u64(s.bitstate_bits.map(|b| b as u64).unwrap_or(u64::MAX));
+        fp.write_u64(s.max_converged_states.map(|b| b as u64).unwrap_or(u64::MAX));
+        fp.write_u64(s.max_steps);
+        fp.finish()
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,17 @@ impl VerificationReport {
         self.violations.first()
     }
 
+    /// Canonical JSON of the report with execution-path-dependent fields
+    /// nulled (engine pool statistics; `elapsed` is already skipped by
+    /// serde). Two runs computed the same verification result iff their
+    /// normalized JSON is equal — the single definition every
+    /// incremental-vs-from-scratch identity check compares through.
+    pub fn normalized_json(&self) -> String {
+        let mut r = self.clone();
+        r.engine = None;
+        serde_json::to_string(&r).expect("reports always serialize")
+    }
+
     /// A one-line summary suitable for experiment logs.
     pub fn summary(&self) -> String {
         format!(

@@ -63,22 +63,55 @@ pub struct Plankton {
 }
 
 /// Shared state of one verification run, visible to every worker.
-struct RunCtx<'a> {
-    policy: &'a dyn Policy,
-    options: &'a PlanktonOptions,
-    interesting: Vec<NodeId>,
-    failure_sets: Vec<FailureSet>,
+pub(crate) struct RunCtx<'a> {
+    pub(crate) policy: &'a dyn Policy,
+    pub(crate) options: &'a PlanktonOptions,
+    pub(crate) interesting: Vec<NodeId>,
+    pub(crate) failure_sets: Vec<FailureSet>,
     /// PECs that must be verified (restricted set plus transitive deps).
-    needed: BTreeSet<PecId>,
+    pub(crate) needed: BTreeSet<PecId>,
     /// PECs whose policy verdict matters.
-    checked: BTreeSet<PecId>,
+    pub(crate) checked: BTreeSet<PecId>,
     /// Component indices some needed PEC depends on.
-    has_dependents: BTreeSet<usize>,
-    violations: Mutex<Vec<Violation>>,
-    total_stats: Mutex<SearchStats>,
-    data_planes_checked: AtomicU64,
-    stop: AtomicBool,
-    interner: SharedRouteInterner,
+    pub(crate) has_dependents: BTreeSet<usize>,
+    pub(crate) violations: Mutex<Vec<Violation>>,
+    pub(crate) total_stats: Mutex<SearchStats>,
+    pub(crate) data_planes_checked: AtomicU64,
+    pub(crate) stop: AtomicBool,
+    pub(crate) interner: SharedRouteInterner,
+}
+
+/// The outcome of verifying one PEC of one component task under one failure
+/// set — the unit the incremental service caches.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PecTaskResult {
+    /// Converged records for dependent PECs (empty without dependents).
+    pub(crate) records: Vec<Arc<ConvergedRecord>>,
+    /// Violations found on this PEC under this failure set.
+    pub(crate) violations: Vec<Violation>,
+    /// Model-checking statistics of this PEC's runs.
+    pub(crate) stats: SearchStats,
+    /// Converged data planes the policy was evaluated on.
+    pub(crate) data_planes_checked: u64,
+    /// Did the PEC run to completion? `false` when the early-stop broadcast
+    /// skipped it — such results are partial and must never be cached.
+    pub(crate) complete: bool,
+}
+
+impl<'a> RunCtx<'a> {
+    /// Fold one PEC's task result into the run-wide aggregates.
+    pub(crate) fn absorb(&self, result: &PecTaskResult) {
+        *self.total_stats.lock() += result.stats;
+        if result.data_planes_checked > 0 {
+            self.data_planes_checked
+                .fetch_add(result.data_planes_checked, Ordering::Relaxed);
+        }
+        if !result.violations.is_empty() {
+            self.violations
+                .lock()
+                .extend(result.violations.iter().cloned());
+        }
+    }
 }
 
 impl Plankton {
@@ -111,7 +144,7 @@ impl Plankton {
     /// The PECs that must be verified to decide the policy, honoring
     /// `restrict_to_prefixes`: the restricted (or all active) PECs plus every
     /// PEC they transitively depend on.
-    fn needed_pecs(&self, options: &PlanktonOptions) -> BTreeSet<PecId> {
+    pub(crate) fn needed_pecs(&self, options: &PlanktonOptions) -> BTreeSet<PecId> {
         let primary: Vec<&Pec> = match &options.restrict_to_prefixes {
             Some(prefixes) => prefixes
                 .iter()
@@ -131,7 +164,7 @@ impl Plankton {
 
     /// The PECs whose policy verdict matters (the needed set minus
     /// dependency-only PECs when a restriction is in place).
-    fn checked_pecs(&self, options: &PlanktonOptions) -> BTreeSet<PecId> {
+    pub(crate) fn checked_pecs(&self, options: &PlanktonOptions) -> BTreeSet<PecId> {
         match &options.restrict_to_prefixes {
             Some(prefixes) => prefixes
                 .iter()
@@ -142,18 +175,20 @@ impl Plankton {
         }
     }
 
-    /// Verify `policy` under the failure environment `scenario`.
-    pub fn verify(
-        &self,
-        policy: &dyn Policy,
+    /// Build the shared run context of one verification request: the
+    /// failure environment (policy-interesting nodes; §4.3 LEC pruning only
+    /// without cross-PEC dependencies), the needed/checked PEC sets and the
+    /// dependents map, plus fresh run-wide aggregates. One definition used
+    /// by both [`Plankton::verify`] and the cached incremental path — they
+    /// must plan identical environments for report identity to hold.
+    pub(crate) fn prepare_run_ctx<'a>(
+        &'a self,
+        policy: &'a dyn Policy,
         scenario: &FailureScenario,
-        options: &PlanktonOptions,
-    ) -> VerificationReport {
-        let start = Instant::now();
+        options: &'a PlanktonOptions,
+    ) -> RunCtx<'a> {
         let interesting = policy.interesting_nodes().unwrap_or_default();
         let has_cross_pec_deps = self.deps.graph.edge_count() > 0;
-        // §4.3: link-equivalence failure pruning is only applied when there
-        // are no cross-PEC dependencies.
         let lec = options.lec_failure_pruning && !has_cross_pec_deps;
         let failure_sets = failure_sets_to_explore(&self.network, scenario, &interesting, lec);
 
@@ -168,8 +203,7 @@ impl Plankton {
                 has_dependents.insert(dep);
             }
         }
-
-        let ctx = RunCtx {
+        RunCtx {
             policy,
             options,
             interesting,
@@ -182,7 +216,25 @@ impl Plankton {
             data_planes_checked: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             interner: SharedRouteInterner::new(),
-        };
+        }
+    }
+
+    /// The deterministic violation order reports are assembled in,
+    /// regardless of worker interleaving (shared by every execution path).
+    pub(crate) fn sort_violations(violations: &mut [Violation]) {
+        violations
+            .sort_by(|a, b| (a.pec, &a.failures, &a.reason).cmp(&(b.pec, &b.failures, &b.reason)));
+    }
+
+    /// Verify `policy` under the failure environment `scenario`.
+    pub fn verify(
+        &self,
+        policy: &dyn Policy,
+        scenario: &FailureScenario,
+        options: &PlanktonOptions,
+    ) -> VerificationReport {
+        let start = Instant::now();
+        let ctx = self.prepare_run_ctx(policy, scenario, options);
 
         let (largest_scc, engine_stats) = if options.sequential {
             (self.run_sequential(&ctx), None)
@@ -191,10 +243,8 @@ impl Plankton {
             (self.deps.largest_component(), Some(stats))
         };
 
-        // Deterministic report regardless of worker interleaving.
         let mut violations = ctx.violations.into_inner();
-        violations
-            .sort_by(|a, b| (a.pec, &a.failures, &a.reason).cmp(&(b.pec, &b.failures, &b.reason)));
+        Self::sort_violations(&mut violations);
 
         VerificationReport {
             policy: policy.name().to_string(),
@@ -251,16 +301,17 @@ impl Plankton {
                     .get()
                     .and_then(|records| records.first().cloned())
             };
-            let records = self.run_component_under_failures(
+            let results = self.run_component_under_failures(
                 ctx,
                 component,
                 failures,
                 &lookup,
                 Some(worker.scratch_cell()),
             );
-            for (pec, recs) in records {
+            for (pec, result) in results {
+                ctx.absorb(&result);
                 if let Some(cell) = slot(pec, f) {
-                    let _ = cell.set(recs);
+                    let _ = cell.set(result.records);
                 }
             }
             if ctx.stop.load(Ordering::Relaxed) {
@@ -293,14 +344,15 @@ impl Plankton {
                 let lookup = |p: PecId| -> Option<Arc<ConvergedRecord>> {
                     store.get(p).and_then(|o| o.first_under_failures(failures))
                 };
-                let records =
+                let results =
                     self.run_component_under_failures(ctx, component, failures, &lookup, None);
-                for (pec, recs) in records {
+                for (pec, result) in results {
+                    ctx.absorb(&result);
                     outcomes
                         .get_mut(&pec)
                         .expect("component PEC pre-inserted")
                         .records
-                        .extend(recs);
+                        .extend(result.records);
                 }
             }
             outcomes
@@ -310,26 +362,29 @@ impl Plankton {
     }
 
     /// Verify every PEC of one component under one failure set: the shared
-    /// inner routine of both execution paths. Returns the converged records
-    /// per PEC (empty unless the component has dependents).
-    fn run_component_under_failures(
+    /// inner routine of every execution path. Returns per-PEC task results;
+    /// the *caller* folds them into the run aggregates (via
+    /// [`RunCtx::absorb`]) so the incremental path can additionally cache
+    /// each complete result under its content key.
+    pub(crate) fn run_component_under_failures(
         &self,
         ctx: &RunCtx<'_>,
         component: &[PecId],
         failures: &FailureSet,
         lookup: &dyn Fn(PecId) -> Option<Arc<ConvergedRecord>>,
         scratch: Option<&RefCell<SearchScratch>>,
-    ) -> BTreeMap<PecId, Vec<Arc<ConvergedRecord>>> {
-        let mut out: BTreeMap<PecId, Vec<Arc<ConvergedRecord>>> = BTreeMap::new();
+    ) -> BTreeMap<PecId, PecTaskResult> {
+        let mut out: BTreeMap<PecId, PecTaskResult> = BTreeMap::new();
         if !component.iter().any(|p| ctx.needed.contains(p)) {
             return out;
         }
         for &pec_id in component {
-            let mut records: Vec<Arc<ConvergedRecord>> = Vec::new();
+            let mut result = PecTaskResult::default();
             if ctx.stop.load(Ordering::Relaxed) {
-                out.insert(pec_id, records);
+                out.insert(pec_id, result);
                 continue;
             }
+            result.complete = true;
             let pec = self.pecs.pec(pec_id);
             let comp_idx = self.deps.component_of(pec_id);
             let component_has_dependents = ctx.has_dependents.contains(&comp_idx);
@@ -349,12 +404,14 @@ impl Plankton {
                 scratch,
             };
             let (planes, stats) = session.data_planes();
-            *ctx.total_stats.lock() += stats;
+            result.stats = stats;
 
             let mut seen_signatures: BTreeSet<Vec<(usize, bool, Vec<usize>)>> = BTreeSet::new();
             for plane in &planes {
                 if component_has_dependents {
-                    records.push(Arc::new(session.record_of(plane, &ctx.interner)));
+                    result
+                        .records
+                        .push(Arc::new(session.record_of(plane, &ctx.interner)));
                 }
                 if !should_check {
                     continue;
@@ -369,15 +426,14 @@ impl Plankton {
                         continue;
                     }
                 }
-                ctx.data_planes_checked.fetch_add(1, Ordering::Relaxed);
+                result.data_planes_checked += 1;
                 let view = ConvergedView {
                     pec,
                     forwarding: &plane.forwarding,
                     control_routes: &plane.control_routes,
                 };
                 if let plankton_policy::PolicyResult::Violated(reason) = ctx.policy.check(&view) {
-                    let mut v = ctx.violations.lock();
-                    v.push(Violation {
+                    result.violations.push(Violation {
                         pec: pec_id,
                         prefix: pec.most_specific().map(|c| c.prefix),
                         failures: failures.clone(),
@@ -389,7 +445,7 @@ impl Plankton {
                     }
                 }
             }
-            out.insert(pec_id, records);
+            out.insert(pec_id, result);
         }
         out
     }
@@ -399,7 +455,7 @@ impl Plankton {
     /// encapsulates both the store and the failure-set matching — §3.2:
     /// dependents only consume records computed under their own failure
     /// set).
-    fn build_underlay_with(
+    pub(crate) fn build_underlay_with(
         &self,
         pec: &Pec,
         lookup: &dyn Fn(PecId) -> Option<Arc<ConvergedRecord>>,

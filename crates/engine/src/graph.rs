@@ -172,6 +172,64 @@ pub fn pec_task_graph_for(
     (graph, map)
 }
 
+/// The encoding of an *explicit* task list — the partial-resubmission form
+/// used by incremental re-verification, where only the dirty subset of the
+/// (component × failure-scenario) cross product is re-run.
+#[derive(Clone, Debug, Default)]
+pub struct SparseTaskMap {
+    /// `tasks[t]` = the `(component, failure_idx)` pair of task `t`.
+    tasks: Vec<(usize, usize)>,
+}
+
+impl SparseTaskMap {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Is the task list empty?
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The `(component, failure_idx)` pair of a task.
+    pub fn decode(&self, task: TaskId) -> (usize, usize) {
+        self.tasks[task.index()]
+    }
+}
+
+/// Build the task graph for an explicit list of `(component, failure_idx)`
+/// pairs — the dirty tasks of an incremental re-verification. Edges are
+/// added only between tasks *present in the list*: a dependency on a clean
+/// (cached) task needs no scheduling edge because its outcome is already
+/// available from the result cache. The list must therefore be closed
+/// upwards — if `(c, f)` is dirty and `c` depends on `d`, then either
+/// `(d, f)` is in the list or `(d, f)`'s cached outcome is current — which
+/// is exactly the contract content-keyed invalidation provides (a dirty
+/// dependency re-keys its dependents).
+pub fn pec_task_graph_sparse(
+    deps: &PecDependencies,
+    tasks: &[(usize, usize)],
+) -> (TaskGraph, SparseTaskMap) {
+    let index: std::collections::BTreeMap<(usize, usize), usize> =
+        tasks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut graph = TaskGraph::new(tasks.len());
+    for (i, &(c, f)) in tasks.iter().enumerate() {
+        for d in &deps.component_deps[c] {
+            if let Some(&j) = index.get(&(*d, f)) {
+                graph.add_dependency(TaskId(i), TaskId(j));
+            }
+        }
+    }
+    debug_assert!(graph.is_acyclic(), "SCC condensation must be a DAG");
+    (
+        graph,
+        SparseTaskMap {
+            tasks: tasks.to_vec(),
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +280,24 @@ mod tests {
             assert_eq!(map.decode(t), (comp_of_pec0, f));
         }
         assert!(graph.is_acyclic());
+    }
+
+    #[test]
+    fn sparse_graph_links_only_present_tasks() {
+        // Component of PEC 0 depends on component of PEC 1.
+        let deps = deps_from_edges(2, &[(0, 1)]);
+        let c0 = deps.component_of(PecId(0));
+        let c1 = deps.component_of(PecId(1));
+        // Failure 0: both dirty → edge. Failure 1: only the dependent dirty
+        // (its dependency is served from cache) → no edge.
+        let tasks = vec![(c0, 0), (c1, 0), (c0, 1)];
+        let (graph, map) = pec_task_graph_sparse(&deps, &tasks);
+        assert_eq!(graph.len(), 3);
+        assert_eq!(graph.edge_count(), 1);
+        assert_eq!(graph.dependencies(TaskId(0)), &[TaskId(1)]);
+        assert!(graph.dependencies(TaskId(2)).is_empty());
+        assert_eq!(map.decode(TaskId(2)), (c0, 1));
+        assert_eq!(map.len(), 3);
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub mod queue;
 pub mod stats;
 
 pub use executor::{Engine, WorkerContext};
-pub use graph::{pec_task_graph, pec_task_graph_for, TaskGraph, TaskId, TaskMap};
+pub use graph::{
+    pec_task_graph, pec_task_graph_for, pec_task_graph_sparse, SparseTaskMap, TaskGraph, TaskId,
+    TaskMap,
+};
 pub use interner::SharedRouteInterner;
 pub use queue::TaskQueue;
 pub use stats::EngineStats;

@@ -122,10 +122,30 @@ impl std::error::Error for AddrParseError {}
 ///
 /// The address is always stored in canonical (masked) form: bits below the
 /// prefix length are zero.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// Serializes as `{addr, len}`; deserializes from that form *or* from the
+/// `"a.b.c.d/len"` string form, so wire protocols (the verification
+/// service) and hand-written configs can use the human notation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub struct Prefix {
     addr: Ipv4Addr,
     len: u8,
+}
+
+impl serde::Deserialize for Prefix {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if let serde::Value::Str(s) = v {
+            return s
+                .parse()
+                .map_err(|e| serde::Error::msg(format!("bad prefix {s:?}: {e}")));
+        }
+        let addr: Ipv4Addr = serde::__get_field(v, "addr")?;
+        let len: u8 = serde::__get_field(v, "len")?;
+        if len > 32 {
+            return Err(serde::Error::msg(format!("prefix length {len} > 32")));
+        }
+        Ok(Prefix::new(addr, len))
+    }
 }
 
 impl Prefix {
@@ -404,6 +424,20 @@ mod tests {
         // Bare address parses as a host route.
         let h: Prefix = "10.0.0.1".parse().unwrap();
         assert_eq!(h.len(), 32);
+    }
+
+    #[test]
+    fn prefix_deserializes_from_struct_and_string_forms() {
+        use serde::{Deserialize, Serialize, Value};
+        let p: Prefix = "10.1.0.0/16".parse().unwrap();
+        // Canonical struct form roundtrips.
+        assert_eq!(Prefix::from_value(&p.to_value()).unwrap(), p);
+        // Human string form parses too (wire-protocol convenience).
+        assert_eq!(
+            Prefix::from_value(&Value::Str("10.1.0.0/16".into())).unwrap(),
+            p
+        );
+        assert!(Prefix::from_value(&Value::Str("10.1.0.0/40".into())).is_err());
     }
 
     #[test]

@@ -314,6 +314,64 @@ impl Topology {
     pub fn is_connected(&self) -> bool {
         self.is_connected_without(&[])
     }
+
+    // -----------------------------------------------------------------
+    // Growth — used by the incremental verification service's node/link
+    // deltas. Existing node and link ids are never renumbered: additions
+    // append, so per-node/per-link state vectors held elsewhere stay
+    // index-compatible after extension.
+    // -----------------------------------------------------------------
+
+    /// Append a device of the given kind. Names must be unique.
+    ///
+    /// # Panics
+    /// Panics if the name is already used.
+    pub fn grow_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        assert!(
+            !self.name_index.contains_key(name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            name: name.to_string(),
+            kind,
+            loopback: None,
+        });
+        self.adjacency.push(Vec::new());
+        self.name_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Append an unnumbered link between two existing nodes.
+    ///
+    /// # Panics
+    /// Panics on unknown endpoints or self-loops.
+    pub fn grow_link(&mut self, a: NodeId, b: NodeId) -> LinkId {
+        assert!(a.index() < self.nodes.len(), "unknown node {a:?}");
+        assert!(b.index() < self.nodes.len(), "unknown node {b:?}");
+        assert_ne!(a, b, "self-loop links are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            a: Interface {
+                node: a,
+                addr: None,
+            },
+            b: Interface {
+                node: b,
+                addr: None,
+            },
+        });
+        self.adjacency[a.index()].push((b, id));
+        self.adjacency[b.index()].push((a, id));
+        id
+    }
+
+    /// Assign (or replace) a node's loopback address.
+    pub fn assign_loopback(&mut self, n: NodeId, addr: Ipv4Addr) {
+        self.nodes[n.index()].loopback = Some(addr);
+    }
 }
 
 /// Incremental builder for [`Topology`].

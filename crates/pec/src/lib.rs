@@ -18,12 +18,17 @@
 
 pub mod compute;
 pub mod dependency;
+pub mod invalidation;
 pub mod pec;
 pub mod scheduler;
 pub mod trie;
 
 pub use compute::compute_pecs;
 pub use dependency::{DependencyGraph, PecDependencies};
+pub use invalidation::{
+    pec_content_fingerprint, pec_failure_invariant, pec_slice_fingerprint, pecs_touched_by,
+    TaskKeys,
+};
 pub use pec::{OriginProtocol, Pec, PecId, PecSet, PrefixConfig};
 pub use scheduler::{DependencyStore, Scheduler, SchedulerReport};
 pub use trie::PrefixTrie;

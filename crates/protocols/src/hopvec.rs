@@ -1,0 +1,287 @@
+//! An inline small-vector for route paths.
+//!
+//! `Route::path` used to be a `Vec<NodeId>`, which costs one heap allocation
+//! per route — and the checker's inner loop clones routes on every adopted
+//! advertisement (`Rpvp::step_adopting`) and on every `extended_through`.
+//! Control-plane paths are short in practice (a k-ary fat tree's longest
+//! shortest path is 4 hops; the paper's AS topologies stay in single
+//! digits), so [`HopVec`] stores up to [`HopVec::INLINE`] hops in place and
+//! only spills to the heap beyond that. Equality, ordering, hashing and
+//! serialization are defined on the *contents*, never the representation,
+//! so interner handle numbering — and therefore bitstate fingerprints — are
+//! unchanged relative to the `Vec` days.
+
+use plankton_net::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [NodeId; HopVec::INLINE],
+    },
+    Heap(Vec<NodeId>),
+}
+
+/// A sequence of [`NodeId`] hops, inline up to four entries.
+#[derive(Clone)]
+pub struct HopVec {
+    repr: Repr,
+}
+
+impl HopVec {
+    /// Hops stored without a heap allocation.
+    pub const INLINE: usize = 4;
+
+    /// An empty path (the origin's `ε`).
+    pub fn new() -> Self {
+        HopVec {
+            repr: Repr::Inline {
+                len: 0,
+                buf: [NodeId(0); Self::INLINE],
+            },
+        }
+    }
+
+    /// An empty path that will hold `capacity` hops; pre-allocates only when
+    /// the capacity exceeds the inline buffer.
+    pub fn with_capacity(capacity: usize) -> Self {
+        if capacity <= Self::INLINE {
+            Self::new()
+        } else {
+            HopVec {
+                repr: Repr::Heap(Vec::with_capacity(capacity)),
+            }
+        }
+    }
+
+    /// The hops as a slice.
+    pub fn as_slice(&self) -> &[NodeId] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// Append one hop, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, hop: NodeId) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < Self::INLINE {
+                    buf[n] = hop;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(Self::INLINE * 2);
+                    v.extend_from_slice(&buf[..n]);
+                    v.push(hop);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(hop),
+        }
+    }
+
+    /// Append every hop of `hops`.
+    pub fn extend_from_slice(&mut self, hops: &[NodeId]) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } if *len as usize + hops.len() <= Self::INLINE => {
+                let n = *len as usize;
+                buf[n..n + hops.len()].copy_from_slice(hops);
+                *len += hops.len() as u8;
+            }
+            Repr::Inline { len, buf } => {
+                let n = *len as usize;
+                let mut v = Vec::with_capacity(n + hops.len());
+                v.extend_from_slice(&buf[..n]);
+                v.extend_from_slice(hops);
+                self.repr = Repr::Heap(v);
+            }
+            Repr::Heap(v) => v.extend_from_slice(hops),
+        }
+    }
+
+    /// Is the path stored inline (no heap allocation)?
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+}
+
+impl Default for HopVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for HopVec {
+    type Target = [NodeId];
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<NodeId>> for HopVec {
+    fn from(v: Vec<NodeId>) -> Self {
+        if v.len() <= Self::INLINE {
+            let mut out = HopVec::new();
+            out.extend_from_slice(&v);
+            out
+        } else {
+            HopVec {
+                repr: Repr::Heap(v),
+            }
+        }
+    }
+}
+
+impl FromIterator<NodeId> for HopVec {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut out = HopVec::new();
+        for hop in iter {
+            out.push(hop);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a HopVec {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// Content-based comparisons: a spilled path and an inline path with the same
+// hops are the same path.
+impl PartialEq for HopVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for HopVec {}
+
+impl PartialEq<[NodeId]> for HopVec {
+    fn eq(&self, other: &[NodeId]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[NodeId]> for HopVec {
+    fn eq(&self, other: &&[NodeId]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<NodeId>> for HopVec {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for HopVec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Delegate to the slice hash (length-prefixed), exactly what
+        // `Vec<NodeId>` hashed to before the inline representation.
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for HopVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl Serialize for HopVec {
+    fn to_value(&self) -> serde::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl Deserialize for HopVec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<NodeId>::from_value(v).map(HopVec::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hops(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v = HopVec::new();
+        for i in 0..4 {
+            v.push(NodeId(i));
+            assert!(v.is_inline());
+        }
+        assert_eq!(v.len(), 4);
+        v.push(NodeId(4));
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), hops(&[0, 1, 2, 3, 4]).as_slice());
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_representation() {
+        let inline: HopVec = hops(&[1, 2, 3]).into();
+        let spilled = {
+            let mut v: HopVec = hops(&[1, 2, 3, 4, 5]).into();
+            assert!(!v.is_inline());
+            // Rebuild the same 3-hop path through a heap representation.
+            v = HopVec {
+                repr: Repr::Heap(hops(&[1, 2, 3])),
+            };
+            v
+        };
+        assert!(inline.is_inline());
+        assert_eq!(inline, spilled);
+        let h = |v: &HopVec| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&inline), h(&spilled));
+        // And the hash matches the plain Vec hash (interner stability).
+        let mut s = DefaultHasher::new();
+        hops(&[1, 2, 3]).hash(&mut s);
+        assert_eq!(h(&inline), s.finish());
+    }
+
+    #[test]
+    fn extend_from_slice_across_the_boundary() {
+        let mut v: HopVec = hops(&[9]).into();
+        v.extend_from_slice(&hops(&[8, 7]));
+        assert!(v.is_inline());
+        v.extend_from_slice(&hops(&[6, 5]));
+        assert!(!v.is_inline());
+        assert_eq!(v, hops(&[9, 8, 7, 6, 5]));
+    }
+
+    #[test]
+    fn slice_api_via_deref() {
+        let v: HopVec = hops(&[3, 1, 2]).into();
+        assert_eq!(v.first(), Some(&NodeId(3)));
+        assert_eq!(v.last(), Some(&NodeId(2)));
+        assert!(v.contains(&NodeId(1)));
+        assert_eq!(&v[1..], hops(&[1, 2]).as_slice());
+    }
+
+    #[test]
+    fn serde_roundtrips_as_an_array() {
+        let v: HopVec = hops(&[1, 2, 3, 4, 5, 6]).into();
+        let value = v.to_value();
+        assert_eq!(value, hops(&[1, 2, 3, 4, 5, 6]).to_value());
+        let back = HopVec::from_value(&value).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -23,6 +23,7 @@
 //!   PEC dependency machinery.
 
 pub mod bgp;
+pub mod hopvec;
 pub mod model;
 pub mod ospf;
 pub mod route;
@@ -30,6 +31,7 @@ pub mod rpvp;
 pub mod spvp;
 
 pub use bgp::{BgpModel, IgpUnderlay, TableUnderlay, UniformUnderlay};
+pub use hopvec::HopVec;
 pub use model::{Preference, ProtocolModel};
 pub use ospf::OspfModel;
 pub use route::{Route, SessionType};

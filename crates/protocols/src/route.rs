@@ -1,5 +1,6 @@
 //! The route representation shared by every protocol model.
 
+use crate::hopvec::HopVec;
 use plankton_config::route_map::RouteAttrs;
 use plankton_net::ip::Prefix;
 use plankton_net::topology::NodeId;
@@ -31,7 +32,9 @@ pub enum SessionType {
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Route {
     /// Next hop first, origin last. Empty for an origin's own route.
-    pub path: Vec<NodeId>,
+    /// Stored inline for short paths ([`HopVec`]) so the checker's
+    /// per-step route clones in `step_adopting` stay allocation-free.
+    pub path: HopVec,
     /// BGP-style attributes (prefix, AS path, communities, local-pref, MED).
     pub attrs: RouteAttrs,
     /// Accumulated IGP cost: for OSPF routes the path cost, for iBGP routes
@@ -45,7 +48,7 @@ impl Route {
     /// The route an origin node holds for its own prefix (`ε`).
     pub fn originated(prefix: Prefix) -> Self {
         Route {
-            path: Vec::new(),
+            path: HopVec::new(),
             attrs: RouteAttrs::originated(prefix),
             igp_cost: 0,
             learned_via: SessionType::Originated,
@@ -94,7 +97,7 @@ impl Route {
     /// (AS-path prepending, cost accumulation) are the protocol model's job;
     /// this only extends the node-level path.
     pub fn extended_through(&self, advertiser: NodeId) -> Route {
-        let mut path = Vec::with_capacity(self.path.len() + 1);
+        let mut path = HopVec::with_capacity(self.path.len() + 1);
         path.push(advertiser);
         path.extend_from_slice(&self.path);
         Route {

@@ -1,0 +1,404 @@
+//! The wire protocol of the verification service: newline-delimited JSON.
+//!
+//! One request per line in, one response per line out. Requests and
+//! responses are serde enums in externally-tagged form — e.g.
+//!
+//! ```json
+//! {"Verify": {"policy": {"Reachability": {"sources": ["edge-1-0"]}}}}
+//! ```
+//!
+//! Device references are *names*, not ids: names are stable across node-add
+//! deltas (ids are append-only but names are what operators type), and the
+//! session resolves them against the currently loaded topology.
+
+use plankton_config::{ConfigDelta, Network};
+use plankton_core::{IncrementalRunStats, VerificationReport, Violation};
+use plankton_net::ip::Prefix;
+use plankton_net::topology::NodeId;
+use plankton_policy::{
+    BlackholeFreedom, BoundedPathLength, LoopFreedom, Policy, Reachability, Waypoint,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which policy to verify, with every parameter on the wire (the policy
+/// cache fingerprint is derived from this spec, so two specs that could
+/// yield different verdicts always hash differently).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Every source reaches the destination prefix's owners.
+    Reachability {
+        /// Source device names.
+        sources: Vec<String>,
+    },
+    /// No forwarding loops anywhere.
+    LoopFreedom,
+    /// No blackholes (configured destinations are delivered).
+    BlackholeFreedom,
+    /// Traffic from the sources traverses one of the waypoints.
+    Waypoint {
+        /// Source device names.
+        sources: Vec<String>,
+        /// Waypoint device names.
+        waypoints: Vec<String>,
+    },
+    /// Paths from the sources stay within a hop bound.
+    BoundedPathLength {
+        /// Source device names.
+        sources: Vec<String>,
+        /// Maximum allowed hops.
+        max_hops: usize,
+    },
+}
+
+impl PolicySpec {
+    /// The cache fingerprint of this spec (covers every parameter).
+    pub fn fingerprint(&self) -> u64 {
+        plankton_config::fingerprint_of(self)
+    }
+
+    /// Resolve device names and build the policy object.
+    pub fn build(&self, network: &Network) -> Result<Box<dyn Policy>, String> {
+        let resolve = |names: &[String]| -> Result<Vec<NodeId>, String> {
+            names
+                .iter()
+                .map(|name| {
+                    network
+                        .topology
+                        .node_by_name(name)
+                        .ok_or_else(|| format!("unknown device {name:?}"))
+                })
+                .collect()
+        };
+        Ok(match self {
+            PolicySpec::Reachability { sources } => Box::new(Reachability::new(resolve(sources)?)),
+            PolicySpec::LoopFreedom => Box::new(LoopFreedom::everywhere()),
+            PolicySpec::BlackholeFreedom => Box::<BlackholeFreedom>::default(),
+            PolicySpec::Waypoint { sources, waypoints } => {
+                Box::new(Waypoint::new(resolve(sources)?, resolve(waypoints)?))
+            }
+            PolicySpec::BoundedPathLength { sources, max_hops } => {
+                Box::new(BoundedPathLength::new(resolve(sources)?, *max_hops))
+            }
+        })
+    }
+}
+
+/// Per-request verification options (all fields optional on the wire).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VerifyOptions {
+    /// Explore up to this many simultaneous link failures (default 0).
+    #[serde(default)]
+    pub max_failures: usize,
+    /// Restrict verification to PECs overlapping these prefixes (empty =
+    /// every active PEC).
+    #[serde(default)]
+    pub restrict_prefixes: Vec<Prefix>,
+    /// Stop at the first violation instead of collecting all of them. The
+    /// service defaults to *collecting all* — a cache serving many queries
+    /// wants complete, deterministic per-task outcomes.
+    #[serde(default)]
+    pub stop_at_first: bool,
+    /// Engine worker threads (default 1).
+    #[serde(default)]
+    pub cores: usize,
+}
+
+/// Follow-up queries against the session's last results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Query {
+    /// Violations of the last verification of the named policy
+    /// ("reachability", "loop-freedom", ...).
+    Violations {
+        /// The policy report name.
+        policy: String,
+    },
+    /// Which PEC covers a prefix, and its verdict in every stored report.
+    Pec {
+        /// The prefix to look up.
+        prefix: Prefix,
+    },
+    /// The full counterexample trail of one violation of a stored report.
+    Trail {
+        /// The policy report name.
+        policy: String,
+        /// Index into the report's violation list.
+        index: usize,
+    },
+}
+
+/// A request line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Request {
+    /// Load (or replace) the network under verification.
+    Load {
+        /// The network document (`Network::to_json` format).
+        network: Network,
+    },
+    /// Verify a policy on the current network, incrementally.
+    Verify {
+        /// The policy to verify.
+        policy: PolicySpec,
+        /// Options (defaults when omitted).
+        #[serde(default)]
+        options: Option<VerifyOptions>,
+    },
+    /// Apply one configuration delta.
+    ApplyDelta {
+        /// The delta.
+        delta: ConfigDelta,
+    },
+    /// Query stored results.
+    Query {
+        /// The query.
+        query: Query,
+    },
+    /// Service statistics.
+    Stats,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// One violation, summarized for the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ViolationSummary {
+    /// The PEC id.
+    pub pec: u32,
+    /// The most specific prefix of that PEC.
+    pub prefix: Option<String>,
+    /// The failure scenario, rendered.
+    pub failures: String,
+    /// The policy's reason.
+    pub reason: String,
+    /// Non-deterministic protocol choices in the counterexample trail.
+    pub nondeterministic_steps: usize,
+}
+
+impl ViolationSummary {
+    /// Summarize a report violation.
+    pub fn of(v: &Violation) -> Self {
+        ViolationSummary {
+            pec: v.pec.0,
+            prefix: v.prefix.map(|p| p.to_string()),
+            failures: v.failures.to_string(),
+            reason: v.reason.clone(),
+            nondeterministic_steps: v.trail.nondeterministic_steps(),
+        }
+    }
+}
+
+/// A verification report, summarized for the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReportSummary {
+    /// The policy report name.
+    pub policy: String,
+    /// Did the policy hold?
+    pub holds: bool,
+    /// Number of violations found.
+    pub violations: usize,
+    /// The first violation, if any.
+    pub first_violation: Option<ViolationSummary>,
+    /// PECs whose verdict the request needed.
+    pub pecs_verified: usize,
+    /// Failure scenarios explored per PEC.
+    pub failure_sets_explored: usize,
+    /// Converged data planes the policy was evaluated on.
+    pub data_planes_checked: u64,
+    /// Model-checker states explored (cached + fresh).
+    pub states_explored: u64,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: u64,
+    /// What the incremental layer did (re-explored vs cached).
+    pub run: IncrementalRunStats,
+}
+
+impl ReportSummary {
+    /// Summarize a report plus its incremental run statistics.
+    pub fn of(report: &VerificationReport, run: IncrementalRunStats) -> Self {
+        ReportSummary {
+            policy: report.policy.clone(),
+            holds: report.holds(),
+            violations: report.violations.len(),
+            first_violation: report.first_violation().map(ViolationSummary::of),
+            pecs_verified: report.pecs_verified,
+            failure_sets_explored: report.failure_sets_explored,
+            data_planes_checked: report.data_planes_checked,
+            states_explored: report.stats.states_explored(),
+            elapsed_ms: report.elapsed.as_millis() as u64,
+            run,
+        }
+    }
+}
+
+/// The result of an `ApplyDelta` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeltaSummary {
+    /// The delta kind tag.
+    pub kind: String,
+    /// Devices the config diff touched (names).
+    pub devices_touched: Vec<String>,
+    /// Prefixes the config diff touched.
+    pub prefixes_touched: Vec<String>,
+    /// Did the protocol-visible topology change?
+    pub topology_changed: bool,
+    /// PECs of the new partition the touch maps to (advisory dirty set).
+    pub pecs_touched: usize,
+    /// Total PECs in the new partition.
+    pub pecs_total: usize,
+}
+
+/// Aggregate statistics of the running service.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Is a network loaded?
+    pub loaded: bool,
+    /// Deltas applied since the network was loaded.
+    pub deltas_applied: u64,
+    /// Verify requests served.
+    pub verifies: u64,
+    /// Resident result-cache entries.
+    pub cache_entries: usize,
+    /// Lifetime per-task cache key hits.
+    pub cache_hits: u64,
+    /// Lifetime per-task cache key misses.
+    pub cache_misses: u64,
+    /// Times the capacity bound wiped the cache.
+    pub cache_evictions: u64,
+    /// PECs in the current partition.
+    pub pecs_total: usize,
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+}
+
+/// A response line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Response {
+    /// Generic success.
+    Ok {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A network was loaded.
+    Loaded {
+        /// Devices in the topology.
+        devices: usize,
+        /// Links in the topology.
+        links: usize,
+        /// PECs computed.
+        pecs: usize,
+        /// PECs carrying configuration.
+        active_pecs: usize,
+    },
+    /// A verification finished.
+    Report(ReportSummary),
+    /// A delta was applied.
+    DeltaApplied(DeltaSummary),
+    /// Violations of a stored report.
+    Violations {
+        /// The policy report name.
+        policy: String,
+        /// The violations.
+        violations: Vec<ViolationSummary>,
+    },
+    /// PEC lookup result.
+    PecInfo {
+        /// The PEC id.
+        pec: u32,
+        /// The PEC's address range, rendered.
+        range: String,
+        /// Contributing prefixes, rendered.
+        prefixes: Vec<String>,
+        /// `(policy, holds-for-this-pec)` per stored report.
+        verdicts: Vec<(String, bool)>,
+    },
+    /// A counterexample trail, rendered.
+    Trail {
+        /// The policy report name.
+        policy: String,
+        /// The violation index.
+        index: usize,
+        /// The rendered trail (failure scenario + RPVP steps).
+        trail: String,
+    },
+    /// Service statistics.
+    Stats(ServiceStats),
+    /// The request failed.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Request {
+    /// Serialize to one wire line.
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("requests always serialize")
+    }
+}
+
+impl Response {
+    /// Serialize to one wire line.
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("responses always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let req = Request::Verify {
+            policy: PolicySpec::Reachability {
+                sources: vec!["r1".into(), "r2".into()],
+            },
+            options: Some(VerifyOptions {
+                max_failures: 1,
+                ..Default::default()
+            }),
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        match back {
+            Request::Verify { policy, options } => {
+                assert_eq!(
+                    policy,
+                    PolicySpec::Reachability {
+                        sources: vec!["r1".into(), "r2".into()]
+                    }
+                );
+                assert_eq!(options.unwrap().max_failures, 1);
+            }
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn omitted_options_default() {
+        let back: Request =
+            serde_json::from_str(r#"{"Verify": {"policy": "LoopFreedom"}}"#).unwrap();
+        match back {
+            Request::Verify { policy, options } => {
+                assert_eq!(policy, PolicySpec::LoopFreedom);
+                assert!(options.is_none());
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        let back: Request = serde_json::from_str(r#""Stats""#).unwrap();
+        assert!(matches!(back, Request::Stats));
+    }
+
+    #[test]
+    fn spec_fingerprints_cover_parameters() {
+        let a = PolicySpec::BoundedPathLength {
+            sources: vec!["x".into()],
+            max_hops: 4,
+        };
+        let b = PolicySpec::BoundedPathLength {
+            sources: vec!["x".into()],
+            max_hops: 5,
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+}

@@ -1,0 +1,230 @@
+//! The request loop: newline-delimited JSON over any `BufRead`/`Write`
+//! pair (stdin/stdout, a Unix socket connection, or an in-memory buffer in
+//! tests), plus the Unix-socket accept loop for `planktond --socket`.
+
+use crate::proto::{Request, Response};
+use crate::session::ServiceSession;
+use std::io::{self, BufRead, Write};
+
+/// Handle one request line, returning the response line and whether the
+/// daemon should shut down afterwards.
+pub fn handle_line(session: &mut ServiceSession, line: &str) -> (String, bool) {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return (String::new(), false);
+    }
+    match serde_json::from_str::<Request>(trimmed) {
+        Ok(request) => {
+            let shutdown = matches!(request, Request::Shutdown);
+            (session.handle(&request).to_line(), shutdown)
+        }
+        Err(e) => (
+            Response::Error {
+                message: format!("bad request: {e}"),
+            }
+            .to_line(),
+            false,
+        ),
+    }
+}
+
+/// Serve requests from `reader`, writing one response line per request to
+/// `writer`, until EOF or a `Shutdown` request. Returns whether a shutdown
+/// was requested (as opposed to the peer closing the stream).
+pub fn serve<R: BufRead, W: Write>(
+    session: &mut ServiceSession,
+    reader: R,
+    writer: &mut W,
+) -> io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        let (response, shutdown) = handle_line(session, &line);
+        if response.is_empty() {
+            continue;
+        }
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Bind a Unix socket and serve connections sequentially against one shared
+/// session (deltas from one connection are visible to the next — the whole
+/// point of a persistent daemon). Returns when a client sends `Shutdown`.
+#[cfg(unix)]
+pub fn serve_unix(session: &mut ServiceSession, path: &std::path::Path) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = io::BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        if serve(session, reader, &mut writer)? {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{PolicySpec, Query};
+    use plankton_config::scenarios::ring_ospf;
+    use plankton_config::ConfigDelta;
+    use std::io::Cursor;
+
+    fn lines_of(output: &[u8]) -> Vec<Response> {
+        String::from_utf8_lossy(output)
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("response parses"))
+            .collect()
+    }
+
+    #[test]
+    fn ndjson_session_end_to_end() {
+        let s = ring_ospf(4);
+        let mut session = ServiceSession::new();
+        let mut input = String::new();
+        input.push_str(&format!(
+            "{}\n",
+            serde_json::to_string(&Request::Load {
+                network: s.network.clone()
+            })
+            .unwrap()
+        ));
+        let verify = Request::Verify {
+            policy: PolicySpec::LoopFreedom,
+            options: Some(crate::proto::VerifyOptions {
+                max_failures: 1,
+                ..Default::default()
+            }),
+        };
+        input.push_str(&format!("{}\n", serde_json::to_string(&verify).unwrap()));
+        input.push_str(&format!(
+            "{}\n",
+            serde_json::to_string(&Request::ApplyDelta {
+                delta: ConfigDelta::LinkDown {
+                    link: s.ring.links[0]
+                }
+            })
+            .unwrap()
+        ));
+        input.push_str(&format!("{}\n", serde_json::to_string(&verify).unwrap()));
+        input.push_str("\"Stats\"\n\"Shutdown\"\n");
+
+        let mut output = Vec::new();
+        let shutdown = serve(&mut session, Cursor::new(input), &mut output).unwrap();
+        assert!(shutdown);
+        let responses = lines_of(&output);
+        assert_eq!(responses.len(), 6);
+        assert!(matches!(responses[0], Response::Loaded { pecs, .. } if pecs > 0));
+        let Response::Report(first) = &responses[1] else {
+            panic!("expected report, got {:?}", responses[1]);
+        };
+        assert!(first.holds);
+        assert_eq!(first.run.tasks_cached, 0);
+        assert!(matches!(&responses[2], Response::DeltaApplied(d) if d.kind == "link_down"));
+        let Response::Report(second) = &responses[3] else {
+            panic!("expected report, got {:?}", responses[3]);
+        };
+        // The first verification explored every single-link failure, so the
+        // post-delta tasks whose effective failure set is {downed link} (or
+        // {downed link} alone of the pairs already seen) hit the cache.
+        assert!(second.run.tasks_cached > 0, "{:?}", second.run);
+        assert!(second.run.tasks_rerun > 0, "pairs are new work");
+        let Response::Stats(stats) = &responses[4] else {
+            panic!("expected stats, got {:?}", responses[4]);
+        };
+        assert_eq!(stats.deltas_applied, 1);
+        assert_eq!(stats.verifies, 2);
+        assert!(stats.cache_hits > 0);
+        assert!(matches!(&responses[5], Response::Ok { .. }));
+    }
+
+    #[test]
+    fn bad_requests_do_not_kill_the_loop() {
+        let mut session = ServiceSession::new();
+        let input = "this is not json\n\"Stats\"\n";
+        let mut output = Vec::new();
+        let shutdown = serve(&mut session, Cursor::new(input), &mut output).unwrap();
+        assert!(!shutdown, "EOF, not shutdown");
+        let responses = lines_of(&output);
+        assert!(matches!(&responses[0], Response::Error { .. }));
+        assert!(matches!(&responses[1], Response::Stats(_)));
+    }
+
+    #[test]
+    fn queries_read_the_stored_report() {
+        let s = ring_ospf(4);
+        let mut session = ServiceSession::with_network(s.network.clone());
+        let verify = Request::Verify {
+            policy: PolicySpec::Reachability {
+                sources: vec![s.network.topology.node(s.ring.routers[1]).name.clone()],
+            },
+            options: Some(crate::proto::VerifyOptions {
+                restrict_prefixes: vec![s.destination],
+                ..Default::default()
+            }),
+        };
+        let Response::Report(report) = session.handle(&verify) else {
+            panic!("verify failed");
+        };
+        assert!(report.holds);
+        let Response::Violations { violations, .. } = session.handle(&Request::Query {
+            query: Query::Violations {
+                policy: "reachability".into(),
+            },
+        }) else {
+            panic!("query failed");
+        };
+        assert!(violations.is_empty());
+        let response = session.handle(&Request::Query {
+            query: Query::Pec {
+                prefix: s.destination,
+            },
+        });
+        assert!(matches!(response, Response::PecInfo { .. }), "{response:?}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_serves_and_shuts_down() {
+        use std::io::{BufRead, BufReader, Write};
+        let dir = std::env::temp_dir().join(format!("plankton-sock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("planktond.sock");
+        let s = ring_ospf(4);
+        let network = s.network.clone();
+        let sock_path = path.clone();
+        let server = std::thread::spawn(move || {
+            let mut session = ServiceSession::with_network(network);
+            serve_unix(&mut session, &sock_path).unwrap();
+        });
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"\"Stats\"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response: Response = serde_json::from_str(&line).unwrap();
+        assert!(matches!(response, Response::Stats(st) if st.loaded));
+        writer.write_all(b"\"Shutdown\"\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        server.join().unwrap();
+        assert!(!path.exists(), "socket file cleaned up");
+    }
+}

@@ -1,0 +1,250 @@
+//! The service session: one loaded network, its incremental verifier, and
+//! the stored reports follow-up queries read.
+
+use crate::proto::{
+    DeltaSummary, PolicySpec, Query, ReportSummary, Request, Response, ServiceStats, VerifyOptions,
+    ViolationSummary,
+};
+use plankton_config::Network;
+use plankton_core::{IncrementalVerifier, PlanktonOptions, VerificationReport};
+use plankton_pec::PecId;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Server-side state behind the request loop.
+pub struct ServiceSession {
+    verifier: Option<IncrementalVerifier>,
+    /// Last full report per policy report name, for follow-up queries.
+    /// Cleared whenever the network changes (PEC ids are partition-relative).
+    last_reports: BTreeMap<String, VerificationReport>,
+    verifies: u64,
+    started: Instant,
+}
+
+impl Default for ServiceSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceSession {
+    /// An empty session (no network loaded).
+    pub fn new() -> Self {
+        ServiceSession {
+            verifier: None,
+            last_reports: BTreeMap::new(),
+            verifies: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// A session pre-loaded with a network.
+    pub fn with_network(network: Network) -> Self {
+        let mut s = Self::new();
+        s.load(network);
+        s
+    }
+
+    /// Load (or replace) the network.
+    pub fn load(&mut self, network: Network) -> Response {
+        let devices = network.node_count();
+        let links = network.topology.link_count();
+        match &mut self.verifier {
+            Some(v) => v.load(network),
+            None => self.verifier = Some(IncrementalVerifier::new(network)),
+        }
+        self.last_reports.clear();
+        let plankton = self.verifier.as_ref().expect("just loaded").plankton();
+        Response::Loaded {
+            devices,
+            links,
+            pecs: plankton.pecs().len(),
+            active_pecs: plankton.pecs().active_pecs().len(),
+        }
+    }
+
+    /// The session's verifier, if a network is loaded.
+    pub fn verifier(&self) -> Option<&IncrementalVerifier> {
+        self.verifier.as_ref()
+    }
+
+    /// Handle one request.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Load { network } => {
+                let problems = network.validate();
+                if !problems.is_empty() {
+                    let rendered: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
+                    return Response::Error {
+                        message: format!("invalid configuration: {}", rendered.join("; ")),
+                    };
+                }
+                self.load(network.clone())
+            }
+            Request::Verify { policy, options } => self.verify(policy, options.as_ref()),
+            Request::ApplyDelta { delta } => {
+                let Some(verifier) = &mut self.verifier else {
+                    return Response::Error {
+                        message: "no network loaded".into(),
+                    };
+                };
+                match verifier.apply_delta(delta) {
+                    Ok(applied) => {
+                        self.last_reports.clear();
+                        let network = verifier.network();
+                        Response::DeltaApplied(DeltaSummary {
+                            kind: applied.kind.to_string(),
+                            devices_touched: applied
+                                .touch
+                                .devices
+                                .iter()
+                                .map(|n| network.topology.node(*n).name.clone())
+                                .collect(),
+                            prefixes_touched: applied
+                                .touch
+                                .prefixes
+                                .iter()
+                                .map(|p| p.to_string())
+                                .collect(),
+                            topology_changed: applied.touch.topology,
+                            pecs_touched: applied.pecs_touched.len(),
+                            pecs_total: applied.pecs_total,
+                        })
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Query { query } => self.query(query),
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => Response::Ok {
+                message: "shutting down".into(),
+            },
+        }
+    }
+
+    fn verify(&mut self, spec: &PolicySpec, options: Option<&VerifyOptions>) -> Response {
+        let Some(verifier) = &self.verifier else {
+            return Response::Error {
+                message: "no network loaded".into(),
+            };
+        };
+        let policy = match spec.build(verifier.network()) {
+            Ok(p) => p,
+            Err(message) => return Response::Error { message },
+        };
+        let defaults = VerifyOptions::default();
+        let opts = options.unwrap_or(&defaults);
+        let mut plankton_options = PlanktonOptions::with_cores(opts.cores.max(1));
+        if !opts.restrict_prefixes.is_empty() {
+            plankton_options = plankton_options.restricted_to(opts.restrict_prefixes.clone());
+        }
+        if !opts.stop_at_first {
+            plankton_options = plankton_options.collect_all_violations();
+        }
+        let scenario = plankton_net::failure::FailureScenario::up_to(opts.max_failures);
+        // The failure environment is keyed per task (each task's effective
+        // failure set is in its content key), so `max_failures` stays out of
+        // the policy fingerprint — a fault-tolerance verification's entries
+        // then serve the no-failure tasks of later requests, and explored
+        // failure scenarios pre-pay for matching link-down deltas.
+        let policy_fp = spec.fingerprint();
+        let (report, run) =
+            verifier.verify(policy.as_ref(), policy_fp, &scenario, &plankton_options);
+        self.verifies += 1;
+        let summary = ReportSummary::of(&report, run);
+        self.last_reports.insert(report.policy.clone(), report);
+        Response::Report(summary)
+    }
+
+    fn query(&self, query: &Query) -> Response {
+        match query {
+            Query::Violations { policy } => match self.last_reports.get(policy) {
+                Some(report) => Response::Violations {
+                    policy: policy.clone(),
+                    violations: report.violations.iter().map(ViolationSummary::of).collect(),
+                },
+                None => Response::Error {
+                    message: format!("no stored report for policy {policy:?}"),
+                },
+            },
+            Query::Pec { prefix } => {
+                let Some(verifier) = &self.verifier else {
+                    return Response::Error {
+                        message: "no network loaded".into(),
+                    };
+                };
+                let pecs = verifier.plankton().pecs();
+                let Some(pec) = pecs.pec_containing(prefix.addr()) else {
+                    return Response::Error {
+                        message: format!("no PEC covers {prefix}"),
+                    };
+                };
+                let verdicts = self
+                    .last_reports
+                    .iter()
+                    .map(|(name, report)| {
+                        let holds = !report.violations.iter().any(|v| v.pec == pec.id);
+                        (name.clone(), holds)
+                    })
+                    .collect();
+                Response::PecInfo {
+                    pec: pec.id.0,
+                    range: pec.range.to_string(),
+                    prefixes: pec.prefixes.iter().map(|p| p.prefix.to_string()).collect(),
+                    verdicts,
+                }
+            }
+            Query::Trail { policy, index } => match self.last_reports.get(policy) {
+                Some(report) => match report.violations.get(*index) {
+                    Some(v) => Response::Trail {
+                        policy: policy.clone(),
+                        index: *index,
+                        trail: v.trail.to_string(),
+                    },
+                    None => Response::Error {
+                        message: format!(
+                            "report for {policy:?} has {} violations, no index {index}",
+                            report.violations.len()
+                        ),
+                    },
+                },
+                None => Response::Error {
+                    message: format!("no stored report for policy {policy:?}"),
+                },
+            },
+        }
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = ServiceStats {
+            loaded: self.verifier.is_some(),
+            verifies: self.verifies,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            ..Default::default()
+        };
+        if let Some(v) = &self.verifier {
+            stats.deltas_applied = v.deltas_applied();
+            stats.cache_entries = v.cache().len();
+            stats.cache_hits = v.cache().hits();
+            stats.cache_misses = v.cache().misses();
+            stats.cache_evictions = v.cache().evictions();
+            stats.pecs_total = v.plankton().pecs().len();
+        }
+        stats
+    }
+
+    /// Look up a stored report.
+    pub fn last_report(&self, policy: &str) -> Option<&VerificationReport> {
+        self.last_reports.get(policy)
+    }
+
+    /// Does any stored report violate for this PEC?
+    pub fn pec_holds_everywhere(&self, pec: PecId) -> bool {
+        self.last_reports
+            .values()
+            .all(|r| !r.violations.iter().any(|v| v.pec == pec))
+    }
+}

@@ -12,6 +12,9 @@
 //!   [`Deserialize::from_value`] impls;
 //! * `#[serde(skip)]` on a field omits it when serializing and fills it with
 //!   `Default::default()` when deserializing;
+//! * `#[serde(default)]` on a field serializes normally but tolerates the
+//!   field being absent (or null) on deserialization, filling it with
+//!   `Default::default()` — for backward-compatible schema growth;
 //! * newtype structs serialize transparently as their inner value, tuple
 //!   structs as arrays, enums in serde's externally-tagged form;
 //! * maps serialize as arrays of `[key, value]` pairs so non-string keys
@@ -110,6 +113,16 @@ pub fn __get_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
         None => {
             T::from_value(&Value::Null).map_err(|_| Error::msg(format!("missing field `{name}`")))
         }
+    }
+}
+
+/// Fetch and deserialize a struct field marked `#[serde(default)]`: a
+/// missing (or null) field falls back to `Default::default()` instead of
+/// erroring, so added fields stay backward-compatible with old documents.
+pub fn __get_field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(Value::Null) | None => Ok(T::default()),
+        Some(field) => T::from_value(field).map_err(|e| Error::msg(format!("field `{name}`: {e}"))),
     }
 }
 

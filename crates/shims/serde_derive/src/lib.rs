@@ -16,10 +16,11 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// One parsed field: its name (`None` for tuple fields) and whether it is
-/// marked `#[serde(skip)]`.
+/// marked `#[serde(skip)]` / `#[serde(default)]`.
 struct Field {
     name: Option<String>,
     skip: bool,
+    default: bool,
 }
 
 /// The body shape of a struct or enum variant.
@@ -71,9 +72,11 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
 // Parsing.
 // ---------------------------------------------------------------------------
 
-/// Skip attributes starting at `i`; returns whether any was `#[serde(skip)]`.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+/// Skip attributes starting at `i`; returns `(skip, default)` for any
+/// `#[serde(skip)]` / `#[serde(default)]` found.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
     let mut skip = false;
+    let mut default = false;
     while *i < tokens.len() {
         match &tokens[*i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -83,8 +86,12 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
                         if let Some(TokenTree::Ident(id)) = inner.first() {
                             if id.to_string() == "serde" {
                                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                                    if args.stream().to_string().contains("skip") {
+                                    let args = args.stream().to_string();
+                                    if args.contains("skip") {
                                         skip = true;
+                                    }
+                                    if args.contains("default") {
+                                        default = true;
                                     }
                                 }
                             }
@@ -98,7 +105,7 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
             _ => break,
         }
     }
-    skip
+    (skip, default)
 }
 
 /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -138,7 +145,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let skip = skip_attrs(&tokens, &mut i);
+        let (skip, default) = skip_attrs(&tokens, &mut i);
         skip_vis(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -153,6 +160,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         fields.push(Field {
             name: Some(name),
             skip,
+            default,
         });
     }
     Ok(fields)
@@ -163,13 +171,17 @@ fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let skip = skip_attrs(&tokens, &mut i);
+        let (skip, default) = skip_attrs(&tokens, &mut i);
         skip_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
         skip_type(&tokens, &mut i);
-        fields.push(Field { name: None, skip });
+        fields.push(Field {
+            name: None,
+            skip,
+            default,
+        });
     }
     Ok(fields)
 }
@@ -356,6 +368,10 @@ fn de_named(type_path: &str, fields: &[Field], src: &str) -> String {
         let name = f.name.as_deref().unwrap();
         if f.skip {
             inits.push_str(&format!("{name}: ::std::default::Default::default(),"));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{name}: ::serde::__get_field_or_default({src}, {name:?})?,"
+            ));
         } else {
             inits.push_str(&format!("{name}: ::serde::__get_field({src}, {name:?})?,"));
         }

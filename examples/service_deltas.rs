@@ -1,0 +1,113 @@
+//! Drive the incremental verification daemon in-process: load a fat tree,
+//! verify, apply config deltas, re-verify — and watch the result cache keep
+//! the re-verifications cheap.
+//!
+//! ```text
+//! cargo run --release --example service_deltas
+//! ```
+//!
+//! The example speaks the exact NDJSON wire protocol `planktond` serves, so
+//! the printed session doubles as protocol documentation (it is the
+//! recorded session embedded in the README). It exits non-zero if the
+//! cached-PEC skip count after a delta is not positive — CI runs it as the
+//! service smoke test.
+
+use plankton::config::scenarios::{fat_tree_ospf, CoreStaticRoutes};
+use plankton::service::{PolicySpec, Request, Response, ServiceSession, VerifyOptions};
+
+fn roundtrip(session: &mut ServiceSession, request: &Request) -> Response {
+    let line = request.to_line();
+    println!("→ {line}");
+    let (response_line, _) = plankton::service::handle_line(session, &line);
+    println!("← {response_line}");
+    serde_json::from_str(&response_line).expect("response parses")
+}
+
+fn main() {
+    let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+    let mut session = ServiceSession::new();
+
+    let verify = Request::Verify {
+        policy: PolicySpec::LoopFreedom,
+        options: Some(VerifyOptions {
+            max_failures: 1,
+            ..Default::default()
+        }),
+    };
+
+    println!("# 1. load the K=4 OSPF fat tree");
+    roundtrip(
+        &mut session,
+        &Request::Load {
+            network: s.network.clone(),
+        },
+    );
+
+    println!("\n# 2. first verification (cold cache): loop freedom, ≤1 failure");
+    let Response::Report(cold) = roundtrip(&mut session, &verify) else {
+        panic!("verify failed");
+    };
+    assert!(cold.holds);
+
+    println!("\n# 3. a link fails");
+    let link = s.network.topology.links()[0].id;
+    roundtrip(
+        &mut session,
+        &Request::ApplyDelta {
+            delta: plankton::config::ConfigDelta::LinkDown { link },
+        },
+    );
+
+    println!("\n# 4. re-verify: the fault-tolerance run pre-paid for this delta");
+    let Response::Report(warm) = roundtrip(&mut session, &verify) else {
+        panic!("re-verify failed");
+    };
+    assert!(warm.holds);
+
+    println!("\n# 5. an operator edit: pin a static route on an aggregation switch");
+    roundtrip(
+        &mut session,
+        &Request::ApplyDelta {
+            delta: plankton::config::ConfigDelta::StaticRouteAdd {
+                device: s.fat_tree.aggregation[0][0],
+                route: plankton::config::StaticRoute::to_interface(
+                    s.destinations[0],
+                    s.fat_tree.edge[0][0],
+                ),
+            },
+        },
+    );
+
+    println!("\n# 6. re-verify: only the touched PEC's tasks re-run — and the");
+    println!("#    edit turns out to loop under a failure combination");
+    let Response::Report(after_edit) = roundtrip(&mut session, &verify) else {
+        panic!("re-verify failed");
+    };
+    assert!(
+        !after_edit.holds,
+        "the pinned route loops under failures; the service must catch it"
+    );
+
+    println!("\n# 7. service statistics");
+    roundtrip(&mut session, &Request::Stats);
+
+    println!(
+        "\nsummary: cold run re-explored {} PECs; after the link delta {} were \
+         served from cache; after the static-route edit {} of {} PECs were cached",
+        cold.run.pecs_reexplored,
+        warm.run.pecs_cached,
+        after_edit.run.pecs_cached,
+        after_edit.run.pecs_checked,
+    );
+    // CI smoke assertion: incremental re-verification must actually skip
+    // cached PECs after a delta.
+    assert!(
+        warm.run.tasks_cached > 0 && after_edit.run.pecs_cached > 0,
+        "cached-PEC skip count must be positive after a delta"
+    );
+    assert!(
+        after_edit.run.pecs_reexplored < after_edit.run.pecs_checked,
+        "a small delta must re-explore strictly fewer PECs"
+    );
+    println!("service smoke test passed");
+}

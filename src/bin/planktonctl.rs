@@ -1,0 +1,73 @@
+//! `planktonctl` — client for a running `planktond --socket` daemon.
+//!
+//! Each positional argument is one JSON request line; with no arguments,
+//! request lines are read from stdin. Responses are printed one per line.
+//!
+//! ```text
+//! planktonctl --socket /tmp/p.sock '"Stats"'
+//! planktonctl --socket /tmp/p.sock \
+//!   '{"ApplyDelta": {"delta": {"LinkDown": {"link": 3}}}}' \
+//!   '{"Verify": {"policy": "LoopFreedom"}}'
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage:\n  planktonctl --socket <path> [REQUEST_JSON]...\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.");
+    exit(2);
+}
+
+#[cfg(unix)]
+fn main() {
+    let mut socket: Option<String> = None;
+    let mut requests: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            // Blank requests get no response line from the daemon; sending
+            // one would deadlock the lockstep read below.
+            _ if arg.trim().is_empty() => {}
+            _ => requests.push(arg),
+        }
+    }
+    let Some(path) = socket else { usage() };
+    let stream = std::os::unix::net::UnixStream::connect(&path).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {path}: {e}");
+        exit(1);
+    });
+    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut writer = stream;
+
+    let mut send = |line: &str| {
+        writer
+            .write_all(format!("{}\n", line.trim()).as_bytes())
+            .expect("write request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        print!("{response}");
+    };
+
+    if requests.is_empty() {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.expect("read stdin");
+            if line.trim().is_empty() {
+                continue;
+            }
+            send(&line);
+        }
+    } else {
+        for request in &requests {
+            send(request);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("planktonctl requires a Unix platform");
+    exit(2);
+}

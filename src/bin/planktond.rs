@@ -1,0 +1,104 @@
+//! `planktond` — the persistent incremental verification daemon.
+//!
+//! Accepts a network once (from a config file, a built-in scenario, or a
+//! `Load` request), then serves a stream of newline-delimited JSON requests:
+//! `Verify`, `ApplyDelta`, `Query`, `Stats`, `Shutdown`. Re-verification
+//! after a delta re-explores only the PECs the delta dirtied; everything
+//! else is served from the content-addressed result cache.
+//!
+//! ```text
+//! planktond --scenario fat-tree:4                # stdio, demo network
+//! planktond --config net.json --socket /tmp/p.sock
+//! echo '"Stats"' | planktond --scenario ring:6
+//! ```
+
+use plankton::config::scenarios::{fat_tree_ospf, isp_ibgp_over_ospf, ring_ospf, CoreStaticRoutes};
+use plankton::net::generators::as_topo::AsTopologySpec;
+use plankton::prelude::Network;
+use plankton_service::ServiceSession;
+use std::io::{self, Write};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>] [--socket <path>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (sequential connections sharing\none session). Without --config/--scenario, start with a `Load` request."
+    );
+    exit(2);
+}
+
+fn builtin_scenario(spec: &str) -> Option<Network> {
+    let (kind, param) = spec.split_once(':')?;
+    match kind {
+        "ring" => Some(ring_ospf(param.parse().ok()?).network),
+        "fat-tree" => {
+            Some(fat_tree_ospf(param.parse().ok()?, CoreStaticRoutes::MatchingOspf).network)
+        }
+        "ibgp" => Some(isp_ibgp_over_ospf(&AsTopologySpec::paper_as(param.parse().ok()?)).network),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut config: Option<String> = None;
+    let mut scenario: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--config" => config = Some(value()),
+            "--scenario" => scenario = Some(value()),
+            "--socket" => socket = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    let mut session = ServiceSession::new();
+    if let Some(path) = &config {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        let network = Network::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1);
+        });
+        session.load(network);
+        eprintln!("planktond: loaded {path}");
+    } else if let Some(spec) = &scenario {
+        let Some(network) = builtin_scenario(spec) else {
+            eprintln!("unknown scenario {spec:?} (ring:N, fat-tree:K, ibgp:ASN)");
+            exit(2);
+        };
+        session.load(network);
+        eprintln!("planktond: loaded built-in scenario {spec}");
+    }
+
+    match socket {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                eprintln!("planktond: listening on {path}");
+                if let Err(e) = plankton_service::serve_unix(&mut session, path.as_ref()) {
+                    eprintln!("planktond: socket error: {e}");
+                    exit(1);
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                eprintln!("planktond: --socket requires a Unix platform");
+                exit(2);
+            }
+        }
+        None => {
+            let stdin = io::stdin();
+            let mut stdout = io::stdout();
+            if let Err(e) = plankton_service::serve(&mut session, stdin.lock(), &mut stdout) {
+                eprintln!("planktond: I/O error: {e}");
+                exit(1);
+            }
+            let _ = stdout.flush();
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub use plankton_net as net;
 pub use plankton_pec as pec;
 pub use plankton_policy as policy;
 pub use plankton_protocols as protocols;
+pub use plankton_service as service;
 
 /// The most commonly used items, for `use plankton::prelude::*`.
 pub mod prelude {

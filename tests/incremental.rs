@@ -58,14 +58,13 @@ fn random_links(network: &Network, count: usize, seed: u64) -> Vec<LinkId> {
     picked
 }
 
-/// Serialize a report for comparison, zeroing what legitimately differs:
-/// the incremental-only stats counters (0 in the reference) and the engine
-/// pool stats (scratch-reuse accounting differs by explorer).
+/// Serialize a report for comparison: the shared normalization (engine pool
+/// stats nulled) plus zeroing the incremental-only stats counters, which the
+/// reference explorer leaves at 0.
 fn normalized(report: &VerificationReport) -> String {
     let mut r = report.clone();
     r.stats = r.stats.without_incremental_counters();
-    r.engine = None;
-    serde_json::to_string(&r).expect("report serializes")
+    r.normalized_json()
 }
 
 /// Run the same verification through the reference explorer (sequential),

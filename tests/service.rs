@@ -1,0 +1,298 @@
+//! Delta-correctness tests for the incremental verification service.
+//!
+//! For every delta kind, the incremental re-verification after the delta
+//! must produce a `VerificationReport` identical — including exact
+//! `SearchStats` — to a from-scratch `Plankton::verify` on the post-delta
+//! network, while observably re-exploring fewer PECs than a full run where
+//! the delta is small. Engine pool statistics are nulled before comparison
+//! (how many tasks the *pool* executed legitimately differs; what they
+//! computed must not).
+
+use plankton::config::scenarios::{fat_tree_ospf, isp_ibgp_over_ospf, ring_ospf, CoreStaticRoutes};
+use plankton::config::static_routes::StaticRoute;
+use plankton::config::{ConfigDelta, DeviceConfig, OspfConfig, RouteMap};
+use plankton::core::{IncrementalVerifier, Plankton};
+use plankton::net::generators::as_topo::AsTopologySpec;
+use plankton::policy::Policy;
+use plankton::prelude::*;
+
+/// Verify once to warm the cache, apply the delta, re-verify incrementally,
+/// and assert the merged report equals a from-scratch verification of the
+/// post-delta network. Returns (pecs_reexplored, pecs_checked, tasks_cached).
+fn assert_delta_incremental(
+    label: &str,
+    network: &Network,
+    delta: ConfigDelta,
+    policy: &dyn Policy,
+    scenario: &FailureScenario,
+    options: PlanktonOptions,
+) -> (usize, usize, usize) {
+    let mut session = IncrementalVerifier::new(network.clone());
+    let (warm, warm_stats) = session.verify(policy, 99, scenario, &options);
+    assert_eq!(warm_stats.tasks_cached, 0, "{label}: cold cache");
+
+    let applied = session
+        .apply_delta(&delta)
+        .unwrap_or_else(|e| panic!("{label}: delta failed: {e}"));
+
+    let (incremental, run) = session.verify(policy, 99, scenario, &options);
+    let scratch = Plankton::new(session.network().clone()).verify(policy, scenario, &options);
+    assert_eq!(
+        incremental.normalized_json(),
+        scratch.normalized_json(),
+        "{label}: incremental report must equal from-scratch verification \
+         (delta {}, touched {} PECs)",
+        applied.kind,
+        applied.pecs_touched.len(),
+    );
+    // Sanity: the warm report was computed on the pre-delta network; nothing
+    // requires it to match, but it must at least be well-formed.
+    assert!(warm.pecs_verified > 0, "{label}");
+    (run.pecs_reexplored, run.pecs_checked, run.tasks_cached)
+}
+
+fn default_options() -> PlanktonOptions {
+    PlanktonOptions::default().collect_all_violations()
+}
+
+#[test]
+fn ring_all_delta_kinds_match_from_scratch() {
+    let s = ring_ospf(6);
+    let sources: Vec<NodeId> = s.ring.routers[1..].to_vec();
+    let policy = Reachability::new(sources);
+    let scenario = FailureScenario::up_to(1);
+    let options = default_options().restricted_to(vec![s.destination]);
+    let deltas: Vec<(&str, ConfigDelta)> = vec![
+        (
+            "link down",
+            ConfigDelta::LinkDown {
+                link: s.ring.links[2],
+            },
+        ),
+        (
+            "ospf cost",
+            ConfigDelta::OspfCostChange {
+                device: s.ring.routers[1],
+                link: s.ring.links[1],
+                cost: 50,
+            },
+        ),
+        (
+            "static add",
+            ConfigDelta::StaticRouteAdd {
+                device: s.ring.routers[3],
+                route: StaticRoute::to_interface(s.destination, s.ring.routers[2]),
+            },
+        ),
+        (
+            "node add",
+            ConfigDelta::NodeAdd {
+                name: "chord".into(),
+                loopback: Some(Ipv4Addr::new(10, 255, 0, 1)),
+                links: vec![s.ring.routers[0], s.ring.routers[3]],
+                config: DeviceConfig::empty().with_ospf(OspfConfig::enabled()),
+            },
+        ),
+        (
+            "node remove",
+            ConfigDelta::NodeRemove {
+                device: s.ring.routers[4],
+            },
+        ),
+    ];
+    for (label, delta) in deltas {
+        assert_delta_incremental(
+            label,
+            &s.network,
+            delta,
+            &policy,
+            &scenario,
+            options.clone(),
+        );
+    }
+}
+
+#[test]
+fn ring_link_up_matches_from_scratch() {
+    // Start from a ring with a link already down and bring it back.
+    let s = ring_ospf(6);
+    let mut network = s.network.clone();
+    network.set_link_down(s.ring.links[0]);
+    let sources: Vec<NodeId> = s.ring.routers[1..].to_vec();
+    assert_delta_incremental(
+        "link up",
+        &network,
+        ConfigDelta::LinkUp {
+            link: s.ring.links[0],
+        },
+        &Reachability::new(sources),
+        &FailureScenario::up_to(1),
+        default_options().restricted_to(vec![s.destination]),
+    );
+}
+
+#[test]
+fn fat_tree_small_deltas_reexplore_strictly_fewer_pecs() {
+    let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+    let policy = LoopFreedom::everywhere();
+    let scenario = FailureScenario::no_failures();
+
+    // A static-route delta touches one destination prefix: exactly the PECs
+    // overlapping it re-run.
+    let (reexplored, checked, cached) = assert_delta_incremental(
+        "fat tree static add",
+        &s.network,
+        ConfigDelta::StaticRouteAdd {
+            device: s.fat_tree.aggregation[0][0],
+            route: StaticRoute::to_interface(s.destinations[0], s.fat_tree.edge[0][0]),
+        },
+        &policy,
+        &scenario,
+        default_options(),
+    );
+    assert!(
+        reexplored < checked,
+        "static delta must re-explore strictly fewer PECs ({reexplored}/{checked})"
+    );
+    assert!(cached > 0, "clean results must come from the cache");
+    assert!(
+        reexplored <= 2,
+        "a one-prefix delta dirties at most the overlapping PECs, got {reexplored}"
+    );
+}
+
+#[test]
+fn fat_tree_single_link_delta_reexplores_strictly_fewer_pecs() {
+    let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+    let policy = LoopFreedom::everywhere();
+    // Explore single-link failures up front: the link-down delta's effective
+    // failure sets are then already cached, and connected-only loopback PECs
+    // share their failure-free outcomes too.
+    let scenario = FailureScenario::up_to(1);
+    let link = s.network.topology.links()[0].id;
+    let (reexplored, checked, cached) = assert_delta_incremental(
+        "fat tree link down",
+        &s.network,
+        ConfigDelta::LinkDown { link },
+        &policy,
+        &scenario,
+        default_options(),
+    );
+    assert!(cached > 0, "pre-explored failure scenarios must be reused");
+    assert!(
+        reexplored < checked,
+        "single-link delta must re-explore strictly fewer PECs ({reexplored}/{checked})"
+    );
+}
+
+#[test]
+fn fat_tree_static_remove_and_policy_violation_flow() {
+    // Install a looping static route via a delta (the report must flip to
+    // violated, identically to from-scratch), then remove it again (the
+    // report must flip back and the original cache entries must hit).
+    let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+    let policy = LoopFreedom::everywhere();
+    let scenario = FailureScenario::no_failures();
+    let options = default_options();
+    let mut session = IncrementalVerifier::new(s.network.clone());
+    let (clean, _) = session.verify(&policy, 5, &scenario, &options);
+    assert!(clean.holds());
+
+    // edge[0][0] → agg[0][0] → back: a loop for a remote pod's prefix.
+    let device = s.fat_tree.aggregation[0][0];
+    let victim_prefix = s.destinations[2 * 2]; // pod 2's first edge prefix
+    let add = ConfigDelta::StaticRouteAdd {
+        device,
+        route: StaticRoute::to_interface(victim_prefix, s.fat_tree.edge[0][0]),
+    };
+    session.apply_delta(&add).unwrap();
+    // Also give the edge switch a route pointing back up: a 2-node loop.
+    let back = ConfigDelta::StaticRouteAdd {
+        device: s.fat_tree.edge[0][0],
+        route: StaticRoute::to_interface(victim_prefix, device),
+    };
+    session.apply_delta(&back).unwrap();
+
+    let (broken, run) = session.verify(&policy, 5, &scenario, &options);
+    assert!(!broken.holds(), "the injected loop must be found");
+    let scratch = Plankton::new(session.network().clone()).verify(&policy, &scenario, &options);
+    assert_eq!(broken.normalized_json(), scratch.normalized_json());
+    assert!(run.tasks_cached > 0, "unrelated PECs stay cached");
+
+    // Roll both routes back: the original (clean) cache entries hit again.
+    session
+        .apply_delta(&ConfigDelta::StaticRouteRemove {
+            device,
+            prefix: victim_prefix,
+        })
+        .unwrap();
+    session
+        .apply_delta(&ConfigDelta::StaticRouteRemove {
+            device: s.fat_tree.edge[0][0],
+            prefix: victim_prefix,
+        })
+        .unwrap();
+    let (restored, run) = session.verify(&policy, 5, &scenario, &options);
+    assert!(restored.holds());
+    assert_eq!(run.tasks_rerun, 0, "rollback restores every key: {run:?}");
+    assert_eq!(restored.normalized_json(), clean.normalized_json());
+}
+
+#[test]
+fn ibgp_over_ospf_deltas_match_from_scratch() {
+    let s = isp_ibgp_over_ospf(&AsTopologySpec::paper_as(3967));
+    let sources: Vec<NodeId> = s
+        .as_topology
+        .backbone
+        .iter()
+        .filter(|n| !s.borders.contains(n))
+        .take(2)
+        .copied()
+        .collect();
+    let policy = Reachability::new(sources);
+    let scenario = FailureScenario::no_failures();
+    let options = default_options().restricted_to(s.bgp_destinations.clone());
+
+    // A BGP policy edit on a border router.
+    let border = s.borders[0];
+    let peer = s
+        .network
+        .device(border)
+        .bgp
+        .as_ref()
+        .unwrap()
+        .neighbors
+        .first()
+        .unwrap()
+        .peer;
+    assert_delta_incremental(
+        "ibgp policy edit",
+        &s.network,
+        ConfigDelta::BgpPolicyEdit {
+            device: border,
+            peer,
+            import: Some(RouteMap::permit_all()),
+            export: None,
+        },
+        &policy,
+        &scenario,
+        options.clone(),
+    );
+
+    // An OSPF cost change in the underlay must propagate through the
+    // dependency graph and re-verify the dependent BGP PECs too.
+    let device = s.as_topology.backbone[0];
+    let link = s.network.topology.neighbors(device)[0].1;
+    assert_delta_incremental(
+        "ibgp underlay cost change",
+        &s.network,
+        ConfigDelta::OspfCostChange {
+            device,
+            link,
+            cost: 321,
+        },
+        &policy,
+        &scenario,
+        options,
+    );
+}
