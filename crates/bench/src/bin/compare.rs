@@ -1,0 +1,79 @@
+//! `compare` — the CI bench-regression gate.
+//!
+//! ```text
+//! cargo run --release -p plankton-bench --bin compare -- \
+//!     --baseline BENCH_service.json --current bench-out/BENCH_service.json \
+//!     --allow ospf_cost_spine_central
+//! ```
+//!
+//! Exits non-zero when any scenario's speedup falls below
+//! `baseline × min-ratio` (default 0.7), when any `identical` field is
+//! `false`, or when a baseline scenario is missing from the current run.
+//! `--allow LABEL` exempts honest-~1× scenarios (substring match) from the
+//! speedup gate only.
+
+use plankton_bench::compare::{compare, parse_entries};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compare --baseline <file.json> --current <file.json> \
+         [--min-ratio <r>] [--allow <label>]..."
+    );
+    std::process::exit(2);
+}
+
+fn read_entries(path: &str) -> Vec<plankton_bench::Entry> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("compare: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_entries(&text).unwrap_or_else(|e| {
+        eprintln!("compare: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut min_ratio = 0.7f64;
+    let mut allow: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value()),
+            "--current" => current = Some(value()),
+            "--min-ratio" => {
+                min_ratio = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--allow" => allow.push(value()),
+            _ => usage(),
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        usage();
+    };
+
+    let base_entries = read_entries(&baseline);
+    let cur_entries = read_entries(&current);
+    let outcome = compare(&base_entries, &cur_entries, min_ratio, &allow);
+    for line in &outcome.checked {
+        println!("ok   {line}");
+    }
+    for line in &outcome.failures {
+        println!("FAIL {line}");
+    }
+    if !outcome.passed() {
+        eprintln!(
+            "compare: {} regression(s) against {baseline}",
+            outcome.failures.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "compare: {} scenario(s) checked against {baseline}, no regressions",
+        outcome.checked.len()
+    );
+}

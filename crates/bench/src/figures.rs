@@ -1228,16 +1228,31 @@ pub fn service_bench(quick: bool) -> FigureResult {
                        reverify_scenario: &FailureScenario| {
         // Warm the session cache with the pre-delta verification, then time
         // the operator-visible latency: delta application + incremental
-        // re-verification.
-        let mut session = IncrementalVerifier::new(s.network.clone());
-        session.verify(&policy, 1, warm_scenario, &options);
-        let ((report, run), inc_time) = time(|| {
-            session.apply_delta(&delta).expect("delta applies");
-            session.verify(&policy, 1, reverify_scenario, &options)
-        });
+        // re-verification. Best-of-`iterations` with a fresh warmed session
+        // per attempt — both sides of the speedup ratio are sub-5ms wall
+        // clocks, so a single sample is scheduler-noise-bound and would make
+        // the CI regression gate flaky.
+        let mut inc_best: Option<(Duration, _, _)> = None;
+        for _ in 0..iterations {
+            let mut session = IncrementalVerifier::new(s.network.clone());
+            session.verify(&policy, 1, warm_scenario, &options);
+            let ((report, run), inc_time) = time(|| {
+                session.apply_delta(&delta).expect("delta applies");
+                session.verify(&policy, 1, reverify_scenario, &options)
+            });
+            if inc_best
+                .as_ref()
+                .map(|(t, _, _)| inc_time < *t)
+                .unwrap_or(true)
+            {
+                inc_best = Some((inc_time, report, run));
+            }
+        }
+        let (inc_time, report, run) = inc_best.expect("at least one iteration");
         // The from-scratch baseline pays what a non-incremental deployment
         // pays per change: PEC computation plus a full verification.
-        let post_network = session.network().clone();
+        let mut post_network = s.network.clone();
+        delta.apply(&mut post_network).expect("delta applies");
         let mut full_best: Option<(Duration, _)> = None;
         for _ in 0..iterations {
             let (full_report, full_time) = time(|| {
@@ -1294,12 +1309,42 @@ pub fn service_bench(quick: bool) -> FigureResult {
         &FailureScenario::no_failures(),
         &FailureScenario::no_failures(),
     );
-    // An OSPF cost edit: every OSPF PEC re-runs, connected-only PECs don't.
+    // An edge-local OSPF cost edit — the aggregation-side cost of one edge
+    // link. Competitive only for the prefix originated at that edge switch:
+    // scoped slices keep every other OSPF PEC's cache entry alive.
+    let agg = s.fat_tree.aggregation[0][0];
+    let edge_link = s
+        .network
+        .topology
+        .link_between(agg, s.fat_tree.edge[0][0])
+        .expect("edge link");
     measure(
-        "ospf_cost_change",
+        "ospf_cost_edge_local",
         ConfigDelta::OspfCostChange {
-            device: s.fat_tree.aggregation[0][0],
-            link: s.network.topology.neighbors(s.fat_tree.aggregation[0][0])[0].1,
+            device: agg,
+            link: edge_link,
+            cost: 42,
+        },
+        &FailureScenario::no_failures(),
+        &FailureScenario::no_failures(),
+    );
+    // A spine-central OSPF cost edit — the same aggregation switch's uplink
+    // towards a core. That cost sits on the shortest paths of every remote
+    // pod's prefix, so most OSPF PECs honestly re-run (~1×); the CI gate
+    // allowlists this scenario.
+    let core_link = s
+        .network
+        .topology
+        .neighbors(agg)
+        .iter()
+        .find(|(n, _)| s.fat_tree.core.contains(n))
+        .map(|&(_, l)| l)
+        .expect("aggregation uplink");
+    measure(
+        "ospf_cost_spine_central",
+        ConfigDelta::OspfCostChange {
+            device: agg,
+            link: core_link,
             cost: 42,
         },
         &FailureScenario::no_failures(),

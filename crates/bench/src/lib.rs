@@ -12,9 +12,11 @@
 //! with network size, where timeouts appear — is what these harnesses
 //! reproduce. Each figure function documents its parameter scaling.
 
+pub mod compare;
 pub mod figures;
 
+pub use compare::{compare, parse_entries, Entry, GateOutcome};
 pub use figures::{
     all_figures, checker_bench, cores_scaling, run_figure, CheckerBenchPoint, CoresScalingPoint,
-    FigureResult, Row,
+    FigureResult, Row, ServiceBenchPoint,
 };

@@ -104,6 +104,11 @@ pub struct DeltaTouch {
     /// costs, node set)? Such deltas can dirty every PEC that runs a
     /// protocol over the changed element.
     pub topology: bool,
+    /// For OSPF edits: the speaker-component members the edit can influence
+    /// (an OSPF change cannot leak across component boundaries). `None`
+    /// means unscoped — the edit may affect any OSPF PEC.
+    #[serde(default)]
+    pub ospf_region: Option<Vec<NodeId>>,
 }
 
 /// Why a delta could not be applied.
@@ -207,14 +212,24 @@ impl ConfigDelta {
                 if !network.topology.link(*link).touches(*device) {
                     return Err(DeltaError::UnknownLink(*link));
                 }
-                let Some(ospf) = &mut network.device_mut(*device).ospf else {
+                // The region the edit can influence: the device's speaker
+                // component *before and after* the edit (a cost change never
+                // alters adjacency, so the two coincide). `region_of` is
+                // `Some` exactly when the device runs OSPF.
+                let Some(region) = network.ospf_scoped_slices().region_of(*device) else {
                     return Err(DeltaError::NoOspfProcess(*device));
                 };
+                let ospf = network
+                    .device_mut(*device)
+                    .ospf
+                    .as_mut()
+                    .expect("region_of implies an OSPF process");
                 ospf.interface_costs.insert(*link, *cost);
                 Ok(DeltaTouch {
                     devices: vec![*device],
                     links: vec![*link],
                     topology: true,
+                    ospf_region: Some(region),
                     ..Default::default()
                 })
             }
@@ -310,6 +325,7 @@ impl ConfigDelta {
                     devices: vec![id],
                     links: new_links,
                     topology: true,
+                    ospf_region: None,
                 })
             }
             ConfigDelta::NodeRemove { device } => {
@@ -343,6 +359,7 @@ impl ConfigDelta {
                     devices: vec![*device],
                     links: incident,
                     topology: true,
+                    ospf_region: None,
                 })
             }
         }

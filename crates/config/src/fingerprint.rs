@@ -14,7 +14,11 @@
 //! that astronomically unlikely for the config sizes involved.
 
 use crate::Network;
+use plankton_net::failure::FailureSet;
+use plankton_net::topology::{LinkId, NodeId, SubgraphComponents};
 use serde::{Serialize, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// A 64-bit FNV-1a hasher with structure tagging.
 #[derive(Clone, Debug)]
@@ -243,6 +247,32 @@ impl Network {
         fp.finish()
     }
 
+    /// The scoped OSPF slicing state for this network: the OSPF speaker
+    /// graph's connected components plus memoized per-component closures.
+    /// Compute once per key-derivation pass; see [`OspfScopedSlices`].
+    pub fn ospf_scoped_slices(&self) -> OspfScopedSlices<'_> {
+        let components = self.topology.subgraph_components(
+            |n| self.device(n).runs_ospf(),
+            |l| {
+                let enabled = |n: plankton_net::topology::NodeId| {
+                    self.device(n)
+                        .ospf
+                        .as_ref()
+                        .and_then(|o| o.cost(l.id))
+                        .is_some()
+                };
+                enabled(l.a.node) && enabled(l.b.node)
+            },
+        );
+        OspfScopedSlices {
+            network: self,
+            components,
+            structural: RefCell::new(HashMap::new()),
+            relevant: RefCell::new(HashMap::new()),
+            cost_maps: RefCell::new(HashMap::new()),
+        }
+    }
+
     /// The static-route liveness slice for one device/neighbor pair: the
     /// links between them (an `Interface` static route is installed only
     /// while some joining link is alive — aliveness is decided against the
@@ -285,6 +315,257 @@ impl Network {
             }
         }
         fp.finish()
+    }
+}
+
+/// Per-PEC scoped OSPF slices: fingerprint only what one destination's OSPF
+/// exploration can actually read, instead of the global
+/// [`Network::ospf_slice_fingerprint`].
+///
+/// OSPF exploration is a single deterministic trajectory (the checker's
+/// `OspfPor` processes the globally cheapest pending update — exactly
+/// Dijkstra from the destination's origin set), so a task for a PEC with
+/// OSPF origin devices `O` under effective failure set `F` observes exactly:
+///
+/// * the **structure** of the speaker components containing `O` — member
+///   devices and the adjacency-enabled links joining them (down links and
+///   failures deliberately *not* filtered out: they reach the task key
+///   through the effective failure set, keeping fault-tolerance cache
+///   entries valid for the link deltas that follow); and
+/// * the **competitive directional costs** under `F`: a cost `c(n ← m)`
+///   (configured at `n` for its cheapest live link towards `m`) is readable
+///   only when `dist_F(m) + c ≤ dist_F(n)`, where `dist_F` is the
+///   shortest-path distance from `O` with the failed links removed. Any
+///   costlier advertisement is *shadowed*: the Dijkstra argument processes
+///   candidates in nondecreasing cost order, so by the time such a candidate
+///   could be picked its node has already converged on something at least as
+///   good, and the enabled-set computation never surfaces it. The `≤` keeps
+///   equal-cost candidates in scope — they decide ECMP next-hop sets and
+///   tie-breaking.
+///
+/// A cost change outside a PEC's competitive set therefore leaves its task
+/// key — and, provably, its byte-exact verification outcome — unchanged.
+/// When scoping cannot be established (an origin that is not an OSPF
+/// speaker), [`OspfScopedSlices::fingerprint`] returns `None` and the caller
+/// falls back to the global slice. Structural fingerprints are memoized per
+/// component and competitive-cost fingerprints per (origin set × in-scope
+/// failed links), so a key-derivation pass over every (PEC × failure-set)
+/// task costs one Dijkstra per distinct memo entry.
+pub struct OspfScopedSlices<'a> {
+    network: &'a Network,
+    components: SubgraphComponents,
+    /// Memoized per-component structural fingerprints.
+    structural: RefCell<HashMap<usize, u64>>,
+    /// Memoized competitive-cost fingerprints keyed by
+    /// (sorted origin devices, failed links within the origin components).
+    relevant: RefCell<HashMap<ScopeKey, u64>>,
+    /// Memoized live directional cost maps keyed by (origin components,
+    /// failed links within them) — origin-set independent, so one build
+    /// serves every PEC scoped to the same components under the same
+    /// failure set.
+    cost_maps: RefCell<CostMapMemo>,
+}
+
+/// `c(n ← m)` aggregated over live adjacency-enabled links, as directed
+/// `(to, from, cost)` triples sorted by `(to, from)`.
+type DirectionalCosts = Vec<(NodeId, NodeId, u64)>;
+
+/// Memo table for [`DirectionalCosts`], keyed by (origin components,
+/// in-scope failed links).
+type CostMapMemo = HashMap<(Vec<usize>, Vec<LinkId>), std::rc::Rc<DirectionalCosts>>;
+
+/// Memo key for competitive-cost fingerprints: (sorted origin devices,
+/// in-scope failed links).
+type ScopeKey = (Vec<NodeId>, Vec<LinkId>);
+
+impl OspfScopedSlices<'_> {
+    /// The speaker-graph components underlying the slices.
+    pub fn components(&self) -> &SubgraphComponents {
+        &self.components
+    }
+
+    /// The OSPF speaker component members around `device`, if it is a
+    /// speaker — the region an OSPF edit at `device` can influence, used by
+    /// the delta layer's advisory touch reporting.
+    pub fn region_of(&self, device: NodeId) -> Option<Vec<NodeId>> {
+        let c = self.components.component_of(device)?;
+        Some(self.components.members(c).to_vec())
+    }
+
+    /// The scoped slice fingerprint for a task whose OSPF origin devices are
+    /// `origins`, under effective failure set `failures`; `None` when
+    /// scoping cannot be proven sound for these origins (caller falls back
+    /// to the global slice).
+    pub fn fingerprint(&self, origins: &[NodeId], failures: &FailureSet) -> Option<u64> {
+        let mut origins = origins.to_vec();
+        origins.sort_unstable();
+        origins.dedup();
+        let comps = self.components.reachable_components(&origins)?;
+        let mut fp = Fingerprinter::new();
+        fp.write_u8(b'o');
+        fp.write_u64(comps.len() as u64);
+        for &c in &comps {
+            fp.write_u64(self.structural_fingerprint(c));
+        }
+        fp.write_u64(self.competitive_fingerprint(&origins, &comps, failures));
+        Some(fp.finish())
+    }
+
+    /// The structural fingerprint of one component: members plus
+    /// adjacency-enabled links (memoized).
+    fn structural_fingerprint(&self, c: usize) -> u64 {
+        if let Some(&fp) = self.structural.borrow().get(&c) {
+            return fp;
+        }
+        let mut fp = Fingerprinter::new();
+        fp.write_u8(b'C');
+        let members = self.components.members(c);
+        fp.write_u64(members.len() as u64);
+        for &n in members {
+            fp.write_u64(n.0 as u64);
+        }
+        let links = self.components.links(c);
+        fp.write_u64(links.len() as u64);
+        for &l in links {
+            let link = self.network.topology.link(l);
+            fp.write_u64(l.0 as u64);
+            fp.write_u64(link.a.node.0 as u64);
+            fp.write_u64(link.b.node.0 as u64);
+        }
+        let fp = fp.finish();
+        self.structural.borrow_mut().insert(c, fp);
+        fp
+    }
+
+    /// The competitive-cost fingerprint: every directional cost that can be
+    /// observed by the Dijkstra trajectory from `origins` with `failures`
+    /// removed (memoized per distinct (origins, in-scope failed links)).
+    fn competitive_fingerprint(
+        &self,
+        origins: &[NodeId],
+        comps: &[usize],
+        failures: &FailureSet,
+    ) -> u64 {
+        let failed_in_scope: Vec<LinkId> = failures
+            .links()
+            .iter()
+            .copied()
+            .filter(|&l| {
+                self.components
+                    .component_of_link(l)
+                    .map(|c| comps.contains(&c))
+                    .unwrap_or(false)
+            })
+            .collect();
+        let memo_key = (origins.to_vec(), failed_in_scope);
+        if let Some(&fp) = self.relevant.borrow().get(&memo_key) {
+            return fp;
+        }
+
+        let cost = self.cost_map(comps, &memo_key.1, failures);
+
+        // Multi-source Dijkstra from the origin set: dist(n) is the cost of
+        // n's converged best route, relaxing dist(n) ≤ dist(m) + c(n ← m).
+        let n_nodes = self.network.node_count();
+        let mut dist = vec![u64::MAX; n_nodes];
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> = origins
+            .iter()
+            .map(|o| std::cmp::Reverse((0, o.0)))
+            .collect();
+        for &o in origins {
+            dist[o.index()] = 0;
+        }
+        while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
+            let n = NodeId(n);
+            if dist[n.index()] < d {
+                continue;
+            }
+            // The cost triples are sorted by (to, from): n's in-edges are the
+            // contiguous (m, n, c(m ← n)) run — relax outwards over them.
+            let start = cost.partition_point(|&(to, _, _)| to < n);
+            for &(_, m, _) in cost[start..].iter().take_while(|&&(to, _, _)| to == n) {
+                // Relaxing m needs c(m ← n).
+                let idx = cost
+                    .binary_search_by_key(&(m, n), |&(to, from, _)| (to, from))
+                    .expect("directional costs are symmetric pairs");
+                let cand = d.saturating_add(cost[idx].2);
+                if cand < dist[m.index()] {
+                    dist[m.index()] = cand;
+                    heap.push(std::cmp::Reverse((cand, m.0)));
+                }
+            }
+        }
+
+        // Competitive directional costs: c(n ← m) with
+        // dist(m) + c ≤ dist(n). Everything costlier is shadowed.
+        let records: Vec<(NodeId, NodeId, u64)> = cost
+            .iter()
+            .filter(|&&(n, m, c)| {
+                let dm = dist[m.index()];
+                dm != u64::MAX && dm.saturating_add(c) <= dist[n.index()]
+            })
+            .copied()
+            .collect();
+        let mut fp = Fingerprinter::new();
+        fp.write_u8(b'R');
+        fp.write_u64(origins.len() as u64);
+        for &o in origins {
+            fp.write_u64(o.0 as u64);
+        }
+        fp.write_u64(records.len() as u64);
+        for (n, m, c) in records {
+            fp.write_u64(n.0 as u64);
+            fp.write_u64(m.0 as u64);
+            fp.write_u64(c);
+        }
+        let fp = fp.finish();
+        self.relevant.borrow_mut().insert(memo_key, fp);
+        fp
+    }
+
+    /// The live directional cost map of the given components with `failures`
+    /// removed: `c(n ← m)` = the cheapest cost configured at `n` over the
+    /// live, adjacency-enabled links towards `m` — exactly the aggregation
+    /// the OSPF model performs. Origin-independent, so memoized per
+    /// (components, in-scope failed links) and shared by every PEC scoped to
+    /// the same region.
+    fn cost_map(
+        &self,
+        comps: &[usize],
+        failed_in_scope: &[LinkId],
+        failures: &FailureSet,
+    ) -> std::rc::Rc<DirectionalCosts> {
+        let memo_key = (comps.to_vec(), failed_in_scope.to_vec());
+        if let Some(map) = self.cost_maps.borrow().get(&memo_key) {
+            return map.clone();
+        }
+        let cost_at = |n: NodeId, l: LinkId| -> u64 {
+            self.network
+                .device(n)
+                .ospf
+                .as_ref()
+                .and_then(|o| o.cost(l))
+                .expect("component links are adjacency-enabled at both ends") as u64
+        };
+        let mut cost: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+        for &c in comps {
+            for &l in self.components.links(c) {
+                if failures.contains(l) {
+                    continue;
+                }
+                let link = self.network.topology.link(l);
+                let (a, b) = (link.a.node, link.b.node);
+                let ea = cost.entry((a, b)).or_insert(u64::MAX);
+                *ea = (*ea).min(cost_at(a, l));
+                let eb = cost.entry((b, a)).or_insert(u64::MAX);
+                *eb = (*eb).min(cost_at(b, l));
+            }
+        }
+        let mut triples: DirectionalCosts = cost.into_iter().map(|((n, m), c)| (n, m, c)).collect();
+        triples.sort_unstable();
+        let map = std::rc::Rc::new(triples);
+        self.cost_maps.borrow_mut().insert(memo_key, map.clone());
+        map
     }
 }
 
@@ -339,5 +620,115 @@ mod tests {
             ospf.interface_costs.insert(s.ring.links[1], 99);
         }
         assert_ne!(net.ospf_slice_fingerprint(), before);
+    }
+
+    #[test]
+    fn scoped_slice_is_deterministic_and_origin_sensitive() {
+        use plankton_net::failure::FailureSet;
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let slices = s.network.ospf_scoped_slices();
+        let o1 = vec![s.fat_tree.edge[0][0]];
+        let o2 = vec![s.fat_tree.edge[1][0]];
+        let none = FailureSet::none();
+        let a = slices.fingerprint(&o1, &none).unwrap();
+        assert_eq!(a, slices.fingerprint(&o1, &none).unwrap(), "memo stable");
+        assert_ne!(
+            a,
+            slices.fingerprint(&o2, &none).unwrap(),
+            "different origins, different competitive sets"
+        );
+        // A failure inside the component changes distances and thus the
+        // competitive set.
+        let failed = FailureSet::single(
+            s.network
+                .topology
+                .link_between(s.fat_tree.edge[0][0], s.fat_tree.aggregation[0][0])
+                .unwrap(),
+        );
+        assert_ne!(a, slices.fingerprint(&o1, &failed).unwrap());
+    }
+
+    #[test]
+    fn non_competitive_cost_change_leaves_scoped_slice_alone() {
+        use plankton_net::failure::FailureSet;
+        // The aggregation-side cost of an edge link is competitive only for
+        // the prefix at that edge switch: a remote pod's scoped slice must
+        // not move, while the local pod's must.
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let agg = s.fat_tree.aggregation[0][0];
+        let edge = s.fat_tree.edge[0][0];
+        let link = s.network.topology.link_between(agg, edge).unwrap();
+        let local = vec![edge];
+        let remote = vec![s.fat_tree.edge[2][0]];
+        let none = FailureSet::none();
+        let before = s.network.ospf_scoped_slices();
+        let (local_before, remote_before) = (
+            before.fingerprint(&local, &none).unwrap(),
+            before.fingerprint(&remote, &none).unwrap(),
+        );
+        let mut net = s.network.clone();
+        if let Some(ospf) = &mut net.device_mut(agg).ospf {
+            ospf.interface_costs.insert(link, 42);
+        }
+        let after = net.ospf_scoped_slices();
+        assert_ne!(local_before, after.fingerprint(&local, &none).unwrap());
+        assert_eq!(remote_before, after.fingerprint(&remote, &none).unwrap());
+        // The global slice is coarser: it moves for both.
+        assert_ne!(
+            s.network.ospf_slice_fingerprint(),
+            net.ospf_slice_fingerprint()
+        );
+    }
+
+    #[test]
+    fn scoped_slice_is_down_link_agnostic() {
+        use plankton_net::failure::FailureSet;
+        let s = ring_ospf(6);
+        let origins = vec![s.origin];
+        let none = FailureSet::none();
+        let before = s.network.ospf_scoped_slices().fingerprint(&origins, &none);
+        let mut net = s.network.clone();
+        net.set_link_down(s.ring.links[2]);
+        // Down-ness reaches keys through the effective failure set; the
+        // slice itself must not move, or fault-tolerance cache entries would
+        // be lost to every link delta.
+        assert_eq!(
+            net.ospf_scoped_slices().fingerprint(&origins, &none),
+            before
+        );
+    }
+
+    #[test]
+    fn non_speaker_origin_forces_global_fallback() {
+        use plankton_net::failure::FailureSet;
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let mut net = s.network.clone();
+        let edge = s.fat_tree.edge[0][0];
+        net.device_mut(edge).ospf = None;
+        let slices = net.ospf_scoped_slices();
+        assert_eq!(slices.fingerprint(&[edge], &FailureSet::none()), None);
+        assert!(slices.region_of(edge).is_none());
+    }
+
+    #[test]
+    fn component_split_changes_scoped_slice() {
+        use plankton_net::failure::FailureSet;
+        // Draining a device's OSPF process splits / shrinks its component:
+        // every PEC scoped to that component must re-key.
+        let s = ring_ospf(6);
+        let origins = vec![s.origin];
+        let none = FailureSet::none();
+        let before = s
+            .network
+            .ospf_scoped_slices()
+            .fingerprint(&origins, &none)
+            .unwrap();
+        let mut net = s.network.clone();
+        net.device_mut(s.ring.routers[3]).ospf = None;
+        let after = net
+            .ospf_scoped_slices()
+            .fingerprint(&origins, &none)
+            .unwrap();
+        assert_ne!(before, after);
     }
 }

@@ -23,7 +23,7 @@ use crate::verifier::Plankton;
 use plankton_config::{ConfigDelta, DeltaError, DeltaTouch, Network};
 use plankton_engine::{pec_task_graph_sparse, Engine};
 use plankton_net::failure::FailureScenario;
-use plankton_pec::{pecs_touched_by, PecId, TaskKeys};
+use plankton_pec::{pecs_touched_by, OspfSliceMode, PecId, TaskKeys};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -97,6 +97,16 @@ impl Plankton {
         let nf = ctx.failure_sets.len();
 
         let options_fp = options.cache_fingerprint();
+        // Scoped OSPF slices are sound only under deterministic-node
+        // exploration (the OspfPor Dijkstra trajectory); with it disabled the
+        // explorer branches over every ordering, any cost in a component is
+        // observable, and the keys conservatively fall back to the global
+        // OSPF slice.
+        let ospf_mode = if options.search.deterministic_nodes {
+            OspfSliceMode::Scoped
+        } else {
+            OspfSliceMode::Global
+        };
         let keys = TaskKeys::compute(
             self.network(),
             self.pecs(),
@@ -104,6 +114,7 @@ impl Plankton {
             &ctx.failure_sets,
             policy_fp,
             options_fp,
+            ospf_mode,
             |p| {
                 let comp = deps.component_of(p);
                 (ctx.has_dependents.contains(&comp) as u8) | ((ctx.checked.contains(&p) as u8) << 1)

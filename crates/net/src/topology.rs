@@ -372,6 +372,133 @@ impl Topology {
     pub fn assign_loopback(&mut self, n: NodeId, addr: Ipv4Addr) {
         self.nodes[n.index()].loopback = Some(addr);
     }
+
+    /// Connected components of the subgraph induced by the nodes satisfying
+    /// `node_in` and the links satisfying `link_in` (a link is kept only when
+    /// both its endpoints are in). Used by the scoped-invalidation layer to
+    /// slice a protocol's speaker graph into independently-fingerprintable
+    /// regions.
+    pub fn subgraph_components(
+        &self,
+        node_in: impl Fn(NodeId) -> bool,
+        link_in: impl Fn(&Link) -> bool,
+    ) -> SubgraphComponents {
+        let n = self.nodes.len();
+        let mut comp = vec![u32::MAX; n];
+        let mut keep_link = vec![false; self.links.len()];
+        for link in &self.links {
+            keep_link[link.id.index()] =
+                node_in(link.a.node) && node_in(link.b.node) && link_in(link);
+        }
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+        for start in 0..n {
+            let node = NodeId(start as u32);
+            if comp[start] != u32::MAX || !node_in(node) {
+                continue;
+            }
+            let label = members.len() as u32;
+            let mut found = vec![node];
+            comp[start] = label;
+            let mut stack = vec![node];
+            while let Some(u) = stack.pop() {
+                for &(nbr, l) in self.neighbors(u) {
+                    if keep_link[l.index()] && comp[nbr.index()] == u32::MAX {
+                        comp[nbr.index()] = label;
+                        found.push(nbr);
+                        stack.push(nbr);
+                    }
+                }
+            }
+            found.sort();
+            members.push(found);
+        }
+        let mut link_comp = vec![u32::MAX; self.links.len()];
+        let mut links: Vec<Vec<LinkId>> = vec![Vec::new(); members.len()];
+        for link in &self.links {
+            if keep_link[link.id.index()] {
+                let c = comp[link.a.node.index()];
+                link_comp[link.id.index()] = c;
+                links[c as usize].push(link.id);
+            }
+        }
+        SubgraphComponents {
+            comp,
+            link_comp,
+            members,
+            links,
+        }
+    }
+}
+
+/// The connected components of a filtered subgraph of a [`Topology`],
+/// computed by [`Topology::subgraph_components`].
+///
+/// This is the reachability substrate of scoped invalidation: the region a
+/// verification task can read under a *failure budget* is the union of its
+/// seed nodes' components in the **un-failed** subgraph — exploring failures
+/// only removes links, so the reachable set under any concrete failure
+/// choice is contained in (and the union over every choice equals) the
+/// seeds' full components. The budget therefore never has to be enumerated
+/// here; per-failure-set refinement happens in the cost layer on top.
+#[derive(Clone, Debug)]
+pub struct SubgraphComponents {
+    /// `comp[n]` = component label of node `n`, `u32::MAX` outside.
+    comp: Vec<u32>,
+    /// `link_comp[l]` = component label of kept link `l`, `u32::MAX` for
+    /// dropped links.
+    link_comp: Vec<u32>,
+    /// Per component, its member nodes in ascending id order.
+    members: Vec<Vec<NodeId>>,
+    /// Per component, its kept links in ascending id order.
+    links: Vec<Vec<LinkId>>,
+}
+
+impl SubgraphComponents {
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The component of `n`, or `None` when `n` is outside the subgraph.
+    pub fn component_of(&self, n: NodeId) -> Option<usize> {
+        match self.comp.get(n.index()) {
+            Some(&c) if c != u32::MAX => Some(c as usize),
+            _ => None,
+        }
+    }
+
+    /// The component of link `l`, or `None` when the link was filtered out.
+    pub fn component_of_link(&self, l: LinkId) -> Option<usize> {
+        match self.link_comp.get(l.index()) {
+            Some(&c) if c != u32::MAX => Some(c as usize),
+            _ => None,
+        }
+    }
+
+    /// Member nodes of component `c`, ascending.
+    pub fn members(&self, c: usize) -> &[NodeId] {
+        &self.members[c]
+    }
+
+    /// Kept links of component `c`, ascending.
+    pub fn links(&self, c: usize) -> &[LinkId] {
+        &self.links[c]
+    }
+
+    /// The components reachable from `seeds` under *any* failure budget
+    /// (sorted, deduplicated), or `None` when some seed lies outside the
+    /// subgraph — the caller cannot scope soundly and must fall back to a
+    /// global view. Failures only remove links, so the seeds' components in
+    /// the un-failed subgraph bound everything any failure choice can reach.
+    pub fn reachable_components(&self, seeds: &[NodeId]) -> Option<Vec<usize>> {
+        let mut out = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            out.push(self.component_of(s)?);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
 }
 
 /// Incremental builder for [`Topology`].
@@ -589,6 +716,39 @@ mod tests {
         assert_eq!(t.owner_of_address(Ipv4Addr::new(10, 0, 0, 1)), Some(a));
         assert_eq!(t.owner_of_address(Ipv4Addr::new(192, 168, 1, 2)), Some(c));
         assert_eq!(t.owner_of_address(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn subgraph_components_split_and_filter() {
+        // Two triangles joined by a bridge link; hosts excluded.
+        let mut b = TopologyBuilder::new();
+        let r: Vec<NodeId> = (0..6).map(|i| b.add_router(&format!("r{i}"))).collect();
+        let h = b.add_host("h");
+        for (x, y) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_link(r[x], r[y]);
+        }
+        let bridge = b.add_link(r[2], r[3]);
+        b.add_link(r[0], h);
+        let t = b.build();
+
+        // Without the bridge, routers form two components; the host is out.
+        let sc = t.subgraph_components(|n| t.node(n).kind == NodeKind::Router, |l| l.id != bridge);
+        assert_eq!(sc.component_count(), 2);
+        assert_eq!(sc.members(0), &r[0..3]);
+        assert_eq!(sc.members(1), &r[3..6]);
+        assert_eq!(sc.component_of(h), None);
+        assert_eq!(sc.component_of_link(bridge), None);
+        assert_eq!(sc.links(0).len(), 3);
+        assert_eq!(sc.reachable_components(&[r[0], r[1]]), Some(vec![0]));
+        assert_eq!(sc.reachable_components(&[r[0], r[5]]), Some(vec![0, 1]));
+        assert_eq!(sc.reachable_components(&[r[0], h]), None);
+
+        // With the bridge, one component holding all seven router links.
+        let sc = t.subgraph_components(|n| t.node(n).kind == NodeKind::Router, |_| true);
+        assert_eq!(sc.component_count(), 1);
+        assert_eq!(sc.members(0).len(), 6);
+        assert_eq!(sc.links(0).len(), 7);
+        assert_eq!(sc.component_of_link(bridge), Some(0));
     }
 
     #[test]

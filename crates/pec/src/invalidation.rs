@@ -23,8 +23,9 @@
 use crate::dependency::PecDependencies;
 use crate::pec::{OriginProtocol, Pec, PecId, PecSet};
 use plankton_config::static_routes::StaticNextHop;
-use plankton_config::{DeltaTouch, Fingerprinter, Network};
+use plankton_config::{DeltaTouch, Fingerprinter, Network, OspfScopedSlices};
 use plankton_net::failure::FailureSet;
+use plankton_net::topology::NodeId;
 use std::collections::BTreeSet;
 
 /// The content fingerprint of a PEC itself: its address range plus every
@@ -39,35 +40,55 @@ pub fn pec_content_fingerprint(pec: &Pec) -> u64 {
     fp.finish()
 }
 
-/// The network-level slice fingerprints shared by every PEC of one request,
-/// computed once (each is an O(network) traversal — per-PEC recomputation
-/// would dominate small-delta re-verification latency).
-struct NetworkSlices {
-    ospf: u64,
-    bgp: u64,
-    ownership: u64,
+/// How [`TaskKeys`] composes the OSPF network slice into task keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OspfSliceMode {
+    /// Per-(PEC × failure-set) scoped slices
+    /// ([`Network::ospf_scoped_slices`]), falling back to the global slice
+    /// for any PEC whose scoping cannot be proven sound. Only valid when the
+    /// exploration runs with deterministic-node detection enabled — the
+    /// scoped-slice soundness argument is the `OspfPor` Dijkstra trajectory;
+    /// with `BranchAll` exploration every cost in a component is readable.
+    Scoped,
+    /// The global [`Network::ospf_slice_fingerprint`] for every OSPF PEC:
+    /// the conservative mode (and the differential oracle the soak tests
+    /// cross-check scoped keys against).
+    Global,
 }
 
-impl NetworkSlices {
-    fn of(network: &Network) -> Self {
+/// The network-level slice fingerprints shared by every PEC of one request,
+/// computed once (each is an O(network) traversal — per-PEC recomputation
+/// would dominate small-delta re-verification latency). The scoped OSPF
+/// slicer memoizes its per-component closures across PECs the same way.
+struct NetworkSlices<'a> {
+    ospf_global: u64,
+    bgp: u64,
+    ownership: u64,
+    scoped: Option<OspfScopedSlices<'a>>,
+}
+
+impl<'a> NetworkSlices<'a> {
+    fn of(network: &'a Network, mode: OspfSliceMode) -> Self {
         NetworkSlices {
-            ospf: network.ospf_slice_fingerprint(),
+            ospf_global: network.ospf_slice_fingerprint(),
             bgp: network.bgp_slice_fingerprint(),
             ownership: network.address_ownership_fingerprint(),
+            scoped: match mode {
+                OspfSliceMode::Scoped => Some(network.ospf_scoped_slices()),
+                OspfSliceMode::Global => None,
+            },
         }
     }
 }
 
-/// The network-slice fingerprint of a PEC: everything its `PecSession` reads
-/// from the network *besides* the PEC content, the failure set and the
-/// converged records of dependency PECs (which are keyed separately).
-pub fn pec_slice_fingerprint(network: &Network, pec: &Pec, has_dependencies: bool) -> u64 {
-    pec_slice_with(network, &NetworkSlices::of(network), pec, has_dependencies)
-}
-
+/// The failure-agnostic network-slice fingerprint of a PEC: everything its
+/// `PecSession` reads from the network *besides* the PEC content, the
+/// failure set, the OSPF slice (composed per failure set by [`TaskKeys`] —
+/// scoped or global) and the converged records of dependency PECs (keyed
+/// separately).
 fn pec_slice_with(
     network: &Network,
-    slices: &NetworkSlices,
+    slices: &NetworkSlices<'_>,
     pec: &Pec,
     has_dependencies: bool,
 ) -> u64 {
@@ -76,19 +97,14 @@ fn pec_slice_with(
     // Data planes, control-route vectors and policy views are all sized to
     // the node count.
     fp.write_u64(network.node_count() as u64);
-    let mut runs_ospf = false;
     let mut runs_bgp = false;
     for cfg in &pec.prefixes {
-        runs_ospf |= cfg.originated_into(OriginProtocol::Ospf);
         runs_bgp |= cfg.originated_into(OriginProtocol::Bgp);
         for (device, sr) in &cfg.static_routes {
             if let StaticNextHop::Interface(nbr) = sr.next_hop {
                 fp.write_u64(network.interface_liveness_fingerprint(*device, nbr));
             }
         }
-    }
-    if runs_ospf {
-        fp.write_u64(slices.ospf);
     }
     if runs_bgp {
         fp.write_u64(slices.bgp);
@@ -99,6 +115,23 @@ fn pec_slice_with(
         fp.write_u64(slices.ownership);
     }
     fp.finish()
+}
+
+/// The per-prefix OSPF origin device sets of a PEC — one entry per
+/// contributing prefix that is originated into OSPF (each prefix gets its
+/// own `OspfModel` with exactly these origins).
+fn ospf_origin_sets(pec: &Pec) -> Vec<Vec<NodeId>> {
+    pec.prefixes
+        .iter()
+        .filter(|cfg| cfg.originated_into(OriginProtocol::Ospf))
+        .map(|cfg| {
+            cfg.origins
+                .iter()
+                .filter(|(_, p)| *p == OriginProtocol::Ospf)
+                .map(|(n, _)| *n)
+                .collect()
+        })
+        .collect()
 }
 
 /// Is a PEC's verification outcome independent of the failure environment?
@@ -138,6 +171,7 @@ impl TaskKeys {
     /// records are produced) and whether the policy verdict is evaluated
     /// for `p` at all. Both change a task's observable outcome without
     /// changing the network, so they are part of the key.
+    #[allow(clippy::too_many_arguments)] // a keyed compute: every input is a key input
     pub fn compute(
         network: &Network,
         pecs: &PecSet,
@@ -145,6 +179,7 @@ impl TaskKeys {
         failure_sets: &[FailureSet],
         policy_fp: u64,
         options_fp: u64,
+        mode: OspfSliceMode,
         run_flags: impl Fn(PecId) -> u8,
     ) -> TaskKeys {
         let nf = failure_sets.len();
@@ -157,7 +192,7 @@ impl TaskKeys {
                 fp.finish()
             })
             .collect();
-        let slices = NetworkSlices::of(network);
+        let slices = NetworkSlices::of(network, mode);
         let mut keys = vec![vec![0u64; nf]; pecs.len()];
         // Components are listed dependencies-first, so every dependency's
         // keys exist by the time a dependent composes them.
@@ -188,10 +223,38 @@ impl TaskKeys {
                 let invariant = pec_failure_invariant(pec)
                     && dependency_pecs.is_empty()
                     && run_flags(pec_id) & 1 == 0;
+                let origin_sets = ospf_origin_sets(pec);
                 for f in 0..nf {
                     let mut fp = Fingerprinter::new();
                     fp.write_u64(base);
                     fp.write_u64(if invariant { 0 } else { failure_fps[f] });
+                    // The OSPF slice, composed per (PEC × failure-set): each
+                    // contributing OSPF prefix contributes its scoped slice
+                    // under this failure set, or — when any prefix's scoping
+                    // cannot be proven sound — the whole PEC conservatively
+                    // takes the global slice.
+                    if !origin_sets.is_empty() {
+                        let scoped_fps: Option<Vec<u64>> =
+                            slices.scoped.as_ref().and_then(|scoped| {
+                                origin_sets
+                                    .iter()
+                                    .map(|origins| scoped.fingerprint(origins, &failure_sets[f]))
+                                    .collect()
+                            });
+                        match scoped_fps {
+                            Some(fps) => {
+                                fp.write_u8(1);
+                                fp.write_u64(fps.len() as u64);
+                                for v in fps {
+                                    fp.write_u64(v);
+                                }
+                            }
+                            None => {
+                                fp.write_u8(2);
+                                fp.write_u64(slices.ospf_global);
+                            }
+                        }
+                    }
                     for &dep in &dependency_pecs {
                         fp.write_u64(keys[dep.index()][f]);
                     }
@@ -265,6 +328,16 @@ pub fn pecs_touched_by(
                     if cfg.originated_into(OriginProtocol::Ospf)
                         && network.device(a).runs_ospf()
                         && network.device(b).runs_ospf()
+                        // When the delta reports the OSPF region it can
+                        // influence (the touched device's speaker component),
+                        // only PECs with an origin inside that region are
+                        // advisory-dirty — a cost change cannot leak across
+                        // component boundaries.
+                        && touch.ospf_region.as_ref().is_none_or(|region| {
+                            cfg.origins.iter().any(|(n, p)| {
+                                *p == OriginProtocol::Ospf && region.contains(n)
+                            })
+                        })
                     {
                         affected = true;
                     }
@@ -320,11 +393,19 @@ mod tests {
     use plankton_config::ConfigDelta;
     use plankton_net::generators::as_topo::AsTopologySpec;
 
-    fn keys_for(network: &Network, failure_sets: &[FailureSet]) -> (PecSet, TaskKeys) {
+    fn keys_for_mode(
+        network: &Network,
+        failure_sets: &[FailureSet],
+        mode: OspfSliceMode,
+    ) -> (PecSet, TaskKeys) {
         let pecs = compute_pecs(network);
         let deps = PecDependencies::compute(network, &pecs);
-        let keys = TaskKeys::compute(network, &pecs, &deps, failure_sets, 1, 2, |_| 0);
+        let keys = TaskKeys::compute(network, &pecs, &deps, failure_sets, 1, 2, mode, |_| 0);
         (pecs, keys)
+    }
+
+    fn keys_for(network: &Network, failure_sets: &[FailureSet]) -> (PecSet, TaskKeys) {
+        keys_for_mode(network, failure_sets, OspfSliceMode::Scoped)
     }
 
     #[test]
@@ -426,6 +507,158 @@ mod tests {
                 assert!(dirty.contains(&pec.id), "{} must be dirtied", pec.id);
             }
         }
+    }
+
+    #[test]
+    fn edge_local_ospf_cost_change_re_keys_few_pecs() {
+        // A cost change on the aggregation side of an edge link is
+        // competitive only for the prefix originated at that edge switch:
+        // every other OSPF PEC's scoped key must survive, while the global
+        // oracle dirties them all.
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let sets = vec![FailureSet::none()];
+        let (pecs, scoped_before) = keys_for(&s.network, &sets);
+        let (_, global_before) = keys_for_mode(&s.network, &sets, OspfSliceMode::Global);
+        let device = s.fat_tree.aggregation[0][0];
+        let edge = s.fat_tree.edge[0][0];
+        let link = s.network.topology.link_between(device, edge).unwrap();
+        let mut net = s.network.clone();
+        ConfigDelta::OspfCostChange {
+            device,
+            link,
+            cost: 42,
+        }
+        .apply(&mut net)
+        .unwrap();
+        let (_, scoped_after) = keys_for(&net, &sets);
+        let (_, global_after) = keys_for_mode(&net, &sets, OspfSliceMode::Global);
+
+        let mut scoped_dirty = 0;
+        let mut global_dirty = 0;
+        let mut ospf_pecs = 0;
+        for pec in pecs.iter() {
+            let is_ospf = pec
+                .prefixes
+                .iter()
+                .any(|c| c.originated_into(OriginProtocol::Ospf));
+            ospf_pecs += is_ospf as usize;
+            if scoped_before.key(pec.id, 0) != scoped_after.key(pec.id, 0) {
+                scoped_dirty += 1;
+                assert!(is_ospf, "{} is not an OSPF PEC", pec.id);
+            }
+            if global_before.key(pec.id, 0) != global_after.key(pec.id, 0) {
+                global_dirty += 1;
+            }
+        }
+        assert_eq!(global_dirty, ospf_pecs, "the oracle dirties every OSPF PEC");
+        assert!(scoped_dirty >= 1, "the local PEC must re-key");
+        assert!(
+            scoped_dirty * 3 <= ospf_pecs,
+            "scoped keys must dirty ≤ 1/3 of the {ospf_pecs} OSPF PECs, got {scoped_dirty}"
+        );
+    }
+
+    #[test]
+    fn scoped_keys_never_miss_where_global_keys_hit() {
+        // Precision may only grow: any key the global oracle leaves clean
+        // must stay clean under scoping (the soak test asserts the converse
+        // direction — scoped-clean implies unchanged outcome — end to end).
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let sets = vec![
+            FailureSet::none(),
+            FailureSet::single(s.network.topology.links()[0].id),
+        ];
+        let (pecs, scoped_before) = keys_for(&s.network, &sets);
+        let (_, global_before) = keys_for_mode(&s.network, &sets, OspfSliceMode::Global);
+        let mut net = s.network.clone();
+        ConfigDelta::OspfCostChange {
+            device: s.fat_tree.core[0],
+            link: s.network.topology.neighbors(s.fat_tree.core[0])[0].1,
+            cost: 77,
+        }
+        .apply(&mut net)
+        .unwrap();
+        let (_, scoped_after) = keys_for(&net, &sets);
+        let (_, global_after) = keys_for_mode(&net, &sets, OspfSliceMode::Global);
+        for pec in pecs.iter() {
+            for f in 0..sets.len() {
+                if global_before.key(pec.id, f) == global_after.key(pec.id, f) {
+                    assert_eq!(
+                        scoped_before.key(pec.id, f),
+                        scoped_after.key(pec.id, f),
+                        "{} f={f}: scoped key dirtied where the oracle is clean",
+                        pec.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_add_re_keys_every_task_conservatively() {
+        // Growing the topology re-keys every task through the node count the
+        // slices carry (per-node state vectors resize) — the conservative
+        // "fallback to re-verify everything" behavior for shape changes,
+        // scoped OSPF slices or not.
+        use plankton_config::DeviceConfig;
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let sets = vec![FailureSet::none()];
+        let (pecs, before) = keys_for(&s.network, &sets);
+        let mut net = s.network.clone();
+        // No loopback and no referenced prefixes: the PEC partition is
+        // unchanged, so keys are comparable one-to-one.
+        ConfigDelta::NodeAdd {
+            name: "grown".into(),
+            loopback: None,
+            links: vec![s.fat_tree.core[0], s.fat_tree.core[1]],
+            config: DeviceConfig::empty().with_ospf(plankton_config::OspfConfig::enabled()),
+        }
+        .apply(&mut net)
+        .unwrap();
+        let (pecs_after, after) = keys_for(&net, &sets);
+        assert_eq!(pecs.len(), pecs_after.len(), "no repartition");
+        for pec in pecs.iter() {
+            assert_ne!(
+                before.key(pec.id, 0),
+                after.key(pec.id, 0),
+                "{} must re-key after a topology grow",
+                pec.id
+            );
+        }
+    }
+
+    #[test]
+    fn ospf_region_refines_advisory_touch() {
+        // A cost change reports its speaker component as the region, and the
+        // region-refined advisory dirty set is a subset of the unrefined one
+        // (on this one-component fat tree they coincide; the cross-component
+        // case — an out-of-region edit leaving the slice untouched — is
+        // covered by tests/properties.rs).
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let pecs = compute_pecs(&s.network);
+        let deps = PecDependencies::compute(&s.network, &pecs);
+        let device = s.fat_tree.aggregation[0][0];
+        let link = s.network.topology.neighbors(device)[0].1;
+        let mut net = s.network.clone();
+        let touch = ConfigDelta::OspfCostChange {
+            device,
+            link,
+            cost: 5,
+        }
+        .apply(&mut net)
+        .unwrap();
+        let region = touch
+            .ospf_region
+            .clone()
+            .expect("cost change reports its region");
+        assert!(region.contains(&device));
+        // The fat tree is one speaker component: the advisory set matches the
+        // unrefined one. Dropping the region must never shrink the dirty set.
+        let with_region = pecs_touched_by(&net, &pecs, &deps, &touch);
+        let mut without = touch.clone();
+        without.ospf_region = None;
+        let unrefined = pecs_touched_by(&net, &pecs, &deps, &without);
+        assert!(with_region.is_subset(&unrefined));
     }
 
     #[test]

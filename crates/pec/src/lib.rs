@@ -26,8 +26,7 @@ pub mod trie;
 pub use compute::compute_pecs;
 pub use dependency::{DependencyGraph, PecDependencies};
 pub use invalidation::{
-    pec_content_fingerprint, pec_failure_invariant, pec_slice_fingerprint, pecs_touched_by,
-    TaskKeys,
+    pec_content_fingerprint, pec_failure_invariant, pecs_touched_by, OspfSliceMode, TaskKeys,
 };
 pub use pec::{OriginProtocol, Pec, PecId, PecSet, PrefixConfig};
 pub use scheduler::{DependencyStore, Scheduler, SchedulerReport};

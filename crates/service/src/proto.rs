@@ -261,6 +261,10 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Lifetime per-task cache key misses.
     pub cache_misses: u64,
+    /// Request lines that failed to parse (the daemon replies with an
+    /// `Error` and keeps serving, but exits non-zero at end of stream).
+    #[serde(default)]
+    pub parse_errors: u64,
     /// Times the capacity bound wiped the cache.
     pub cache_evictions: u64,
     /// PECs in the current partition.

@@ -18,13 +18,16 @@ pub fn handle_line(session: &mut ServiceSession, line: &str) -> (String, bool) {
             let shutdown = matches!(request, Request::Shutdown);
             (session.handle(&request).to_line(), shutdown)
         }
-        Err(e) => (
-            Response::Error {
-                message: format!("bad request: {e}"),
-            }
-            .to_line(),
-            false,
-        ),
+        Err(e) => {
+            session.note_parse_error();
+            (
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                }
+                .to_line(),
+                false,
+            )
+        }
     }
 }
 

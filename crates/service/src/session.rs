@@ -18,6 +18,12 @@ pub struct ServiceSession {
     /// Cleared whenever the network changes (PEC ids are partition-relative).
     last_reports: BTreeMap<String, VerificationReport>,
     verifies: u64,
+    /// Request lines that failed to parse. The request loop keeps serving
+    /// after a malformed line (one bad client line must not take the daemon
+    /// down), but `planktond` exits non-zero at end of stream when any
+    /// request failed to parse, so scripted pipelines cannot silently
+    /// mistake a typo'd request for success.
+    parse_errors: u64,
     started: Instant,
 }
 
@@ -34,8 +40,19 @@ impl ServiceSession {
             verifier: None,
             last_reports: BTreeMap::new(),
             verifies: 0,
+            parse_errors: 0,
             started: Instant::now(),
         }
+    }
+
+    /// Record one request line that failed to parse.
+    pub fn note_parse_error(&mut self) {
+        self.parse_errors += 1;
+    }
+
+    /// Request lines that failed to parse since the session started.
+    pub fn parse_errors(&self) -> u64 {
+        self.parse_errors
     }
 
     /// A session pre-loaded with a network.
@@ -222,6 +239,7 @@ impl ServiceSession {
         let mut stats = ServiceStats {
             loaded: self.verifier.is_some(),
             verifies: self.verifies,
+            parse_errors: self.parse_errors,
             uptime_ms: self.started.elapsed().as_millis() as u64,
             ..Default::default()
         };

@@ -101,4 +101,15 @@ fn main() {
             let _ = stdout.flush();
         }
     }
+
+    // Every malformed request got an Error reply inline, but a scripted
+    // pipeline reads the exit code: surface that something in the stream
+    // never parsed as a request.
+    if session.parse_errors() > 0 {
+        eprintln!(
+            "planktond: {} request line(s) failed to parse",
+            session.parse_errors()
+        );
+        exit(1);
+    }
 }

@@ -12,7 +12,7 @@
 
 use plankton::checker::{ModelChecker, NoPor, OspfPor, SearchOptions, Verdict};
 use plankton::config::scenarios::ring_ospf;
-use plankton::config::{DeviceConfig, OspfConfig};
+use plankton::config::{ConfigDelta, DeviceConfig, OspfConfig};
 use plankton::net::failure::FailureSet;
 use plankton::net::graph::dijkstra;
 use plankton::pec::{compute_pecs, PrefixTrie};
@@ -224,6 +224,170 @@ fn spvp_convergence_is_rpvp_stable() {
                 assert!(rpvp.converged(&state), "ring {n}, seed {seed}");
             }
         }
+    }
+}
+
+/// Build one network holding *two* disjoint OSPF speaker components (two
+/// random connected graphs with no links between them). Returns the network,
+/// the two origin devices, and the per-side (nodes, links) lists.
+#[allow(clippy::type_complexity)]
+fn build_two_component_network(
+    rng: &mut StdRng,
+    dest_a: Prefix,
+    dest_b: Prefix,
+) -> (Network, NodeId, NodeId, Vec<(NodeId, LinkId)>) {
+    let (na, edges_a) = sample_topology(rng);
+    let (nb, edges_b) = sample_topology(rng);
+    let mut builder = TopologyBuilder::new();
+    let nodes: Vec<NodeId> = (0..na + nb)
+        .map(|i| builder.add_router(&format!("r{i}")))
+        .collect();
+    let mut incidence: Vec<Vec<(LinkId, u32)>> = vec![Vec::new(); na + nb];
+    let mut b_links: Vec<(NodeId, LinkId)> = Vec::new();
+    for (offset, edges) in [(0, &edges_a), (na, &edges_b)] {
+        for &(a, b, w) in edges.iter() {
+            let link = builder.add_link(nodes[offset + a], nodes[offset + b]);
+            incidence[offset + a].push((link, w));
+            incidence[offset + b].push((link, w));
+            if offset > 0 {
+                b_links.push((nodes[offset + a], link));
+                b_links.push((nodes[offset + b], link));
+            }
+        }
+    }
+    let mut network = Network::unconfigured(builder.build());
+    for (i, &node) in nodes.iter().enumerate() {
+        let mut ospf = OspfConfig::enabled();
+        for &(link, w) in &incidence[i] {
+            ospf = ospf.with_cost(link, w);
+        }
+        if i == 0 {
+            ospf = ospf.with_network(dest_a);
+        }
+        if i == na {
+            ospf = ospf.with_network(dest_b);
+        }
+        *network.device_mut(node) = DeviceConfig::empty().with_ospf(ospf);
+    }
+    (network, nodes[0], nodes[na], b_links)
+}
+
+/// Scoped OSPF slices are down-link-agnostic: administratively downing any
+/// sequence of links (in any order) leaves every origin's scoped slice
+/// untouched — down-ness reaches task keys through the effective failure
+/// set, which is what lets a fault-tolerance run pre-pay for link deltas.
+#[test]
+fn scoped_slices_invariant_under_down_link_permutations() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let (n, edges) = sample_topology(&mut rng);
+        let destination: Prefix = "198.51.100.0/24".parse().unwrap();
+        let (network, nodes) = build_ospf_network(n, &edges, destination);
+        let origins = vec![nodes[0]];
+        let fixed_failures = FailureSet::none();
+        let baseline = network
+            .ospf_scoped_slices()
+            .fingerprint(&origins, &fixed_failures)
+            .expect("origins are speakers");
+
+        // Down a random subset of links in a random order, re-checking the
+        // slice after every step; then bring them back up in another order.
+        let mut net = network.clone();
+        let mut downed: Vec<LinkId> = Vec::new();
+        let link_count = net.topology.link_count();
+        for _ in 0..rng.gen_range(1..=link_count) {
+            let l = LinkId(rng.gen_range(0..link_count as u32));
+            if !net.is_link_down(l) {
+                net.set_link_down(l);
+                downed.push(l);
+            }
+            assert_eq!(
+                net.ospf_scoped_slices()
+                    .fingerprint(&origins, &fixed_failures),
+                Some(baseline),
+                "seed {seed}: slice moved after downing {downed:?}"
+            );
+        }
+        while !downed.is_empty() {
+            let l = downed.swap_remove(rng.gen_range(0..downed.len()));
+            net.set_link_up(l);
+            assert_eq!(
+                net.ospf_scoped_slices()
+                    .fingerprint(&origins, &fixed_failures),
+                Some(baseline),
+                "seed {seed}: slice moved after re-raising {l:?}"
+            );
+        }
+    }
+}
+
+/// Config edits outside a PEC's scoped region — OSPF edits in a different
+/// speaker component, or non-OSPF edits anywhere — leave its scoped slice
+/// untouched, while the *global* OSPF slice moves on every OSPF edit
+/// (which is exactly the imprecision this PR removes).
+#[test]
+fn scoped_slices_invariant_under_out_of_region_edits() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let dest_a: Prefix = "198.51.100.0/24".parse().unwrap();
+        let dest_b: Prefix = "203.0.113.0/24".parse().unwrap();
+        let (network, origin_a, origin_b, b_links) =
+            build_two_component_network(&mut rng, dest_a, dest_b);
+        let none = FailureSet::none();
+        let slices = network.ospf_scoped_slices();
+        assert_ne!(
+            slices.components().component_of(origin_a),
+            slices.components().component_of(origin_b),
+            "seed {seed}: construction must yield two components"
+        );
+        let a_baseline = slices.fingerprint(&[origin_a], &none).unwrap();
+        let global_baseline = network.ospf_slice_fingerprint();
+
+        // An OSPF cost edit in component B.
+        let mut net = network.clone();
+        let (device, link) = b_links[rng.gen_range(0..b_links.len())];
+        // Sampled weights are < 8, so this is never a value-level no-op.
+        ConfigDelta::OspfCostChange {
+            device,
+            link,
+            cost: rng.gen_range(50..99),
+        }
+        .apply(&mut net)
+        .expect("edit applies");
+        assert_eq!(
+            net.ospf_scoped_slices().fingerprint(&[origin_a], &none),
+            Some(a_baseline),
+            "seed {seed}: B-side cost edit moved A's scoped slice"
+        );
+        assert_ne!(
+            net.ospf_slice_fingerprint(),
+            global_baseline,
+            "seed {seed}: the global slice must see the edit"
+        );
+        // The delta reports its region: component B only.
+        let region = ConfigDelta::OspfCostChange {
+            device,
+            link,
+            cost: 49,
+        }
+        .apply(&mut net)
+        .unwrap()
+        .ospf_region
+        .expect("cost change reports a region");
+        assert!(region.contains(&device), "seed {seed}");
+        assert!(!region.contains(&origin_a), "seed {seed}");
+
+        // A non-OSPF edit (static route) anywhere leaves both slices alone.
+        let mut net = network.clone();
+        net.device_mut(origin_a)
+            .static_routes
+            .push(plankton::config::StaticRoute::null(dest_b));
+        assert_eq!(
+            net.ospf_scoped_slices().fingerprint(&[origin_a], &none),
+            Some(a_baseline),
+            "seed {seed}: static route moved the scoped OSPF slice"
+        );
+        assert_eq!(net.ospf_slice_fingerprint(), global_baseline, "seed {seed}");
     }
 }
 

@@ -238,6 +238,175 @@ fn fat_tree_static_remove_and_policy_violation_flow() {
     assert_eq!(restored.normalized_json(), clean.normalized_json());
 }
 
+/// Seeded random-delta soak: drive one incremental session through a random
+/// delta sequence and cross-check the scoped OSPF keys against the
+/// global-slice oracle at every step.
+///
+/// Two directions are asserted:
+/// * **Precision is monotone** — any (PEC × failure-set) key the global
+///   oracle leaves clean is also clean under scoping (scoping only ever
+///   removes inputs a task cannot read).
+/// * **Extra cleanliness is sound** — where a scoped key stays clean while
+///   the oracle would re-run (the savings this PR exists for), the merged
+///   incremental report must still be byte-identical to a from-scratch
+///   verification of the post-delta network, exact `SearchStats` included.
+///   A scoped key that wrongly survived a delta would surface here as a
+///   divergent merge.
+///
+/// The soak also asserts it actually exercised the interesting case (scoped
+/// clean ∧ oracle dirty) — otherwise it would vacuously pass.
+#[test]
+fn seeded_random_delta_soak_cross_checks_scoped_keys_against_the_global_oracle() {
+    use plankton::net::failure::FailureSet;
+    use plankton::pec::{compute_pecs, OspfSliceMode, PecDependencies, PecId, TaskKeys};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+    let policy = LoopFreedom::everywhere();
+    let scenario = FailureScenario::no_failures();
+    let options = PlanktonOptions::default().collect_all_violations();
+
+    let keys_of = |network: &Network, mode: OspfSliceMode| {
+        let pecs = compute_pecs(network);
+        let deps = PecDependencies::compute(network, &pecs);
+        let failures = vec![network.down_links.iter().copied().collect::<FailureSet>()];
+        let keys = TaskKeys::compute(network, &pecs, &deps, &failures, 7, 9, mode, |_| 0);
+        (pecs.len(), keys)
+    };
+    let random_delta = |rng: &mut StdRng, network: &Network| -> ConfigDelta {
+        let device = NodeId(rng.gen_range(0..network.node_count() as u32));
+        let link_count = network.topology.link_count() as u32;
+        match rng.gen_range(0..5u8) {
+            0 => {
+                let neighbors = network.topology.neighbors(device);
+                let (_, link) = neighbors[rng.gen_range(0..neighbors.len())];
+                ConfigDelta::OspfCostChange {
+                    device,
+                    link,
+                    cost: rng.gen_range(20..60),
+                }
+            }
+            1 => ConfigDelta::LinkDown {
+                link: LinkId(rng.gen_range(0..link_count)),
+            },
+            2 => ConfigDelta::LinkUp {
+                link: LinkId(rng.gen_range(0..link_count)),
+            },
+            3 => ConfigDelta::StaticRouteAdd {
+                device,
+                route: StaticRoute::null(s.destinations[rng.gen_range(0..s.destinations.len())]),
+            },
+            _ => ConfigDelta::StaticRouteRemove {
+                device,
+                prefix: s.destinations[rng.gen_range(0..s.destinations.len())],
+            },
+        }
+    };
+
+    let mut scoped_savings = 0usize;
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let mut session = IncrementalVerifier::new(s.network.clone());
+        session.verify(&policy, 7, &scenario, &options);
+        for step in 0..4 {
+            let pre = session.network().clone();
+            let delta = random_delta(&mut rng, &pre);
+            if session.apply_delta(&delta).is_err() {
+                continue; // NoOp (e.g. raising an up link): nothing to check
+            }
+            let post = session.network().clone();
+
+            let (n_pre, scoped_pre) = keys_of(&pre, OspfSliceMode::Scoped);
+            let (n_post, scoped_post) = keys_of(&post, OspfSliceMode::Scoped);
+            let (_, global_pre) = keys_of(&pre, OspfSliceMode::Global);
+            let (_, global_post) = keys_of(&post, OspfSliceMode::Global);
+            assert_eq!(n_pre, n_post, "seed {seed} step {step}: partition stable");
+            for p in 0..n_pre {
+                let pec = PecId(p as u32);
+                let global_clean = global_pre.key(pec, 0) == global_post.key(pec, 0);
+                let scoped_clean = scoped_pre.key(pec, 0) == scoped_post.key(pec, 0);
+                assert!(
+                    !global_clean || scoped_clean,
+                    "seed {seed} step {step} {pec}: scoped key dirtied where the oracle is clean \
+                     (delta {})",
+                    delta.kind()
+                );
+                scoped_savings += (scoped_clean && !global_clean) as usize;
+            }
+
+            let (incremental, _) = session.verify(&policy, 7, &scenario, &options);
+            let scratch = Plankton::new(post).verify(&policy, &scenario, &options);
+            assert_eq!(
+                incremental.normalized_json(),
+                scratch.normalized_json(),
+                "seed {seed} step {step}: merged report diverged after {}",
+                delta.kind()
+            );
+        }
+    }
+    assert!(
+        scoped_savings > 0,
+        "the soak never exercised a scoped-clean/oracle-dirty key — it proves nothing"
+    );
+}
+
+#[test]
+fn planktond_exits_nonzero_when_any_request_fails_to_parse() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_planktond"))
+        .args(["--scenario", "ring:4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn planktond");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"this is not json\n\"Stats\"\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        !out.status.success(),
+        "a parse failure must surface in the exit code"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bad request"), "error reply served: {text}");
+    assert!(
+        text.contains("\"parse_errors\":1"),
+        "the loop keeps serving and counts the bad line: {text}"
+    );
+}
+
+#[test]
+fn planktond_exits_zero_on_a_clean_stream() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+    for input in ["\"Stats\"\n\"Shutdown\"\n", "\"Stats\"\n"] {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_planktond"))
+            .args(["--scenario", "ring:4"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn planktond");
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "clean stream (shutdown or EOF) must exit 0"
+        );
+    }
+}
+
 #[test]
 fn ibgp_over_ospf_deltas_match_from_scratch() {
     let s = isp_ibgp_over_ospf(&AsTopologySpec::paper_as(3967));
