@@ -1212,7 +1212,7 @@ pub struct ServiceBenchPoint {
 pub fn service_bench(quick: bool) -> FigureResult {
     use plankton_config::static_routes::StaticRoute;
     use plankton_config::ConfigDelta;
-    use plankton_core::IncrementalVerifier;
+    use plankton_core::{IncrementalRunStats, IncrementalVerifier};
 
     let k = if quick { 4 } else { 6 };
     let iterations = if quick { 1 } else { 3 };
@@ -1234,7 +1234,7 @@ pub fn service_bench(quick: bool) -> FigureResult {
         // the CI regression gate flaky.
         let mut inc_best: Option<(Duration, _, _)> = None;
         for _ in 0..iterations {
-            let mut session = IncrementalVerifier::new(s.network.clone());
+            let session = IncrementalVerifier::new(s.network.clone());
             session.verify(&policy, 1, warm_scenario, &options);
             let ((report, run), inc_time) = time(|| {
                 session.apply_delta(&delta).expect("delta applies");
@@ -1360,6 +1360,80 @@ pub fn service_bench(quick: bool) -> FigureResult {
         &FailureScenario::up_to(1),
         &FailureScenario::no_failures(),
     );
+
+    // Daemon restart with a persisted cache: the cold side pays what a cold
+    // daemon pays (PEC computation + full verify); the warm side pays the
+    // restart path (deserialize the persisted cache into a brand-new session,
+    // then a delta-free re-verify that must be served fully from cache).
+    {
+        let mut inc_best: Option<(Duration, IncrementalRunStats, _)> = None;
+        // The fault-tolerance environment: the workload where restart
+        // amortization matters (a cold daemon re-explores every failure set;
+        // a warm one re-reads one cache file).
+        let warm_scenario = FailureScenario::up_to(1);
+        let session = IncrementalVerifier::new(s.network.clone());
+        let (cold_report, _) = session.verify(&policy, 1, &warm_scenario, &options);
+        let persisted =
+            serde_json::to_string(&session.cache().to_snapshot()).expect("cache serializes");
+        drop(session);
+        for _ in 0..iterations {
+            let ((report, run), inc_time) = time(|| {
+                let restarted = IncrementalVerifier::new(s.network.clone());
+                let snapshot: plankton_core::CacheSnapshot =
+                    serde_json::from_str(&persisted).expect("cache snapshot parses");
+                restarted
+                    .cache()
+                    .absorb_snapshot(&snapshot)
+                    .expect("scheme version matches");
+                restarted.verify(&policy, 1, &warm_scenario, &options)
+            });
+            assert_eq!(run.tasks_rerun, 0, "warm restart must be fully cached");
+            if inc_best
+                .as_ref()
+                .map(|(t, _, _)| inc_time < *t)
+                .unwrap_or(true)
+            {
+                inc_best = Some((inc_time, run, report));
+            }
+        }
+        let (inc_time, run, report) = inc_best.expect("at least one iteration");
+        let mut full_best: Option<Duration> = None;
+        for _ in 0..iterations {
+            let (full_report, full_time) = time(|| {
+                let plankton = Plankton::new(s.network.clone());
+                plankton.verify(&policy, &warm_scenario, &options)
+            });
+            assert_eq!(report.normalized_json(), full_report.normalized_json());
+            full_best = Some(full_best.map_or(full_time, |t| t.min(full_time)));
+        }
+        let full_time = full_best.expect("at least one iteration");
+        let identical = report.normalized_json() == cold_report.normalized_json();
+        assert!(identical, "warm-restart report must match the cold run");
+        let speedup = full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9);
+        rows.push(
+            Row::new(format!("K={k} warm_restart"))
+                .col("cold", secs(full_time))
+                .col("restarted", secs(inc_time))
+                .col("speedup", format!("{speedup:.1}x"))
+                .col("tasks_cached", run.tasks_cached)
+                .col("steps_cached", run.steps_cached),
+        );
+        points.push(ServiceBenchPoint {
+            scenario: format!("fat tree k={k} loop freedom"),
+            delta: "warm_restart".to_string(),
+            pecs_checked: run.pecs_checked,
+            pecs_reexplored: run.pecs_reexplored,
+            pecs_cached: run.pecs_cached,
+            tasks_rerun: run.tasks_rerun,
+            tasks_cached: run.tasks_cached,
+            steps_reexplored: run.steps_reexplored,
+            steps_cached: run.steps_cached,
+            full_seconds: full_time.as_secs_f64(),
+            incremental_seconds: inc_time.as_secs_f64(),
+            speedup,
+            identical,
+        });
+    }
 
     rows.push(Row::new("json").col(
         "data",

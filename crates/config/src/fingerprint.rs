@@ -118,6 +118,15 @@ impl Fingerprinter {
     }
 }
 
+/// Version of the task-key fingerprint scheme. Persisted result caches are
+/// stamped with this value and rejected on mismatch: a content key is only
+/// meaningful under the exact hashing scheme that produced it, so any change
+/// to key derivation (hasher, slice definitions, key composition, or the
+/// serialized shape of any hashed type) must bump this constant. Rejecting a
+/// stale snapshot costs one cold verification; accepting one would silently
+/// serve results keyed under different semantics.
+pub const FINGERPRINT_SCHEME_VERSION: u32 = 1;
+
 /// Fingerprint one serializable value.
 pub fn fingerprint_of<T: Serialize + ?Sized>(t: &T) -> u64 {
     let mut fp = Fingerprinter::new();

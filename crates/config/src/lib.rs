@@ -25,7 +25,9 @@ pub mod static_routes;
 pub use bgp::{BgpConfig, BgpNeighborConfig, BgpSessionKind};
 pub use delta::{ConfigDelta, DeltaError, DeltaTouch};
 pub use device::DeviceConfig;
-pub use fingerprint::{combine, fingerprint_of, Fingerprinter, OspfScopedSlices};
+pub use fingerprint::{
+    combine, fingerprint_of, Fingerprinter, OspfScopedSlices, FINGERPRINT_SCHEME_VERSION,
+};
 pub use network::Network;
 pub use ospf::OspfConfig;
 pub use route_map::{

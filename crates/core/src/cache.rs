@@ -9,17 +9,33 @@
 //! ⟹ bit-identical inputs ⟹ the cached outcome *is* the outcome, so
 //! incremental re-verification serves clean tasks from here and re-executes
 //! only tasks whose key misses.
+//!
+//! The cache is built for concurrent sessions: the map is split into
+//! [`ResultCache::SHARDS`] independently locked shards (keys are FNV
+//! outputs, so the low bits spread uniformly), which keeps insert traffic
+//! from the engine's worker pool and planning-pass lookups from several
+//! client connections off one global lock. Counters are plain atomics.
+//!
+//! Because keys are content hashes, entries are also meaningful *across
+//! process lifetimes*: [`ResultCache::to_snapshot`] /
+//! [`ResultCache::absorb_snapshot`] serialize the map (version-stamped with
+//! [`plankton_config::FINGERPRINT_SCHEME_VERSION`]) so a restarted daemon
+//! can warm-start from the previous run's results — see
+//! [`ResultCache::save_to`] / [`ResultCache::load_from`].
 
 use crate::outcome::ConvergedRecord;
 use crate::report::Violation;
 use parking_lot::Mutex;
 use plankton_checker::SearchStats;
-use std::collections::HashMap;
+use plankton_config::FINGERPRINT_SCHEME_VERSION;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The cached outcome of one (PEC × failure scenario) verification task.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct PolicyOutcome {
     /// Violations found on this PEC under this failure set. The `pec` field
     /// of each entry holds the id at caching time; it is relabeled to the
@@ -35,18 +51,41 @@ pub struct PolicyOutcome {
     pub records: Vec<Arc<ConvergedRecord>>,
 }
 
-/// A concurrent content-hash-keyed map of task outcomes.
+/// One lock's worth of the cache: the key → outcome map plus the key
+/// insertion order, so the capacity bound can evict oldest-first.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Arc<PolicyOutcome>>,
+    /// Keys in insertion order. First-write-wins inserts keep this in exact
+    /// 1:1 correspondence with `map` (every resident key appears exactly
+    /// once), so popping the front is popping the oldest resident entry.
+    order: VecDeque<u64>,
+}
+
+/// A serializable image of the cache contents, stamped with the
+/// fingerprint-scheme version that produced the keys. Snapshots from a
+/// different scheme version are rejected on load: their keys were computed
+/// under different hashing semantics and must not be matched against.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// [`FINGERPRINT_SCHEME_VERSION`] at save time.
+    pub version: u32,
+    /// Every resident `(key, outcome)` pair, in shard-then-insertion order.
+    pub entries: Vec<(u64, Arc<PolicyOutcome>)>,
+}
+
+/// A concurrent, sharded, content-hash-keyed map of task outcomes.
 ///
-/// Entries are immutable once inserted (`Arc`-shared). The cache is bounded:
-/// when an insert would exceed the capacity, an arbitrary half of the
-/// entries is dropped — content keys make stale entries merely dead weight,
-/// so eviction only costs re-verification, never correctness, and keeping
-/// half preserves most of a warm working set instead of inverting the
-/// incremental win into one giant from-scratch latency spike.
+/// Entries are immutable once inserted (`Arc`-shared). The cache is bounded
+/// per shard: when an insert would exceed a shard's share of the capacity,
+/// the shard's *oldest* entries are evicted first — content keys carry no
+/// recency signal beyond insertion order, and oldest-first keeps the warm
+/// working set (what recent verifies touched) alive. Eviction only costs
+/// re-verification, never correctness.
 #[derive(Debug)]
 pub struct ResultCache {
-    map: Mutex<HashMap<u64, Arc<PolicyOutcome>>>,
-    capacity: usize,
+    shards: Box<[Mutex<Shard>]>,
+    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -62,25 +101,35 @@ impl ResultCache {
     /// Default bound on resident entries.
     pub const DEFAULT_CAPACITY: usize = 1 << 20;
 
+    /// Lock shards (a power of two; keys are FNV hashes, so the low bits
+    /// select uniformly).
+    pub const SHARDS: usize = 16;
+
     /// An empty cache with the default capacity.
     pub fn new() -> Self {
         Self::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// An empty cache bounded to `capacity` entries.
+    /// An empty cache bounded to (approximately, rounded up to a multiple of
+    /// [`ResultCache::SHARDS`]) `capacity` entries.
     pub fn with_capacity(capacity: usize) -> Self {
+        let shards = (0..Self::SHARDS).map(|_| Mutex::new(Shard::default()));
         ResultCache {
-            map: Mutex::new(HashMap::new()),
-            capacity: capacity.max(1),
+            shards: shards.collect(),
+            shard_capacity: capacity.max(1).div_ceil(Self::SHARDS),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) & (Self::SHARDS - 1)]
+    }
+
     /// Look a task outcome up, counting the hit/miss.
     pub fn get(&self, key: u64) -> Option<Arc<PolicyOutcome>> {
-        let found = self.map.lock().get(&key).cloned();
+        let found = self.shard(key).lock().map.get(&key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -93,7 +142,7 @@ impl ResultCache {
     /// that hits but whose component re-runs anyway saved no work and must
     /// not count as reuse).
     pub fn peek(&self, key: u64) -> Option<Arc<PolicyOutcome>> {
-        self.map.lock().get(&key).cloned()
+        self.shard(key).lock().map.get(&key).cloned()
     }
 
     /// Record `n` tasks actually served from the cache (the planning pass
@@ -108,26 +157,33 @@ impl ResultCache {
     }
 
     /// Insert a task outcome. First write wins (outcomes for equal keys are
-    /// equal by construction).
-    pub fn insert(&self, key: u64, outcome: Arc<PolicyOutcome>) {
-        let mut map = self.map.lock();
-        if map.len() >= self.capacity && !map.contains_key(&key) {
-            // Evict an arbitrary half (content keys carry no useful
-            // recency signal worth the bookkeeping; half keeps most of the
-            // warm set alive).
-            let keep = self.capacity / 2;
-            let drop_keys: Vec<u64> = map.keys().copied().skip(keep).collect();
-            for k in drop_keys {
-                map.remove(&k);
-            }
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+    /// equal by construction); returns whether the entry was actually
+    /// inserted (`false` = the key was already resident). When the shard is
+    /// at capacity the oldest resident entries are evicted to make room.
+    pub fn insert(&self, key: u64, outcome: Arc<PolicyOutcome>) -> bool {
+        let mut shard = self.shard(key).lock();
+        if shard.map.contains_key(&key) {
+            return false;
         }
-        map.entry(key).or_insert(outcome);
+        let mut evicted = 0u64;
+        while shard.map.len() >= self.shard_capacity {
+            let Some(oldest) = shard.order.pop_front() else {
+                break;
+            };
+            shard.map.remove(&oldest);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        shard.map.insert(key, outcome);
+        shard.order.push_back(key);
+        true
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Is the cache empty?
@@ -137,7 +193,11 @@ impl ResultCache {
 
     /// Drop every entry.
     pub fn clear(&self) {
-        self.map.lock().clear();
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.order.clear();
+        }
     }
 
     /// Lifetime hit count.
@@ -150,15 +210,98 @@ impl ResultCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// How many times the capacity bound wiped the map.
+    /// Entries evicted by the capacity bound (oldest-first), lifetime.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// A serializable image of the current contents, stamped with the
+    /// running fingerprint-scheme version.
+    pub fn to_snapshot(&self) -> CacheSnapshot {
+        let mut entries = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for &key in &shard.order {
+                if let Some(outcome) = shard.map.get(&key) {
+                    entries.push((key, outcome.clone()));
+                }
+            }
+        }
+        CacheSnapshot {
+            version: FINGERPRINT_SCHEME_VERSION,
+            entries,
+        }
+    }
+
+    /// Merge a snapshot's entries into the live cache (first write wins, so
+    /// live entries are never replaced). Returns the number of entries
+    /// actually inserted — keys already resident, or absorbed-then-evicted
+    /// by the capacity bound, are not counted — or an error when the
+    /// snapshot's fingerprint-scheme version does not match the running one:
+    /// such keys were computed under different hashing semantics and
+    /// matching against them would serve wrong results.
+    pub fn absorb_snapshot(&self, snapshot: &CacheSnapshot) -> Result<usize, String> {
+        if snapshot.version != FINGERPRINT_SCHEME_VERSION {
+            return Err(format!(
+                "cache snapshot has fingerprint-scheme version {} but this build uses {}; \
+                 refusing to warm-start from it",
+                snapshot.version, FINGERPRINT_SCHEME_VERSION
+            ));
+        }
+        let mut absorbed = 0;
+        for (key, outcome) in &snapshot.entries {
+            absorbed += self.insert(*key, outcome.clone()) as usize;
+        }
+        Ok(absorbed)
+    }
+
+    /// Persist the cache contents as version-stamped JSON at `path`
+    /// (atomically: written to a writer-unique sibling temp file, then
+    /// renamed — concurrent `Persist` requests from different daemon
+    /// connections must not interleave writes into one temp file, and each
+    /// rename installs a complete snapshot, last one winning). Returns the
+    /// number of entries written.
+    pub fn save_to(&self, path: &Path) -> std::io::Result<usize> {
+        static WRITER: AtomicU64 = AtomicU64::new(0);
+        let snapshot = self.to_snapshot();
+        let json = serde_json::to_string(&snapshot)
+            .map_err(|e| std::io::Error::other(format!("cache snapshot serialize: {e}")))?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            WRITER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(snapshot.entries.len())
+    }
+
+    /// Load a persisted snapshot from `path` and merge it into the live
+    /// cache. Returns the number of entries absorbed; a missing file,
+    /// unparsable content, or a stale fingerprint-scheme version all report
+    /// an error (the caller decides whether a cold start is acceptable).
+    pub fn load_from(&self, path: &Path) -> Result<usize, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let snapshot: CacheSnapshot = serde_json::from_str(&json)
+            .map_err(|e| format!("{}: not a cache snapshot: {e}", path.display()))?;
+        self.absorb_snapshot(&snapshot)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Keys that all land in one shard (multiples of SHARDS keep the low
+    /// bits equal), so the per-shard capacity bound is observable.
+    fn shard_key(i: u64) -> u64 {
+        i * ResultCache::SHARDS as u64
+    }
 
     #[test]
     fn get_insert_and_counters() {
@@ -174,16 +317,37 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_evicts_partially() {
-        let cache = ResultCache::with_capacity(4);
-        for k in 0..4 {
-            cache.insert(k, Arc::new(PolicyOutcome::default()));
-        }
-        cache.insert(4, Arc::new(PolicyOutcome::default()));
+    fn capacity_bound_evicts_oldest_first() {
+        // Total capacity SHARDS*1 → one entry per shard; all keys in one
+        // shard, so each insert past the first evicts exactly the oldest.
+        let cache = ResultCache::with_capacity(1);
+        cache.insert(shard_key(0), Arc::new(PolicyOutcome::default()));
+        cache.insert(shard_key(1), Arc::new(PolicyOutcome::default()));
         assert_eq!(cache.evictions(), 1);
-        // Half the old entries survive, plus the new one.
-        assert_eq!(cache.len(), 3);
-        assert!(cache.peek(4).is_some());
+        assert!(cache.peek(shard_key(0)).is_none(), "oldest entry evicted");
+        assert!(cache.peek(shard_key(1)).is_some(), "newest entry resident");
+        cache.insert(shard_key(2), Arc::new(PolicyOutcome::default()));
+        assert_eq!(cache.evictions(), 2);
+        assert!(cache.peek(shard_key(1)).is_none(), "evicts in FIFO order");
+        assert!(cache.peek(shard_key(2)).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_neither_evicts_nor_duplicates() {
+        let cache = ResultCache::with_capacity(ResultCache::SHARDS * 2);
+        cache.insert(shard_key(0), Arc::new(PolicyOutcome::default()));
+        cache.insert(shard_key(1), Arc::new(PolicyOutcome::default()));
+        // Shard full; re-inserting a resident key must not evict anything.
+        cache.insert(shard_key(0), Arc::new(PolicyOutcome::default()));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        // The next *new* key evicts key 0 (still the oldest — re-insert did
+        // not refresh its position).
+        cache.insert(shard_key(2), Arc::new(PolicyOutcome::default()));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.peek(shard_key(0)).is_none());
+        assert!(cache.peek(shard_key(1)).is_some());
     }
 
     #[test]
@@ -200,5 +364,51 @@ mod tests {
         cache.insert(9, a);
         cache.insert(9, b);
         assert_eq!(cache.peek(9).unwrap().data_planes_checked, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let cache = ResultCache::new();
+        for k in [3u64, 19, 0xdead_beef] {
+            cache.insert(
+                k,
+                Arc::new(PolicyOutcome {
+                    data_planes_checked: k,
+                    ..Default::default()
+                }),
+            );
+        }
+        let json = serde_json::to_string(&cache.to_snapshot()).unwrap();
+        let snapshot: CacheSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = ResultCache::new();
+        assert_eq!(restored.absorb_snapshot(&snapshot).unwrap(), 3);
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.peek(19).unwrap().data_planes_checked, 19);
+    }
+
+    #[test]
+    fn stale_scheme_version_is_rejected() {
+        let cache = ResultCache::new();
+        cache.insert(1, Arc::new(PolicyOutcome::default()));
+        let mut snapshot = cache.to_snapshot();
+        snapshot.version = FINGERPRINT_SCHEME_VERSION + 1;
+        let restored = ResultCache::new();
+        let err = restored.absorb_snapshot(&snapshot).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        assert!(restored.is_empty(), "no entries from a stale snapshot");
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("plankton-cache-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let cache = ResultCache::new();
+        cache.insert(42, Arc::new(PolicyOutcome::default()));
+        assert_eq!(cache.save_to(&path).unwrap(), 1);
+        let restored = ResultCache::new();
+        assert_eq!(restored.load_from(&path).unwrap(), 1);
+        assert!(restored.peek(42).is_some());
+        assert!(restored.load_from(&dir.join("absent.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

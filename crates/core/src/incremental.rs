@@ -275,31 +275,56 @@ impl Plankton {
 }
 
 /// A persistent verification session: a network, its analysis layers, and
-/// the result cache that survives configuration deltas.
+/// the result cache that survives configuration deltas — shared by any
+/// number of concurrent readers.
+///
+/// The ownership model is copy-on-write snapshot swap: the expensive
+/// analysis state ([`Plankton`] — network, PEC trie, dependency graph) is an
+/// immutable snapshot behind an `Arc`. Readers ([`IncrementalVerifier::verify`],
+/// queries) clone the `Arc` and work off their snapshot without holding any
+/// lock for the duration of a verification; writers
+/// ([`IncrementalVerifier::apply_delta`], [`IncrementalVerifier::load`])
+/// build the replacement snapshot *off-lock* and swap the pointer. Writers
+/// are serialized by a dedicated mutation lock (a read-modify-write against
+/// the current snapshot must not race another), so every delta is applied
+/// against the snapshot its caller observed or a successor of it.
+///
+/// The result cache is shared across all of it without generation tagging:
+/// content-addressed keys make an entry computed against *any* snapshot
+/// correct wherever its key matches, so a verification racing a delta can
+/// keep inserting results for its (old) snapshot — they are simply
+/// unreachable from the new snapshot's keys if the delta invalidated them.
 pub struct IncrementalVerifier {
-    plankton: Plankton,
-    cache: ResultCache,
-    deltas_applied: u64,
+    snapshot: parking_lot::RwLock<Arc<Plankton>>,
+    /// Serializes mutators (`apply_delta`, `load`) end-to-end; the snapshot
+    /// write lock above is only held for the pointer swap itself.
+    mutate: parking_lot::Mutex<()>,
+    cache: Arc<ResultCache>,
+    deltas_applied: AtomicU64,
 }
 
 impl IncrementalVerifier {
     /// Start a session for `network`.
     pub fn new(network: Network) -> Self {
+        Self::with_cache(network, Arc::new(ResultCache::new()))
+    }
+
+    /// Start a session for `network` over an existing (possibly warm,
+    /// possibly shared) result cache.
+    pub fn with_cache(network: Network, cache: Arc<ResultCache>) -> Self {
         IncrementalVerifier {
-            plankton: Plankton::new(network),
-            cache: ResultCache::new(),
-            deltas_applied: 0,
+            snapshot: parking_lot::RwLock::new(Arc::new(Plankton::new(network))),
+            mutate: parking_lot::Mutex::new(()),
+            cache,
+            deltas_applied: AtomicU64::new(0),
         }
     }
 
-    /// The current network.
-    pub fn network(&self) -> &Network {
-        self.plankton.network()
-    }
-
-    /// The current analysis (PECs, dependencies).
-    pub fn plankton(&self) -> &Plankton {
-        &self.plankton
+    /// The current analysis snapshot (network, PECs, dependencies). The
+    /// returned `Arc` stays valid — and internally consistent — across any
+    /// concurrent delta; it just stops being current.
+    pub fn snapshot(&self) -> Arc<Plankton> {
+        self.snapshot.read().clone()
     }
 
     /// The result cache.
@@ -309,24 +334,31 @@ impl IncrementalVerifier {
 
     /// Deltas applied since the session started.
     pub fn deltas_applied(&self) -> u64 {
-        self.deltas_applied
+        self.deltas_applied.load(Ordering::Relaxed)
     }
 
     /// Replace the whole network (a `load` request): drops the cache.
-    pub fn load(&mut self, network: Network) {
-        self.plankton = Plankton::new(network);
+    pub fn load(&self, network: Network) {
+        let _serialize = self.mutate.lock();
+        let plankton = Arc::new(Plankton::new(network));
+        *self.snapshot.write() = plankton;
+        // A concurrent verify against the old snapshot may re-insert entries
+        // after this clear; content keys keep them harmless (and they stay
+        // *useful* if the old network is ever loaded again).
         self.cache.clear();
-        self.deltas_applied = 0;
+        self.deltas_applied.store(0, Ordering::Relaxed);
     }
 
     /// Apply one configuration delta: the network mutates, the PEC trie and
-    /// dependency graph are recomputed, and the advisory dirty set is
+    /// dependency graph are recomputed (off-lock — concurrent verifies keep
+    /// reading the old snapshot meanwhile), and the advisory dirty set is
     /// derived by mapping the delta's touch through the new partition. The
     /// result cache is kept — content keys make stale entries unreachable.
-    pub fn apply_delta(&mut self, delta: &ConfigDelta) -> Result<AppliedDelta, DeltaError> {
-        let mut network = self.plankton.network().clone();
+    pub fn apply_delta(&self, delta: &ConfigDelta) -> Result<AppliedDelta, DeltaError> {
+        let _serialize = self.mutate.lock();
+        let mut network = self.snapshot().network().clone();
         let touch = delta.apply(&mut network)?;
-        let plankton = Plankton::new(network);
+        let plankton = Arc::new(Plankton::new(network));
         let pecs_touched = pecs_touched_by(
             plankton.network(),
             plankton.pecs(),
@@ -334,8 +366,8 @@ impl IncrementalVerifier {
             &touch,
         );
         let pecs_total = plankton.pecs().len();
-        self.plankton = plankton;
-        self.deltas_applied += 1;
+        *self.snapshot.write() = plankton;
+        self.deltas_applied.fetch_add(1, Ordering::Relaxed);
         Ok(AppliedDelta {
             kind: delta.kind(),
             touch,
@@ -344,8 +376,10 @@ impl IncrementalVerifier {
         })
     }
 
-    /// Verify through the session cache. See [`Plankton::verify_with_cache`]
-    /// for the `policy_fp` contract.
+    /// Verify through the session cache, against the snapshot current at
+    /// call time (a delta landing mid-verification does not affect this
+    /// run). See [`Plankton::verify_with_cache`] for the `policy_fp`
+    /// contract.
     pub fn verify(
         &self,
         policy: &dyn plankton_policy::Policy,
@@ -353,7 +387,7 @@ impl IncrementalVerifier {
         scenario: &FailureScenario,
         options: &PlanktonOptions,
     ) -> (VerificationReport, IncrementalRunStats) {
-        self.plankton
+        self.snapshot()
             .verify_with_cache(policy, policy_fp, scenario, options, &self.cache)
     }
 }
@@ -400,7 +434,7 @@ mod tests {
     #[test]
     fn static_route_delta_reexplores_one_pec() {
         let s = fat_tree_ospf(4, CoreStaticRoutes::None);
-        let mut session = IncrementalVerifier::new(s.network.clone());
+        let session = IncrementalVerifier::new(s.network.clone());
         let policy = LoopFreedom::everywhere();
         let scenario = FailureScenario::no_failures();
         let options = PlanktonOptions::default().collect_all_violations();
@@ -418,8 +452,96 @@ mod tests {
         let (incr, run) = session.verify(&policy, 1, &scenario, &options);
         assert!(run.pecs_reexplored < run.pecs_checked, "{run:?}");
         assert!(run.tasks_cached > 0, "{run:?}");
-        let oneshot = Plankton::new(session.network().clone()).verify(&policy, &scenario, &options);
+        let oneshot = Plankton::new(session.snapshot().network().clone())
+            .verify(&policy, &scenario, &options);
         assert_eq!(incr.normalized_json(), oneshot.normalized_json());
+    }
+
+    #[test]
+    fn persisted_cache_warm_starts_a_new_session() {
+        // The daemon-restart path: verify, snapshot the cache to JSON, build
+        // a brand-new session over the deserialized cache, and re-verify.
+        // Every task must be served from the warm cache and the report must
+        // be byte-identical to the cold one.
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let policy = LoopFreedom::everywhere();
+        let scenario = FailureScenario::up_to(1);
+        let options = PlanktonOptions::default().collect_all_violations();
+        let session = IncrementalVerifier::new(s.network.clone());
+        let (cold, cold_run) = session.verify(&policy, 3, &scenario, &options);
+        assert!(cold_run.tasks_rerun > 0);
+
+        let json = serde_json::to_string(&session.cache().to_snapshot()).unwrap();
+        drop(session);
+
+        let restarted = IncrementalVerifier::new(s.network.clone());
+        let snapshot: crate::cache::CacheSnapshot = serde_json::from_str(&json).unwrap();
+        let absorbed = restarted.cache().absorb_snapshot(&snapshot).unwrap();
+        assert!(absorbed > 0);
+        let (warm, warm_run) = restarted.verify(&policy, 3, &scenario, &options);
+        assert_eq!(warm_run.tasks_rerun, 0, "{warm_run:?}");
+        assert_eq!(warm_run.tasks_cached, warm_run.tasks_total);
+        assert_eq!(cold.normalized_json(), warm.normalized_json());
+    }
+
+    #[test]
+    fn concurrent_verifies_race_deltas_without_torn_snapshots() {
+        // Readers verify in a loop while a writer toggles a static route on
+        // and off. Every report a reader produces must byte-match the
+        // from-scratch verification of one of the two network states —
+        // proving the snapshot swap is atomic (no reader ever observes a
+        // half-applied delta) and cached merges stay exact under races.
+        let s = fat_tree_ospf(4, CoreStaticRoutes::None);
+        let policy = LoopFreedom::everywhere();
+        let scenario = FailureScenario::no_failures();
+        let options = PlanktonOptions::default().collect_all_violations();
+        let add = ConfigDelta::StaticRouteAdd {
+            device: s.fat_tree.core[0],
+            route: StaticRoute::null(s.destinations[0]),
+        };
+        let remove = ConfigDelta::StaticRouteRemove {
+            device: s.fat_tree.core[0],
+            prefix: s.destinations[0],
+        };
+        let base_oracle = Plankton::new(s.network.clone())
+            .verify(&policy, &scenario, &options)
+            .normalized_json();
+        let mut edited = s.network.clone();
+        add.apply(&mut edited).unwrap();
+        let edited_oracle = Plankton::new(edited)
+            .verify(&policy, &scenario, &options)
+            .normalized_json();
+
+        let session = IncrementalVerifier::new(s.network.clone());
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut seen = Vec::new();
+                        for _ in 0..6 {
+                            let (report, _) = session.verify(&policy, 1, &scenario, &options);
+                            seen.push(report.normalized_json());
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            let writer = scope.spawn(|| {
+                for i in 0..6 {
+                    let delta = if i % 2 == 0 { &add } else { &remove };
+                    session.apply_delta(delta).unwrap();
+                }
+            });
+            writer.join().unwrap();
+            for reader in readers {
+                for json in reader.join().unwrap() {
+                    assert!(
+                        json == base_oracle || json == edited_oracle,
+                        "a concurrent verify produced a report matching neither network state"
+                    );
+                }
+            }
+        });
     }
 
     #[test]

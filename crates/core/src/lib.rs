@@ -25,7 +25,7 @@ pub mod session;
 pub mod underlay;
 pub mod verifier;
 
-pub use cache::{PolicyOutcome, ResultCache};
+pub use cache::{CacheSnapshot, PolicyOutcome, ResultCache};
 pub use failures::{DeviceEquivalence, LinkEquivalenceClasses};
 pub use incremental::{AppliedDelta, IncrementalRunStats, IncrementalVerifier};
 pub use options::PlanktonOptions;

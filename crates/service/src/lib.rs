@@ -29,6 +29,6 @@ pub use proto::{
     ViolationSummary,
 };
 #[cfg(unix)]
-pub use serve::serve_unix;
-pub use serve::{handle_line, serve};
+pub use serve::{connect_with_retry, serve_unix};
+pub use serve::{handle_line, serve, ServeOptions};
 pub use session::ServiceSession;

@@ -154,7 +154,12 @@ pub enum Request {
     },
     /// Service statistics.
     Stats,
-    /// Stop the daemon.
+    /// Write the result cache to the daemon's `--cache-dir` now (it is also
+    /// written automatically on shutdown). Errors when no cache directory
+    /// is configured.
+    Persist,
+    /// Stop the daemon: stop accepting connections, drain in-flight
+    /// requests, persist the cache when a `--cache-dir` is configured.
     Shutdown,
 }
 
@@ -265,8 +270,14 @@ pub struct ServiceStats {
     /// `Error` and keeps serving, but exits non-zero at end of stream).
     #[serde(default)]
     pub parse_errors: u64,
-    /// Times the capacity bound wiped the cache.
+    /// Entries evicted by the cache capacity bound (oldest-first).
     pub cache_evictions: u64,
+    /// Client connections currently open (socket mode; 0 on stdio).
+    #[serde(default)]
+    pub connections_open: u64,
+    /// Client connections accepted since the daemon started.
+    #[serde(default)]
+    pub connections_served: u64,
     /// PECs in the current partition.
     pub pecs_total: usize,
     /// Milliseconds since the service started.
@@ -291,6 +302,11 @@ pub enum Response {
         pecs: usize,
         /// PECs carrying configuration.
         active_pecs: usize,
+        /// Result-cache entries warm-started from the persisted cache file
+        /// (0 without `--cache-dir`, on a cold start, or when the persisted
+        /// snapshot's fingerprint-scheme version was stale and rejected).
+        #[serde(default)]
+        cache_warm_entries: usize,
     },
     /// A verification finished.
     Report(ReportSummary),
@@ -325,6 +341,13 @@ pub enum Response {
     },
     /// Service statistics.
     Stats(ServiceStats),
+    /// The result cache was persisted.
+    Persisted {
+        /// Entries written.
+        entries: usize,
+        /// The file they were written to.
+        path: String,
+    },
     /// The request failed.
     Error {
         /// What went wrong.

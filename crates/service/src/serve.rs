@@ -1,6 +1,14 @@
 //! The request loop: newline-delimited JSON over any `BufRead`/`Write`
 //! pair (stdin/stdout, a Unix socket connection, or an in-memory buffer in
-//! tests), plus the Unix-socket accept loop for `planktond --socket`.
+//! tests), plus the concurrent Unix-socket server for `planktond --socket`.
+//!
+//! The socket server is thread-per-connection over one shared
+//! [`ServiceSession`]: reads (`Verify`/`Query`/`Stats`) from different
+//! clients run concurrently against the session's current analysis
+//! snapshot, mutations are serialized inside the session, and a `Shutdown`
+//! request from any client drains the others gracefully — their in-flight
+//! request finishes and its response is written before the connection is
+//! closed.
 
 use crate::proto::{Request, Response};
 use crate::session::ServiceSession;
@@ -8,7 +16,7 @@ use std::io::{self, BufRead, Write};
 
 /// Handle one request line, returning the response line and whether the
 /// daemon should shut down afterwards.
-pub fn handle_line(session: &mut ServiceSession, line: &str) -> (String, bool) {
+pub fn handle_line(session: &ServiceSession, line: &str) -> (String, bool) {
     let trimmed = line.trim();
     if trimmed.is_empty() {
         return (String::new(), false);
@@ -34,8 +42,13 @@ pub fn handle_line(session: &mut ServiceSession, line: &str) -> (String, bool) {
 /// Serve requests from `reader`, writing one response line per request to
 /// `writer`, until EOF or a `Shutdown` request. Returns whether a shutdown
 /// was requested (as opposed to the peer closing the stream).
+///
+/// Requests on one stream are processed strictly in order, but a client may
+/// *pipeline*: write several request lines without waiting, then read the
+/// same number of response lines (`planktonctl --pipeline` does exactly
+/// this) — the loop never requires lockstep turns.
 pub fn serve<R: BufRead, W: Write>(
-    session: &mut ServiceSession,
+    session: &ServiceSession,
     reader: R,
     writer: &mut W,
 ) -> io::Result<bool> {
@@ -55,23 +68,166 @@ pub fn serve<R: BufRead, W: Write>(
     Ok(false)
 }
 
-/// Bind a Unix socket and serve connections sequentially against one shared
-/// session (deltas from one connection are visible to the next — the whole
-/// point of a persistent daemon). Returns when a client sends `Shutdown`.
+/// How the Unix-socket server runs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Maximum concurrently served client connections; further connections
+    /// queue in the listener backlog until a serving thread finishes.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { max_connections: 4 }
+    }
+}
+
+/// Poll interval of the accept loop (it must notice the shutdown flag and
+/// freed connection slots without a dedicated wakeup channel).
 #[cfg(unix)]
-pub fn serve_unix(session: &mut ServiceSession, path: &std::path::Path) -> io::Result<()> {
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(10);
+
+/// Upper bound on one blocked response write. A client that stops reading
+/// stalls its serving thread at most this long (then the connection errors
+/// out), so a non-reading client can never wedge the shutdown drain.
+#[cfg(unix)]
+const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Bind a Unix socket and serve connections concurrently — one thread per
+/// connection, all sharing `session` (deltas applied through one connection
+/// are visible to every other: the whole point of a persistent daemon).
+///
+/// Returns when a client sends `Shutdown`: the listener stops accepting,
+/// every other connection's read side is shut down so its serving thread
+/// finishes the request currently in flight (writing its response) and
+/// exits, and the scope join guarantees the drain completes before this
+/// function returns.
+#[cfg(unix)]
+pub fn serve_unix(
+    session: &ServiceSession,
+    path: &std::path::Path,
+    options: &ServeOptions,
+) -> io::Result<()> {
+    use parking_lot::Mutex;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     let _ = std::fs::remove_file(path);
-    let listener = std::os::unix::net::UnixListener::bind(path)?;
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let reader = io::BufReader::new(stream.try_clone()?);
-        let mut writer = stream;
-        if serve(session, reader, &mut writer)? {
-            break;
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let shutdown = AtomicBool::new(false);
+    // Clones of every *live* connection keyed by connection id, so the
+    // drain can unblock threads parked in `read_line` (a `shutdown(Read)`
+    // turns their next read into EOF). Each serving thread removes its own
+    // entry on exit — a long-lived daemon must not accumulate one dead fd
+    // per past connection.
+    let live: Mutex<std::collections::HashMap<u64, UnixStream>> =
+        Mutex::new(std::collections::HashMap::new());
+    let max = options.max_connections.max(1) as u64;
+    let mut next_id: u64 = 0;
+
+    let result = std::thread::scope(|scope| -> io::Result<()> {
+        // The accept loop must *fall through* to the drain on any error:
+        // returning early would skip unblocking the serving threads parked
+        // in `read_line`, and the scope join would then hang forever on
+        // idle connections.
+        let mut accept_error: Option<io::Error> = None;
+        while !shutdown.load(Ordering::Relaxed) {
+            if session.connections_open() >= max {
+                // At the connection cap: let the backlog hold new clients
+                // until a serving thread frees a slot.
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                Err(e) => {
+                    accept_error = Some(e);
+                    break;
+                }
+            };
+            // Per-connection setup. A failure here (e.g. EMFILE under fd
+            // pressure) drops only this connection — the daemon keeps
+            // serving the others. The bounded write keeps both the drain
+            // and the thread pool safe from a client that stops reading:
+            // its serving thread errors out instead of blocking in
+            // `write_all` forever (a read-side shutdown cannot unblock a
+            // writer). Responsive clients drain the socket far faster.
+            let read_half = match stream
+                .set_write_timeout(Some(WRITE_TIMEOUT))
+                .and_then(|()| stream.try_clone())
+            {
+                Ok(clone) => clone,
+                Err(e) => {
+                    eprintln!("planktond: dropping connection (setup failed: {e})");
+                    continue;
+                }
+            };
+            let id = next_id;
+            next_id += 1;
+            live.lock().insert(id, read_half);
+            session.connection_opened();
+            let shutdown = &shutdown;
+            let session = &session;
+            let live = &live;
+            scope.spawn(move || {
+                let serve_one = || -> io::Result<bool> {
+                    let reader = io::BufReader::new(stream.try_clone()?);
+                    let mut writer = &stream;
+                    serve(session, reader, &mut writer)
+                };
+                match serve_one() {
+                    Ok(true) => shutdown.store(true, Ordering::Relaxed),
+                    Ok(false) => {}
+                    Err(e) => eprintln!("planktond: connection error: {e}"),
+                }
+                live.lock().remove(&id);
+                session.connection_closed();
+            });
+        }
+        // Drain: unblock every reader; the scope join below waits for each
+        // serving thread to write the response of its in-flight request
+        // (bounded by the write timeout above) and exit.
+        for stream in live.lock().values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    result
+}
+
+/// Connect to a daemon socket, retrying with a short backoff until
+/// `timeout` elapses — a client racing the daemon's bind (tests, scripts
+/// that just spawned `planktond`) should wait, not fail.
+#[cfg(unix)]
+pub fn connect_with_retry(
+    path: &std::path::Path,
+    timeout: std::time::Duration,
+) -> io::Result<std::os::unix::net::UnixStream> {
+    let start = std::time::Instant::now();
+    let backoff = std::time::Duration::from_millis(20);
+    loop {
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if start.elapsed() >= timeout {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("{}: {e} (gave up after {:?})", path.display(), timeout),
+                    ));
+                }
+                std::thread::sleep(backoff);
+            }
         }
     }
-    let _ = std::fs::remove_file(path);
-    Ok(())
 }
 
 #[cfg(test)]
@@ -92,7 +248,7 @@ mod tests {
     #[test]
     fn ndjson_session_end_to_end() {
         let s = ring_ospf(4);
-        let mut session = ServiceSession::new();
+        let session = ServiceSession::new();
         let mut input = String::new();
         input.push_str(&format!(
             "{}\n",
@@ -122,7 +278,7 @@ mod tests {
         input.push_str("\"Stats\"\n\"Shutdown\"\n");
 
         let mut output = Vec::new();
-        let shutdown = serve(&mut session, Cursor::new(input), &mut output).unwrap();
+        let shutdown = serve(&session, Cursor::new(input), &mut output).unwrap();
         assert!(shutdown);
         let responses = lines_of(&output);
         assert_eq!(responses.len(), 6);
@@ -152,10 +308,10 @@ mod tests {
 
     #[test]
     fn bad_requests_do_not_kill_the_loop() {
-        let mut session = ServiceSession::new();
+        let session = ServiceSession::new();
         let input = "this is not json\n\"Stats\"\n";
         let mut output = Vec::new();
-        let shutdown = serve(&mut session, Cursor::new(input), &mut output).unwrap();
+        let shutdown = serve(&session, Cursor::new(input), &mut output).unwrap();
         assert!(!shutdown, "EOF, not shutdown");
         let responses = lines_of(&output);
         assert!(matches!(&responses[0], Response::Error { .. }));
@@ -163,9 +319,59 @@ mod tests {
     }
 
     #[test]
+    fn persist_without_a_cache_dir_is_an_error() {
+        let session = ServiceSession::with_network(ring_ospf(4).network);
+        let response = session.handle(&Request::Persist);
+        assert!(
+            matches!(&response, Response::Error { message } if message.contains("cache-dir")),
+            "{response:?}"
+        );
+    }
+
+    #[test]
+    fn persist_and_warm_start_through_a_cache_dir() {
+        let dir = std::env::temp_dir().join(format!("plankton-persist-{}", std::process::id()));
+        let s = ring_ospf(4);
+        let verify = Request::Verify {
+            policy: PolicySpec::LoopFreedom,
+            options: None,
+        };
+        let cold_entries;
+        {
+            let session = ServiceSession::new().with_cache_dir(&dir);
+            session.load(s.network.clone());
+            let Response::Report(report) = session.handle(&verify) else {
+                panic!("verify failed");
+            };
+            assert_eq!(report.run.tasks_cached, 0, "cold run");
+            let Response::Persisted { entries, path } = session.handle(&Request::Persist) else {
+                panic!("persist failed");
+            };
+            assert!(entries > 0);
+            assert!(path.ends_with(ServiceSession::CACHE_FILE));
+            cold_entries = entries;
+        }
+        // "Restart": a fresh session over the same cache dir warm-starts.
+        let session = ServiceSession::new().with_cache_dir(&dir);
+        let Response::Loaded {
+            cache_warm_entries, ..
+        } = session.load(s.network.clone())
+        else {
+            panic!("load failed");
+        };
+        assert_eq!(cache_warm_entries, cold_entries);
+        let Response::Report(report) = session.handle(&verify) else {
+            panic!("warm verify failed");
+        };
+        assert_eq!(report.run.tasks_rerun, 0, "{:?}", report.run);
+        assert!(report.run.tasks_cached > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn queries_read_the_stored_report() {
         let s = ring_ospf(4);
-        let mut session = ServiceSession::with_network(s.network.clone());
+        let session = ServiceSession::with_network(s.network.clone());
         let verify = Request::Verify {
             policy: PolicySpec::Reachability {
                 sources: vec![s.network.topology.node(s.ring.routers[1]).name.clone()],
@@ -206,28 +412,76 @@ mod tests {
         let network = s.network.clone();
         let sock_path = path.clone();
         let server = std::thread::spawn(move || {
-            let mut session = ServiceSession::with_network(network);
-            serve_unix(&mut session, &sock_path).unwrap();
+            let session = ServiceSession::with_network(network);
+            serve_unix(&session, &sock_path, &ServeOptions::default()).unwrap();
         });
-        // Wait for the socket to appear.
-        for _ in 0..200 {
-            if path.exists() {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
-        let stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+        let stream =
+            connect_with_retry(&path, std::time::Duration::from_secs(10)).expect("daemon binds");
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = stream;
         writer.write_all(b"\"Stats\"\n").unwrap();
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         let response: Response = serde_json::from_str(&line).unwrap();
-        assert!(matches!(response, Response::Stats(st) if st.loaded));
+        assert!(matches!(response, Response::Stats(st) if st.loaded && st.connections_open == 1));
         writer.write_all(b"\"Shutdown\"\n").unwrap();
         line.clear();
         reader.read_line(&mut line).unwrap();
         server.join().unwrap();
         assert!(!path.exists(), "socket file cleaned up");
+    }
+
+    /// Two clients are served *at the same time*: the second connection gets
+    /// its response while the first is still open and idle — which the old
+    /// sequential accept loop could not do (it served connections to
+    /// completion, one after another).
+    #[cfg(unix)]
+    #[test]
+    fn concurrent_connections_are_served_while_earlier_ones_stay_open() {
+        use std::io::{BufRead, BufReader, Write};
+        let dir = std::env::temp_dir().join(format!("plankton-sock2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("planktond.sock");
+        let s = ring_ospf(4);
+        let network = s.network.clone();
+        let sock_path = path.clone();
+        let server = std::thread::spawn(move || {
+            let session = ServiceSession::with_network(network);
+            serve_unix(&session, &sock_path, &ServeOptions::default()).unwrap();
+        });
+        let timeout = std::time::Duration::from_secs(10);
+        // First connection: open, exchange one request, then stay idle.
+        let first = connect_with_retry(&path, timeout).unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        let mut first_writer = first;
+        first_writer.write_all(b"\"Stats\"\n").unwrap();
+        let mut line = String::new();
+        first_reader.read_line(&mut line).unwrap();
+        // Second connection while the first is still open: must be served.
+        let second = connect_with_retry(&path, timeout).unwrap();
+        let mut second_reader = BufReader::new(second.try_clone().unwrap());
+        let mut second_writer = second;
+        second_writer.write_all(b"\"Stats\"\n").unwrap();
+        line.clear();
+        second_reader.read_line(&mut line).unwrap();
+        let response: Response = serde_json::from_str(&line).unwrap();
+        let Response::Stats(stats) = response else {
+            panic!("expected stats, got {line}");
+        };
+        assert_eq!(stats.connections_open, 2, "both connections live");
+        assert_eq!(stats.connections_served, 2);
+        // The first connection still works after the second was served.
+        first_writer.write_all(b"\"Stats\"\n").unwrap();
+        line.clear();
+        first_reader.read_line(&mut line).unwrap();
+        assert!(serde_json::from_str::<Response>(&line).is_ok());
+        // Shutdown from the second connection drains the first (EOF).
+        second_writer.write_all(b"\"Shutdown\"\n").unwrap();
+        line.clear();
+        second_reader.read_line(&mut line).unwrap();
+        server.join().unwrap();
+        line.clear();
+        let drained = first_reader.read_line(&mut line).unwrap();
+        assert_eq!(drained, 0, "drained connection reads EOF, not an error");
     }
 }

@@ -1,29 +1,66 @@
 //! The service session: one loaded network, its incremental verifier, and
-//! the stored reports follow-up queries read.
+//! the stored reports follow-up queries read — shared by every client
+//! connection.
+//!
+//! The session is a *shared-state core*: every method takes `&self`, so the
+//! concurrent Unix-socket server hands one session to a thread per
+//! connection. Reads (`Verify`, `Query`, `Stats`) run concurrently — a
+//! verification clones the current analysis snapshot (`Arc`) and works
+//! off-lock for its whole duration — while mutations (`Load`, `ApplyDelta`)
+//! are serialized inside [`IncrementalVerifier`] and land as an atomic
+//! copy-on-write snapshot swap. The shared [`ResultCache`] means concurrent
+//! clients warm each other's verifications.
+//!
+//! With a cache directory configured ([`ServiceSession::with_cache_dir`]),
+//! the content-addressed result cache also survives process restarts:
+//! `Load` warm-starts from `<dir>/cache.json` when the file's
+//! fingerprint-scheme version matches, and the cache is written back on
+//! daemon shutdown or an explicit `Persist` request.
 
 use crate::proto::{
     DeltaSummary, PolicySpec, Query, ReportSummary, Request, Response, ServiceStats, VerifyOptions,
     ViolationSummary,
 };
+use parking_lot::{Mutex, RwLock};
 use plankton_config::Network;
-use plankton_core::{IncrementalVerifier, PlanktonOptions, VerificationReport};
-use plankton_pec::PecId;
+use plankton_core::{IncrementalVerifier, Plankton, PlanktonOptions, VerificationReport};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Server-side state behind the request loop.
+/// A stored report tagged with the analysis snapshot it was computed
+/// against.
+type SnapshotReport = (Arc<Plankton>, Arc<VerificationReport>);
+
+/// Server-side state behind the request loop(s).
 pub struct ServiceSession {
-    verifier: Option<IncrementalVerifier>,
-    /// Last full report per policy report name, for follow-up queries.
-    /// Cleared whenever the network changes (PEC ids are partition-relative).
-    last_reports: BTreeMap<String, VerificationReport>,
-    verifies: u64,
+    verifier: RwLock<Option<Arc<IncrementalVerifier>>>,
+    /// Serializes session-level mutations (`Load`, `ApplyDelta`) with each
+    /// other: without it a `Load` could replace the verifier while a
+    /// concurrent delta is applying to the old one — the delta would be
+    /// acknowledged and then silently discarded with no defined order.
+    mutate: Mutex<()>,
+    /// Last full report per policy report name, for follow-up queries —
+    /// tagged with the analysis snapshot it was computed against. PEC ids
+    /// are partition-relative, so queries only read reports whose snapshot
+    /// *is* the current one (`Arc::ptr_eq`); a verify that raced a delta and
+    /// stored a report for the superseded network is simply never served.
+    last_reports: Mutex<BTreeMap<String, SnapshotReport>>,
+    verifies: AtomicU64,
     /// Request lines that failed to parse. The request loop keeps serving
     /// after a malformed line (one bad client line must not take the daemon
     /// down), but `planktond` exits non-zero at end of stream when any
     /// request failed to parse, so scripted pipelines cannot silently
     /// mistake a typo'd request for success.
-    parse_errors: u64,
+    parse_errors: AtomicU64,
+    /// Client connections currently open (socket mode).
+    connections_open: AtomicU64,
+    /// Client connections accepted over the session's lifetime.
+    connections_served: AtomicU64,
+    /// Where the result cache is persisted across restarts, when configured.
+    cache_dir: Option<PathBuf>,
     started: Instant,
 }
 
@@ -34,59 +71,128 @@ impl Default for ServiceSession {
 }
 
 impl ServiceSession {
+    /// File name of the persisted cache inside the cache directory.
+    pub const CACHE_FILE: &'static str = "cache.json";
+
     /// An empty session (no network loaded).
     pub fn new() -> Self {
         ServiceSession {
-            verifier: None,
-            last_reports: BTreeMap::new(),
-            verifies: 0,
-            parse_errors: 0,
+            verifier: RwLock::new(None),
+            mutate: Mutex::new(()),
+            last_reports: Mutex::new(BTreeMap::new()),
+            verifies: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_served: AtomicU64::new(0),
+            cache_dir: None,
             started: Instant::now(),
         }
     }
 
+    /// Configure a directory the result cache is persisted to (on shutdown
+    /// and on `Persist` requests) and warm-started from (on `Load`),
+    /// builder-style.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The configured cache directory, if any.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// The persisted-cache path, if a cache directory is configured.
+    pub fn cache_file(&self) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|d| d.join(Self::CACHE_FILE))
+    }
+
     /// Record one request line that failed to parse.
-    pub fn note_parse_error(&mut self) {
-        self.parse_errors += 1;
+    pub fn note_parse_error(&self) {
+        self.parse_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Request lines that failed to parse since the session started.
     pub fn parse_errors(&self) -> u64 {
-        self.parse_errors
+        self.parse_errors.load(Ordering::Relaxed)
+    }
+
+    /// Record one client connection opening (socket mode).
+    pub fn connection_opened(&self) {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+        self.connections_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one client connection closing (socket mode).
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Client connections currently open.
+    pub fn connections_open(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed)
     }
 
     /// A session pre-loaded with a network.
     pub fn with_network(network: Network) -> Self {
-        let mut s = Self::new();
+        let s = Self::new();
         s.load(network);
         s
     }
 
-    /// Load (or replace) the network.
-    pub fn load(&mut self, network: Network) -> Response {
+    /// Load (or replace) the network. With a cache directory configured the
+    /// fresh verifier warm-starts from the persisted cache — content keys
+    /// guarantee entries from a different network (or a stale
+    /// fingerprint-scheme version, which is rejected outright) can never be
+    /// wrongly served.
+    pub fn load(&self, network: Network) -> Response {
+        let _serialize = self.mutate.lock();
         let devices = network.node_count();
         let links = network.topology.link_count();
-        match &mut self.verifier {
-            Some(v) => v.load(network),
-            None => self.verifier = Some(IncrementalVerifier::new(network)),
+        let verifier = Arc::new(IncrementalVerifier::new(network));
+        let mut cache_warm_entries = 0;
+        if let Some(path) = self.cache_file() {
+            if path.exists() {
+                match verifier.cache().load_from(&path) {
+                    Ok(n) => cache_warm_entries = n,
+                    Err(e) => eprintln!("planktond: ignoring persisted cache: {e}"),
+                }
+            }
         }
-        self.last_reports.clear();
-        let plankton = self.verifier.as_ref().expect("just loaded").plankton();
+        let snapshot = verifier.snapshot();
+        *self.verifier.write() = Some(verifier);
+        self.last_reports.lock().clear();
         Response::Loaded {
             devices,
             links,
-            pecs: plankton.pecs().len(),
-            active_pecs: plankton.pecs().active_pecs().len(),
+            pecs: snapshot.pecs().len(),
+            active_pecs: snapshot.pecs().active_pecs().len(),
+            cache_warm_entries,
         }
     }
 
     /// The session's verifier, if a network is loaded.
-    pub fn verifier(&self) -> Option<&IncrementalVerifier> {
-        self.verifier.as_ref()
+    pub fn verifier(&self) -> Option<Arc<IncrementalVerifier>> {
+        self.verifier.read().clone()
+    }
+
+    /// Persist the result cache to the configured cache directory. Returns
+    /// the number of entries written.
+    pub fn persist(&self) -> Result<usize, String> {
+        let Some(path) = self.cache_file() else {
+            return Err("no --cache-dir configured".into());
+        };
+        let Some(verifier) = self.verifier() else {
+            return Err("no network loaded".into());
+        };
+        verifier
+            .cache()
+            .save_to(&path)
+            .map_err(|e| format!("cannot persist cache to {}: {e}", path.display()))
     }
 
     /// Handle one request.
-    pub fn handle(&mut self, request: &Request) -> Response {
+    pub fn handle(&self, request: &Request) -> Response {
         match request {
             Request::Load { network } => {
                 let problems = network.validate();
@@ -100,15 +206,17 @@ impl ServiceSession {
             }
             Request::Verify { policy, options } => self.verify(policy, options.as_ref()),
             Request::ApplyDelta { delta } => {
-                let Some(verifier) = &mut self.verifier else {
+                let _serialize = self.mutate.lock();
+                let Some(verifier) = self.verifier() else {
                     return Response::Error {
                         message: "no network loaded".into(),
                     };
                 };
                 match verifier.apply_delta(delta) {
                     Ok(applied) => {
-                        self.last_reports.clear();
-                        let network = verifier.network();
+                        self.last_reports.lock().clear();
+                        let snapshot = verifier.snapshot();
+                        let network = snapshot.network();
                         Response::DeltaApplied(DeltaSummary {
                             kind: applied.kind.to_string(),
                             devices_touched: applied
@@ -135,19 +243,33 @@ impl ServiceSession {
             }
             Request::Query { query } => self.query(query),
             Request::Stats => Response::Stats(self.stats()),
+            Request::Persist => match self.persist() {
+                Ok(entries) => Response::Persisted {
+                    entries,
+                    path: self
+                        .cache_file()
+                        .expect("persist() checked the cache dir")
+                        .display()
+                        .to_string(),
+                },
+                Err(message) => Response::Error { message },
+            },
             Request::Shutdown => Response::Ok {
                 message: "shutting down".into(),
             },
         }
     }
 
-    fn verify(&mut self, spec: &PolicySpec, options: Option<&VerifyOptions>) -> Response {
-        let Some(verifier) = &self.verifier else {
+    fn verify(&self, spec: &PolicySpec, options: Option<&VerifyOptions>) -> Response {
+        let Some(verifier) = self.verifier() else {
             return Response::Error {
                 message: "no network loaded".into(),
             };
         };
-        let policy = match spec.build(verifier.network()) {
+        // Pin the snapshot for name resolution *and* verification: a delta
+        // landing between the two must not tear this request.
+        let snapshot = verifier.snapshot();
+        let policy = match spec.build(snapshot.network()) {
             Ok(p) => p,
             Err(message) => return Response::Error { message },
         };
@@ -167,17 +289,24 @@ impl ServiceSession {
         // then serve the no-failure tasks of later requests, and explored
         // failure scenarios pre-pay for matching link-down deltas.
         let policy_fp = spec.fingerprint();
-        let (report, run) =
-            verifier.verify(policy.as_ref(), policy_fp, &scenario, &plankton_options);
-        self.verifies += 1;
+        let (report, run) = snapshot.verify_with_cache(
+            policy.as_ref(),
+            policy_fp,
+            &scenario,
+            &plankton_options,
+            verifier.cache(),
+        );
+        self.verifies.fetch_add(1, Ordering::Relaxed);
         let summary = ReportSummary::of(&report, run);
-        self.last_reports.insert(report.policy.clone(), report);
+        self.last_reports
+            .lock()
+            .insert(report.policy.clone(), (snapshot, Arc::new(report)));
         Response::Report(summary)
     }
 
     fn query(&self, query: &Query) -> Response {
         match query {
-            Query::Violations { policy } => match self.last_reports.get(policy) {
+            Query::Violations { policy } => match self.last_report(policy) {
                 Some(report) => Response::Violations {
                     policy: policy.clone(),
                     violations: report.violations.iter().map(ViolationSummary::of).collect(),
@@ -187,12 +316,13 @@ impl ServiceSession {
                 },
             },
             Query::Pec { prefix } => {
-                let Some(verifier) = &self.verifier else {
+                let Some(verifier) = self.verifier() else {
                     return Response::Error {
                         message: "no network loaded".into(),
                     };
                 };
-                let pecs = verifier.plankton().pecs();
+                let snapshot = verifier.snapshot();
+                let pecs = snapshot.pecs();
                 let Some(pec) = pecs.pec_containing(prefix.addr()) else {
                     return Response::Error {
                         message: format!("no PEC covers {prefix}"),
@@ -200,8 +330,10 @@ impl ServiceSession {
                 };
                 let verdicts = self
                     .last_reports
+                    .lock()
                     .iter()
-                    .map(|(name, report)| {
+                    .filter(|(_, (of, _))| Arc::ptr_eq(of, &snapshot))
+                    .map(|(name, (_, report))| {
                         let holds = !report.violations.iter().any(|v| v.pec == pec.id);
                         (name.clone(), holds)
                     })
@@ -213,7 +345,7 @@ impl ServiceSession {
                     verdicts,
                 }
             }
-            Query::Trail { policy, index } => match self.last_reports.get(policy) {
+            Query::Trail { policy, index } => match self.last_report(policy) {
                 Some(report) => match report.violations.get(*index) {
                     Some(v) => Response::Trail {
                         policy: policy.clone(),
@@ -236,33 +368,48 @@ impl ServiceSession {
 
     /// Current aggregate statistics.
     pub fn stats(&self) -> ServiceStats {
+        let verifier = self.verifier();
         let mut stats = ServiceStats {
-            loaded: self.verifier.is_some(),
-            verifies: self.verifies,
-            parse_errors: self.parse_errors,
+            loaded: verifier.is_some(),
+            verifies: self.verifies.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors(),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_served: self.connections_served.load(Ordering::Relaxed),
             uptime_ms: self.started.elapsed().as_millis() as u64,
             ..Default::default()
         };
-        if let Some(v) = &self.verifier {
+        if let Some(v) = verifier {
             stats.deltas_applied = v.deltas_applied();
             stats.cache_entries = v.cache().len();
             stats.cache_hits = v.cache().hits();
             stats.cache_misses = v.cache().misses();
             stats.cache_evictions = v.cache().evictions();
-            stats.pecs_total = v.plankton().pecs().len();
+            stats.pecs_total = v.snapshot().pecs().len();
         }
         stats
     }
 
-    /// Look up a stored report.
-    pub fn last_report(&self, policy: &str) -> Option<&VerificationReport> {
-        self.last_reports.get(policy)
+    /// Look up a stored report — only if it was computed against the
+    /// *current* analysis snapshot (PEC ids are partition-relative; a
+    /// report that raced a delta must not be read against the new
+    /// partition).
+    pub fn last_report(&self, policy: &str) -> Option<Arc<VerificationReport>> {
+        let current = self.verifier()?.snapshot();
+        let reports = self.last_reports.lock();
+        let (of, report) = reports.get(policy)?;
+        Arc::ptr_eq(of, &current).then(|| report.clone())
     }
 
-    /// Does any stored report violate for this PEC?
-    pub fn pec_holds_everywhere(&self, pec: PecId) -> bool {
+    /// Does any stored current-snapshot report violate for this PEC?
+    pub fn pec_holds_everywhere(&self, pec: plankton_pec::PecId) -> bool {
+        let Some(verifier) = self.verifier() else {
+            return true;
+        };
+        let current = verifier.snapshot();
         self.last_reports
+            .lock()
             .values()
-            .all(|r| !r.violations.iter().any(|v| v.pec == pec))
+            .filter(|(of, _)| Arc::ptr_eq(of, &current))
+            .all(|(_, r)| !r.violations.iter().any(|v| v.pec == pec))
     }
 }

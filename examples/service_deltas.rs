@@ -15,7 +15,7 @@
 use plankton::config::scenarios::{fat_tree_ospf, CoreStaticRoutes};
 use plankton::service::{PolicySpec, Request, Response, ServiceSession, VerifyOptions};
 
-fn roundtrip(session: &mut ServiceSession, request: &Request) -> Response {
+fn roundtrip(session: &ServiceSession, request: &Request) -> Response {
     let line = request.to_line();
     println!("→ {line}");
     let (response_line, _) = plankton::service::handle_line(session, &line);
@@ -25,7 +25,7 @@ fn roundtrip(session: &mut ServiceSession, request: &Request) -> Response {
 
 fn main() {
     let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
-    let mut session = ServiceSession::new();
+    let session = ServiceSession::new();
 
     let verify = Request::Verify {
         policy: PolicySpec::LoopFreedom,
@@ -37,14 +37,14 @@ fn main() {
 
     println!("# 1. load the K=4 OSPF fat tree");
     roundtrip(
-        &mut session,
+        &session,
         &Request::Load {
             network: s.network.clone(),
         },
     );
 
     println!("\n# 2. first verification (cold cache): loop freedom, ≤1 failure");
-    let Response::Report(cold) = roundtrip(&mut session, &verify) else {
+    let Response::Report(cold) = roundtrip(&session, &verify) else {
         panic!("verify failed");
     };
     assert!(cold.holds);
@@ -52,21 +52,21 @@ fn main() {
     println!("\n# 3. a link fails");
     let link = s.network.topology.links()[0].id;
     roundtrip(
-        &mut session,
+        &session,
         &Request::ApplyDelta {
             delta: plankton::config::ConfigDelta::LinkDown { link },
         },
     );
 
     println!("\n# 4. re-verify: the fault-tolerance run pre-paid for this delta");
-    let Response::Report(warm) = roundtrip(&mut session, &verify) else {
+    let Response::Report(warm) = roundtrip(&session, &verify) else {
         panic!("re-verify failed");
     };
     assert!(warm.holds);
 
     println!("\n# 5. an operator edit: pin a static route on an aggregation switch");
     roundtrip(
-        &mut session,
+        &session,
         &Request::ApplyDelta {
             delta: plankton::config::ConfigDelta::StaticRouteAdd {
                 device: s.fat_tree.aggregation[0][0],
@@ -80,7 +80,7 @@ fn main() {
 
     println!("\n# 6. re-verify: only the touched PEC's tasks re-run — and the");
     println!("#    edit turns out to loop under a failure combination");
-    let Response::Report(after_edit) = roundtrip(&mut session, &verify) else {
+    let Response::Report(after_edit) = roundtrip(&session, &verify) else {
         panic!("re-verify failed");
     };
     assert!(
@@ -89,7 +89,7 @@ fn main() {
     );
 
     println!("\n# 7. service statistics");
-    roundtrip(&mut session, &Request::Stats);
+    roundtrip(&session, &Request::Stats);
 
     println!(
         "\nsummary: cold run re-explored {} PECs; after the link delta {} were \

@@ -1,0 +1,104 @@
+//! Persist → restart → cached re-verify, end to end.
+//!
+//! ```text
+//! cargo run --release --example warm_restart
+//! ```
+//!
+//! Two `ServiceSession`s play two daemon lifetimes sharing one
+//! `--cache-dir`: the first verifies cold and persists its
+//! content-addressed result cache; the second — a brand-new session whose
+//! only connection to the first is the cache file — warm-starts from it and
+//! serves the same verification entirely from cache, byte-identically. CI
+//! runs this as part of the warm-restart smoke test (it exits non-zero if
+//! the restarted session re-runs any task).
+
+use plankton::config::scenarios::{fat_tree_ospf, CoreStaticRoutes};
+use plankton::service::{PolicySpec, Request, Response, ServiceSession, VerifyOptions};
+
+fn roundtrip(session: &ServiceSession, request: &Request) -> Response {
+    let line = request.to_line();
+    println!("→ {line}");
+    let (response_line, _) = plankton::service::handle_line(session, &line);
+    println!("← {response_line}");
+    serde_json::from_str(&response_line).expect("response parses")
+}
+
+fn main() {
+    let cache_dir = std::env::temp_dir().join(format!("plankton-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+    let verify = Request::Verify {
+        policy: PolicySpec::LoopFreedom,
+        options: Some(VerifyOptions {
+            max_failures: 1,
+            ..Default::default()
+        }),
+    };
+
+    println!("# daemon lifetime 1: cold verify, then persist the cache");
+    let cold_report;
+    {
+        let session = ServiceSession::new().with_cache_dir(&cache_dir);
+        roundtrip(
+            &session,
+            &Request::Load {
+                network: s.network.clone(),
+            },
+        );
+        let Response::Report(report) = roundtrip(&session, &verify) else {
+            panic!("verify failed");
+        };
+        assert!(report.holds);
+        assert!(report.run.tasks_rerun > 0, "cold run does fresh work");
+        cold_report = report;
+        let Response::Persisted { entries, path } = roundtrip(&session, &Request::Persist) else {
+            panic!("persist failed");
+        };
+        println!("# persisted {entries} entries to {path}");
+        // The session going out of scope is the daemon dying. (planktond
+        // also persists automatically on shutdown.)
+    }
+
+    println!("\n# daemon lifetime 2: a new session warm-starts from the cache dir");
+    let session = ServiceSession::new().with_cache_dir(&cache_dir);
+    let Response::Loaded {
+        cache_warm_entries, ..
+    } = roundtrip(
+        &session,
+        &Request::Load {
+            network: s.network.clone(),
+        },
+    )
+    else {
+        panic!("load failed");
+    };
+    assert!(
+        cache_warm_entries > 0,
+        "cache file must warm the new session"
+    );
+
+    println!("\n# the delta-free re-verify is served entirely from the warm cache");
+    let Response::Report(warm) = roundtrip(&session, &verify) else {
+        panic!("warm verify failed");
+    };
+    assert!(warm.holds);
+    assert_eq!(
+        warm.run.tasks_rerun, 0,
+        "no task may re-run: {:?}",
+        warm.run
+    );
+    assert_eq!(warm.run.tasks_cached, warm.run.tasks_total);
+    assert_eq!(warm.states_explored, cold_report.states_explored);
+    assert_eq!(warm.data_planes_checked, cold_report.data_planes_checked);
+
+    println!(
+        "\nsummary: cold run re-ran {} tasks; after the restart {} of {} tasks \
+         came from the persisted cache ({} RPVP steps served without re-exploration)",
+        cold_report.run.tasks_rerun,
+        warm.run.tasks_cached,
+        warm.run.tasks_total,
+        warm.run.steps_cached,
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("warm-restart smoke test passed");
+}

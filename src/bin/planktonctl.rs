@@ -2,66 +2,124 @@
 //!
 //! Each positional argument is one JSON request line; with no arguments,
 //! request lines are read from stdin. Responses are printed one per line.
+//! Connection attempts retry with a short backoff until `--timeout` (the
+//! daemon may still be binding its socket), and `--pipeline` writes every
+//! request before reading any response — one round trip for a whole batch
+//! against the concurrent daemon.
 //!
 //! ```text
 //! planktonctl --socket /tmp/p.sock '"Stats"'
-//! planktonctl --socket /tmp/p.sock \
+//! planktonctl --socket /tmp/p.sock --timeout 10 --pipeline \
 //!   '{"ApplyDelta": {"delta": {"LinkDown": {"link": 3}}}}' \
-//!   '{"Verify": {"policy": "LoopFreedom"}}'
+//!   '{"Verify": {"policy": "LoopFreedom"}}' \
+//!   '"Persist"'
 //! ```
 
-use std::io::{BufRead, BufReader, Write};
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!("usage:\n  planktonctl --socket <path> [REQUEST_JSON]...\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.");
+    eprintln!("usage:\n  planktonctl --socket <path> [--timeout <secs>] [--pipeline] [REQUEST_JSON]...\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.\n--timeout bounds the connect retry loop (default 5s); --pipeline sends\nevery request before reading the responses.");
     exit(2);
 }
 
 #[cfg(unix)]
 fn main() {
+    use std::io::{BufRead, BufReader, Write};
+
     let mut socket: Option<String> = None;
+    let mut timeout_secs: f64 = 5.0;
+    let mut pipeline = false;
     let mut requests: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--timeout" => {
+                timeout_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--pipeline" => pipeline = true,
             "--help" | "-h" => usage(),
             // Blank requests get no response line from the daemon; sending
-            // one would deadlock the lockstep read below.
+            // one would desync the request/response accounting below.
             _ if arg.trim().is_empty() => {}
             _ => requests.push(arg),
         }
     }
     let Some(path) = socket else { usage() };
-    let stream = std::os::unix::net::UnixStream::connect(&path).unwrap_or_else(|e| {
+    let timeout = std::time::Duration::from_secs_f64(timeout_secs.max(0.0));
+    let stream = plankton_service::connect_with_retry(path.as_ref(), timeout).unwrap_or_else(|e| {
         eprintln!("cannot connect to {path}: {e}");
         exit(1);
     });
     let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
     let mut writer = stream;
 
-    let mut send = |line: &str| {
+    let send = |writer: &mut std::os::unix::net::UnixStream, line: &str| {
         writer
             .write_all(format!("{}\n", line.trim()).as_bytes())
             .expect("write request");
+    };
+    let receive = |reader: &mut BufReader<std::os::unix::net::UnixStream>| {
         let mut response = String::new();
-        reader.read_line(&mut response).expect("read response");
+        let n = reader.read_line(&mut response).expect("read response");
+        if n == 0 {
+            // EOF before the response: the daemon died or dropped the
+            // connection mid-session. Scripts key on the exit code — a
+            // truncated batch must not look like success.
+            eprintln!("planktonctl: connection closed by daemon before a response");
+            exit(1);
+        }
         print!("{response}");
     };
 
-    if requests.is_empty() {
+    if pipeline {
+        // One batch, full duplex: a reader thread prints responses while the
+        // batch is still being written, so a large batch can never deadlock
+        // with both sides blocked on full socket buffers. The daemon
+        // processes lines in order and writes one response per request, so
+        // reading N lines back cannot desync.
+        if requests.is_empty() {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.expect("read stdin");
+                if line.trim().is_empty() {
+                    continue;
+                }
+                requests.push(line);
+            }
+        }
+        let expected = requests.len();
+        std::thread::scope(|scope| {
+            let printer = scope.spawn(move || {
+                for _ in 0..expected {
+                    receive(&mut reader);
+                }
+            });
+            for request in &requests {
+                send(&mut writer, request);
+            }
+            printer.join().expect("read responses");
+        });
+    } else if requests.is_empty() {
+        // Streaming lockstep: each stdin line is sent — and its response
+        // printed — immediately, so interactive drivers and `tail -f`-style
+        // pipes see responses as they go, not at EOF.
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
             let line = line.expect("read stdin");
             if line.trim().is_empty() {
                 continue;
             }
-            send(&line);
+            send(&mut writer, &line);
+            receive(&mut reader);
         }
     } else {
         for request in &requests {
-            send(request);
+            send(&mut writer, request);
+            receive(&mut reader);
         }
     }
 }

@@ -2,26 +2,32 @@
 //!
 //! Accepts a network once (from a config file, a built-in scenario, or a
 //! `Load` request), then serves a stream of newline-delimited JSON requests:
-//! `Verify`, `ApplyDelta`, `Query`, `Stats`, `Shutdown`. Re-verification
-//! after a delta re-explores only the PECs the delta dirtied; everything
-//! else is served from the content-addressed result cache.
+//! `Verify`, `ApplyDelta`, `Query`, `Stats`, `Persist`, `Shutdown`.
+//! Re-verification after a delta re-explores only the PECs the delta
+//! dirtied; everything else is served from the content-addressed result
+//! cache. With `--socket` the daemon serves concurrent client connections
+//! (thread per connection over one shared session); with `--cache-dir` the
+//! result cache is persisted on shutdown (and on `Persist`) and
+//! warm-started on the next run, so a restarted daemon re-verifies an
+//! unchanged network entirely from cache.
 //!
 //! ```text
 //! planktond --scenario fat-tree:4                # stdio, demo network
-//! planktond --config net.json --socket /tmp/p.sock
+//! planktond --config net.json --socket /tmp/p.sock --threads 8
+//! planktond --scenario ring:6 --cache-dir /var/lib/plankton
 //! echo '"Stats"' | planktond --scenario ring:6
 //! ```
 
 use plankton::config::scenarios::{fat_tree_ospf, isp_ibgp_over_ospf, ring_ospf, CoreStaticRoutes};
 use plankton::net::generators::as_topo::AsTopologySpec;
 use plankton::prelude::Network;
-use plankton_service::ServiceSession;
+use plankton_service::{ServeOptions, ServiceSession};
 use std::io::{self, Write};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>] [--socket <path>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (sequential connections sharing\none session). Without --config/--scenario, start with a `Load` request."
+        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (concurrent connections sharing\none session; --threads caps them, default 4). With --cache-dir the result\ncache is persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request."
     );
     exit(2);
 }
@@ -42,6 +48,8 @@ fn main() {
     let mut config: Option<String> = None;
     let mut scenario: Option<String> = None;
     let mut socket: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut threads: usize = ServeOptions::default().max_connections;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -49,11 +57,21 @@ fn main() {
             "--config" => config = Some(value()),
             "--scenario" => scenario = Some(value()),
             "--socket" => socket = Some(value()),
+            "--cache-dir" => cache_dir = Some(value()),
+            "--threads" => {
+                threads = value().parse().unwrap_or_else(|_| usage());
+                if threads == 0 {
+                    usage();
+                }
+            }
             _ => usage(),
         }
     }
 
     let mut session = ServiceSession::new();
+    if let Some(dir) = &cache_dir {
+        session = session.with_cache_dir(dir);
+    }
     if let Some(path) = &config {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
@@ -78,8 +96,11 @@ fn main() {
         Some(path) => {
             #[cfg(unix)]
             {
-                eprintln!("planktond: listening on {path}");
-                if let Err(e) = plankton_service::serve_unix(&mut session, path.as_ref()) {
+                eprintln!("planktond: listening on {path} ({threads} connection threads)");
+                let options = ServeOptions {
+                    max_connections: threads,
+                };
+                if let Err(e) = plankton_service::serve_unix(&session, path.as_ref(), &options) {
                     eprintln!("planktond: socket error: {e}");
                     exit(1);
                 }
@@ -94,11 +115,21 @@ fn main() {
         None => {
             let stdin = io::stdin();
             let mut stdout = io::stdout();
-            if let Err(e) = plankton_service::serve(&mut session, stdin.lock(), &mut stdout) {
+            if let Err(e) = plankton_service::serve(&session, stdin.lock(), &mut stdout) {
                 eprintln!("planktond: I/O error: {e}");
                 exit(1);
             }
             let _ = stdout.flush();
+        }
+    }
+
+    // Persist the cache at exit (shutdown request or end of stream) so the
+    // next daemon warm-starts. An explicit `Persist` request does the same
+    // mid-flight.
+    if cache_dir.is_some() && session.verifier().is_some() {
+        match session.persist() {
+            Ok(entries) => eprintln!("planktond: persisted {entries} cache entries"),
+            Err(e) => eprintln!("planktond: cache persist failed: {e}"),
         }
     }
 

@@ -27,7 +27,7 @@ fn assert_delta_incremental(
     scenario: &FailureScenario,
     options: PlanktonOptions,
 ) -> (usize, usize, usize) {
-    let mut session = IncrementalVerifier::new(network.clone());
+    let session = IncrementalVerifier::new(network.clone());
     let (warm, warm_stats) = session.verify(policy, 99, scenario, &options);
     assert_eq!(warm_stats.tasks_cached, 0, "{label}: cold cache");
 
@@ -36,7 +36,8 @@ fn assert_delta_incremental(
         .unwrap_or_else(|e| panic!("{label}: delta failed: {e}"));
 
     let (incremental, run) = session.verify(policy, 99, scenario, &options);
-    let scratch = Plankton::new(session.network().clone()).verify(policy, scenario, &options);
+    let scratch =
+        Plankton::new(session.snapshot().network().clone()).verify(policy, scenario, &options);
     assert_eq!(
         incremental.normalized_json(),
         scratch.normalized_json(),
@@ -194,7 +195,7 @@ fn fat_tree_static_remove_and_policy_violation_flow() {
     let policy = LoopFreedom::everywhere();
     let scenario = FailureScenario::no_failures();
     let options = default_options();
-    let mut session = IncrementalVerifier::new(s.network.clone());
+    let session = IncrementalVerifier::new(s.network.clone());
     let (clean, _) = session.verify(&policy, 5, &scenario, &options);
     assert!(clean.holds());
 
@@ -215,7 +216,8 @@ fn fat_tree_static_remove_and_policy_violation_flow() {
 
     let (broken, run) = session.verify(&policy, 5, &scenario, &options);
     assert!(!broken.holds(), "the injected loop must be found");
-    let scratch = Plankton::new(session.network().clone()).verify(&policy, &scenario, &options);
+    let scratch =
+        Plankton::new(session.snapshot().network().clone()).verify(&policy, &scenario, &options);
     assert_eq!(broken.normalized_json(), scratch.normalized_json());
     assert!(run.tasks_cached > 0, "unrelated PECs stay cached");
 
@@ -307,15 +309,15 @@ fn seeded_random_delta_soak_cross_checks_scoped_keys_against_the_global_oracle()
     let mut scoped_savings = 0usize;
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(5000 + seed);
-        let mut session = IncrementalVerifier::new(s.network.clone());
+        let session = IncrementalVerifier::new(s.network.clone());
         session.verify(&policy, 7, &scenario, &options);
         for step in 0..4 {
-            let pre = session.network().clone();
+            let pre = session.snapshot().network().clone();
             let delta = random_delta(&mut rng, &pre);
             if session.apply_delta(&delta).is_err() {
                 continue; // NoOp (e.g. raising an up link): nothing to check
             }
-            let post = session.network().clone();
+            let post = session.snapshot().network().clone();
 
             let (n_pre, scoped_pre) = keys_of(&pre, OspfSliceMode::Scoped);
             let (n_post, scoped_post) = keys_of(&post, OspfSliceMode::Scoped);
@@ -464,4 +466,260 @@ fn ibgp_over_ospf_deltas_match_from_scratch() {
         &scenario,
         options,
     );
+}
+
+/// The deterministic fields of a wire report summary — everything except
+/// wall clock and cache accounting (how much was served from cache depends
+/// on request interleaving; what was computed must not).
+fn semantic_key(r: &plankton::service::ReportSummary) -> (bool, usize, usize, usize, u64, u64) {
+    (
+        r.holds,
+        r.violations,
+        r.pecs_verified,
+        r.failure_sets_explored,
+        r.data_planes_checked,
+        r.states_explored,
+    )
+}
+
+/// Concurrent-client soak against one daemon: N reader threads issue
+/// interleaved `Verify`/`Query`/`Stats` over their own socket connections
+/// while a writer connection toggles a static-route delta on and off.
+/// Every report any reader receives must semantically equal the fresh
+/// single-threaded verification of one of the two network states (the
+/// byte-level identity of full merged reports under this exact race is
+/// asserted by `concurrent_verifies_race_deltas_without_torn_snapshots` in
+/// plankton-core, where full reports are reachable).
+#[cfg(unix)]
+#[test]
+fn concurrent_client_soak_matches_single_threaded_oracles() {
+    use plankton::service::{
+        connect_with_retry, PolicySpec, Request, Response, ServeOptions, ServiceSession,
+    };
+    use std::io::{BufRead, BufReader, Write};
+    use std::time::Duration;
+
+    let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+    let verify = Request::Verify {
+        policy: PolicySpec::LoopFreedom,
+        options: None,
+    };
+    let add = ConfigDelta::StaticRouteAdd {
+        device: s.fat_tree.core[0],
+        route: StaticRoute::null(s.destinations[0]),
+    };
+    let remove = ConfigDelta::StaticRouteRemove {
+        device: s.fat_tree.core[0],
+        prefix: s.destinations[0],
+    };
+
+    // Oracles: fresh single-threaded sessions, one per network state.
+    let oracle_of = |network: &Network| {
+        let session = ServiceSession::with_network(network.clone());
+        let Response::Report(report) = session.handle(&verify) else {
+            panic!("oracle verify failed");
+        };
+        semantic_key(&report)
+    };
+    let base_oracle = oracle_of(&s.network);
+    let mut edited = s.network.clone();
+    add.apply(&mut edited).unwrap();
+    let edited_oracle = oracle_of(&edited);
+
+    let dir = std::env::temp_dir().join(format!("plankton-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("planktond.sock");
+    let session = ServiceSession::with_network(s.network.clone());
+    let timeout = Duration::from_secs(30);
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            plankton::service::serve_unix(&session, &path, &ServeOptions { max_connections: 8 })
+                .unwrap()
+        });
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(|| {
+                    let stream = connect_with_retry(&path, timeout).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut reports = Vec::new();
+                    for round in 0..4 {
+                        let request = if round % 2 == 0 {
+                            verify.to_line()
+                        } else {
+                            "\"Stats\"".to_string()
+                        };
+                        writer.write_all(format!("{request}\n").as_bytes()).unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        match serde_json::from_str::<Response>(&line).unwrap() {
+                            Response::Report(summary) => reports.push(semantic_key(&summary)),
+                            Response::Stats(_) => {}
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }
+                    reports
+                })
+            })
+            .collect();
+        let writer_thread = scope.spawn(|| {
+            let stream = connect_with_retry(&path, timeout).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            for i in 0..6 {
+                let delta = if i % 2 == 0 { &add } else { &remove };
+                let request = Request::ApplyDelta {
+                    delta: delta.clone(),
+                };
+                writer
+                    .write_all(format!("{}\n", request.to_line()).as_bytes())
+                    .unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(
+                    matches!(
+                        serde_json::from_str::<Response>(&line).unwrap(),
+                        Response::DeltaApplied(_)
+                    ),
+                    "delta rejected: {line}"
+                );
+            }
+        });
+        writer_thread.join().unwrap();
+        for reader in readers {
+            for key in reader.join().unwrap() {
+                assert!(
+                    key == base_oracle || key == edited_oracle,
+                    "a concurrent report matched neither network state: {key:?}"
+                );
+            }
+        }
+        // Shut the daemon down and verify the drain completes.
+        let stream = connect_with_retry(&path, timeout).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"\"Shutdown\"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        server.join().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill-and-restart: a daemon with `--cache-dir` persists its result cache
+/// at shutdown, and the restarted daemon serves a delta-free re-verify
+/// entirely from the warm cache — `tasks_cached` equals the task count,
+/// zero tasks re-run, and the report's semantic fields match the cold run.
+#[test]
+fn daemon_restart_with_cache_dir_serves_reverify_from_warm_cache() {
+    use plankton::service::Response;
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("plankton-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let run_daemon = |input: &str| -> Vec<Response> {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_planktond"))
+            .args([
+                "--scenario",
+                "fat-tree:4",
+                "--cache-dir",
+                dir.to_str().unwrap(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn planktond");
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "daemon exited non-zero");
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("response parses"))
+            .collect()
+    };
+
+    let verify_line = r#"{"Verify": {"policy": "LoopFreedom", "options": {"max_failures": 1}}}"#;
+    let cold = run_daemon(&format!("{verify_line}\n\"Shutdown\"\n"));
+    let Response::Report(cold_report) = &cold[0] else {
+        panic!("expected report, got {:?}", cold[0]);
+    };
+    assert!(cold_report.run.tasks_rerun > 0, "cold run does fresh work");
+    assert!(
+        dir.join("cache.json").exists(),
+        "shutdown persisted the cache"
+    );
+
+    // The restarted process is a genuinely new daemon: only the cache file
+    // connects it to the first run.
+    let warm = run_daemon(&format!("{verify_line}\n\"Stats\"\n\"Shutdown\"\n"));
+    let Response::Report(warm_report) = &warm[0] else {
+        panic!("expected report, got {:?}", warm[0]);
+    };
+    assert_eq!(warm_report.run.tasks_rerun, 0, "{:?}", warm_report.run);
+    assert!(warm_report.run.tasks_cached > 0);
+    assert_eq!(
+        warm_report.run.tasks_cached, warm_report.run.tasks_total,
+        "a delta-free re-verify is served fully from the cache"
+    );
+    assert_eq!(semantic_key(warm_report), semantic_key(cold_report));
+    let Response::Stats(stats) = &warm[1] else {
+        panic!("expected stats, got {:?}", warm[1]);
+    };
+    assert!(stats.cache_entries > 0, "warm-started entries resident");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `planktonctl --pipeline` drives a multi-request batch against a freshly
+/// spawned daemon: the connect retry absorbs the bind race and the client
+/// gets one response line per request, in order.
+#[cfg(unix)]
+#[test]
+fn planktonctl_pipelines_a_batch_against_a_starting_daemon() {
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("plankton-ctl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("planktond.sock");
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_planktond"))
+        .args(["--scenario", "ring:4", "--socket", sock.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn planktond");
+    // No wait loop here: planktonctl's own retry must absorb the race.
+    let out = Command::new(env!("CARGO_BIN_EXE_planktonctl"))
+        .args([
+            "--socket",
+            sock.to_str().unwrap(),
+            "--timeout",
+            "30",
+            "--pipeline",
+            r#"{"Verify": {"policy": "LoopFreedom"}}"#,
+            r#"{"ApplyDelta": {"delta": {"LinkDown": {"link": 0}}}}"#,
+            r#"{"Verify": {"policy": "LoopFreedom"}}"#,
+            "\"Stats\"",
+            "\"Shutdown\"",
+        ])
+        .output()
+        .expect("run planktonctl");
+    assert!(out.status.success(), "planktonctl failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let responses: Vec<&str> = stdout.lines().collect();
+    assert_eq!(responses.len(), 5, "one response per request: {stdout}");
+    assert!(responses[0].contains("\"Report\""));
+    assert!(responses[1].contains("\"DeltaApplied\""));
+    assert!(responses[2].contains("\"Report\""));
+    assert!(responses[3].contains("\"Stats\""));
+    assert!(responses[4].contains("\"Ok\""));
+    assert!(daemon.wait().unwrap().success(), "daemon shut down cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
 }
