@@ -41,6 +41,32 @@ use plankton_protocols::rpvp::{
 };
 use plankton_protocols::{ProtocolModel, Route};
 
+/// Fold one finished search into the process-global metrics. Handles are
+/// resolved once and cached: this runs once per (PEC-component × failure
+/// scenario) task, and must stay off the per-step path entirely.
+fn record_run_metrics(stats: &SearchStats) {
+    use std::sync::OnceLock;
+    static STEPS: OnceLock<std::sync::Arc<plankton_telemetry::Counter>> = OnceLock::new();
+    static UNDO_DEPTH: OnceLock<std::sync::Arc<plankton_telemetry::Gauge>> = OnceLock::new();
+    let registry = plankton_telemetry::metrics::global();
+    STEPS
+        .get_or_init(|| {
+            registry.counter(
+                "plankton_rpvp_steps_total",
+                "RPVP transitions applied by the model checker.",
+            )
+        })
+        .add(stats.steps);
+    UNDO_DEPTH
+        .get_or_init(|| {
+            registry.gauge(
+                "plankton_undo_depth_max",
+                "Deepest apply/undo stack observed across all searches.",
+            )
+        })
+        .record_max(stats.undo_depth_max);
+}
+
 /// What the policy callback wants the explorer to do after seeing a
 /// converged state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,6 +202,7 @@ impl<'m> ModelChecker<'m> {
         self.stats.visited_states = self.visited.len() as u64;
         self.stats.approx_memory_bytes =
             (self.interner.approx_bytes() + self.visited.approx_bytes()) as u64;
+        record_run_metrics(&self.stats);
         (self.stats, self.visited, self.undo)
     }
 

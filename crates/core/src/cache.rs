@@ -32,7 +32,52 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Process-global cache metrics, resolved once. Every [`ResultCache`]
+/// instance in the process folds into the same series (the daemon runs one
+/// cache; tests tolerate sharing).
+struct CacheMetrics {
+    hits: Arc<plankton_telemetry::Counter>,
+    misses: Arc<plankton_telemetry::Counter>,
+    evictions: Arc<plankton_telemetry::Counter>,
+    /// One occupancy gauge per shard, labelled `shard="0"`..`shard="15"`.
+    shard_entries: Vec<Arc<plankton_telemetry::Gauge>>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    const SHARD_LABELS: [&str; ResultCache::SHARDS] = [
+        "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+    ];
+    METRICS.get_or_init(|| {
+        let registry = plankton_telemetry::metrics::global();
+        CacheMetrics {
+            hits: registry.counter(
+                "plankton_cache_hits_total",
+                "Verification tasks served from the result cache.",
+            ),
+            misses: registry.counter(
+                "plankton_cache_misses_total",
+                "Verification tasks that had to be recomputed.",
+            ),
+            evictions: registry.counter(
+                "plankton_cache_evictions_total",
+                "Entries evicted oldest-first by the capacity bound.",
+            ),
+            shard_entries: SHARD_LABELS
+                .iter()
+                .map(|shard| {
+                    registry.gauge_with(
+                        "plankton_cache_entries",
+                        "Resident result-cache entries per shard.",
+                        &[("shard", shard)],
+                    )
+                })
+                .collect(),
+        }
+    })
+}
 
 /// The cached outcome of one (PEC × failure scenario) verification task.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -131,8 +176,14 @@ impl ResultCache {
     pub fn get(&self, key: u64) -> Option<Arc<PolicyOutcome>> {
         let found = self.shard(key).lock().map.get(&key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().hits.inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().misses.inc();
+            }
         };
         found
     }
@@ -149,11 +200,13 @@ impl ResultCache {
     /// classifies with [`ResultCache::peek`] and reports reuse explicitly).
     pub fn count_hits(&self, n: u64) {
         self.hits.fetch_add(n, Ordering::Relaxed);
+        cache_metrics().hits.add(n);
     }
 
     /// Record `n` tasks that had to be recomputed.
     pub fn count_misses(&self, n: u64) {
         self.misses.fetch_add(n, Ordering::Relaxed);
+        cache_metrics().misses.add(n);
     }
 
     /// Insert a task outcome. First write wins (outcomes for equal keys are
@@ -175,9 +228,12 @@ impl ResultCache {
         }
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            cache_metrics().evictions.add(evicted);
         }
         shard.map.insert(key, outcome);
         shard.order.push_back(key);
+        cache_metrics().shard_entries[(key as usize) & (Self::SHARDS - 1)]
+            .set(shard.map.len() as u64);
         true
     }
 
@@ -193,11 +249,18 @@ impl ResultCache {
 
     /// Drop every entry.
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
+        for (i, shard) in self.shards.iter().enumerate() {
             let mut shard = shard.lock();
             shard.map.clear();
             shard.order.clear();
+            cache_metrics().shard_entries[i].set(0);
         }
+    }
+
+    /// Resident entries per shard, in shard order (surfaced in daemon
+    /// `Stats` so occupancy skew is visible without a metrics scrape).
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().map.len()).collect()
     }
 
     /// Lifetime hit count.

@@ -18,17 +18,44 @@
 use crate::cache::{PolicyOutcome, ResultCache};
 use crate::options::PlanktonOptions;
 use crate::outcome::ConvergedRecord;
-use crate::report::VerificationReport;
-use crate::verifier::Plankton;
+use crate::report::{PhaseTimings, VerificationReport};
+use crate::verifier::{lap, Plankton};
 use plankton_config::{ConfigDelta, DeltaError, DeltaTouch, Network};
 use plankton_engine::{pec_task_graph_sparse, Engine};
 use plankton_net::failure::FailureScenario;
 use plankton_pec::{pecs_touched_by, OspfSliceMode, PecId, TaskKeys};
+use plankton_telemetry::trace::{self, Field, Level};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Process-global incremental-path counters, resolved once. The ratio of
+/// `plankton_tasks_rerun_total` to `plankton_pecs_dirty_advisory_total`
+/// (folded in by [`IncrementalVerifier::apply_delta`]) is the invalidation
+/// precision the content keys buy over the advisory touch set.
+struct IncrementalMetrics {
+    tasks_rerun: Arc<plankton_telemetry::Counter>,
+    tasks_cached: Arc<plankton_telemetry::Counter>,
+}
+
+fn incremental_metrics() -> &'static IncrementalMetrics {
+    static METRICS: OnceLock<IncrementalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = plankton_telemetry::metrics::global();
+        IncrementalMetrics {
+            tasks_rerun: registry.counter(
+                "plankton_tasks_rerun_total",
+                "Tasks resubmitted to the engine because their content key missed.",
+            ),
+            tasks_cached: registry.counter(
+                "plankton_tasks_cached_total",
+                "Tasks served entirely from the result cache.",
+            ),
+        }
+    })
+}
 
 /// What an incremental verification did: how much was re-explored and how
 /// much came from the cache.
@@ -89,6 +116,8 @@ impl Plankton {
         cache: &ResultCache,
     ) -> (VerificationReport, IncrementalRunStats) {
         let start = Instant::now();
+        let mut mark = start;
+        let mut phases = PhaseTimings::default();
         let deps = self.dependencies();
         // The same environment planning as `Plankton::verify` — identical
         // failure sets and needed/checked partitions are a precondition of
@@ -120,6 +149,7 @@ impl Plankton {
                 (ctx.has_dependents.contains(&comp) as u8) | ((ctx.checked.contains(&p) as u8) << 1)
             },
         );
+        phases.key_compute_micros = lap(&mut mark);
 
         // Plan: a component task is clean only if *every* PEC it verifies
         // hits the cache; otherwise the whole task re-runs (its PECs share
@@ -171,6 +201,24 @@ impl Plankton {
         stats.tasks_cached = stats.tasks_total - stats.tasks_rerun;
         stats.pecs_reexplored = reexplored_pecs.len();
         stats.pecs_cached = cached_pecs.difference(&reexplored_pecs).count();
+        phases.invalidation_micros = lap(&mut mark);
+        incremental_metrics()
+            .tasks_rerun
+            .add(stats.tasks_rerun as u64);
+        incremental_metrics()
+            .tasks_cached
+            .add(stats.tasks_cached as u64);
+        trace::event(
+            Level::Info,
+            "keys_invalidated",
+            &[
+                Field::u64("tasks_total", stats.tasks_total as u64),
+                Field::u64("tasks_rerun", stats.tasks_rerun as u64),
+                Field::u64("tasks_cached", stats.tasks_cached as u64),
+                Field::u64("key_hits", stats.key_hits),
+                Field::u64("key_misses", stats.key_misses),
+            ],
+        );
 
         // Fold the cached outcomes in first (and honor stop-at-first: a
         // cached violation means a fresh run would have stopped too).
@@ -196,6 +244,7 @@ impl Plankton {
         if options.stop_at_first_violation && !ctx.violations.lock().is_empty() {
             ctx.stop.store(true, Ordering::Relaxed);
         }
+        phases.cache_io_micros = lap(&mut mark);
 
         // Partial resubmission: only the dirty tasks, with scheduling edges
         // among them (clean dependencies are served from the cache).
@@ -256,9 +305,32 @@ impl Plankton {
         engine_stats.interned_routes = ctx.interner.len() as u64;
         engine_stats.states_explored = ctx.total_stats.lock().states_explored();
         stats.steps_reexplored = fresh_steps.load(Ordering::Relaxed);
+        phases.exploration_micros = lap(&mut mark);
+        trace::event(
+            Level::Info,
+            "tasks_rerun",
+            &[
+                Field::u64("tasks_rerun", stats.tasks_rerun as u64),
+                Field::u64("steps_reexplored", stats.steps_reexplored),
+                Field::u64("steps_cached", stats.steps_cached),
+                Field::u64("elapsed_us", phases.exploration_micros),
+            ],
+        );
 
         let mut violations = ctx.violations.into_inner();
         Plankton::sort_violations(&mut violations);
+        let elapsed = start.elapsed();
+        phases.merge_micros = lap(&mut mark);
+        trace::event(
+            Level::Info,
+            "report_merged",
+            &[
+                Field::str("policy", policy.name()),
+                Field::bool("holds", violations.is_empty()),
+                Field::u64("violations", violations.len() as u64),
+                Field::u64("elapsed_us", elapsed.as_micros() as u64),
+            ],
+        );
         let report = VerificationReport {
             policy: policy.name().to_string(),
             violations,
@@ -266,7 +338,8 @@ impl Plankton {
             pecs_verified: ctx.checked.len(),
             failure_sets_explored: nf,
             data_planes_checked: ctx.data_planes_checked.load(Ordering::Relaxed),
-            elapsed: start.elapsed(),
+            elapsed,
+            phases,
             largest_scc: deps.largest_component(),
             engine: Some(engine_stats),
         };
@@ -355,6 +428,7 @@ impl IncrementalVerifier {
     /// derived by mapping the delta's touch through the new partition. The
     /// result cache is kept — content keys make stale entries unreachable.
     pub fn apply_delta(&self, delta: &ConfigDelta) -> Result<AppliedDelta, DeltaError> {
+        let start = Instant::now();
         let _serialize = self.mutate.lock();
         let mut network = self.snapshot().network().clone();
         let touch = delta.apply(&mut network)?;
@@ -368,6 +442,40 @@ impl IncrementalVerifier {
         let pecs_total = plankton.pecs().len();
         *self.snapshot.write() = plankton;
         self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+
+        let elapsed = start.elapsed().as_micros() as u64;
+        static SWAP_SECONDS: OnceLock<Arc<plankton_telemetry::Histogram>> = OnceLock::new();
+        static PECS_DIRTY: OnceLock<Arc<plankton_telemetry::Counter>> = OnceLock::new();
+        let registry = plankton_telemetry::metrics::global();
+        SWAP_SECONDS
+            .get_or_init(|| {
+                registry.histogram(
+                    "plankton_snapshot_swap_seconds",
+                    "Delta apply end-to-end: analysis rebuild plus snapshot pointer swap.",
+                    plankton_telemetry::Unit::Micros,
+                )
+            })
+            .observe(elapsed);
+        PECS_DIRTY
+            .get_or_init(|| {
+                registry.counter(
+                    "plankton_pecs_dirty_advisory_total",
+                    "PECs the advisory touch set marked dirty across all deltas \
+                     (compare with plankton_tasks_rerun_total for invalidation precision).",
+                )
+            })
+            .add(pecs_touched.len() as u64);
+        trace::event(
+            Level::Info,
+            "delta_applied",
+            &[
+                Field::str("kind", delta.kind()),
+                Field::u64("pecs_touched", pecs_touched.len() as u64),
+                Field::u64("pecs_total", pecs_total as u64),
+                Field::u64("elapsed_us", elapsed),
+            ],
+        );
+
         Ok(AppliedDelta {
             kind: delta.kind(),
             touch,
@@ -542,6 +650,43 @@ mod tests {
                 }
             }
         });
+    }
+
+    /// The acceptance bar for [`PhaseTimings`]: phases are contiguous laps
+    /// of one clock, so their sum must land within 10% of the report's wall
+    /// time — on the cached path, the warm path, and the one-shot path.
+    #[test]
+    fn phase_timings_sum_to_report_wall_time() {
+        let s = fat_tree_ospf(4, CoreStaticRoutes::MatchingOspf);
+        let session = IncrementalVerifier::new(s.network.clone());
+        let policy = LoopFreedom::everywhere();
+        let scenario = FailureScenario::no_failures();
+        let options = PlanktonOptions::default().collect_all_violations();
+
+        let assert_sums = |report: &VerificationReport, label: &str| {
+            let wall = report.elapsed.as_micros() as u64;
+            let sum = report.phases.sum_micros();
+            // Sub-millisecond runs are all scheduling noise; the 10% bound
+            // is meaningful once the run does real work.
+            let tolerance = (wall / 10).max(1_000);
+            assert!(
+                sum.abs_diff(wall) <= tolerance,
+                "{label}: phases {:?} sum to {sum}us but wall is {wall}us",
+                report.phases
+            );
+        };
+
+        let (cold, _) = session.verify(&policy, 9, &scenario, &options);
+        assert_sums(&cold, "cold incremental");
+        assert!(cold.phases.exploration_micros > 0, "{:?}", cold.phases);
+        let (warm, run) = session.verify(&policy, 9, &scenario, &options);
+        assert_eq!(run.tasks_rerun, 0);
+        assert_sums(&warm, "warm incremental");
+
+        let oneshot = Plankton::new(s.network.clone()).verify(&policy, &scenario, &options);
+        assert_sums(&oneshot, "one-shot");
+        assert!(oneshot.phases.exploration_micros > 0);
+        assert_eq!(oneshot.phases.cache_io_micros, 0, "no cache on this path");
     }
 
     #[test]

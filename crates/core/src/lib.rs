@@ -30,5 +30,5 @@ pub use failures::{DeviceEquivalence, LinkEquivalenceClasses};
 pub use incremental::{AppliedDelta, IncrementalRunStats, IncrementalVerifier};
 pub use options::PlanktonOptions;
 pub use outcome::{ConvergedRecord, PecOutcome};
-pub use report::{VerificationReport, Violation};
+pub use report::{PhaseTimings, VerificationReport, Violation};
 pub use verifier::Plankton;

@@ -38,6 +38,55 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Where a verification's wall time went, one microsecond bucket per phase.
+///
+/// Filled by measuring contiguous laps of one clock, so the phases sum to
+/// (within scheduling noise of) the report's `elapsed` — "why was this
+/// verify slow?" is answerable from the report alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Planning the run environment (failure sets, needed/checked PEC sets)
+    /// and, on the caching path, computing content-addressed task keys
+    /// (device/PEC fingerprints, dependency-closure hashing).
+    pub key_compute_micros: u64,
+    /// Deciding which tasks to re-run: cache lookups and hit/miss
+    /// accounting over the task list. Zero on the non-caching path.
+    pub invalidation_micros: u64,
+    /// Model checking: the engine run over every re-run task.
+    pub exploration_micros: u64,
+    /// Folding per-task outcomes into the final report (violation sort,
+    /// stat aggregation).
+    pub merge_micros: u64,
+    /// Replaying cached outcomes into the run (clone out of the cache).
+    /// Zero on the non-caching path.
+    pub cache_io_micros: u64,
+}
+
+impl PhaseTimings {
+    /// Total across all phases.
+    pub fn sum_micros(&self) -> u64 {
+        self.key_compute_micros
+            + self.invalidation_micros
+            + self.exploration_micros
+            + self.merge_micros
+            + self.cache_io_micros
+    }
+}
+
+impl fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "keys {}us, invalidation {}us, exploration {}us, merge {}us, cache io {}us",
+            self.key_compute_micros,
+            self.invalidation_micros,
+            self.exploration_micros,
+            self.merge_micros,
+            self.cache_io_micros
+        )
+    }
+}
+
 /// The result of a whole verification.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct VerificationReport {
@@ -57,6 +106,12 @@ pub struct VerificationReport {
     /// Wall-clock time of the verification.
     #[serde(skip)]
     pub elapsed: Duration,
+    /// Per-phase breakdown of `elapsed`. Skipped in serialization for the
+    /// same reason `elapsed` is: timings are execution-path-dependent and
+    /// must not perturb `normalized_json` identity checks. The wire protocol
+    /// carries them explicitly in its report summary.
+    #[serde(skip)]
+    pub phases: PhaseTimings,
     /// Size of the largest strongly connected component of the PEC
     /// dependency graph.
     pub largest_scc: usize,

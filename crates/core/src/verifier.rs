@@ -21,7 +21,7 @@
 use crate::failures::failure_sets_to_explore;
 use crate::options::PlanktonOptions;
 use crate::outcome::{ConvergedRecord, PecOutcome};
-use crate::report::{VerificationReport, Violation};
+use crate::report::{PhaseTimings, VerificationReport, Violation};
 use crate::session::{DataPlane, PecSession};
 use crate::underlay::DependencyUnderlay;
 use parking_lot::Mutex;
@@ -32,11 +32,26 @@ use plankton_net::failure::{FailureScenario, FailureSet};
 use plankton_net::topology::NodeId;
 use plankton_pec::{compute_pecs, DependencyStore, Pec, PecDependencies, PecId, PecSet, Scheduler};
 use plankton_policy::{ConvergedView, Policy};
+use plankton_telemetry::trace::{self, Field, Level};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Tasks slower than this get a structured `slow_task` warn event carrying
+/// their (PEC, failure-set) identity — the "why was this delta slow?" line.
+const SLOW_TASK_MICROS: u64 = 250_000;
+
+/// Advance `mark` to now and return the microseconds since its previous
+/// position. Phases measured as contiguous laps of one clock sum to the
+/// enclosing wall time by construction.
+pub(crate) fn lap(mark: &mut Instant) -> u64 {
+    let now = Instant::now();
+    let elapsed = now.duration_since(*mark).as_micros() as u64;
+    *mark = now;
+    elapsed
+}
 
 /// The Plankton configuration verifier.
 ///
@@ -234,7 +249,10 @@ impl Plankton {
         options: &PlanktonOptions,
     ) -> VerificationReport {
         let start = Instant::now();
+        let mut mark = start;
+        let mut phases = PhaseTimings::default();
         let ctx = self.prepare_run_ctx(policy, scenario, options);
+        phases.key_compute_micros = lap(&mut mark);
 
         let (largest_scc, engine_stats) = if options.sequential {
             (self.run_sequential(&ctx), None)
@@ -242,9 +260,11 @@ impl Plankton {
             let stats = self.run_engine(&ctx);
             (self.deps.largest_component(), Some(stats))
         };
+        phases.exploration_micros = lap(&mut mark);
 
         let mut violations = ctx.violations.into_inner();
         Self::sort_violations(&mut violations);
+        phases.merge_micros = lap(&mut mark);
 
         VerificationReport {
             policy: policy.name().to_string(),
@@ -254,6 +274,7 @@ impl Plankton {
             failure_sets_explored: ctx.failure_sets.len(),
             data_planes_checked: ctx.data_planes_checked.load(Ordering::Relaxed),
             elapsed: start.elapsed(),
+            phases,
             largest_scc,
             engine: engine_stats,
         }
@@ -385,6 +406,8 @@ impl Plankton {
                 continue;
             }
             result.complete = true;
+            // Only pay for the clock when a warn sink could see the event.
+            let task_start = trace::enabled(Level::Warn).then(Instant::now);
             let pec = self.pecs.pec(pec_id);
             let comp_idx = self.deps.component_of(pec_id);
             let component_has_dependents = ctx.has_dependents.contains(&comp_idx);
@@ -443,6 +466,22 @@ impl Plankton {
                     if ctx.options.stop_at_first_violation {
                         ctx.stop.store(true, Ordering::Relaxed);
                     }
+                }
+            }
+            if let Some(t0) = task_start {
+                let elapsed = t0.elapsed().as_micros() as u64;
+                if elapsed >= SLOW_TASK_MICROS {
+                    let failures_text = failures.to_string();
+                    trace::event(
+                        Level::Warn,
+                        "slow_task",
+                        &[
+                            Field::u64("pec", pec_id.0 as u64),
+                            Field::str("failures", &failures_text),
+                            Field::u64("elapsed_us", elapsed),
+                            Field::u64("states", result.stats.states_explored()),
+                        ],
+                    );
                 }
             }
             out.insert(pec_id, result);

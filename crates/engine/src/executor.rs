@@ -71,6 +71,9 @@ impl Engine {
             executed: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
+            queue_depth_max: AtomicUsize::new(0),
+            busy_micros: AtomicU64::new(0),
             sleep: Mutex::new(()),
             wake: Condvar::new(),
         };
@@ -84,7 +87,7 @@ impl Engine {
         let mut seeded = 0usize;
         for t in 0..total {
             if graph.dependencies(TaskId(t)).is_empty() {
-                shared.queue.push(seeded % self.workers, TaskId(t));
+                shared.push_tracked(seeded % self.workers, TaskId(t));
                 seeded += 1;
             }
         }
@@ -113,7 +116,7 @@ impl Engine {
         });
 
         let completed = shared.completed.load(Ordering::Acquire);
-        EngineStats {
+        let stats = EngineStats {
             workers: self.workers,
             tasks_total: total,
             tasks_executed: shared.executed.load(Ordering::Relaxed),
@@ -124,8 +127,59 @@ impl Engine {
             interned_routes: 0,
             states_explored: 0,
             wall_micros: start.elapsed().as_micros() as u64,
-        }
+            queue_depth_max: shared.queue_depth_max.load(Ordering::Relaxed),
+            busy_micros: shared.busy_micros.load(Ordering::Relaxed),
+        };
+        record_run_metrics(&stats);
+        stats
     }
+}
+
+/// Fold one finished engine run into the process-global metrics. Handles
+/// resolve once per process; this runs once per engine run, and the only
+/// per-task cost added anywhere is two `Instant` reads and one histogram
+/// observe in [`worker_loop`].
+fn record_run_metrics(stats: &EngineStats) {
+    use std::sync::OnceLock;
+    struct Handles {
+        stolen: std::sync::Arc<plankton_telemetry::Counter>,
+        busy: std::sync::Arc<plankton_telemetry::Counter>,
+        queue_depth: std::sync::Arc<plankton_telemetry::Gauge>,
+    }
+    static HANDLES: OnceLock<Handles> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| {
+        let registry = plankton_telemetry::metrics::global();
+        Handles {
+            stolen: registry.counter(
+                "plankton_tasks_stolen_total",
+                "Tasks a worker took from another worker's deque.",
+            ),
+            busy: registry.counter(
+                "plankton_worker_busy_micros_total",
+                "Microseconds workers spent inside task closures, summed across workers.",
+            ),
+            queue_depth: registry.gauge(
+                "plankton_queue_depth_max",
+                "High-water mark of runnable tasks queued at once, across all engine runs.",
+            ),
+        }
+    });
+    handles.stolen.add(stats.tasks_stolen);
+    handles.busy.add(stats.busy_micros);
+    handles.queue_depth.record_max(stats.queue_depth_max as u64);
+}
+
+/// The per-task wall-time histogram (`plankton_task_seconds`), resolved once.
+fn task_seconds() -> &'static std::sync::Arc<plankton_telemetry::Histogram> {
+    use std::sync::OnceLock;
+    static HANDLE: OnceLock<std::sync::Arc<plankton_telemetry::Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        plankton_telemetry::metrics::global().histogram(
+            "plankton_task_seconds",
+            "Wall time of one executed (PEC-component, failure-scenario) task.",
+            plankton_telemetry::Unit::Micros,
+        )
+    })
 }
 
 /// Per-worker execution context handed to the task closure.
@@ -177,8 +231,21 @@ struct Shared<'g> {
     executed: AtomicU64,
     stolen: AtomicU64,
     skipped: AtomicU64,
+    /// Runnable tasks currently sitting in worker deques.
+    queued: AtomicUsize,
+    queue_depth_max: AtomicUsize,
+    busy_micros: AtomicU64,
     sleep: Mutex<()>,
     wake: Condvar,
+}
+
+impl Shared<'_> {
+    /// Push a runnable task, maintaining the queue-depth high-water mark.
+    fn push_tracked(&self, worker: usize, task: TaskId) {
+        self.queue.push(worker, task);
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
 }
 
 impl StopControl for Shared<'_> {
@@ -214,6 +281,7 @@ where
         });
         match task {
             Some(task) => {
+                shared.queued.fetch_sub(1, Ordering::Relaxed);
                 let mut panic_payload = None;
                 if shared.stop_requested() {
                     shared.skipped.fetch_add(1, Ordering::Relaxed);
@@ -222,8 +290,12 @@ where
                     // completion that will never come (a crash would become a
                     // silent hang): broadcast stop, finish the accounting
                     // below so the other workers drain, then re-panic.
+                    let task_start = Instant::now();
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(task, &ctx))) {
                         Ok(()) => {
+                            let elapsed = task_start.elapsed().as_micros() as u64;
+                            shared.busy_micros.fetch_add(elapsed, Ordering::Relaxed);
+                            task_seconds().observe(elapsed);
                             shared.executed.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(payload) => {
@@ -238,7 +310,7 @@ where
                 let mut released = false;
                 for &d in shared.graph.dependents(task) {
                     if shared.pending[d.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
-                        shared.queue.push(worker, d);
+                        shared.push_tracked(worker, d);
                         released = true;
                     }
                 }

@@ -31,6 +31,15 @@ pub struct EngineStats {
     pub states_explored: u64,
     /// Wall-clock time of the engine run, in microseconds.
     pub wall_micros: u64,
+    /// High-water mark of runnable tasks queued across all workers at once
+    /// (how much parallelism the graph actually exposed).
+    #[serde(default)]
+    pub queue_depth_max: usize,
+    /// Total time workers spent executing task closures, in microseconds,
+    /// summed across workers (the rest of `workers × wall` was stealing,
+    /// sleeping, or draining).
+    #[serde(default)]
+    pub busy_micros: u64,
 }
 
 impl EngineStats {
@@ -43,6 +52,16 @@ impl EngineStats {
     pub fn stopped_early(&self) -> bool {
         self.tasks_skipped > 0
     }
+
+    /// Fraction of total worker time spent inside task closures, in 0..=1
+    /// (1.0 means every worker was busy for the whole run).
+    pub fn utilization(&self) -> f64 {
+        let capacity = (self.workers as u64).saturating_mul(self.wall_micros);
+        if capacity == 0 {
+            return 0.0;
+        }
+        (self.busy_micros as f64 / capacity as f64).min(1.0)
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -50,7 +69,8 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "{} workers, {}/{} tasks run ({} stolen, {} skipped), \
-             {} scratch reuses, {} interned routes, {:.3}s",
+             {} scratch reuses, {} interned routes, {:.3}s, \
+             {:.0}% utilization (queue depth max {})",
             self.workers,
             self.tasks_executed,
             self.tasks_total,
@@ -59,6 +79,8 @@ impl fmt::Display for EngineStats {
             self.scratch_reuses,
             self.interned_routes,
             self.wall_seconds(),
+            self.utilization() * 100.0,
+            self.queue_depth_max,
         )
     }
 }
@@ -80,11 +102,18 @@ mod tests {
             interned_routes: 11,
             states_explored: 100,
             wall_micros: 2_500_000,
+            queue_depth_max: 6,
+            busy_micros: 5_000_000,
         };
         assert!(stats.stopped_early());
         assert_eq!(stats.wall_seconds(), 2.5);
+        // 5s busy over 4 workers × 2.5s wall = 50%.
+        assert_eq!(stats.utilization(), 0.5);
+        assert_eq!(EngineStats::default().utilization(), 0.0);
         let s = stats.to_string();
         assert!(s.contains("4 workers"));
         assert!(s.contains("7/10 tasks"));
+        assert!(s.contains("50% utilization"));
+        assert!(s.contains("queue depth max 6"));
     }
 }

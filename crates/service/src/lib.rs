@@ -30,5 +30,5 @@ pub use proto::{
 };
 #[cfg(unix)]
 pub use serve::{connect_with_retry, serve_unix};
-pub use serve::{handle_line, serve, ServeOptions};
+pub use serve::{handle_line, handle_line_at, serve, ServeOptions};
 pub use session::ServiceSession;

@@ -12,7 +12,7 @@
 //! session resolves them against the currently loaded topology.
 
 use plankton_config::{ConfigDelta, Network};
-use plankton_core::{IncrementalRunStats, VerificationReport, Violation};
+use plankton_core::{IncrementalRunStats, PhaseTimings, VerificationReport, Violation};
 use plankton_net::ip::Prefix;
 use plankton_net::topology::NodeId;
 use plankton_policy::{
@@ -154,6 +154,9 @@ pub enum Request {
     },
     /// Service statistics.
     Stats,
+    /// The process-global metrics registry, rendered as Prometheus-style
+    /// text exposition (answered with [`Response::MetricsText`]).
+    Metrics,
     /// Write the result cache to the daemon's `--cache-dir` now (it is also
     /// written automatically on shutdown). Errors when no cache directory
     /// is configured.
@@ -161,6 +164,23 @@ pub enum Request {
     /// Stop the daemon: stop accepting connections, drain in-flight
     /// requests, persist the cache when a `--cache-dir` is configured.
     Shutdown,
+}
+
+impl Request {
+    /// The request's kind tag, the `kind` label of the per-request metrics
+    /// (`plankton_requests_total`, `plankton_request_seconds`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Verify { .. } => "verify",
+            Request::ApplyDelta { .. } => "apply_delta",
+            Request::Query { .. } => "query",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Persist => "persist",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// One violation, summarized for the wire.
@@ -212,6 +232,11 @@ pub struct ReportSummary {
     pub states_explored: u64,
     /// Wall-clock milliseconds.
     pub elapsed_ms: u64,
+    /// Where the wall time went, per phase. Carried explicitly here because
+    /// [`VerificationReport`] skips it in serialization (it would perturb
+    /// normalized-report identity checks).
+    #[serde(default)]
+    pub phase_timings: PhaseTimings,
     /// What the incremental layer did (re-explored vs cached).
     pub run: IncrementalRunStats,
 }
@@ -229,6 +254,7 @@ impl ReportSummary {
             data_planes_checked: report.data_planes_checked,
             states_explored: report.stats.states_explored(),
             elapsed_ms: report.elapsed.as_millis() as u64,
+            phase_timings: report.phases,
             run,
         }
     }
@@ -278,6 +304,18 @@ pub struct ServiceStats {
     /// Client connections accepted since the daemon started.
     #[serde(default)]
     pub connections_served: u64,
+    /// Connections forcibly unblocked by the shutdown drain (their streams
+    /// were shut down while a request might still have been in flight).
+    #[serde(default)]
+    pub connections_drained: u64,
+    /// Resident result-cache entries per shard, in shard order (occupancy
+    /// skew means the key hash is not spreading).
+    #[serde(default)]
+    pub cache_shard_entries: Vec<usize>,
+    /// Lifetime cache hit rate, `hits / (hits + misses)` (0.0 when the cache
+    /// was never consulted).
+    #[serde(default)]
+    pub cache_hit_rate: f64,
     /// PECs in the current partition.
     pub pecs_total: usize,
     /// Milliseconds since the service started.
@@ -341,6 +379,11 @@ pub enum Response {
     },
     /// Service statistics.
     Stats(ServiceStats),
+    /// The metrics registry in Prometheus text exposition format.
+    MetricsText {
+        /// The rendered exposition.
+        text: String,
+    },
     /// The result cache was persisted.
     Persisted {
         /// Entries written.

@@ -12,11 +12,19 @@
 
 use crate::proto::{Request, Response};
 use crate::session::ServiceSession;
+use plankton_telemetry::trace::{self, Field, Level};
 use std::io::{self, BufRead, Write};
 
 /// Handle one request line, returning the response line and whether the
 /// daemon should shut down afterwards.
 pub fn handle_line(session: &ServiceSession, line: &str) -> (String, bool) {
+    handle_line_at(session, line, 0)
+}
+
+/// [`handle_line`], tagged with the line's 1-based position in its stream
+/// so a malformed request is attributable in the event log (position 0 =
+/// caller did not track one).
+pub fn handle_line_at(session: &ServiceSession, line: &str, position: u64) -> (String, bool) {
     let trimmed = line.trim();
     if trimmed.is_empty() {
         return (String::new(), false);
@@ -28,6 +36,14 @@ pub fn handle_line(session: &ServiceSession, line: &str) -> (String, bool) {
         }
         Err(e) => {
             session.note_parse_error();
+            trace::event(
+                Level::Warn,
+                "parse_error",
+                &[
+                    Field::u64("byte_len", trimmed.len() as u64),
+                    Field::u64("position", position),
+                ],
+            );
             (
                 Response::Error {
                     message: format!("bad request: {e}"),
@@ -52,9 +68,11 @@ pub fn serve<R: BufRead, W: Write>(
     reader: R,
     writer: &mut W,
 ) -> io::Result<bool> {
+    let mut position: u64 = 0;
     for line in reader.lines() {
         let line = line?;
-        let (response, shutdown) = handle_line(session, &line);
+        position += 1;
+        let (response, shutdown) = handle_line_at(session, &line, position);
         if response.is_empty() {
             continue;
         }
@@ -193,6 +211,7 @@ pub fn serve_unix(
         // serving thread to write the response of its in-flight request
         // (bounded by the write timeout above) and exit.
         for stream in live.lock().values() {
+            session.note_connection_drained();
             let _ = stream.shutdown(std::net::Shutdown::Read);
         }
         match accept_error {

@@ -24,11 +24,53 @@ use crate::proto::{
 use parking_lot::{Mutex, RwLock};
 use plankton_config::Network;
 use plankton_core::{IncrementalVerifier, Plankton, PlanktonOptions, VerificationReport};
+use plankton_telemetry::trace::{self, Field, Level};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Process-global service-level instruments, resolved once. Per-request
+/// series (`plankton_requests_total{kind}`, `plankton_request_seconds{kind}`)
+/// go through the registry on each request instead — one short map lookup
+/// against a full JSON parse is noise, and it keeps the kind set open.
+struct ServiceMetrics {
+    inflight: Arc<plankton_telemetry::Gauge>,
+    parse_errors: Arc<plankton_telemetry::Counter>,
+    connections_open: Arc<plankton_telemetry::Gauge>,
+    connections_total: Arc<plankton_telemetry::Counter>,
+    connections_drained: Arc<plankton_telemetry::Counter>,
+}
+
+fn service_metrics() -> &'static ServiceMetrics {
+    static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = plankton_telemetry::metrics::global();
+        ServiceMetrics {
+            inflight: registry.gauge(
+                "plankton_requests_inflight",
+                "Requests currently being handled.",
+            ),
+            parse_errors: registry.counter(
+                "plankton_parse_errors_total",
+                "Request lines that failed to parse.",
+            ),
+            connections_open: registry.gauge(
+                "plankton_connections_open",
+                "Client connections currently open (socket mode).",
+            ),
+            connections_total: registry.counter(
+                "plankton_connections_total",
+                "Client connections accepted since the daemon started.",
+            ),
+            connections_drained: registry.counter(
+                "plankton_connections_drained_total",
+                "Connections forcibly unblocked by the shutdown drain.",
+            ),
+        }
+    })
+}
 
 /// A stored report tagged with the analysis snapshot it was computed
 /// against.
@@ -59,6 +101,8 @@ pub struct ServiceSession {
     connections_open: AtomicU64,
     /// Client connections accepted over the session's lifetime.
     connections_served: AtomicU64,
+    /// Connections forcibly unblocked by the shutdown drain.
+    connections_drained: AtomicU64,
     /// Where the result cache is persisted across restarts, when configured.
     cache_dir: Option<PathBuf>,
     started: Instant,
@@ -84,6 +128,7 @@ impl ServiceSession {
             parse_errors: AtomicU64::new(0),
             connections_open: AtomicU64::new(0),
             connections_served: AtomicU64::new(0),
+            connections_drained: AtomicU64::new(0),
             cache_dir: None,
             started: Instant::now(),
         }
@@ -110,6 +155,7 @@ impl ServiceSession {
     /// Record one request line that failed to parse.
     pub fn note_parse_error(&self) {
         self.parse_errors.fetch_add(1, Ordering::Relaxed);
+        service_metrics().parse_errors.inc();
     }
 
     /// Request lines that failed to parse since the session started.
@@ -121,11 +167,20 @@ impl ServiceSession {
     pub fn connection_opened(&self) {
         self.connections_open.fetch_add(1, Ordering::Relaxed);
         self.connections_served.fetch_add(1, Ordering::Relaxed);
+        service_metrics().connections_open.add(1);
+        service_metrics().connections_total.inc();
     }
 
     /// Record one client connection closing (socket mode).
     pub fn connection_closed(&self) {
         self.connections_open.fetch_sub(1, Ordering::Relaxed);
+        service_metrics().connections_open.sub(1);
+    }
+
+    /// Record one connection the shutdown drain forcibly unblocked.
+    pub fn note_connection_drained(&self) {
+        self.connections_drained.fetch_add(1, Ordering::Relaxed);
+        service_metrics().connections_drained.inc();
     }
 
     /// Client connections currently open.
@@ -191,8 +246,39 @@ impl ServiceSession {
             .map_err(|e| format!("cannot persist cache to {}: {e}", path.display()))
     }
 
-    /// Handle one request.
+    /// Handle one request: install a fresh trace id for its causal chain
+    /// (every event the handler emits — delta apply, key invalidation, task
+    /// re-runs, report merge — shares it), record the per-kind latency and
+    /// count, then dispatch.
     pub fn handle(&self, request: &Request) -> Response {
+        let kind = request.kind();
+        let _trace_scope = trace::scope(trace::next_trace_id());
+        trace::event(Level::Info, "request", &[Field::str("kind", kind)]);
+        let metrics = service_metrics();
+        metrics.inflight.add(1);
+        let start = Instant::now();
+        let response = self.dispatch(request);
+        let registry = plankton_telemetry::metrics::global();
+        registry
+            .histogram_with(
+                "plankton_request_seconds",
+                "Request handling latency by request kind.",
+                plankton_telemetry::Unit::Micros,
+                &[("kind", kind)],
+            )
+            .observe(start.elapsed().as_micros() as u64);
+        registry
+            .counter_with(
+                "plankton_requests_total",
+                "Requests handled by request kind.",
+                &[("kind", kind)],
+            )
+            .inc();
+        metrics.inflight.sub(1);
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
         match request {
             Request::Load { network } => {
                 let problems = network.validate();
@@ -243,6 +329,9 @@ impl ServiceSession {
             }
             Request::Query { query } => self.query(query),
             Request::Stats => Response::Stats(self.stats()),
+            Request::Metrics => Response::MetricsText {
+                text: plankton_telemetry::metrics::global().render(),
+            },
             Request::Persist => match self.persist() {
                 Ok(entries) => Response::Persisted {
                     entries,
@@ -375,6 +464,7 @@ impl ServiceSession {
             parse_errors: self.parse_errors(),
             connections_open: self.connections_open.load(Ordering::Relaxed),
             connections_served: self.connections_served.load(Ordering::Relaxed),
+            connections_drained: self.connections_drained.load(Ordering::Relaxed),
             uptime_ms: self.started.elapsed().as_millis() as u64,
             ..Default::default()
         };
@@ -384,6 +474,11 @@ impl ServiceSession {
             stats.cache_hits = v.cache().hits();
             stats.cache_misses = v.cache().misses();
             stats.cache_evictions = v.cache().evictions();
+            stats.cache_shard_entries = v.cache().shard_occupancy();
+            let consulted = stats.cache_hits + stats.cache_misses;
+            if consulted > 0 {
+                stats.cache_hit_rate = stats.cache_hits as f64 / consulted as f64;
+            }
             stats.pecs_total = v.snapshot().pecs().len();
         }
         stats

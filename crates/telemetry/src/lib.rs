@@ -1,0 +1,29 @@
+//! # plankton-telemetry
+//!
+//! The measurement substrate of the verifier: a process-global **metrics
+//! registry** (counters, gauges, fixed-log-bucket histograms, rendered as
+//! Prometheus-style text exposition) and lightweight **structured tracing**
+//! (levelled events and spans tagged with a per-request trace id, written as
+//! JSON lines to a pluggable sink).
+//!
+//! Like the other `crates/shims`-era infrastructure, this crate is built for
+//! an offline environment: it depends on `std` only — no registry crates, no
+//! macros-by-proc-macro, no global ceremony beyond two `OnceLock`s.
+//!
+//! Two properties the rest of the workspace relies on:
+//!
+//! * **Zero cost when disabled.** With no trace sink installed,
+//!   [`trace::event`] is a single relaxed atomic load and an early return —
+//!   no allocation, no formatting, no lock. Callers that need to format a
+//!   field value first must guard with [`trace::enabled`]. Metrics are
+//!   always on, but every instrument is a plain atomic the hot paths update
+//!   at task/run granularity, never per model-checking step.
+//! * **Deterministic exposition.** [`metrics::Registry::render`] orders
+//!   families and series lexicographically, so equal registry contents
+//!   render byte-identically — tests and scrapers can diff outputs.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry, Unit};
+pub use trace::{Field, Level, Span};

@@ -1,0 +1,458 @@
+//! Structured tracing: levelled events and spans, tagged with a per-request
+//! trace id, dispatched to pluggable sinks.
+//!
+//! The design center is the *disabled* case: with no sink installed,
+//! [`event`] is one relaxed atomic load and a return. Nothing is allocated,
+//! formatted, or locked — verified by the counting-allocator test in
+//! `tests/overhead.rs`. Call sites that must format a field value (e.g. a
+//! failure-set rendering) guard the formatting with [`enabled`].
+//!
+//! The trace id is carried in a thread local ([`scope`] installs one for the
+//! duration of a request), so every event a request's handler emits — delta
+//! application, key invalidation, task re-runs, report merge — shares the
+//! request's id and the causal chain is reconstructable from the log with a
+//! single `jq 'select(.trace == N)'`.
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Event severity. Ordered: `Trace < Debug < Info < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Finest-grained diagnostics.
+    Trace = 0,
+    /// Developer diagnostics.
+    Debug = 1,
+    /// Normal operational events.
+    Info = 2,
+    /// Something surprising but survivable.
+    Warn = 3,
+    /// Something went wrong.
+    Error = 4,
+}
+
+impl Level {
+    /// Lower-case name, as rendered into log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a level name (`trace|debug|info|warn|error`).
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s {
+            "trace" => Level::Trace,
+            "debug" => Level::Debug,
+            "info" => Level::Info,
+            "warn" => Level::Warn,
+            "error" => Level::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// One key/value pair of an event. Values borrow — building a `&[Field]`
+/// slice literal never allocates.
+#[derive(Clone, Copy, Debug)]
+pub struct Field<'a> {
+    /// The field name.
+    pub key: &'a str,
+    /// The field value.
+    pub value: FieldValue<'a>,
+}
+
+/// A borrowed field value.
+#[derive(Clone, Copy, Debug)]
+pub enum FieldValue<'a> {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A borrowed string.
+    Str(&'a str),
+}
+
+impl<'a> Field<'a> {
+    /// An unsigned-integer field.
+    pub fn u64(key: &'a str, value: u64) -> Self {
+        Field {
+            key,
+            value: FieldValue::U64(value),
+        }
+    }
+
+    /// A float field.
+    pub fn f64(key: &'a str, value: f64) -> Self {
+        Field {
+            key,
+            value: FieldValue::F64(value),
+        }
+    }
+
+    /// A boolean field.
+    pub fn bool(key: &'a str, value: bool) -> Self {
+        Field {
+            key,
+            value: FieldValue::Bool(value),
+        }
+    }
+
+    /// A string field.
+    pub fn str(key: &'a str, value: &'a str) -> Self {
+        Field {
+            key,
+            value: FieldValue::Str(value),
+        }
+    }
+}
+
+/// One structured event, borrowed for the duration of the dispatch.
+#[derive(Debug)]
+pub struct Event<'a> {
+    /// Severity.
+    pub level: Level,
+    /// The event name (`request`, `delta_applied`, `keys_invalidated`, ...).
+    pub name: &'a str,
+    /// The trace id current on the emitting thread (0 = none).
+    pub trace_id: u64,
+    /// The event's fields.
+    pub fields: &'a [Field<'a>],
+}
+
+/// Where events go. Implementations render the borrowed [`Event`] themselves
+/// (JSON lines, pretty stderr, a counter in tests).
+pub trait Sink: Send + Sync {
+    /// Handle one event.
+    fn emit(&self, event: &Event<'_>);
+}
+
+/// `5` is past `Level::Error`, so nothing is enabled.
+const DISABLED: u8 = 5;
+
+/// The cheapest possible gate: the minimum level any installed sink wants.
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(DISABLED);
+
+static SINKS: RwLock<Vec<(Level, Arc<dyn Sink>)>> = RwLock::new(Vec::new());
+
+/// Is any installed sink interested in `level`? Call sites that must
+/// allocate to *build* an event (formatting a value into a `String`) should
+/// check this first; plain `&[Field]` literals are free and need no guard.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 >= MIN_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Install a sink receiving every event at `min_level` or above. Sinks
+/// accumulate; [`clear_sinks`] removes them all.
+pub fn add_sink(min_level: Level, sink: Arc<dyn Sink>) {
+    let mut sinks = SINKS.write().expect("trace sink registry poisoned");
+    sinks.push((min_level, sink));
+    MIN_LEVEL.fetch_min(min_level as u8, Ordering::Relaxed);
+}
+
+/// Remove every sink and disable tracing (tests; a daemon installs sinks
+/// once at startup and never removes them).
+pub fn clear_sinks() {
+    let mut sinks = SINKS.write().expect("trace sink registry poisoned");
+    sinks.clear();
+    MIN_LEVEL.store(DISABLED, Ordering::Relaxed);
+}
+
+/// Emit one event to every interested sink. With no sink installed this is
+/// an atomic load and a return.
+pub fn event(level: Level, name: &str, fields: &[Field<'_>]) {
+    if !enabled(level) {
+        return;
+    }
+    let event = Event {
+        level,
+        name,
+        trace_id: current(),
+        fields,
+    };
+    let sinks = SINKS.read().expect("trace sink registry poisoned");
+    for (min_level, sink) in sinks.iter() {
+        if level >= *min_level {
+            sink.emit(&event);
+        }
+    }
+}
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocate a fresh process-unique trace id.
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id current on this thread (0 = none).
+pub fn current() -> u64 {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// Install `trace_id` as this thread's current id for the guard's lifetime;
+/// the previous id is restored on drop (scopes nest).
+pub fn scope(trace_id: u64) -> ScopeGuard {
+    let previous = CURRENT_TRACE.with(|c| c.replace(trace_id));
+    ScopeGuard { previous }
+}
+
+/// Restores the previous trace id on drop. See [`scope`].
+#[must_use = "dropping the guard immediately ends the trace scope"]
+pub struct ScopeGuard {
+    previous: u64,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        CURRENT_TRACE.with(|c| c.set(previous));
+    }
+}
+
+/// A timed phase: emits one event named `name` with an `elapsed_us` field
+/// when dropped (or closed). Free when tracing is disabled at creation.
+pub struct Span {
+    name: &'static str,
+    level: Level,
+    start: Option<Instant>,
+}
+
+/// Start a span. The event is emitted on drop, carrying the elapsed time.
+pub fn span(level: Level, name: &'static str) -> Span {
+    Span {
+        name,
+        level,
+        start: enabled(level).then(Instant::now),
+    }
+}
+
+impl Span {
+    /// End the span now, attaching `extra` fields to the emitted event.
+    pub fn close_with(mut self, extra: &[Field<'_>]) {
+        if let Some(start) = self.start.take() {
+            let mut fields = Vec::with_capacity(extra.len() + 1);
+            fields.push(Field::u64("elapsed_us", start.elapsed().as_micros() as u64));
+            fields.extend_from_slice(extra);
+            event(self.level, self.name, &fields);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            event(
+                self.level,
+                self.name,
+                &[Field::u64("elapsed_us", start.elapsed().as_micros() as u64)],
+            );
+        }
+    }
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render one event as a JSONL line (no trailing newline):
+/// `{"ts_us":...,"level":"info","trace":3,"event":"request","kind":"verify"}`.
+pub fn render_json_line(event: &Event<'_>) -> String {
+    let ts_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"ts_us\":{ts_us},\"level\":\"{}\",\"trace\":{},\"event\":",
+        event.level.as_str(),
+        event.trace_id
+    );
+    write_json_string(&mut line, event.name);
+    for field in event.fields {
+        line.push(',');
+        write_json_string(&mut line, field.key);
+        line.push(':');
+        match field.value {
+            FieldValue::U64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::F64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::Bool(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::Str(v) => write_json_string(&mut line, v),
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// A sink writing one JSON line per event to any writer (a log file for
+/// `planktond --log-json`, an in-memory buffer in tests). Lines are written
+/// with a single `write_all` under a mutex and flushed immediately, so
+/// concurrent connection threads never interleave and `tail -f` works.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn io::Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// A sink appending to the file at `path` (created if absent).
+    pub fn file(path: &Path) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::writer(Box::new(file)))
+    }
+
+    /// A sink over any writer.
+    pub fn writer(out: Box<dyn io::Write + Send>) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = render_json_line(event);
+        line.push('\n');
+        let mut out = self.out.lock().expect("json sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+/// A sink pretty-printing to stderr: `[warn] parse_error trace=7 byte_len=12`.
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = String::with_capacity(64);
+        let _ = write!(line, "[{}] {}", event.level.as_str(), event.name);
+        if event.trace_id != 0 {
+            let _ = write!(line, " trace={}", event.trace_id);
+        }
+        for field in event.fields {
+            match field.value {
+                FieldValue::U64(v) => {
+                    let _ = write!(line, " {}={v}", field.key);
+                }
+                FieldValue::F64(v) => {
+                    let _ = write!(line, " {}={v}", field.key);
+                }
+                FieldValue::Bool(v) => {
+                    let _ = write!(line, " {}={v}", field.key);
+                }
+                FieldValue::Str(v) => {
+                    let _ = write!(line, " {}={v:?}", field.key);
+                }
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Install a JSONL file sink at `path` receiving everything (`Level::Trace`).
+pub fn init_json_file(path: &Path) -> io::Result<()> {
+    add_sink(Level::Trace, Arc::new(JsonLinesSink::file(path)?));
+    Ok(())
+}
+
+/// Install a pretty stderr sink at `level`.
+pub fn init_stderr(level: Level) {
+    add_sink(level, Arc::new(StderrSink));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("loud"), None);
+        assert_eq!(Level::Info.as_str(), "info");
+    }
+
+    #[test]
+    fn trace_scopes_nest_and_restore() {
+        assert_eq!(current(), 0);
+        let outer = next_trace_id();
+        let inner = next_trace_id();
+        assert_ne!(outer, inner);
+        {
+            let _outer_guard = scope(outer);
+            assert_eq!(current(), outer);
+            {
+                let _inner_guard = scope(inner);
+                assert_eq!(current(), inner);
+            }
+            assert_eq!(current(), outer);
+        }
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn json_line_rendering_escapes_and_types() {
+        let fields = [
+            Field::u64("n", 7),
+            Field::str("quote", "a\"b\\c\nd"),
+            Field::bool("ok", true),
+            Field::f64("rate", 0.5),
+        ];
+        let event = Event {
+            level: Level::Warn,
+            name: "parse_error",
+            trace_id: 42,
+            fields: &fields,
+        };
+        let line = render_json_line(&event);
+        assert!(line.contains("\"level\":\"warn\""), "{line}");
+        assert!(line.contains("\"trace\":42"), "{line}");
+        assert!(line.contains("\"event\":\"parse_error\""), "{line}");
+        assert!(line.contains("\"n\":7"), "{line}");
+        assert!(line.contains("\"quote\":\"a\\\"b\\\\c\\nd\""), "{line}");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"rate\":0.5"), "{line}");
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+}

@@ -1,0 +1,94 @@
+//! The zero-cost-when-disabled guarantee, asserted with a counting global
+//! allocator: with no sink installed, the event path must not allocate at
+//! all. This lives in its own integration-test binary because the global
+//! allocator and the global sink registry are process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use plankton_telemetry::trace::{self, Event, Field, Level, Sink};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct CountingSink {
+    seen: AtomicU64,
+}
+
+impl Sink for CountingSink {
+    fn emit(&self, _event: &Event<'_>) {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One test fn so the disabled-path assertion cannot race a test that
+/// installs a sink: integration tests in one binary run in parallel threads
+/// but share the global sink registry.
+#[test]
+fn disabled_event_path_does_not_allocate_and_sinks_see_events_once_installed() {
+    // Phase 1: no sink installed. The full event path — enabled() gate,
+    // field-slice literal, span create/drop — must be allocation-free.
+    assert!(!trace::enabled(Level::Error));
+    let fields = [
+        Field::u64("tasks", 12),
+        Field::str("kind", "verify"),
+        Field::bool("cached", false),
+    ];
+    // Warm up any lazy thread-local init outside the measured window.
+    trace::event(Level::Info, "warmup", &fields);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        trace::event(Level::Info, "request", &fields);
+        trace::event(Level::Error, "boom", &[]);
+        let span = trace::span(Level::Debug, "phase");
+        drop(span);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled event path allocated {} times",
+        after - before
+    );
+
+    // Phase 2: install a counting sink at Info; Info and above arrive,
+    // Debug is filtered by the sink's level, and spans emit on drop.
+    let sink = Arc::new(CountingSink {
+        seen: AtomicU64::new(0),
+    });
+    trace::add_sink(Level::Info, sink.clone());
+    assert!(trace::enabled(Level::Info));
+    assert!(!trace::enabled(Level::Debug));
+
+    trace::event(Level::Info, "request", &fields);
+    trace::event(Level::Warn, "parse_error", &[Field::u64("byte_len", 9)]);
+    trace::event(Level::Debug, "filtered", &[]);
+    let span = trace::span(Level::Info, "phase");
+    drop(span);
+    assert_eq!(sink.seen.load(Ordering::Relaxed), 3);
+
+    // Phase 3: clearing sinks restores the free path.
+    trace::clear_sinks();
+    assert!(!trace::enabled(Level::Error));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    trace::event(Level::Error, "gone", &fields);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0);
+    assert_eq!(sink.seen.load(Ordering::Relaxed), 3);
+}

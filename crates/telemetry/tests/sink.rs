@@ -1,0 +1,87 @@
+//! JSONL sink behaviour end-to-end: lines land in the writer, carry the
+//! thread's trace id, respect per-sink level filters, and spans record
+//! elapsed time. Own binary: the sink registry is process-global.
+
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use plankton_telemetry::trace::{self, Field, JsonLinesSink, Level};
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn json_lines_sink_records_trace_ids_levels_and_spans() {
+    let buf = SharedBuf::default();
+    trace::add_sink(
+        Level::Info,
+        Arc::new(JsonLinesSink::writer(Box::new(buf.clone()))),
+    );
+
+    let request_trace = trace::next_trace_id();
+    {
+        let _guard = trace::scope(request_trace);
+        trace::event(
+            Level::Info,
+            "request",
+            &[Field::str("kind", "verify"), Field::u64("tasks", 3)],
+        );
+        trace::event(Level::Debug, "too_quiet", &[]);
+        let span = trace::span(Level::Info, "exploration");
+        span.close_with(&[Field::u64("tasks_rerun", 2)]);
+    }
+    trace::event(Level::Warn, "parse_error", &[Field::u64("byte_len", 17)]);
+    trace::clear_sinks();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "expected 3 lines, got: {text}");
+
+    assert!(lines[0].contains("\"event\":\"request\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"kind\":\"verify\""), "{}", lines[0]);
+    assert!(
+        lines[0].contains(&format!("\"trace\":{request_trace}")),
+        "{}",
+        lines[0]
+    );
+
+    assert!(
+        lines[1].contains("\"event\":\"exploration\""),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[1].contains("\"elapsed_us\":"), "{}", lines[1]);
+    assert!(lines[1].contains("\"tasks_rerun\":2"), "{}", lines[1]);
+    assert!(
+        lines[1].contains(&format!("\"trace\":{request_trace}")),
+        "span must inherit the scope's trace id: {}",
+        lines[1]
+    );
+
+    // Outside the scope the trace id falls back to 0.
+    assert!(
+        lines[2].contains("\"event\":\"parse_error\""),
+        "{}",
+        lines[2]
+    );
+    assert!(lines[2].contains("\"trace\":0"), "{}", lines[2]);
+    assert!(lines[2].contains("\"byte_len\":17"), "{}", lines[2]);
+
+    // Every line is an object with a timestamp.
+    for line in &lines {
+        assert!(line.starts_with("{\"ts_us\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+}

@@ -13,12 +13,17 @@
 //!   '{"ApplyDelta": {"delta": {"LinkDown": {"link": 3}}}}' \
 //!   '{"Verify": {"policy": "LoopFreedom"}}' \
 //!   '"Persist"'
+//! planktonctl --socket /tmp/p.sock metrics   # Prometheus text exposition
 //! ```
+//!
+//! The `metrics` subcommand sends a `Metrics` request and prints the
+//! daemon's metrics registry as Prometheus text exposition (unwrapped from
+//! the JSON response), ready to pipe to a file a scraper reads.
 
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!("usage:\n  planktonctl --socket <path> [--timeout <secs>] [--pipeline] [REQUEST_JSON]...\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.\n--timeout bounds the connect retry loop (default 5s); --pipeline sends\nevery request before reading the responses.");
+    eprintln!("usage:\n  planktonctl --socket <path> [--timeout <secs>] [--pipeline] [REQUEST_JSON]...\n  planktonctl --socket <path> [--timeout <secs>] metrics\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.\n--timeout bounds the connect retry loop (default 5s); --pipeline sends\nevery request before reading the responses. The `metrics` subcommand\nprints the daemon's metrics as Prometheus text exposition.");
     exit(2);
 }
 
@@ -29,6 +34,7 @@ fn main() {
     let mut socket: Option<String> = None;
     let mut timeout_secs: f64 = 5.0;
     let mut pipeline = false;
+    let mut metrics = false;
     let mut requests: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,12 +47,16 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--pipeline" => pipeline = true,
+            "metrics" => metrics = true,
             "--help" | "-h" => usage(),
             // Blank requests get no response line from the daemon; sending
             // one would desync the request/response accounting below.
             _ if arg.trim().is_empty() => {}
             _ => requests.push(arg),
         }
+    }
+    if metrics && (pipeline || !requests.is_empty()) {
+        usage();
     }
     let Some(path) = socket else { usage() };
     let timeout = std::time::Duration::from_secs_f64(timeout_secs.max(0.0));
@@ -74,6 +84,31 @@ fn main() {
         }
         print!("{response}");
     };
+
+    if metrics {
+        // One request, one response — but the payload is a whole Prometheus
+        // text page, so unwrap it from the JSON envelope instead of echoing
+        // the response line.
+        send(&mut writer, "\"Metrics\"");
+        let mut response = String::new();
+        let n = reader.read_line(&mut response).expect("read response");
+        if n == 0 {
+            eprintln!("planktonctl: connection closed by daemon before a response");
+            exit(1);
+        }
+        match serde_json::from_str::<plankton_service::Response>(&response) {
+            Ok(plankton_service::Response::MetricsText { text }) => print!("{text}"),
+            Ok(other) => {
+                eprintln!("planktonctl: unexpected response: {other:?}");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("planktonctl: bad response line: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
 
     if pipeline {
         // One batch, full duplex: a reader thread prints responses while the

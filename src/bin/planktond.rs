@@ -27,7 +27,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (concurrent connections sharing\none session; --threads caps them, default 4). With --cache-dir the result\ncache is persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request."
+        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n            [--log-json <file.jsonl>] [--log-level <error|warn|info|debug|trace>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (concurrent connections sharing\none session; --threads caps them, default 4). With --cache-dir the result\ncache is persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request.\n\n--log-json appends every trace event as one JSON line to the given file;\n--log-level pretty-prints events at or above the level to stderr."
     );
     exit(2);
 }
@@ -49,6 +49,8 @@ fn main() {
     let mut scenario: Option<String> = None;
     let mut socket: Option<String> = None;
     let mut cache_dir: Option<String> = None;
+    let mut log_json: Option<String> = None;
+    let mut log_level: Option<String> = None;
     let mut threads: usize = ServeOptions::default().max_connections;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -58,6 +60,8 @@ fn main() {
             "--scenario" => scenario = Some(value()),
             "--socket" => socket = Some(value()),
             "--cache-dir" => cache_dir = Some(value()),
+            "--log-json" => log_json = Some(value()),
+            "--log-level" => log_level = Some(value()),
             "--threads" => {
                 threads = value().parse().unwrap_or_else(|_| usage());
                 if threads == 0 {
@@ -66,6 +70,20 @@ fn main() {
             }
             _ => usage(),
         }
+    }
+
+    if let Some(path) = &log_json {
+        if let Err(e) = plankton_telemetry::trace::init_json_file(path.as_ref()) {
+            eprintln!("cannot open log file {path}: {e}");
+            exit(1);
+        }
+    }
+    if let Some(spec) = &log_level {
+        let Some(level) = plankton_telemetry::Level::parse(spec) else {
+            eprintln!("unknown log level {spec:?} (error, warn, info, debug, trace)");
+            exit(2);
+        };
+        plankton_telemetry::trace::init_stderr(level);
     }
 
     let mut session = ServiceSession::new();
