@@ -322,10 +322,13 @@ impl ResultCache {
     /// (atomically: written to a writer-unique sibling temp file, then
     /// renamed — concurrent `Persist` requests from different daemon
     /// connections must not interleave writes into one temp file, and each
-    /// rename installs a complete snapshot, last one winning). Returns the
+    /// rename installs a complete snapshot, last one winning). The JSON body
+    /// is followed by a [`CHECKSUM_PREFIX`] footer line so `load_from` can
+    /// tell a truncated or bit-flipped file from a valid one. Returns the
     /// number of entries written.
     pub fn save_to(&self, path: &Path) -> std::io::Result<usize> {
         static WRITER: AtomicU64 = AtomicU64::new(0);
+        plankton_faultinject::trigger("cache_save")?;
         let snapshot = self.to_snapshot();
         let json = serde_json::to_string(&snapshot)
             .map_err(|e| std::io::Error::other(format!("cache snapshot serialize: {e}")))?;
@@ -339,21 +342,67 @@ impl ResultCache {
             std::process::id(),
             WRITER.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, json)?;
+        let body = format!(
+            "{json}\n{CHECKSUM_PREFIX}{:016x}\n",
+            fnv1a64(json.as_bytes())
+        );
+        std::fs::write(&tmp, body)?;
         std::fs::rename(&tmp, path)?;
         Ok(snapshot.entries.len())
     }
 
     /// Load a persisted snapshot from `path` and merge it into the live
     /// cache. Returns the number of entries absorbed; a missing file,
-    /// unparsable content, or a stale fingerprint-scheme version all report
-    /// an error (the caller decides whether a cold start is acceptable).
+    /// unparsable content, a missing/mismatched checksum footer (truncation
+    /// or bit rot), or a stale fingerprint-scheme version all report an
+    /// error (the caller decides whether a cold start is acceptable).
     pub fn load_from(&self, path: &Path) -> Result<usize, String> {
-        let json = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let snapshot: CacheSnapshot = serde_json::from_str(&json)
+        plankton_faultinject::trigger("cache_load")
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = verify_checksum(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+        let snapshot: CacheSnapshot = serde_json::from_str(json)
             .map_err(|e| format!("{}: not a cache snapshot: {e}", path.display()))?;
         self.absorb_snapshot(&snapshot)
     }
+}
+
+/// Marker line that carries the snapshot checksum, after the JSON body.
+const CHECKSUM_PREFIX: &str = "#plankton-cache-fnv64:";
+
+/// FNV-1a over the snapshot body; cheap, no tables, and plenty to catch the
+/// failure modes that actually happen to a cache file (truncation by a
+/// mid-write crash, a flipped bit, a partial rename target).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Split a persisted snapshot into body + footer and verify the checksum,
+/// returning the JSON body. The error names the corruption class so the
+/// daemon's structured warn is actionable.
+fn verify_checksum(raw: &str) -> Result<&str, String> {
+    let trimmed = raw.trim_end_matches('\n');
+    let Some((body, footer)) = trimmed.rsplit_once('\n') else {
+        return Err("missing checksum footer (truncated snapshot?)".to_string());
+    };
+    let Some(hex) = footer.strip_prefix(CHECKSUM_PREFIX) else {
+        return Err("missing checksum footer (truncated snapshot?)".to_string());
+    };
+    let expected = u64::from_str_radix(hex.trim(), 16)
+        .map_err(|_| "unreadable checksum footer".to_string())?;
+    let actual = fnv1a64(body.as_bytes());
+    if actual != expected {
+        return Err(format!(
+            "checksum mismatch (stored {expected:016x}, computed {actual:016x}): \
+             snapshot is corrupt"
+        ));
+    }
+    Ok(body)
 }
 
 #[cfg(test)]
@@ -365,6 +414,11 @@ mod tests {
     fn shard_key(i: u64) -> u64 {
         i * ResultCache::SHARDS as u64
     }
+
+    /// Tests that touch `save_to`/`load_from` share this lock: one of them
+    /// arms the process-global `cache_save` failpoint, which must not fire
+    /// under a concurrently running sibling test.
+    static FS_TESTS: Mutex<()> = Mutex::new(());
 
     #[test]
     fn get_insert_and_counters() {
@@ -463,6 +517,7 @@ mod tests {
 
     #[test]
     fn save_and_load_through_a_file() {
+        let _guard = FS_TESTS.lock();
         let dir = std::env::temp_dir().join(format!("plankton-cache-{}", std::process::id()));
         let path = dir.join("cache.json");
         let cache = ResultCache::new();
@@ -472,6 +527,62 @@ mod tests {
         assert_eq!(restored.load_from(&path).unwrap(), 1);
         assert!(restored.peek(42).is_some());
         assert!(restored.load_from(&dir.join("absent.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_detected_by_the_checksum_footer() {
+        let _guard = FS_TESTS.lock();
+        let dir = std::env::temp_dir().join(format!("plankton-cache-crc-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let cache = ResultCache::new();
+        for k in 0..4u64 {
+            cache.insert(k, Arc::new(PolicyOutcome::default()));
+        }
+        cache.save_to(&path).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+        assert!(good.contains(CHECKSUM_PREFIX));
+
+        // Truncation: a crash mid-write loses the tail (and the footer).
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let err = ResultCache::new().load_from(&path).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+
+        // Bit rot: same length, one corrupted byte in the body.
+        let mut rotten = good.clone().into_bytes();
+        rotten[10] ^= 0x41;
+        std::fs::write(&path, &rotten).unwrap();
+        let err = ResultCache::new().load_from(&path).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+
+        // A pre-footer snapshot (or a hand-edited file) is refused too: no
+        // footer means no integrity claim.
+        let (body, _) = good.trim_end_matches('\n').rsplit_once('\n').unwrap();
+        std::fs::write(&path, body).unwrap();
+        let err = ResultCache::new().load_from(&path).unwrap_err();
+        assert!(err.contains("missing checksum footer"), "{err}");
+
+        // The untouched original still loads.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(ResultCache::new().load_from(&path).unwrap(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_failpoint_surfaces_as_an_io_error() {
+        let _guard = FS_TESTS.lock();
+        let dir = std::env::temp_dir().join(format!("plankton-cache-fp-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let cache = ResultCache::new();
+        cache.insert(1, Arc::new(PolicyOutcome::default()));
+        plankton_faultinject::configure("cache_save=io_err*1").unwrap();
+        let err = cache.save_to(&path).unwrap_err();
+        assert!(err.to_string().contains("failpoint"), "{err}");
+        assert!(!path.exists(), "a failed save must not install a file");
+        // The budget is spent; the retry succeeds and loads clean.
+        assert_eq!(cache.save_to(&path).unwrap(), 1);
+        plankton_faultinject::clear();
+        assert_eq!(ResultCache::new().load_from(&path).unwrap(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

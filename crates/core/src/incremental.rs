@@ -262,6 +262,10 @@ impl Plankton {
         let fresh_steps = AtomicU64::new(0);
         let engine = Engine::new(options.parallelism);
         let mut engine_stats = engine.run(&graph, |task, worker| {
+            if ctx.deadline_passed() {
+                worker.request_stop();
+                return;
+            }
             let (c, f) = map.decode(task);
             let component = &deps.components[c];
             let failures = &ctx.failure_sets[f];
@@ -342,6 +346,7 @@ impl Plankton {
             phases,
             largest_scc: deps.largest_component(),
             engine: Some(engine_stats),
+            deadline_exceeded: ctx.deadline_hit.load(Ordering::Relaxed),
         };
         (report, stats)
     }
@@ -430,6 +435,10 @@ impl IncrementalVerifier {
     pub fn apply_delta(&self, delta: &ConfigDelta) -> Result<AppliedDelta, DeltaError> {
         let start = Instant::now();
         let _serialize = self.mutate.lock();
+        // Chaos hook: `snapshot_swap=delay:<N>ms` widens the rebuild window
+        // for race soaks; `snapshot_swap=panic` models a rebuild bug (the
+        // service contains it and keeps the *old* snapshot serving).
+        let _ = plankton_faultinject::trigger("snapshot_swap");
         let mut network = self.snapshot().network().clone();
         let touch = delta.apply(&mut network)?;
         let plankton = Arc::new(Plankton::new(network));

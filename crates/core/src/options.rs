@@ -3,6 +3,7 @@
 
 use plankton_checker::SearchOptions;
 use plankton_net::ip::Prefix;
+use std::time::{Duration, Instant};
 
 /// Options controlling a whole verification (all PECs, all failure sets).
 #[derive(Clone, Debug)]
@@ -36,6 +37,10 @@ pub struct PlanktonOptions {
     pub max_data_planes_per_pec: usize,
     /// Optimization toggles forwarded to every model-checking run.
     pub search: SearchOptions,
+    /// Abandon the run once this instant passes: remaining tasks drain via
+    /// the early-stop broadcast and the report is marked
+    /// `deadline_exceeded`. `None` (the default) never times out.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for PlanktonOptions {
@@ -50,6 +55,7 @@ impl Default for PlanktonOptions {
             equivalence_suppression: true,
             max_data_planes_per_pec: 512,
             search: SearchOptions::all_optimizations(),
+            deadline: None,
         }
     }
 }
@@ -75,6 +81,7 @@ impl PlanktonOptions {
             equivalence_suppression: false,
             max_data_planes_per_pec: 512,
             search: SearchOptions::no_optimizations(),
+            deadline: None,
         }
     }
 
@@ -116,10 +123,18 @@ impl PlanktonOptions {
         self
     }
 
+    /// Give the run a deadline `budget` from now, builder-style.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
     /// A fingerprint of every option that can change a verification task's
     /// *outcome* (violations, stats, records) — part of the result-cache
-    /// key. Scheduling-only knobs (`parallelism`, `sequential`) are
-    /// excluded: they change who runs a task, never what the task computes.
+    /// key. Scheduling-only knobs (`parallelism`, `sequential`, `deadline`)
+    /// are excluded: they change who runs a task (or whether it runs at
+    /// all — deadline-skipped tasks are never cached), never what the task
+    /// computes.
     pub fn cache_fingerprint(&self) -> u64 {
         let mut fp = plankton_config::Fingerprinter::new();
         fp.write_u8(b'o');

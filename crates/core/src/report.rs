@@ -118,6 +118,17 @@ pub struct VerificationReport {
     /// What the parallel engine's worker pool did (`None` when the legacy
     /// sequential scheduler ran).
     pub engine: Option<EngineStats>,
+    /// Did the run abandon work because [`PlanktonOptions::deadline`]
+    /// passed? A deadline-exceeded report is *incomplete* — unexplored
+    /// tasks drained as skipped — so callers must not treat `holds()` as a
+    /// verification verdict. Skipped in serialization like `elapsed`:
+    /// whether a deadline fired is execution-path-dependent and must not
+    /// perturb `normalized_json` identity checks (the service refuses to
+    /// serve such reports as results anyway).
+    ///
+    /// [`PlanktonOptions::deadline`]: crate::options::PlanktonOptions::deadline
+    #[serde(skip)]
+    pub deadline_exceeded: bool,
 }
 
 impl VerificationReport {

@@ -94,6 +94,10 @@ pub(crate) struct RunCtx<'a> {
     pub(crate) data_planes_checked: AtomicU64,
     pub(crate) stop: AtomicBool,
     pub(crate) interner: SharedRouteInterner,
+    /// Mirror of [`PlanktonOptions::deadline`], checked between tasks.
+    pub(crate) deadline: Option<Instant>,
+    /// Latched when the deadline fired; the report is marked incomplete.
+    pub(crate) deadline_hit: AtomicBool,
 }
 
 /// The outcome of verifying one PEC of one component task under one failure
@@ -126,6 +130,23 @@ impl<'a> RunCtx<'a> {
                 .lock()
                 .extend(result.violations.iter().cloned());
         }
+    }
+
+    /// Has [`PlanktonOptions::deadline`] passed? When it has, latch
+    /// `deadline_hit` and broadcast the early-stop drain: remaining work is
+    /// skipped exactly like a stop-at-first-violation stop, so
+    /// deadline-abandoned tasks produce incomplete (never-cached) results.
+    /// Free when no deadline is set (one `Option` check).
+    pub(crate) fn deadline_passed(&self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if Instant::now() < deadline {
+            return false;
+        }
+        self.deadline_hit.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+        true
     }
 }
 
@@ -231,6 +252,8 @@ impl Plankton {
             data_planes_checked: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             interner: SharedRouteInterner::new(),
+            deadline: options.deadline,
+            deadline_hit: AtomicBool::new(false),
         }
     }
 
@@ -277,6 +300,7 @@ impl Plankton {
             phases,
             largest_scc,
             engine: engine_stats,
+            deadline_exceeded: ctx.deadline_hit.load(Ordering::Relaxed),
         }
     }
 
@@ -314,6 +338,10 @@ impl Plankton {
 
         let engine = Engine::new(ctx.options.parallelism);
         let mut stats = engine.run(&graph, |task, worker| {
+            if ctx.deadline_passed() {
+                worker.request_stop();
+                return;
+            }
             let (active_idx, f) = map.decode(task);
             let component = &self.deps.components[active[active_idx]];
             let failures = &ctx.failure_sets[f];
@@ -359,7 +387,7 @@ impl Plankton {
                 outcomes.insert(pec_id, PecOutcome::new(pec_id));
             }
             for failures in &ctx.failure_sets {
-                if ctx.stop.load(Ordering::Relaxed) {
+                if ctx.stop.load(Ordering::Relaxed) || ctx.deadline_passed() {
                     break;
                 }
                 let lookup = |p: PecId| -> Option<Arc<ConvergedRecord>> {
@@ -401,11 +429,15 @@ impl Plankton {
         }
         for &pec_id in component {
             let mut result = PecTaskResult::default();
-            if ctx.stop.load(Ordering::Relaxed) {
+            if ctx.stop.load(Ordering::Relaxed) || ctx.deadline_passed() {
                 out.insert(pec_id, result);
                 continue;
             }
             result.complete = true;
+            // Chaos hook: `task=panic@pec:<id>` models a bug in this PEC's
+            // model-checking run. On the engine path the panic is contained
+            // as a structured `TaskFailure` (io_err has no meaning here).
+            let _ = plankton_faultinject::trigger_keyed("task", "pec", pec_id.0 as u64);
             // Only pay for the clock when a warn sink could see the event.
             let task_start = trace::enabled(Level::Warn).then(Instant::now);
             let pec = self.pecs.pec(pec_id);

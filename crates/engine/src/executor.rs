@@ -21,7 +21,7 @@
 
 use crate::graph::{TaskGraph, TaskId};
 use crate::queue::TaskQueue;
-use crate::stats::EngineStats;
+use crate::stats::{EngineStats, TaskFailure};
 use plankton_checker::SearchScratch;
 use std::cell::{RefCell, RefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -71,6 +71,8 @@ impl Engine {
             executed: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            failures: Mutex::new(Vec::new()),
             queued: AtomicUsize::new(0),
             queue_depth_max: AtomicUsize::new(0),
             busy_micros: AtomicU64::new(0),
@@ -108,13 +110,19 @@ impl Engine {
                 .into_iter()
                 .map(|h| match h.join() {
                     Ok(reuses) => reuses,
-                    // Re-raise the original task panic so its message
-                    // reaches the caller instead of a generic join error.
+                    // Task panics are caught inside the loop; a worker loop
+                    // panicking here is an engine bug, not a task fault.
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
                 .sum()
         });
 
+        let mut failures = shared
+            .failures
+            .lock()
+            .expect("engine failure list poisoned")
+            .clone();
+        failures.sort_by_key(|f| f.task);
         let completed = shared.completed.load(Ordering::Acquire);
         let stats = EngineStats {
             workers: self.workers,
@@ -129,6 +137,8 @@ impl Engine {
             wall_micros: start.elapsed().as_micros() as u64,
             queue_depth_max: shared.queue_depth_max.load(Ordering::Relaxed),
             busy_micros: shared.busy_micros.load(Ordering::Relaxed),
+            tasks_panicked: shared.panicked.load(Ordering::Relaxed),
+            failures,
         };
         record_run_metrics(&stats);
         stats
@@ -145,6 +155,7 @@ fn record_run_metrics(stats: &EngineStats) {
         stolen: std::sync::Arc<plankton_telemetry::Counter>,
         busy: std::sync::Arc<plankton_telemetry::Counter>,
         queue_depth: std::sync::Arc<plankton_telemetry::Gauge>,
+        panicked: std::sync::Arc<plankton_telemetry::Counter>,
     }
     static HANDLES: OnceLock<Handles> = OnceLock::new();
     let handles = HANDLES.get_or_init(|| {
@@ -162,11 +173,16 @@ fn record_run_metrics(stats: &EngineStats) {
                 "plankton_queue_depth_max",
                 "High-water mark of runnable tasks queued at once, across all engine runs.",
             ),
+            panicked: registry.counter(
+                "plankton_tasks_panicked_total",
+                "Task closures that panicked and were contained as structured failures.",
+            ),
         }
     });
     handles.stolen.add(stats.tasks_stolen);
     handles.busy.add(stats.busy_micros);
     handles.queue_depth.record_max(stats.queue_depth_max as u64);
+    handles.panicked.add(stats.tasks_panicked);
 }
 
 /// The per-task wall-time histogram (`plankton_task_seconds`), resolved once.
@@ -231,6 +247,8 @@ struct Shared<'g> {
     executed: AtomicU64,
     stolen: AtomicU64,
     skipped: AtomicU64,
+    panicked: AtomicU64,
+    failures: Mutex<Vec<TaskFailure>>,
     /// Runnable tasks currently sitting in worker deques.
     queued: AtomicUsize,
     queue_depth_max: AtomicUsize,
@@ -259,6 +277,18 @@ impl StopControl for Shared<'_> {
     }
 }
 
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or format string covers practically every real payload).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn worker_loop<F>(shared: &Shared<'_>, worker: usize, f: &F) -> u64
 where
     F: Fn(TaskId, &WorkerContext<'_>) + Sync,
@@ -282,14 +312,16 @@ where
         match task {
             Some(task) => {
                 shared.queued.fetch_sub(1, Ordering::Relaxed);
-                let mut panic_payload = None;
                 if shared.stop_requested() {
                     shared.skipped.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    // A panicking task must not leave the pool waiting on a
-                    // completion that will never come (a crash would become a
-                    // silent hang): broadcast stop, finish the accounting
-                    // below so the other workers drain, then re-panic.
+                    // A panicking task is contained, not re-raised: record a
+                    // structured TaskFailure and broadcast stop *before* the
+                    // accounting below releases this task's dependents — they
+                    // (and every other remaining task) then drain as skipped,
+                    // so nothing runs against outcome records the panicked
+                    // closure never stored, and the caller gets a completed
+                    // (but degraded) run instead of a dead process.
                     let task_start = Instant::now();
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(task, &ctx))) {
                         Ok(()) => {
@@ -300,7 +332,15 @@ where
                         }
                         Err(payload) => {
                             shared.request_stop();
-                            panic_payload = Some(payload);
+                            shared.panicked.fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .failures
+                                .lock()
+                                .expect("engine failure list poisoned")
+                                .push(TaskFailure {
+                                    task: task.index(),
+                                    message: panic_message(payload.as_ref()),
+                                });
                         }
                     }
                 }
@@ -317,9 +357,6 @@ where
                 let done = shared.completed.fetch_add(1, Ordering::AcqRel) + 1;
                 if released || done >= shared.total {
                     shared.wake.notify_all();
-                }
-                if let Some(payload) = panic_payload {
-                    std::panic::resume_unwind(payload);
                 }
             }
             None => {
@@ -435,21 +472,34 @@ mod tests {
     }
 
     #[test]
-    fn task_panic_propagates_instead_of_hanging() {
+    fn task_panic_is_contained_as_a_structured_failure() {
         let mut graph = TaskGraph::new(12);
         for t in 1..12 {
             graph.add_dependency(TaskId(t), TaskId(t - 1));
         }
         // Without the catch-unwind accounting this would deadlock (the test
-        // finishing at all is half the assertion); the panic must surface.
-        let result = std::panic::catch_unwind(|| {
-            Engine::new(3).run(&graph, |t, _| {
-                if t.index() == 2 {
-                    panic!("task blew up");
-                }
-            })
+        // finishing at all is half the assertion). The panic must NOT reach
+        // the caller: it becomes a TaskFailure, stop broadcasts, and the
+        // dependents of the dead task drain as skipped — none of them runs
+        // against the outcome the panicked closure never stored.
+        let ran_after_panic = AtomicU32::new(0);
+        let stats = Engine::new(3).run(&graph, |t, _| {
+            if t.index() == 2 {
+                panic!("task blew up");
+            }
+            if t.index() > 2 {
+                ran_after_panic.fetch_add(1, Ordering::SeqCst);
+            }
         });
-        assert!(result.is_err(), "worker panic must propagate to the caller");
+        assert_eq!(stats.tasks_panicked, 1);
+        assert_eq!(stats.failures.len(), 1);
+        assert_eq!(stats.failures[0].task, 2);
+        assert_eq!(stats.failures[0].message, "task blew up");
+        assert_eq!(ran_after_panic.load(Ordering::SeqCst), 0);
+        assert_eq!(stats.tasks_executed, 2);
+        assert_eq!(stats.tasks_skipped, 9);
+        assert_eq!(stats.tasks_pending, 0, "the pool drained fully");
+        assert!(stats.stopped_early());
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub use graph::{
 };
 pub use interner::SharedRouteInterner;
 pub use queue::TaskQueue;
-pub use stats::EngineStats;
+pub use stats::{EngineStats, TaskFailure};

@@ -3,6 +3,18 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// One contained task panic: the pool caught it, broadcast early stop, and
+/// drained instead of crashing the process. Carried in [`EngineStats`] so
+/// the verifier (and ultimately the service) can answer the request with a
+/// structured error while the daemon keeps serving.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskFailure {
+    /// Index of the panicked task in the run's task graph.
+    pub task: usize,
+    /// The panic payload, when it was a string (the common `panic!` case).
+    pub message: String,
+}
+
 /// A snapshot of what the worker pool did during one engine run, surfaced in
 /// the verification report.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,6 +52,13 @@ pub struct EngineStats {
     /// sleeping, or draining).
     #[serde(default)]
     pub busy_micros: u64,
+    /// Tasks whose closure panicked; each is caught, recorded in
+    /// [`failures`](Self::failures), and triggers the early-stop drain.
+    #[serde(default)]
+    pub tasks_panicked: u64,
+    /// Structured details of every contained panic, ordered by task index.
+    #[serde(default)]
+    pub failures: Vec<TaskFailure>,
 }
 
 impl EngineStats {
@@ -68,7 +87,7 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} workers, {}/{} tasks run ({} stolen, {} skipped), \
+            "{} workers, {}/{} tasks run ({} stolen, {} skipped, {} panicked), \
              {} scratch reuses, {} interned routes, {:.3}s, \
              {:.0}% utilization (queue depth max {})",
             self.workers,
@@ -76,6 +95,7 @@ impl fmt::Display for EngineStats {
             self.tasks_total,
             self.tasks_stolen,
             self.tasks_skipped,
+            self.tasks_panicked,
             self.scratch_reuses,
             self.interned_routes,
             self.wall_seconds(),
@@ -104,6 +124,11 @@ mod tests {
             wall_micros: 2_500_000,
             queue_depth_max: 6,
             busy_micros: 5_000_000,
+            tasks_panicked: 1,
+            failures: vec![TaskFailure {
+                task: 4,
+                message: "boom".into(),
+            }],
         };
         assert!(stats.stopped_early());
         assert_eq!(stats.wall_seconds(), 2.5);

@@ -1,0 +1,298 @@
+//! Named failpoints for chaos testing.
+//!
+//! A failpoint is a named hook compiled into production code paths
+//! (`trigger("cache_save")?`). In normal operation every hook is a single
+//! relaxed atomic load — the same zero-cost-when-disabled discipline as
+//! `plankton_telemetry` — so hooks can sit on hot paths. Faults are armed
+//! from the environment (`PLANKTON_FAILPOINTS`, read once by the binary via
+//! [`init_from_env`]) or programmatically from tests via [`configure`].
+//!
+//! # Spec grammar
+//!
+//! A spec is a `,`- or `;`-separated list of entries:
+//!
+//! ```text
+//! name=action[:arg][@key:value][*count]
+//! ```
+//!
+//! | action        | effect at the failpoint                              |
+//! |---------------|------------------------------------------------------|
+//! | `panic`       | `panic!` with a recognizable message                 |
+//! | `io_err`      | the hook returns `Err(io::Error)` (kind `Other`)     |
+//! | `delay:<N>ms` | sleep N milliseconds, then continue normally         |
+//!
+//! `@key:value` restricts a fault to keyed triggers — e.g. `task=panic@pec:3`
+//! only fires for the task covering PEC 3 ([`trigger_keyed`] with
+//! `("pec", 3)`). `*count` limits how many times the fault fires before
+//! exhausting itself — `task=panic*1` panics exactly one task and then the
+//! failpoint falls dormant, which is how chaos tests prove a daemon recovers
+//! *after* a fault rather than tripping it forever.
+//!
+//! Example: `PLANKTON_FAILPOINTS='cache_save=io_err,write=delay:50ms,task=panic@pec:3*1'`
+//!
+//! Faults are injection only; surviving them is the responsibility of the
+//! code under test. The engine turns injected panics into structured
+//! `TaskFailure`s, the cache turns injected I/O errors into cold starts,
+//! and the chaos suite (`tests/chaos.rs`) asserts both.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with a `failpoint '<name>'` message.
+    Panic,
+    /// Make the hook return an `io::Error` of kind `Other`.
+    IoErr,
+    /// Sleep for the duration, then continue normally.
+    Delay(Duration),
+}
+
+#[derive(Debug)]
+struct Point {
+    name: String,
+    action: Action,
+    /// `Some((key, value))` restricts the fault to keyed triggers.
+    filter: Option<(String, u64)>,
+    /// Remaining fire budget; `None` = unlimited.
+    remaining: Option<AtomicU64>,
+}
+
+/// Fast-path gate: false ⇒ every trigger is one relaxed load and a return.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn points() -> &'static RwLock<Vec<Point>> {
+    static POINTS: OnceLock<RwLock<Vec<Point>>> = OnceLock::new();
+    POINTS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Environment variable read by [`init_from_env`].
+pub const ENV_VAR: &str = "PLANKTON_FAILPOINTS";
+
+/// Arm failpoints from `PLANKTON_FAILPOINTS`, if set. Returns the number of
+/// armed points. A malformed spec is reported on stderr and skipped rather
+/// than killing the process: a chaos harness with a typo should degrade to
+/// "no fault", not take the daemon down before the experiment starts.
+pub fn init_from_env() -> usize {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) if !spec.trim().is_empty() => match configure(&spec) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("planktond: ignoring malformed {ENV_VAR}: {e}");
+                0
+            }
+        },
+        _ => 0,
+    }
+}
+
+/// Parse and arm a failpoint spec, replacing any previously armed points.
+/// Returns the number of points armed. Empty spec disarms everything.
+pub fn configure(spec: &str) -> Result<usize, String> {
+    let mut parsed = Vec::new();
+    for entry in spec.split([',', ';']) {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        parsed.push(parse_entry(entry)?);
+    }
+    let n = parsed.len();
+    *points().write().unwrap() = parsed;
+    ARMED.store(n > 0, Ordering::Release);
+    Ok(n)
+}
+
+/// Disarm all failpoints and restore the one-atomic-load fast path.
+pub fn clear() {
+    points().write().unwrap().clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// Whether any failpoint is currently armed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+fn parse_entry(entry: &str) -> Result<Point, String> {
+    let (name, mut rest) = entry
+        .split_once('=')
+        .ok_or_else(|| format!("'{entry}': expected name=action"))?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(format!("'{entry}': empty failpoint name"));
+    }
+
+    let mut remaining = None;
+    if let Some((head, count)) = rest.rsplit_once('*') {
+        let count: u64 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("'{entry}': bad fire count '{count}'"))?;
+        remaining = Some(AtomicU64::new(count));
+        rest = head;
+    }
+
+    let mut filter = None;
+    if let Some((head, kv)) = rest.split_once('@') {
+        let (key, value) = kv
+            .split_once(':')
+            .ok_or_else(|| format!("'{entry}': expected @key:value"))?;
+        let value: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("'{entry}': bad filter value '{value}'"))?;
+        filter = Some((key.trim().to_string(), value));
+        rest = head;
+    }
+
+    let action = match rest.trim() {
+        "panic" => Action::Panic,
+        "io_err" => Action::IoErr,
+        other => {
+            let ms = other
+                .strip_prefix("delay:")
+                .and_then(|d| d.strip_suffix("ms"))
+                .and_then(|d| d.trim().parse::<u64>().ok())
+                .ok_or_else(|| {
+                    format!("'{entry}': unknown action '{other}' (panic | io_err | delay:<N>ms)")
+                })?;
+            Action::Delay(Duration::from_millis(ms))
+        }
+    };
+
+    Ok(Point {
+        name: name.to_string(),
+        action,
+        filter,
+        remaining,
+    })
+}
+
+/// Hit a failpoint. Disabled cost: one relaxed atomic load.
+///
+/// Unkeyed triggers match only filterless points: a fault scoped with
+/// `@key:value` never fires at a hook that cannot identify itself.
+#[inline]
+pub fn trigger(name: &str) -> io::Result<()> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    fire(name, None)
+}
+
+/// Hit a failpoint that can identify its work item (e.g. `("pec", 3)`).
+/// Matches filterless points and points whose `@key:value` filter equals
+/// the supplied pair.
+#[inline]
+pub fn trigger_keyed(name: &str, key: &str, value: u64) -> io::Result<()> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    fire(name, Some((key, value)))
+}
+
+#[cold]
+fn fire(name: &str, at: Option<(&str, u64)>) -> io::Result<()> {
+    let action = {
+        let table = points().read().unwrap();
+        let Some(point) = table.iter().find(|p| {
+            p.name == name
+                && match (&p.filter, at) {
+                    (None, _) => true,
+                    (Some(_), None) => false,
+                    (Some((fk, fv)), Some((k, v))) => fk == k && *fv == v,
+                }
+        }) else {
+            return Ok(());
+        };
+        if let Some(remaining) = &point.remaining {
+            // Claim one firing; exhausted points stay armed but inert.
+            if remaining
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_err()
+            {
+                return Ok(());
+            }
+        }
+        point.action.clone()
+    };
+    match action {
+        Action::Panic => panic!("failpoint '{name}': injected panic"),
+        Action::IoErr => Err(io::Error::other(format!(
+            "failpoint '{name}': injected I/O error"
+        ))),
+        Action::Delay(d) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test fn: the armed table is process-global state and `#[test]`
+    /// threads run in parallel.
+    #[test]
+    fn grammar_filters_counts_and_actions() {
+        clear();
+        assert!(!armed());
+        assert!(trigger("anything").is_ok());
+
+        // Parse errors name the offending entry; the table stays disarmed.
+        assert!(configure("task").is_err());
+        assert!(configure("task=explode").is_err());
+        assert!(configure("task=panic@pec").is_err());
+        assert!(configure("task=panic*lots").is_err());
+        assert!(!armed());
+
+        // io_err fires only at its named point.
+        assert_eq!(configure("cache_save=io_err").unwrap(), 1);
+        assert!(armed());
+        let err = trigger("cache_save").unwrap_err();
+        assert!(err.to_string().contains("failpoint 'cache_save'"), "{err}");
+        assert!(trigger("cache_load").is_ok());
+
+        // Keyed filter: only the matching (key, value) fires; unkeyed
+        // triggers never match a filtered point.
+        assert_eq!(configure("task=io_err@pec:3").unwrap(), 1);
+        assert!(trigger_keyed("task", "pec", 2).is_ok());
+        assert!(trigger_keyed("task", "other", 3).is_ok());
+        assert!(trigger("task").is_ok());
+        assert!(trigger_keyed("task", "pec", 3).is_err());
+
+        // Fire budget: `*2` fires twice, then the point is inert.
+        assert_eq!(configure("write=io_err*2").unwrap(), 1);
+        assert!(trigger("write").is_err());
+        assert!(trigger("write").is_err());
+        assert!(trigger("write").is_ok());
+        assert!(armed(), "an exhausted point stays armed but inert");
+
+        // Delay completes normally (and actually waits).
+        assert_eq!(configure("write=delay:10ms").unwrap(), 1);
+        let start = std::time::Instant::now();
+        assert!(trigger("write").is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(10));
+
+        // Panic carries a recognizable message.
+        assert_eq!(configure("task=panic").unwrap(), 1);
+        let caught = std::panic::catch_unwind(|| trigger("task")).unwrap_err();
+        let msg = caught.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("failpoint 'task'"), "{msg}");
+
+        // Multi-entry specs arm every entry; either separator works.
+        assert_eq!(configure("a=io_err;b=panic,c=delay:1ms").unwrap(), 3);
+        assert!(trigger("a").is_err());
+        assert!(trigger("c").is_ok());
+
+        // clear() restores the free path.
+        clear();
+        assert!(!armed());
+        assert!(trigger("a").is_ok());
+    }
+}

@@ -1,0 +1,67 @@
+//! The zero-cost-when-disabled guarantee for failpoint hooks, asserted with
+//! a counting global allocator (same harness as
+//! `crates/telemetry/tests/overhead.rs`): a disarmed `trigger` /
+//! `trigger_keyed` must not allocate — it is one relaxed atomic load. This
+//! is what lets failpoints sit inside the per-task and per-write hot paths
+//! without moving the committed bench gates.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use plankton_faultinject as fp;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One test fn so the disarmed-path assertion cannot race an arming test:
+/// the failpoint table is process-global and integration tests in one
+/// binary run in parallel threads.
+#[test]
+fn disarmed_triggers_do_not_allocate_and_armed_points_fire() {
+    // Phase 1: nothing armed. The full hook path must be allocation-free.
+    fp::clear();
+    assert!(!fp::armed());
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1000 {
+        fp::trigger("cache_save").unwrap();
+        fp::trigger("write").unwrap();
+        fp::trigger_keyed("task", "pec", i).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disarmed failpoint path allocated {} times",
+        after - before
+    );
+
+    // Phase 2: arming flips the gate and the named point fires.
+    fp::configure("cache_save=io_err*1").unwrap();
+    assert!(fp::armed());
+    assert!(fp::trigger("cache_save").is_err());
+    assert!(fp::trigger("cache_save").is_ok(), "budget of 1 exhausted");
+
+    // Phase 3: clearing restores the free path.
+    fp::clear();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        fp::trigger("cache_save").unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0);
+}

@@ -101,6 +101,12 @@ pub struct VerifyOptions {
     /// Engine worker threads (default 1).
     #[serde(default)]
     pub cores: usize,
+    /// Abandon the verification after this many milliseconds and answer
+    /// with `Error {kind: "deadline_exceeded"}` instead of a report
+    /// (0 = no deadline). The abandoned run's partial results are never
+    /// cached and never stored for queries.
+    #[serde(default)]
+    pub deadline_ms: u64,
 }
 
 /// Follow-up queries against the session's last results.
@@ -320,6 +326,21 @@ pub struct ServiceStats {
     pub pecs_total: usize,
     /// Milliseconds since the service started.
     pub uptime_ms: u64,
+    /// Engine tasks that panicked and were contained as structured errors
+    /// (the daemon answered `task_panicked` and kept serving).
+    #[serde(default)]
+    pub tasks_panicked: u64,
+    /// Verify requests refused with `overloaded` by the `--max-inflight`
+    /// admission gate.
+    #[serde(default)]
+    pub requests_shed: u64,
+    /// Verify requests abandoned at their `deadline_ms` budget.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
+    /// Persisted-cache loads that failed (corrupt/truncated/stale snapshot)
+    /// and degraded to a cold start instead of an error.
+    #[serde(default)]
+    pub cache_recoveries: u64,
 }
 
 /// A response line.
@@ -395,7 +416,55 @@ pub enum Response {
     Error {
         /// What went wrong.
         message: String,
+        /// Machine-readable failure kind: `"request"` (bad input),
+        /// `"task_panicked"`, `"deadline_exceeded"`, `"overloaded"`, or
+        /// `"internal_panic"`. Clients branch on this, not on `message`.
+        #[serde(default)]
+        kind: String,
+        /// For `"overloaded"`: how long the client should back off before
+        /// retrying.
+        #[serde(default)]
+        retry_after_ms: Option<u64>,
     },
+}
+
+/// The `kind` values carried by [`Response::Error`].
+pub mod error_kind {
+    /// Bad input: unparsable line, unknown device, missing network, ...
+    pub const REQUEST: &str = "request";
+    /// A verification task panicked; the run was contained and abandoned.
+    pub const TASK_PANICKED: &str = "task_panicked";
+    /// The verification exceeded its `deadline_ms` budget.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// The `--max-inflight` admission gate refused the verify.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request handler itself panicked (a service bug, contained).
+    pub const INTERNAL_PANIC: &str = "internal_panic";
+}
+
+impl Response {
+    /// A bad-input error (`kind: "request"`).
+    pub fn error(message: impl Into<String>) -> Response {
+        Response::error_kind(error_kind::REQUEST, message)
+    }
+
+    /// An error with an explicit machine-readable kind.
+    pub fn error_kind(kind: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            message: message.into(),
+            kind: kind.to_string(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// An admission-control refusal carrying a retry hint.
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> Response {
+        Response::Error {
+            message: message.into(),
+            kind: error_kind::OVERLOADED.to_string(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
 }
 
 impl Request {

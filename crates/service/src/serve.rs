@@ -45,10 +45,7 @@ pub fn handle_line_at(session: &ServiceSession, line: &str, position: u64) -> (S
                 ],
             );
             (
-                Response::Error {
-                    message: format!("bad request: {e}"),
-                }
-                .to_line(),
+                Response::error(format!("bad request: {e}")).to_line(),
                 false,
             )
         }
@@ -76,6 +73,9 @@ pub fn serve<R: BufRead, W: Write>(
         if response.is_empty() {
             continue;
         }
+        // Failpoint: a failed/slow response write models a dead or stalled
+        // client socket — the connection errors out, the daemon survives.
+        plankton_faultinject::trigger("write")?;
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -163,6 +163,23 @@ pub fn serve_unix(
                     std::thread::sleep(ACCEPT_POLL);
                     continue;
                 }
+                // Transient accept errors (signal delivery, a client that
+                // reset before we picked up its connection) must not take
+                // the whole daemon down — log and keep accepting. Only
+                // errors that mean the listener itself is broken are fatal.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    let error = e.to_string();
+                    trace::event(Level::Warn, "accept_retry", &[Field::str("error", &error)]);
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
                 Err(e) => {
                     accept_error = Some(e);
                     break;
@@ -198,10 +215,17 @@ pub fn serve_unix(
                     let mut writer = &stream;
                     serve(session, reader, &mut writer)
                 };
-                match serve_one() {
-                    Ok(true) => shutdown.store(true, Ordering::Relaxed),
-                    Ok(false) => {}
-                    Err(e) => eprintln!("planktond: connection error: {e}"),
+                // Contain a panicking serving thread: a panic escaping into
+                // the scope join would abort the whole daemon on drain, and
+                // would skip the slot/live-map cleanup below (leaking a
+                // connection slot forever). Request-level panics are already
+                // caught in `ServiceSession::handle`; this is the backstop
+                // for the serve loop itself.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(serve_one)) {
+                    Ok(Ok(true)) => shutdown.store(true, Ordering::Relaxed),
+                    Ok(Ok(false)) => {}
+                    Ok(Err(e)) => eprintln!("planktond: connection error: {e}"),
+                    Err(_) => eprintln!("planktond: connection thread panicked; dropped"),
                 }
                 live.lock().remove(&id);
                 session.connection_closed();
@@ -342,7 +366,7 @@ mod tests {
         let session = ServiceSession::with_network(ring_ospf(4).network);
         let response = session.handle(&Request::Persist);
         assert!(
-            matches!(&response, Response::Error { message } if message.contains("cache-dir")),
+            matches!(&response, Response::Error { message, .. } if message.contains("cache-dir")),
             "{response:?}"
         );
     }

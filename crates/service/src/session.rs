@@ -18,8 +18,8 @@
 //! daemon shutdown or an explicit `Persist` request.
 
 use crate::proto::{
-    DeltaSummary, PolicySpec, Query, ReportSummary, Request, Response, ServiceStats, VerifyOptions,
-    ViolationSummary,
+    error_kind, DeltaSummary, PolicySpec, Query, ReportSummary, Request, Response, ServiceStats,
+    VerifyOptions, ViolationSummary,
 };
 use parking_lot::{Mutex, RwLock};
 use plankton_config::Network;
@@ -29,7 +29,12 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Retry hint handed to shed clients. A verify on any non-trivial network
+/// takes longer than this, so an immediate retry storm is avoided without
+/// making well-behaved clients wait out a long fixed penalty.
+const SHED_RETRY_AFTER_MS: u64 = 100;
 
 /// Process-global service-level instruments, resolved once. Per-request
 /// series (`plankton_requests_total{kind}`, `plankton_request_seconds{kind}`)
@@ -41,6 +46,10 @@ struct ServiceMetrics {
     connections_open: Arc<plankton_telemetry::Gauge>,
     connections_total: Arc<plankton_telemetry::Counter>,
     connections_drained: Arc<plankton_telemetry::Counter>,
+    requests_shed: Arc<plankton_telemetry::Counter>,
+    deadline_exceeded: Arc<plankton_telemetry::Counter>,
+    cache_recoveries: Arc<plankton_telemetry::Counter>,
+    request_panics: Arc<plankton_telemetry::Counter>,
 }
 
 fn service_metrics() -> &'static ServiceMetrics {
@@ -68,8 +77,35 @@ fn service_metrics() -> &'static ServiceMetrics {
                 "plankton_connections_drained_total",
                 "Connections forcibly unblocked by the shutdown drain.",
             ),
+            requests_shed: registry.counter(
+                "plankton_requests_shed_total",
+                "Verify requests refused with `overloaded` by the --max-inflight gate.",
+            ),
+            deadline_exceeded: registry.counter(
+                "plankton_deadline_exceeded_total",
+                "Verify requests abandoned at their deadline_ms budget.",
+            ),
+            cache_recoveries: registry.counter(
+                "plankton_cache_recoveries_total",
+                "Persisted-cache loads that failed and degraded to a cold start.",
+            ),
+            request_panics: registry.counter(
+                "plankton_request_panics_total",
+                "Request handlers that panicked and were contained as internal_panic errors.",
+            ),
         }
     })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A stored report tagged with the analysis snapshot it was computed
@@ -105,6 +141,20 @@ pub struct ServiceSession {
     connections_drained: AtomicU64,
     /// Where the result cache is persisted across restarts, when configured.
     cache_dir: Option<PathBuf>,
+    /// Admission bound on concurrently running `Verify` requests (`None` =
+    /// unbounded). Excess verifies get a structured `overloaded` reply with
+    /// a retry hint instead of queuing behind each other unboundedly.
+    max_inflight: Option<u64>,
+    /// `Verify` requests currently inside the verifier.
+    verifies_inflight: AtomicU64,
+    /// Engine tasks that panicked and were contained (lifetime).
+    tasks_panicked: AtomicU64,
+    /// Verifies refused by the admission gate (lifetime).
+    requests_shed: AtomicU64,
+    /// Verifies abandoned at their deadline (lifetime).
+    deadline_exceeded: AtomicU64,
+    /// Corrupt persisted-cache loads degraded to cold starts (lifetime).
+    cache_recoveries: AtomicU64,
     started: Instant,
 }
 
@@ -130,6 +180,12 @@ impl ServiceSession {
             connections_served: AtomicU64::new(0),
             connections_drained: AtomicU64::new(0),
             cache_dir: None,
+            max_inflight: None,
+            verifies_inflight: AtomicU64::new(0),
+            tasks_panicked: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cache_recoveries: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -145,6 +201,14 @@ impl ServiceSession {
     /// The configured cache directory, if any.
     pub fn cache_dir(&self) -> Option<&Path> {
         self.cache_dir.as_deref()
+    }
+
+    /// Bound concurrently running `Verify` requests, builder-style
+    /// (`planktond --max-inflight`). Excess verifies are shed with a
+    /// structured `overloaded` reply carrying `retry_after_ms`.
+    pub fn with_max_inflight(mut self, max: u64) -> Self {
+        self.max_inflight = Some(max);
+        self
     }
 
     /// The persisted-cache path, if a cache directory is configured.
@@ -210,7 +274,22 @@ impl ServiceSession {
             if path.exists() {
                 match verifier.cache().load_from(&path) {
                     Ok(n) => cache_warm_entries = n,
-                    Err(e) => eprintln!("planktond: ignoring persisted cache: {e}"),
+                    Err(e) => {
+                        // A corrupt/truncated snapshot (checksum mismatch,
+                        // bad JSON, failpoint) degrades to a cold start —
+                        // worst case is re-verification work, never a wrong
+                        // answer served from a damaged cache.
+                        self.cache_recoveries.fetch_add(1, Ordering::Relaxed);
+                        service_metrics().cache_recoveries.inc();
+                        let shown_path = path.display().to_string();
+                        let error = e.to_string();
+                        trace::event(
+                            Level::Warn,
+                            "cache_recovery",
+                            &[Field::str("path", &shown_path), Field::str("error", &error)],
+                        );
+                        eprintln!("planktond: persisted cache unusable, cold-starting: {e}");
+                    }
                 }
             }
         }
@@ -257,7 +336,29 @@ impl ServiceSession {
         let metrics = service_metrics();
         metrics.inflight.add(1);
         let start = Instant::now();
-        let response = self.dispatch(request);
+        // A panic anywhere in a handler (engine join bug, shim edge case,
+        // `internal_panic` failpoint) is contained to this request: the
+        // client gets a structured error and the daemon keeps serving.
+        // catch_unwind also keeps the inflight gauge and latency accounting
+        // below panic-safe.
+        let response =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(request)))
+            {
+                Ok(response) => response,
+                Err(payload) => {
+                    let message = panic_text(payload.as_ref());
+                    metrics.request_panics.inc();
+                    trace::event(
+                        Level::Error,
+                        "request_panicked",
+                        &[Field::str("kind", kind), Field::str("message", &message)],
+                    );
+                    Response::error_kind(
+                        error_kind::INTERNAL_PANIC,
+                        format!("request handler panicked: {message}"),
+                    )
+                }
+            };
         let registry = plankton_telemetry::metrics::global();
         registry
             .histogram_with(
@@ -284,9 +385,10 @@ impl ServiceSession {
                 let problems = network.validate();
                 if !problems.is_empty() {
                     let rendered: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
-                    return Response::Error {
-                        message: format!("invalid configuration: {}", rendered.join("; ")),
-                    };
+                    return Response::error(format!(
+                        "invalid configuration: {}",
+                        rendered.join("; ")
+                    ));
                 }
                 self.load(network.clone())
             }
@@ -294,9 +396,7 @@ impl ServiceSession {
             Request::ApplyDelta { delta } => {
                 let _serialize = self.mutate.lock();
                 let Some(verifier) = self.verifier() else {
-                    return Response::Error {
-                        message: "no network loaded".into(),
-                    };
+                    return Response::error("no network loaded");
                 };
                 match verifier.apply_delta(delta) {
                     Ok(applied) => {
@@ -322,9 +422,7 @@ impl ServiceSession {
                             pecs_total: applied.pecs_total,
                         })
                     }
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
+                    Err(e) => Response::error(e.to_string()),
                 }
             }
             Request::Query { query } => self.query(query),
@@ -341,7 +439,7 @@ impl ServiceSession {
                         .display()
                         .to_string(),
                 },
-                Err(message) => Response::Error { message },
+                Err(message) => Response::error(message),
             },
             Request::Shutdown => Response::Ok {
                 message: "shutting down".into(),
@@ -350,17 +448,42 @@ impl ServiceSession {
     }
 
     fn verify(&self, spec: &PolicySpec, options: Option<&VerifyOptions>) -> Response {
+        // Admission control first: shedding is only useful if it costs
+        // nothing, so it runs before snapshot pinning or policy building.
+        // Increment-then-check keeps the gate race-free without a lock; the
+        // guard decrements on every exit path, including panics.
+        struct InflightGuard<'a>(&'a AtomicU64);
+        impl Drop for InflightGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        self.verifies_inflight.fetch_add(1, Ordering::Relaxed);
+        let _inflight = InflightGuard(&self.verifies_inflight);
+        if let Some(max) = self.max_inflight {
+            if self.verifies_inflight.load(Ordering::Relaxed) > max {
+                self.requests_shed.fetch_add(1, Ordering::Relaxed);
+                service_metrics().requests_shed.inc();
+                trace::event(
+                    Level::Warn,
+                    "request_shed",
+                    &[Field::u64("max_inflight", max)],
+                );
+                return Response::overloaded(
+                    format!("daemon at --max-inflight {max} verifies; retry later"),
+                    SHED_RETRY_AFTER_MS,
+                );
+            }
+        }
         let Some(verifier) = self.verifier() else {
-            return Response::Error {
-                message: "no network loaded".into(),
-            };
+            return Response::error("no network loaded");
         };
         // Pin the snapshot for name resolution *and* verification: a delta
         // landing between the two must not tear this request.
         let snapshot = verifier.snapshot();
         let policy = match spec.build(snapshot.network()) {
             Ok(p) => p,
-            Err(message) => return Response::Error { message },
+            Err(message) => return Response::error(message),
         };
         let defaults = VerifyOptions::default();
         let opts = options.unwrap_or(&defaults);
@@ -370,6 +493,10 @@ impl ServiceSession {
         }
         if !opts.stop_at_first {
             plankton_options = plankton_options.collect_all_violations();
+        }
+        if opts.deadline_ms > 0 {
+            plankton_options =
+                plankton_options.with_deadline(Duration::from_millis(opts.deadline_ms));
         }
         let scenario = plankton_net::failure::FailureScenario::up_to(opts.max_failures);
         // The failure environment is keyed per task (each task's effective
@@ -386,6 +513,54 @@ impl ServiceSession {
             verifier.cache(),
         );
         self.verifies.fetch_add(1, Ordering::Relaxed);
+        // A run with contained task panics or an expired deadline is
+        // *incomplete*: its verdict is not trustworthy, so it is neither
+        // served as a report nor stored for follow-up queries. (The result
+        // cache is already safe — incomplete per-task results are never
+        // inserted — so a clean retry recomputes only what was abandoned.)
+        if let Some(engine) = &report.engine {
+            if engine.tasks_panicked > 0 {
+                self.tasks_panicked
+                    .fetch_add(engine.tasks_panicked, Ordering::Relaxed);
+                let detail = engine
+                    .failures
+                    .first()
+                    .map(|f| format!("task {}: {}", f.task, f.message))
+                    .unwrap_or_else(|| "no failure detail".into());
+                trace::event(
+                    Level::Error,
+                    "verify_task_panicked",
+                    &[
+                        Field::u64("tasks_panicked", engine.tasks_panicked),
+                        Field::str("first_failure", &detail),
+                    ],
+                );
+                return Response::error_kind(
+                    error_kind::TASK_PANICKED,
+                    format!(
+                        "verification abandoned: {} task(s) panicked ({detail}); \
+                         partial results were not cached",
+                        engine.tasks_panicked
+                    ),
+                );
+            }
+        }
+        if report.deadline_exceeded {
+            self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            service_metrics().deadline_exceeded.inc();
+            trace::event(
+                Level::Warn,
+                "verify_deadline_exceeded",
+                &[Field::u64("deadline_ms", opts.deadline_ms)],
+            );
+            return Response::error_kind(
+                error_kind::DEADLINE_EXCEEDED,
+                format!(
+                    "verification exceeded its {}ms deadline; partial results were not served",
+                    opts.deadline_ms
+                ),
+            );
+        }
         let summary = ReportSummary::of(&report, run);
         self.last_reports
             .lock()
@@ -400,22 +575,16 @@ impl ServiceSession {
                     policy: policy.clone(),
                     violations: report.violations.iter().map(ViolationSummary::of).collect(),
                 },
-                None => Response::Error {
-                    message: format!("no stored report for policy {policy:?}"),
-                },
+                None => Response::error(format!("no stored report for policy {policy:?}")),
             },
             Query::Pec { prefix } => {
                 let Some(verifier) = self.verifier() else {
-                    return Response::Error {
-                        message: "no network loaded".into(),
-                    };
+                    return Response::error("no network loaded");
                 };
                 let snapshot = verifier.snapshot();
                 let pecs = snapshot.pecs();
                 let Some(pec) = pecs.pec_containing(prefix.addr()) else {
-                    return Response::Error {
-                        message: format!("no PEC covers {prefix}"),
-                    };
+                    return Response::error(format!("no PEC covers {prefix}"));
                 };
                 let verdicts = self
                     .last_reports
@@ -441,16 +610,12 @@ impl ServiceSession {
                         index: *index,
                         trail: v.trail.to_string(),
                     },
-                    None => Response::Error {
-                        message: format!(
-                            "report for {policy:?} has {} violations, no index {index}",
-                            report.violations.len()
-                        ),
-                    },
+                    None => Response::error(format!(
+                        "report for {policy:?} has {} violations, no index {index}",
+                        report.violations.len()
+                    )),
                 },
-                None => Response::Error {
-                    message: format!("no stored report for policy {policy:?}"),
-                },
+                None => Response::error(format!("no stored report for policy {policy:?}")),
             },
         }
     }
@@ -465,6 +630,10 @@ impl ServiceSession {
             connections_open: self.connections_open.load(Ordering::Relaxed),
             connections_served: self.connections_served.load(Ordering::Relaxed),
             connections_drained: self.connections_drained.load(Ordering::Relaxed),
+            tasks_panicked: self.tasks_panicked.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            cache_recoveries: self.cache_recoveries.load(Ordering::Relaxed),
             uptime_ms: self.started.elapsed().as_millis() as u64,
             ..Default::default()
         };

@@ -23,7 +23,7 @@
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!("usage:\n  planktonctl --socket <path> [--timeout <secs>] [--pipeline] [REQUEST_JSON]...\n  planktonctl --socket <path> [--timeout <secs>] metrics\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.\n--timeout bounds the connect retry loop (default 5s); --pipeline sends\nevery request before reading the responses. The `metrics` subcommand\nprints the daemon's metrics as Prometheus text exposition.");
+    eprintln!("usage:\n  planktonctl --socket <path> [--timeout <secs>] [--pipeline] [REQUEST_JSON]...\n  planktonctl --socket <path> [--timeout <secs>] metrics\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.\n--timeout bounds the connect retry loop, each socket read, and the\noverloaded-retry loop (default 5s; 0 disables the read timeout);\n--pipeline sends every request before reading the responses. When the\ndaemon sheds a request (`overloaded`, from planktond --max-inflight),\nnon-pipelined requests are retried with the daemon's retry_after_ms\nhint until --timeout elapses. The `metrics` subcommand prints the\ndaemon's metrics as Prometheus text exposition.");
     exit(2);
 }
 
@@ -64,6 +64,14 @@ fn main() {
         eprintln!("cannot connect to {path}: {e}");
         exit(1);
     });
+    // `--timeout` also bounds each socket read: a daemon that accepted the
+    // connection but stopped responding (wedged, SIGSTOPped, mid-crash)
+    // fails this client loudly instead of hanging it forever. 0 disables.
+    if !timeout.is_zero() {
+        stream
+            .set_read_timeout(Some(timeout))
+            .expect("set read timeout");
+    }
     let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
     let mut writer = stream;
 
@@ -72,17 +80,63 @@ fn main() {
             .write_all(format!("{}\n", line.trim()).as_bytes())
             .expect("write request");
     };
-    let receive = |reader: &mut BufReader<std::os::unix::net::UnixStream>| {
+    let read_response = |reader: &mut BufReader<std::os::unix::net::UnixStream>| -> String {
         let mut response = String::new();
-        let n = reader.read_line(&mut response).expect("read response");
-        if n == 0 {
+        match reader.read_line(&mut response) {
             // EOF before the response: the daemon died or dropped the
             // connection mid-session. Scripts key on the exit code — a
             // truncated batch must not look like success.
-            eprintln!("planktonctl: connection closed by daemon before a response");
-            exit(1);
+            Ok(0) => {
+                eprintln!("planktonctl: connection closed by daemon before a response");
+                exit(1);
+            }
+            Ok(_) => response,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                eprintln!("planktonctl: timed out after {timeout_secs}s waiting for a response");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("planktonctl: read error: {e}");
+                exit(1);
+            }
         }
-        print!("{response}");
+    };
+    let receive = |reader: &mut BufReader<std::os::unix::net::UnixStream>| {
+        print!("{}", read_response(reader));
+    };
+    // Lockstep paths retry a shed request (`overloaded` from planktond
+    // --max-inflight) with the daemon's own retry hint, bounded by
+    // --timeout — transient overload looks like a slow response, not a
+    // failure. Pipelined batches are not retried: responses interleave and
+    // a mid-batch re-send would desync request/response accounting.
+    let send_with_retry = |writer: &mut std::os::unix::net::UnixStream,
+                           reader: &mut BufReader<std::os::unix::net::UnixStream>,
+                           line: &str| {
+        let start = std::time::Instant::now();
+        loop {
+            send(writer, line);
+            let response = read_response(reader);
+            if let Ok(plankton_service::Response::Error {
+                kind,
+                retry_after_ms,
+                ..
+            }) = serde_json::from_str::<plankton_service::Response>(&response)
+            {
+                if kind == "overloaded" && start.elapsed() < timeout {
+                    let wait = retry_after_ms.unwrap_or(100);
+                    eprintln!("planktonctl: daemon overloaded, retrying in {wait}ms");
+                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                    continue;
+                }
+            }
+            print!("{response}");
+            return;
+        }
     };
 
     if metrics {
@@ -90,12 +144,7 @@ fn main() {
         // text page, so unwrap it from the JSON envelope instead of echoing
         // the response line.
         send(&mut writer, "\"Metrics\"");
-        let mut response = String::new();
-        let n = reader.read_line(&mut response).expect("read response");
-        if n == 0 {
-            eprintln!("planktonctl: connection closed by daemon before a response");
-            exit(1);
-        }
+        let response = read_response(&mut reader);
         match serde_json::from_str::<plankton_service::Response>(&response) {
             Ok(plankton_service::Response::MetricsText { text }) => print!("{text}"),
             Ok(other) => {
@@ -148,13 +197,11 @@ fn main() {
             if line.trim().is_empty() {
                 continue;
             }
-            send(&mut writer, &line);
-            receive(&mut reader);
+            send_with_retry(&mut writer, &mut reader, &line);
         }
     } else {
         for request in &requests {
-            send(&mut writer, request);
-            receive(&mut reader);
+            send_with_retry(&mut writer, &mut reader, request);
         }
     }
 }

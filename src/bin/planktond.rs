@@ -27,7 +27,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n            [--log-json <file.jsonl>] [--log-level <error|warn|info|debug|trace>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (concurrent connections sharing\none session; --threads caps them, default 4). With --cache-dir the result\ncache is persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request.\n\n--log-json appends every trace event as one JSON line to the given file;\n--log-level pretty-prints events at or above the level to stderr."
+        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n            [--max-inflight <N>]\n            [--log-json <file.jsonl>] [--log-level <error|warn|info|debug|trace>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (concurrent connections sharing\none session; --threads caps them, default 4). With --cache-dir the result\ncache is persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request.\n\n--max-inflight bounds concurrently running Verify requests: excess\nverifies get a structured `overloaded` error with a retry_after_ms hint\ninstead of queuing (planktonctl retries these automatically).\n\n--log-json appends every trace event as one JSON line to the given file;\n--log-level pretty-prints events at or above the level to stderr.\n\nFault injection for chaos testing: set PLANKTON_FAILPOINTS, e.g.\nPLANKTON_FAILPOINTS='task=panic*1,cache_save=io_err' (see README)."
     );
     exit(2);
 }
@@ -45,12 +45,22 @@ fn builtin_scenario(spec: &str) -> Option<Network> {
 }
 
 fn main() {
+    // Arm failpoints first: faults configured via PLANKTON_FAILPOINTS must
+    // cover everything after this line, including network load and cache
+    // warm-start. A malformed spec warns and stays disarmed — fault
+    // injection config must never take down a production daemon.
+    let failpoints = plankton_faultinject::init_from_env();
+    if failpoints > 0 {
+        eprintln!("planktond: {failpoints} failpoint(s) armed via PLANKTON_FAILPOINTS");
+    }
+
     let mut config: Option<String> = None;
     let mut scenario: Option<String> = None;
     let mut socket: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut log_json: Option<String> = None;
     let mut log_level: Option<String> = None;
+    let mut max_inflight: Option<u64> = None;
     let mut threads: usize = ServeOptions::default().max_connections;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -67,6 +77,9 @@ fn main() {
                 if threads == 0 {
                     usage();
                 }
+            }
+            "--max-inflight" => {
+                max_inflight = Some(value().parse().unwrap_or_else(|_| usage()));
             }
             _ => usage(),
         }
@@ -89,6 +102,9 @@ fn main() {
     let mut session = ServiceSession::new();
     if let Some(dir) = &cache_dir {
         session = session.with_cache_dir(dir);
+    }
+    if let Some(max) = max_inflight {
+        session = session.with_max_inflight(max);
     }
     if let Some(path) = &config {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
