@@ -182,7 +182,13 @@ impl Plankton {
                 if all_hit {
                     stats.key_hits += size;
                     cache.count_hits(size);
+                    let fhash = crate::verifier::failure_set_fingerprint(&ctx.failure_sets[f]);
                     for (p, outcome) in hits {
+                        plankton_telemetry::taskstats::global().record_cache_hit(
+                            p.0 as u64,
+                            fhash,
+                            || ctx.failure_sets[f].to_string(),
+                        );
                         cached_pecs.insert(p);
                         cached.insert((p, f), outcome);
                     }

@@ -28,7 +28,7 @@ pub mod verifier;
 pub use cache::{CacheSnapshot, PolicyOutcome, ResultCache};
 pub use failures::{DeviceEquivalence, LinkEquivalenceClasses};
 pub use incremental::{AppliedDelta, IncrementalRunStats, IncrementalVerifier};
-pub use options::PlanktonOptions;
+pub use options::{PlanktonOptions, DEFAULT_SLOW_TASK_MICROS};
 pub use outcome::{ConvergedRecord, PecOutcome};
 pub use report::{PhaseTimings, VerificationReport, Violation};
 pub use verifier::Plankton;

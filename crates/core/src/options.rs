@@ -41,7 +41,14 @@ pub struct PlanktonOptions {
     /// the early-stop broadcast and the report is marked
     /// `deadline_exceeded`. `None` (the default) never times out.
     pub deadline: Option<Instant>,
+    /// Emit a `slow_task` warn event for any per-(PEC × failure-set) task
+    /// that takes at least this long, in microseconds (`planktond
+    /// --slow-task-ms`). Observability-only: never part of the cache key.
+    pub slow_task_micros: u64,
 }
+
+/// Default [`PlanktonOptions::slow_task_micros`]: 250 ms.
+pub const DEFAULT_SLOW_TASK_MICROS: u64 = 250_000;
 
 impl Default for PlanktonOptions {
     fn default() -> Self {
@@ -56,6 +63,7 @@ impl Default for PlanktonOptions {
             max_data_planes_per_pec: 512,
             search: SearchOptions::all_optimizations(),
             deadline: None,
+            slow_task_micros: DEFAULT_SLOW_TASK_MICROS,
         }
     }
 }
@@ -82,6 +90,7 @@ impl PlanktonOptions {
             max_data_planes_per_pec: 512,
             search: SearchOptions::no_optimizations(),
             deadline: None,
+            slow_task_micros: DEFAULT_SLOW_TASK_MICROS,
         }
     }
 
@@ -129,12 +138,19 @@ impl PlanktonOptions {
         self
     }
 
+    /// Warn about tasks slower than `threshold`, builder-style.
+    pub fn with_slow_task_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_task_micros = threshold.as_micros() as u64;
+        self
+    }
+
     /// A fingerprint of every option that can change a verification task's
     /// *outcome* (violations, stats, records) — part of the result-cache
     /// key. Scheduling-only knobs (`parallelism`, `sequential`, `deadline`)
-    /// are excluded: they change who runs a task (or whether it runs at
-    /// all — deadline-skipped tasks are never cached), never what the task
-    /// computes.
+    /// and observability-only knobs (`slow_task_micros`) are excluded: they
+    /// change who runs a task (or whether it runs at all —
+    /// deadline-skipped tasks are never cached) or what gets logged, never
+    /// what the task computes.
     pub fn cache_fingerprint(&self) -> u64 {
         let mut fp = plankton_config::Fingerprinter::new();
         fp.write_u8(b'o');
@@ -190,5 +206,14 @@ mod tests {
         let n = PlanktonOptions::no_optimizations();
         assert!(!n.search.consistent_executions);
         assert!(!n.equivalence_suppression);
+    }
+
+    #[test]
+    fn slow_task_threshold_is_not_part_of_the_cache_key() {
+        let a = PlanktonOptions::default();
+        let b = PlanktonOptions::default().with_slow_task_threshold(Duration::from_millis(1));
+        assert_eq!(a.slow_task_micros, DEFAULT_SLOW_TASK_MICROS);
+        assert_eq!(b.slow_task_micros, 1_000);
+        assert_eq!(a.cache_fingerprint(), b.cache_fingerprint());
     }
 }

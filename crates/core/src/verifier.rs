@@ -39,9 +39,36 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// Tasks slower than this get a structured `slow_task` warn event carrying
-/// their (PEC, failure-set) identity — the "why was this delta slow?" line.
-const SLOW_TASK_MICROS: u64 = 250_000;
+/// A cheap stable fingerprint of a failure set, used (with the PEC id) as
+/// the task identity in the cost-attribution registry. FNV-1a over the
+/// canonical sorted link ids, so equal sets key identically across runs.
+pub(crate) fn failure_set_fingerprint(failures: &FailureSet) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for link in failures.links() {
+        h ^= link.0 as u64 + 1;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Attributes a panicking task to its (PEC × failure-set) identity. Armed
+/// around the risky part of a task; a normal drop is a no-op, an unwinding
+/// drop bumps the registry's `panics` counter before the panic escapes to
+/// the engine's `catch_unwind`.
+struct TaskPanicGuard<'a> {
+    pec: u64,
+    fhash: u64,
+    failures: &'a FailureSet,
+}
+
+impl Drop for TaskPanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            plankton_telemetry::taskstats::global()
+                .record_panic(self.pec, self.fhash, || self.failures.to_string());
+        }
+    }
+}
 
 /// Advance `mark` to now and return the microseconds since its previous
 /// position. Phases measured as contiguous laps of one clock sum to the
@@ -98,6 +125,10 @@ pub(crate) struct RunCtx<'a> {
     pub(crate) deadline: Option<Instant>,
     /// Latched when the deadline fired; the report is marked incomplete.
     pub(crate) deadline_hit: AtomicBool,
+    /// The request's trace id, captured on the submitting thread and
+    /// re-installed inside worker closures so events emitted from the pool
+    /// (`slow_task`, ...) join the request's causal chain.
+    pub(crate) trace_id: u64,
 }
 
 /// The outcome of verifying one PEC of one component task under one failure
@@ -254,6 +285,7 @@ impl Plankton {
             interner: SharedRouteInterner::new(),
             deadline: options.deadline,
             deadline_hit: AtomicBool::new(false),
+            trace_id: trace::current(),
         }
     }
 
@@ -338,6 +370,7 @@ impl Plankton {
 
         let engine = Engine::new(ctx.options.parallelism);
         let mut stats = engine.run(&graph, |task, worker| {
+            let _trace = trace::scope(ctx.trace_id);
             if ctx.deadline_passed() {
                 worker.request_stop();
                 return;
@@ -378,6 +411,7 @@ impl Plankton {
     fn run_sequential(&self, ctx: &RunCtx<'_>) -> usize {
         let scheduler = Scheduler::new(ctx.options.parallelism);
         let verify_component = |component: &[PecId], store: &DependencyStore<PecOutcome>| {
+            let _trace = trace::scope(ctx.trace_id);
             let mut outcomes: BTreeMap<PecId, PecOutcome> = BTreeMap::new();
             let needs_work = component.iter().any(|p| ctx.needed.contains(p));
             if !needs_work {
@@ -434,12 +468,19 @@ impl Plankton {
                 continue;
             }
             result.complete = true;
+            let fhash = failure_set_fingerprint(failures);
+            let _panic_attr = TaskPanicGuard {
+                pec: pec_id.0 as u64,
+                fhash,
+                failures,
+            };
             // Chaos hook: `task=panic@pec:<id>` models a bug in this PEC's
             // model-checking run. On the engine path the panic is contained
             // as a structured `TaskFailure` (io_err has no meaning here).
             let _ = plankton_faultinject::trigger_keyed("task", "pec", pec_id.0 as u64);
-            // Only pay for the clock when a warn sink could see the event.
-            let task_start = trace::enabled(Level::Warn).then(Instant::now);
+            // Attribution is always on (like metrics), so the clock always
+            // runs: two `Instant` reads per *task*, nothing per step.
+            let task_start = Instant::now();
             let pec = self.pecs.pec(pec_id);
             let comp_idx = self.deps.component_of(pec_id);
             let component_has_dependents = ctx.has_dependents.contains(&comp_idx);
@@ -500,21 +541,31 @@ impl Plankton {
                     }
                 }
             }
-            if let Some(t0) = task_start {
-                let elapsed = t0.elapsed().as_micros() as u64;
-                if elapsed >= SLOW_TASK_MICROS {
-                    let failures_text = failures.to_string();
-                    trace::event(
-                        Level::Warn,
-                        "slow_task",
-                        &[
-                            Field::u64("pec", pec_id.0 as u64),
-                            Field::str("failures", &failures_text),
-                            Field::u64("elapsed_us", elapsed),
-                            Field::u64("states", result.stats.states_explored()),
-                        ],
-                    );
-                }
+            let elapsed = task_start.elapsed().as_micros() as u64;
+            let costs = plankton_telemetry::taskstats::global();
+            costs.record_run(
+                pec_id.0 as u64,
+                fhash,
+                elapsed,
+                result.stats.states_explored(),
+                || failures.to_string(),
+            );
+            if elapsed >= ctx.options.slow_task_micros && trace::enabled(Level::Warn) {
+                let failures_text = failures.to_string();
+                let (runs, total_us, max_us) = costs.totals(pec_id.0 as u64, fhash);
+                trace::event(
+                    Level::Warn,
+                    "slow_task",
+                    &[
+                        Field::u64("pec", pec_id.0 as u64),
+                        Field::str("failures", &failures_text),
+                        Field::u64("elapsed_us", elapsed),
+                        Field::u64("states", result.stats.states_explored()),
+                        Field::u64("task_runs", runs),
+                        Field::u64("task_total_us", total_us),
+                        Field::u64("task_max_us", max_us),
+                    ],
+                );
             }
             out.insert(pec_id, result);
         }

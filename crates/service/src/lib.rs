@@ -25,8 +25,8 @@ pub mod serve;
 pub mod session;
 
 pub use proto::{
-    error_kind, DeltaSummary, PolicySpec, Query, ReportSummary, Request, Response, ServiceStats,
-    VerifyOptions, ViolationSummary,
+    error_kind, DeltaSummary, DumpEvent, PolicySpec, Query, ReportSummary, Request, Response,
+    ServiceStats, TaskCostSummary, VerifyOptions, ViolationSummary,
 };
 #[cfg(unix)]
 pub use serve::{connect_with_retry, serve_unix};

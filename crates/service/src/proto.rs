@@ -170,6 +170,26 @@ pub enum Request {
     /// Stop the daemon: stop accepting connections, drain in-flight
     /// requests, persist the cache when a `--cache-dir` is configured.
     Shutdown,
+    /// Recent flight-recorder events — the post-hoc view of what the daemon
+    /// just did, available even with no `--log-json` sink configured.
+    /// Answered with [`Response::Dump`].
+    Dump {
+        /// Only events of this trace id (an `Error` reply carries its
+        /// `trace_id`, so a failed request's causal chain is one `Dump`
+        /// away). `None` returns every retained event.
+        #[serde(default)]
+        trace_id: Option<u64>,
+        /// Only the last N events (applied after the trace filter).
+        #[serde(default)]
+        last: Option<usize>,
+    },
+    /// The K hottest (PEC × failure-set) tasks by accumulated duration.
+    /// Answered with [`Response::Top`].
+    Top {
+        /// Rows to return (0 = the default of 10).
+        #[serde(default)]
+        k: usize,
+    },
 }
 
 impl Request {
@@ -185,8 +205,49 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Persist => "persist",
             Request::Shutdown => "shutdown",
+            Request::Dump { .. } => "dump",
+            Request::Top { .. } => "top",
         }
     }
+}
+
+/// One flight-recorder event on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DumpEvent {
+    /// Recorder sequence number (global, monotonically increasing).
+    pub seq: u64,
+    /// Monotonic microseconds since the recorder was created.
+    pub mono_us: u64,
+    /// The trace id the event was emitted under (0 = none).
+    pub trace: u64,
+    /// Severity name (`trace|debug|info|warn|error`).
+    pub level: String,
+    /// The event name (`request`, `slow_task`, ...).
+    pub event: String,
+    /// The full JSONL rendering (wall-clock timestamp and all fields).
+    pub json: String,
+}
+
+/// One row of the hottest-tasks table: the accumulated cost of a single
+/// (PEC × failure-set) task identity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskCostSummary {
+    /// The PEC id.
+    pub pec: u64,
+    /// The failure set, rendered.
+    pub failures: String,
+    /// Completed executions.
+    pub runs: u64,
+    /// Total execution time, microseconds.
+    pub total_micros: u64,
+    /// Longest single execution, microseconds.
+    pub max_micros: u64,
+    /// Model-checker states explored across executions.
+    pub states: u64,
+    /// Executions avoided entirely by the result cache.
+    pub cache_hits: u64,
+    /// Executions that panicked.
+    pub panics: u64,
 }
 
 /// One violation, summarized for the wire.
@@ -412,6 +473,25 @@ pub enum Response {
         /// The file they were written to.
         path: String,
     },
+    /// Recent flight-recorder events, oldest first.
+    Dump {
+        /// The retained events matching the request's filters.
+        events: Vec<DumpEvent>,
+        /// Events ever recorded (including overwritten ones).
+        total_recorded: u64,
+        /// Events lost to ring overwriting.
+        dropped: u64,
+    },
+    /// The hottest-tasks attribution table, hottest first.
+    Top {
+        /// The K hottest (PEC × failure-set) rows by total duration.
+        rows: Vec<TaskCostSummary>,
+        /// Sum of `total_micros` over *every* tracked task (not just the
+        /// returned rows) — comparable against `plankton_task_seconds`.
+        total_micros: u64,
+        /// Task identities tracked in the registry.
+        tasks_tracked: u64,
+    },
     /// The request failed.
     Error {
         /// What went wrong.
@@ -425,6 +505,10 @@ pub enum Response {
         /// retrying.
         #[serde(default)]
         retry_after_ms: Option<u64>,
+        /// The trace id the failing request ran under (0 = none): pass it to
+        /// `Dump {trace_id}` to retrieve the causal chain post-hoc.
+        #[serde(default)]
+        trace_id: u64,
     },
 }
 
@@ -448,12 +532,15 @@ impl Response {
         Response::error_kind(error_kind::REQUEST, message)
     }
 
-    /// An error with an explicit machine-readable kind.
+    /// An error with an explicit machine-readable kind, stamped with the
+    /// emitting thread's current trace id (request handlers run inside a
+    /// trace scope, so the stamp matches the events the request logged).
     pub fn error_kind(kind: &str, message: impl Into<String>) -> Response {
         Response::Error {
             message: message.into(),
             kind: kind.to_string(),
             retry_after_ms: None,
+            trace_id: plankton_telemetry::trace::current(),
         }
     }
 
@@ -463,6 +550,7 @@ impl Response {
             message: message.into(),
             kind: error_kind::OVERLOADED.to_string(),
             retry_after_ms: Some(retry_after_ms),
+            trace_id: plankton_telemetry::trace::current(),
         }
     }
 }

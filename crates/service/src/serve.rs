@@ -29,6 +29,10 @@ pub fn handle_line_at(session: &ServiceSession, line: &str, position: u64) -> (S
     if trimmed.is_empty() {
         return (String::new(), false);
     }
+    // One trace id per request *line*, installed before parsing so even a
+    // malformed line's `parse_error` event and `Error` reply share an id a
+    // client can `Dump`. `ServiceSession::handle` reuses the scope.
+    let _line_scope = trace::scope(trace::next_trace_id());
     match serde_json::from_str::<Request>(trimmed) {
         Ok(request) => {
             let shutdown = matches!(request, Request::Shutdown);

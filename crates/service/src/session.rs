@@ -18,8 +18,8 @@
 //! daemon shutdown or an explicit `Persist` request.
 
 use crate::proto::{
-    error_kind, DeltaSummary, PolicySpec, Query, ReportSummary, Request, Response, ServiceStats,
-    VerifyOptions, ViolationSummary,
+    error_kind, DeltaSummary, DumpEvent, PolicySpec, Query, ReportSummary, Request, Response,
+    ServiceStats, TaskCostSummary, VerifyOptions, ViolationSummary,
 };
 use parking_lot::{Mutex, RwLock};
 use plankton_config::Network;
@@ -56,6 +56,19 @@ fn service_metrics() -> &'static ServiceMetrics {
     static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let registry = plankton_telemetry::metrics::global();
+        // Build identity, exposed once so scrapes can tell which daemon
+        // build (and cache fingerprint scheme) produced the series.
+        let scheme = plankton_config::FINGERPRINT_SCHEME_VERSION.to_string();
+        registry
+            .gauge_with(
+                "plankton_build_info",
+                "Build identity of the daemon; constant 1, the labels carry the information.",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("fingerprint_scheme", &scheme),
+                ],
+            )
+            .set(1);
         ServiceMetrics {
             inflight: registry.gauge(
                 "plankton_requests_inflight",
@@ -155,6 +168,9 @@ pub struct ServiceSession {
     deadline_exceeded: AtomicU64,
     /// Corrupt persisted-cache loads degraded to cold starts (lifetime).
     cache_recoveries: AtomicU64,
+    /// `slow_task` warn threshold forwarded to every verification
+    /// (`planktond --slow-task-ms`); `None` keeps the core default.
+    slow_task_micros: Option<u64>,
     started: Instant,
 }
 
@@ -186,6 +202,7 @@ impl ServiceSession {
             requests_shed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             cache_recoveries: AtomicU64::new(0),
+            slow_task_micros: None,
             started: Instant::now(),
         }
     }
@@ -208,6 +225,13 @@ impl ServiceSession {
     /// structured `overloaded` reply carrying `retry_after_ms`.
     pub fn with_max_inflight(mut self, max: u64) -> Self {
         self.max_inflight = Some(max);
+        self
+    }
+
+    /// Set the `slow_task` warn threshold applied to every verification,
+    /// builder-style (`planktond --slow-task-ms`).
+    pub fn with_slow_task_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_task_micros = Some(threshold.as_micros() as u64);
         self
     }
 
@@ -325,13 +349,19 @@ impl ServiceSession {
             .map_err(|e| format!("cannot persist cache to {}: {e}", path.display()))
     }
 
-    /// Handle one request: install a fresh trace id for its causal chain
+    /// Handle one request: run it under a trace id for its causal chain
     /// (every event the handler emits — delta apply, key invalidation, task
-    /// re-runs, report merge — shares it), record the per-kind latency and
-    /// count, then dispatch.
+    /// re-runs, report merge — shares it, and `Error` replies are stamped
+    /// with it), record the per-kind latency and count, then dispatch. The
+    /// request loop installs a per-line scope before parsing; that id is
+    /// reused so the wire line and its handling share one chain. Direct
+    /// callers (tests, embedding) get a fresh id here.
     pub fn handle(&self, request: &Request) -> Response {
         let kind = request.kind();
-        let _trace_scope = trace::scope(trace::next_trace_id());
+        let _trace_scope = match trace::current() {
+            0 => Some(trace::scope(trace::next_trace_id())),
+            _ => None,
+        };
         trace::event(Level::Info, "request", &[Field::str("kind", kind)]);
         let metrics = service_metrics();
         metrics.inflight.add(1);
@@ -431,19 +461,81 @@ impl ServiceSession {
                 text: plankton_telemetry::metrics::global().render(),
             },
             Request::Persist => match self.persist() {
-                Ok(entries) => Response::Persisted {
-                    entries,
-                    path: self
-                        .cache_file()
-                        .expect("persist() checked the cache dir")
-                        .display()
-                        .to_string(),
-                },
+                Ok(entries) => {
+                    // `Persist` is the durability point: the log tail goes
+                    // to stable storage together with the cache snapshot.
+                    trace::sync_sinks();
+                    Response::Persisted {
+                        entries,
+                        path: self
+                            .cache_file()
+                            .expect("persist() checked the cache dir")
+                            .display()
+                            .to_string(),
+                    }
+                }
                 Err(message) => Response::error(message),
             },
             Request::Shutdown => Response::Ok {
                 message: "shutting down".into(),
             },
+            Request::Dump { trace_id, last } => self.dump(*trace_id, *last),
+            Request::Top { k } => self.top(*k),
+        }
+    }
+
+    /// Answer `Dump`: the flight recorder's retained events, oldest first.
+    fn dump(&self, trace_id: Option<u64>, last: Option<usize>) -> Response {
+        let Some(recorder) = plankton_telemetry::recorder::global() else {
+            return Response::error(
+                "no flight recorder installed (planktond installs one by default; \
+                 was it started with --recorder-capacity 0?)",
+            );
+        };
+        let events = recorder
+            .dump(trace_id, last)
+            .into_iter()
+            .map(|e| DumpEvent {
+                seq: e.seq,
+                mono_us: e.mono_us,
+                trace: e.trace_id,
+                level: e.level.as_str().to_string(),
+                event: e.name,
+                json: e.json,
+            })
+            .collect();
+        Response::Dump {
+            events,
+            total_recorded: recorder.total_recorded(),
+            dropped: recorder.dropped(),
+        }
+    }
+
+    /// Answer `Top`: the K hottest (PEC × failure-set) tasks by total
+    /// accumulated duration (`k` 0 = 10).
+    fn top(&self, k: usize) -> Response {
+        let costs = plankton_telemetry::taskstats::global();
+        let all = costs.snapshot();
+        let total_micros = all.iter().map(|r| r.total_micros).sum();
+        let tasks_tracked = all.len() as u64;
+        let rows = costs
+            .top(if k == 0 { 10 } else { k })
+            .into_iter()
+            .map(|r| TaskCostSummary {
+                pec: r.group,
+                failures: r.label,
+                runs: r.runs,
+                total_micros: r.total_micros,
+                max_micros: r.max_micros,
+                states: r.states,
+                cache_hits: r.cache_hits,
+                panics: r.panics,
+            })
+            .collect();
+        Response::Top {
+            rows,
+            total_micros,
+            tasks_tracked,
         }
     }
 
@@ -497,6 +589,9 @@ impl ServiceSession {
         if opts.deadline_ms > 0 {
             plankton_options =
                 plankton_options.with_deadline(Duration::from_millis(opts.deadline_ms));
+        }
+        if let Some(micros) = self.slow_task_micros {
+            plankton_options.slow_task_micros = micros;
         }
         let scenario = plankton_net::failure::FailureScenario::up_to(opts.max_failures);
         // The failure environment is keyed per task (each task's effective

@@ -21,9 +21,23 @@
 //! * **Deterministic exposition.** [`metrics::Registry::render`] orders
 //!   families and series lexicographically, so equal registry contents
 //!   render byte-identically — tests and scrapers can diff outputs.
+//!
+//! On top of those sit two post-hoc introspection surfaces (PR 8):
+//!
+//! * [`recorder`] — a fixed-capacity, lock-striped **flight recorder** ring
+//!   that retains the last N events in memory even with no JSONL sink
+//!   configured, dumpable by trace id after a failure already happened.
+//! * [`taskstats`] — always-on **per-task cost attribution** keyed by an
+//!   opaque (group × sub) identity (the verifier uses PEC × failure-set),
+//!   accumulating runs / total / max duration / states / cache hits /
+//!   panics in relaxed atomics, queryable as a top-K hottest-tasks table.
 
 pub mod metrics;
+pub mod recorder;
+pub mod taskstats;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Registry, Unit};
+pub use recorder::{FlightRecorder, RecordedEvent};
+pub use taskstats::{TaskCostRow, TaskCosts};
 pub use trace::{Field, Level, Span};

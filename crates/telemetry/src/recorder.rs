@@ -1,0 +1,233 @@
+//! The flight recorder: a fixed-capacity in-memory ring that retains the
+//! last N structured events even when no JSONL sink is configured.
+//!
+//! Logs answer "what happened" only if someone turned them on *before* the
+//! interesting request; the recorder answers it after the fact. It installs
+//! as an ordinary [`Sink`](crate::trace::Sink), so every event a request
+//! emits — including the causal chain behind an `Error` reply — is held in
+//! bounded memory and retrievable by trace id via the service's `Dump`
+//! request.
+//!
+//! Concurrency model: a single atomic sequence counter assigns each event a
+//! global slot; slots are striped across `SHARDS` independently locked rings,
+//! so concurrent connection and worker threads contend on a mutex only
+//! 1/`SHARDS` of the time, and each shard critical section is a single
+//! `Vec` store. Memory is bounded at `capacity` owned events; event `seq`
+//! minus capacity events have been overwritten (reported as `dropped`).
+//! When the recorder is not installed, the tracing fast path is untouched:
+//! the disabled [`trace::event`](crate::trace::event) call remains one
+//! relaxed atomic load with zero allocations (see `tests/overhead.rs`).
+
+use crate::trace::{render_json_line, Event, Level, Sink};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Stripe count. Power of two so the slot→shard mapping is a mask.
+const SHARDS: usize = 8;
+
+/// Default ring capacity installed by `planktond` (events, not bytes).
+pub const DEFAULT_CAPACITY: usize = 2048;
+
+/// One retained event, owned by the ring.
+#[derive(Clone, Debug)]
+pub struct RecordedEvent {
+    /// Global sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// Monotonic timestamp: microseconds since the recorder was created.
+    pub mono_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Trace id current on the emitting thread (0 = none).
+    pub trace_id: u64,
+    /// Event name (`request`, `slow_task`, ...).
+    pub name: String,
+    /// The full JSONL rendering (wall-clock `ts_us`, level, trace, fields).
+    pub json: String,
+}
+
+struct Shard {
+    ring: Vec<Option<RecordedEvent>>,
+}
+
+/// A fixed-capacity, lock-striped ring of recorded events.
+pub struct FlightRecorder {
+    shards: Vec<Mutex<Shard>>,
+    /// Next sequence number to assign; also the total recorded count.
+    seq: AtomicU64,
+    /// Total slots across all shards.
+    capacity: usize,
+    /// Per-shard slot count (`capacity / SHARDS`).
+    per_shard: usize,
+    epoch: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining (at least) the last `capacity` events. The
+    /// capacity is rounded up to a multiple of the stripe count, minimum one
+    /// slot per stripe.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        let shards = (0..SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    ring: vec![None; per_shard],
+                })
+            })
+            .collect();
+        FlightRecorder {
+            shards,
+            seq: AtomicU64::new(0),
+            capacity: per_shard * SHARDS,
+            per_shard,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Total slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to overwriting so far.
+    pub fn dropped(&self) -> u64 {
+        self.total_recorded().saturating_sub(self.capacity as u64)
+    }
+
+    /// Record one event. The sequence slot is claimed with a single
+    /// `fetch_add`; only the owning stripe is locked, and only to move the
+    /// already-built record into its slot.
+    pub fn record(&self, event: &Event<'_>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let record = RecordedEvent {
+            seq,
+            mono_us: self.epoch.elapsed().as_micros() as u64,
+            level: event.level,
+            trace_id: event.trace_id,
+            name: event.name.to_string(),
+            json: render_json_line(event),
+        };
+        let shard = (seq as usize) % SHARDS;
+        let slot = (seq as usize / SHARDS) % self.per_shard;
+        let mut guard = self.shards[shard].lock().expect("recorder shard poisoned");
+        // A slower writer that claimed an older seq for this slot may arrive
+        // after us; never let it overwrite a newer record.
+        match &guard.ring[slot] {
+            Some(existing) if existing.seq > seq => {}
+            _ => guard.ring[slot] = Some(record),
+        }
+    }
+
+    /// Snapshot the retained events in sequence order, optionally filtered to
+    /// one trace id, optionally truncated to the last `last` events (applied
+    /// after filtering). Repeated calls over quiescent data are
+    /// deterministic: same events, same order.
+    pub fn dump(&self, trace_id: Option<u64>, last: Option<usize>) -> Vec<RecordedEvent> {
+        let mut events: Vec<RecordedEvent> = Vec::with_capacity(self.capacity.min(1024));
+        for shard in &self.shards {
+            let guard = shard.lock().expect("recorder shard poisoned");
+            events.extend(guard.ring.iter().flatten().cloned());
+        }
+        events.sort_by_key(|e| e.seq);
+        if let Some(trace_id) = trace_id {
+            events.retain(|e| e.trace_id == trace_id);
+        }
+        if let Some(last) = last {
+            let drop = events.len().saturating_sub(last);
+            events.drain(..drop);
+        }
+        events
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn emit(&self, event: &Event<'_>) {
+        self.record(event);
+    }
+}
+
+static GLOBAL: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
+
+/// Create the process-global recorder and install it as a trace sink at
+/// `Level::Trace`. Idempotent: the first call wins and later calls are
+/// no-ops (returning the already-installed recorder). A `capacity` of zero
+/// installs nothing and leaves tracing untouched.
+pub fn install_global(capacity: usize) -> Option<&'static Arc<FlightRecorder>> {
+    if capacity == 0 {
+        return global();
+    }
+    let mut installed = false;
+    let recorder = GLOBAL.get_or_init(|| {
+        installed = true;
+        Arc::new(FlightRecorder::with_capacity(capacity))
+    });
+    if installed {
+        crate::trace::add_sink(Level::Trace, recorder.clone());
+    }
+    Some(recorder)
+}
+
+/// The process-global recorder, if [`install_global`] has run.
+pub fn global() -> Option<&'static Arc<FlightRecorder>> {
+    GLOBAL.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Field;
+
+    fn emit(rec: &FlightRecorder, trace_id: u64, name: &str, n: u64) {
+        rec.record(&Event {
+            level: Level::Info,
+            name,
+            trace_id,
+            fields: &[Field::u64("n", n)],
+        });
+    }
+
+    #[test]
+    fn retains_last_capacity_events_in_order() {
+        let rec = FlightRecorder::with_capacity(16);
+        assert_eq!(rec.capacity(), 16);
+        for i in 0..40u64 {
+            emit(&rec, 1, "e", i);
+        }
+        let events = rec.dump(None, None);
+        assert_eq!(events.len(), 16);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (24..40).collect::<Vec<u64>>());
+        assert_eq!(rec.total_recorded(), 40);
+        assert_eq!(rec.dropped(), 24);
+        assert!(events.windows(2).all(|w| w[0].mono_us <= w[1].mono_us));
+    }
+
+    #[test]
+    fn last_n_truncation_applies_after_trace_filter() {
+        let rec = FlightRecorder::with_capacity(64);
+        for i in 0..20u64 {
+            emit(&rec, i % 2, "e", i);
+        }
+        let all_odd = rec.dump(Some(1), None);
+        assert_eq!(all_odd.len(), 10);
+        let last3 = rec.dump(Some(1), Some(3));
+        assert_eq!(last3.len(), 3);
+        assert_eq!(
+            last3.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            all_odd[7..].iter().map(|e| e.seq).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up_to_stripes() {
+        let rec = FlightRecorder::with_capacity(1);
+        assert_eq!(rec.capacity(), SHARDS);
+        emit(&rec, 0, "e", 0);
+        assert_eq!(rec.dump(None, None).len(), 1);
+    }
+}

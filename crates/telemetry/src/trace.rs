@@ -137,6 +137,11 @@ pub struct Event<'a> {
 pub trait Sink: Send + Sync {
     /// Handle one event.
     fn emit(&self, event: &Event<'_>);
+
+    /// Flush buffered events all the way to stable storage (fsync for file
+    /// sinks). Called on graceful shutdown and on `Persist`; the default is a
+    /// no-op for sinks with nothing durable behind them.
+    fn sync(&self) {}
 }
 
 /// `5` is past `Level::Error`, so nothing is enabled.
@@ -169,6 +174,16 @@ pub fn clear_sinks() {
     let mut sinks = SINKS.write().expect("trace sink registry poisoned");
     sinks.clear();
     MIN_LEVEL.store(DISABLED, Ordering::Relaxed);
+}
+
+/// Ask every installed sink to flush to stable storage (see [`Sink::sync`]).
+/// The daemon calls this on graceful shutdown and on `Persist` so the tail of
+/// a `--log-json` file survives even an immediate power cut.
+pub fn sync_sinks() {
+    let sinks = SINKS.read().expect("trace sink registry poisoned");
+    for (_, sink) in sinks.iter() {
+        sink.sync();
+    }
 }
 
 /// Emit one event to every interested sink. With no sink installed this is
@@ -328,7 +343,23 @@ pub fn render_json_line(event: &Event<'_>) -> String {
 /// with a single `write_all` under a mutex and flushed immediately, so
 /// concurrent connection threads never interleave and `tail -f` works.
 pub struct JsonLinesSink {
-    out: Mutex<Box<dyn io::Write + Send>>,
+    out: Mutex<JsonOut>,
+}
+
+/// The writer behind a [`JsonLinesSink`]. Files are kept as `File` (not
+/// erased behind `dyn Write`) so [`Sink::sync`] can reach `sync_all`.
+enum JsonOut {
+    File(std::fs::File),
+    Writer(Box<dyn io::Write + Send>),
+}
+
+impl JsonOut {
+    fn as_write(&mut self) -> &mut dyn io::Write {
+        match self {
+            JsonOut::File(f) => f,
+            JsonOut::Writer(w) => w.as_mut(),
+        }
+    }
 }
 
 impl JsonLinesSink {
@@ -338,13 +369,15 @@ impl JsonLinesSink {
             .create(true)
             .append(true)
             .open(path)?;
-        Ok(Self::writer(Box::new(file)))
+        Ok(JsonLinesSink {
+            out: Mutex::new(JsonOut::File(file)),
+        })
     }
 
     /// A sink over any writer.
     pub fn writer(out: Box<dyn io::Write + Send>) -> Self {
         JsonLinesSink {
-            out: Mutex::new(out),
+            out: Mutex::new(JsonOut::Writer(out)),
         }
     }
 }
@@ -354,8 +387,17 @@ impl Sink for JsonLinesSink {
         let mut line = render_json_line(event);
         line.push('\n');
         let mut out = self.out.lock().expect("json sink poisoned");
+        let out = out.as_write();
         let _ = out.write_all(line.as_bytes());
         let _ = out.flush();
+    }
+
+    fn sync(&self) {
+        let mut out = self.out.lock().expect("json sink poisoned");
+        let _ = out.as_write().flush();
+        if let JsonOut::File(file) = &*out {
+            let _ = file.sync_all();
+        }
     }
 }
 

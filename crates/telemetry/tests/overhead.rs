@@ -7,6 +7,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use plankton_telemetry::taskstats::TaskCosts;
 use plankton_telemetry::trace::{self, Event, Field, Level, Sink};
 
 struct CountingAlloc;
@@ -83,12 +84,37 @@ fn disabled_event_path_does_not_allocate_and_sinks_see_events_once_installed() {
     drop(span);
     assert_eq!(sink.seen.load(Ordering::Relaxed), 3);
 
-    // Phase 3: clearing sinks restores the free path.
+    // Phase 3: clearing sinks restores the free path. With no recorder
+    // installed (this binary never calls recorder::install_global), the
+    // flight-recorder feature costs nothing here: the disabled event path is
+    // byte-for-byte the same gate as before.
     trace::clear_sinks();
+    assert!(plankton_telemetry::recorder::global().is_none());
     assert!(!trace::enabled(Level::Error));
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     trace::event(Level::Error, "gone", &fields);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0);
     assert_eq!(sink.seen.load(Ordering::Relaxed), 3);
+
+    // Phase 4: task-cost attribution steady state. The first record of a key
+    // allocates (entry + label); every later record of the same key is a
+    // shard read-lock plus relaxed atomic adds — zero allocations.
+    let costs = TaskCosts::new();
+    costs.record_run(7, 42, 100, 10, || "f{3}".to_string());
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1000 {
+        costs.record_run(7, 42, i, 1, || unreachable!("label rebuilt"));
+        costs.record_cache_hit(7, 42, || unreachable!("label rebuilt"));
+    }
+    let (runs, total, _max) = costs.totals(7, 42);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state attribution allocated {} times",
+        after - before
+    );
+    assert_eq!(runs, 1001);
+    assert_eq!(total, 100 + (0..1000).sum::<u64>());
 }

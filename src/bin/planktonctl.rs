@@ -19,12 +19,32 @@
 //! The `metrics` subcommand sends a `Metrics` request and prints the
 //! daemon's metrics registry as Prometheus text exposition (unwrapped from
 //! the JSON response), ready to pipe to a file a scraper reads.
+//!
+//! The `top` subcommand is a live view over the daemon's per-task cost
+//! attribution: it polls `Top` and `Stats` every `--interval` seconds and
+//! renders the hottest (PEC × failure-set) tasks plus poll-over-poll deltas
+//! (tasks/sec, cache hit rate). `--once` prints a single sample and exits —
+//! the scriptable form. The `dump` subcommand fetches the in-memory flight
+//! recorder (`--trace <id>` filters to one request's causal chain, `--last
+//! <n>` truncates) and prints each retained event as its JSONL rendering —
+//! post-mortem debugging with no log file configured ahead of time.
 
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!("usage:\n  planktonctl --socket <path> [--timeout <secs>] [--pipeline] [REQUEST_JSON]...\n  planktonctl --socket <path> [--timeout <secs>] metrics\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.\n--timeout bounds the connect retry loop, each socket read, and the\noverloaded-retry loop (default 5s; 0 disables the read timeout);\n--pipeline sends every request before reading the responses. When the\ndaemon sheds a request (`overloaded`, from planktond --max-inflight),\nnon-pipelined requests are retried with the daemon's retry_after_ms\nhint until --timeout elapses. The `metrics` subcommand prints the\ndaemon's metrics as Prometheus text exposition.");
+    eprintln!("usage:\n  planktonctl --socket <path> [--timeout <secs>] [--pipeline] [REQUEST_JSON]...\n  planktonctl --socket <path> [--timeout <secs>] metrics\n  planktonctl --socket <path> [--timeout <secs>] top [--once] [--interval <secs>] [-k <N>]\n  planktonctl --socket <path> [--timeout <secs>] dump [--trace <id>] [--last <N>]\n\nWith no REQUEST_JSON arguments, request lines are read from stdin.\n--timeout bounds the connect retry loop, each socket read, and the\noverloaded-retry loop (default 5s; 0 disables the read timeout);\n--pipeline sends every request before reading the responses. When the\ndaemon sheds a request (`overloaded`, from planktond --max-inflight),\nnon-pipelined requests are retried with the daemon's retry_after_ms\nhint until --timeout elapses. The `metrics` subcommand prints the\ndaemon's metrics as Prometheus text exposition. `top` renders the\nhottest (PEC x failure-set) tasks live (default every 2s; --once for a\nsingle sample); `dump` prints the daemon's in-memory flight recorder as\nJSON lines (--trace filters to one request's causal chain).");
     exit(2);
+}
+
+/// `1234567` µs → `"1.23s"`; keeps the table columns narrow.
+fn fmt_micros(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
 }
 
 #[cfg(unix)]
@@ -35,6 +55,13 @@ fn main() {
     let mut timeout_secs: f64 = 5.0;
     let mut pipeline = false;
     let mut metrics = false;
+    let mut top = false;
+    let mut dump = false;
+    let mut once = false;
+    let mut interval_secs: f64 = 2.0;
+    let mut top_k: usize = 10;
+    let mut dump_trace: Option<u64> = None;
+    let mut dump_last: Option<usize> = None;
     let mut requests: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +75,35 @@ fn main() {
             }
             "--pipeline" => pipeline = true,
             "metrics" => metrics = true,
+            "top" => top = true,
+            "dump" => dump = true,
+            "--once" => once = true,
+            "--interval" => {
+                interval_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "-k" => {
+                top_k = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--trace" => {
+                dump_trace = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--last" => {
+                dump_last = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--help" | "-h" => usage(),
             // Blank requests get no response line from the daemon; sending
             // one would desync the request/response accounting below.
@@ -55,7 +111,14 @@ fn main() {
             _ => requests.push(arg),
         }
     }
-    if metrics && (pipeline || !requests.is_empty()) {
+    let subcommands = usize::from(metrics) + usize::from(top) + usize::from(dump);
+    if subcommands > 1 || (subcommands == 1 && (pipeline || !requests.is_empty())) {
+        usage();
+    }
+    if (once || interval_secs != 2.0 || top_k != 10) && !top {
+        usage();
+    }
+    if (dump_trace.is_some() || dump_last.is_some()) && !dump {
         usage();
     }
     let Some(path) = socket else { usage() };
@@ -157,6 +220,153 @@ fn main() {
             }
         }
         return;
+    }
+
+    if dump {
+        // One-shot post-mortem fetch: print each retained event's JSONL
+        // rendering (the same line a --log-json sink would have written), a
+        // summary on stderr so stdout stays machine-parsable.
+        let trace = dump_trace.map_or("null".to_string(), |t| t.to_string());
+        let last = dump_last.map_or("null".to_string(), |n| n.to_string());
+        send(
+            &mut writer,
+            &format!("{{\"Dump\":{{\"trace_id\":{trace},\"last\":{last}}}}}"),
+        );
+        let response = read_response(&mut reader);
+        match serde_json::from_str::<plankton_service::Response>(&response) {
+            Ok(plankton_service::Response::Dump {
+                events,
+                total_recorded,
+                dropped,
+            }) => {
+                for event in &events {
+                    println!("{}", event.json);
+                }
+                eprintln!(
+                    "planktonctl: {} event(s) ({total_recorded} recorded, {dropped} overwritten)",
+                    events.len()
+                );
+            }
+            Ok(plankton_service::Response::Error { message, .. }) => {
+                eprintln!("planktonctl: dump failed: {message}");
+                exit(1);
+            }
+            Ok(other) => {
+                eprintln!("planktonctl: unexpected response: {other:?}");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("planktonctl: bad response line: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    if top {
+        // Live hottest-tasks view: poll Top + Stats, render the attribution
+        // table plus poll-over-poll rates. --once prints one sample (no
+        // screen clearing) for scripts and CI.
+        let interval = std::time::Duration::from_secs_f64(interval_secs.max(0.1));
+        let mut prev: Option<(std::time::Instant, u64, u64, u64)> = None; // (at, runs, hits, misses)
+        loop {
+            send(&mut writer, &format!("{{\"Top\":{{\"k\":{top_k}}}}}"));
+            let top_response = read_response(&mut reader);
+            send(&mut writer, "\"Stats\"");
+            let stats_response = read_response(&mut reader);
+            let (rows, total_micros, tasks_tracked) =
+                match serde_json::from_str::<plankton_service::Response>(&top_response) {
+                    Ok(plankton_service::Response::Top {
+                        rows,
+                        total_micros,
+                        tasks_tracked,
+                    }) => (rows, total_micros, tasks_tracked),
+                    Ok(other) => {
+                        eprintln!("planktonctl: unexpected response: {other:?}");
+                        exit(1);
+                    }
+                    Err(e) => {
+                        eprintln!("planktonctl: bad response line: {e}");
+                        exit(1);
+                    }
+                };
+            let stats = match serde_json::from_str::<plankton_service::Response>(&stats_response) {
+                Ok(plankton_service::Response::Stats(stats)) => stats,
+                Ok(other) => {
+                    eprintln!("planktonctl: unexpected response: {other:?}");
+                    exit(1);
+                }
+                Err(e) => {
+                    eprintln!("planktonctl: bad response line: {e}");
+                    exit(1);
+                }
+            };
+
+            let now = std::time::Instant::now();
+            let runs: u64 = rows.iter().map(|r| r.runs).sum();
+            let mut rates = String::new();
+            if let Some((at, prev_runs, prev_hits, prev_misses)) = prev {
+                let dt = now.duration_since(at).as_secs_f64().max(1e-9);
+                let tasks_per_sec = runs.saturating_sub(prev_runs) as f64 / dt;
+                let d_hits = stats.cache_hits.saturating_sub(prev_hits);
+                let d_misses = stats.cache_misses.saturating_sub(prev_misses);
+                let d_lookups = d_hits + d_misses;
+                if d_lookups > 0 {
+                    rates = format!(
+                        "  +{tasks_per_sec:.1} tasks/s  {:.0}% hit (interval)",
+                        100.0 * d_hits as f64 / d_lookups as f64
+                    );
+                } else {
+                    rates = format!("  +{tasks_per_sec:.1} tasks/s");
+                }
+            }
+            prev = Some((now, runs, stats.cache_hits, stats.cache_misses));
+
+            if !once {
+                // Clear + home, like top(1): each poll repaints in place.
+                print!("\x1b[H\x1b[2J");
+            }
+            let lookups = stats.cache_hits + stats.cache_misses;
+            let lifetime_hit = if lookups > 0 {
+                format!("{:.0}%", 100.0 * stats.cache_hits as f64 / lookups as f64)
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "plankton top — {tasks_tracked} task(s) tracked, {} total, hit rate {lifetime_hit}{rates}",
+                fmt_micros(total_micros)
+            );
+            println!(
+                "{:>6}  {:<24} {:>6} {:>9} {:>9} {:>10} {:>6} {:>6}",
+                "PEC", "FAILURES", "RUNS", "TOTAL", "MAX", "STATES", "HITS", "PANIC"
+            );
+            for row in &rows {
+                let mut failures = row.failures.clone();
+                if failures.len() > 24 {
+                    failures.truncate(23);
+                    failures.push('…');
+                }
+                println!(
+                    "{:>6}  {:<24} {:>6} {:>9} {:>9} {:>10} {:>6} {:>6}",
+                    row.pec,
+                    failures,
+                    row.runs,
+                    fmt_micros(row.total_micros),
+                    fmt_micros(row.max_micros),
+                    row.states,
+                    row.cache_hits,
+                    row.panics
+                );
+            }
+            if rows.is_empty() {
+                println!("(no tasks recorded yet — run a Verify)");
+            }
+            if once {
+                return;
+            }
+            let _ = std::io::stdout().flush();
+            std::thread::sleep(interval);
+        }
     }
 
     if pipeline {

@@ -27,7 +27,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n            [--max-inflight <N>]\n            [--log-json <file.jsonl>] [--log-level <error|warn|info|debug|trace>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (concurrent connections sharing\none session; --threads caps them, default 4). With --cache-dir the result\ncache is persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request.\n\n--max-inflight bounds concurrently running Verify requests: excess\nverifies get a structured `overloaded` error with a retry_after_ms hint\ninstead of queuing (planktonctl retries these automatically).\n\n--log-json appends every trace event as one JSON line to the given file;\n--log-level pretty-prints events at or above the level to stderr.\n\nFault injection for chaos testing: set PLANKTON_FAILPOINTS, e.g.\nPLANKTON_FAILPOINTS='task=panic*1,cache_save=io_err' (see README)."
+        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n            [--max-inflight <N>] [--slow-task-ms <N>]\n            [--recorder-capacity <N>]\n            [--log-json <file.jsonl>] [--log-level <error|warn|info|debug|trace>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (concurrent connections sharing\none session; --threads caps them, default 4). With --cache-dir the result\ncache is persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request.\n\n--max-inflight bounds concurrently running Verify requests: excess\nverifies get a structured `overloaded` error with a retry_after_ms hint\ninstead of queuing (planktonctl retries these automatically).\n\n--slow-task-ms sets the slow_task warn threshold (default 250).\n--recorder-capacity sizes the in-memory flight recorder serving `Dump`\nrequests (default 2048 events; 0 disables it).\n\n--log-json appends every trace event as one JSON line to the given file;\n--log-level pretty-prints events at or above the level to stderr.\n\nFault injection for chaos testing: set PLANKTON_FAILPOINTS, e.g.\nPLANKTON_FAILPOINTS='task=panic*1,cache_save=io_err' (see README)."
     );
     exit(2);
 }
@@ -61,6 +61,8 @@ fn main() {
     let mut log_json: Option<String> = None;
     let mut log_level: Option<String> = None;
     let mut max_inflight: Option<u64> = None;
+    let mut slow_task_ms: Option<u64> = None;
+    let mut recorder_capacity: usize = plankton_telemetry::recorder::DEFAULT_CAPACITY;
     let mut threads: usize = ServeOptions::default().max_connections;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -81,9 +83,19 @@ fn main() {
             "--max-inflight" => {
                 max_inflight = Some(value().parse().unwrap_or_else(|_| usage()));
             }
+            "--slow-task-ms" => {
+                slow_task_ms = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--recorder-capacity" => {
+                recorder_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
             _ => usage(),
         }
     }
+
+    // The always-on flight recorder: post-mortem `Dump` works even when no
+    // JSONL sink was configured ahead of the failure.
+    plankton_telemetry::recorder::install_global(recorder_capacity);
 
     if let Some(path) = &log_json {
         if let Err(e) = plankton_telemetry::trace::init_json_file(path.as_ref()) {
@@ -105,6 +117,9 @@ fn main() {
     }
     if let Some(max) = max_inflight {
         session = session.with_max_inflight(max);
+    }
+    if let Some(ms) = slow_task_ms {
+        session = session.with_slow_task_threshold(std::time::Duration::from_millis(ms));
     }
     if let Some(path) = &config {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -166,6 +181,18 @@ fn main() {
             Err(e) => eprintln!("planktond: cache persist failed: {e}"),
         }
     }
+
+    // The last event of a graceful exit, then fsync the JSONL sink: the log
+    // must end with `shutdown` on disk even if the machine dies right after.
+    plankton_telemetry::trace::event(
+        plankton_telemetry::Level::Info,
+        "shutdown",
+        &[plankton_telemetry::Field::u64(
+            "parse_errors",
+            session.parse_errors(),
+        )],
+    );
+    plankton_telemetry::trace::sync_sinks();
 
     // Every malformed request got an Error reply inline, but a scripted
     // pipeline reads the exit code: surface that something in the stream

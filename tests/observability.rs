@@ -1,0 +1,336 @@
+//! Observability tests: the flight recorder, per-task cost attribution,
+//! and the introspection protocol (`Dump`, `Top`) against spawned daemons.
+//!
+//! The contract under test is the post-mortem story: a failed request must
+//! be fully reconstructable *after the fact* from a daemon that was started
+//! with **no** `--log-json` sink — the in-memory flight recorder retains
+//! the causal chain and `Dump {trace_id}` retrieves it. The attribution
+//! registry must agree with the `plankton_task_seconds` histogram within
+//! one powers-of-four bucket, and a graceful shutdown must leave the JSONL
+//! log ending with a durable `shutdown` event.
+
+use plankton::service::{error_kind, DumpEvent, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+const VERIFY_LINE: &str =
+    r#"{"Verify": {"policy": "LoopFreedom", "options": {"max_failures": 1, "cores": 2}}}"#;
+
+/// A daemon on piped stdio we can talk to in lockstep: send one request
+/// line, read one response line — the interactive shape `Dump {trace_id}`
+/// needs (the trace id comes out of an earlier response).
+struct Daemon {
+    child: Child,
+    reader: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str], failpoints: Option<&str>) -> Self {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_planktond"));
+        cmd.args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(spec) = failpoints {
+            cmd.env(plankton_faultinject::ENV_VAR, spec);
+        }
+        let mut child = cmd.spawn().expect("spawn planktond");
+        let reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Daemon { child, reader }
+    }
+
+    fn request(&mut self, line: &str) -> Response {
+        self.child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "daemon closed before responding");
+        serde_json::from_str(&response).expect("response parses")
+    }
+
+    fn shutdown(mut self) {
+        let _ = self
+            .child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(b"\"Shutdown\"\n");
+        let _ = self.child.wait();
+    }
+}
+
+fn dump(daemon: &mut Daemon, trace_id: Option<u64>, last: Option<usize>) -> Vec<DumpEvent> {
+    let trace = trace_id.map_or("null".to_string(), |t| t.to_string());
+    let last = last.map_or("null".to_string(), |n| n.to_string());
+    let response = daemon.request(&format!(
+        "{{\"Dump\":{{\"trace_id\":{trace},\"last\":{last}}}}}"
+    ));
+    let Response::Dump { events, .. } = response else {
+        panic!("expected dump, got {response:?}");
+    };
+    events
+}
+
+/// The headline acceptance test: a daemon started with **no** `--log-json`
+/// sink answers a faulted verify with `Error {kind, trace_id}`, and that
+/// trace id alone reconstructs the request's causal chain — the `request`
+/// event and the `verify_task_panicked` event — via `Dump`. Repeating the
+/// dump returns the identical event list (the recorder is a stable
+/// snapshot, not a draining queue).
+#[test]
+fn faulted_verify_is_reconstructable_via_dump_without_a_log_sink() {
+    let mut daemon = Daemon::spawn(&["--scenario", "ring:4"], Some("task=panic*1"));
+
+    let response = daemon.request(VERIFY_LINE);
+    let Response::Error { kind, trace_id, .. } = response else {
+        panic!("expected a structured error, got {response:?}");
+    };
+    assert_eq!(kind, error_kind::TASK_PANICKED);
+    assert!(trace_id > 0, "the error must be stamped with its trace id");
+
+    let events = dump(&mut daemon, Some(trace_id), None);
+    assert!(!events.is_empty(), "the chain must be retained in memory");
+    assert!(
+        events.iter().all(|e| e.trace == trace_id),
+        "trace filter leaked foreign events: {events:?}"
+    );
+    let names: Vec<&str> = events.iter().map(|e| e.event.as_str()).collect();
+    assert!(names.contains(&"request"), "{names:?}");
+    assert!(names.contains(&"verify_task_panicked"), "{names:?}");
+    let request = events.iter().find(|e| e.event == "request").unwrap();
+    assert!(request.json.contains("\"kind\":\"verify\""), "{request:?}");
+    assert!(
+        events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "events arrive in recorder order"
+    );
+
+    // Determinism: the same dump twice is byte-identical.
+    let again = dump(&mut daemon, Some(trace_id), None);
+    assert_eq!(
+        events.iter().map(|e| &e.json).collect::<Vec<_>>(),
+        again.iter().map(|e| &e.json).collect::<Vec<_>>()
+    );
+
+    // The recovery path still works; its trace is a *different* chain.
+    let recovered = daemon.request(VERIFY_LINE);
+    assert!(matches!(recovered, Response::Report(_)), "{recovered:?}");
+    daemon.shutdown();
+}
+
+/// `Top` agrees with the engine's `plankton_task_seconds` histogram within
+/// one powers-of-four bucket: both clocks wrap the same task execution, so
+/// their *sums* must land in the same (or an adjacent) bucket of the
+/// ladder the histogram itself uses.
+#[test]
+fn top_totals_are_consistent_with_the_task_seconds_histogram() {
+    let mut daemon = Daemon::spawn(&["--scenario", "ring:6"], None);
+    let verified = daemon.request(VERIFY_LINE);
+    assert!(matches!(verified, Response::Report(_)), "{verified:?}");
+
+    let response = daemon.request("{\"Top\":{\"k\":0}}");
+    let Response::Top {
+        rows,
+        total_micros,
+        tasks_tracked,
+    } = response
+    else {
+        panic!("expected top, got {response:?}");
+    };
+    assert!(!rows.is_empty(), "a verify must leave attribution rows");
+    assert!(tasks_tracked as usize >= rows.len());
+    assert!(total_micros > 0);
+    assert!(
+        rows.windows(2)
+            .all(|w| w[0].total_micros >= w[1].total_micros),
+        "hottest-first ordering: {rows:?}"
+    );
+    let row_sum: u64 = rows.iter().map(|r| r.total_micros).sum();
+    assert!(row_sum <= total_micros, "rows are a subset of the total");
+
+    let Response::MetricsText { text } = daemon.request("\"Metrics\"") else {
+        panic!("expected metrics");
+    };
+    let sum_line = text
+        .lines()
+        .find(|l| l.starts_with("plankton_task_seconds_sum"))
+        .expect("task histogram rendered");
+    let histogram_secs: f64 = sum_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .expect("sum parses");
+    let histogram_micros = histogram_secs * 1e6;
+
+    // Same powers-of-four ladder the histogram buckets observations with:
+    // the two totals must fall in the same or adjacent buckets.
+    let bucket = |us: f64| -> usize {
+        plankton_telemetry::metrics::BUCKET_BOUNDS
+            .iter()
+            .position(|&b| us <= b as f64)
+            .unwrap_or(plankton_telemetry::metrics::BUCKET_BOUNDS.len())
+    };
+    let attribution_bucket = bucket(total_micros as f64);
+    let histogram_bucket = bucket(histogram_micros);
+    assert!(
+        attribution_bucket.abs_diff(histogram_bucket) <= 1,
+        "attribution total {total_micros}us (bucket {attribution_bucket}) vs \
+         histogram sum {histogram_micros}us (bucket {histogram_bucket})"
+    );
+    daemon.shutdown();
+}
+
+/// `--slow-task-ms 0` flags every task: the `slow_task` warn events land in
+/// the flight recorder carrying the attribution totals (`task_runs`,
+/// `task_total_us`), so a post-mortem dump shows not just *that* a task was
+/// slow but its accumulated history.
+#[test]
+fn slow_task_threshold_zero_puts_attribution_totals_in_the_dump() {
+    let mut daemon = Daemon::spawn(&["--scenario", "ring:4", "--slow-task-ms", "0"], None);
+    let verified = daemon.request(VERIFY_LINE);
+    assert!(matches!(verified, Response::Report(_)), "{verified:?}");
+
+    let events = dump(&mut daemon, None, None);
+    let slow: Vec<&DumpEvent> = events.iter().filter(|e| e.event == "slow_task").collect();
+    assert!(!slow.is_empty(), "threshold 0 must flag every task");
+    for event in &slow {
+        assert_eq!(event.level, "warn");
+        assert!(event.json.contains("\"task_runs\":"), "{}", event.json);
+        assert!(event.json.contains("\"task_total_us\":"), "{}", event.json);
+        assert!(event.json.contains("\"pec\":"), "{}", event.json);
+    }
+    daemon.shutdown();
+}
+
+/// `--last` truncation composes with the trace filter, and `Dump` against a
+/// daemon started with `--recorder-capacity 0` answers a structured error
+/// rather than an empty success — "recorder off" must be distinguishable
+/// from "nothing happened".
+#[test]
+fn dump_last_truncates_and_a_disabled_recorder_errors_structurally() {
+    let mut daemon = Daemon::spawn(&["--scenario", "ring:4"], None);
+    let verified = daemon.request(VERIFY_LINE);
+    assert!(matches!(verified, Response::Report(_)));
+    let all = dump(&mut daemon, None, None);
+    assert!(all.len() > 2);
+    // Each Dump records its own `request` event before snapshotting, so the
+    // second dump's tail is the first dump's last event plus exactly that
+    // one new event — deterministic on the sequential stdio transport.
+    let last_two = dump(&mut daemon, None, Some(2));
+    let tail: Vec<u64> = last_two.iter().map(|e| e.seq).collect();
+    let prev_last = all.last().unwrap().seq;
+    assert_eq!(tail, vec![prev_last, prev_last + 1], "{last_two:?}");
+    assert_eq!(last_two[1].event, "request", "{last_two:?}");
+    daemon.shutdown();
+
+    let mut disabled = Daemon::spawn(&["--scenario", "ring:4", "--recorder-capacity", "0"], None);
+    let response = disabled.request("{\"Dump\":{}}");
+    let Response::Error { kind, message, .. } = response else {
+        panic!("a disabled recorder must error, got {response:?}");
+    };
+    assert_eq!(kind, error_kind::REQUEST);
+    assert!(message.contains("recorder"), "{message}");
+    disabled.shutdown();
+}
+
+/// A graceful shutdown flushes and fsyncs the `--log-json` sink: the final
+/// event on disk is `shutdown`, even though the process exits immediately
+/// after — the log never ends mid-buffer.
+#[test]
+fn graceful_shutdown_leaves_the_jsonl_log_ending_with_a_shutdown_event() {
+    let dir = std::env::temp_dir().join(format!("plankton-obs-log-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("plankton.jsonl");
+
+    let mut daemon = Daemon::spawn(
+        &["--scenario", "ring:4", "--log-json", log.to_str().unwrap()],
+        None,
+    );
+    let verified = daemon.request(VERIFY_LINE);
+    assert!(matches!(verified, Response::Report(_)));
+    daemon.shutdown();
+
+    let text = std::fs::read_to_string(&log).expect("log written");
+    let last = text.lines().last().expect("log non-empty");
+    assert!(
+        last.contains("\"event\":\"shutdown\""),
+        "the log must end with the shutdown event, got: {last}"
+    );
+    assert!(last.contains("\"parse_errors\":0"), "{last}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `planktonctl` post-mortem loop over a socket, end to end: induce a
+/// panic, read the `trace_id` off the Error response, `planktonctl dump
+/// --trace` it and find the causal chain in the *dump output* (no log file
+/// exists), then `planktonctl top --once` shows a non-empty hottest row.
+#[cfg(unix)]
+#[test]
+fn planktonctl_dump_and_top_work_the_post_mortem_over_a_socket() {
+    let dir = std::env::temp_dir().join(format!("plankton-obs-ctl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("planktond.sock");
+    let sock_str = sock.to_str().unwrap();
+
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_planktond"));
+    cmd.args(["--scenario", "ring:4", "--socket", sock_str])
+        .env(plankton_faultinject::ENV_VAR, "task=panic*1")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let mut daemon = cmd.spawn().expect("spawn planktond");
+
+    let ctl = |args: &[&str]| -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_planktonctl"))
+            .args(["--socket", sock_str, "--timeout", "30"])
+            .args(args)
+            .output()
+            .expect("run planktonctl")
+    };
+
+    // The faulted verify answers an Error carrying its trace id.
+    let faulted = ctl(&[VERIFY_LINE]);
+    assert!(faulted.status.success());
+    let line = String::from_utf8_lossy(&faulted.stdout);
+    let Ok(Response::Error { kind, trace_id, .. }) = serde_json::from_str::<Response>(line.trim())
+    else {
+        panic!("expected an error response, got {line}");
+    };
+    assert_eq!(kind, error_kind::TASK_PANICKED);
+    assert!(trace_id > 0);
+
+    // `dump --trace` reconstructs the chain from daemon memory alone.
+    let dumped = ctl(&["dump", "--trace", &trace_id.to_string()]);
+    assert!(dumped.status.success());
+    let dump_out = String::from_utf8_lossy(&dumped.stdout);
+    assert!(dump_out.contains("\"event\":\"request\""), "{dump_out}");
+    assert!(
+        dump_out.contains("\"event\":\"verify_task_panicked\""),
+        "{dump_out}"
+    );
+
+    // A clean verify populates attribution; `top --once` renders it.
+    let recovered = ctl(&[VERIFY_LINE]);
+    assert!(recovered.status.success());
+    assert!(String::from_utf8_lossy(&recovered.stdout).contains("Report"));
+    let top = ctl(&["top", "--once", "-k", "3"]);
+    assert!(top.status.success());
+    let top_out = String::from_utf8_lossy(&top.stdout);
+    assert!(top_out.contains("FAILURES"), "{top_out}");
+    assert!(
+        top_out.lines().count() >= 3,
+        "header + at least one row: {top_out}"
+    );
+    assert!(!top_out.contains("no tasks recorded"), "{top_out}");
+
+    let shutdown = ctl(&["\"Shutdown\""]);
+    assert!(shutdown.status.success());
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
