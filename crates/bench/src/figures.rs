@@ -1203,6 +1203,19 @@ pub struct ServiceBenchPoint {
     pub speedup: f64,
     /// Did the two reports match exactly (modulo engine pool stats)?
     pub identical: bool,
+    /// Streaming ingestion rate (`update_storm` only; 0 elsewhere).
+    #[serde(default)]
+    pub deltas_per_sec: f64,
+    /// Median enqueue→verified lag, milliseconds (`update_storm` only).
+    #[serde(default)]
+    pub lag_p50_ms: f64,
+    /// 99th-percentile enqueue→verified lag, milliseconds (`update_storm`
+    /// only).
+    #[serde(default)]
+    pub lag_p99_ms: f64,
+    /// Deltas coalesced away by the streaming queue (`update_storm` only).
+    #[serde(default)]
+    pub coalesced: u64,
 }
 
 /// Incremental-service benchmark: apply a small config delta to a fat-tree
@@ -1296,6 +1309,10 @@ pub fn service_bench(quick: bool) -> FigureResult {
             incremental_seconds: inc_time.as_secs_f64(),
             speedup,
             identical,
+            deltas_per_sec: 0.0,
+            lag_p50_ms: 0.0,
+            lag_p99_ms: 0.0,
+            coalesced: 0,
         });
     };
 
@@ -1432,6 +1449,155 @@ pub fn service_bench(quick: bool) -> FigureResult {
             incremental_seconds: inc_time.as_secs_f64(),
             speedup,
             identical,
+            deltas_per_sec: 0.0,
+            lag_p50_ms: 0.0,
+            lag_p99_ms: 0.0,
+            coalesced: 0,
+        });
+    }
+
+    // Streaming update storm: sustained ingestion rate of the coalescing
+    // bounded-lag queue (`ApplyDeltas {ack: "enqueued"}` + background drain)
+    // against one-at-a-time replay (`ApplyDelta` + `Verify` per delta) of
+    // the same storm to the same verified end state. `speedup` here is the
+    // deltas/sec ratio; the lag percentiles come from the drain's
+    // enqueue→verified histogram.
+    {
+        use plankton_core::Tuning;
+        use plankton_service::{PolicySpec, Request, Response, ServiceSession, VerifyOptions};
+        use std::sync::Arc;
+
+        let ring = ring_ospf(8);
+        let count = if quick { 40 } else { 120 };
+        // Deterministic xorshift64* storm concentrated on three targets so
+        // coalescing has real work: link flaps, OSPF cost churn, static
+        // route add/remove.
+        let mut state: u64 = 0x5EED_0BEE;
+        let mut deltas = Vec::with_capacity(count);
+        for _ in 0..count {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let r = state.wrapping_mul(0x2545F4914F6CDD1D);
+            let slot = (r >> 8) as usize % 3;
+            deltas.push(match r % 5 {
+                0 => ConfigDelta::LinkDown {
+                    link: ring.ring.links[slot],
+                },
+                1 => ConfigDelta::LinkUp {
+                    link: ring.ring.links[slot],
+                },
+                2 => ConfigDelta::OspfCostChange {
+                    device: ring.ring.routers[slot],
+                    link: ring.ring.links[slot],
+                    cost: 1 + ((r >> 16) % 100) as u32,
+                },
+                3 => ConfigDelta::StaticRouteAdd {
+                    device: ring.ring.routers[slot],
+                    route: StaticRoute::null(ring.destination)
+                        .with_distance(1 + ((r >> 16) % 200) as u8),
+                },
+                _ => ConfigDelta::StaticRouteRemove {
+                    device: ring.ring.routers[slot],
+                    prefix: ring.destination,
+                },
+            });
+        }
+        let verify = Request::Verify {
+            policy: PolicySpec::LoopFreedom,
+            options: Some(VerifyOptions {
+                restrict_prefixes: vec![ring.destination],
+                ..VerifyOptions::default()
+            }),
+        };
+        let report_bytes = |session: &ServiceSession| {
+            let Response::Report(summary) = session.handle(&verify) else {
+                panic!("storm verify failed");
+            };
+            session
+                .last_report(&summary.policy)
+                .expect("verified policy stored")
+                .normalized_json()
+        };
+
+        // One-at-a-time replay: what a non-streaming deployment pays to keep
+        // the network continuously verified through the storm. No-op deltas
+        // (downing a downed link) answer with an error and change nothing —
+        // the streaming path must converge to the same state regardless.
+        let sequential = ServiceSession::with_network(ring.network.clone());
+        sequential.handle(&verify);
+        let replay_start = Instant::now();
+        for delta in &deltas {
+            let _ = sequential.handle(&Request::ApplyDelta {
+                delta: delta.clone(),
+            });
+            sequential.handle(&verify);
+        }
+        let replay_time = replay_start.elapsed();
+        let replay_bytes = report_bytes(&sequential);
+
+        // Streaming: enqueue-acked bursts, coalesced and verified at
+        // bounded lag by the background drain (which re-verifies the
+        // registered policy after every batch), then a final flush + verify.
+        let streaming = Arc::new(ServiceSession::new().with_tuning(Tuning {
+            max_lag_deltas: Some(16),
+            max_lag_ms: Some(5),
+            ..Tuning::default()
+        }));
+        streaming.load(ring.network.clone());
+        streaming.handle(&verify);
+        let drain = streaming.start_streaming();
+        let stream_start = Instant::now();
+        for burst in deltas.chunks(8) {
+            let response = streaming.handle(&Request::ApplyDeltas {
+                deltas: burst.to_vec(),
+                ack: "enqueued".into(),
+            });
+            assert!(
+                matches!(response, Response::DeltasAccepted { .. }),
+                "storm burst refused: {response:?}"
+            );
+        }
+        drain.stop();
+        let stream_time = stream_start.elapsed();
+        let stream_bytes = report_bytes(&streaming);
+        let identical = stream_bytes == replay_bytes;
+        assert!(
+            identical,
+            "coalesced streaming storm diverged from sequential replay"
+        );
+
+        let stats = streaming.stats();
+        let replay_rate = count as f64 / replay_time.as_secs_f64().max(1e-9);
+        let stream_rate = count as f64 / stream_time.as_secs_f64().max(1e-9);
+        let speedup = stream_rate / replay_rate;
+        rows.push(
+            Row::new(format!("ring n=8 update_storm ({count} deltas)"))
+                .col("replay", format!("{replay_rate:.0}/s"))
+                .col("streaming", format!("{stream_rate:.0}/s"))
+                .col("speedup", format!("{speedup:.1}x"))
+                .col("coalesced", stats.deltas_coalesced)
+                .col("lag_p50_ms", format!("{:.2}", stats.verify_lag_p50_ms))
+                .col("lag_p99_ms", format!("{:.2}", stats.verify_lag_p99_ms)),
+        );
+        points.push(ServiceBenchPoint {
+            scenario: "ring n=8 update storm".into(),
+            delta: "update_storm".to_string(),
+            pecs_checked: 0,
+            pecs_reexplored: 0,
+            pecs_cached: 0,
+            tasks_rerun: 0,
+            tasks_cached: 0,
+            steps_reexplored: 0,
+            steps_cached: 0,
+            full_seconds: replay_time.as_secs_f64(),
+            incremental_seconds: stream_time.as_secs_f64(),
+            speedup,
+            identical,
+            deltas_per_sec: stream_rate,
+            lag_p50_ms: stats.verify_lag_p50_ms,
+            lag_p99_ms: stats.verify_lag_p99_ms,
+            coalesced: stats.deltas_coalesced,
         });
     }
 

@@ -98,6 +98,25 @@ pub struct AppliedDelta {
     pub pecs_total: usize,
 }
 
+/// The result of applying a coalesced batch of deltas in one rebuild
+/// ([`IncrementalVerifier::apply_deltas`]).
+pub struct AppliedBatch {
+    /// Per input delta, in order: `Ok` carries the advisory dirty info,
+    /// `Err` the apply error. An errored delta left the network unchanged —
+    /// exactly what sequential replay of the same sequence would have done.
+    pub outcomes: Vec<Result<AppliedDelta, DeltaError>>,
+    /// Number of deltas that applied (the `Ok` outcomes).
+    pub applied: usize,
+    /// Union advisory dirty set across applied deltas, mapped through the
+    /// post-batch partition.
+    pub pecs_touched: BTreeSet<PecId>,
+    /// Number of PECs in the post-batch partition.
+    pub pecs_total: usize,
+    /// The pinned post-batch analysis snapshot. Lagged verification runs
+    /// against exactly this `Arc`, immune to newer concurrent deltas.
+    pub snapshot: Arc<Plankton>,
+}
+
 impl Plankton {
     /// Like [`Plankton::verify`], but serves clean (PEC × failure-scenario)
     /// tasks from `cache` and re-executes only tasks whose content key
@@ -497,6 +516,106 @@ impl IncrementalVerifier {
             pecs_touched,
             pecs_total,
         })
+    }
+
+    /// Apply a whole batch of deltas in **one** analysis rebuild: one network
+    /// clone, every delta applied to it in order, one `Plankton::new`, one
+    /// snapshot swap. This is what makes streaming ingestion sustain high
+    /// delta rates — N queued updates cost one rebuild instead of N.
+    ///
+    /// A delta that fails to apply (e.g. [`DeltaError::NoOp`] from an
+    /// `[Up, Down]` pair coalesced to a no-op) is skipped and reported in its
+    /// slot: `apply` leaves the network unchanged on error, so skipping is
+    /// byte-identical to sequential one-at-a-time replay where the same
+    /// delta would have errored against the same state.
+    ///
+    /// The returned [`AppliedBatch::snapshot`] is the *pinned* post-batch
+    /// analysis: a lagged verification must run against exactly this `Arc`
+    /// (not [`IncrementalVerifier::snapshot`]) so that deltas landing during
+    /// the verification cannot tear the report it is attributed to.
+    pub fn apply_deltas(&self, deltas: &[ConfigDelta]) -> AppliedBatch {
+        let start = Instant::now();
+        let _serialize = self.mutate.lock();
+        let _ = plankton_faultinject::trigger("snapshot_swap");
+
+        let mut network = self.snapshot().network().clone();
+        let mut touches: Vec<(usize, &'static str, DeltaTouch)> = Vec::new();
+        let mut outcomes: Vec<Result<AppliedDelta, DeltaError>> = Vec::with_capacity(deltas.len());
+        for (index, delta) in deltas.iter().enumerate() {
+            match delta.apply(&mut network) {
+                Ok(touch) => {
+                    touches.push((index, delta.kind(), touch));
+                    // Placeholder; rewritten below once the post-batch
+                    // partition exists to map touches through.
+                    outcomes.push(Err(DeltaError::NoOp(String::new())));
+                }
+                Err(e) => outcomes.push(Err(e)),
+            }
+        }
+
+        let applied = touches.len();
+        let (snapshot, pecs_touched, pecs_total) = if applied == 0 {
+            // Nothing changed: keep the current snapshot, no rebuild.
+            let snapshot = self.snapshot();
+            let total = snapshot.pecs().len();
+            (snapshot, BTreeSet::new(), total)
+        } else {
+            let plankton = Arc::new(Plankton::new(network));
+            let mut union: BTreeSet<PecId> = BTreeSet::new();
+            for (index, kind, touch) in touches {
+                let pecs = pecs_touched_by(
+                    plankton.network(),
+                    plankton.pecs(),
+                    plankton.dependencies(),
+                    &touch,
+                );
+                union.extend(pecs.iter().copied());
+                outcomes[index] = Ok(AppliedDelta {
+                    kind,
+                    touch,
+                    pecs_touched: pecs,
+                    pecs_total: plankton.pecs().len(),
+                });
+            }
+            let total = plankton.pecs().len();
+            *self.snapshot.write() = plankton.clone();
+            self.deltas_applied
+                .fetch_add(applied as u64, Ordering::Relaxed);
+            (plankton, union, total)
+        };
+
+        let elapsed = start.elapsed().as_micros() as u64;
+        static BATCH_SECONDS: OnceLock<Arc<plankton_telemetry::Histogram>> = OnceLock::new();
+        let registry = plankton_telemetry::metrics::global();
+        BATCH_SECONDS
+            .get_or_init(|| {
+                registry.histogram(
+                    "plankton_delta_batch_seconds",
+                    "Batched delta apply end-to-end: one network clone + one \
+                     analysis rebuild + one snapshot swap for the whole batch.",
+                    plankton_telemetry::Unit::Micros,
+                )
+            })
+            .observe(elapsed);
+        trace::event(
+            Level::Info,
+            "delta_batch_applied",
+            &[
+                Field::u64("deltas", deltas.len() as u64),
+                Field::u64("applied", applied as u64),
+                Field::u64("skipped", (deltas.len() - applied) as u64),
+                Field::u64("pecs_touched", pecs_touched.len() as u64),
+                Field::u64("elapsed_us", elapsed),
+            ],
+        );
+
+        AppliedBatch {
+            outcomes,
+            applied,
+            pecs_touched,
+            pecs_total,
+            snapshot,
+        }
     }
 
     /// Verify through the session cache, against the snapshot current at

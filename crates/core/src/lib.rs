@@ -27,8 +27,11 @@ pub mod verifier;
 
 pub use cache::{CacheSnapshot, PolicyOutcome, ResultCache};
 pub use failures::{DeviceEquivalence, LinkEquivalenceClasses};
-pub use incremental::{AppliedDelta, IncrementalRunStats, IncrementalVerifier};
-pub use options::{PlanktonOptions, DEFAULT_SLOW_TASK_MICROS};
+pub use incremental::{AppliedBatch, AppliedDelta, IncrementalRunStats, IncrementalVerifier};
+pub use options::{
+    PlanktonOptions, Tuning, DEFAULT_MAX_LAG_DELTAS, DEFAULT_MAX_LAG_MS,
+    DEFAULT_MAX_PENDING_DELTAS, DEFAULT_SLOW_TASK_MICROS,
+};
 pub use outcome::{ConvergedRecord, PecOutcome};
 pub use report::{PhaseTimings, VerificationReport, Violation};
 pub use verifier::Plankton;

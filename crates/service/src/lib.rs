@@ -21,14 +21,22 @@
 //! post-delta network.
 
 pub mod proto;
+pub mod queue;
+#[cfg(unix)]
+pub mod readiness;
 pub mod serve;
 pub mod session;
 
 pub use proto::{
-    error_kind, DeltaSummary, DumpEvent, PolicySpec, Query, ReportSummary, Request, Response,
-    ServiceStats, TaskCostSummary, VerifyOptions, ViolationSummary,
+    error_kind, DeltaAck, DeltaAckMode, DeltaSummary, DumpEvent, LagSummary, PolicySpec, Query,
+    ReportSummary, Request, Response, ServiceStats, TaskCostSummary, VerifyOptions,
+    ViolationSummary, PROTO_FEATURES, PROTO_VERSION, PROTO_VERSION_MAJOR,
+};
+pub use queue::{
+    coalesce_batch, BatchFate, CoalescedBatch, Coalescer, DeltaQueue, LagSnapshot, PushError,
+    QueueCounters,
 };
 #[cfg(unix)]
 pub use serve::{connect_with_retry, serve_unix};
 pub use serve::{handle_line, handle_line_at, serve, ServeOptions};
-pub use session::ServiceSession;
+pub use session::{ServiceSession, StreamingHandle};

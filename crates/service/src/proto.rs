@@ -12,13 +12,56 @@
 //! session resolves them against the currently loaded topology.
 
 use plankton_config::{ConfigDelta, Network};
-use plankton_core::{IncrementalRunStats, PhaseTimings, VerificationReport, Violation};
+use plankton_core::{IncrementalRunStats, PhaseTimings, Tuning, VerificationReport, Violation};
 use plankton_net::ip::Prefix;
 use plankton_net::topology::NodeId;
 use plankton_policy::{
     BlackholeFreedom, BoundedPathLength, LoopFreedom, Policy, Reachability, Waypoint,
 };
 use serde::{Deserialize, Serialize};
+
+/// The protocol version answered by [`Response::Welcome`]. Major bumps mean
+/// incompatible changes (a client refusing an unknown major is correct);
+/// minor bumps are additive — v1 request lines parse unchanged under v2.
+pub const PROTO_VERSION: &str = "2.0";
+/// The major component of [`PROTO_VERSION`], for client-side refusal.
+pub const PROTO_VERSION_MAJOR: u64 = 2;
+/// Capabilities advertised by [`Response::Welcome`].
+pub const PROTO_FEATURES: [&str; 4] = ["streaming", "dump", "top", "persist"];
+
+/// How `ApplyDeltas` acknowledges: synchronously applied, or enqueued into
+/// the streaming queue for the bounded-lag drain. On the wire this is the
+/// `ack` string field: `"verified"` (the default) or `"enqueued"`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeltaAckMode {
+    /// Flush the queue, then apply this batch before responding: a
+    /// subsequent `Verify` is guaranteed to reflect every delta. This is
+    /// the previously *implicit* `ApplyDelta` contract, now explicit.
+    #[default]
+    Verified,
+    /// Coalesce into the streaming queue and return immediately; the
+    /// background drain applies and verifies within the lag bounds.
+    Enqueued,
+}
+
+impl DeltaAckMode {
+    /// Parse the wire string (empty = the `"verified"` default).
+    pub fn parse(s: &str) -> Option<DeltaAckMode> {
+        match s {
+            "" | "verified" => Some(DeltaAckMode::Verified),
+            "enqueued" => Some(DeltaAckMode::Enqueued),
+            _ => None,
+        }
+    }
+
+    /// The wire string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeltaAckMode::Verified => "verified",
+            DeltaAckMode::Enqueued => "enqueued",
+        }
+    }
+}
 
 /// Which policy to verify, with every parameter on the wire (the policy
 /// cache fingerprint is derived from this spec, so two specs that could
@@ -107,6 +150,12 @@ pub struct VerifyOptions {
     /// cached and never stored for queries.
     #[serde(default)]
     pub deadline_ms: u64,
+    /// The unified tuning surface ([`Tuning`]): any knob set here wins over
+    /// the daemon's CLI layer (request > CLI > default). The legacy `cores`
+    /// and `deadline_ms` fields above remain honored for v1 clients; a
+    /// knob set in both places resolves to `tuning`.
+    #[serde(default)]
+    pub tuning: Tuning,
 }
 
 /// Follow-up queries against the session's last results.
@@ -148,10 +197,28 @@ pub enum Request {
         #[serde(default)]
         options: Option<VerifyOptions>,
     },
-    /// Apply one configuration delta.
+    /// Capability handshake: answered with [`Response::Welcome`]. v1
+    /// clients never send it and are untouched; `planktonctl` sends it once
+    /// per connection and refuses an unknown major version.
+    Hello,
+    /// Apply one configuration delta, synchronously (kept as the
+    /// single-element alias of `ApplyDeltas {ack: "verified"}`; the
+    /// response stays [`Response::DeltaApplied`] for wire compatibility).
     ApplyDelta {
         /// The delta.
         delta: ConfigDelta,
+    },
+    /// Apply a batch of deltas. `ack: "verified"` (default) flushes the
+    /// streaming queue and applies the batch before responding;
+    /// `ack: "enqueued"` coalesces into the queue and returns immediately,
+    /// leaving verification to the bounded-lag background drain. Answered
+    /// with [`Response::DeltasAccepted`].
+    ApplyDeltas {
+        /// The deltas, applied in order (after coalescing).
+        deltas: Vec<ConfigDelta>,
+        /// `"verified"` (default) or `"enqueued"` — see [`DeltaAckMode`].
+        #[serde(default)]
+        ack: String,
     },
     /// Query stored results.
     Query {
@@ -199,7 +266,9 @@ impl Request {
         match self {
             Request::Load { .. } => "load",
             Request::Verify { .. } => "verify",
+            Request::Hello => "hello",
             Request::ApplyDelta { .. } => "apply_delta",
+            Request::ApplyDeltas { .. } => "apply_deltas",
             Request::Query { .. } => "query",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
@@ -344,6 +413,38 @@ pub struct DeltaSummary {
     pub pecs_total: usize,
 }
 
+/// One delta's fate inside a `DeltasAccepted` response, in request order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeltaAck {
+    /// The delta kind tag.
+    pub kind: String,
+    /// `"applied"` (took effect now), `"enqueued"` (pending in the
+    /// streaming queue), `"coalesced"` (folded into another pending delta —
+    /// its effect survives there), or `"rejected"` (apply error; the
+    /// network is unchanged by this delta).
+    pub status: String,
+    /// For `"rejected"`: the apply error.
+    #[serde(default)]
+    pub detail: String,
+}
+
+/// The streaming queue's lag picture at response time.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LagSummary {
+    /// Deltas pending in the queue (after coalescing).
+    #[serde(default)]
+    pub pending: u64,
+    /// Age of the oldest pending delta, milliseconds.
+    #[serde(default)]
+    pub oldest_ms: u64,
+    /// Median enqueue→verified lag over recent drains, milliseconds.
+    #[serde(default)]
+    pub p50_ms: f64,
+    /// 99th-percentile enqueue→verified lag over recent drains, milliseconds.
+    #[serde(default)]
+    pub p99_ms: f64,
+}
+
 /// Aggregate statistics of the running service.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ServiceStats {
@@ -402,6 +503,35 @@ pub struct ServiceStats {
     /// and degraded to a cold start instead of an error.
     #[serde(default)]
     pub cache_recoveries: u64,
+    /// Deltas pending in the streaming queue (after coalescing).
+    #[serde(default)]
+    pub queue_depth: u64,
+    /// Deltas ever accepted into the streaming queue.
+    #[serde(default)]
+    pub deltas_enqueued: u64,
+    /// Pending deltas coalesced away before verification (the work the
+    /// queue saved).
+    #[serde(default)]
+    pub deltas_coalesced: u64,
+    /// Deltas shed at the queue high-water mark (`--max-pending-deltas`).
+    #[serde(default)]
+    pub deltas_shed: u64,
+    /// Coalesced batches drained from the streaming queue.
+    #[serde(default)]
+    pub delta_batches: u64,
+    /// Largest drained batch.
+    #[serde(default)]
+    pub max_batch: u64,
+    /// Median enqueue→verified lag over recent drains, milliseconds.
+    #[serde(default)]
+    pub verify_lag_p50_ms: f64,
+    /// 99th-percentile enqueue→verified lag over recent drains, milliseconds.
+    #[serde(default)]
+    pub verify_lag_p99_ms: f64,
+    /// Policies the background drain re-verifies after each batch (every
+    /// policy a `Verify` request has run since load).
+    #[serde(default)]
+    pub streaming_policies: u64,
 }
 
 /// A response line.
@@ -428,10 +558,31 @@ pub enum Response {
         #[serde(default)]
         cache_warm_entries: usize,
     },
+    /// The capability handshake reply.
+    Welcome {
+        /// The protocol version ([`PROTO_VERSION`]), `"major.minor"`.
+        proto_version: String,
+        /// Advertised capabilities ([`PROTO_FEATURES`]).
+        features: Vec<String>,
+    },
     /// A verification finished.
     Report(ReportSummary),
     /// A delta was applied.
     DeltaApplied(DeltaSummary),
+    /// A delta batch was accepted (`ApplyDeltas`).
+    DeltasAccepted {
+        /// The ack mode that was honored (`"verified"` or `"enqueued"`).
+        ack: String,
+        /// Per-delta fates, in request order.
+        deltas: Vec<DeltaAck>,
+        /// Deltas coalesced away by this request (within the batch and
+        /// against already-pending deltas).
+        #[serde(default)]
+        coalesced: u64,
+        /// The queue's lag picture after this request.
+        #[serde(default)]
+        lag: LagSummary,
+    },
     /// Violations of a stored report.
     Violations {
         /// The policy report name.
@@ -613,6 +764,57 @@ mod tests {
         }
         let back: Request = serde_json::from_str(r#""Stats""#).unwrap();
         assert!(matches!(back, Request::Stats));
+    }
+
+    #[test]
+    fn hello_and_apply_deltas_roundtrip() {
+        let back: Request = serde_json::from_str(r#""Hello""#).unwrap();
+        assert!(matches!(back, Request::Hello));
+        assert_eq!(back.kind(), "hello");
+
+        // `ack` is serde-defaulted: a batch without it is synchronous.
+        let line = r#"{"ApplyDeltas": {"deltas": [{"LinkDown": {"link": 3}}]}}"#;
+        let back: Request = serde_json::from_str(line).unwrap();
+        let Request::ApplyDeltas { deltas, ack } = back else {
+            panic!("bad parse");
+        };
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(DeltaAckMode::parse(&ack), Some(DeltaAckMode::Verified));
+        assert_eq!(
+            DeltaAckMode::parse("enqueued"),
+            Some(DeltaAckMode::Enqueued)
+        );
+        assert_eq!(DeltaAckMode::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn v1_stats_and_options_still_parse_under_v2() {
+        // A v1 `Stats` payload (no streaming fields) deserializes with the
+        // new fields defaulted — old clients and old daemons interoperate.
+        let v1 = r#"{"loaded":true,"deltas_applied":2,"verifies":1,"cache_entries":0,
+                     "cache_hits":0,"cache_misses":0,"cache_evictions":0,
+                     "pecs_total":63,"uptime_ms":5}"#;
+        let stats: ServiceStats = serde_json::from_str(v1).unwrap();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.deltas_coalesced, 0);
+
+        // A v1 VerifyOptions without `tuning` gets the empty tuning layer.
+        let opts: VerifyOptions = serde_json::from_str(r#"{"max_failures":1}"#).unwrap();
+        assert!(opts.tuning.is_empty());
+        assert_eq!(opts.max_failures, 1);
+    }
+
+    #[test]
+    fn welcome_advertises_version_and_features() {
+        let welcome = Response::Welcome {
+            proto_version: PROTO_VERSION.to_string(),
+            features: PROTO_FEATURES.iter().map(|f| f.to_string()).collect(),
+        };
+        let line = welcome.to_line();
+        assert!(line.contains("2.0"));
+        assert!(line.contains("streaming"));
+        let major: u64 = PROTO_VERSION.split('.').next().unwrap().parse().unwrap();
+        assert_eq!(major, PROTO_VERSION_MAJOR);
     }
 
     #[test]

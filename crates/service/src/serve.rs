@@ -93,162 +93,366 @@ pub fn serve<R: BufRead, W: Write>(
 /// How the Unix-socket server runs.
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
-    /// Maximum concurrently served client connections; further connections
-    /// queue in the listener backlog until a serving thread finishes.
-    pub max_connections: usize,
+    /// Worker threads handling *ready* connections (`planktond --threads`).
+    /// The connection count itself is unbounded: connections are
+    /// readiness-multiplexed, so an idle client costs one fd, not a thread.
+    pub workers: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { max_connections: 4 }
+        ServeOptions { workers: 4 }
     }
 }
 
-/// Poll interval of the accept loop (it must notice the shutdown flag and
-/// freed connection slots without a dedicated wakeup channel).
-#[cfg(unix)]
-const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(10);
-
-/// Upper bound on one blocked response write. A client that stops reading
-/// stalls its serving thread at most this long (then the connection errors
-/// out), so a non-reading client can never wedge the shutdown drain.
+/// Upper bound on one response write. A client that stops reading stalls
+/// its worker at most this long (then the connection errors out), so a
+/// non-reading client can never wedge the worker pool or the shutdown
+/// drain.
 #[cfg(unix)]
 const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
 
-/// Bind a Unix socket and serve connections concurrently — one thread per
-/// connection, all sharing `session` (deltas applied through one connection
-/// are visible to every other: the whole point of a persistent daemon).
+/// Readiness-driven Unix-socket server state shared between the event loop
+/// and the worker pool.
+#[cfg(unix)]
+mod unix_server {
+    use super::*;
+    use crate::readiness::{Poller, TOKEN_FIRST_CONN, TOKEN_LISTENER};
+    use std::collections::{HashMap, VecDeque};
+    use std::io::Read;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Instant;
+
+    /// One live connection. Exactly one worker owns it at a time (its fd is
+    /// registered `EPOLLONESHOT`), so `state` is uncontended in practice —
+    /// the mutex is for the shutdown drain racing a worker.
+    struct Conn {
+        stream: UnixStream,
+        state: Mutex<ConnState>,
+    }
+
+    #[derive(Default)]
+    struct ConnState {
+        /// Bytes read but not yet terminated by a newline.
+        pending: Vec<u8>,
+        /// 1-based line position for parse-error attribution.
+        position: u64,
+    }
+
+    /// What a worker decided about a connection after pumping it.
+    enum Pump {
+        /// More may come: re-arm and wait.
+        KeepOpen,
+        /// EOF or connection error: deregister and drop.
+        Close,
+        /// The connection requested daemon shutdown (response already
+        /// written).
+        Shutdown,
+    }
+
+    /// Ready-connection tokens, fed by the event loop, drained by workers.
+    struct WorkQueue {
+        ready: Mutex<(VecDeque<u64>, bool)>,
+        available: Condvar,
+    }
+
+    impl WorkQueue {
+        fn new() -> WorkQueue {
+            WorkQueue {
+                ready: Mutex::new((VecDeque::new(), false)),
+                available: Condvar::new(),
+            }
+        }
+
+        fn push(&self, token: u64) {
+            let mut ready = self.ready.lock().unwrap();
+            if ready.1 {
+                return;
+            }
+            ready.0.push_back(token);
+            drop(ready);
+            self.available.notify_one();
+        }
+
+        fn pop(&self) -> Option<u64> {
+            let mut ready = self.ready.lock().unwrap();
+            loop {
+                if let Some(token) = ready.0.pop_front() {
+                    return Some(token);
+                }
+                if ready.1 {
+                    return None;
+                }
+                ready = self.available.wait(ready).unwrap();
+            }
+        }
+
+        fn stop(&self) {
+            self.ready.lock().unwrap().1 = true;
+            self.available.notify_all();
+        }
+    }
+
+    /// Write one response line to a nonblocking stream, bounded by
+    /// [`WRITE_TIMEOUT`].
+    fn write_line(stream: &UnixStream, line: &str) -> io::Result<()> {
+        // Failpoint: a failed/slow response write models a dead or stalled
+        // client socket — the connection errors out, the daemon survives.
+        plankton_faultinject::trigger("write")?;
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        let deadline = Instant::now() + WRITE_TIMEOUT;
+        let mut writer = stream;
+        let mut written = 0;
+        while written < bytes.len() {
+            match writer.write(&bytes[written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "client closed mid-response",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "client stopped reading; response write timed out",
+                        ));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain everything currently readable on `conn`, handling each
+    /// complete request line in arrival order (pipelined clients get their
+    /// responses strictly in request order: one worker owns the connection
+    /// for the whole pump).
+    fn pump(session: &ServiceSession, conn: &Conn) -> io::Result<Pump> {
+        let mut state = conn.state.lock().unwrap();
+        let mut chunk = [0u8; 16 * 1024];
+        let mut saw_eof = false;
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => state.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Handle every complete line gathered so far.
+        while let Some(end) = state.pending.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = state.pending.drain(..=end).collect();
+            state.position += 1;
+            let position = state.position;
+            let line = String::from_utf8_lossy(&line[..end]);
+            let (response, shutdown) = handle_line_at(session, &line, position);
+            if !response.is_empty() {
+                write_line(&conn.stream, &response)?;
+            }
+            if shutdown {
+                return Ok(Pump::Shutdown);
+            }
+        }
+        Ok(if saw_eof { Pump::Close } else { Pump::KeepOpen })
+    }
+
+    /// See [`serve_unix`].
+    pub fn run(
+        session: &ServiceSession,
+        path: &std::path::Path,
+        options: &ServeOptions,
+    ) -> io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        // The listener is level-triggered: it stays ready while the backlog
+        // is non-empty, so the event loop never misses queued connects.
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, false)?;
+        let shutdown = AtomicBool::new(false);
+        let conns: Mutex<HashMap<u64, Arc<Conn>>> = Mutex::new(HashMap::new());
+        let queue = WorkQueue::new();
+        let mut next_token = TOKEN_FIRST_CONN;
+
+        let result = std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..options.workers.max(1) {
+                let (queue, conns, poller) = (&queue, &conns, &poller);
+                let (session, shutdown) = (&session, &shutdown);
+                scope.spawn(move || {
+                    while let Some(token) = queue.pop() {
+                        let Some(conn) = conns.lock().unwrap().get(&token).cloned() else {
+                            continue;
+                        };
+                        // Contain a panicking pump: request-level panics are
+                        // already caught in `ServiceSession::handle`; this is
+                        // the backstop for the serve loop itself, so one bad
+                        // connection cannot abort the daemon via the scope
+                        // join.
+                        let verdict =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                pump(session, &conn)
+                            }));
+                        let close = match verdict {
+                            Ok(Ok(Pump::KeepOpen)) => {
+                                // Re-arm; a failure means the fd is already
+                                // gone, so fall through to closing it.
+                                poller.rearm(conn.stream.as_raw_fd(), token).is_err()
+                            }
+                            Ok(Ok(Pump::Close)) => true,
+                            Ok(Ok(Pump::Shutdown)) => {
+                                shutdown.store(true, Ordering::Relaxed);
+                                queue.stop();
+                                poller.wake();
+                                true
+                            }
+                            Ok(Err(e)) => {
+                                eprintln!("planktond: connection error: {e}");
+                                true
+                            }
+                            Err(_) => {
+                                eprintln!("planktond: connection handler panicked; dropped");
+                                true
+                            }
+                        };
+                        if close && conns.lock().unwrap().remove(&token).is_some() {
+                            let _ = poller.delete(conn.stream.as_raw_fd());
+                            session.connection_closed();
+                        }
+                    }
+                });
+            }
+
+            // Event loop: accept new connections, dispatch readable ones.
+            // It must *fall through* to the drain on any error — returning
+            // early would leave workers parked in `pop` and the scope join
+            // would hang.
+            let mut loop_error: Option<io::Error> = None;
+            let mut events = Vec::new();
+            while !shutdown.load(Ordering::Relaxed) {
+                if let Err(e) = poller.wait(&mut events, None) {
+                    loop_error = Some(e);
+                    break;
+                }
+                for event in &events {
+                    if event.token != TOKEN_LISTENER {
+                        queue.push(event.token);
+                        continue;
+                    }
+                    // Accept everything queued behind this readiness edge.
+                    loop {
+                        let stream = match listener.accept() {
+                            Ok((stream, _)) => stream,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            // Transient accept errors (signal delivery, a
+                            // client that reset before we picked up its
+                            // connection) must not take the daemon down.
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    io::ErrorKind::Interrupted
+                                        | io::ErrorKind::ConnectionAborted
+                                        | io::ErrorKind::ConnectionReset
+                                ) =>
+                            {
+                                let error = e.to_string();
+                                trace::event(
+                                    Level::Warn,
+                                    "accept_retry",
+                                    &[Field::str("error", &error)],
+                                );
+                                continue;
+                            }
+                            Err(e) => {
+                                loop_error = Some(e);
+                                break;
+                            }
+                        };
+                        // Per-connection setup; a failure (e.g. EMFILE under
+                        // fd pressure) drops only this connection.
+                        if let Err(e) = stream.set_nonblocking(true) {
+                            eprintln!("planktond: dropping connection (setup failed: {e})");
+                            continue;
+                        }
+                        let token = next_token;
+                        next_token += 1;
+                        let conn = Arc::new(Conn {
+                            stream,
+                            state: Mutex::new(ConnState::default()),
+                        });
+                        conns.lock().unwrap().insert(token, Arc::clone(&conn));
+                        if let Err(e) = poller.add(conn.stream.as_raw_fd(), token, true) {
+                            conns.lock().unwrap().remove(&token);
+                            eprintln!("planktond: dropping connection (register failed: {e})");
+                            continue;
+                        }
+                        session.connection_opened();
+                    }
+                    if loop_error.is_some() {
+                        break;
+                    }
+                }
+                if loop_error.is_some() {
+                    break;
+                }
+            }
+            // Stop the workers; the scope join below waits for each to
+            // finish the connection it is currently pumping (responses to
+            // requests already in flight are written, bounded by the write
+            // timeout).
+            queue.stop();
+            match loop_error {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        });
+        // Drain: every connection still open gets both sides shut down, so
+        // parked clients read EOF instead of hanging.
+        for (_, conn) in conns.lock().unwrap().drain() {
+            session.note_connection_drained();
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            session.connection_closed();
+        }
+        let _ = std::fs::remove_file(path);
+        result
+    }
+}
+
+/// Bind a Unix socket and serve connections concurrently, sharing one
+/// `session` (deltas applied through one connection are visible to every
+/// other: the whole point of a persistent daemon).
 ///
-/// Returns when a client sends `Shutdown`: the listener stops accepting,
-/// every other connection's read side is shut down so its serving thread
-/// finishes the request currently in flight (writing its response) and
-/// exits, and the scope join guarantees the drain completes before this
-/// function returns.
+/// Connections are *readiness-multiplexed* (epoll on Linux, `poll(2)`
+/// elsewhere — [`crate::readiness`]): idle connections are parked in the
+/// kernel at no per-connection thread cost, and a fixed worker pool
+/// ([`ServeOptions::workers`]) pumps whichever connections are readable.
+/// Connection fds are registered oneshot, so one worker owns a connection
+/// at a time and pipelined requests keep strict response order. Connection
+/// count may therefore dwarf `--threads`.
+///
+/// Returns when a client sends `Shutdown`: accepting stops, workers finish
+/// the connections they are pumping (writing those responses), and every
+/// remaining connection is shut down so parked clients read EOF.
 #[cfg(unix)]
 pub fn serve_unix(
     session: &ServiceSession,
     path: &std::path::Path,
     options: &ServeOptions,
 ) -> io::Result<()> {
-    use parking_lot::Mutex;
-    use std::os::unix::net::{UnixListener, UnixStream};
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
-    listener.set_nonblocking(true)?;
-    let shutdown = AtomicBool::new(false);
-    // Clones of every *live* connection keyed by connection id, so the
-    // drain can unblock threads parked in `read_line` (a `shutdown(Read)`
-    // turns their next read into EOF). Each serving thread removes its own
-    // entry on exit — a long-lived daemon must not accumulate one dead fd
-    // per past connection.
-    let live: Mutex<std::collections::HashMap<u64, UnixStream>> =
-        Mutex::new(std::collections::HashMap::new());
-    let max = options.max_connections.max(1) as u64;
-    let mut next_id: u64 = 0;
-
-    let result = std::thread::scope(|scope| -> io::Result<()> {
-        // The accept loop must *fall through* to the drain on any error:
-        // returning early would skip unblocking the serving threads parked
-        // in `read_line`, and the scope join would then hang forever on
-        // idle connections.
-        let mut accept_error: Option<io::Error> = None;
-        while !shutdown.load(Ordering::Relaxed) {
-            if session.connections_open() >= max {
-                // At the connection cap: let the backlog hold new clients
-                // until a serving thread frees a slot.
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-            let stream = match listener.accept() {
-                Ok((stream, _)) => stream,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
-                    continue;
-                }
-                // Transient accept errors (signal delivery, a client that
-                // reset before we picked up its connection) must not take
-                // the whole daemon down — log and keep accepting. Only
-                // errors that mean the listener itself is broken are fatal.
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::Interrupted
-                            | io::ErrorKind::ConnectionAborted
-                            | io::ErrorKind::ConnectionReset
-                    ) =>
-                {
-                    let error = e.to_string();
-                    trace::event(Level::Warn, "accept_retry", &[Field::str("error", &error)]);
-                    std::thread::sleep(ACCEPT_POLL);
-                    continue;
-                }
-                Err(e) => {
-                    accept_error = Some(e);
-                    break;
-                }
-            };
-            // Per-connection setup. A failure here (e.g. EMFILE under fd
-            // pressure) drops only this connection — the daemon keeps
-            // serving the others. The bounded write keeps both the drain
-            // and the thread pool safe from a client that stops reading:
-            // its serving thread errors out instead of blocking in
-            // `write_all` forever (a read-side shutdown cannot unblock a
-            // writer). Responsive clients drain the socket far faster.
-            let read_half = match stream
-                .set_write_timeout(Some(WRITE_TIMEOUT))
-                .and_then(|()| stream.try_clone())
-            {
-                Ok(clone) => clone,
-                Err(e) => {
-                    eprintln!("planktond: dropping connection (setup failed: {e})");
-                    continue;
-                }
-            };
-            let id = next_id;
-            next_id += 1;
-            live.lock().insert(id, read_half);
-            session.connection_opened();
-            let shutdown = &shutdown;
-            let session = &session;
-            let live = &live;
-            scope.spawn(move || {
-                let serve_one = || -> io::Result<bool> {
-                    let reader = io::BufReader::new(stream.try_clone()?);
-                    let mut writer = &stream;
-                    serve(session, reader, &mut writer)
-                };
-                // Contain a panicking serving thread: a panic escaping into
-                // the scope join would abort the whole daemon on drain, and
-                // would skip the slot/live-map cleanup below (leaking a
-                // connection slot forever). Request-level panics are already
-                // caught in `ServiceSession::handle`; this is the backstop
-                // for the serve loop itself.
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(serve_one)) {
-                    Ok(Ok(true)) => shutdown.store(true, Ordering::Relaxed),
-                    Ok(Ok(false)) => {}
-                    Ok(Err(e)) => eprintln!("planktond: connection error: {e}"),
-                    Err(_) => eprintln!("planktond: connection thread panicked; dropped"),
-                }
-                live.lock().remove(&id);
-                session.connection_closed();
-            });
-        }
-        // Drain: unblock every reader; the scope join below waits for each
-        // serving thread to write the response of its in-flight request
-        // (bounded by the write timeout above) and exit.
-        for stream in live.lock().values() {
-            session.note_connection_drained();
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
-        match accept_error {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
-    });
-    let _ = std::fs::remove_file(path);
-    result
+    unix_server::run(session, path, options)
 }
 
 /// Connect to a daemon socket, retrying with a short backoff until

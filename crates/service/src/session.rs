@@ -18,12 +18,14 @@
 //! daemon shutdown or an explicit `Persist` request.
 
 use crate::proto::{
-    error_kind, DeltaSummary, DumpEvent, PolicySpec, Query, ReportSummary, Request, Response,
-    ServiceStats, TaskCostSummary, VerifyOptions, ViolationSummary,
+    error_kind, DeltaAck, DeltaAckMode, DeltaSummary, DumpEvent, LagSummary, PolicySpec, Query,
+    ReportSummary, Request, Response, ServiceStats, TaskCostSummary, VerifyOptions,
+    ViolationSummary, PROTO_FEATURES, PROTO_VERSION,
 };
+use crate::queue::{coalesce_batch, BatchFate, DeltaQueue, PushError};
 use parking_lot::{Mutex, RwLock};
-use plankton_config::Network;
-use plankton_core::{IncrementalVerifier, Plankton, PlanktonOptions, VerificationReport};
+use plankton_config::{ConfigDelta, Network};
+use plankton_core::{IncrementalVerifier, Plankton, PlanktonOptions, Tuning, VerificationReport};
 use plankton_telemetry::trace::{self, Field, Level};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -125,6 +127,17 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 /// against.
 type SnapshotReport = (Arc<Plankton>, Arc<VerificationReport>);
 
+/// A policy the background drain re-verifies after each drained batch:
+/// every policy a `Verify` request has successfully run since load, with
+/// the request's effective options (minus its deadline — a streaming
+/// re-verify must not inherit a one-shot request's time budget).
+#[derive(Clone)]
+struct StreamingPolicy {
+    spec: PolicySpec,
+    options: PlanktonOptions,
+    max_failures: usize,
+}
+
 /// Server-side state behind the request loop(s).
 pub struct ServiceSession {
     verifier: RwLock<Option<Arc<IncrementalVerifier>>>,
@@ -154,10 +167,16 @@ pub struct ServiceSession {
     connections_drained: AtomicU64,
     /// Where the result cache is persisted across restarts, when configured.
     cache_dir: Option<PathBuf>,
-    /// Admission bound on concurrently running `Verify` requests (`None` =
-    /// unbounded). Excess verifies get a structured `overloaded` reply with
-    /// a retry hint instead of queuing behind each other unboundedly.
-    max_inflight: Option<u64>,
+    /// The CLI/default tuning layer ([`Tuning`]): admission bound, slow-task
+    /// threshold, streaming lag and queue bounds. A request's
+    /// `VerifyOptions::tuning` overlays this (request > CLI > default).
+    tuning: Tuning,
+    /// The streaming delta queue (`ApplyDeltas {ack: "enqueued"}`), drained
+    /// by [`ServiceSession::start_streaming`]'s background thread or
+    /// synchronously flushed by `Verify` / `ack: "verified"`.
+    queue: Arc<DeltaQueue>,
+    /// Policies the background drain re-verifies after each batch.
+    streaming_policies: Mutex<BTreeMap<String, StreamingPolicy>>,
     /// `Verify` requests currently inside the verifier.
     verifies_inflight: AtomicU64,
     /// Engine tasks that panicked and were contained (lifetime).
@@ -168,9 +187,6 @@ pub struct ServiceSession {
     deadline_exceeded: AtomicU64,
     /// Corrupt persisted-cache loads degraded to cold starts (lifetime).
     cache_recoveries: AtomicU64,
-    /// `slow_task` warn threshold forwarded to every verification
-    /// (`planktond --slow-task-ms`); `None` keeps the core default.
-    slow_task_micros: Option<u64>,
     started: Instant,
 }
 
@@ -196,13 +212,14 @@ impl ServiceSession {
             connections_served: AtomicU64::new(0),
             connections_drained: AtomicU64::new(0),
             cache_dir: None,
-            max_inflight: None,
+            tuning: Tuning::default(),
+            queue: Arc::new(DeltaQueue::new()),
+            streaming_policies: Mutex::new(BTreeMap::new()),
             verifies_inflight: AtomicU64::new(0),
             tasks_panicked: AtomicU64::new(0),
             requests_shed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             cache_recoveries: AtomicU64::new(0),
-            slow_task_micros: None,
             started: Instant::now(),
         }
     }
@@ -220,18 +237,35 @@ impl ServiceSession {
         self.cache_dir.as_deref()
     }
 
+    /// Install the session-level (CLI) tuning layer, builder-style. Knobs a
+    /// request sets in `VerifyOptions::tuning` overlay these.
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The session-level tuning layer.
+    pub fn tuning(&self) -> &Tuning {
+        &self.tuning
+    }
+
+    /// The streaming delta queue.
+    pub fn queue(&self) -> &DeltaQueue {
+        &self.queue
+    }
+
     /// Bound concurrently running `Verify` requests, builder-style
     /// (`planktond --max-inflight`). Excess verifies are shed with a
     /// structured `overloaded` reply carrying `retry_after_ms`.
     pub fn with_max_inflight(mut self, max: u64) -> Self {
-        self.max_inflight = Some(max);
+        self.tuning.max_inflight = Some(max);
         self
     }
 
     /// Set the `slow_task` warn threshold applied to every verification,
     /// builder-style (`planktond --slow-task-ms`).
     pub fn with_slow_task_threshold(mut self, threshold: Duration) -> Self {
-        self.slow_task_micros = Some(threshold.as_micros() as u64);
+        self.tuning.slow_task_ms = Some(threshold.as_millis() as u64);
         self
     }
 
@@ -320,6 +354,9 @@ impl ServiceSession {
         let snapshot = verifier.snapshot();
         *self.verifier.write() = Some(verifier);
         self.last_reports.lock().clear();
+        self.streaming_policies.lock().clear();
+        // Deltas enqueued against the replaced network are meaningless now.
+        self.queue.clear();
         Response::Loaded {
             devices,
             links,
@@ -423,6 +460,11 @@ impl ServiceSession {
                 self.load(network.clone())
             }
             Request::Verify { policy, options } => self.verify(policy, options.as_ref()),
+            Request::Hello => Response::Welcome {
+                proto_version: PROTO_VERSION.to_string(),
+                features: PROTO_FEATURES.iter().map(|f| f.to_string()).collect(),
+            },
+            Request::ApplyDeltas { deltas, ack } => self.apply_deltas(deltas, ack),
             Request::ApplyDelta { delta } => {
                 let _serialize = self.mutate.lock();
                 let Some(verifier) = self.verifier() else {
@@ -552,7 +594,7 @@ impl ServiceSession {
         }
         self.verifies_inflight.fetch_add(1, Ordering::Relaxed);
         let _inflight = InflightGuard(&self.verifies_inflight);
-        if let Some(max) = self.max_inflight {
+        if let Some(max) = self.tuning.max_inflight {
             if self.verifies_inflight.load(Ordering::Relaxed) > max {
                 self.requests_shed.fetch_add(1, Ordering::Relaxed);
                 service_metrics().requests_shed.inc();
@@ -570,6 +612,9 @@ impl ServiceSession {
         let Some(verifier) = self.verifier() else {
             return Response::error("no network loaded");
         };
+        // Read-your-writes: everything the client enqueued before this
+        // verify is applied first (an empty queue makes this a no-op).
+        self.flush_queue(&verifier);
         // Pin the snapshot for name resolution *and* verification: a delta
         // landing between the two must not tear this request.
         let snapshot = verifier.snapshot();
@@ -579,20 +624,25 @@ impl ServiceSession {
         };
         let defaults = VerifyOptions::default();
         let opts = options.unwrap_or(&defaults);
-        let mut plankton_options = PlanktonOptions::with_cores(opts.cores.max(1));
+        // One precedence order for every knob: the request's `tuning`
+        // overlays its own legacy fields (v1 `cores`/`deadline_ms`), which
+        // overlay the session (CLI) layer; whatever is still unset falls
+        // through to the defaults baked into PlanktonOptions.
+        let legacy = Tuning {
+            cores: (opts.cores > 0).then_some(opts.cores as u64),
+            deadline_ms: (opts.deadline_ms > 0).then_some(opts.deadline_ms),
+            ..Default::default()
+        };
+        let effective = opts.tuning.overlaid_on(&legacy).overlaid_on(&self.tuning);
+        let mut plankton_options = PlanktonOptions::default();
         if !opts.restrict_prefixes.is_empty() {
             plankton_options = plankton_options.restricted_to(opts.restrict_prefixes.clone());
         }
         if !opts.stop_at_first {
             plankton_options = plankton_options.collect_all_violations();
         }
-        if opts.deadline_ms > 0 {
-            plankton_options =
-                plankton_options.with_deadline(Duration::from_millis(opts.deadline_ms));
-        }
-        if let Some(micros) = self.slow_task_micros {
-            plankton_options.slow_task_micros = micros;
-        }
+        effective.apply_to(&mut plankton_options);
+        let deadline_ms = effective.deadline_ms.unwrap_or(0);
         let scenario = plankton_net::failure::FailureScenario::up_to(opts.max_failures);
         // The failure environment is keyed per task (each task's effective
         // failure set is in its content key), so `max_failures` stays out of
@@ -646,13 +696,13 @@ impl ServiceSession {
             trace::event(
                 Level::Warn,
                 "verify_deadline_exceeded",
-                &[Field::u64("deadline_ms", opts.deadline_ms)],
+                &[Field::u64("deadline_ms", deadline_ms)],
             );
             return Response::error_kind(
                 error_kind::DEADLINE_EXCEEDED,
                 format!(
-                    "verification exceeded its {}ms deadline; partial results were not served",
-                    opts.deadline_ms
+                    "verification exceeded its {deadline_ms}ms deadline; \
+                     partial results were not served"
                 ),
             );
         }
@@ -660,7 +710,276 @@ impl ServiceSession {
         self.last_reports
             .lock()
             .insert(report.policy.clone(), (snapshot, Arc::new(report)));
+        // Register for streaming: the background drain re-verifies this
+        // policy after every drained batch, with the same effective options
+        // minus the deadline (a one-shot time budget must not recur).
+        let mut streaming_options = plankton_options.clone();
+        streaming_options.deadline = None;
+        self.streaming_policies.lock().insert(
+            summary.policy.clone(),
+            StreamingPolicy {
+                spec: spec.clone(),
+                options: streaming_options,
+                max_failures: opts.max_failures,
+            },
+        );
         Response::Report(summary)
+    }
+
+    /// Handle `ApplyDeltas {deltas, ack}` — the batched v2 delta surface.
+    fn apply_deltas(&self, deltas: &[ConfigDelta], ack: &str) -> Response {
+        let Some(mode) = DeltaAckMode::parse(ack) else {
+            return Response::error(format!(
+                "unknown ack mode {ack:?} (use \"verified\" or \"enqueued\")"
+            ));
+        };
+        if deltas.is_empty() {
+            return Response::DeltasAccepted {
+                ack: mode.as_str().to_string(),
+                deltas: Vec::new(),
+                coalesced: 0,
+                lag: self.lag_summary(),
+            };
+        }
+        match mode {
+            DeltaAckMode::Enqueued => self.enqueue_deltas(deltas),
+            DeltaAckMode::Verified => self.apply_deltas_now(deltas),
+        }
+    }
+
+    /// `ack: "enqueued"`: append to the streaming queue and return without
+    /// waiting for the rebuild. Backpressure: at the high-water mark the
+    /// whole request is refused with the `overloaded + retry_after_ms`
+    /// contract (nothing past the shed point is enqueued).
+    fn enqueue_deltas(&self, deltas: &[ConfigDelta]) -> Response {
+        if self.verifier().is_none() {
+            return Response::error("no network loaded");
+        }
+        let high_water = self.tuning.effective_max_pending_deltas();
+        let mut acks = Vec::with_capacity(deltas.len());
+        let mut coalesced = 0u64;
+        for delta in deltas {
+            match self.queue.push(delta.clone(), high_water) {
+                Ok(folded) => {
+                    coalesced += folded;
+                    acks.push(DeltaAck {
+                        kind: delta.kind().to_string(),
+                        status: if folded > 0 { "coalesced" } else { "enqueued" }.to_string(),
+                        detail: if folded > 0 {
+                            format!("folded {folded} pending delta(s)")
+                        } else {
+                            String::new()
+                        },
+                    });
+                }
+                Err(PushError::HighWater) => {
+                    let retry = self.tuning.effective_max_lag_ms().max(SHED_RETRY_AFTER_MS);
+                    trace::event(
+                        Level::Warn,
+                        "deltas_shed",
+                        &[Field::u64("high_water", high_water)],
+                    );
+                    return Response::overloaded(
+                        format!(
+                            "delta queue at high water ({high_water} pending); \
+                             {} of {} deltas enqueued, retry the rest later",
+                            acks.len(),
+                            deltas.len()
+                        ),
+                        retry,
+                    );
+                }
+                Err(PushError::Stopped) => {
+                    return Response::error("daemon shutting down; delta queue stopped");
+                }
+            }
+        }
+        Response::DeltasAccepted {
+            ack: "enqueued".to_string(),
+            deltas: acks,
+            coalesced,
+            lag: self.lag_summary(),
+        }
+    }
+
+    /// `ack: "verified"`: flush anything already pending (read-your-writes),
+    /// coalesce the request's own batch, and apply it in one analysis
+    /// rebuild before replying — per-delta acks report `applied`,
+    /// `coalesced` or `rejected` (a rejected delta, e.g. a no-op, leaves the
+    /// network unchanged exactly as sequential replay would).
+    fn apply_deltas_now(&self, deltas: &[ConfigDelta]) -> Response {
+        let _serialize = self.mutate.lock();
+        let Some(verifier) = self.verifier() else {
+            return Response::error("no network loaded");
+        };
+        self.flush_queue_locked(&verifier);
+        let batch = coalesce_batch(deltas.to_vec());
+        let outcome = verifier.apply_deltas(&batch.deltas);
+        self.last_reports.lock().clear();
+        let acks = deltas
+            .iter()
+            .zip(&batch.fates)
+            .map(|(delta, fate)| match fate {
+                BatchFate::Coalesced => DeltaAck {
+                    kind: delta.kind().to_string(),
+                    status: "coalesced".to_string(),
+                    detail: String::new(),
+                },
+                BatchFate::Survivor { output } => match &outcome.outcomes[*output] {
+                    Ok(applied) => DeltaAck {
+                        kind: applied.kind.to_string(),
+                        status: "applied".to_string(),
+                        detail: format!(
+                            "{} of {} PECs touched",
+                            applied.pecs_touched.len(),
+                            applied.pecs_total
+                        ),
+                    },
+                    Err(e) => DeltaAck {
+                        kind: delta.kind().to_string(),
+                        status: "rejected".to_string(),
+                        detail: e.to_string(),
+                    },
+                },
+            })
+            .collect();
+        Response::DeltasAccepted {
+            ack: "verified".to_string(),
+            deltas: acks,
+            coalesced: batch.coalesced,
+            lag: self.lag_summary(),
+        }
+    }
+
+    /// Apply everything pending in the streaming queue, serialized against
+    /// other mutations. Called by `Verify` (read-your-writes: a verify must
+    /// observe every delta the client enqueued before it).
+    fn flush_queue(&self, verifier: &Arc<IncrementalVerifier>) {
+        if self.queue.depth() == 0 {
+            return;
+        }
+        let _serialize = self.mutate.lock();
+        self.flush_queue_locked(verifier);
+    }
+
+    /// The mutate-lock-held flush body ([`Mutex`] here is not reentrant, so
+    /// paths already holding the lock call this directly).
+    fn flush_queue_locked(&self, verifier: &IncrementalVerifier) {
+        let start = Instant::now();
+        let batch = self.queue.take_all();
+        if batch.is_empty() {
+            return;
+        }
+        let (deltas, enqueued): (Vec<_>, Vec<_>) = batch.into_iter().unzip();
+        let _ = verifier.apply_deltas(&deltas);
+        self.last_reports.lock().clear();
+        // Lag is enqueue→applied here; the caller's verify completes against
+        // the flushed snapshot immediately after.
+        self.queue.record_drain(&enqueued, start.elapsed());
+    }
+
+    /// Pending/oldest/percentile lag figures for `DeltasAccepted` replies.
+    fn lag_summary(&self) -> LagSummary {
+        let lag = self.queue.lag();
+        LagSummary {
+            pending: self.queue.depth(),
+            oldest_ms: self
+                .queue
+                .oldest_age()
+                .map(|age| age.as_millis() as u64)
+                .unwrap_or(0),
+            p50_ms: lag.p50_micros as f64 / 1_000.0,
+            p99_ms: lag.p99_micros as f64 / 1_000.0,
+        }
+    }
+
+    /// Drain everything pending in the streaming queue: apply it in one
+    /// rebuild, then re-verify every registered streaming policy against
+    /// the pinned post-batch snapshot so follow-up queries keep getting
+    /// served. The take happens *under* the mutate lock — a concurrent
+    /// `Verify` flush therefore either applies these deltas itself (and
+    /// this drain takes an empty batch) or waits and pins the post-batch
+    /// snapshot; a signalled batch can never fall between a flush and its
+    /// pinned snapshot. Verification runs off the lock — a delta landing
+    /// mid-verify just means the stored report fails its snapshot-identity
+    /// check and is refreshed on the next drain.
+    fn drain_pending(&self) {
+        let start = Instant::now();
+        let guard = self.mutate.lock();
+        let batch = self.queue.take_all();
+        if batch.is_empty() {
+            return;
+        }
+        let (deltas, enqueued): (Vec<_>, Vec<_>) = batch.into_iter().unzip();
+        let Some(verifier) = self.verifier() else {
+            return; // Load raced the drain; its queue.clear() owns cleanup.
+        };
+        let outcome = verifier.apply_deltas(&deltas);
+        self.last_reports.lock().clear();
+        drop(guard);
+        let snapshot = outcome.snapshot.clone();
+        let policies: Vec<StreamingPolicy> =
+            self.streaming_policies.lock().values().cloned().collect();
+        let mut reverified = 0u64;
+        for streaming in &policies {
+            // A policy can stop building after a structural delta (e.g. its
+            // device was removed); it is skipped, not fatal.
+            let Ok(policy) = streaming.spec.build(snapshot.network()) else {
+                continue;
+            };
+            let scenario = plankton_net::failure::FailureScenario::up_to(streaming.max_failures);
+            let (report, _run) = snapshot.verify_with_cache(
+                policy.as_ref(),
+                streaming.spec.fingerprint(),
+                &scenario,
+                &streaming.options,
+                verifier.cache(),
+            );
+            if let Some(engine) = &report.engine {
+                if engine.tasks_panicked > 0 {
+                    continue;
+                }
+            }
+            reverified += 1;
+            self.last_reports
+                .lock()
+                .insert(report.policy.clone(), (snapshot.clone(), Arc::new(report)));
+        }
+        self.queue.record_drain(&enqueued, start.elapsed());
+        trace::event(
+            Level::Info,
+            "stream_drain",
+            &[
+                Field::u64("batch", deltas.len() as u64),
+                Field::u64("applied", outcome.applied as u64),
+                Field::u64("policies_reverified", reverified),
+                Field::u64("elapsed_us", start.elapsed().as_micros() as u64),
+            ],
+        );
+    }
+
+    /// Start the background drain thread enforcing the bounded-lag contract:
+    /// it wakes when `max_lag_deltas` deltas are pending or the oldest
+    /// pending delta is `max_lag_ms` old (session tuning), drains the whole
+    /// coalesced batch in one rebuild, and re-verifies streaming policies.
+    /// Dropping (or `stop`ping) the handle drains what is left and joins.
+    pub fn start_streaming(self: &Arc<Self>) -> StreamingHandle {
+        let session = Arc::clone(self);
+        let max_lag_deltas = self.tuning.effective_max_lag_deltas();
+        let max_lag = Duration::from_millis(self.tuning.effective_max_lag_ms());
+        let queue = Arc::clone(&self.queue);
+        let thread = std::thread::Builder::new()
+            .name("plankton-drain".into())
+            .spawn(move || {
+                while session.queue.wait_drain_needed(max_lag_deltas, max_lag) {
+                    session.drain_pending();
+                }
+            })
+            .expect("spawn streaming drain thread");
+        StreamingHandle {
+            queue,
+            thread: Some(thread),
+        }
     }
 
     fn query(&self, query: &Query) -> Response {
@@ -732,6 +1051,17 @@ impl ServiceSession {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             ..Default::default()
         };
+        let counters = self.queue.counters();
+        let lag = self.queue.lag();
+        stats.queue_depth = counters.depth;
+        stats.deltas_enqueued = counters.enqueued;
+        stats.deltas_coalesced = counters.coalesced;
+        stats.deltas_shed = counters.shed;
+        stats.delta_batches = counters.batches;
+        stats.max_batch = counters.max_batch;
+        stats.verify_lag_p50_ms = lag.p50_micros as f64 / 1_000.0;
+        stats.verify_lag_p99_ms = lag.p99_micros as f64 / 1_000.0;
+        stats.streaming_policies = self.streaming_policies.lock().len() as u64;
         if let Some(v) = verifier {
             stats.deltas_applied = v.deltas_applied();
             stats.cache_entries = v.cache().len();
@@ -770,5 +1100,34 @@ impl ServiceSession {
             .values()
             .filter(|(of, _)| Arc::ptr_eq(of, &current))
             .all(|(_, r)| !r.violations.iter().any(|v| v.pec == pec))
+    }
+}
+
+/// Owner of the background drain thread started by
+/// [`ServiceSession::start_streaming`]. `stop` (or dropping the handle)
+/// stops the queue — pending deltas get one final drain, pushes start
+/// failing with [`PushError::Stopped`] — and joins the thread.
+pub struct StreamingHandle {
+    queue: Arc<DeltaQueue>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StreamingHandle {
+    /// Stop the drain: final-drain what is pending, then join.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.queue.stop();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for StreamingHandle {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }

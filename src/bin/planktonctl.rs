@@ -172,6 +172,42 @@ fn main() {
     let receive = |reader: &mut BufReader<std::os::unix::net::UnixStream>| {
         print!("{}", read_response(reader));
     };
+
+    // v2 handshake, once per connection: the daemon advertises its protocol
+    // version and feature set. A major version this client does not know
+    // means the wire format may have changed incompatibly — refuse rather
+    // than mis-parse responses. An `Error` reply means a pre-handshake (v1)
+    // daemon; v1 requests still work, so warn and continue.
+    send(&mut writer, "\"Hello\"");
+    let hello_response = read_response(&mut reader);
+    match serde_json::from_str::<plankton_service::Response>(&hello_response) {
+        Ok(plankton_service::Response::Welcome { proto_version, .. }) => {
+            let major = proto_version
+                .split('.')
+                .next()
+                .and_then(|m| m.parse::<u64>().ok());
+            if major != Some(plankton_service::PROTO_VERSION_MAJOR) {
+                eprintln!(
+                    "planktonctl: daemon speaks protocol {proto_version}, this client speaks {} — refusing",
+                    plankton_service::PROTO_VERSION
+                );
+                exit(1);
+            }
+        }
+        Ok(plankton_service::Response::Error { .. }) => {
+            eprintln!(
+                "planktonctl: daemon predates the Hello handshake; continuing with v1 requests"
+            );
+        }
+        Ok(other) => {
+            eprintln!("planktonctl: unexpected handshake response: {other:?}");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("planktonctl: bad handshake response: {e}");
+            exit(1);
+        }
+    }
     // Lockstep paths retry a shed request (`overloaded` from planktond
     // --max-inflight) with the daemon's own retry hint, bounded by
     // --timeout — transient overload looks like a slow response, not a

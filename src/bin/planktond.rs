@@ -2,11 +2,12 @@
 //!
 //! Accepts a network once (from a config file, a built-in scenario, or a
 //! `Load` request), then serves a stream of newline-delimited JSON requests:
-//! `Verify`, `ApplyDelta`, `Query`, `Stats`, `Persist`, `Shutdown`.
-//! Re-verification after a delta re-explores only the PECs the delta
-//! dirtied; everything else is served from the content-addressed result
-//! cache. With `--socket` the daemon serves concurrent client connections
-//! (thread per connection over one shared session); with `--cache-dir` the
+//! `Verify`, `ApplyDelta`, `ApplyDeltas`, `Query`, `Stats`, `Persist`,
+//! `Shutdown`. Re-verification after a delta re-explores only the PECs the
+//! delta dirtied; everything else is served from the content-addressed
+//! result cache. With `--socket` the daemon serves concurrent client
+//! connections (readiness-multiplexed over one shared session: unbounded
+//! connections, `--threads` workers); with `--cache-dir` the
 //! result cache is persisted on shutdown (and on `Persist`) and
 //! warm-started on the next run, so a restarted daemon re-verifies an
 //! unchanged network entirely from cache.
@@ -27,7 +28,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n            [--max-inflight <N>] [--slow-task-ms <N>]\n            [--recorder-capacity <N>]\n            [--log-json <file.jsonl>] [--log-level <error|warn|info|debug|trace>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket (concurrent connections sharing\none session; --threads caps them, default 4). With --cache-dir the result\ncache is persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request.\n\n--max-inflight bounds concurrently running Verify requests: excess\nverifies get a structured `overloaded` error with a retry_after_ms hint\ninstead of queuing (planktonctl retries these automatically).\n\n--slow-task-ms sets the slow_task warn threshold (default 250).\n--recorder-capacity sizes the in-memory flight recorder serving `Dump`\nrequests (default 2048 events; 0 disables it).\n\n--log-json appends every trace event as one JSON line to the given file;\n--log-level pretty-prints events at or above the level to stderr.\n\nFault injection for chaos testing: set PLANKTON_FAILPOINTS, e.g.\nPLANKTON_FAILPOINTS='task=panic*1,cache_save=io_err' (see README)."
+        "usage:\n  planktond [--config <file.json> | --scenario <ring:N|fat-tree:K|ibgp:ASN>]\n            [--socket <path>] [--threads <N>] [--cache-dir <dir>]\n            [--max-inflight <N>] [--slow-task-ms <N>]\n            [--max-lag-deltas <N>] [--max-lag-ms <N>] [--max-pending-deltas <N>]\n            [--recorder-capacity <N>]\n            [--log-json <file.jsonl>] [--log-level <error|warn|info|debug|trace>]\n\nWithout --socket the daemon serves newline-delimited JSON requests on\nstdin/stdout; with it, on a Unix socket. Connections are readiness-\nmultiplexed: the count is unbounded, --threads sizes the worker pool\npumping ready connections (default 4). With --cache-dir the result cache\nis persisted on shutdown and warm-started on the next run. Without\n--config/--scenario, start with a `Load` request.\n\n--max-inflight bounds concurrently running Verify requests: excess\nverifies get a structured `overloaded` error with a retry_after_ms hint\ninstead of queuing (planktonctl retries these automatically).\n\nStreaming deltas (`ApplyDeltas {{ack: \"enqueued\"}}`) queue, coalesce, and\nare verified at bounded lag by a background drain: --max-lag-deltas (64)\nand --max-lag-ms (50) bound how many deltas / how long a delta may wait\nbefore the batch is applied; --max-pending-deltas (4096) is the queue\nhigh-water mark past which new deltas are shed with `overloaded`.\n\n--slow-task-ms sets the slow_task warn threshold (default 250).\n--recorder-capacity sizes the in-memory flight recorder serving `Dump`\nrequests (default 2048 events; 0 disables it).\n\n--log-json appends every trace event as one JSON line to the given file;\n--log-level pretty-prints events at or above the level to stderr.\n\nFault injection for chaos testing: set PLANKTON_FAILPOINTS, e.g.\nPLANKTON_FAILPOINTS='task=panic*1,cache_save=io_err' (see README)."
     );
     exit(2);
 }
@@ -60,10 +61,9 @@ fn main() {
     let mut cache_dir: Option<String> = None;
     let mut log_json: Option<String> = None;
     let mut log_level: Option<String> = None;
-    let mut max_inflight: Option<u64> = None;
-    let mut slow_task_ms: Option<u64> = None;
+    let mut tuning = plankton::core::Tuning::default();
     let mut recorder_capacity: usize = plankton_telemetry::recorder::DEFAULT_CAPACITY;
-    let mut threads: usize = ServeOptions::default().max_connections;
+    let mut threads: usize = ServeOptions::default().workers;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -81,10 +81,19 @@ fn main() {
                 }
             }
             "--max-inflight" => {
-                max_inflight = Some(value().parse().unwrap_or_else(|_| usage()));
+                tuning.max_inflight = Some(value().parse().unwrap_or_else(|_| usage()));
             }
             "--slow-task-ms" => {
-                slow_task_ms = Some(value().parse().unwrap_or_else(|_| usage()));
+                tuning.slow_task_ms = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-lag-deltas" => {
+                tuning.max_lag_deltas = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-lag-ms" => {
+                tuning.max_lag_ms = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-pending-deltas" => {
+                tuning.max_pending_deltas = Some(value().parse().unwrap_or_else(|_| usage()));
             }
             "--recorder-capacity" => {
                 recorder_capacity = value().parse().unwrap_or_else(|_| usage());
@@ -111,15 +120,9 @@ fn main() {
         plankton_telemetry::trace::init_stderr(level);
     }
 
-    let mut session = ServiceSession::new();
+    let mut session = ServiceSession::new().with_tuning(tuning);
     if let Some(dir) = &cache_dir {
         session = session.with_cache_dir(dir);
-    }
-    if let Some(max) = max_inflight {
-        session = session.with_max_inflight(max);
-    }
-    if let Some(ms) = slow_task_ms {
-        session = session.with_slow_task_threshold(std::time::Duration::from_millis(ms));
     }
     if let Some(path) = &config {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -141,14 +144,18 @@ fn main() {
         eprintln!("planktond: loaded built-in scenario {spec}");
     }
 
+    // The background drain enforcing the bounded-lag contract for
+    // `ApplyDeltas {ack: "enqueued"}`; stopping it (below) drains whatever
+    // is still queued before the daemon persists and exits.
+    let session = std::sync::Arc::new(session);
+    let streaming = session.start_streaming();
+
     match socket {
         Some(path) => {
             #[cfg(unix)]
             {
-                eprintln!("planktond: listening on {path} ({threads} connection threads)");
-                let options = ServeOptions {
-                    max_connections: threads,
-                };
+                eprintln!("planktond: listening on {path} ({threads} worker threads)");
+                let options = ServeOptions { workers: threads };
                 if let Err(e) = plankton_service::serve_unix(&session, path.as_ref(), &options) {
                     eprintln!("planktond: socket error: {e}");
                     exit(1);
@@ -171,6 +178,10 @@ fn main() {
             let _ = stdout.flush();
         }
     }
+
+    // Final drain: enqueued-but-unverified deltas are applied before the
+    // cache is persisted, so nothing acknowledged is lost at shutdown.
+    streaming.stop();
 
     // Persist the cache at exit (shutdown request or end of stream) so the
     // next daemon warm-starts. An explicit `Persist` request does the same

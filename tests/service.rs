@@ -533,8 +533,7 @@ fn concurrent_client_soak_matches_single_threaded_oracles() {
     let timeout = Duration::from_secs(30);
     std::thread::scope(|scope| {
         let server = scope.spawn(|| {
-            plankton::service::serve_unix(&session, &path, &ServeOptions { max_connections: 8 })
-                .unwrap()
+            plankton::service::serve_unix(&session, &path, &ServeOptions { workers: 8 }).unwrap()
         });
         let readers: Vec<_> = (0..3)
             .map(|_| {
