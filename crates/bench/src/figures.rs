@@ -1049,6 +1049,70 @@ pub struct CheckerBenchPoint {
     pub undo_depth_max: u64,
 }
 
+/// Time `reps` identical verifications through both explorers (best of
+/// `iterations` batches, so the wall clock is well above timer noise even on
+/// small workloads), assert the two searches did identical work, and append
+/// a printed row plus a JSON point.
+#[allow(clippy::too_many_arguments)]
+fn checker_measure(
+    iterations: usize,
+    label: String,
+    reps: usize,
+    plankton: &Plankton,
+    policy: &dyn plankton_policy::Policy,
+    scenario: &FailureScenario,
+    options: &PlanktonOptions,
+    rows: &mut Vec<Row>,
+    points: &mut Vec<CheckerBenchPoint>,
+) {
+    let timed_best = |options: &PlanktonOptions| {
+        let mut best: Option<(Duration, _)> = None;
+        for _ in 0..iterations {
+            let (report, elapsed) = time(|| {
+                let mut last = None;
+                for _ in 0..reps {
+                    last = Some(plankton.verify(policy, scenario, options));
+                }
+                last.expect("at least one rep")
+            });
+            if best.as_ref().map(|(t, _)| elapsed < *t).unwrap_or(true) {
+                best = Some((elapsed, report));
+            }
+        }
+        best.expect("at least one iteration")
+    };
+    let (ref_time, ref_report) = timed_best(&options.clone().with_reference_explorer());
+    let (inc_time, inc_report) = timed_best(options);
+    assert_eq!(
+        inc_report.stats.without_incremental_counters(),
+        ref_report.stats,
+        "the two explorers must do identical search work on {label}"
+    );
+    let steps = inc_report.stats.steps * reps as u64;
+    let ref_sps = steps as f64 / ref_time.as_secs_f64().max(1e-9);
+    let inc_sps = steps as f64 / inc_time.as_secs_f64().max(1e-9);
+    let speedup = inc_sps / ref_sps.max(1e-9);
+    rows.push(
+        Row::new(label.clone())
+            .col("steps", steps)
+            .col("reference", secs(ref_time))
+            .col("incremental", secs(inc_time))
+            .col("steps_per_sec", format!("{inc_sps:.0}"))
+            .col("speedup", format!("{speedup:.2}x")),
+    );
+    points.push(CheckerBenchPoint {
+        scenario: label,
+        steps,
+        reference_seconds: ref_time.as_secs_f64(),
+        incremental_seconds: inc_time.as_secs_f64(),
+        reference_steps_per_sec: ref_sps,
+        incremental_steps_per_sec: inc_sps,
+        speedup,
+        enabled_recomputed_nodes: inc_report.stats.enabled_recomputed_nodes,
+        undo_depth_max: inc_report.stats.undo_depth_max,
+    });
+}
+
 /// Checker inner-loop benchmark: single-core steps/sec of the incremental
 /// explorer vs the pre-incremental reference, on the fat-tree reachability
 /// scenario (the acceptance workload) plus a branching-heavy BGP waypoint
@@ -1057,61 +1121,15 @@ pub fn checker_bench(quick: bool) -> FigureResult {
     let iterations = if quick { 1 } else { 3 };
     let mut rows = Vec::new();
     let mut points: Vec<CheckerBenchPoint> = Vec::new();
-
-    // Each measurement times a batch of `reps` identical verifications so
-    // the wall clock is well above timer noise even on small workloads.
     let mut measure = |label: String,
                        reps: usize,
                        plankton: &Plankton,
                        policy: &dyn plankton_policy::Policy,
                        scenario: &FailureScenario,
                        options: &PlanktonOptions| {
-        let timed_best = |options: &PlanktonOptions| {
-            let mut best: Option<(Duration, _)> = None;
-            for _ in 0..iterations {
-                let (report, elapsed) = time(|| {
-                    let mut last = None;
-                    for _ in 0..reps {
-                        last = Some(plankton.verify(policy, scenario, options));
-                    }
-                    last.expect("at least one rep")
-                });
-                if best.as_ref().map(|(t, _)| elapsed < *t).unwrap_or(true) {
-                    best = Some((elapsed, report));
-                }
-            }
-            best.expect("at least one iteration")
-        };
-        let (ref_time, ref_report) = timed_best(&options.clone().with_reference_explorer());
-        let (inc_time, inc_report) = timed_best(options);
-        assert_eq!(
-            inc_report.stats.without_incremental_counters(),
-            ref_report.stats,
-            "the two explorers must do identical search work on {label}"
-        );
-        let steps = inc_report.stats.steps * reps as u64;
-        let ref_sps = steps as f64 / ref_time.as_secs_f64().max(1e-9);
-        let inc_sps = steps as f64 / inc_time.as_secs_f64().max(1e-9);
-        let speedup = inc_sps / ref_sps.max(1e-9);
-        rows.push(
-            Row::new(label.clone())
-                .col("steps", steps)
-                .col("reference", secs(ref_time))
-                .col("incremental", secs(inc_time))
-                .col("steps_per_sec", format!("{inc_sps:.0}"))
-                .col("speedup", format!("{speedup:.2}x")),
-        );
-        points.push(CheckerBenchPoint {
-            scenario: label,
-            steps,
-            reference_seconds: ref_time.as_secs_f64(),
-            incremental_seconds: inc_time.as_secs_f64(),
-            reference_steps_per_sec: ref_sps,
-            incremental_steps_per_sec: inc_sps,
-            speedup,
-            enabled_recomputed_nodes: inc_report.stats.enabled_recomputed_nodes,
-            undo_depth_max: inc_report.stats.undo_depth_max,
-        });
+        checker_measure(
+            iterations, label, reps, plankton, policy, scenario, options, &mut rows, &mut points,
+        )
     };
 
     // The acceptance workload: single-IP reachability on an OSPF fat tree
@@ -1141,7 +1159,7 @@ pub fn checker_bench(quick: bool) -> FigureResult {
     }
 
     // A branching-heavy workload: BGP age-based tie-breaking exercises the
-    // apply/undo path at branch points and the visited-set handle mirror.
+    // apply/undo path at branch points and handle-native visited checks.
     let s = fat_tree_bgp_rfc7938(4, 2);
     let (src, dst) = s.monitored_edges;
     let dst_prefix = s.fat_tree.prefix_of_edge(dst).expect("edge prefix");
@@ -1165,6 +1183,96 @@ pub fn checker_bench(quick: bool) -> FigureResult {
     FigureResult {
         id: "checker".into(),
         caption: "Incremental vs reference explorer: single-core steps/sec".into(),
+        rows,
+    }
+}
+
+/// AS-scale checker benchmark tier (`BENCH_checker_scale.json`): the same
+/// single-core incremental-vs-reference comparison as figure `checker`, on
+/// workloads past the paper's largest measured AS — a k=8 fat tree (80
+/// switches) and synthetic ISPs up to 1000 routers. The reference explorer
+/// recomputes every node's enabled status per step, so its cost grows
+/// quadratically with network size; this tier tracks how far the
+/// delta-maintained inner loop pulls ahead at scale. Quick mode shrinks the
+/// failure set and the ISP so the CI smoke stays fast.
+pub fn checker_scale_bench(quick: bool) -> FigureResult {
+    let iterations = if quick { 1 } else { 2 };
+    let mut rows = Vec::new();
+    let mut points: Vec<CheckerBenchPoint> = Vec::new();
+    let mut measure = |label: String,
+                       reps: usize,
+                       plankton: &Plankton,
+                       policy: &dyn plankton_policy::Policy,
+                       scenario: &FailureScenario,
+                       options: &PlanktonOptions| {
+        checker_measure(
+            iterations, label, reps, plankton, policy, scenario, options, &mut rows, &mut points,
+        )
+    };
+    let full_search = SearchOptions::all_optimizations().without_policy_pruning();
+
+    // k=8 fat tree (80 switches, 256 links): full mode runs every
+    // single-link failure to full convergence, quick mode only the
+    // failure-free run.
+    {
+        let s = fat_tree_ospf(8, CoreStaticRoutes::None);
+        let dest = s.destinations[0];
+        let sources = edge_sources(&s.fat_tree);
+        let plankton = Plankton::new(s.network.clone());
+        let (scenario, label) = if quick {
+            (
+                FailureScenario::no_failures(),
+                "fat tree k=8 reachability, no failures, full convergence",
+            )
+        } else {
+            (
+                FailureScenario::up_to(1),
+                "fat tree k=8 reachability, ≤1 failure, full convergence",
+            )
+        };
+        measure(
+            label.to_string(),
+            2,
+            &plankton,
+            &Reachability::new(sources),
+            &scenario,
+            &PlanktonOptions::with_cores(1)
+                .restricted_to(vec![dest])
+                .collect_all_violations()
+                .without_lec_pruning()
+                .with_search(full_search.clone()),
+        );
+    }
+
+    // Synthetic ISPs: all-node reachability to one customer prefix, run to
+    // full convergence. The paper's largest measured AS has 315 routers;
+    // this tier goes to 1000.
+    let routers: &[usize] = if quick { &[250] } else { &[500, 1000] };
+    for &n in routers {
+        let s = isp_ospf(&AsTopologySpec::scale(n));
+        let sources: Vec<NodeId> = s.network.topology.node_ids().collect();
+        let plankton = Plankton::new(s.network.clone());
+        measure(
+            format!("{} all-node reachability, full convergence", s.as_topology.name),
+            1,
+            &plankton,
+            &Reachability::new(sources),
+            &FailureScenario::no_failures(),
+            &PlanktonOptions::with_cores(1)
+                .restricted_to(vec![s.destinations[0]])
+                .collect_all_violations()
+                .without_lec_pruning()
+                .with_search(full_search.clone()),
+        );
+    }
+
+    rows.push(Row::new("json").col(
+        "data",
+        serde_json::to_string(&points).expect("bench points serialize"),
+    ));
+    FigureResult {
+        id: "checker_scale".into(),
+        caption: "AS-scale checker tier: incremental vs reference steps/sec".into(),
         rows,
     }
 }
@@ -1612,7 +1720,8 @@ pub fn service_bench(quick: bool) -> FigureResult {
     }
 }
 
-/// Run one figure by id ("2", "7a".."7i", "8", "9", "cores", "checker").
+/// Run one figure by id ("2", "7a".."7i", "8", "9", "cores", "checker",
+/// "checker_scale", "service").
 pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
     let result = match id {
         "2" => fig2(quick),
@@ -1629,6 +1738,7 @@ pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
         "9" => fig9(quick),
         "cores" => cores_scaling(quick),
         "checker" => checker_bench(quick),
+        "checker_scale" => checker_scale_bench(quick),
         "service" => service_bench(quick),
         _ => return None,
     };
@@ -1640,7 +1750,7 @@ pub fn run_figure(id: &str, quick: bool) -> Option<FigureResult> {
 pub fn all_figures() -> Vec<&'static str> {
     vec![
         "2", "7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "8", "9", "cores", "checker",
-        "service",
+        "checker_scale", "service",
     ]
 }
 
@@ -1710,5 +1820,22 @@ mod tests {
         assert!(points.windows(2).all(|w| {
             w[0].states_explored == w[1].states_explored && w[0].tasks_total == w[1].tasks_total
         }));
+    }
+
+    #[test]
+    fn quick_checker_scale_emits_comparable_points() {
+        let f = checker_scale_bench(true);
+        assert_eq!(f.id, "checker_scale");
+        let json_row = f.rows.last().unwrap();
+        assert_eq!(json_row.label, "json");
+        let points: Vec<CheckerBenchPoint> =
+            serde_json::from_str(&json_row.values[0].1).expect("scale JSON parses back");
+        // k=8 fat tree + the quick-mode ISP.
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.steps > 0 && p.speedup > 0.0));
+        // The JSON must stay parseable by the CI compare gate.
+        let entries =
+            crate::compare::parse_entries(&json_row.values[0].1).expect("gate parses scale JSON");
+        assert_eq!(entries.len(), 2);
     }
 }

@@ -19,17 +19,23 @@
 //! * **Apply/undo DFS** — steps are applied in place and reverted from a
 //!   compact undo stack ([`UndoStack`](crate::UndoStack)), eliminating the
 //!   full `RpvpState` clone plus `decided.to_vec()` per branch alternative.
-//! * **Handle-native states** — a per-node mirror of interned
-//!   [`RouteHandle`](crate::interner::RouteHandle)s is kept in sync lazily,
-//!   so a visited-set check re-interns only the nodes that changed since
-//!   the last branch point (in node order, which keeps handle numbering —
-//!   and therefore bitstate fingerprints — identical to the reference), and
-//!   `step` adopts the advertisement the enabled-set computation already
-//!   derived instead of recomputing it.
+//! * **Handle-native states** — routes are interned by the enabled-set
+//!   computation itself
+//!   ([`RouteInterner`](plankton_protocols::RouteInterner) threaded below
+//!   the RPVP layer), so the state is a flat vector of handles: a step is
+//!   an integer swap (no route clone, no lazily-synced handle mirror), an
+//!   undo frame is `Copy`, and a visited-set check is a direct handle
+//!   comparison with no re-interning pass.
+//!
+//! All per-run scratch — visited set, undo stack, interner, branch-snapshot
+//! buffers — lives in a [`ScratchParts`](crate::scratch::ScratchParts)
+//! bundle that a worker threads from run to run via
+//! [`SearchScratch`](crate::SearchScratch), so steady-state runs allocate
+//! nothing on the step path.
 
-use crate::interner::{RouteHandle, RouteInterner};
 use crate::options::SearchOptions;
-use crate::por::{decision_independent, PorDecision, PorHeuristic};
+use crate::por::{decision_independent, DiScratch, PorDecision, PorHeuristic};
+use crate::scratch::{ScratchParts, SnapshotPool};
 use crate::stats::SearchStats;
 use crate::trail::Trail;
 use crate::undo::{UndoFrame, UndoStack};
@@ -39,7 +45,7 @@ use plankton_net::topology::NodeId;
 use plankton_protocols::rpvp::{
     ConvergedState, EnabledChoice, IncrementalEnabled, Rpvp, RpvpState,
 };
-use plankton_protocols::{ProtocolModel, Route};
+use plankton_protocols::{ProtocolModel, RouteHandle, RouteInterner};
 
 /// Fold one finished search into the process-global metrics. Handles are
 /// resolved once and cached: this runs once per (PEC-component × failure
@@ -90,15 +96,15 @@ pub struct ModelChecker<'m> {
     sources: Option<Vec<NodeId>>,
     stop: bool,
     /// Delta-maintained enabled set (already restricted to allowed
-    /// non-origin nodes, in node-id order).
+    /// non-origin nodes, iterated in node-id order).
     enabled: IncrementalEnabled,
-    /// Per-node interned-handle mirror of the current state; `handles[n]` is
-    /// only meaningful while `handle_valid[n]`.
-    handles: Vec<RouteHandle>,
-    handle_valid: Vec<bool>,
     /// The apply/undo stack (reusable across runs via
     /// [`SearchScratch`](crate::SearchScratch)).
     undo: UndoStack,
+    /// Pooled buffers for branch-point enabled-set snapshots.
+    snapshots: SnapshotPool,
+    /// Reusable buffers for the decision-independence component labelling.
+    di_scratch: DiScratch,
 }
 
 impl<'m> ModelChecker<'m> {
@@ -110,25 +116,26 @@ impl<'m> ModelChecker<'m> {
         options: SearchOptions,
         failures: FailureSet,
     ) -> Self {
-        let visited = match options.bitstate_bits {
-            Some(bits) => VisitedSet::bitstate(bits),
-            None => VisitedSet::exact(),
-        };
-        Self::new_with_visited(model, por, options, failures, visited)
+        let parts = ScratchParts::fresh(&options);
+        Self::new_with_scratch(model, por, options, failures, parts)
     }
 
-    /// Like [`ModelChecker::new`], but uses `visited` (cleared first)
-    /// instead of allocating a fresh visited set — the zero-allocation path
-    /// for [`SearchScratch`](crate::SearchScratch) reuse.
-    pub fn new_with_visited(
+    /// Like [`ModelChecker::new`], but draws every reusable allocation —
+    /// visited set, undo stack, interner, snapshot buffers — from `parts`
+    /// (each cleared first): the zero-allocation path for
+    /// [`SearchScratch`](crate::SearchScratch) reuse.
+    pub fn new_with_scratch(
         model: &'m dyn ProtocolModel,
         por: Box<dyn PorHeuristic + 'm>,
-        options: SearchOptions,
+        mut options: SearchOptions,
         failures: FailureSet,
-        mut visited: VisitedSet,
+        mut parts: ScratchParts,
     ) -> Self {
-        visited.clear();
-        let sources = options.source_nodes.clone();
+        parts.clear();
+        // Hoist the source list out of the per-run options (the old code
+        // cloned it on every run): the checker owns its options, so the
+        // list is moved, not copied.
+        let sources = options.source_nodes.take();
         // Influence pruning (§4.2) folds into the enabled set's eligibility
         // mask: disallowed nodes are never recomputed, never enabled.
         let allowed = if options.influence_pruning {
@@ -149,25 +156,17 @@ impl<'m> ModelChecker<'m> {
             rpvp,
             por,
             options,
-            interner: RouteInterner::new(),
-            visited,
+            interner: parts.interner,
+            visited: parts.visited,
             stats: SearchStats::default(),
             trail: Trail::new(failures),
             sources,
             stop: false,
             enabled,
-            handles: vec![RouteHandle::NONE; n],
-            handle_valid: vec![false; n],
-            undo: UndoStack::new(),
+            undo: parts.undo,
+            snapshots: parts.snapshots,
+            di_scratch: DiScratch::new(),
         }
-    }
-
-    /// Reuse a previous run's undo-stack allocations (cleared first),
-    /// builder-style — the [`SearchScratch`](crate::SearchScratch) path.
-    pub fn with_undo(mut self, mut undo: UndoStack) -> Self {
-        undo.clear();
-        self.undo = undo;
-        self
     }
 
     /// Run the exhaustive search, invoking `callback` on every converged
@@ -179,31 +178,41 @@ impl<'m> ModelChecker<'m> {
         self.run_returning(callback).0
     }
 
-    /// Like [`ModelChecker::run`], but also hands back the visited set and
-    /// the undo stack so the caller can return them to a
+    /// Like [`ModelChecker::run`], but also hands back the scratch bundle so
+    /// the caller can return it to a
     /// [`SearchScratch`](crate::SearchScratch) for the next run.
-    pub fn run_returning<F>(mut self, callback: &mut F) -> (SearchStats, VisitedSet, UndoStack)
+    pub fn run_returning<F>(mut self, callback: &mut F) -> (SearchStats, ScratchParts)
     where
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
-        let mut state = self.rpvp.initial_state();
+        let mut state = self.rpvp.initial_state(&mut self.interner);
         let mut decided = vec![false; self.rpvp.model().node_count()];
         for &o in self.rpvp.model().origins() {
             decided[o.index()] = true;
         }
         {
             // Disjoint-field reborrow: `enabled` is rebuilt from `rpvp`.
-            let (enabled, rpvp) = (&mut self.enabled, &self.rpvp);
-            enabled.rebuild(rpvp, &state);
+            let (enabled, rpvp, interner) = (&mut self.enabled, &self.rpvp, &mut self.interner);
+            enabled.rebuild(rpvp, &state, interner);
         }
         self.dfs(&mut state, &mut decided, 0, callback);
         self.stats.enabled_recomputed_nodes = self.enabled.recompute_count();
-        self.stats.interned_routes = self.interner.len() as u64;
+        // Run-scoped interner stats: the table may be warm from a previous
+        // run on this worker, so report what a fresh interner would hold.
+        self.stats.interned_routes = self.interner.run_interned();
         self.stats.visited_states = self.visited.len() as u64;
         self.stats.approx_memory_bytes =
-            (self.interner.approx_bytes() + self.visited.approx_bytes()) as u64;
+            (self.interner.run_approx_bytes() + self.visited.approx_bytes()) as u64;
         record_run_metrics(&self.stats);
-        (self.stats, self.visited, self.undo)
+        (
+            self.stats,
+            ScratchParts {
+                visited: self.visited,
+                undo: self.undo,
+                interner: self.interner,
+                snapshots: self.snapshots,
+            },
+        )
     }
 
     fn all_sources_decided(&self, state: &RpvpState) -> bool {
@@ -213,7 +222,7 @@ impl<'m> ModelChecker<'m> {
                 !sources.is_empty()
                     && sources
                         .iter()
-                        .all(|s| state.best(*s).is_some() || self.rpvp.is_origin(*s))
+                        .all(|s| state.has_route(*s) || self.rpvp.is_origin(*s))
             }
         }
     }
@@ -223,9 +232,7 @@ impl<'m> ModelChecker<'m> {
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
         self.stats.converged_states += 1;
-        let converged = ConvergedState {
-            best: state.best.clone(),
-        };
+        let converged = ConvergedState::from_handles(&state.best, &self.interner);
         if callback(&converged, &self.trail) == Verdict::Stop {
             self.stop = true;
         }
@@ -237,34 +244,34 @@ impl<'m> ModelChecker<'m> {
     }
 
     /// Apply one step in place, recording an undo frame: swap in the
-    /// already-computed advertisement, dirty the handle mirror, and refresh
-    /// the enabled set's dirty neighborhood.
+    /// already-interned advertisement the enabled-set computation derived,
+    /// and refresh the enabled set's dirty neighborhood.
     fn apply(
         &mut self,
         state: &mut RpvpState,
         decided: &mut [bool],
         node: NodeId,
         peer: Option<NodeId>,
-        adopt: Option<Route>,
+        adopt: RouteHandle,
         deterministic: bool,
     ) {
         let idx = node.index();
-        let prev_best = self.rpvp.step_adopting(state, node, adopt);
+        let prev_best = self.rpvp.step_adopting(state, &self.interner, node, adopt);
         let prev_decided = decided[idx];
         if peer.is_some() {
             decided[idx] = true;
         }
-        let prev_handle = self.handles[idx];
-        let prev_handle_valid = self.handle_valid[idx];
-        self.handle_valid[idx] = false;
         let enabled_mark = self.undo.enabled_mark();
-        self.enabled
-            .refresh_after_step(&self.rpvp, state, node, &mut self.undo.enabled_prev);
+        self.enabled.refresh_after_step(
+            &self.rpvp,
+            state,
+            &mut self.interner,
+            node,
+            &mut self.undo.enabled_prev,
+        );
         self.undo.push_frame(UndoFrame {
             node,
             prev_best,
-            prev_handle,
-            prev_handle_valid,
             prev_decided,
             enabled_mark,
         });
@@ -276,9 +283,9 @@ impl<'m> ModelChecker<'m> {
         }
     }
 
-    /// Revert the most recent applied step: state, `decided`, handle mirror,
-    /// displaced enabled-set entries — and the step's trail event. Every
-    /// `apply` pushes exactly one trail event and exactly one undo frame, so
+    /// Revert the most recent applied step: state, `decided`, displaced
+    /// enabled-set entries — and the step's trail event. Every `apply`
+    /// pushes exactly one trail event and exactly one undo frame, so
     /// popping them together keeps the trail equal to the live DFS path at
     /// all times (the seed shipped with a bug here: deterministic steps of
     /// abandoned sibling branches leaked into emitted trails because frames
@@ -290,10 +297,7 @@ impl<'m> ModelChecker<'m> {
             let (m, prev) = self.undo.enabled_prev.pop().expect("mark within stack");
             self.enabled.set_entry(m, prev);
         }
-        let idx = frame.node.index();
-        self.handles[idx] = frame.prev_handle;
-        self.handle_valid[idx] = frame.prev_handle_valid;
-        decided[idx] = frame.prev_decided;
+        decided[frame.node.index()] = frame.prev_decided;
         self.rpvp.undo_step(state, frame.node, frame.prev_best);
     }
 
@@ -303,17 +307,10 @@ impl<'m> ModelChecker<'m> {
         }
     }
 
-    /// Bring the handle mirror up to date (re-interning only nodes dirtied
-    /// since the last branch point, in node order) and record the state in
-    /// the visited set. Returns `true` if it was new.
+    /// Record the state in the visited set. The state is already
+    /// handle-native, so this is a direct lookup — no re-interning pass.
     fn insert_visited(&mut self, state: &RpvpState) -> bool {
-        for i in 0..self.handles.len() {
-            if !self.handle_valid[i] {
-                self.handles[i] = self.interner.intern_opt(state.best[i].as_ref());
-                self.handle_valid[i] = true;
-            }
-        }
-        self.visited.insert(&self.handles)
+        self.visited.insert(&state.best, &self.interner)
     }
 
     fn dfs<F>(&mut self, state: &mut RpvpState, decided: &mut [bool], depth: u64, callback: &mut F)
@@ -340,9 +337,9 @@ impl<'m> ModelChecker<'m> {
             if self.options.consistent_executions {
                 let inconsistent = self
                     .enabled
-                    .list()
+                    .view()
                     .iter()
-                    .any(|c| c.invalid || state.best(c.node).is_some());
+                    .any(|c| c.invalid || state.has_route(c.node));
                 if inconsistent {
                     self.stats.pruned_inconsistent += 1;
                     break;
@@ -358,48 +355,64 @@ impl<'m> ModelChecker<'m> {
                 break;
             }
 
-            if self.enabled.list().is_empty() {
+            if self.enabled.is_empty() {
                 self.emit(state, callback);
                 break;
             }
 
             // Partial order reduction.
             let decision = if self.options.decision_independence {
-                decision_independent(self.rpvp.model(), self.enabled.list(), decided)
+                let view = self.enabled.view();
+                decision_independent(self.rpvp.model(), &view, decided, &mut self.di_scratch)
             } else {
                 None
             }
             .unwrap_or_else(|| {
                 if self.options.deterministic_nodes {
-                    self.por.pick(state, self.enabled.list(), decided)
+                    self.por
+                        .pick(state, &self.enabled.view(), decided, &self.interner)
                 } else {
                     PorDecision::BranchAll
                 }
             });
 
             match decision {
-                PorDecision::Deterministic { choice, update } => {
-                    let c = &self.enabled.list()[choice];
-                    let node = c.node;
-                    let (peer, adopt) = match c.best_updates.get(update) {
-                        Some((p, r)) => (Some(*p), Some(r.clone())),
-                        None => (None, None),
+                PorDecision::Deterministic { node, update } => {
+                    // Copy the (peer, handle) pair out before applying: both
+                    // are `Copy`, so the enabled-set borrow ends here.
+                    let (peer, adopt) = {
+                        let c = self
+                            .enabled
+                            .view()
+                            .get_node(node)
+                            .expect("deterministic node is enabled");
+                        match c.best_updates.get(update) {
+                            Some(&(p, h)) => (Some(p), h),
+                            None => (None, RouteHandle::NONE),
+                        }
                     };
                     self.apply(state, decided, node, peer, adopt, true);
                     depth += 1;
                     continue;
                 }
-                PorDecision::BranchUpdates { choice } => {
+                PorDecision::BranchUpdates { node } => {
                     // The enabled set mutates during recursion, so branching
                     // snapshots the choices it iterates (branch points only —
                     // the deterministic fast path stays allocation-free).
-                    let snapshot = [self.enabled.list()[choice].clone()];
+                    let snapshot = [self
+                        .enabled
+                        .view()
+                        .get_node(node)
+                        .expect("branch node is enabled")
+                        .clone()];
                     self.branch(state, decided, depth, callback, &snapshot, false);
                     break;
                 }
                 PorDecision::BranchAll => {
-                    let snapshot = self.enabled.list().to_vec();
+                    let mut snapshot = self.snapshots.pop();
+                    snapshot.extend(self.enabled.view().iter().cloned());
                     self.branch(state, decided, depth, callback, &snapshot, true);
+                    self.snapshots.push(snapshot);
                     break;
                 }
             }
@@ -437,10 +450,10 @@ impl<'m> ModelChecker<'m> {
                 }
                 self.stats.branches += 1;
                 let (peer, adopt) = if clear_only {
-                    (None, None)
+                    (None, RouteHandle::NONE)
                 } else {
-                    let (p, r) = &choice.best_updates[alt];
-                    (Some(*p), Some(r.clone()))
+                    let (p, h) = choice.best_updates[alt];
+                    (Some(p), h)
                 };
                 self.apply(state, decided, choice.node, peer, adopt, false);
                 // Visited-state detection at branch points only.

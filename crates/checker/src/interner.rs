@@ -1,165 +1,11 @@
-//! Route interning: the paper's state-hashing optimization (§4.4).
+//! Route interning (§4.4) — re-exported from `plankton-protocols`.
 //!
-//! A network state is one routing entry per device; most entries repeat
-//! across the millions of states the checker visits. Each distinct
-//! [`Route`] is therefore stored exactly once in a table and states hold
-//! compact handles, which makes copying states cheap and visited-state
-//! comparison a vector-of-integers comparison.
+//! The interner used to live here, with the checker lazily compressing
+//! `Route`-owning states into handles at visited-check time. It now sits
+//! *below* the RPVP layer (`plankton_protocols::interner`) so routes are
+//! interned the moment the enabled-set computation derives them and the
+//! whole search pipeline — states, enabled choices, undo records, visited
+//! sets — is handle-native. This module remains as a re-export so existing
+//! `plankton_checker::interner::...` paths keep working.
 
-use plankton_protocols::Route;
-use std::collections::HashMap;
-
-/// Handle of an interned route. `NONE` represents `⊥` (no route).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct RouteHandle(pub u64);
-
-impl RouteHandle {
-    /// The handle for "no route" (`⊥`).
-    pub const NONE: RouteHandle = RouteHandle(0);
-
-    /// Is this the `⊥` handle?
-    pub fn is_none(self) -> bool {
-        self.0 == 0
-    }
-}
-
-/// The interning table.
-#[derive(Default)]
-pub struct RouteInterner {
-    by_route: HashMap<Route, RouteHandle>,
-    by_handle: Vec<Route>,
-}
-
-impl RouteInterner {
-    /// An empty interner.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Intern a route, returning its (stable) handle.
-    pub fn intern(&mut self, route: &Route) -> RouteHandle {
-        if let Some(&h) = self.by_route.get(route) {
-            return h;
-        }
-        let handle = RouteHandle(self.by_handle.len() as u64 + 1);
-        self.by_handle.push(route.clone());
-        self.by_route.insert(route.clone(), handle);
-        handle
-    }
-
-    /// Intern an optional route (`None` maps to [`RouteHandle::NONE`]).
-    pub fn intern_opt(&mut self, route: Option<&Route>) -> RouteHandle {
-        match route {
-            Some(r) => self.intern(r),
-            None => RouteHandle::NONE,
-        }
-    }
-
-    /// Resolve a handle back to its route (`None` for the `⊥` handle).
-    pub fn resolve(&self, handle: RouteHandle) -> Option<&Route> {
-        if handle.is_none() {
-            None
-        } else {
-            self.by_handle.get(handle.0 as usize - 1)
-        }
-    }
-
-    /// Compress a full state (one optional route per node) into handles.
-    pub fn compress_state(&mut self, best: &[Option<Route>]) -> Vec<RouteHandle> {
-        best.iter().map(|r| self.intern_opt(r.as_ref())).collect()
-    }
-
-    /// Number of distinct routes interned.
-    pub fn len(&self) -> usize {
-        self.by_handle.len()
-    }
-
-    /// Is the table empty?
-    pub fn is_empty(&self) -> bool {
-        self.by_handle.is_empty()
-    }
-
-    /// Approximate memory used by the distinct route entries, in bytes
-    /// (used by the memory statistics the benchmarks report).
-    pub fn approx_bytes(&self) -> usize {
-        self.by_handle
-            .iter()
-            .map(|r| {
-                std::mem::size_of::<Route>()
-                    + r.path.len() * std::mem::size_of::<u32>()
-                    + r.attrs.as_path.len() * 4
-                    + r.attrs.communities.len() * 4
-            })
-            .sum::<usize>()
-            * 2 // the route is stored in both the map key and the table
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use plankton_net::ip::Prefix;
-    use plankton_net::topology::NodeId;
-
-    fn route(hops: &[u32]) -> Route {
-        let mut r = Route::originated(Prefix::DEFAULT);
-        for &h in hops.iter().rev() {
-            r = r.extended_through(NodeId(h));
-        }
-        r
-    }
-
-    #[test]
-    fn interning_is_idempotent() {
-        let mut i = RouteInterner::new();
-        let r1 = route(&[1, 2, 3]);
-        let h1 = i.intern(&r1);
-        let h2 = i.intern(&r1);
-        assert_eq!(h1, h2);
-        assert_eq!(i.len(), 1);
-        assert_eq!(i.resolve(h1), Some(&r1));
-    }
-
-    #[test]
-    fn distinct_routes_get_distinct_handles() {
-        let mut i = RouteInterner::new();
-        let h1 = i.intern(&route(&[1]));
-        let h2 = i.intern(&route(&[2]));
-        assert_ne!(h1, h2);
-        assert_eq!(i.len(), 2);
-    }
-
-    #[test]
-    fn none_handle_is_reserved() {
-        let mut i = RouteInterner::new();
-        assert_eq!(i.intern_opt(None), RouteHandle::NONE);
-        assert!(RouteHandle::NONE.is_none());
-        assert_eq!(i.resolve(RouteHandle::NONE), None);
-        let h = i.intern_opt(Some(&route(&[5])));
-        assert!(!h.is_none());
-    }
-
-    #[test]
-    fn compress_state_roundtrips() {
-        let mut i = RouteInterner::new();
-        let state = vec![Some(route(&[1])), None, Some(route(&[1, 2]))];
-        let compressed = i.compress_state(&state);
-        assert_eq!(compressed.len(), 3);
-        assert_eq!(i.resolve(compressed[0]), state[0].as_ref());
-        assert_eq!(i.resolve(compressed[1]), None);
-        assert_eq!(i.resolve(compressed[2]), state[2].as_ref());
-        // Same state compresses to the same handles without growing the table.
-        let before = i.len();
-        let again = i.compress_state(&state);
-        assert_eq!(again, compressed);
-        assert_eq!(i.len(), before);
-    }
-
-    #[test]
-    fn memory_estimate_is_nonzero() {
-        let mut i = RouteInterner::new();
-        assert!(i.is_empty());
-        i.intern(&route(&[1, 2, 3, 4]));
-        assert!(i.approx_bytes() > 0);
-    }
-}
+pub use plankton_protocols::interner::{RouteHandle, RouteInterner};

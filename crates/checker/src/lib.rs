@@ -22,12 +22,13 @@
 //!   Figure 9).
 //!
 //! The search itself is **incremental**: delta-maintained enabled sets (only
-//! the stepped node's reverse-peer neighborhood is recomputed per step), an
-//! apply/undo DFS (no state clones at branch points), and a lazily
-//! synchronized interned-handle mirror for visited-state checks — see
-//! [`explorer`]. The pre-incremental search is preserved verbatim as
-//! [`reference::ReferenceChecker`] and differentially tested against the
-//! incremental one.
+//! the stepped node's reverse-peer neighborhood is recomputed per step) and
+//! an apply/undo DFS (no state clones at branch points) — see [`explorer`].
+//! States are handle-native end to end: routes are interned at generation
+//! time in the protocol layer, so visited checks compare handle vectors
+//! directly and steps move a single `u64`. The pre-incremental search is
+//! preserved as [`reference::ReferenceChecker`] and differentially tested
+//! against the incremental one.
 
 pub mod explorer;
 pub mod interner;
@@ -41,11 +42,11 @@ pub mod undo;
 pub mod visited;
 
 pub use explorer::{ModelChecker, Verdict};
-pub use interner::RouteInterner;
+pub use interner::{RouteHandle, RouteInterner};
 pub use options::SearchOptions;
-pub use por::{BgpPor, NoPor, OspfPor, PorDecision, PorHeuristic};
+pub use por::{BgpPor, DiScratch, NoPor, OspfPor, PorDecision, PorHeuristic};
 pub use reference::ReferenceChecker;
-pub use scratch::SearchScratch;
+pub use scratch::{ScratchParts, SearchScratch, SnapshotPool};
 pub use stats::SearchStats;
 pub use trail::{Trail, TrailEvent};
 pub use undo::UndoStack;

@@ -12,6 +12,11 @@
 //! * [`PorDecision::BranchAll`] — no reduction applies: branch over every
 //!   enabled node and every one of its best updates.
 //!
+//! Decisions are keyed by *node id* (not positional index): the incremental
+//! explorer's enabled set lives in per-node slots behind an
+//! [`EnabledView`], where positions are not stable across mutations but
+//! node lookups are O(1).
+//!
 //! [`OspfPor`] implements the paper's OSPF heuristic (process nodes in
 //! shortest-path order — realized here as "the enabled node with the globally
 //! cheapest pending update", which is the same Dijkstra greedy argument
@@ -21,23 +26,25 @@
 
 use plankton_net::topology::NodeId;
 use plankton_protocols::bgp::BgpModel;
-use plankton_protocols::rpvp::{EnabledChoice, RpvpState};
-use plankton_protocols::{ProtocolModel, Route, SessionType};
+use plankton_protocols::rpvp::{EnabledView, RpvpState};
+use plankton_protocols::{ProtocolModel, Route, RouteInterner, SessionType};
 
 /// What the explorer should do at the current state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PorDecision {
-    /// Process `enabled[choice].best_updates[update]` without branching.
+    /// Process `enabled-choice-of(node).best_updates[update]` without
+    /// branching. An `update` index at or past the node's `best_updates`
+    /// length denotes the clear-an-invalid-path step.
     Deterministic {
-        /// Index into the enabled set.
-        choice: usize,
-        /// Index into that entry's `best_updates`.
+        /// The enabled node to step.
+        node: NodeId,
+        /// Index into that node's `best_updates`.
         update: usize,
     },
-    /// Branch only over `enabled[choice].best_updates`.
+    /// Branch only over `node`'s best updates.
     BranchUpdates {
-        /// Index into the enabled set.
-        choice: usize,
+        /// The enabled node to branch over.
+        node: NodeId,
     },
     /// Branch over every enabled node and all of its updates.
     BranchAll,
@@ -47,8 +54,15 @@ pub enum PorDecision {
 pub trait PorHeuristic: Sync {
     /// Decide how to treat the enabled set of `state`. `decided[n]` is true
     /// when node `n` has already made its (final, under consistent-execution
-    /// pruning) best-path selection in the current execution.
-    fn pick(&self, state: &RpvpState, enabled: &[EnabledChoice], decided: &[bool]) -> PorDecision;
+    /// pruning) best-path selection in the current execution. Routes inside
+    /// the enabled choices are interned; resolve them through `interner`.
+    fn pick(
+        &self,
+        state: &RpvpState,
+        enabled: &EnabledView<'_>,
+        decided: &[bool],
+        interner: &RouteInterner,
+    ) -> PorDecision;
 }
 
 /// No reduction: always branch over everything.
@@ -59,8 +73,9 @@ impl PorHeuristic for NoPor {
     fn pick(
         &self,
         _state: &RpvpState,
-        _enabled: &[EnabledChoice],
+        _enabled: &EnabledView<'_>,
         _decided: &[bool],
+        _interner: &RouteInterner,
     ) -> PorDecision {
         PorDecision::BranchAll
     }
@@ -77,26 +92,34 @@ impl PorHeuristic for OspfPor {
     fn pick(
         &self,
         _state: &RpvpState,
-        enabled: &[EnabledChoice],
+        enabled: &EnabledView<'_>,
         _decided: &[bool],
+        interner: &RouteInterner,
     ) -> PorDecision {
-        let mut best: Option<(usize, usize, u64)> = None;
-        for (ci, choice) in enabled.iter().enumerate() {
-            for (ui, (_, route)) in choice.best_updates.iter().enumerate() {
-                if best.map(|(_, _, c)| route.igp_cost < c).unwrap_or(true) {
-                    best = Some((ci, ui, route.igp_cost));
+        let mut best: Option<(NodeId, usize, u64)> = None;
+        for choice in enabled.iter() {
+            for (ui, &(_, handle)) in choice.best_updates.iter().enumerate() {
+                let cost = interner
+                    .resolve(handle)
+                    .map(|r| r.igp_cost)
+                    .unwrap_or(u64::MAX);
+                if best.map(|(_, _, c)| cost < c).unwrap_or(true) {
+                    best = Some((choice.node, ui, cost));
                 }
             }
         }
         match best {
-            Some((choice, update, _)) => PorDecision::Deterministic { choice, update },
+            Some((node, update, _)) => PorDecision::Deterministic { node, update },
             // Only invalid-path clears are pending: processing any of them is
-            // order-independent.
-            None if !enabled.is_empty() => PorDecision::Deterministic {
-                choice: 0,
-                update: 0,
+            // order-independent (`update: 0` past an empty best_updates list
+            // denotes the clear step).
+            None => match enabled.first() {
+                Some(c) => PorDecision::Deterministic {
+                    node: c.node,
+                    update: 0,
+                },
+                None => PorDecision::BranchAll,
             },
-            None => PorDecision::BranchAll,
         }
     }
 }
@@ -180,6 +203,7 @@ impl BgpPor {
     fn dominance(
         &self,
         state: &RpvpState,
+        interner: &RouteInterner,
         decided: &[bool],
         node: NodeId,
         from_peer: NodeId,
@@ -202,7 +226,7 @@ impl BgpPor {
             // enabled-set computation saw, so the coarse bound here is the
             // peer's own selection "one eBGP hop closer").
             let alternative = if decided[peer.index()] {
-                match state.best(peer) {
+                match state.best(peer, interner) {
                     None => continue, // a decided peer with no route is no threat
                     Some(peer_best) => (
                         self.max_local_pref_for(is_ebgp, peer_best),
@@ -249,45 +273,81 @@ impl BgpPor {
 }
 
 impl PorHeuristic for BgpPor {
-    fn pick(&self, state: &RpvpState, enabled: &[EnabledChoice], decided: &[bool]) -> PorDecision {
-        // First pass: a node with a single pending update that strictly
-        // dominates everything else is deterministic.
-        let mut tied_candidate: Option<usize> = None;
-        for (ci, choice) in enabled.iter().enumerate() {
+    fn pick(
+        &self,
+        state: &RpvpState,
+        enabled: &EnabledView<'_>,
+        decided: &[bool],
+        interner: &RouteInterner,
+    ) -> PorDecision {
+        // First pass, streamed per update: a node with a single pending
+        // update that strictly dominates everything else is deterministic.
+        // An `Unknown` verdict short-circuits the node's remaining updates
+        // (it can neither be a strict singleton nor all-known).
+        let mut tied_candidate: Option<(NodeId, usize)> = None;
+        for choice in enabled.iter() {
             if choice.best_updates.is_empty() {
                 continue;
             }
-            let dominances: Vec<Dominance> = choice
-                .best_updates
-                .iter()
-                .map(|(peer, route)| self.dominance(state, decided, choice.node, *peer, route))
-                .collect();
-            if choice.best_updates.len() == 1 && dominances[0] == Dominance::StrictWinner {
+            let mut first = Dominance::Unknown;
+            let mut all_known = true;
+            for (ui, &(peer, handle)) in choice.best_updates.iter().enumerate() {
+                let Some(route) = interner.resolve(handle) else {
+                    all_known = false;
+                    break;
+                };
+                let d = self.dominance(state, interner, decided, choice.node, peer, route);
+                if ui == 0 {
+                    first = d;
+                }
+                if d == Dominance::Unknown {
+                    all_known = false;
+                    break;
+                }
+            }
+            if choice.best_updates.len() == 1 && first == Dominance::StrictWinner {
                 return PorDecision::Deterministic {
-                    choice: ci,
+                    node: choice.node,
                     update: 0,
                 };
             }
-            if tied_candidate.is_none() && dominances.iter().all(|d| *d != Dominance::Unknown) {
-                tied_candidate = Some(ci);
+            if tied_candidate.is_none() && all_known {
+                tied_candidate = Some((choice.node, choice.best_updates.len()));
             }
         }
         // Second pass: a node whose (possibly multiple) pending updates
         // cannot be beaten, only tied — branch over exactly those updates.
-        if let Some(ci) = tied_candidate {
-            if enabled[ci].best_updates.len() == 1 {
+        if let Some((node, updates)) = tied_candidate {
+            if updates == 1 {
                 // A single unbeatable-but-tieable update: the tie partner may
                 // arrive later; branching over just this node is the paper's
                 // behavior (the alternative converged state, if any, is still
                 // reachable through the later node's own choice point).
-                return PorDecision::Deterministic {
-                    choice: ci,
-                    update: 0,
-                };
+                return PorDecision::Deterministic { node, update: 0 };
             }
-            return PorDecision::BranchUpdates { choice: ci };
+            return PorDecision::BranchUpdates { node };
         }
         PorDecision::BranchAll
+    }
+}
+
+/// Reusable buffers for [`decision_independent`], so the per-step fast path
+/// performs no heap allocation once warmed up.
+#[derive(Default)]
+pub struct DiScratch {
+    /// Component label per node (`usize::MAX` = unlabelled / decided).
+    component: Vec<usize>,
+    /// DFS stack for the component labelling.
+    stack: Vec<NodeId>,
+    /// Component labels already claimed by an enabled node (tiny: one entry
+    /// per enabled node, scanned linearly).
+    seen: Vec<usize>,
+}
+
+impl DiScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -302,12 +362,11 @@ impl PorHeuristic for BgpPor {
 /// undecided nodes). When both hold, a single arbitrary order is explored.
 pub fn decision_independent(
     model: &dyn ProtocolModel,
-    enabled: &[EnabledChoice],
+    enabled: &EnabledView<'_>,
     decided: &[bool],
+    scratch: &mut DiScratch,
 ) -> Option<PorDecision> {
-    if enabled.is_empty() {
-        return None;
-    }
+    let first = enabled.first()?;
     let all_from_decided = enabled.iter().all(|choice| {
         choice
             .best_updates
@@ -320,7 +379,11 @@ pub fn decision_independent(
     if enabled.len() > 1 {
         // Component labelling of the undecided subgraph.
         let n = model.node_count();
-        let mut component = vec![usize::MAX; n];
+        scratch.component.clear();
+        scratch.component.resize(n, usize::MAX);
+        scratch.stack.clear();
+        let component = &mut scratch.component;
+        let stack = &mut scratch.stack;
         let mut next = 0usize;
         for start in 0..n {
             if decided[start] || component[start] != usize::MAX {
@@ -328,7 +391,7 @@ pub fn decision_independent(
             }
             let label = next;
             next += 1;
-            let mut stack = vec![NodeId(start as u32)];
+            stack.push(NodeId(start as u32));
             component[start] = label;
             while let Some(u) = stack.pop() {
                 for &p in model.peers(u) {
@@ -339,21 +402,23 @@ pub fn decision_independent(
                 }
             }
         }
-        let mut seen = std::collections::HashSet::new();
-        for choice in enabled {
-            if !seen.insert(component[choice.node.index()]) {
+        scratch.seen.clear();
+        for choice in enabled.iter() {
+            let label = component[choice.node.index()];
+            if scratch.seen.contains(&label) {
                 // Two enabled nodes can still influence each other through
                 // undecided nodes: independence does not apply.
                 return None;
             }
+            scratch.seen.push(label);
         }
     }
     // Order does not matter; still branch over a node's tied updates.
-    if enabled[0].best_updates.len() > 1 {
-        Some(PorDecision::BranchUpdates { choice: 0 })
+    if first.best_updates.len() > 1 {
+        Some(PorDecision::BranchUpdates { node: first.node })
     } else {
         Some(PorDecision::Deterministic {
-            choice: 0,
+            node: first.node,
             update: 0,
         })
     }
@@ -379,15 +444,19 @@ mod tests {
             &FailureSet::none(),
         );
         let rpvp = Rpvp::new(&model);
-        let state = rpvp.initial_state();
-        let enabled = rpvp.enabled(&state);
+        let mut interner = RouteInterner::new();
+        let state = rpvp.initial_state(&mut interner);
+        let enabled = rpvp.enabled(&state, &mut interner);
         // Both neighbors of the origin are enabled with cost-1 updates; the
         // heuristic must pick one deterministically.
         assert_eq!(enabled.len(), 2);
         let decided = vec![false; 6];
-        match OspfPor.pick(&state, &enabled, &decided) {
-            PorDecision::Deterministic { choice, update } => {
-                assert_eq!(enabled[choice].best_updates[update].1.igp_cost, 1);
+        let view = EnabledView::Slice(&enabled);
+        match OspfPor.pick(&state, &view, &decided, &interner) {
+            PorDecision::Deterministic { node, update } => {
+                let choice = view.get_node(node).expect("picked node is enabled");
+                let (_, handle) = choice.best_updates[update];
+                assert_eq!(interner.resolve(handle).unwrap().igp_cost, 1);
             }
             other => panic!("expected deterministic pick, got {other:?}"),
         }
@@ -403,10 +472,11 @@ mod tests {
             &FailureSet::none(),
         );
         let rpvp = Rpvp::new(&model);
-        let state = rpvp.initial_state();
-        let enabled = rpvp.enabled(&state);
+        let mut interner = RouteInterner::new();
+        let state = rpvp.initial_state(&mut interner);
+        let enabled = rpvp.enabled(&state, &mut interner);
         assert_eq!(
-            NoPor.pick(&state, &enabled, &[false; 4]),
+            NoPor.pick(&state, &EnabledView::Slice(&enabled), &[false; 4], &interner),
             PorDecision::BranchAll
         );
     }
@@ -428,16 +498,16 @@ mod tests {
         );
         let por = BgpPor::from_model(&model);
         let rpvp = Rpvp::new(&model);
-        let state = rpvp.initial_state();
-        let enabled = rpvp.enabled(&state);
+        let mut interner = RouteInterner::new();
+        let state = rpvp.initial_state(&mut interner);
+        let enabled = rpvp.enabled(&state, &mut interner);
         assert!(!enabled.is_empty());
         let mut decided = vec![false; model.node_count()];
         decided[origin.index()] = true;
-        match por.pick(&state, &enabled, &decided) {
-            PorDecision::Deterministic { choice, .. } => {
+        match por.pick(&state, &EnabledView::Slice(&enabled), &decided, &interner) {
+            PorDecision::Deterministic { node, .. } => {
                 // The picked node is one of the origin's pod aggregation
                 // switches (1 AS hop from the origin).
-                let node = enabled[choice].node;
                 assert!(s.fat_tree.aggregation[0].contains(&node));
             }
             other => panic!("expected deterministic pick, got {other:?}"),
@@ -461,11 +531,12 @@ mod tests {
         );
         let por = BgpPor::from_model(&model);
         let rpvp = Rpvp::new(&model);
-        let state = rpvp.initial_state();
-        let enabled = rpvp.enabled(&state);
+        let mut interner = RouteInterner::new();
+        let state = rpvp.initial_state(&mut interner);
+        let enabled = rpvp.enabled(&state, &mut interner);
         let mut decided = vec![false; model.node_count()];
         decided[g.origin.index()] = true;
-        let decision = por.pick(&state, &enabled, &decided);
+        let decision = por.pick(&state, &EnabledView::Slice(&enabled), &decided, &interner);
         assert_eq!(decision, PorDecision::BranchAll);
     }
 
@@ -479,19 +550,22 @@ mod tests {
             &FailureSet::none(),
         );
         let rpvp = Rpvp::new(&model);
-        let state = rpvp.initial_state();
-        let enabled = rpvp.enabled(&state);
+        let mut interner = RouteInterner::new();
+        let state = rpvp.initial_state(&mut interner);
+        let enabled = rpvp.enabled(&state, &mut interner);
+        let view = EnabledView::Slice(&enabled);
         let mut decided = vec![false; 4];
+        let mut scratch = DiScratch::new();
         // Pending updates come from the (undecided) origin: no independence.
-        assert!(decision_independent(&model, &enabled, &decided).is_none());
+        assert!(decision_independent(&model, &view, &decided, &mut scratch).is_none());
         decided[s.origin.index()] = true;
         // Updates now come from a decided node, but the two enabled neighbors
         // of the origin can still reach each other through the undecided far
         // side of the ring, so independence still must not apply.
-        assert!(decision_independent(&model, &enabled, &decided).is_none());
+        assert!(decision_independent(&model, &view, &decided, &mut scratch).is_none());
         // Once the far-side routers are decided too, the enabled nodes are
         // isolated from each other and the order genuinely cannot matter.
         decided[s.ring.routers[2].index()] = true;
-        assert!(decision_independent(&model, &enabled, &decided).is_some());
+        assert!(decision_independent(&model, &view, &decided, &mut scratch).is_some());
     }
 }

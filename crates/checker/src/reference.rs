@@ -1,15 +1,22 @@
-//! The pre-incremental explorer, kept verbatim for differential testing.
+//! The pre-incremental explorer, kept for differential testing.
 //!
 //! [`ReferenceChecker`] is the clone-based depth-first search the checker
 //! shipped with before the incremental rewrite: it recomputes the full
-//! enabled set from scratch at every step, clones the whole `RpvpState`
-//! (and the `decided` vector) at every branch alternative, and re-interns
-//! the entire state at every visited-set check. It is deliberately **not**
-//! optimized — its only job is to define the behavior the incremental
-//! [`ModelChecker`](crate::ModelChecker) must reproduce exactly: identical
-//! converged states, identical trails, and identical [`SearchStats`]
-//! (modulo the incremental-only observability counters, which stay 0 here;
-//! see [`SearchStats::without_incremental_counters`]).
+//! enabled set from scratch at every step and clones the whole `RpvpState`
+//! (and the `decided` vector) at every branch alternative. It is
+//! deliberately **not** optimized — its only job is to define the behavior
+//! the incremental [`ModelChecker`](crate::ModelChecker) must reproduce
+//! exactly: identical converged states, identical trails, and identical
+//! [`SearchStats`] (modulo the incremental-only observability counters,
+//! which stay 0 here; see [`SearchStats::without_incremental_counters`]).
+//!
+//! Both explorers now share the handle-native RPVP layer (routes interned
+//! at generation time). So that `interned_routes` and `approx_memory_bytes`
+//! stay byte-identical between them, the reference restricts the enabled
+//! computation to the *same eligible nodes* the incremental explorer
+//! maintains (non-origins allowed by influence pruning) **before** deriving
+//! candidate routes — a post-filter would intern advertisements for
+//! disallowed nodes that the incremental explorer never evaluates.
 //!
 //! One deliberate deviation from the seed: the seed leaked deterministic
 //! trail events of abandoned sibling branches into emitted trails (frames
@@ -21,13 +28,13 @@
 use crate::explorer::{influence_set, Verdict};
 use crate::interner::RouteInterner;
 use crate::options::SearchOptions;
-use crate::por::{decision_independent, PorDecision, PorHeuristic};
+use crate::por::{decision_independent, DiScratch, PorDecision, PorHeuristic};
 use crate::stats::SearchStats;
 use crate::trail::Trail;
 use crate::visited::VisitedSet;
 use plankton_net::failure::FailureSet;
 use plankton_net::topology::NodeId;
-use plankton_protocols::rpvp::{ConvergedState, EnabledChoice, Rpvp, RpvpState};
+use plankton_protocols::rpvp::{ConvergedState, EnabledChoice, EnabledView, Rpvp, RpvpState};
 use plankton_protocols::ProtocolModel;
 
 /// The pre-change explicit-state model checker (see module docs).
@@ -39,9 +46,12 @@ pub struct ReferenceChecker<'m> {
     visited: VisitedSet,
     stats: SearchStats,
     trail: Trail,
-    allowed: Option<Vec<bool>>,
+    /// Nodes the search may evaluate: non-origins allowed by influence
+    /// pruning — the same mask as the incremental explorer's eligibility.
+    eligible: Vec<bool>,
     sources: Option<Vec<NodeId>>,
     stop: bool,
+    di_scratch: DiScratch,
 }
 
 impl<'m> ReferenceChecker<'m> {
@@ -49,30 +59,40 @@ impl<'m> ReferenceChecker<'m> {
     pub fn new(
         model: &'m dyn ProtocolModel,
         por: Box<dyn PorHeuristic + 'm>,
-        options: SearchOptions,
+        mut options: SearchOptions,
         failures: FailureSet,
     ) -> Self {
         let visited = match options.bitstate_bits {
             Some(bits) => VisitedSet::bitstate(bits),
             None => VisitedSet::exact(),
         };
-        let sources = options.source_nodes.clone();
+        // Moved out of the run path, mirroring the incremental explorer.
+        let sources = options.source_nodes.take();
         let allowed = if options.influence_pruning {
             sources.as_ref().map(|s| influence_set(model, s))
         } else {
             None
         };
+        let rpvp = Rpvp::new(model);
+        let n = model.node_count();
+        let mut eligible: Vec<bool> = (0..n).map(|i| !rpvp.is_origin(NodeId(i as u32))).collect();
+        if let Some(allowed) = &allowed {
+            for (e, &a) in eligible.iter_mut().zip(allowed) {
+                *e &= a;
+            }
+        }
         ReferenceChecker {
-            rpvp: Rpvp::new(model),
+            rpvp,
             por,
             options,
             interner: RouteInterner::new(),
             visited,
             stats: SearchStats::default(),
             trail: Trail::new(failures),
-            allowed,
+            eligible,
             sources,
             stop: false,
+            di_scratch: DiScratch::new(),
         }
     }
 
@@ -82,7 +102,7 @@ impl<'m> ReferenceChecker<'m> {
     where
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
-        let mut state = self.rpvp.initial_state();
+        let mut state = self.rpvp.initial_state(&mut self.interner);
         let mut decided = vec![false; self.rpvp.model().node_count()];
         for &o in self.rpvp.model().origins() {
             decided[o.index()] = true;
@@ -95,15 +115,23 @@ impl<'m> ReferenceChecker<'m> {
         self.stats
     }
 
-    fn enabled(&self, state: &RpvpState) -> Vec<EnabledChoice> {
-        let all = self.rpvp.enabled(state);
-        match &self.allowed {
-            None => all,
-            Some(allowed) => all
-                .into_iter()
-                .filter(|c| allowed[c.node.index()])
-                .collect(),
+    /// The full enabled set, recomputed from scratch (the reference's
+    /// defining inefficiency), restricted to the eligible nodes.
+    fn enabled(&mut self, state: &RpvpState) -> Vec<EnabledChoice> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for i in 0..self.eligible.len() {
+            if !self.eligible[i] {
+                continue;
+            }
+            if let Some(choice) =
+                self.rpvp
+                    .enabled_at_with(state, &mut self.interner, NodeId(i as u32), &mut scratch)
+            {
+                out.push(choice);
+            }
         }
+        out
     }
 
     fn all_sources_decided(&self, state: &RpvpState) -> bool {
@@ -113,7 +141,7 @@ impl<'m> ReferenceChecker<'m> {
                 !sources.is_empty()
                     && sources
                         .iter()
-                        .all(|s| state.best(*s).is_some() || self.rpvp.is_origin(*s))
+                        .all(|s| state.has_route(*s) || self.rpvp.is_origin(*s))
             }
         }
     }
@@ -123,9 +151,7 @@ impl<'m> ReferenceChecker<'m> {
         F: FnMut(&ConvergedState, &Trail) -> Verdict,
     {
         self.stats.converged_states += 1;
-        let converged = ConvergedState {
-            best: state.best.clone(),
-        };
+        let converged = ConvergedState::from_handles(&state.best, &self.interner);
         if callback(&converged, &self.trail) == Verdict::Stop {
             self.stop = true;
         }
@@ -144,7 +170,7 @@ impl<'m> ReferenceChecker<'m> {
         peer: Option<NodeId>,
         deterministic: bool,
     ) {
-        self.rpvp.step(state, node, peer);
+        self.rpvp.step(state, &mut self.interner, node, peer);
         if peer.is_some() {
             decided[node.index()] = true;
         }
@@ -182,7 +208,7 @@ impl<'m> ReferenceChecker<'m> {
             if self.options.consistent_executions {
                 let inconsistent = enabled
                     .iter()
-                    .any(|c| c.invalid || state.best(c.node).is_some());
+                    .any(|c| c.invalid || state.has_route(c.node));
                 if inconsistent {
                     self.stats.pruned_inconsistent += 1;
                     break;
@@ -200,30 +226,33 @@ impl<'m> ReferenceChecker<'m> {
                 break;
             }
 
+            let view = EnabledView::Slice(&enabled);
             let decision = if self.options.decision_independence {
-                decision_independent(self.rpvp.model(), &enabled, decided)
+                decision_independent(self.rpvp.model(), &view, decided, &mut self.di_scratch)
             } else {
                 None
             }
             .unwrap_or_else(|| {
                 if self.options.deterministic_nodes {
-                    self.por.pick(state, &enabled, decided)
+                    self.por.pick(state, &view, decided, &self.interner)
                 } else {
                     PorDecision::BranchAll
                 }
             });
 
             match decision {
-                PorDecision::Deterministic { choice, update } => {
-                    let c = &enabled[choice];
-                    let node = c.node;
-                    let peer = c.best_updates.get(update).map(|(p, _)| *p);
+                PorDecision::Deterministic { node, update } => {
+                    let c = view.get_node(node).expect("deterministic node is enabled");
+                    let peer = c.best_updates.get(update).map(|&(p, _)| p);
                     self.apply(state, decided, node, peer, true);
                     depth += 1;
                     continue;
                 }
-                PorDecision::BranchUpdates { choice } => {
-                    let c = enabled[choice].clone();
+                PorDecision::BranchUpdates { node } => {
+                    let c = view
+                        .get_node(node)
+                        .expect("branch node is enabled")
+                        .clone();
                     self.branch(state, decided, depth, callback, &[c], false);
                     break;
                 }
@@ -250,7 +279,7 @@ impl<'m> ReferenceChecker<'m> {
         self.stats.branch_points += 1;
         for choice in choices {
             let mut alternatives: Vec<Option<NodeId>> =
-                choice.best_updates.iter().map(|(p, _)| Some(*p)).collect();
+                choice.best_updates.iter().map(|&(p, _)| Some(p)).collect();
             if alternatives.is_empty() && include_clears && choice.invalid {
                 alternatives.push(None);
             }
@@ -262,8 +291,8 @@ impl<'m> ReferenceChecker<'m> {
                 let mut child = state.clone();
                 let mut child_decided = decided.to_vec();
                 self.apply(&mut child, &mut child_decided, choice.node, peer, false);
-                let compressed = self.interner.compress_state(&child.best);
-                if !self.visited.insert(&compressed) {
+                // The state is already handle-native — no re-interning pass.
+                if !self.visited.insert(&child.best, &self.interner) {
                     self.stats.pruned_visited += 1;
                     self.trail.pop();
                     continue;

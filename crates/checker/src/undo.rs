@@ -3,32 +3,28 @@
 //! The pre-change DFS cloned the whole `RpvpState` (plus the `decided`
 //! vector) at every branch alternative. The incremental explorer instead
 //! applies each step in place and records just enough to revert it: the
-//! node's previous best route, its previous interned-handle mirror slot,
-//! its previous `decided` bit, and whichever enabled-set cache entries the
-//! step displaced. Undoing a step replays that record; unwinding a DFS
-//! frame pops records down to a watermark.
+//! node's previous best-route handle, its previous `decided` bit, and
+//! whichever enabled-set cache entries the step displaced. With the state
+//! handle-native, a frame is four words and `Copy` — pushing one is a
+//! store, not a route move. Undoing a step replays that record; unwinding a
+//! DFS frame pops records down to a watermark.
 //!
 //! The stack is two flat vectors (fixed-size frames plus a shared
 //! variable-length spill for displaced enabled entries), so a worker reuses
 //! its allocations across every run via
 //! [`SearchScratch`](crate::SearchScratch).
 
-use crate::interner::RouteHandle;
 use plankton_net::topology::NodeId;
 use plankton_protocols::rpvp::EnabledChoice;
-use plankton_protocols::Route;
+use plankton_protocols::RouteHandle;
 
 /// Everything needed to revert one applied RPVP step.
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct UndoFrame {
     /// The node that stepped.
     pub node: NodeId,
-    /// Its best route before the step (moved, not cloned).
-    pub prev_best: Option<Route>,
-    /// Its interned-handle mirror slot before the step.
-    pub prev_handle: RouteHandle,
-    /// Whether that mirror slot was valid before the step.
-    pub prev_handle_valid: bool,
+    /// The handle of its best route before the step.
+    pub prev_best: RouteHandle,
     /// Its `decided` bit before the step.
     pub prev_decided: bool,
     /// Watermark into the displaced-enabled-entries spill: entries above it
@@ -89,9 +85,7 @@ mod tests {
         s.enabled_prev.push((NodeId(7), None));
         s.push_frame(UndoFrame {
             node: NodeId(1),
-            prev_best: None,
-            prev_handle: RouteHandle::NONE,
-            prev_handle_valid: false,
+            prev_best: RouteHandle::NONE,
             prev_decided: false,
             enabled_mark: 0,
         });

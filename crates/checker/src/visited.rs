@@ -1,7 +1,7 @@
 //! Visited-state tracking: exact storage of interned states, or SPIN-style
 //! bitstate hashing through a Bloom filter (§5, Figure 9 of the paper).
 
-use crate::interner::RouteHandle;
+use crate::interner::{RouteHandle, RouteInterner};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
@@ -123,9 +123,17 @@ impl VisitedSet {
         VisitedSet::Bitstate(BloomFilter::with_bits(bits))
     }
 
-    fn fingerprint(state: &[RouteHandle]) -> u64 {
+    /// The bitstate fingerprint hashes the *content-hash sequence* of the
+    /// state, not the handles: handle numbering depends on first-occurrence
+    /// order, which differs between explorers that evaluate nodes in
+    /// different orders, while content hashes are numbering-independent —
+    /// so both explorers make identical pruning decisions.
+    fn fingerprint(state: &[RouteHandle], interner: &RouteInterner) -> u64 {
         let mut h = DefaultHasher::new();
-        state.hash(&mut h);
+        state.len().hash(&mut h);
+        for &handle in state {
+            interner.content_hash(handle).hash(&mut h);
+        }
         h.finish()
     }
 
@@ -149,11 +157,19 @@ impl VisitedSet {
 
     /// Record a state. Returns `true` if the state had not been seen before
     /// (definitely for [`VisitedSet::Exact`], probabilistically for
-    /// [`VisitedSet::Bitstate`]).
-    pub fn insert(&mut self, state: &[RouteHandle]) -> bool {
+    /// [`VisitedSet::Bitstate`]). The interner is only consulted for
+    /// bitstate fingerprints (content hashes); exact storage compares the
+    /// handles directly.
+    pub fn insert(&mut self, state: &[RouteHandle], interner: &RouteInterner) -> bool {
         match self {
-            VisitedSet::Exact(set) => set.insert(state.to_vec()),
-            VisitedSet::Bitstate(bloom) => bloom.insert(Self::fingerprint(state)),
+            VisitedSet::Exact(set) => {
+                if set.contains(state) {
+                    false
+                } else {
+                    set.insert(state.to_vec())
+                }
+            }
+            VisitedSet::Bitstate(bloom) => bloom.insert(Self::fingerprint(state, interner)),
         }
     }
 
@@ -190,37 +206,46 @@ mod tests {
         vals.iter().map(|&v| RouteHandle(v)).collect()
     }
 
+    // An empty interner: `content_hash` falls back to the handle value, so
+    // arbitrary handles still fingerprint consistently in these tests.
+    fn interner() -> RouteInterner {
+        RouteInterner::new()
+    }
+
     #[test]
     fn exact_set_detects_duplicates() {
+        let i = interner();
         let mut v = VisitedSet::exact();
-        assert!(v.insert(&state(&[1, 2, 3])));
-        assert!(!v.insert(&state(&[1, 2, 3])));
-        assert!(v.insert(&state(&[1, 2, 4])));
+        assert!(v.insert(&state(&[1, 2, 3]), &i));
+        assert!(!v.insert(&state(&[1, 2, 3]), &i));
+        assert!(v.insert(&state(&[1, 2, 4]), &i));
         assert_eq!(v.len(), 2);
         assert!(v.approx_bytes() > 0);
     }
 
     #[test]
     fn bitstate_detects_duplicates() {
+        let i = interner();
         let mut v = VisitedSet::bitstate(1 << 16);
-        assert!(v.insert(&state(&[1, 2, 3])));
-        assert!(!v.insert(&state(&[1, 2, 3])));
-        assert!(v.insert(&state(&[9, 9, 9])));
+        assert!(v.insert(&state(&[1, 2, 3]), &i));
+        assert!(!v.insert(&state(&[1, 2, 3]), &i));
+        assert!(v.insert(&state(&[9, 9, 9]), &i));
         assert_eq!(v.len(), 2);
     }
 
     #[test]
     fn bitstate_uses_fixed_memory() {
+        let int = interner();
         let mut v = VisitedSet::bitstate(1 << 16);
         let before = v.approx_bytes();
         for i in 0..1000u64 {
-            v.insert(&state(&[i, i + 1, i + 2]));
+            v.insert(&state(&[i, i + 1, i + 2]), &int);
         }
         assert_eq!(v.approx_bytes(), before);
         // Exact storage grows with the number of states.
         let mut e = VisitedSet::exact();
         for i in 0..1000u64 {
-            e.insert(&state(&[i, i + 1, i + 2]));
+            e.insert(&state(&[i, i + 1, i + 2]), &int);
         }
         assert!(e.approx_bytes() > v.approx_bytes() / 4);
     }

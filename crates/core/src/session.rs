@@ -347,26 +347,20 @@ impl<'a> PecSession<'a> {
         }
         let checker = match self.scratch {
             Some(scratch) => {
-                let (visited, undo) = {
-                    let mut scratch = scratch.borrow_mut();
-                    (scratch.take_visited(&search_options), scratch.take_undo())
-                };
-                ModelChecker::new_with_visited(
+                let parts = scratch.borrow_mut().take_parts(&search_options);
+                ModelChecker::new_with_scratch(
                     model,
                     por,
                     search_options,
                     self.failures.clone(),
-                    visited,
+                    parts,
                 )
-                .with_undo(undo)
             }
             None => ModelChecker::new(model, por, search_options, self.failures.clone()),
         };
-        let (stats, visited, undo) = checker.run_returning(&mut on_converged);
+        let (stats, parts) = checker.run_returning(&mut on_converged);
         if let Some(scratch) = self.scratch {
-            let mut scratch = scratch.borrow_mut();
-            scratch.put_visited(visited);
-            scratch.put_undo(undo);
+            scratch.borrow_mut().put_parts(parts);
         }
         (alternatives, stats)
     }

@@ -61,6 +61,19 @@ impl AsTopologySpec {
             .map(|&a| AsTopologySpec::paper_as(a))
             .collect()
     }
+
+    /// A scale spec past the paper's largest measured AS (315 routers):
+    /// `routers` routers with the same two-tier backbone/access structure,
+    /// for the AS-scale benchmark tier. Deterministic per router count.
+    pub fn scale(routers: usize) -> AsTopologySpec {
+        AsTopologySpec {
+            name: format!("ISP-{routers}"),
+            routers,
+            backbone_fraction: 0.25,
+            access_multihoming: 2,
+            seed: 0x5CA1E | routers as u64,
+        }
+    }
 }
 
 /// A generated ISP topology.
@@ -238,5 +251,13 @@ mod tests {
         for &ar in &t.access {
             assert!(t.topology.degree(ar) >= 2, "access router not multihomed");
         }
+    }
+
+    #[test]
+    fn scale_spec_generates_connected_thousand_router_as() {
+        let t = as_topology(&AsTopologySpec::scale(1000));
+        assert_eq!(t.topology.node_count(), 1000);
+        assert!(t.topology.is_connected(), "scale AS disconnected");
+        assert_eq!(t.link_weights.len(), t.topology.link_count());
     }
 }

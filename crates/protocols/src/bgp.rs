@@ -387,19 +387,20 @@ mod tests {
 
     fn converge_first_choice(model: &BgpModel) -> crate::rpvp::ConvergedState {
         let rpvp = Rpvp::new(model);
-        let mut state = rpvp.initial_state();
+        let mut interner = crate::interner::RouteInterner::new();
+        let mut state = rpvp.initial_state(&mut interner);
         let mut steps = 0usize;
         loop {
-            let enabled = rpvp.enabled(&state);
+            let enabled = rpvp.enabled(&state, &mut interner);
             let Some(choice) = enabled.into_iter().next() else {
                 break;
             };
             let peer = choice.best_updates.first().map(|(p, _)| *p);
-            rpvp.step(&mut state, choice.node, peer);
+            rpvp.step(&mut state, &mut interner, choice.node, peer);
             steps += 1;
             assert!(steps < 100_000, "BGP did not converge");
         }
-        rpvp.converged_state(&state)
+        rpvp.converged_state(&state, &interner)
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod bgp;
 pub mod hopvec;
+pub mod interner;
 pub mod model;
 pub mod ospf;
 pub mod route;
@@ -32,7 +33,10 @@ pub mod spvp;
 
 pub use bgp::{BgpModel, IgpUnderlay, TableUnderlay, UniformUnderlay};
 pub use hopvec::HopVec;
+pub use interner::{RouteHandle, RouteInterner};
 pub use model::{Preference, ProtocolModel};
 pub use ospf::OspfModel;
 pub use route::{Route, SessionType};
-pub use rpvp::{ConvergedState, EnabledChoice, IncrementalEnabled, Rpvp, RpvpState};
+pub use rpvp::{
+    ConvergedState, EnabledChoice, EnabledView, IncrementalEnabled, Rpvp, RpvpState, UpdateVec,
+};

@@ -9,34 +9,65 @@
 //! converged. Theorem 1 of the paper shows that the converged states
 //! reachable this way are exactly the converged states of extended SPVP, so
 //! model checking RPVP is sound and complete for converged-state policies.
+//!
+//! The layer is **handle-native**: routes are interned the moment the
+//! enabled-set computation derives them
+//! ([`RouteInterner`](crate::interner::RouteInterner) threaded through every
+//! method), so [`RpvpState`] is a flat vector of
+//! [`RouteHandle`](crate::interner::RouteHandle)s, a step is an integer
+//! swap, an undo record is a single `Copy` handle, and visited-state checks
+//! upstream are direct handle compares with no re-interning pass.
 
+use crate::interner::{RouteHandle, RouteInterner};
 use crate::model::{Preference, ProtocolModel};
 use crate::route::Route;
 use plankton_net::topology::NodeId;
 use serde::{Deserialize, Serialize};
 
-/// The RPVP network state: the best route of every node (`None` is the
-/// paper's `⊥`).
+/// The RPVP network state: the best route of every node, as interned
+/// handles (`RouteHandle::NONE` is the paper's `⊥`).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RpvpState {
-    /// `best[n]` = the best route currently selected by node `n`.
-    pub best: Vec<Option<Route>>,
+    /// `best[n]` = the handle of the best route currently selected by node
+    /// `n` (interned in the run's [`RouteInterner`]).
+    pub best: Vec<RouteHandle>,
 }
 
 impl RpvpState {
     /// The initial state for a protocol model: origins hold `ε`, everyone
     /// else holds `⊥`.
-    pub fn initial(model: &dyn ProtocolModel) -> Self {
-        let mut best = vec![None; model.node_count()];
+    pub fn initial(model: &dyn ProtocolModel, interner: &mut RouteInterner) -> Self {
+        let mut best = vec![RouteHandle::NONE; model.node_count()];
         for &o in model.origins() {
-            best[o.index()] = Some(model.origin_route(o));
+            best[o.index()] = interner.intern_owned(model.origin_route(o));
         }
         RpvpState { best }
     }
 
-    /// The best route of node `n`.
-    pub fn best(&self, n: NodeId) -> Option<&Route> {
-        self.best[n.index()].as_ref()
+    /// Build a state from owned per-node routes, interning each (used by
+    /// cross-checks that obtain a state from outside RPVP, e.g. SPVP).
+    pub fn from_routes(routes: &[Option<Route>], interner: &mut RouteInterner) -> Self {
+        RpvpState {
+            best: routes
+                .iter()
+                .map(|r| interner.intern_opt(r.as_ref()))
+                .collect(),
+        }
+    }
+
+    /// The handle of node `n`'s best route (`NONE` = `⊥`).
+    pub fn handle(&self, n: NodeId) -> RouteHandle {
+        self.best[n.index()]
+    }
+
+    /// Does node `n` currently hold a route?
+    pub fn has_route(&self, n: NodeId) -> bool {
+        self.best[n.index()].is_some()
+    }
+
+    /// The best route of node `n`, resolved through the interner.
+    pub fn best<'i>(&self, n: NodeId, interner: &'i RouteInterner) -> Option<&'i Route> {
+        interner.resolve(self.best[n.index()])
     }
 
     /// Nodes that currently hold some route.
@@ -46,6 +77,94 @@ impl RpvpState {
             .enumerate()
             .filter(|(_, b)| b.is_some())
             .map(|(i, _)| NodeId(i as u32))
+    }
+}
+
+/// An inline small-vector of `(peer, interned advertisement)` pairs — the
+/// payload of [`EnabledChoice::best_updates`]. Branch-heavy searches clone
+/// enabled choices at every branch point; with up to [`UpdateVec::INLINE`]
+/// entries in place that clone is a `memcpy`, matching the
+/// [`HopVec`](crate::hopvec::HopVec) treatment of route paths.
+#[derive(Clone)]
+pub struct UpdateVec {
+    len: u8,
+    buf: [(NodeId, RouteHandle); Self::INLINE],
+    spill: Vec<(NodeId, RouteHandle)>,
+}
+
+impl UpdateVec {
+    /// Entries stored without a heap allocation.
+    pub const INLINE: usize = 4;
+
+    /// An empty update list.
+    pub fn new() -> Self {
+        UpdateVec {
+            len: 0,
+            buf: [(NodeId(0), RouteHandle::NONE); Self::INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append one entry, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, entry: (NodeId, RouteHandle)) {
+        let n = self.len as usize;
+        if self.spill.is_empty() && n < Self::INLINE {
+            self.buf[n] = entry;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(Self::INLINE * 2);
+                self.spill.extend_from_slice(&self.buf[..n]);
+                self.len = 0;
+            }
+            self.spill.push(entry);
+        }
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[(NodeId, RouteHandle)] {
+        if self.spill.is_empty() {
+            &self.buf[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for UpdateVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for UpdateVec {
+    type Target = [(NodeId, RouteHandle)];
+    fn deref(&self) -> &[(NodeId, RouteHandle)] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for UpdateVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for UpdateVec {}
+
+impl std::fmt::Debug for UpdateVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl FromIterator<(NodeId, RouteHandle)> for UpdateVec {
+    fn from_iter<I: IntoIterator<Item = (NodeId, RouteHandle)>>(iter: I) -> Self {
+        let mut out = UpdateVec::new();
+        for e in iter {
+            out.push(e);
+        }
+        out
     }
 }
 
@@ -60,12 +179,134 @@ pub struct EnabledChoice {
     /// carries the matching path)?
     pub invalid: bool,
     /// The peers producing the highest-ranked usable advertisements, together
-    /// with those advertisements. Empty iff the node is enabled only because
-    /// its path is invalid.
-    pub best_updates: Vec<(NodeId, Route)>,
+    /// with those advertisements (interned). Empty iff the node is enabled
+    /// only because its path is invalid.
+    pub best_updates: UpdateVec,
 }
 
-/// A converged RPVP state together with the protocol that produced it.
+/// A borrowed view of an enabled set, iterated in node-id order.
+///
+/// The incremental explorer keeps its enabled set in per-node slots with a
+/// presence bitset (no contiguous list to hand out), while the reference
+/// explorer and the tests hold plain sorted vectors; this view lets the
+/// partial-order-reduction heuristics serve both without copying.
+#[derive(Clone, Copy)]
+pub enum EnabledView<'a> {
+    /// A contiguous slice, already sorted by node id.
+    Slice(&'a [EnabledChoice]),
+    /// Per-node slots with a presence bitset (`bits[i/64] >> (i%64) & 1`).
+    Slots {
+        /// `slots[n]` = node `n`'s enabled choice, if enabled.
+        slots: &'a [Option<EnabledChoice>],
+        /// The presence bitset over node ids.
+        bits: &'a [u64],
+        /// Number of enabled nodes.
+        len: usize,
+    },
+}
+
+impl<'a> EnabledView<'a> {
+    /// Number of enabled nodes.
+    pub fn len(&self) -> usize {
+        match self {
+            EnabledView::Slice(s) => s.len(),
+            EnabledView::Slots { len, .. } => *len,
+        }
+    }
+
+    /// Is the enabled set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The enabled choice of `node`, if it is enabled.
+    pub fn get_node(&self, node: NodeId) -> Option<&'a EnabledChoice> {
+        match self {
+            EnabledView::Slice(s) => s
+                .binary_search_by_key(&node.0, |c| c.node.0)
+                .ok()
+                .map(|i| &s[i]),
+            EnabledView::Slots { slots, .. } => slots.get(node.index()).and_then(Option::as_ref),
+        }
+    }
+
+    /// The first enabled choice in node-id order.
+    pub fn first(&self) -> Option<&'a EnabledChoice> {
+        self.iter().next()
+    }
+
+    /// Iterate the enabled choices in node-id order.
+    pub fn iter(&self) -> EnabledIter<'a> {
+        match self {
+            EnabledView::Slice(s) => EnabledIter::Slice(s.iter()),
+            EnabledView::Slots { slots, bits, .. } => EnabledIter::Slots {
+                slots,
+                bits,
+                word: 0,
+                mask: bits.first().copied().unwrap_or(0),
+            },
+        }
+    }
+
+    /// Clone the enabled choices into a vector (test/diagnostic helper).
+    pub fn to_vec(&self) -> Vec<EnabledChoice> {
+        self.iter().cloned().collect()
+    }
+}
+
+/// Iterator over an [`EnabledView`], in node-id order.
+pub enum EnabledIter<'a> {
+    /// Contiguous-slice iteration.
+    Slice(std::slice::Iter<'a, EnabledChoice>),
+    /// Bitset sweep over slots: `mask` holds the unvisited bits of `word`.
+    Slots {
+        /// The per-node slots.
+        slots: &'a [Option<EnabledChoice>],
+        /// The presence bitset.
+        bits: &'a [u64],
+        /// Index of the word `mask` was drawn from.
+        word: usize,
+        /// Remaining set bits of the current word.
+        mask: u64,
+    },
+}
+
+impl<'a> Iterator for EnabledIter<'a> {
+    type Item = &'a EnabledChoice;
+
+    fn next(&mut self) -> Option<&'a EnabledChoice> {
+        match self {
+            EnabledIter::Slice(it) => it.next(),
+            EnabledIter::Slots {
+                slots,
+                bits,
+                word,
+                mask,
+            } => loop {
+                if *mask == 0 {
+                    *word += 1;
+                    if *word >= bits.len() {
+                        return None;
+                    }
+                    *mask = bits[*word];
+                    continue;
+                }
+                let bit = mask.trailing_zeros() as usize;
+                *mask &= *mask - 1;
+                let idx = *word * 64 + bit;
+                match slots[idx].as_ref() {
+                    Some(c) => return Some(c),
+                    // A set bit always has a filled slot; tolerate skew in
+                    // release builds rather than panicking mid-search.
+                    None => continue,
+                }
+            },
+        }
+    }
+}
+
+/// A converged RPVP state with handles resolved back to owned routes, so
+/// policies and the forwarding analyses downstream never touch the interner.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConvergedState {
     /// The best route of every node in the converged state.
@@ -73,6 +314,13 @@ pub struct ConvergedState {
 }
 
 impl ConvergedState {
+    /// Resolve a handle-native state snapshot into owned routes.
+    pub fn from_handles(best: &[RouteHandle], interner: &RouteInterner) -> Self {
+        ConvergedState {
+            best: best.iter().map(|&h| interner.resolve(h).cloned()).collect(),
+        }
+    }
+
     /// The best route of node `n`.
     pub fn best(&self, n: NodeId) -> Option<&Route> {
         self.best[n.index()].as_ref()
@@ -143,8 +391,8 @@ impl<'m> Rpvp<'m> {
     }
 
     /// The initial state.
-    pub fn initial_state(&self) -> RpvpState {
-        RpvpState::initial(self.model)
+    pub fn initial_state(&self, interner: &mut RouteInterner) -> RpvpState {
+        RpvpState::initial(self.model, interner)
     }
 
     /// Is node `n` an origin?
@@ -154,23 +402,29 @@ impl<'m> Rpvp<'m> {
 
     /// The advertisement `from` would currently offer `to`
     /// (`import_{to,from}(export_{from,to}(best(from)))`), if any.
-    pub fn advertisement(&self, state: &RpvpState, from: NodeId, to: NodeId) -> Option<Route> {
-        let best_from = state.best(from)?;
+    pub fn advertisement(
+        &self,
+        state: &RpvpState,
+        interner: &RouteInterner,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<Route> {
+        let best_from = state.best(from, interner)?;
         self.model.advertise(from, to, best_from)
     }
 
     /// Is `n`'s current best path invalid: its next hop's best path is not
     /// the continuation of `n`'s path (`best-path(best-path(n).head) ≠
     /// best-path(n).rest`)?
-    pub fn invalid(&self, state: &RpvpState, n: NodeId) -> bool {
-        let Some(route) = state.best(n) else {
+    pub fn invalid(&self, state: &RpvpState, interner: &RouteInterner, n: NodeId) -> bool {
+        let Some(route) = state.best(n, interner) else {
             return false;
         };
         let Some(head) = route.next_hop() else {
             // The origin's own route never becomes invalid.
             return false;
         };
-        match state.best(head) {
+        match state.best(head, interner) {
             None => true,
             Some(head_route) => head_route.path != route.rest(),
         }
@@ -178,9 +432,15 @@ impl<'m> Rpvp<'m> {
 
     /// Can `peer` produce an advertisement that `n` strictly prefers over its
     /// current best route? Returns that advertisement if so.
-    pub fn update_from(&self, state: &RpvpState, n: NodeId, peer: NodeId) -> Option<Route> {
-        let adv = self.advertisement(state, peer, n)?;
-        match state.best(n) {
+    pub fn update_from(
+        &self,
+        state: &RpvpState,
+        interner: &RouteInterner,
+        n: NodeId,
+        peer: NodeId,
+    ) -> Option<Route> {
+        let adv = self.advertisement(state, interner, peer, n)?;
+        match state.best(n, interner) {
             None => Some(adv),
             Some(current) => {
                 if self.model.prefer(n, &adv, current) == Preference::Better {
@@ -195,14 +455,12 @@ impl<'m> Rpvp<'m> {
     /// The enabled set of a state (the paper's `E`, line 5 of Algorithm 1),
     /// with each node's best-update peers (`U`, line 13) precomputed.
     /// Origins are never enabled.
-    pub fn enabled(&self, state: &RpvpState) -> Vec<EnabledChoice> {
+    pub fn enabled(&self, state: &RpvpState, interner: &mut RouteInterner) -> Vec<EnabledChoice> {
         let mut out = Vec::new();
+        let mut scratch = Vec::new();
         for i in 0..self.model.node_count() {
             let n = NodeId(i as u32);
-            if self.is_origin(n) {
-                continue;
-            }
-            if let Some(choice) = self.enabled_at(state, n) {
+            if let Some(choice) = self.enabled_at_with(state, interner, n, &mut scratch) {
                 out.push(choice);
             }
         }
@@ -210,25 +468,72 @@ impl<'m> Rpvp<'m> {
     }
 
     /// The enabled-choice entry for a single node, if it is enabled.
-    pub fn enabled_at(&self, state: &RpvpState, n: NodeId) -> Option<EnabledChoice> {
+    pub fn enabled_at(
+        &self,
+        state: &RpvpState,
+        interner: &mut RouteInterner,
+        n: NodeId,
+    ) -> Option<EnabledChoice> {
+        let mut scratch = Vec::new();
+        self.enabled_at_with(state, interner, n, &mut scratch)
+    }
+
+    /// [`Rpvp::enabled_at`] with a caller-owned candidate buffer, so the
+    /// steady-state search path performs no heap allocation: candidate
+    /// routes are derived into `scratch` (capacity retained across calls),
+    /// only the maximal ones are interned, and the returned choice carries
+    /// handles in an inline [`UpdateVec`].
+    pub fn enabled_at_with(
+        &self,
+        state: &RpvpState,
+        interner: &mut RouteInterner,
+        n: NodeId,
+        scratch: &mut Vec<(NodeId, Route)>,
+    ) -> Option<EnabledChoice> {
         if self.is_origin(n) {
             return None;
         }
-        let invalid = self.invalid(state, n);
-        let mut updates: Vec<(NodeId, Route)> = Vec::new();
-        for &peer in self.model.peers(n) {
-            if let Some(adv) = self.update_from(state, n, peer) {
-                updates.push((peer, adv));
+        let invalid = self.invalid(state, interner, n);
+        scratch.clear();
+        {
+            let current = interner.resolve(state.best[n.index()]);
+            for &peer in self.model.peers(n) {
+                let Some(best_from) = interner.resolve(state.best[peer.index()]) else {
+                    continue;
+                };
+                let Some(adv) = self.model.advertise(peer, n, best_from) else {
+                    continue;
+                };
+                let usable = match current {
+                    None => true,
+                    Some(cur) => self.model.prefer(n, &adv, cur) == Preference::Better,
+                };
+                if usable {
+                    scratch.push((peer, adv));
+                }
             }
         }
-        if updates.is_empty() && !invalid {
+        if scratch.is_empty() && !invalid {
             return None;
         }
         // Keep only the maximal advertisements (the paper's
-        // `best({n' | can-update(n')})`).
-        let routes: Vec<Route> = updates.iter().map(|(_, r)| r.clone()).collect();
-        let best = self.model.best_indices(n, &routes);
-        let best_updates = best.into_iter().map(|i| updates[i].clone()).collect();
+        // `best({n' | can-update(n')})`), preserving candidate order —
+        // exactly `ProtocolModel::best_indices` — and intern only those.
+        let mut best_updates = UpdateVec::new();
+        for i in 0..scratch.len() {
+            let mut dominated = false;
+            for j in 0..scratch.len() {
+                if j != i && self.model.prefer(n, &scratch[j].1, &scratch[i].1) == Preference::Better
+                {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                let handle = interner.intern(&scratch[i].1);
+                best_updates.push((scratch[i].0, handle));
+            }
+        }
         Some(EnabledChoice {
             node: n,
             invalid,
@@ -236,67 +541,102 @@ impl<'m> Rpvp<'m> {
         })
     }
 
+    /// Is node `n` enabled in `state`? Equivalent to
+    /// `enabled_at(...).is_some()` but derives no maximal set and interns
+    /// nothing, so it only needs shared access to the interner.
+    pub fn is_enabled(&self, state: &RpvpState, interner: &RouteInterner, n: NodeId) -> bool {
+        if self.is_origin(n) {
+            return false;
+        }
+        if self.invalid(state, interner, n) {
+            return true;
+        }
+        let current = interner.resolve(state.best[n.index()]);
+        for &peer in self.model.peers(n) {
+            let Some(best_from) = interner.resolve(state.best[peer.index()]) else {
+                continue;
+            };
+            let Some(adv) = self.model.advertise(peer, n, best_from) else {
+                continue;
+            };
+            let usable = match current {
+                None => true,
+                Some(cur) => self.model.prefer(n, &adv, cur) == Preference::Better,
+            };
+            if usable {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Perform one RPVP step: node `n` (which must be enabled) clears an
     /// invalid path and, if `from` is given, adopts that peer's
     /// advertisement. `from` must be one of the node's best-update peers.
-    pub fn step(&self, state: &mut RpvpState, n: NodeId, from: Option<NodeId>) {
-        let adv = from.map(|peer| {
-            self.advertisement(state, peer, n)
-                .expect("step() called with a peer that offers no advertisement")
-        });
-        self.step_adopting(state, n, adv);
+    pub fn step(
+        &self,
+        state: &mut RpvpState,
+        interner: &mut RouteInterner,
+        n: NodeId,
+        from: Option<NodeId>,
+    ) {
+        let adopt = match from {
+            Some(peer) => {
+                let adv = self
+                    .advertisement(state, interner, peer, n)
+                    .expect("step() called with a peer that offers no advertisement");
+                interner.intern_owned(adv)
+            }
+            None => RouteHandle::NONE,
+        };
+        self.step_adopting(state, interner, n, adopt);
     }
 
-    /// Perform one RPVP step in place, adopting an already-computed
-    /// advertisement instead of recomputing it, and return the node's
-    /// previous best route as an undo record for [`Rpvp::undo_step`].
+    /// Perform one RPVP step in place, adopting an already-interned
+    /// advertisement, and return the node's previous best handle as the
+    /// (`Copy`) undo record for [`Rpvp::undo_step`].
     ///
-    /// This is the incremental explorer's apply primitive: the enabled-set
-    /// computation already produced the exact route the node adopts
-    /// ([`EnabledChoice::best_updates`]), so re-deriving it through
-    /// `advertisement()` at step time is wasted work. `adopt == None` is the
-    /// clear-an-invalid-path step.
+    /// This is the explorers' apply primitive: the enabled-set computation
+    /// already produced — and interned — the exact route the node adopts
+    /// ([`EnabledChoice::best_updates`]), so a step is an integer swap.
+    /// `adopt == RouteHandle::NONE` is the clear-an-invalid-path step.
     pub fn step_adopting(
         &self,
         state: &mut RpvpState,
+        interner: &RouteInterner,
         n: NodeId,
-        adopt: Option<Route>,
-    ) -> Option<Route> {
-        match adopt {
+        adopt: RouteHandle,
+    ) -> RouteHandle {
+        if adopt.is_some() {
             // Clearing an invalid path before adopting is subsumed by the
             // adoption itself; a single swap preserves `step()` semantics.
-            Some(route) => state.best[n.index()].replace(route),
-            None => {
-                if self.invalid(state, n) {
-                    state.best[n.index()].take()
-                } else {
-                    // A clear-only step on a valid path is a no-op (the
-                    // explorer never issues one); keep undo exact anyway.
-                    state.best[n.index()].clone()
-                }
-            }
+            std::mem::replace(&mut state.best[n.index()], adopt)
+        } else if self.invalid(state, interner, n) {
+            std::mem::replace(&mut state.best[n.index()], RouteHandle::NONE)
+        } else {
+            // A clear-only step on a valid path is a no-op (the explorer
+            // never issues one); keep undo exact anyway.
+            state.best[n.index()]
         }
     }
 
     /// Revert a step applied by [`Rpvp::step_adopting`], restoring the
     /// node's previous best route.
-    pub fn undo_step(&self, state: &mut RpvpState, n: NodeId, prev_best: Option<Route>) {
+    pub fn undo_step(&self, state: &mut RpvpState, n: NodeId, prev_best: RouteHandle) {
         state.best[n.index()] = prev_best;
     }
 
     /// Is the state converged (no node enabled)?
-    pub fn converged(&self, state: &RpvpState) -> bool {
+    pub fn converged(&self, state: &RpvpState, interner: &RouteInterner) -> bool {
         (0..self.model.node_count() as u32)
             .map(NodeId)
-            .all(|n| self.enabled_at(state, n).is_none())
+            .all(|n| !self.is_enabled(state, interner, n))
     }
 
-    /// Snapshot a converged state.
-    pub fn converged_state(&self, state: &RpvpState) -> ConvergedState {
-        debug_assert!(self.converged(state), "state is not converged");
-        ConvergedState {
-            best: state.best.clone(),
-        }
+    /// Snapshot a converged state, resolving handles to owned routes.
+    pub fn converged_state(&self, state: &RpvpState, interner: &RouteInterner) -> ConvergedState {
+        debug_assert!(self.converged(state, interner), "state is not converged");
+        ConvergedState::from_handles(&state.best, interner)
     }
 }
 
@@ -307,14 +647,21 @@ impl<'m> Rpvp<'m> {
 /// step at node `n` only changes `best(n)`, and a node `m`'s enabled status
 /// depends solely on `best(m)` and `best(p)` for `p ∈ peers(m)`: the only
 /// nodes whose status can change are `n` itself and the reverse peers of `n`
-/// ([`ProtocolModel::reverse_peers`]). This structure caches one
-/// [`EnabledChoice`] per enabled node, sorted by node id (the same iteration
-/// order as [`Rpvp::enabled`]), and recomputes only that dirty neighborhood
-/// after each step. Displaced entries are handed back to the caller so an
-/// apply/undo search can restore them exactly when it backtracks.
+/// ([`ProtocolModel::reverse_peers`]).
+///
+/// The cache is one slot per node plus a presence bitset: installing,
+/// replacing or removing an entry is O(1) (the previous sorted-vector cache
+/// paid a memmove per update), and iteration in node-id order — the same
+/// order as [`Rpvp::enabled`] — is a word-at-a-time bitset sweep
+/// ([`EnabledView::Slots`]). Displaced entries are handed back to the caller
+/// so an apply/undo search can restore them exactly when it backtracks.
 pub struct IncrementalEnabled {
-    /// Currently enabled nodes' choices, sorted by node id.
-    list: Vec<EnabledChoice>,
+    /// `slots[n]` = node `n`'s enabled choice, if currently enabled.
+    slots: Vec<Option<EnabledChoice>>,
+    /// Presence bitset over node ids (`bits[n/64] >> (n%64) & 1`).
+    bits: Vec<u64>,
+    /// Number of enabled nodes.
+    len: usize,
     /// `rev_peers[n]` = nodes that consider advertisements from `n`.
     rev_peers: Vec<Vec<NodeId>>,
     /// Nodes that may ever be enabled (non-origins, and allowed by any
@@ -324,38 +671,68 @@ pub struct IncrementalEnabled {
     /// Total `enabled_at` recomputations performed (observability: the
     /// pre-change explorer recomputed every node at every step).
     recomputed: u64,
+    /// Candidate-route buffer threaded into
+    /// [`Rpvp::enabled_at_with`], reused across every recomputation.
+    candidates: Vec<(NodeId, Route)>,
 }
 
 impl IncrementalEnabled {
     /// An enabled set over the given reverse-peer index and eligibility mask.
     /// Call [`IncrementalEnabled::rebuild`] before use.
     pub fn new(rev_peers: Vec<Vec<NodeId>>, eligible: Vec<bool>) -> Self {
+        let n = eligible.len();
         IncrementalEnabled {
-            list: Vec::new(),
+            slots: (0..n).map(|_| None).collect(),
+            bits: vec![0; n.div_ceil(64)],
+            len: 0,
             rev_peers,
             eligible,
             recomputed: 0,
+            candidates: Vec::new(),
         }
     }
 
     /// Recompute the whole enabled set from scratch (initialization).
-    pub fn rebuild(&mut self, rpvp: &Rpvp, state: &RpvpState) {
-        self.list.clear();
+    pub fn rebuild(&mut self, rpvp: &Rpvp, state: &RpvpState, interner: &mut RouteInterner) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.bits.fill(0);
+        self.len = 0;
         for i in 0..self.eligible.len() {
             if !self.eligible[i] {
                 continue;
             }
             self.recomputed += 1;
-            if let Some(choice) = rpvp.enabled_at(state, NodeId(i as u32)) {
-                self.list.push(choice);
+            if let Some(choice) =
+                rpvp.enabled_at_with(state, interner, NodeId(i as u32), &mut self.candidates)
+            {
+                self.slots[i] = Some(choice);
+                self.bits[i / 64] |= 1 << (i % 64);
+                self.len += 1;
             }
         }
     }
 
-    /// The enabled choices, in node-id order — exactly the (eligible subset
-    /// of the) list [`Rpvp::enabled`] would return for the current state.
-    pub fn list(&self) -> &[EnabledChoice] {
-        &self.list
+    /// A view of the enabled choices, iterable in node-id order — exactly
+    /// the (eligible subset of the) list [`Rpvp::enabled`] would return for
+    /// the current state.
+    pub fn view(&self) -> EnabledView<'_> {
+        EnabledView::Slots {
+            slots: &self.slots,
+            bits: &self.bits,
+            len: self.len,
+        }
+    }
+
+    /// Number of currently enabled nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the enabled set empty (i.e. the state converged)?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Number of `enabled_at` recomputations performed so far.
@@ -363,27 +740,30 @@ impl IncrementalEnabled {
         self.recomputed
     }
 
-    fn position(&self, node: NodeId) -> Result<usize, usize> {
-        self.list.binary_search_by_key(&node.0, |c| c.node.0)
-    }
-
     /// Install `entry` as node `node`'s cache slot (None = not enabled) and
-    /// return the displaced previous slot. Used both for delta maintenance
-    /// and for restoring displaced entries on undo.
+    /// return the displaced previous slot. O(1): a slot swap plus a bitset
+    /// update. Used both for delta maintenance and for restoring displaced
+    /// entries on undo.
     pub fn set_entry(
         &mut self,
         node: NodeId,
         entry: Option<EnabledChoice>,
     ) -> Option<EnabledChoice> {
-        match (self.position(node), entry) {
-            (Ok(i), Some(e)) => Some(std::mem::replace(&mut self.list[i], e)),
-            (Ok(i), None) => Some(self.list.remove(i)),
-            (Err(i), Some(e)) => {
-                self.list.insert(i, e);
-                None
+        let idx = node.index();
+        let now = entry.is_some();
+        let prev = std::mem::replace(&mut self.slots[idx], entry);
+        let was = prev.is_some();
+        if now != was {
+            let bit = 1u64 << (idx % 64);
+            if now {
+                self.bits[idx / 64] |= bit;
+                self.len += 1;
+            } else {
+                self.bits[idx / 64] &= !bit;
+                self.len -= 1;
             }
-            (Err(_), None) => None,
         }
+        prev
     }
 
     /// Recompute the dirty neighborhood of `node` after its best route
@@ -395,14 +775,15 @@ impl IncrementalEnabled {
         &mut self,
         rpvp: &Rpvp,
         state: &RpvpState,
+        interner: &mut RouteInterner,
         node: NodeId,
         displaced: &mut Vec<(NodeId, Option<EnabledChoice>)>,
     ) {
-        self.refresh_node(rpvp, state, node, displaced);
+        self.refresh_node(rpvp, state, interner, node, displaced);
         for k in 0..self.rev_peers[node.index()].len() {
             let m = self.rev_peers[node.index()][k];
             if m != node {
-                self.refresh_node(rpvp, state, m, displaced);
+                self.refresh_node(rpvp, state, interner, m, displaced);
             }
         }
     }
@@ -411,6 +792,7 @@ impl IncrementalEnabled {
         &mut self,
         rpvp: &Rpvp,
         state: &RpvpState,
+        interner: &mut RouteInterner,
         m: NodeId,
         displaced: &mut Vec<(NodeId, Option<EnabledChoice>)>,
     ) {
@@ -418,7 +800,7 @@ impl IncrementalEnabled {
             return;
         }
         self.recomputed += 1;
-        let entry = rpvp.enabled_at(state, m);
+        let entry = rpvp.enabled_at_with(state, interner, m, &mut self.candidates);
         let had_new = entry.is_some();
         let prev = self.set_entry(m, entry);
         // (None → None) transitions need no undo record.
@@ -488,9 +870,12 @@ mod tests {
     fn initial_state_has_origin_epsilon() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let s = rpvp.initial_state();
-        assert!(s.best(NodeId(0)).unwrap().is_origin());
-        assert!(s.best(NodeId(1)).is_none());
+        let mut interner = RouteInterner::new();
+        let s = rpvp.initial_state(&mut interner);
+        assert!(s.best(NodeId(0), &interner).unwrap().is_origin());
+        assert!(s.best(NodeId(1), &interner).is_none());
+        assert!(s.has_route(NodeId(0)));
+        assert!(!s.has_route(NodeId(1)));
         assert_eq!(s.nodes_with_routes().count(), 1);
     }
 
@@ -498,16 +883,17 @@ mod tests {
     fn enabled_set_grows_as_routes_propagate() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let mut s = rpvp.initial_state();
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
         // Initially only node 1 (adjacent to the origin) is enabled.
-        let enabled = rpvp.enabled(&s);
+        let enabled = rpvp.enabled(&s, &mut interner);
         assert_eq!(enabled.len(), 1);
         assert_eq!(enabled[0].node, NodeId(1));
         assert!(!enabled[0].invalid);
         assert_eq!(enabled[0].best_updates.len(), 1);
         // After node 1 acts, node 2 becomes enabled.
-        rpvp.step(&mut s, NodeId(1), Some(NodeId(0)));
-        let enabled = rpvp.enabled(&s);
+        rpvp.step(&mut s, &mut interner, NodeId(1), Some(NodeId(0)));
+        let enabled = rpvp.enabled(&s, &mut interner);
         assert_eq!(enabled.len(), 1);
         assert_eq!(enabled[0].node, NodeId(2));
     }
@@ -516,16 +902,17 @@ mod tests {
     fn full_execution_converges_to_shortest_paths() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let mut s = rpvp.initial_state();
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
         let mut steps = 0;
-        while let Some(choice) = rpvp.enabled(&s).into_iter().next() {
+        while let Some(choice) = rpvp.enabled(&s, &mut interner).into_iter().next() {
             let peer = choice.best_updates.first().map(|(p, _)| *p);
-            rpvp.step(&mut s, choice.node, peer);
+            rpvp.step(&mut s, &mut interner, choice.node, peer);
             steps += 1;
             assert!(steps <= 10, "execution did not converge");
         }
-        assert!(rpvp.converged(&s));
-        let c = rpvp.converged_state(&s);
+        assert!(rpvp.converged(&s, &interner));
+        let c = rpvp.converged_state(&s, &interner);
         assert_eq!(c.next_hop(NodeId(1)), Some(NodeId(0)));
         assert_eq!(c.next_hop(NodeId(2)), Some(NodeId(1)));
         assert_eq!(c.next_hop(NodeId(3)), Some(NodeId(2)));
@@ -540,26 +927,29 @@ mod tests {
     fn invalid_detection_when_upstream_withdraws() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let mut s = rpvp.initial_state();
-        rpvp.step(&mut s, NodeId(1), Some(NodeId(0)));
-        rpvp.step(&mut s, NodeId(2), Some(NodeId(1)));
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
+        rpvp.step(&mut s, &mut interner, NodeId(1), Some(NodeId(0)));
+        rpvp.step(&mut s, &mut interner, NodeId(2), Some(NodeId(1)));
         // Manually clear node 1's path: node 2's path is now invalid.
-        s.best[1] = None;
-        assert!(rpvp.invalid(&s, NodeId(2)));
-        assert!(!rpvp.invalid(&s, NodeId(3)));
-        let choice = rpvp.enabled_at(&s, NodeId(2)).unwrap();
+        s.best[1] = RouteHandle::NONE;
+        assert!(rpvp.invalid(&s, &interner, NodeId(2)));
+        assert!(!rpvp.invalid(&s, &interner, NodeId(3)));
+        let choice = rpvp.enabled_at(&s, &mut interner, NodeId(2)).unwrap();
         assert!(choice.invalid);
         // Stepping with no peer clears the invalid path.
-        rpvp.step(&mut s, NodeId(2), None);
-        assert!(s.best(NodeId(2)).is_none());
+        rpvp.step(&mut s, &mut interner, NodeId(2), None);
+        assert!(s.best(NodeId(2), &interner).is_none());
     }
 
     #[test]
     fn origins_are_never_enabled() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let s = rpvp.initial_state();
-        assert!(rpvp.enabled_at(&s, NodeId(0)).is_none());
+        let mut interner = RouteInterner::new();
+        let s = rpvp.initial_state(&mut interner);
+        assert!(rpvp.enabled_at(&s, &mut interner, NodeId(0)).is_none());
+        assert!(!rpvp.is_enabled(&s, &interner, NodeId(0)));
         assert!(rpvp.is_origin(NodeId(0)));
         assert!(!rpvp.is_origin(NodeId(1)));
     }
@@ -568,22 +958,25 @@ mod tests {
     fn converged_detection() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let s = rpvp.initial_state();
-        assert!(!rpvp.converged(&s));
+        let mut interner = RouteInterner::new();
+        let s = rpvp.initial_state(&mut interner);
+        assert!(!rpvp.converged(&s, &interner));
+        assert!(rpvp.is_enabled(&s, &interner, NodeId(1)));
     }
 
     #[test]
     fn step_adopting_round_trips_through_undo() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let mut s = rpvp.initial_state();
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
         let before = s.clone();
-        let choice = rpvp.enabled(&s).remove(0);
-        let (peer, route) = choice.best_updates[0].clone();
+        let choice = rpvp.enabled(&s, &mut interner).remove(0);
+        let (peer, handle) = choice.best_updates[0];
         // Adoption matches the peer-recomputing step()...
-        let prev = rpvp.step_adopting(&mut s, choice.node, Some(route));
+        let prev = rpvp.step_adopting(&mut s, &interner, choice.node, handle);
         let mut via_step = before.clone();
-        rpvp.step(&mut via_step, choice.node, Some(peer));
+        rpvp.step(&mut via_step, &mut interner, choice.node, Some(peer));
         assert_eq!(s, via_step);
         // ...and undo restores the exact prior state.
         rpvp.undo_step(&mut s, choice.node, prev);
@@ -594,16 +987,48 @@ mod tests {
     fn clear_step_round_trips_through_undo() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let mut s = rpvp.initial_state();
-        rpvp.step(&mut s, NodeId(1), Some(NodeId(0)));
-        rpvp.step(&mut s, NodeId(2), Some(NodeId(1)));
-        s.best[1] = None; // node 2's path is now invalid
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
+        rpvp.step(&mut s, &mut interner, NodeId(1), Some(NodeId(0)));
+        rpvp.step(&mut s, &mut interner, NodeId(2), Some(NodeId(1)));
+        s.best[1] = RouteHandle::NONE; // node 2's path is now invalid
         let before = s.clone();
-        let prev = rpvp.step_adopting(&mut s, NodeId(2), None);
-        assert!(s.best(NodeId(2)).is_none());
+        let prev = rpvp.step_adopting(&mut s, &interner, NodeId(2), RouteHandle::NONE);
+        assert!(s.best(NodeId(2), &interner).is_none());
         assert!(prev.is_some());
         rpvp.undo_step(&mut s, NodeId(2), prev);
         assert_eq!(s, before);
+    }
+
+    #[test]
+    fn from_routes_round_trips() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
+        rpvp.step(&mut s, &mut interner, NodeId(1), Some(NodeId(0)));
+        let routes: Vec<Option<Route>> = s
+            .best
+            .iter()
+            .map(|&h| interner.resolve(h).cloned())
+            .collect();
+        let rebuilt = RpvpState::from_routes(&routes, &mut interner);
+        assert_eq!(rebuilt, s, "re-interning the same routes hits same handles");
+    }
+
+    #[test]
+    fn update_vec_spills_past_inline_capacity() {
+        let mut v = UpdateVec::new();
+        for i in 0..UpdateVec::INLINE as u32 + 2 {
+            v.push((NodeId(i), RouteHandle(i as u64 + 1)));
+        }
+        assert_eq!(v.len(), UpdateVec::INLINE + 2);
+        for (i, &(n, h)) in v.iter().enumerate() {
+            assert_eq!(n, NodeId(i as u32));
+            assert_eq!(h, RouteHandle(i as u64 + 1));
+        }
+        let w: UpdateVec = v.iter().copied().collect();
+        assert_eq!(v, w);
     }
 
     fn eligible_for(m: &dyn ProtocolModel) -> Vec<bool> {
@@ -617,20 +1042,27 @@ mod tests {
     fn incremental_enabled_tracks_full_recompute() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let mut s = rpvp.initial_state();
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
         let mut inc = IncrementalEnabled::new(m.reverse_peers(), eligible_for(&m));
-        inc.rebuild(&rpvp, &s);
+        inc.rebuild(&rpvp, &s, &mut interner);
         let mut displaced = Vec::new();
         let mut steps = 0;
-        while let Some(choice) = inc.list().first().cloned() {
-            let adopt = choice.best_updates.first().map(|(_, r)| r.clone());
-            rpvp.step_adopting(&mut s, choice.node, adopt);
-            inc.refresh_after_step(&rpvp, &s, choice.node, &mut displaced);
-            assert_eq!(inc.list(), rpvp.enabled(&s).as_slice());
+        while let Some(choice) = inc.view().first().cloned() {
+            let adopt = choice
+                .best_updates
+                .first()
+                .map(|&(_, h)| h)
+                .unwrap_or(RouteHandle::NONE);
+            rpvp.step_adopting(&mut s, &interner, choice.node, adopt);
+            inc.refresh_after_step(&rpvp, &s, &mut interner, choice.node, &mut displaced);
+            assert_eq!(inc.view().to_vec(), rpvp.enabled(&s, &mut interner));
+            assert_eq!(inc.len(), inc.view().iter().count());
             steps += 1;
             assert!(steps <= 10, "execution did not converge");
         }
-        assert!(rpvp.converged(&s));
+        assert!(rpvp.converged(&s, &interner));
+        assert!(inc.is_empty());
         assert!(inc.recompute_count() > 0);
     }
 
@@ -638,22 +1070,52 @@ mod tests {
     fn incremental_enabled_undo_restores_displaced_entries() {
         let m = Line4;
         let rpvp = Rpvp::new(&m);
-        let mut s = rpvp.initial_state();
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
         let mut inc = IncrementalEnabled::new(m.reverse_peers(), eligible_for(&m));
-        inc.rebuild(&rpvp, &s);
-        let before = inc.list().to_vec();
-        let choice = inc.list()[0].clone();
-        let adopt = choice.best_updates.first().map(|(_, r)| r.clone());
-        let prev_best = rpvp.step_adopting(&mut s, choice.node, adopt);
+        inc.rebuild(&rpvp, &s, &mut interner);
+        let before = inc.view().to_vec();
+        let choice = inc.view().first().cloned().unwrap();
+        let adopt = choice
+            .best_updates
+            .first()
+            .map(|&(_, h)| h)
+            .unwrap_or(RouteHandle::NONE);
+        let prev_best = rpvp.step_adopting(&mut s, &interner, choice.node, adopt);
         let mut displaced = Vec::new();
-        inc.refresh_after_step(&rpvp, &s, choice.node, &mut displaced);
-        assert_ne!(inc.list(), before.as_slice());
+        inc.refresh_after_step(&rpvp, &s, &mut interner, choice.node, &mut displaced);
+        assert_ne!(inc.view().to_vec(), before);
         // Undo: revert the state, then replay displaced entries in reverse.
         rpvp.undo_step(&mut s, choice.node, prev_best);
         for (node, entry) in displaced.into_iter().rev() {
             inc.set_entry(node, entry);
         }
-        assert_eq!(inc.list(), before.as_slice());
-        assert_eq!(inc.list(), rpvp.enabled(&s).as_slice());
+        assert_eq!(inc.view().to_vec(), before);
+        assert_eq!(inc.view().to_vec(), rpvp.enabled(&s, &mut interner));
+    }
+
+    #[test]
+    fn enabled_view_lookup_and_order() {
+        let m = Line4;
+        let rpvp = Rpvp::new(&m);
+        let mut interner = RouteInterner::new();
+        let mut s = rpvp.initial_state(&mut interner);
+        rpvp.step(&mut s, &mut interner, NodeId(1), Some(NodeId(0)));
+        s.best[1] = RouteHandle::NONE; // nodes 1 and 2 both enabled now
+        let list = rpvp.enabled(&s, &mut interner);
+        let slice_view = EnabledView::Slice(&list);
+        let mut inc = IncrementalEnabled::new(m.reverse_peers(), eligible_for(&m));
+        inc.rebuild(&rpvp, &s, &mut interner);
+        let nodes: Vec<NodeId> = inc.view().iter().map(|c| c.node).collect();
+        assert!(nodes.windows(2).all(|w| w[0].0 < w[1].0), "node-id order");
+        assert_eq!(inc.view().to_vec(), list);
+        for c in &list {
+            assert_eq!(slice_view.get_node(c.node), Some(c));
+            assert_eq!(inc.view().get_node(c.node), Some(c));
+        }
+        assert_eq!(slice_view.get_node(NodeId(0)), None);
+        assert_eq!(inc.view().get_node(NodeId(0)), None);
+        assert_eq!(slice_view.first(), list.first());
+        assert_eq!(inc.view().first(), list.first());
     }
 }

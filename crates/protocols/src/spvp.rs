@@ -242,13 +242,12 @@ mod tests {
             Arc::new(UniformUnderlay),
         );
         let rpvp = crate::rpvp::Rpvp::new(&model);
+        let mut interner = crate::interner::RouteInterner::new();
         for seed in 0..10u64 {
             if let Some(converged) = Spvp::new(&model).run(seed, 100_000) {
-                let state = crate::rpvp::RpvpState {
-                    best: converged.best.clone(),
-                };
+                let state = crate::rpvp::RpvpState::from_routes(&converged.best, &mut interner);
                 assert!(
-                    rpvp.converged(&state),
+                    rpvp.converged(&state, &interner),
                     "SPVP-converged state is not RPVP-stable (seed {seed})"
                 );
             }

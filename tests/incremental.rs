@@ -10,14 +10,14 @@
 
 use plankton::checker::SearchStats;
 use plankton::config::scenarios::{
-    disagree_gadget, fat_tree_bgp_rfc7938, fat_tree_ospf, isp_ibgp_over_ospf, ring_ospf,
+    disagree_gadget, fat_tree_bgp_rfc7938, fat_tree_ospf, isp_ibgp_over_ospf, isp_ospf, ring_ospf,
     CoreStaticRoutes,
 };
 use plankton::net::generators::as_topo::AsTopologySpec;
 use plankton::prelude::*;
 use plankton::protocols::bgp::{BgpModel, UniformUnderlay};
 use plankton::protocols::rpvp::{IncrementalEnabled, Rpvp};
-use plankton::protocols::ProtocolModel;
+use plankton::protocols::{ProtocolModel, RouteHandle, RouteInterner};
 use std::sync::Arc;
 
 /// A tiny deterministic PRNG (xorshift64*) so the "random" failure sets and
@@ -166,6 +166,43 @@ fn disagree_gadget_matches_reference() {
 }
 
 #[test]
+fn fat_tree_k8_scale_matches_reference_under_random_failures() {
+    // The AS-scale bench tier's fat-tree workload (k=8, 80 switches), at a
+    // test-sized failure set: byte-identical reports and exact stats.
+    let s = fat_tree_ospf(8, CoreStaticRoutes::None);
+    let sources: Vec<NodeId> = s.network.topology.node_ids().collect();
+    let links = random_links(&s.network, 3, 0xA5);
+    assert_differential(
+        "fat tree k=8",
+        &s.network,
+        &Reachability::new(sources),
+        &FailureScenario::up_to_among(1, links),
+        PlanktonOptions::with_cores(1)
+            .restricted_to(vec![s.destinations[0]])
+            .without_lec_pruning()
+            .collect_all_violations(),
+    );
+}
+
+#[test]
+fn isp_scale_matches_reference() {
+    // The AS-scale bench tier's ISP workload: a 1000-router synthetic AS,
+    // all-node reachability to one customer prefix.
+    let s = isp_ospf(&AsTopologySpec::scale(1000));
+    let sources: Vec<NodeId> = s.network.topology.node_ids().collect();
+    assert_differential(
+        "ISP-1000",
+        &s.network,
+        &Reachability::new(sources),
+        &FailureScenario::no_failures(),
+        PlanktonOptions::with_cores(1)
+            .restricted_to(vec![s.destinations[0]])
+            .without_lec_pruning()
+            .collect_all_violations(),
+    );
+}
+
+#[test]
 fn ibgp_dependencies_match_reference() {
     let s = isp_ibgp_over_ospf(&AsTopologySpec::paper_as(3967));
     assert_differential(
@@ -236,33 +273,34 @@ fn incremental_enabled_matches_full_recompute_on_random_walk() {
         .map(|i| !rpvp.is_origin(NodeId(i as u32)))
         .collect();
     let mut rng = Lcg::new(0xFEED);
-    let mut state = rpvp.initial_state();
+    let mut interner = RouteInterner::new();
+    let mut state = rpvp.initial_state(&mut interner);
     let mut inc = IncrementalEnabled::new(model.reverse_peers(), eligible.clone());
-    inc.rebuild(&rpvp, &state);
+    inc.rebuild(&rpvp, &state, &mut interner);
     let mut displaced = Vec::new();
     let mut steps = 0usize;
     while steps < 200 {
-        let enabled = inc.list();
+        let enabled = inc.view().to_vec();
         if enabled.is_empty() {
-            state = rpvp.initial_state();
-            inc.rebuild(&rpvp, &state);
+            state = rpvp.initial_state(&mut interner);
+            inc.rebuild(&rpvp, &state, &mut interner);
             continue;
         }
         // Pick a random enabled node and a random alternative (one of its
-        // best updates, or the invalid-path clear when it has none).
+        // best updates, or the invalid-path clear when it has none —
+        // `RouteHandle::NONE` requests the clear).
         let choice = enabled[rng.below(enabled.len())].clone();
         let adopt = if choice.best_updates.is_empty() {
-            None
+            RouteHandle::NONE
         } else {
-            let (_, route) = &choice.best_updates[rng.below(choice.best_updates.len())];
-            Some(route.clone())
+            choice.best_updates[rng.below(choice.best_updates.len())].1
         };
-        let prev_best = rpvp.step_adopting(&mut state, choice.node, adopt.clone());
+        let prev_best = rpvp.step_adopting(&mut state, &interner, choice.node, adopt);
         displaced.clear();
-        inc.refresh_after_step(&rpvp, &state, choice.node, &mut displaced);
+        inc.refresh_after_step(&rpvp, &state, &mut interner, choice.node, &mut displaced);
         assert_eq!(
-            inc.list(),
-            rpvp.enabled(&state).as_slice(),
+            inc.view().to_vec(),
+            rpvp.enabled(&state, &mut interner),
             "delta-maintained enabled set diverged after step {steps} at {}",
             choice.node
         );
@@ -274,12 +312,12 @@ fn incremental_enabled_matches_full_recompute_on_random_walk() {
                 inc.set_entry(node, entry);
             }
             assert_eq!(
-                inc.list(),
-                rpvp.enabled(&state).as_slice(),
+                inc.view().to_vec(),
+                rpvp.enabled(&state, &mut interner),
                 "undo diverged after step {steps}"
             );
-            rpvp.step_adopting(&mut state, choice.node, adopt);
-            inc.refresh_after_step(&rpvp, &state, choice.node, &mut displaced);
+            rpvp.step_adopting(&mut state, &interner, choice.node, adopt);
+            inc.refresh_after_step(&rpvp, &state, &mut interner, choice.node, &mut displaced);
         }
         steps += 1;
     }

@@ -218,10 +218,9 @@ fn spvp_convergence_is_rpvp_stable() {
         for seed in 0..64u64 {
             if let Some(converged) = Spvp::new(&model).run(seed, 100_000) {
                 let rpvp = Rpvp::new(&model);
-                let state = RpvpState {
-                    best: converged.best,
-                };
-                assert!(rpvp.converged(&state), "ring {n}, seed {seed}");
+                let mut interner = plankton::protocols::RouteInterner::new();
+                let state = RpvpState::from_routes(&converged.best, &mut interner);
+                assert!(rpvp.converged(&state, &interner), "ring {n}, seed {seed}");
             }
         }
     }
